@@ -1,0 +1,363 @@
+//! The mobile adversary: agent movement and per-round fault planning for the
+//! four models M1–M4.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mbaa_net::Outbox;
+use mbaa_types::{MobileModel, ProcessSet, Value};
+
+use crate::{AdversaryView, CorruptionStrategy, MobilityStrategy};
+
+/// Everything the adversary decides for one round, consumed by the protocol
+/// engine.
+///
+/// * `faulty` — processes occupied by an agent during this round's send
+///   phase; their outgoing messages are in `faulty_outboxes`.
+/// * `cured` — processes an agent left at the beginning of this round; the
+///   state value the agent left behind is in `corrupted_states`, and under
+///   Sasaki's model the poisoned outgoing queue they will unknowingly flush
+///   is in `poisoned_outboxes`.
+///
+/// All vectors are indexed by process and hold `Some(_)` exactly for the
+/// processes in the corresponding set.
+#[derive(Debug, Clone)]
+pub struct RoundFaultPlan {
+    /// Processes occupied by an agent this round.
+    pub faulty: ProcessSet,
+    /// Processes an agent just left (empty under Buhrman's model).
+    pub cured: ProcessSet,
+    /// Outbox of every faulty process.
+    pub faulty_outboxes: Vec<Option<Outbox>>,
+    /// The state value the departing agent wrote into each cured process.
+    pub corrupted_states: Vec<Option<Value>>,
+    /// The poisoned outgoing queue of each cured process (Sasaki only).
+    pub poisoned_outboxes: Vec<Option<Outbox>>,
+}
+
+impl RoundFaultPlan {
+    /// The number of processes covered by this plan.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.faulty_outboxes.len()
+    }
+}
+
+/// The mobile Byzantine adversary: owns the `f` agents, decides where they
+/// go each round ([`MobilityStrategy`]) and what damage they do
+/// ([`CorruptionStrategy`]), respecting the movement and awareness semantics
+/// of the chosen [`MobileModel`].
+///
+/// The adversary is deterministic given its seed, which is what makes every
+/// experiment in the workspace reproducible.
+#[derive(Debug)]
+pub struct MobileAdversary {
+    model: MobileModel,
+    n: usize,
+    f: usize,
+    mobility: MobilityStrategy,
+    corruption: CorruptionStrategy,
+    rng: StdRng,
+    occupied: Option<ProcessSet>,
+}
+
+impl MobileAdversary {
+    /// Creates an adversary controlling `f` agents over `n` processes.
+    ///
+    /// `f` may exceed the model's resilience bound — that is exactly what
+    /// the lower-bound experiments need — but it is clamped to `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(
+        model: MobileModel,
+        n: usize,
+        f: usize,
+        mobility: MobilityStrategy,
+        corruption: CorruptionStrategy,
+        seed: u64,
+    ) -> Self {
+        assert!(n > 0, "adversary needs at least one process to attack");
+        MobileAdversary {
+            model,
+            n,
+            f: f.min(n),
+            mobility,
+            corruption,
+            rng: StdRng::seed_from_u64(seed),
+            occupied: None,
+        }
+    }
+
+    /// The mobile Byzantine model this adversary obeys.
+    #[must_use]
+    pub fn model(&self) -> MobileModel {
+        self.model
+    }
+
+    /// The number of agents.
+    #[must_use]
+    pub fn agents(&self) -> usize {
+        self.f
+    }
+
+    /// The processes currently hosting an agent (before the next
+    /// [`MobileAdversary::begin_round`] call), if any round has been planned.
+    #[must_use]
+    pub fn occupied(&self) -> Option<&ProcessSet> {
+        self.occupied.as_ref()
+    }
+
+    /// Plans one round: moves the agents according to the model's movement
+    /// rule and produces the complete fault plan for the round.
+    pub fn begin_round(&mut self, view: &AdversaryView<'_>) -> RoundFaultPlan {
+        assert_eq!(
+            view.universe(),
+            self.n,
+            "adversary was configured for {} processes, view has {}",
+            self.n,
+            view.universe()
+        );
+
+        let (faulty, cured) = self.move_agents(view);
+
+        let mut plan = RoundFaultPlan {
+            faulty: faulty.clone(),
+            cured: cured.clone(),
+            faulty_outboxes: vec![None; self.n],
+            corrupted_states: vec![None; self.n],
+            poisoned_outboxes: vec![None; self.n],
+        };
+
+        for p in faulty.iter() {
+            plan.faulty_outboxes[p.index()] =
+                Some(self.corruption.faulty_outbox(p, view, &mut self.rng));
+        }
+        for p in cured.iter() {
+            plan.corrupted_states[p.index()] =
+                Some(self.corruption.corrupted_state(view, &mut self.rng));
+            if self.model == MobileModel::Sasaki {
+                plan.poisoned_outboxes[p.index()] =
+                    Some(self.corruption.poisoned_outbox(p, view, &mut self.rng));
+            }
+        }
+
+        self.occupied = Some(faulty);
+        plan
+    }
+
+    /// Applies the model's movement rule and returns `(faulty, cured)` for
+    /// the upcoming round.
+    fn move_agents(&mut self, view: &AdversaryView<'_>) -> (ProcessSet, ProcessSet) {
+        let previous = self.occupied.clone();
+        let placement = self
+            .mobility
+            .place(view, self.f, previous.as_ref(), &mut self.rng);
+
+        match self.model {
+            // Agents ride the messages: by the time anyone sends, the host
+            // the agent left has already recovered, so the send phase sees
+            // exactly `f` faulty processes and no cured ones (Lemma 4).
+            MobileModel::Buhrman => (placement, ProcessSet::empty(self.n)),
+            // Agents move between rounds: whoever hosted an agent last round
+            // and no longer does is cured this round.
+            MobileModel::Garay | MobileModel::Bonnet | MobileModel::Sasaki => {
+                let cured = match previous {
+                    None => ProcessSet::empty(self.n),
+                    Some(prev) => prev.intersection(&placement.complement()),
+                };
+                (placement, cured)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbaa_types::{Interval, ProcessId, Round};
+
+    fn make_view(round: u64, votes: &[Value]) -> AdversaryView<'_> {
+        AdversaryView {
+            round: Round::new(round),
+            votes,
+            correct_range: Interval::hull(votes.iter().copied()).unwrap(),
+        }
+    }
+
+    fn adversary(model: MobileModel, n: usize, f: usize) -> MobileAdversary {
+        MobileAdversary::new(
+            model,
+            n,
+            f,
+            MobilityStrategy::RoundRobin,
+            CorruptionStrategy::split_attack(),
+            7,
+        )
+    }
+
+    #[test]
+    fn first_round_has_no_cured_processes() {
+        let votes: Vec<Value> = (0..9).map(|i| Value::new(i as f64)).collect();
+        for model in MobileModel::ALL {
+            let mut adv = adversary(model, 9, 2);
+            let plan = adv.begin_round(&make_view(0, &votes));
+            assert_eq!(plan.faulty.len(), 2, "{model}");
+            assert!(plan.cured.is_empty(), "{model}");
+            assert_eq!(plan.universe(), 9);
+        }
+    }
+
+    #[test]
+    fn subsequent_rounds_produce_cured_processes_in_between_round_models() {
+        let votes: Vec<Value> = (0..9).map(|i| Value::new(i as f64)).collect();
+        for model in [MobileModel::Garay, MobileModel::Bonnet, MobileModel::Sasaki] {
+            let mut adv = adversary(model, 9, 2);
+            adv.begin_round(&make_view(0, &votes));
+            let plan = adv.begin_round(&make_view(1, &votes));
+            assert_eq!(plan.faulty.len(), 2, "{model}");
+            // Round-robin moved both agents, so both vacated hosts are cured.
+            assert_eq!(plan.cured.len(), 2, "{model}");
+            assert!(plan.faulty.is_disjoint(&plan.cured), "{model}");
+        }
+    }
+
+    #[test]
+    fn buhrman_never_has_cured_processes() {
+        let votes: Vec<Value> = (0..7).map(|i| Value::new(i as f64)).collect();
+        let mut adv = adversary(MobileModel::Buhrman, 7, 2);
+        for round in 0..5 {
+            let plan = adv.begin_round(&make_view(round, &votes));
+            assert_eq!(plan.faulty.len(), 2);
+            assert!(plan.cured.is_empty());
+        }
+    }
+
+    #[test]
+    fn faulty_processes_get_outboxes_cured_get_states() {
+        let votes: Vec<Value> = (0..9).map(|i| Value::new(i as f64)).collect();
+        let mut adv = adversary(MobileModel::Bonnet, 9, 2);
+        adv.begin_round(&make_view(0, &votes));
+        let plan = adv.begin_round(&make_view(1, &votes));
+
+        for p in plan.faulty.iter() {
+            assert!(plan.faulty_outboxes[p.index()].is_some());
+        }
+        for p in plan.cured.iter() {
+            assert!(plan.corrupted_states[p.index()].is_some());
+            // Bonnet cured processes have no poisoned queue.
+            assert!(plan.poisoned_outboxes[p.index()].is_none());
+        }
+        // Non-faulty processes have no adversary-made outbox.
+        for p in plan.faulty.complement().iter() {
+            assert!(plan.faulty_outboxes[p.index()].is_none());
+        }
+    }
+
+    #[test]
+    fn sasaki_cured_processes_get_poisoned_queues() {
+        let votes: Vec<Value> = (0..13).map(|i| Value::new(i as f64)).collect();
+        let mut adv = adversary(MobileModel::Sasaki, 13, 2);
+        adv.begin_round(&make_view(0, &votes));
+        let plan = adv.begin_round(&make_view(1, &votes));
+        assert!(!plan.cured.is_empty());
+        for p in plan.cured.iter() {
+            assert!(plan.poisoned_outboxes[p.index()].is_some());
+        }
+    }
+
+    #[test]
+    fn stationary_mobility_keeps_processes_faulty_with_no_cured() {
+        let votes: Vec<Value> = (0..9).map(|i| Value::new(i as f64)).collect();
+        let mut adv = MobileAdversary::new(
+            MobileModel::Garay,
+            9,
+            2,
+            MobilityStrategy::Stationary,
+            CorruptionStrategy::split_attack(),
+            3,
+        );
+        let first = adv.begin_round(&make_view(0, &votes));
+        let second = adv.begin_round(&make_view(1, &votes));
+        assert_eq!(first.faulty, second.faulty);
+        assert!(second.cured.is_empty());
+    }
+
+    #[test]
+    fn agent_count_is_clamped_to_universe() {
+        let votes: Vec<Value> = (0..3).map(|i| Value::new(i as f64)).collect();
+        let mut adv = adversary(MobileModel::Garay, 3, 10);
+        assert_eq!(adv.agents(), 3);
+        let plan = adv.begin_round(&make_view(0, &votes));
+        assert_eq!(plan.faulty.len(), 3);
+    }
+
+    #[test]
+    fn occupied_tracks_latest_placement() {
+        let votes: Vec<Value> = (0..6).map(|i| Value::new(i as f64)).collect();
+        let mut adv = adversary(MobileModel::Garay, 6, 1);
+        assert!(adv.occupied().is_none());
+        let plan = adv.begin_round(&make_view(0, &votes));
+        assert_eq!(adv.occupied(), Some(&plan.faulty));
+        assert_eq!(adv.model(), MobileModel::Garay);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let votes: Vec<Value> = (0..9).map(|i| Value::new(i as f64)).collect();
+        let run = |seed| {
+            let mut adv = MobileAdversary::new(
+                MobileModel::Sasaki,
+                9,
+                2,
+                MobilityStrategy::Random,
+                CorruptionStrategy::RandomNoise { lo: -5.0, hi: 5.0 },
+                seed,
+            );
+            let mut sets = Vec::new();
+            for round in 0..4 {
+                let plan = adv.begin_round(&make_view(round, &votes));
+                sets.push((plan.faulty, plan.cured));
+            }
+            sets
+        };
+        assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_panics() {
+        let _ = adversary(MobileModel::Garay, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "configured for")]
+    fn mismatched_view_panics() {
+        let votes: Vec<Value> = (0..4).map(|i| Value::new(i as f64)).collect();
+        let mut adv = adversary(MobileModel::Garay, 9, 2);
+        let _ = adv.begin_round(&make_view(0, &votes));
+    }
+
+    #[test]
+    fn targeted_mobility_hits_extreme_processes() {
+        let votes = vec![
+            Value::new(0.0),
+            Value::new(100.0),
+            Value::new(1.0),
+            Value::new(-50.0),
+            Value::new(2.0),
+        ];
+        let mut adv = MobileAdversary::new(
+            MobileModel::Buhrman,
+            5,
+            1,
+            MobilityStrategy::TargetExtremes,
+            CorruptionStrategy::split_attack(),
+            0,
+        );
+        let plan = adv.begin_round(&make_view(0, &votes));
+        assert!(plan.faulty.contains(ProcessId::new(1)));
+    }
+}

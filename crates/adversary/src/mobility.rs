@@ -1,0 +1,310 @@
+//! Agent placement strategies: where the `f` agents sit each round.
+
+use std::fmt;
+
+use rand::seq::index::sample;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use mbaa_types::{ProcessId, ProcessSet};
+
+use crate::AdversaryView;
+
+/// A strategy deciding which processes the `f` mobile agents occupy in a
+/// given round.
+///
+/// All strategies return exactly `min(f, n)` distinct processes. They differ
+/// in how adversarial the placement is:
+///
+/// * [`MobilityStrategy::Stationary`] never moves the agents — the mobile
+///   model degenerates to static Byzantine faults (a useful control in the
+///   ablation experiments).
+/// * [`MobilityStrategy::RoundRobin`] slides the agent block by `f`
+///   positions every round, so every process is hit regularly and the number
+///   of cured processes is always `f`.
+/// * [`MobilityStrategy::Random`] picks `f` fresh processes uniformly at
+///   random every round.
+/// * [`MobilityStrategy::TargetExtremes`] occupies the non-faulty processes
+///   whose votes are currently the extreme ones — the most damaging choice,
+///   since it corrupts exactly the states that anchor the correct range and
+///   maximises the cured fallout next round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MobilityStrategy {
+    /// Agents stay where they started.
+    Stationary,
+    /// Agents slide over the ring of processes by `f` positions per round.
+    RoundRobin,
+    /// Agents jump to uniformly random distinct processes every round.
+    Random,
+    /// Agents occupy the processes holding the currently most extreme votes.
+    TargetExtremes,
+    /// Agents sweep over the ring one position at a time, maximising the
+    /// number of distinct processes that are cured at least once over a
+    /// window of rounds (the "slow contagion" pattern).
+    Sweep,
+    /// Agents occupy the processes holding the most *central* votes —
+    /// an attack on median-style voting rules.
+    TargetMedian,
+}
+
+impl MobilityStrategy {
+    /// All strategies, for ablation sweeps.
+    pub const ALL: [MobilityStrategy; 6] = [
+        MobilityStrategy::Stationary,
+        MobilityStrategy::RoundRobin,
+        MobilityStrategy::Random,
+        MobilityStrategy::TargetExtremes,
+        MobilityStrategy::Sweep,
+        MobilityStrategy::TargetMedian,
+    ];
+
+    /// Chooses the set of processes occupied this round.
+    ///
+    /// `previous` is the set occupied in the previous round (`None` before
+    /// the first placement). The result always has `min(f, n)` members.
+    #[must_use]
+    pub fn place<R: Rng + ?Sized>(
+        &self,
+        view: &AdversaryView<'_>,
+        f: usize,
+        previous: Option<&ProcessSet>,
+        rng: &mut R,
+    ) -> ProcessSet {
+        let n = view.universe();
+        let f = f.min(n);
+        if f == 0 {
+            return ProcessSet::empty(n);
+        }
+        match self {
+            MobilityStrategy::Stationary => match previous {
+                Some(prev) if prev.len() == f => prev.clone(),
+                _ => ProcessSet::from_indices(n, 0..f),
+            },
+            MobilityStrategy::RoundRobin => {
+                let shift = (view.round.index() as usize).wrapping_mul(f) % n;
+                ProcessSet::from_indices(n, (0..f).map(|i| (shift + i) % n))
+            }
+            MobilityStrategy::Random => {
+                let chosen = sample(rng, n, f);
+                ProcessSet::from_indices(n, chosen.iter())
+            }
+            MobilityStrategy::TargetExtremes => {
+                // Sort processes by vote and alternately pick from the two
+                // ends: the agents swallow the extreme-most *currently
+                // non-faulty* states.
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&a, &b| view.votes[a].cmp(&view.votes[b]));
+                let mut picked = ProcessSet::empty(n);
+                let mut lo = 0usize;
+                let mut hi = n - 1;
+                for k in 0..f {
+                    let idx = if k % 2 == 0 {
+                        let i = order[hi];
+                        hi = hi.saturating_sub(1);
+                        i
+                    } else {
+                        let i = order[lo];
+                        lo += 1;
+                        i
+                    };
+                    picked.insert(ProcessId::new(idx));
+                }
+                picked
+            }
+            MobilityStrategy::Sweep => {
+                let shift = (view.round.index() as usize) % n;
+                ProcessSet::from_indices(n, (0..f).map(|i| (shift + i) % n))
+            }
+            MobilityStrategy::TargetMedian => {
+                // Sort processes by vote and occupy the ones closest to the
+                // median, working outwards.
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&a, &b| view.votes[a].cmp(&view.votes[b]));
+                let mid = n / 2;
+                let mut picked = ProcessSet::empty(n);
+                let mut offset = 0usize;
+                while picked.len() < f {
+                    let below = mid.checked_sub(offset);
+                    let above = mid + offset;
+                    if offset > 0 {
+                        if let Some(b) = below {
+                            if picked.len() < f {
+                                picked.insert(ProcessId::new(order[b]));
+                            }
+                        }
+                    }
+                    if above < n && picked.len() < f {
+                        picked.insert(ProcessId::new(order[above]));
+                    }
+                    offset += 1;
+                }
+                picked
+            }
+        }
+    }
+}
+
+impl Default for MobilityStrategy {
+    fn default() -> Self {
+        MobilityStrategy::RoundRobin
+    }
+}
+
+impl fmt::Display for MobilityStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MobilityStrategy::Stationary => "stationary",
+            MobilityStrategy::RoundRobin => "round-robin",
+            MobilityStrategy::Random => "random",
+            MobilityStrategy::TargetExtremes => "target-extremes",
+            MobilityStrategy::Sweep => "sweep",
+            MobilityStrategy::TargetMedian => "target-median",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbaa_types::{Interval, Round, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn view(round: u64, votes: &[Value]) -> AdversaryView<'_> {
+        AdversaryView {
+            round: Round::new(round),
+            votes,
+            correct_range: Interval::hull(votes.iter().copied()).unwrap(),
+        }
+    }
+
+    fn votes(n: usize) -> Vec<Value> {
+        (0..n).map(|i| Value::new(i as f64)).collect()
+    }
+
+    #[test]
+    fn placements_have_exactly_f_members() {
+        let votes = votes(7);
+        let mut rng = StdRng::seed_from_u64(0);
+        for strategy in MobilityStrategy::ALL {
+            for round in 0..5 {
+                let v = view(round, &votes);
+                let set = strategy.place(&v, 3, None, &mut rng);
+                assert_eq!(set.len(), 3, "{strategy} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_agents_yield_empty_placement() {
+        let votes = votes(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let v = view(0, &votes);
+        assert!(MobilityStrategy::Random.place(&v, 0, None, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn f_larger_than_n_is_clamped() {
+        let votes = votes(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let v = view(0, &votes);
+        let set = MobilityStrategy::RoundRobin.place(&v, 10, None, &mut rng);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn stationary_keeps_previous_placement() {
+        let votes = votes(6);
+        let mut rng = StdRng::seed_from_u64(0);
+        let v0 = view(0, &votes);
+        let first = MobilityStrategy::Stationary.place(&v0, 2, None, &mut rng);
+        let v1 = view(1, &votes);
+        let second = MobilityStrategy::Stationary.place(&v1, 2, Some(&first), &mut rng);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn round_robin_moves_every_round() {
+        let votes = votes(6);
+        let mut rng = StdRng::seed_from_u64(0);
+        let placements: Vec<ProcessSet> = (0..3)
+            .map(|r| MobilityStrategy::RoundRobin.place(&view(r, &votes), 2, None, &mut rng))
+            .collect();
+        assert_eq!(placements[0], ProcessSet::from_indices(6, [0, 1]));
+        assert_eq!(placements[1], ProcessSet::from_indices(6, [2, 3]));
+        assert_eq!(placements[2], ProcessSet::from_indices(6, [4, 5]));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let votes = votes(9);
+        let place = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            MobilityStrategy::Random.place(&view(4, &votes), 3, None, &mut rng)
+        };
+        assert_eq!(place(5), place(5));
+    }
+
+    #[test]
+    fn target_extremes_occupies_extreme_votes() {
+        let votes = vec![
+            Value::new(5.0),
+            Value::new(-10.0),
+            Value::new(0.0),
+            Value::new(42.0),
+            Value::new(1.0),
+        ];
+        let mut rng = StdRng::seed_from_u64(0);
+        let set = MobilityStrategy::TargetExtremes.place(&view(0, &votes), 2, None, &mut rng);
+        // Picks the max (p3, vote 42) first, then the min (p1, vote -10).
+        assert!(set.contains(ProcessId::new(3)));
+        assert!(set.contains(ProcessId::new(1)));
+    }
+
+    #[test]
+    fn display_and_default() {
+        assert_eq!(MobilityStrategy::default(), MobilityStrategy::RoundRobin);
+        assert_eq!(MobilityStrategy::TargetExtremes.to_string(), "target-extremes");
+        assert_eq!(MobilityStrategy::Sweep.to_string(), "sweep");
+        assert_eq!(MobilityStrategy::TargetMedian.to_string(), "target-median");
+    }
+
+    #[test]
+    fn sweep_moves_one_position_per_round() {
+        let votes = votes(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let placements: Vec<ProcessSet> = (0..3)
+            .map(|r| MobilityStrategy::Sweep.place(&view(r, &votes), 2, None, &mut rng))
+            .collect();
+        assert_eq!(placements[0], ProcessSet::from_indices(5, [0, 1]));
+        assert_eq!(placements[1], ProcessSet::from_indices(5, [1, 2]));
+        assert_eq!(placements[2], ProcessSet::from_indices(5, [2, 3]));
+    }
+
+    #[test]
+    fn target_median_occupies_central_votes() {
+        let votes = vec![
+            Value::new(100.0),
+            Value::new(0.0),
+            Value::new(50.0),
+            Value::new(-100.0),
+            Value::new(49.0),
+        ];
+        let mut rng = StdRng::seed_from_u64(0);
+        let set = MobilityStrategy::TargetMedian.place(&view(0, &votes), 2, None, &mut rng);
+        // Median-most votes are 49.0 (p4) and 50.0 (p2) — with 0.0 (p1) the
+        // next candidate; the extreme holders p0 and p3 must not be chosen.
+        assert_eq!(set.len(), 2);
+        assert!(!set.contains(ProcessId::new(0)));
+        assert!(!set.contains(ProcessId::new(3)));
+    }
+
+    #[test]
+    fn target_median_handles_f_equal_n() {
+        let votes = votes(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let set = MobilityStrategy::TargetMedian.place(&view(0, &votes), 3, None, &mut rng);
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,46 @@
+//! The adversary's (omniscient) view of the system state.
+
+use mbaa_types::{Interval, Round, Value};
+
+/// Everything the adversary is allowed to see when planning a round.
+///
+/// Mobile Byzantine agents are computationally unbounded and the adversary
+/// is assumed to know the full system state, so the view exposes every
+/// process' current vote and the range of the non-faulty votes. Strategies
+/// are free to ignore parts of it.
+#[derive(Debug, Clone, Copy)]
+pub struct AdversaryView<'a> {
+    /// The round about to be executed.
+    pub round: Round,
+    /// The current internal value of every process (indexed by process).
+    pub votes: &'a [Value],
+    /// The range spanned by the votes of the processes that are currently
+    /// non-faulty — the interval the adversary wants to keep wide.
+    pub correct_range: Interval,
+}
+
+impl<'a> AdversaryView<'a> {
+    /// The number of processes in the system.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.votes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_reports_universe() {
+        let votes = vec![Value::new(0.0), Value::new(1.0), Value::new(2.0)];
+        let view = AdversaryView {
+            round: Round::new(3),
+            votes: &votes,
+            correct_range: Interval::new(Value::new(0.0), Value::new(2.0)),
+        };
+        assert_eq!(view.universe(), 3);
+        assert_eq!(view.round, Round::new(3));
+        assert_eq!(view.correct_range.diameter(), 2.0);
+    }
+}

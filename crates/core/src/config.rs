@@ -1,0 +1,311 @@
+//! Protocol configuration and its builder.
+
+use serde::{Deserialize, Serialize};
+
+use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
+use mbaa_msr::MsrFunction;
+use mbaa_types::{Epsilon, Error, MobileModel, Result};
+
+/// The complete, validated configuration of one protocol execution.
+///
+/// Use [`ProtocolConfig::builder`] to assemble one; the builder checks the
+/// model's resilience bound `n > n_Mi` unless the caller explicitly opts out
+/// (which the lower-bound experiments do).
+///
+/// # Example
+///
+/// ```
+/// use mbaa_core::ProtocolConfig;
+/// use mbaa_types::MobileModel;
+///
+/// let config = ProtocolConfig::builder(MobileModel::Bonnet, 11, 2)
+///     .epsilon(1e-3)
+///     .max_rounds(200)
+///     .build()?;
+/// assert_eq!(config.n, 11);
+/// # Ok::<(), mbaa_types::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// The mobile Byzantine model under which the protocol runs.
+    pub model: MobileModel,
+    /// The number of processes.
+    pub n: usize,
+    /// The number of mobile Byzantine agents.
+    pub f: usize,
+    /// The agreement tolerance.
+    pub epsilon: Epsilon,
+    /// The maximum number of rounds the engine will execute.
+    pub max_rounds: usize,
+    /// The agent placement strategy.
+    pub mobility: MobilityStrategy,
+    /// The value corruption strategy.
+    pub corruption: CorruptionStrategy,
+    /// The MSR instance run by non-faulty processes.
+    pub function: MsrFunction,
+    /// Seed of all adversarial randomness.
+    pub seed: u64,
+    /// Whether the configuration was allowed to violate the model's bound.
+    pub bound_violation_allowed: bool,
+}
+
+impl ProtocolConfig {
+    /// Starts building a configuration for `n` processes and `f` agents
+    /// under `model`.
+    #[must_use]
+    pub fn builder(model: MobileModel, n: usize, f: usize) -> ProtocolConfigBuilder {
+        ProtocolConfigBuilder::new(model, n, f)
+    }
+
+    /// Returns `true` when the configuration satisfies the model's replica
+    /// requirement `n > n_Mi` (Table 2).
+    #[must_use]
+    pub fn satisfies_bound(&self) -> bool {
+        self.n >= self.model.required_processes(self.f)
+    }
+
+    /// The reduction parameter τ the configured MSR function uses.
+    #[must_use]
+    pub fn tau(&self) -> usize {
+        self.function.reduction().tau()
+    }
+}
+
+/// Builder for [`ProtocolConfig`].
+#[derive(Debug, Clone)]
+pub struct ProtocolConfigBuilder {
+    model: MobileModel,
+    n: usize,
+    f: usize,
+    epsilon: Epsilon,
+    max_rounds: usize,
+    mobility: MobilityStrategy,
+    corruption: CorruptionStrategy,
+    function: Option<MsrFunction>,
+    seed: u64,
+    allow_bound_violation: bool,
+}
+
+impl ProtocolConfigBuilder {
+    fn new(model: MobileModel, n: usize, f: usize) -> Self {
+        ProtocolConfigBuilder {
+            model,
+            n,
+            f,
+            epsilon: Epsilon::new(1e-6),
+            max_rounds: 1_000,
+            mobility: MobilityStrategy::default(),
+            corruption: CorruptionStrategy::default(),
+            function: None,
+            seed: 0,
+            allow_bound_violation: false,
+        }
+    }
+
+    /// Sets the agreement tolerance ε.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not finite and strictly positive.
+    #[must_use]
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = Epsilon::new(epsilon);
+        self
+    }
+
+    /// Sets the maximum number of rounds (default 1000).
+    #[must_use]
+    pub fn max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the agent placement strategy (default round-robin).
+    #[must_use]
+    pub fn mobility(mut self, mobility: MobilityStrategy) -> Self {
+        self.mobility = mobility;
+        self
+    }
+
+    /// Sets the value corruption strategy (default split attack).
+    #[must_use]
+    pub fn corruption(mut self, corruption: CorruptionStrategy) -> Self {
+        self.corruption = corruption;
+        self
+    }
+
+    /// Sets the MSR instance explicitly. By default the builder picks
+    /// [`MsrFunction::for_fault_counts`] with the model's mapped fault
+    /// counts (Lemmas 1–4), which is the instance the paper analyses.
+    #[must_use]
+    pub fn function(mut self, function: MsrFunction) -> Self {
+        self.function = Some(function);
+        self
+    }
+
+    /// Sets the adversary seed (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Allows configurations with `n <= n_Mi`, which the model cannot
+    /// tolerate — used by the lower-bound and threshold experiments.
+    #[must_use]
+    pub fn allow_bound_violation(mut self) -> Self {
+        self.allow_bound_violation = true;
+        self
+    }
+
+    /// Validates the parameters and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidParameter`] when `n == 0`, `f == 0` and the
+    ///   corruption strategy is meaningless, or `max_rounds == 0`.
+    /// * [`Error::InsufficientProcesses`] when `n <= n_Mi` and bound
+    ///   violations were not explicitly allowed.
+    pub fn build(self) -> Result<ProtocolConfig> {
+        if self.n == 0 {
+            return Err(Error::InvalidParameter("n must be at least 1".into()));
+        }
+        if self.max_rounds == 0 {
+            return Err(Error::InvalidParameter("max_rounds must be at least 1".into()));
+        }
+        if self.f > self.n {
+            return Err(Error::InvalidParameter(format!(
+                "f={} agents cannot occupy more than n={} processes",
+                self.f, self.n
+            )));
+        }
+        let required = self.model.required_processes(self.f);
+        let satisfies = self.n >= required;
+        if !satisfies && !self.allow_bound_violation {
+            return Err(Error::InsufficientProcesses {
+                model: self.model,
+                n: self.n,
+                f: self.f,
+                required,
+            });
+        }
+        let function = self
+            .function
+            .unwrap_or_else(|| MsrFunction::for_fault_counts(self.model.mixed_fault_counts(self.f)));
+        Ok(ProtocolConfig {
+            model: self.model,
+            n: self.n,
+            f: self.f,
+            epsilon: self.epsilon,
+            max_rounds: self.max_rounds,
+            mobility: self.mobility,
+            corruption: self.corruption,
+            function,
+            seed: self.seed,
+            bound_violation_allowed: self.allow_bound_violation,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbaa_types::FaultCounts;
+
+    #[test]
+    fn builder_defaults_are_sensible() {
+        let config = ProtocolConfig::builder(MobileModel::Garay, 9, 2).build().unwrap();
+        assert_eq!(config.model, MobileModel::Garay);
+        assert_eq!(config.n, 9);
+        assert_eq!(config.f, 2);
+        assert!(config.satisfies_bound());
+        assert_eq!(config.max_rounds, 1_000);
+        // Default MSR instance uses the mapped fault counts: a=2, b=2 → τ=2.
+        assert_eq!(config.tau(), FaultCounts::new(2, 0, 2).reduction_tau());
+        assert!(!config.bound_violation_allowed);
+    }
+
+    #[test]
+    fn bound_violation_rejected_by_default() {
+        let err = ProtocolConfig::builder(MobileModel::Garay, 8, 2).build().unwrap_err();
+        assert!(matches!(
+            err,
+            Error::InsufficientProcesses { required: 9, n: 8, f: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn bound_violation_allowed_when_requested() {
+        let config = ProtocolConfig::builder(MobileModel::Sasaki, 6, 1)
+            .allow_bound_violation()
+            .build()
+            .unwrap();
+        assert!(!config.satisfies_bound());
+        assert!(config.bound_violation_allowed);
+    }
+
+    #[test]
+    fn per_model_required_processes_enforced() {
+        // Smallest legal n per model for f = 1 (Table 2).
+        for (model, min_n) in [
+            (MobileModel::Garay, 5),
+            (MobileModel::Bonnet, 6),
+            (MobileModel::Sasaki, 7),
+            (MobileModel::Buhrman, 4),
+        ] {
+            assert!(ProtocolConfig::builder(model, min_n, 1).build().is_ok());
+            assert!(ProtocolConfig::builder(model, min_n - 1, 1).build().is_err());
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(matches!(
+            ProtocolConfig::builder(MobileModel::Buhrman, 0, 0).build(),
+            Err(Error::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            ProtocolConfig::builder(MobileModel::Buhrman, 4, 1).max_rounds(0).build(),
+            Err(Error::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            ProtocolConfig::builder(MobileModel::Buhrman, 4, 5)
+                .allow_bound_violation()
+                .build(),
+            Err(Error::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn explicit_function_overrides_default() {
+        let config = ProtocolConfig::builder(MobileModel::Buhrman, 7, 2)
+            .function(MsrFunction::fault_tolerant_midpoint(2))
+            .build()
+            .unwrap();
+        assert_eq!(config.function, MsrFunction::fault_tolerant_midpoint(2));
+    }
+
+    #[test]
+    fn custom_knobs_are_kept() {
+        let config = ProtocolConfig::builder(MobileModel::Bonnet, 11, 2)
+            .epsilon(0.25)
+            .max_rounds(17)
+            .mobility(MobilityStrategy::Random)
+            .corruption(CorruptionStrategy::BoundaryDrag)
+            .seed(99)
+            .build()
+            .unwrap();
+        assert_eq!(config.epsilon.get(), 0.25);
+        assert_eq!(config.max_rounds, 17);
+        assert_eq!(config.mobility, MobilityStrategy::Random);
+        assert_eq!(config.corruption, CorruptionStrategy::BoundaryDrag);
+        assert_eq!(config.seed, 99);
+    }
+
+    #[test]
+    fn zero_agents_is_a_legal_configuration() {
+        let config = ProtocolConfig::builder(MobileModel::Garay, 3, 0).build().unwrap();
+        assert!(config.satisfies_bound());
+        assert_eq!(config.tau(), 0);
+    }
+}

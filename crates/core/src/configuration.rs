@@ -1,0 +1,278 @@
+//! Configurations and their equivalence (Definitions 5–10 of the paper).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use mbaa_types::{FaultState, Interval, ProcessId, ProcessSet, Value, ValueMultiset};
+
+/// The state of one process in a configuration: its failure state and the
+/// value it proposes in the next round (Definition 5's
+/// 〈failure state, proposing value〉 tuple).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessTuple {
+    /// The failure state of the process at this round.
+    pub state: FaultState,
+    /// The value the process will propose (meaningless for faulty
+    /// processes, whose messages the adversary controls anyway).
+    pub value: Value,
+}
+
+/// A configuration `C_r`: one [`ProcessTuple`] per process (Definition 5).
+///
+/// Configurations are snapshots taken at round boundaries; the engine
+/// records one per executed round so analyses (and the mobile-vs-static
+/// equivalence experiment) can inspect the whole computation.
+///
+/// # Example
+///
+/// ```
+/// use mbaa_core::Configuration;
+/// use mbaa_types::{FaultState, Value};
+///
+/// let config = Configuration::new(vec![
+///     (FaultState::Correct, Value::new(0.1)),
+///     (FaultState::Faulty, Value::new(9.9)),
+///     (FaultState::Cured, Value::new(0.4)),
+///     (FaultState::Correct, Value::new(0.3)),
+/// ]);
+/// assert_eq!(config.correct_set().len(), 2);
+/// assert_eq!(config.non_faulty_values().len(), 3);
+/// assert!(config.correct_values().diameter() < 0.3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Configuration {
+    tuples: Vec<ProcessTuple>,
+}
+
+impl Configuration {
+    /// Creates a configuration from `(state, value)` pairs, one per process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tuples` is empty.
+    #[must_use]
+    pub fn new(tuples: Vec<(FaultState, Value)>) -> Self {
+        assert!(!tuples.is_empty(), "configuration needs at least one process");
+        Configuration {
+            tuples: tuples
+                .into_iter()
+                .map(|(state, value)| ProcessTuple { state, value })
+                .collect(),
+        }
+    }
+
+    /// The number of processes.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// The tuple of process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the universe.
+    #[must_use]
+    pub fn tuple(&self, p: ProcessId) -> ProcessTuple {
+        self.tuples[p.index()]
+    }
+
+    /// Iterates over `(process, tuple)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, ProcessTuple)> + '_ {
+        self.tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ProcessId::new(i), *t))
+    }
+
+    /// The set of processes in the given failure state.
+    #[must_use]
+    pub fn set_in_state(&self, state: FaultState) -> ProcessSet {
+        ProcessSet::from_indices(
+            self.universe(),
+            self.tuples
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| (t.state == state).then_some(i)),
+        )
+    }
+
+    /// The set of correct processes.
+    #[must_use]
+    pub fn correct_set(&self) -> ProcessSet {
+        self.set_in_state(FaultState::Correct)
+    }
+
+    /// The set of cured processes.
+    #[must_use]
+    pub fn cured_set(&self) -> ProcessSet {
+        self.set_in_state(FaultState::Cured)
+    }
+
+    /// The set of faulty processes.
+    #[must_use]
+    pub fn faulty_set(&self) -> ProcessSet {
+        self.set_in_state(FaultState::Faulty)
+    }
+
+    /// The multiset of values proposed by *correct* processes.
+    #[must_use]
+    pub fn correct_values(&self) -> ValueMultiset {
+        self.tuples
+            .iter()
+            .filter(|t| t.state.is_correct())
+            .map(|t| t.value)
+            .collect()
+    }
+
+    /// The multiset of values held by *non-faulty* (correct or cured)
+    /// processes — the multiset `U` the agreement properties quantify over.
+    #[must_use]
+    pub fn non_faulty_values(&self) -> ValueMultiset {
+        self.tuples
+            .iter()
+            .filter(|t| t.state.is_non_faulty())
+            .map(|t| t.value)
+            .collect()
+    }
+
+    /// The range of the correct processes' values, or `None` when no process
+    /// is correct.
+    #[must_use]
+    pub fn correct_range(&self) -> Option<Interval> {
+        self.correct_values().range()
+    }
+
+    /// The diameter of the correct processes' values.
+    #[must_use]
+    pub fn correct_diameter(&self) -> f64 {
+        self.correct_values().diameter()
+    }
+
+    /// The number of correct tuples whose value lies inside `envelope` —
+    /// the count of 〈correct, correct value〉 tuples used by the
+    /// configuration-equivalence definition (Definition 9).
+    #[must_use]
+    pub fn correct_tuples_within(&self, envelope: &Interval) -> usize {
+        self.tuples
+            .iter()
+            .filter(|t| t.state.is_correct() && envelope.contains(t.value))
+            .count()
+    }
+
+    /// Configuration equivalence in the sense of Definition 9, relative to a
+    /// validity envelope: `self` is equivalent to `other` when both have the
+    /// same universe, the same multiset of correct values would be produced
+    /// (here: identical correct-value ranges), and `self` has at least as
+    /// many 〈correct, in-envelope value〉 tuples as `other`.
+    #[must_use]
+    pub fn is_equivalent_to(&self, other: &Configuration, envelope: &Interval) -> bool {
+        self.universe() == other.universe()
+            && self.correct_tuples_within(envelope) >= other.correct_tuples_within(envelope)
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={}, correct={}, cured={}, faulty={}, δ(correct)={}",
+            self.universe(),
+            self.correct_set().len(),
+            self.cured_set().len(),
+            self.faulty_set().len(),
+            self.correct_diameter()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Configuration {
+        Configuration::new(vec![
+            (FaultState::Correct, Value::new(0.0)),
+            (FaultState::Correct, Value::new(1.0)),
+            (FaultState::Cured, Value::new(5.0)),
+            (FaultState::Faulty, Value::new(99.0)),
+        ])
+    }
+
+    #[test]
+    fn sets_partition_the_universe() {
+        let c = sample();
+        assert_eq!(c.universe(), 4);
+        assert_eq!(c.correct_set().len(), 2);
+        assert_eq!(c.cured_set().len(), 1);
+        assert_eq!(c.faulty_set().len(), 1);
+        let all = c
+            .correct_set()
+            .union(&c.cured_set())
+            .union(&c.faulty_set());
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn value_multisets() {
+        let c = sample();
+        assert_eq!(c.correct_values().len(), 2);
+        assert_eq!(c.correct_diameter(), 1.0);
+        assert_eq!(c.non_faulty_values().len(), 3);
+        assert_eq!(c.non_faulty_values().max(), Some(Value::new(5.0)));
+        let range = c.correct_range().unwrap();
+        assert_eq!(range.lo(), Value::new(0.0));
+        assert_eq!(range.hi(), Value::new(1.0));
+    }
+
+    #[test]
+    fn tuple_accessor_and_iteration() {
+        let c = sample();
+        let t = c.tuple(ProcessId::new(3));
+        assert_eq!(t.state, FaultState::Faulty);
+        assert_eq!(t.value, Value::new(99.0));
+        assert_eq!(c.iter().count(), 4);
+    }
+
+    #[test]
+    fn equivalence_counts_in_envelope_correct_tuples() {
+        let envelope = Interval::new(Value::new(0.0), Value::new(1.0));
+        let mobile = sample();
+        // A static image with the same number of correct in-envelope tuples.
+        let static_image = Configuration::new(vec![
+            (FaultState::Correct, Value::new(0.2)),
+            (FaultState::Correct, Value::new(0.9)),
+            (FaultState::Faulty, Value::new(7.0)),
+            (FaultState::Faulty, Value::new(-7.0)),
+        ]);
+        assert_eq!(mobile.correct_tuples_within(&envelope), 2);
+        assert!(mobile.is_equivalent_to(&static_image, &envelope));
+
+        // An image with more correct tuples is not dominated by the mobile one.
+        let richer = Configuration::new(vec![
+            (FaultState::Correct, Value::new(0.2)),
+            (FaultState::Correct, Value::new(0.4)),
+            (FaultState::Correct, Value::new(0.9)),
+            (FaultState::Faulty, Value::new(7.0)),
+        ]);
+        assert!(!mobile.is_equivalent_to(&richer, &envelope));
+        // Universes must match.
+        let smaller = Configuration::new(vec![(FaultState::Correct, Value::new(0.5))]);
+        assert!(!mobile.is_equivalent_to(&smaller, &envelope));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_configuration_panics() {
+        let _ = Configuration::new(vec![]);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let c = sample();
+        let s = c.to_string();
+        assert!(s.contains("correct=2"));
+        assert!(s.contains("faulty=1"));
+    }
+}

@@ -1,0 +1,348 @@
+//! The lower-bound constructions of Theorems 3–6, executable.
+//!
+//! Each theorem shows that no algorithm solves *Simple Approximate
+//! Agreement* (Fischer–Lynch–Merritt) when `n ≤ c·f` for the model's
+//! multiplier `c`, by exhibiting three executions:
+//!
+//! * **E1** — the correct processes all propose 0; agreement and validity
+//!   force every non-faulty process to choose 0.
+//! * **E2** — the correct processes all propose 1; they must choose 1.
+//! * **E3** — the correct processes are split between 0 and 1 and the
+//!   Byzantine agent sends 0 to one half and 1 to the other. Each half
+//!   gathers a multiset *identical* to the one it gathered in E1 (resp. E2),
+//!   so a deterministic algorithm must answer 0 (resp. 1) — but then two
+//!   correct processes choose values a full input-spread apart, violating
+//!   agreement.
+//!
+//! [`LowerBoundScenario::for_model`] builds the three executions' multisets
+//! for each model at exactly `n = c·f` processes, and
+//! [`LowerBoundScenario::evaluate`] runs a concrete deterministic voting
+//! function over them, reporting which property breaks. The indistinguishable
+//! multisets are what make the argument model-specific: Garay's silent cured
+//! processes shrink the multisets, Bonnet's unaware cured processes inject a
+//! symmetric wrong value, Sasaki's poisoned queues double the number of
+//! asymmetric actors, and Buhrman reduces to the classic `3f` scenario.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use mbaa_msr::VotingFunction;
+use mbaa_types::{MobileModel, Value, ValueMultiset};
+
+/// The multisets gathered by the representative correct processes in the
+/// three executions of a lower-bound proof.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LowerBoundScenario {
+    /// The model whose bound is being demonstrated.
+    pub model: MobileModel,
+    /// The number of agents `f`.
+    pub f: usize,
+    /// The number of processes, exactly `c·f` (the largest impossible `n`).
+    pub n: usize,
+    /// The multiset every non-faulty process gathers in execution E1.
+    pub e1: ValueMultiset,
+    /// The multiset every non-faulty process gathers in execution E2.
+    pub e2: ValueMultiset,
+    /// The multiset gathered in E3 by the group that also saw `e1`.
+    pub e3_low_group: ValueMultiset,
+    /// The multiset gathered in E3 by the group that also saw `e2`.
+    pub e3_high_group: ValueMultiset,
+}
+
+/// The verdict of running a deterministic voting function over a
+/// [`LowerBoundScenario`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LowerBoundWitness {
+    /// The function's decision on the E1 multiset.
+    pub decision_e1: Option<Value>,
+    /// The function's decision on the E2 multiset.
+    pub decision_e2: Option<Value>,
+    /// The decisions of the two E3 groups (forced equal to `decision_e1` and
+    /// `decision_e2` by indistinguishability).
+    pub decision_e3: (Option<Value>, Option<Value>),
+    /// `true` when the E1 decision is not 0 — validity (or termination)
+    /// breaks in E1, where every correct process proposed 0.
+    pub violates_e1: bool,
+    /// `true` when the E2 decision is not 1.
+    pub violates_e2: bool,
+    /// `true` when the two E3 decisions are at least the full input spread
+    /// apart — the agreement property of Simple Approximate Agreement
+    /// requires them to be *strictly* closer than the spread of the correct
+    /// inputs (which is 1 in E3).
+    pub violates_e3_agreement: bool,
+}
+
+impl LowerBoundWitness {
+    /// Returns `true` when at least one of the three executions violates the
+    /// Simple Approximate Agreement specification — which the theorems show
+    /// must happen for *every* algorithm at `n ≤ c·f`.
+    #[must_use]
+    pub fn violates_specification(&self) -> bool {
+        self.violates_e1 || self.violates_e2 || self.violates_e3_agreement
+    }
+}
+
+impl fmt::Display for LowerBoundWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "E1 -> {:?}, E2 -> {:?}, E3 -> ({:?}, {:?}), violation: {}",
+            self.decision_e1.map(Value::get),
+            self.decision_e2.map(Value::get),
+            self.decision_e3.0.map(Value::get),
+            self.decision_e3.1.map(Value::get),
+            self.violates_specification()
+        )
+    }
+}
+
+/// Builds a multiset containing `zeros` copies of 0 and `ones` copies of 1.
+fn binary_multiset(zeros: usize, ones: usize) -> ValueMultiset {
+    std::iter::repeat_n(Value::ZERO, zeros)
+        .chain(std::iter::repeat_n(Value::ONE, ones))
+        .collect()
+}
+
+impl LowerBoundScenario {
+    /// Constructs the Theorem 3–6 scenario for the given model with `f`
+    /// agents, at `n = c·f` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f == 0` (the impossibility needs at least one agent).
+    #[must_use]
+    pub fn for_model(model: MobileModel, f: usize) -> Self {
+        assert!(f >= 1, "the lower-bound construction needs at least one agent");
+        let n = model.impossibility_threshold(f);
+        // Per model: the number of values a non-faulty process hears from
+        // the groups of the construction.
+        //   correct_zero / correct_one — values heard from the two correct
+        //     groups (equal sizes);
+        //   cured_symmetric — values heard from unaware cured processes
+        //     (Bonnet only): they broadcast the corrupted value 1 in E1/E3
+        //     and 0 in E2;
+        //   byzantine — values heard from the asymmetric actors (agents,
+        //     plus poisoned cured processes under Sasaki).
+        let (correct_group, cured_symmetric, byzantine) = match model {
+            // n = 4f: f faulty + f cured(silent) + 2f correct.
+            MobileModel::Garay => (f, 0, f),
+            // n = 5f: f faulty + f cured(symmetric) + 3f correct. One correct
+            // group of f is pivotal on each side; the remaining f correct
+            // processes propose 0 in E3 and are counted with the zero side.
+            MobileModel::Bonnet => (f, f, f),
+            // n = 6f: 2f asymmetric actors + 4f correct.
+            MobileModel::Sasaki => (2 * f, 0, 2 * f),
+            // n = 3f: f faulty + 2f correct.
+            MobileModel::Buhrman => (f, 0, f),
+        };
+
+        // Sizes of the two pivotal correct groups (the ones whose multisets
+        // must coincide with E1/E2). Under Bonnet there is a third correct
+        // group that keeps proposing 0; fold it into the zero-count below.
+        let extra_zero_correct = match model {
+            MobileModel::Bonnet => f,
+            _ => 0,
+        };
+
+        // E1: every correct process proposes 0; the asymmetric actors send 1;
+        // unaware cured processes broadcast their corrupted value 1.
+        let e1 = binary_multiset(
+            2 * correct_group + extra_zero_correct,
+            byzantine + cured_symmetric,
+        );
+        // E2 mirrors E1 with 0 and 1 swapped.
+        let e2 = binary_multiset(byzantine + cured_symmetric, 2 * correct_group + extra_zero_correct);
+        // E3: one correct group proposes 0, the other proposes 1, the third
+        // (Bonnet) group proposes 0, cured processes still hold 1, and the
+        // asymmetric actors send 0 to the zero group and 1 to the one group.
+        let e3_low_group = binary_multiset(
+            correct_group + extra_zero_correct + byzantine,
+            correct_group + cured_symmetric,
+        );
+        let e3_high_group = binary_multiset(
+            correct_group + extra_zero_correct,
+            correct_group + cured_symmetric + byzantine,
+        );
+
+        LowerBoundScenario {
+            model,
+            f,
+            n,
+            e1,
+            e2,
+            e3_low_group,
+            e3_high_group,
+        }
+    }
+
+    /// Returns `true` when the E3 multisets are indistinguishable from the
+    /// E1/E2 ones — the heart of the impossibility argument.
+    #[must_use]
+    pub fn is_indistinguishable(&self) -> bool {
+        self.e3_low_group == self.e1 && self.e3_high_group == self.e2
+    }
+
+    /// Evaluates a deterministic voting function over the scenario.
+    ///
+    /// By indistinguishability the function's E3 answers are its E1/E2
+    /// answers, so the witness reports whether it breaks validity in E1/E2
+    /// or agreement in E3 — one of which must happen.
+    #[must_use]
+    pub fn evaluate(&self, function: &dyn VotingFunction) -> LowerBoundWitness {
+        let decision_e1 = function.apply(&self.e1);
+        let decision_e2 = function.apply(&self.e2);
+        let decision_e3 = (
+            function.apply(&self.e3_low_group),
+            function.apply(&self.e3_high_group),
+        );
+
+        // In E1 every correct process proposed 0: validity pins the decision
+        // to exactly 0 (and a missing decision breaks termination).
+        let violates_e1 = decision_e1 != Some(Value::ZERO);
+        let violates_e2 = decision_e2 != Some(Value::ONE);
+        // In E3 the correct inputs are 0 and 1: Simple Approximate Agreement
+        // requires the chosen values to be strictly less than 1 apart.
+        let violates_e3_agreement = match decision_e3 {
+            (Some(lo), Some(hi)) => lo.distance(hi) >= 1.0,
+            _ => true,
+        };
+
+        LowerBoundWitness {
+            decision_e1,
+            decision_e2,
+            decision_e3,
+            violates_e1,
+            violates_e2,
+            violates_e3_agreement,
+        }
+    }
+}
+
+impl fmt::Display for LowerBoundScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} lower bound at n = {} with f = {}",
+            self.model, self.n, self.f
+        )
+    }
+}
+
+/// Builds the scenarios of all four theorems for the given `f`.
+#[must_use]
+pub fn all_scenarios(f: usize) -> Vec<LowerBoundScenario> {
+    MobileModel::ALL
+        .iter()
+        .map(|&model| LowerBoundScenario::for_model(model, f))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbaa_msr::{MedianVoting, MsrFunction};
+
+    #[test]
+    fn scenario_sizes_match_the_theorems() {
+        for f in 1..=3 {
+            let garay = LowerBoundScenario::for_model(MobileModel::Garay, f);
+            assert_eq!(garay.n, 4 * f);
+            // Multiset size = n - (silent cured) = 3f.
+            assert_eq!(garay.e1.len(), 3 * f);
+
+            let bonnet = LowerBoundScenario::for_model(MobileModel::Bonnet, f);
+            assert_eq!(bonnet.n, 5 * f);
+            assert_eq!(bonnet.e1.len(), 5 * f);
+
+            let sasaki = LowerBoundScenario::for_model(MobileModel::Sasaki, f);
+            assert_eq!(sasaki.n, 6 * f);
+            assert_eq!(sasaki.e1.len(), 6 * f);
+
+            let buhrman = LowerBoundScenario::for_model(MobileModel::Buhrman, f);
+            assert_eq!(buhrman.n, 3 * f);
+            assert_eq!(buhrman.e1.len(), 3 * f);
+        }
+    }
+
+    #[test]
+    fn bonnet_multisets_match_the_paper_text() {
+        // With f = 1 the paper's multisets are {1,1,0,0,0} and {0,0,1,1,1}.
+        let s = LowerBoundScenario::for_model(MobileModel::Bonnet, 1);
+        assert_eq!(s.e1.count(Value::ZERO), 3);
+        assert_eq!(s.e1.count(Value::ONE), 2);
+        assert_eq!(s.e2.count(Value::ZERO), 2);
+        assert_eq!(s.e2.count(Value::ONE), 3);
+    }
+
+    #[test]
+    fn garay_multisets_match_the_paper_text() {
+        // With f = 1 the paper's multisets are {0,0,1} and {1,0,1}.
+        let s = LowerBoundScenario::for_model(MobileModel::Garay, 1);
+        assert_eq!(s.e1.count(Value::ZERO), 2);
+        assert_eq!(s.e1.count(Value::ONE), 1);
+        assert_eq!(s.e2.count(Value::ZERO), 1);
+        assert_eq!(s.e2.count(Value::ONE), 2);
+    }
+
+    #[test]
+    fn e3_is_indistinguishable_from_e1_and_e2_in_every_model() {
+        for f in 1..=3 {
+            for scenario in all_scenarios(f) {
+                assert!(
+                    scenario.is_indistinguishable(),
+                    "{scenario} is distinguishable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_voting_function_violates_the_specification_at_the_bound() {
+        let functions: Vec<Box<dyn VotingFunction>> = vec![
+            Box::new(MsrFunction::dolev_mean(0)),
+            Box::new(MsrFunction::dolev_mean(1)),
+            Box::new(MsrFunction::dolev_mean(2)),
+            Box::new(MsrFunction::fault_tolerant_midpoint(1)),
+            Box::new(MsrFunction::reduced_median(1)),
+            Box::new(MedianVoting::new()),
+        ];
+        for f in 1..=2 {
+            for scenario in all_scenarios(f) {
+                for function in &functions {
+                    let witness = scenario.evaluate(function.as_ref());
+                    assert!(
+                        witness.violates_specification(),
+                        "{} escaped the {scenario} impossibility: {witness}",
+                        function.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witness_reports_the_expected_violation_shape_for_trimmed_mean() {
+        // The MSR instance sized for Garay (τ = f) cannot decide exactly 0 in
+        // E1 at n = 4f because the surviving multiset still contains planted
+        // ones — so the violation shows up in E1/E2, not in E3.
+        let scenario = LowerBoundScenario::for_model(MobileModel::Garay, 1);
+        let witness = scenario.evaluate(&MsrFunction::dolev_mean(1));
+        assert!(witness.violates_e1 || witness.violates_e3_agreement);
+        assert!(witness.to_string().contains("violation: true"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one agent")]
+    fn zero_agents_panics() {
+        let _ = LowerBoundScenario::for_model(MobileModel::Garay, 0);
+    }
+
+    #[test]
+    fn display_mentions_model_and_size() {
+        let s = LowerBoundScenario::for_model(MobileModel::Sasaki, 2);
+        let text = s.to_string();
+        assert!(text.contains("Sasaki"));
+        assert!(text.contains("12"));
+    }
+}

@@ -1,0 +1,79 @@
+//! # mbaa — Approximate Agreement under Mobile Byzantine Faults
+//!
+//! A reproduction of *"Approximate Agreement under Mobile Byzantine Faults"*
+//! (Bonomi, Del Pozzo, Potop-Butucaru, Tixeuil — ICDCS 2016,
+//! arXiv:1604.03871) as a Rust library: the MSR (Mean-Subsequence-Reduce)
+//! family of approximate agreement algorithms running on a synchronous
+//! message-passing simulator under all four mobile Byzantine fault models,
+//! together with the Mobile-to-Mixed-Mode mapping, the replica bounds, and
+//! the lower-bound constructions of the paper.
+//!
+//! This facade crate re-exports the public API of every workspace crate so
+//! downstream users only need a single dependency:
+//!
+//! * [`types`] — values, multisets, rounds, fault states and models.
+//! * [`net`] — the synchronous round-based network substrate.
+//! * [`msr`] — the MSR algorithm family and convergence analysis.
+//! * [`mixed`] — the static Mixed-Mode fault model baseline.
+//! * [`adversary`] — mobile agents: mobility and corruption strategies.
+//! * [`core`] — the protocol engine, Table 1 mapping, Table 2 bounds, and
+//!   Theorems 3–6 lower-bound scenarios.
+//! * [`sim`] — seeded experiments, sweeps, statistics, and report tables.
+//!
+//! The most common entry points are re-exported at the crate root.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mbaa::{MobileEngine, MobileModel, ProtocolConfig, Value};
+//!
+//! // 9 sensors, 2 mobile Byzantine agents, Garay's model (n > 4f).
+//! let config = ProtocolConfig::builder(MobileModel::Garay, 9, 2)
+//!     .epsilon(1e-3)
+//!     .seed(42)
+//!     .build()?;
+//!
+//! let readings: Vec<Value> = (0..9).map(|i| Value::new(20.0 + i as f64 * 0.1)).collect();
+//! let outcome = MobileEngine::new(config).run(&readings)?;
+//!
+//! assert!(outcome.reached_agreement);
+//! assert!(outcome.validity_holds());
+//! # Ok::<(), mbaa::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Foundation types (re-export of [`mbaa_types`]).
+pub use mbaa_types as types;
+
+/// Synchronous round-based network substrate (re-export of [`mbaa_net`]).
+pub use mbaa_net as net;
+
+/// MSR algorithm family (re-export of [`mbaa_msr`]).
+pub use mbaa_msr as msr;
+
+/// Static Mixed-Mode fault model (re-export of [`mbaa_mixed`]).
+pub use mbaa_mixed as mixed;
+
+/// Mobile Byzantine adversary (re-export of [`mbaa_adversary`]).
+pub use mbaa_adversary as adversary;
+
+/// Protocol engine, mapping, bounds, and lower bounds (re-export of
+/// [`mbaa_core`]).
+pub use mbaa_core as core;
+
+/// Experiment harness (re-export of [`mbaa_sim`]).
+pub use mbaa_sim as sim;
+
+pub use mbaa_adversary::{CorruptionStrategy, MobileAdversary, MobilityStrategy};
+pub use mbaa_core::{
+    Configuration, MobileEngine, MobileRunOutcome, ProtocolConfig, ProtocolConfigBuilder,
+};
+pub use mbaa_msr::{MedianVoting, MsrFunction, Reduction, Selection, VotingFunction};
+pub use mbaa_net::{Outbox, RoundDelivery, SyncNetwork};
+pub use mbaa_sim::{run_experiment, ExperimentConfig, ExperimentResult, Workload};
+pub use mbaa_types::{
+    Epsilon, Error, FaultCounts, FaultState, Interval, MixedFaultClass, MobileModel, ProcessId,
+    ProcessSet, Result, Round, Value, ValueMultiset,
+};

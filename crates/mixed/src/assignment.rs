@@ -1,0 +1,251 @@
+//! Static assignment of mixed-mode fault classes to processes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use mbaa_types::{Error, FaultCounts, MixedFaultClass, ProcessId, ProcessSet, Result};
+
+/// A static assignment of fault classes to a universe of `n` processes.
+///
+/// A process is either correct (`None`) or carries one of the three
+/// [`MixedFaultClass`]es for the *whole* computation — this is exactly the
+/// "static computation" the paper builds as the equivalent of a mobile one.
+///
+/// # Example
+///
+/// ```
+/// use mbaa_mixed::FaultAssignment;
+/// use mbaa_types::{FaultCounts, MixedFaultClass, ProcessId};
+///
+/// let assignment = FaultAssignment::with_first_processes_faulty(
+///     9,
+///     FaultCounts::new(1, 1, 1),
+/// ).unwrap();
+/// assert_eq!(assignment.class_of(ProcessId::new(0)), Some(MixedFaultClass::Asymmetric));
+/// assert_eq!(assignment.counts(), FaultCounts::new(1, 1, 1));
+/// assert_eq!(assignment.correct_set().len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultAssignment {
+    classes: Vec<Option<MixedFaultClass>>,
+}
+
+impl FaultAssignment {
+    /// An assignment where every one of the `n` processes is correct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn all_correct(n: usize) -> Self {
+        assert!(n > 0, "assignment needs at least one process");
+        FaultAssignment {
+            classes: vec![None; n],
+        }
+    }
+
+    /// Builds an assignment from an explicit class vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InsufficientProcessesMixed`] when the implied fault
+    /// counts violate `n > 3a + 2s + b`, and [`Error::InvalidParameter`]
+    /// when `classes` is empty.
+    pub fn from_classes(classes: Vec<Option<MixedFaultClass>>) -> Result<Self> {
+        if classes.is_empty() {
+            return Err(Error::InvalidParameter(
+                "assignment needs at least one process".into(),
+            ));
+        }
+        let assignment = FaultAssignment { classes };
+        let counts = assignment.counts();
+        if !counts.tolerated_by(assignment.universe()) {
+            return Err(Error::InsufficientProcessesMixed {
+                n: assignment.universe(),
+                required: counts.min_processes(),
+            });
+        }
+        Ok(assignment)
+    }
+
+    /// Builds an assignment where the lowest-indexed processes carry the
+    /// faults: first the asymmetric ones, then symmetric, then benign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InsufficientProcessesMixed`] when
+    /// `n <= 3a + 2s + b`, and [`Error::InvalidParameter`] when the faults
+    /// outnumber the processes.
+    pub fn with_first_processes_faulty(n: usize, counts: FaultCounts) -> Result<Self> {
+        if counts.total() > n {
+            return Err(Error::InvalidParameter(format!(
+                "{} faults cannot be placed on {n} processes",
+                counts.total()
+            )));
+        }
+        let mut classes = vec![None; n];
+        let mut idx = 0;
+        for _ in 0..counts.asymmetric {
+            classes[idx] = Some(MixedFaultClass::Asymmetric);
+            idx += 1;
+        }
+        for _ in 0..counts.symmetric {
+            classes[idx] = Some(MixedFaultClass::Symmetric);
+            idx += 1;
+        }
+        for _ in 0..counts.benign {
+            classes[idx] = Some(MixedFaultClass::Benign);
+            idx += 1;
+        }
+        Self::from_classes(classes)
+    }
+
+    /// The number of processes `n`.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The fault class of `p`, or `None` when `p` is correct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the universe.
+    #[must_use]
+    pub fn class_of(&self, p: ProcessId) -> Option<MixedFaultClass> {
+        self.classes[p.index()]
+    }
+
+    /// Returns `true` when `p` is correct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the universe.
+    #[must_use]
+    pub fn is_correct(&self, p: ProcessId) -> bool {
+        self.class_of(p).is_none()
+    }
+
+    /// The number of faults of each class.
+    #[must_use]
+    pub fn counts(&self) -> FaultCounts {
+        self.classes
+            .iter()
+            .flatten()
+            .fold(FaultCounts::NONE, |acc, class| acc.with_fault(*class))
+    }
+
+    /// The set of correct processes.
+    #[must_use]
+    pub fn correct_set(&self) -> ProcessSet {
+        ProcessSet::from_indices(
+            self.universe(),
+            self.classes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| c.is_none().then_some(i)),
+        )
+    }
+
+    /// The set of processes carrying the given fault class.
+    #[must_use]
+    pub fn set_of(&self, class: MixedFaultClass) -> ProcessSet {
+        ProcessSet::from_indices(
+            self.universe(),
+            self.classes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| (*c == Some(class)).then_some(i)),
+        )
+    }
+
+    /// Returns `true` when the assignment satisfies `n > 3a + 2s + b`.
+    #[must_use]
+    pub fn satisfies_bound(&self) -> bool {
+        self.counts().tolerated_by(self.universe())
+    }
+
+    /// Iterates over `(process, class)` pairs (correct processes included
+    /// with `None`).
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, Option<MixedFaultClass>)> + '_ {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ProcessId::new(i), *c))
+    }
+}
+
+impl fmt::Display for FaultAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={}, {}", self.universe(), self.counts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_correct_has_no_faults() {
+        let a = FaultAssignment::all_correct(4);
+        assert_eq!(a.universe(), 4);
+        assert_eq!(a.counts(), FaultCounts::NONE);
+        assert!(a.satisfies_bound());
+        assert_eq!(a.correct_set().len(), 4);
+    }
+
+    #[test]
+    fn first_processes_faulty_places_in_order() {
+        let a = FaultAssignment::with_first_processes_faulty(10, FaultCounts::new(2, 1, 1)).unwrap();
+        assert_eq!(a.class_of(ProcessId::new(0)), Some(MixedFaultClass::Asymmetric));
+        assert_eq!(a.class_of(ProcessId::new(1)), Some(MixedFaultClass::Asymmetric));
+        assert_eq!(a.class_of(ProcessId::new(2)), Some(MixedFaultClass::Symmetric));
+        assert_eq!(a.class_of(ProcessId::new(3)), Some(MixedFaultClass::Benign));
+        assert!(a.is_correct(ProcessId::new(4)));
+        assert_eq!(a.counts(), FaultCounts::new(2, 1, 1));
+        assert_eq!(a.set_of(MixedFaultClass::Asymmetric).len(), 2);
+        assert_eq!(a.correct_set().len(), 6);
+    }
+
+    #[test]
+    fn bound_violation_rejected() {
+        // 3a + 2s + b = 6; n must exceed 6.
+        let err = FaultAssignment::with_first_processes_faulty(6, FaultCounts::new(2, 0, 0))
+            .unwrap_err();
+        assert!(matches!(err, Error::InsufficientProcessesMixed { n: 6, required: 7 }));
+
+        assert!(FaultAssignment::with_first_processes_faulty(7, FaultCounts::new(2, 0, 0)).is_ok());
+    }
+
+    #[test]
+    fn too_many_faults_rejected() {
+        let err =
+            FaultAssignment::with_first_processes_faulty(2, FaultCounts::new(1, 1, 1)).unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn from_classes_round_trips() {
+        let classes = vec![Some(MixedFaultClass::Benign), None, None];
+        let a = FaultAssignment::from_classes(classes).unwrap();
+        assert_eq!(a.counts(), FaultCounts::new(0, 0, 1));
+        let pairs: Vec<_> = a.iter().collect();
+        assert_eq!(pairs[0], (ProcessId::new(0), Some(MixedFaultClass::Benign)));
+        assert_eq!(pairs[1], (ProcessId::new(1), None));
+    }
+
+    #[test]
+    fn from_classes_rejects_empty() {
+        assert!(matches!(
+            FaultAssignment::from_classes(vec![]),
+            Err(Error::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn display_summarises() {
+        let a = FaultAssignment::with_first_processes_faulty(8, FaultCounts::new(1, 1, 0)).unwrap();
+        assert_eq!(a.to_string(), "n=8, a=1, s=1, b=0");
+    }
+}

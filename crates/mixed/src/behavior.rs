@@ -1,0 +1,234 @@
+//! Send-phase behaviour of statically faulty processes.
+
+use std::fmt;
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use mbaa_net::Outbox;
+use mbaa_types::{Interval, MixedFaultClass, ProcessId, Value};
+
+/// The strategy a statically faulty process uses to manufacture its outbox.
+///
+/// The benign class always produces a silent outbox (its fault is
+/// self-incriminating), so the strategy only chooses the values sent by
+/// symmetric and asymmetric processes. All strategies are *adversarial*:
+/// they aim either to drag the correct processes' votes outside their own
+/// range or to keep the correct processes split.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StaticBehavior {
+    /// Symmetric processes broadcast a value far above the correct range;
+    /// asymmetric processes send a far-low value to the lower half of the
+    /// receivers and a far-high value to the upper half (the classic
+    /// "split" attack). `magnitude` controls how far outside the correct
+    /// range the planted values sit.
+    Spread {
+        /// Distance beyond the correct range of the planted values.
+        magnitude: f64,
+    },
+    /// Every faulty process pushes the same fixed value (symmetrically), and
+    /// asymmetric processes alternate between that value and its negation.
+    Fixed {
+        /// The planted value.
+        value: Value,
+    },
+    /// Faulty processes draw uniformly random values from an interval.
+    /// Asymmetric processes draw a fresh value per receiver; symmetric
+    /// processes draw one per round.
+    Random {
+        /// Lower bound of the planted values.
+        lo: f64,
+        /// Upper bound of the planted values.
+        hi: f64,
+    },
+}
+
+impl StaticBehavior {
+    /// The default adversarial strategy: a split/spread attack planting
+    /// values one full correct-diameter outside the correct range.
+    #[must_use]
+    pub fn spread_attack() -> Self {
+        StaticBehavior::Spread { magnitude: 1.0 }
+    }
+
+    /// Builds the outbox of a faulty process for one round.
+    ///
+    /// * `class` — the sender's fault class.
+    /// * `sender` — the sender's identity.
+    /// * `n` — the system size.
+    /// * `correct_range` — the current range of correct votes, which the
+    ///   adversary is assumed to know (worst case).
+    /// * `rng` — the adversary's randomness source.
+    #[must_use]
+    pub fn outbox<R: Rng + ?Sized>(
+        &self,
+        class: MixedFaultClass,
+        sender: ProcessId,
+        n: usize,
+        correct_range: Interval,
+        rng: &mut R,
+    ) -> Outbox {
+        match class {
+            MixedFaultClass::Benign => Outbox::silent(n, sender),
+            MixedFaultClass::Symmetric => {
+                Outbox::broadcast(n, sender, self.symmetric_value(correct_range, rng))
+            }
+            MixedFaultClass::Asymmetric => {
+                let slots = (0..n)
+                    .map(|receiver| Some(self.asymmetric_value(correct_range, receiver, n, rng)))
+                    .collect();
+                Outbox::per_receiver(sender, slots)
+            }
+        }
+    }
+
+    /// The single value a symmetric faulty process broadcasts this round.
+    fn symmetric_value<R: Rng + ?Sized>(&self, correct_range: Interval, rng: &mut R) -> Value {
+        match self {
+            StaticBehavior::Spread { magnitude } => {
+                Value::new(correct_range.hi().get() + magnitude.max(f64::MIN_POSITIVE))
+            }
+            StaticBehavior::Fixed { value } => *value,
+            StaticBehavior::Random { lo, hi } => Value::new(rng.random_range(*lo..=*hi)),
+        }
+    }
+
+    /// The value an asymmetric faulty process sends to one given receiver.
+    fn asymmetric_value<R: Rng + ?Sized>(
+        &self,
+        correct_range: Interval,
+        receiver: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Value {
+        match self {
+            StaticBehavior::Spread { magnitude } => {
+                let margin = magnitude.max(f64::MIN_POSITIVE);
+                if receiver < n / 2 {
+                    Value::new(correct_range.lo().get() - margin)
+                } else {
+                    Value::new(correct_range.hi().get() + margin)
+                }
+            }
+            StaticBehavior::Fixed { value } => {
+                if receiver % 2 == 0 {
+                    *value
+                } else {
+                    -*value
+                }
+            }
+            StaticBehavior::Random { lo, hi } => Value::new(rng.random_range(*lo..=*hi)),
+        }
+    }
+}
+
+impl Default for StaticBehavior {
+    fn default() -> Self {
+        Self::spread_attack()
+    }
+}
+
+impl fmt::Display for StaticBehavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaticBehavior::Spread { magnitude } => write!(f, "spread(±{magnitude})"),
+            StaticBehavior::Fixed { value } => write!(f, "fixed({value})"),
+            StaticBehavior::Random { lo, hi } => write!(f, "random[{lo}, {hi}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn range01() -> Interval {
+        Interval::new(Value::new(0.0), Value::new(1.0))
+    }
+
+    #[test]
+    fn benign_is_always_silent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for behavior in [
+            StaticBehavior::spread_attack(),
+            StaticBehavior::Fixed { value: Value::new(5.0) },
+            StaticBehavior::Random { lo: -1.0, hi: 1.0 },
+        ] {
+            let o = behavior.outbox(MixedFaultClass::Benign, ProcessId::new(0), 4, range01(), &mut rng);
+            assert!(o.is_silent(), "{behavior}");
+        }
+    }
+
+    #[test]
+    fn symmetric_is_uniform_and_outside_range_for_spread() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let o = StaticBehavior::spread_attack().outbox(
+            MixedFaultClass::Symmetric,
+            ProcessId::new(1),
+            5,
+            range01(),
+            &mut rng,
+        );
+        assert!(o.is_uniform());
+        let v = o.get(ProcessId::new(0)).unwrap();
+        assert!(v > Value::new(1.0));
+    }
+
+    #[test]
+    fn asymmetric_spread_splits_receivers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let o = StaticBehavior::spread_attack().outbox(
+            MixedFaultClass::Asymmetric,
+            ProcessId::new(0),
+            4,
+            range01(),
+            &mut rng,
+        );
+        assert!(!o.is_uniform());
+        assert!(o.get(ProcessId::new(0)).unwrap() < Value::new(0.0));
+        assert!(o.get(ProcessId::new(3)).unwrap() > Value::new(1.0));
+    }
+
+    #[test]
+    fn fixed_behavior_plants_the_fixed_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let behavior = StaticBehavior::Fixed { value: Value::new(9.0) };
+        let sym = behavior.outbox(MixedFaultClass::Symmetric, ProcessId::new(0), 3, range01(), &mut rng);
+        assert_eq!(sym.get(ProcessId::new(2)), Some(Value::new(9.0)));
+
+        let asym = behavior.outbox(MixedFaultClass::Asymmetric, ProcessId::new(0), 3, range01(), &mut rng);
+        assert_eq!(asym.get(ProcessId::new(0)), Some(Value::new(9.0)));
+        assert_eq!(asym.get(ProcessId::new(1)), Some(Value::new(-9.0)));
+    }
+
+    #[test]
+    fn random_behavior_is_deterministic_under_seed() {
+        let behavior = StaticBehavior::Random { lo: -2.0, hi: 2.0 };
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            behavior.outbox(MixedFaultClass::Asymmetric, ProcessId::new(0), 4, range01(), &mut rng)
+        };
+        assert_eq!(run(7), run(7));
+        // Values stay within the configured interval.
+        let o = run(7);
+        for (_, v) in o.iter() {
+            let v = v.unwrap().get();
+            assert!((-2.0..=2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(StaticBehavior::spread_attack().to_string(), "spread(±1)");
+        assert_eq!(
+            StaticBehavior::Fixed { value: Value::new(2.0) }.to_string(),
+            "fixed(2)"
+        );
+        assert_eq!(
+            StaticBehavior::Random { lo: 0.0, hi: 1.0 }.to_string(),
+            "random[0, 1]"
+        );
+    }
+}

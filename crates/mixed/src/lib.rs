@@ -1,0 +1,60 @@
+//! The Mixed-Mode static fault model of Kieckhafer & Azadmanesh (IEEE TPDS
+//! 1994), the target of the paper's Mobile-Byzantine-to-Mixed-Mode mapping.
+//!
+//! In the Mixed-Mode model faults are *static* — the same processes are
+//! faulty for the whole computation — and partitioned into three classes:
+//!
+//! * **benign** faults are self-incriminating (every correct process detects
+//!   them immediately, e.g. an omission in a synchronous round),
+//! * **symmetric** faults are perceived identically by all correct processes
+//!   (the same wrong value broadcast to everyone),
+//! * **asymmetric** faults are classical Byzantine (different observers may
+//!   see different behaviour).
+//!
+//! MSR algorithms tolerate `a` asymmetric, `s` symmetric and `b` benign
+//! faults whenever `n > 3a + 2s + b`.
+//!
+//! This crate provides:
+//!
+//! * [`FaultAssignment`] — which process carries which static fault class.
+//! * [`StaticBehavior`] — how each fault class manufactures its outbox in
+//!   the send phase (the adversarial value strategies for symmetric and
+//!   asymmetric processes).
+//! * [`StaticSimulator`] / [`StaticRunOutcome`] — a complete synchronous
+//!   execution of an MSR instance under a static fault assignment, used as
+//!   the *baseline* the mobile executions are compared against
+//!   (Theorem 1's "static computation").
+//!
+//! # Example
+//!
+//! ```
+//! use mbaa_mixed::{FaultAssignment, StaticBehavior, StaticSimulator};
+//! use mbaa_msr::MsrFunction;
+//! use mbaa_types::{Epsilon, FaultCounts, MixedFaultClass, Value};
+//!
+//! // 7 processes, one asymmetric + one benign fault: 7 > 3*1 + 0 + 1.
+//! let assignment = FaultAssignment::with_first_processes_faulty(
+//!     7,
+//!     FaultCounts::new(1, 0, 1),
+//! ).unwrap();
+//!
+//! let inputs: Vec<Value> = (0..7).map(|i| Value::new(i as f64 / 7.0)).collect();
+//! let sim = StaticSimulator::new(assignment, StaticBehavior::spread_attack(), 42);
+//! let outcome = sim
+//!     .run(&MsrFunction::for_fault_counts(FaultCounts::new(1, 0, 1)), &inputs,
+//!          Epsilon::new(1e-3), 100)
+//!     .unwrap();
+//! assert!(outcome.reached_agreement);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod assignment;
+mod behavior;
+mod simulator;
+
+pub use assignment::FaultAssignment;
+pub use behavior::StaticBehavior;
+pub use simulator::{StaticRunOutcome, StaticSimulator};

@@ -1,0 +1,356 @@
+//! Single-step convergence properties and convergence-rate analysis.
+//!
+//! The correctness of the MSR family rests on two properties of `F_MSR`
+//! (stated in the paper as P1 and P2, originally proved by Kieckhafer &
+//! Azadmanesh for the mixed-mode model when `n > 3a + 2s + b`):
+//!
+//! * **P1 (validity step)** — the value computed by a non-faulty process
+//!   lies in the range `ρ(U)` of the values produced by non-faulty
+//!   processes.
+//! * **P2 (contraction step)** — the values computed by any two non-faulty
+//!   processes are strictly closer than the diameter `δ(U)` of the
+//!   non-faulty values they received (unless that diameter is already 0).
+//!
+//! This module provides checkers for P1/P2 on concrete round data, the
+//! per-round contraction bookkeeping used by the experiment harness, and
+//! closed-form round-count predictions.
+
+use serde::{Deserialize, Serialize};
+
+use mbaa_types::{Epsilon, Value, ValueMultiset};
+
+/// Returns `true` when the computed value satisfies property **P1**: it lies
+/// within the range of the non-faulty values `correct_values`.
+///
+/// An empty `correct_values` multiset makes P1 vacuously false (there is no
+/// range to be inside of).
+#[must_use]
+pub fn satisfies_p1(computed: Value, correct_values: &ValueMultiset) -> bool {
+    correct_values
+        .range()
+        .is_some_and(|range| range.contains(computed))
+}
+
+/// Returns `true` when two computed values satisfy property **P2**: their
+/// distance is strictly smaller than the diameter of the non-faulty values
+/// received, or both distances are zero.
+#[must_use]
+pub fn satisfies_p2(computed_i: Value, computed_j: Value, correct_values: &ValueMultiset) -> bool {
+    let delta = correct_values.diameter();
+    let dist = computed_i.distance(computed_j);
+    if delta == 0.0 {
+        dist == 0.0
+    } else {
+        dist < delta
+    }
+}
+
+/// The diameter contraction observed in one round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundContraction {
+    /// Diameter of non-faulty values at the beginning of the round.
+    pub before: f64,
+    /// Diameter of non-faulty values after the computation phase.
+    pub after: f64,
+}
+
+impl RoundContraction {
+    /// Creates a contraction record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either diameter is negative or not finite.
+    #[must_use]
+    pub fn new(before: f64, after: f64) -> Self {
+        assert!(
+            before.is_finite() && before >= 0.0 && after.is_finite() && after >= 0.0,
+            "diameters must be finite and non-negative"
+        );
+        RoundContraction { before, after }
+    }
+
+    /// The contraction factor `after / before`, or `0.0` when the round
+    /// started already agreed (`before == 0`).
+    #[must_use]
+    pub fn factor(&self) -> f64 {
+        if self.before == 0.0 {
+            0.0
+        } else {
+            self.after / self.before
+        }
+    }
+
+    /// Returns `true` when the diameter did not grow.
+    #[must_use]
+    pub fn is_non_expanding(&self) -> bool {
+        self.after <= self.before
+    }
+
+    /// Returns `true` when the diameter strictly shrank (or was already 0).
+    #[must_use]
+    pub fn is_contracting(&self) -> bool {
+        self.before == 0.0 || self.after < self.before
+    }
+}
+
+/// The convergence history of one execution: the diameter of non-faulty
+/// values at the end of every round.
+///
+/// # Example
+///
+/// ```
+/// use mbaa_msr::ConvergenceReport;
+/// use mbaa_types::Epsilon;
+///
+/// let mut report = ConvergenceReport::new(1.0);
+/// report.record_round(0.5);
+/// report.record_round(0.25);
+/// assert_eq!(report.rounds_executed(), 2);
+/// assert_eq!(report.final_diameter(), 0.25);
+/// assert_eq!(report.rounds_to_reach(Epsilon::new(0.5)), Some(1));
+/// assert_eq!(report.rounds_to_reach(Epsilon::new(0.1)), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceReport {
+    initial_diameter: f64,
+    diameters: Vec<f64>,
+}
+
+impl ConvergenceReport {
+    /// Starts a report from the diameter of the initial values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_diameter` is negative or not finite.
+    #[must_use]
+    pub fn new(initial_diameter: f64) -> Self {
+        assert!(
+            initial_diameter.is_finite() && initial_diameter >= 0.0,
+            "diameter must be finite and non-negative"
+        );
+        ConvergenceReport {
+            initial_diameter,
+            diameters: Vec::new(),
+        }
+    }
+
+    /// Records the diameter at the end of a round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diameter` is negative or not finite.
+    pub fn record_round(&mut self, diameter: f64) {
+        assert!(
+            diameter.is_finite() && diameter >= 0.0,
+            "diameter must be finite and non-negative"
+        );
+        self.diameters.push(diameter);
+    }
+
+    /// The diameter of the initial (round-0) values.
+    #[must_use]
+    pub fn initial_diameter(&self) -> f64 {
+        self.initial_diameter
+    }
+
+    /// The per-round end-of-round diameters.
+    #[must_use]
+    pub fn diameters(&self) -> &[f64] {
+        &self.diameters
+    }
+
+    /// The number of rounds recorded.
+    #[must_use]
+    pub fn rounds_executed(&self) -> usize {
+        self.diameters.len()
+    }
+
+    /// The diameter after the last recorded round (the initial diameter when
+    /// no round has been recorded).
+    #[must_use]
+    pub fn final_diameter(&self) -> f64 {
+        self.diameters.last().copied().unwrap_or(self.initial_diameter)
+    }
+
+    /// The first round (1-based) whose end-of-round diameter is within
+    /// ε, or `None` if ε-agreement was never reached.
+    #[must_use]
+    pub fn rounds_to_reach(&self, epsilon: Epsilon) -> Option<usize> {
+        if epsilon.covers_diameter(self.initial_diameter) {
+            return Some(0);
+        }
+        self.diameters
+            .iter()
+            .position(|&d| epsilon.covers_diameter(d))
+            .map(|idx| idx + 1)
+    }
+
+    /// The per-round contraction records.
+    #[must_use]
+    pub fn contractions(&self) -> Vec<RoundContraction> {
+        let mut result = Vec::with_capacity(self.diameters.len());
+        let mut prev = self.initial_diameter;
+        for &d in &self.diameters {
+            result.push(RoundContraction::new(prev, d));
+            prev = d;
+        }
+        result
+    }
+
+    /// The geometric mean of the per-round contraction factors, ignoring
+    /// rounds that started already agreed. Returns `None` when no meaningful
+    /// round exists.
+    #[must_use]
+    pub fn mean_contraction_factor(&self) -> Option<f64> {
+        let factors: Vec<f64> = self
+            .contractions()
+            .into_iter()
+            .filter(|c| c.before > 0.0 && c.after > 0.0)
+            .map(|c| c.factor())
+            .collect();
+        if factors.is_empty() {
+            // Either no rounds, or agreement collapsed to exactly 0 — treat
+            // the latter as "no measurable factor".
+            return None;
+        }
+        let log_sum: f64 = factors.iter().map(|f| f.ln()).sum();
+        Some((log_sum / factors.len() as f64).exp())
+    }
+
+    /// Returns `true` when every recorded round satisfied the single-step
+    /// convergence property (the diameter never grew).
+    #[must_use]
+    pub fn is_monotonically_non_expanding(&self) -> bool {
+        self.contractions().iter().all(RoundContraction::is_non_expanding)
+    }
+}
+
+/// Predicts the number of rounds needed to shrink an initial diameter
+/// `delta0` below `epsilon`, assuming a constant per-round contraction
+/// `factor` in `(0, 1)`.
+///
+/// Returns `Some(0)` when the initial diameter is already within ε and
+/// `None` when `factor` is not in `(0, 1)` (no convergence guarantee).
+#[must_use]
+pub fn predicted_rounds(delta0: f64, epsilon: Epsilon, factor: f64) -> Option<usize> {
+    if epsilon.covers_diameter(delta0) {
+        return Some(0);
+    }
+    if !(factor > 0.0 && factor < 1.0) || !delta0.is_finite() || delta0 <= 0.0 {
+        return None;
+    }
+    // Smallest k with delta0 * factor^k <= eps.
+    let k = (epsilon.get() / delta0).ln() / factor.ln();
+    Some(k.ceil().max(0.0) as usize)
+}
+
+/// The worst-case per-round contraction factor of the Fault-Tolerant
+/// Midpoint algorithm (`Selection::Extremes`): the diameter halves every
+/// round when the resilience bound holds.
+#[must_use]
+pub fn fault_tolerant_midpoint_factor() -> f64 {
+    0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(vals: &[f64]) -> ValueMultiset {
+        vals.iter().copied().map(Value::new).collect()
+    }
+
+    #[test]
+    fn p1_requires_membership_in_correct_range() {
+        let correct = ms(&[0.0, 1.0]);
+        assert!(satisfies_p1(Value::new(0.5), &correct));
+        assert!(satisfies_p1(Value::new(0.0), &correct));
+        assert!(!satisfies_p1(Value::new(1.5), &correct));
+        assert!(!satisfies_p1(Value::new(0.5), &ValueMultiset::new()));
+    }
+
+    #[test]
+    fn p2_requires_strict_contraction() {
+        let correct = ms(&[0.0, 1.0]);
+        assert!(satisfies_p2(Value::new(0.2), Value::new(0.8), &correct));
+        assert!(!satisfies_p2(Value::new(0.0), Value::new(1.0), &correct));
+
+        let agreed = ms(&[0.5, 0.5]);
+        assert!(satisfies_p2(Value::new(0.5), Value::new(0.5), &agreed));
+        assert!(!satisfies_p2(Value::new(0.5), Value::new(0.6), &agreed));
+    }
+
+    #[test]
+    fn contraction_factor_and_predicates() {
+        let c = RoundContraction::new(1.0, 0.25);
+        assert_eq!(c.factor(), 0.25);
+        assert!(c.is_contracting());
+        assert!(c.is_non_expanding());
+
+        let flat = RoundContraction::new(0.0, 0.0);
+        assert_eq!(flat.factor(), 0.0);
+        assert!(flat.is_contracting());
+
+        let grew = RoundContraction::new(1.0, 2.0);
+        assert!(!grew.is_non_expanding());
+        assert!(!grew.is_contracting());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn contraction_rejects_negative() {
+        let _ = RoundContraction::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn report_tracks_rounds_and_epsilon() {
+        let mut r = ConvergenceReport::new(2.0);
+        assert_eq!(r.final_diameter(), 2.0);
+        assert_eq!(r.rounds_to_reach(Epsilon::new(3.0)), Some(0));
+
+        r.record_round(1.0);
+        r.record_round(0.4);
+        r.record_round(0.1);
+        assert_eq!(r.rounds_executed(), 3);
+        assert_eq!(r.final_diameter(), 0.1);
+        assert_eq!(r.rounds_to_reach(Epsilon::new(0.5)), Some(2));
+        assert_eq!(r.rounds_to_reach(Epsilon::new(0.05)), None);
+        assert_eq!(r.initial_diameter(), 2.0);
+        assert_eq!(r.diameters(), &[1.0, 0.4, 0.1]);
+        assert!(r.is_monotonically_non_expanding());
+    }
+
+    #[test]
+    fn report_mean_contraction_factor() {
+        let mut r = ConvergenceReport::new(1.0);
+        r.record_round(0.5);
+        r.record_round(0.25);
+        let factor = r.mean_contraction_factor().unwrap();
+        assert!((factor - 0.5).abs() < 1e-12);
+
+        let empty = ConvergenceReport::new(1.0);
+        assert_eq!(empty.mean_contraction_factor(), None);
+    }
+
+    #[test]
+    fn report_detects_expansion() {
+        let mut r = ConvergenceReport::new(1.0);
+        r.record_round(1.5);
+        assert!(!r.is_monotonically_non_expanding());
+    }
+
+    #[test]
+    fn predicted_rounds_matches_geometric_decay() {
+        let eps = Epsilon::new(0.01);
+        // 1.0 * 0.5^k <= 0.01  =>  k >= 6.64  =>  7 rounds.
+        assert_eq!(predicted_rounds(1.0, eps, 0.5), Some(7));
+        assert_eq!(predicted_rounds(0.005, eps, 0.5), Some(0));
+        assert_eq!(predicted_rounds(1.0, eps, 1.5), None);
+        assert_eq!(predicted_rounds(1.0, eps, 0.0), None);
+    }
+
+    #[test]
+    fn ftm_factor_is_one_half() {
+        assert_eq!(fault_tolerant_midpoint_factor(), 0.5);
+    }
+}

@@ -1,0 +1,203 @@
+//! Assembled voting functions: `F_MSR(N) = mean(Sel(Red(N)))`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use mbaa_types::{FaultCounts, Value, ValueMultiset};
+
+use crate::{Reduction, Selection};
+
+/// A voting function applied during the computation phase of each round.
+///
+/// The trait is object-safe so the protocol engine can run MSR instances and
+/// non-MSR baselines (e.g. [`MedianVoting`](crate::MedianVoting))
+/// interchangeably.
+pub trait VotingFunction: fmt::Debug + Send + Sync {
+    /// Computes the next vote from the multiset of received values, or
+    /// `None` when the multiset is too small to produce a value.
+    fn apply(&self, received: &ValueMultiset) -> Option<Value>;
+
+    /// A short human-readable name used in reports and benchmark labels.
+    fn name(&self) -> String;
+
+    /// The smallest multiset size for which [`VotingFunction::apply`]
+    /// returns a value.
+    fn min_input_len(&self) -> usize {
+        1
+    }
+}
+
+/// A concrete member of the MSR family: a [`Reduction`] followed by a
+/// [`Selection`] followed by the arithmetic mean.
+///
+/// # Example
+///
+/// ```
+/// use mbaa_msr::{MsrFunction, Reduction, Selection, VotingFunction};
+/// use mbaa_types::{Value, ValueMultiset};
+///
+/// let f = MsrFunction::new(Reduction::trim(1), Selection::All);
+/// let votes: ValueMultiset = [0.0, 0.5, 1.0, 100.0]
+///     .iter().copied().map(Value::new).collect();
+/// assert_eq!(f.apply(&votes), Some(Value::new(0.75)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MsrFunction {
+    reduction: Reduction,
+    selection: Selection,
+}
+
+impl MsrFunction {
+    /// Assembles an MSR function from its reduction and selection steps.
+    #[must_use]
+    pub fn new(reduction: Reduction, selection: Selection) -> Self {
+        MsrFunction {
+            reduction,
+            selection,
+        }
+    }
+
+    /// The classic trimmed-mean algorithm of Dolev et al.: drop `tau` values
+    /// from each end, average everything that survives.
+    #[must_use]
+    pub fn dolev_mean(tau: usize) -> Self {
+        Self::new(Reduction::trim(tau), Selection::All)
+    }
+
+    /// The Fault-Tolerant Midpoint algorithm: drop `tau` values from each
+    /// end, average the smallest and largest survivors.
+    #[must_use]
+    pub fn fault_tolerant_midpoint(tau: usize) -> Self {
+        Self::new(Reduction::trim(tau), Selection::Extremes)
+    }
+
+    /// A reduced-median algorithm: drop `tau` values from each end, vote the
+    /// median of the survivors.
+    #[must_use]
+    pub fn reduced_median(tau: usize) -> Self {
+        Self::new(Reduction::trim(tau), Selection::MedianOnly)
+    }
+
+    /// The MSR instance sized for a mixed-mode fault configuration: the
+    /// reduction parameter is `τ = a + s` (benign faults are detected and
+    /// never enter the multiset).
+    #[must_use]
+    pub fn for_fault_counts(counts: FaultCounts) -> Self {
+        Self::dolev_mean(counts.reduction_tau())
+    }
+
+    /// The reduction step.
+    #[must_use]
+    pub fn reduction(&self) -> Reduction {
+        self.reduction
+    }
+
+    /// The selection step.
+    #[must_use]
+    pub fn selection(&self) -> Selection {
+        self.selection
+    }
+}
+
+impl VotingFunction for MsrFunction {
+    fn apply(&self, received: &ValueMultiset) -> Option<Value> {
+        let reduced = self.reduction.apply(received);
+        let selected = self.selection.apply(&reduced);
+        selected.mean()
+    }
+
+    fn name(&self) -> String {
+        format!("MSR[{} ∘ {} ∘ mean]", self.reduction, self.selection)
+    }
+
+    fn min_input_len(&self) -> usize {
+        self.reduction.min_input_len()
+    }
+}
+
+impl Default for MsrFunction {
+    fn default() -> Self {
+        MsrFunction::dolev_mean(0)
+    }
+}
+
+impl fmt::Display for MsrFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&VotingFunction::name(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(vals: &[f64]) -> ValueMultiset {
+        vals.iter().copied().map(Value::new).collect()
+    }
+
+    #[test]
+    fn dolev_mean_trims_then_averages() {
+        let f = MsrFunction::dolev_mean(1);
+        let votes = ms(&[-1000.0, 1.0, 2.0, 3.0, 1000.0]);
+        assert_eq!(f.apply(&votes), Some(Value::new(2.0)));
+        assert_eq!(f.min_input_len(), 3);
+    }
+
+    #[test]
+    fn fault_tolerant_midpoint_averages_extremes() {
+        let f = MsrFunction::fault_tolerant_midpoint(1);
+        let votes = ms(&[-1000.0, 1.0, 2.0, 7.0, 1000.0]);
+        assert_eq!(f.apply(&votes), Some(Value::new(4.0)));
+    }
+
+    #[test]
+    fn reduced_median_votes_the_median() {
+        let f = MsrFunction::reduced_median(1);
+        let votes = ms(&[-1000.0, 1.0, 2.0, 7.0, 1000.0]);
+        assert_eq!(f.apply(&votes), Some(Value::new(2.0)));
+    }
+
+    #[test]
+    fn for_fault_counts_uses_tau_a_plus_s() {
+        let f = MsrFunction::for_fault_counts(FaultCounts::new(1, 2, 5));
+        assert_eq!(f.reduction(), Reduction::trim(3));
+        assert_eq!(f.selection(), Selection::All);
+    }
+
+    #[test]
+    fn returns_none_on_undersized_input() {
+        let f = MsrFunction::dolev_mean(2);
+        assert_eq!(f.apply(&ms(&[1.0, 2.0, 3.0, 4.0])), None);
+        assert_eq!(f.apply(&ValueMultiset::new()), None);
+    }
+
+    #[test]
+    fn result_stays_within_input_range() {
+        let f = MsrFunction::dolev_mean(1);
+        let votes = ms(&[0.0, 0.25, 0.5, 0.75, 1.0]);
+        let out = f.apply(&votes).unwrap();
+        assert!(votes.range().unwrap().contains(out));
+    }
+
+    #[test]
+    fn default_is_plain_mean() {
+        let f = MsrFunction::default();
+        assert_eq!(f.apply(&ms(&[1.0, 3.0])), Some(Value::new(2.0)));
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        let f = MsrFunction::dolev_mean(2);
+        let name = VotingFunction::name(&f);
+        assert!(name.contains("trim"));
+        assert!(name.contains("mean"));
+        assert_eq!(f.to_string(), name);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let f: Box<dyn VotingFunction> = Box::new(MsrFunction::dolev_mean(1));
+        assert!(f.apply(&ms(&[1.0, 2.0, 3.0])).is_some());
+    }
+}

@@ -1,0 +1,57 @@
+//! The Mean-Subsequence-Reduce (MSR) family of convergent voting
+//! algorithms, after Kieckhafer & Azadmanesh, "Reaching Approximate
+//! Agreement with Mixed-Mode Faults" (IEEE TPDS 1994) — the algorithm class
+//! whose correctness under *mobile* Byzantine faults the paper proves.
+//!
+//! An MSR algorithm computes, each round,
+//!
+//! ```text
+//! F_MSR(N) = mean( Sel( Red(N) ) )
+//! ```
+//!
+//! where `N` is the multiset of received values, `Red` removes suspect
+//! extreme values, and `Sel` picks a subsequence of the remainder.
+//!
+//! This crate provides:
+//!
+//! * [`Reduction`] and [`Selection`] — the `Red` and `Sel` building blocks.
+//! * [`MsrFunction`] — a concrete `F_MSR`, assembled from the two, plus the
+//!   named instances the literature uses ([`MsrFunction::dolev_mean`],
+//!   [`MsrFunction::fault_tolerant_midpoint`],
+//!   [`MsrFunction::for_fault_counts`]).
+//! * [`VotingFunction`] — the object-safe trait the protocol engine uses, so
+//!   non-MSR baselines ([`MedianVoting`]) can be swapped in for comparison.
+//! * [`convergence`] — the single-step convergence properties **P1** and
+//!   **P2**, per-round contraction measurement, and the closed-form round
+//!   count predictions used by the benchmark harness.
+//!
+//! # Example
+//!
+//! ```
+//! use mbaa_msr::{MsrFunction, VotingFunction};
+//! use mbaa_types::{FaultCounts, Value, ValueMultiset};
+//!
+//! // Two asymmetric faults tolerated: reduce τ = 2 from each end.
+//! let f = MsrFunction::for_fault_counts(FaultCounts::new(2, 0, 0));
+//! let votes: ValueMultiset = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, -50.0, 75.0]
+//!     .iter().copied().map(Value::new).collect();
+//! let v = f.apply(&votes).unwrap();
+//! // The outliers planted by faulty processes are trimmed away.
+//! assert!(v >= Value::new(0.0) && v <= Value::new(0.5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod convergence;
+mod function;
+mod median;
+mod reduce;
+mod select;
+
+pub use convergence::{ConvergenceReport, RoundContraction};
+pub use function::{MsrFunction, VotingFunction};
+pub use median::MedianVoting;
+pub use reduce::Reduction;
+pub use select::Selection;

@@ -1,0 +1,126 @@
+//! The `Red` (reduction) step of MSR algorithms.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use mbaa_types::ValueMultiset;
+
+/// A reduction function: filters suspect values out of the received
+/// multiset before the mean is taken.
+///
+/// The canonical MSR reduction removes the `τ` largest and `τ` smallest
+/// values, where `τ` is chosen from the tolerated fault counts (`τ = a + s`
+/// in the mixed-mode analysis). Since at most `τ` values in the multiset can
+/// originate from non-benign faulty processes, every value surviving the
+/// reduction is bracketed by correct values — the key step behind validity
+/// (property P1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Reduction {
+    /// Keep the multiset unchanged (no fault tolerance).
+    Identity,
+    /// Remove the `tau` smallest and `tau` largest values.
+    Trim {
+        /// Number of values dropped from each end.
+        tau: usize,
+    },
+}
+
+impl Reduction {
+    /// A trimming reduction dropping `tau` values from each end.
+    #[must_use]
+    pub fn trim(tau: usize) -> Self {
+        Reduction::Trim { tau }
+    }
+
+    /// The number of values removed from each end of the sorted multiset.
+    #[must_use]
+    pub fn tau(&self) -> usize {
+        match self {
+            Reduction::Identity => 0,
+            Reduction::Trim { tau } => *tau,
+        }
+    }
+
+    /// Applies the reduction.
+    #[must_use]
+    pub fn apply(&self, values: &ValueMultiset) -> ValueMultiset {
+        match self {
+            Reduction::Identity => values.clone(),
+            Reduction::Trim { tau } => values.trimmed(*tau),
+        }
+    }
+
+    /// The minimum multiset size for which the reduction leaves at least one
+    /// value.
+    #[must_use]
+    pub fn min_input_len(&self) -> usize {
+        2 * self.tau() + 1
+    }
+}
+
+impl Default for Reduction {
+    fn default() -> Self {
+        Reduction::Identity
+    }
+}
+
+impl fmt::Display for Reduction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reduction::Identity => write!(f, "identity"),
+            Reduction::Trim { tau } => write!(f, "trim(τ={tau})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbaa_types::Value;
+
+    fn ms(vals: &[f64]) -> ValueMultiset {
+        vals.iter().copied().map(Value::new).collect()
+    }
+
+    #[test]
+    fn identity_keeps_everything() {
+        let m = ms(&[1.0, 2.0, 3.0]);
+        assert_eq!(Reduction::Identity.apply(&m), m);
+        assert_eq!(Reduction::Identity.tau(), 0);
+        assert_eq!(Reduction::Identity.min_input_len(), 1);
+        assert_eq!(Reduction::default(), Reduction::Identity);
+    }
+
+    #[test]
+    fn trim_drops_tau_from_each_end() {
+        let m = ms(&[-100.0, 1.0, 2.0, 3.0, 100.0]);
+        let red = Reduction::trim(1);
+        assert_eq!(red.apply(&m), ms(&[1.0, 2.0, 3.0]));
+        assert_eq!(red.tau(), 1);
+        assert_eq!(red.min_input_len(), 3);
+    }
+
+    #[test]
+    fn trim_of_small_multiset_is_empty() {
+        let m = ms(&[1.0, 2.0]);
+        assert!(Reduction::trim(1).apply(&m).is_empty());
+    }
+
+    #[test]
+    fn trim_never_widens_range() {
+        let m = ms(&[0.0, 1.0, 5.0, 9.0, 10.0]);
+        for tau in 0..3 {
+            let reduced = Reduction::trim(tau).apply(&m);
+            if let (Some(r), Some(orig)) = (reduced.range(), m.range()) {
+                assert!(orig.contains_interval(&r), "tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reduction::Identity.to_string(), "identity");
+        assert_eq!(Reduction::trim(2).to_string(), "trim(τ=2)");
+    }
+}

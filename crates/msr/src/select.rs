@@ -1,0 +1,145 @@
+//! The `Sel` (selection) step of MSR algorithms.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use mbaa_types::ValueMultiset;
+
+/// A selection function: picks a subsequence of the reduced multiset whose
+/// mean becomes the next vote.
+///
+/// Different members of the MSR family differ mostly in their selection
+/// step:
+///
+/// * [`Selection::All`] keeps the whole reduced multiset — plain trimmed
+///   averaging (the Dolev et al. style algorithm).
+/// * [`Selection::EveryKth`] keeps every `k`-th value of the sorted reduced
+///   multiset — the "subsequence" of Mean-*Subsequence*-Reduce, which
+///   improves the convergence rate against symmetric faults.
+/// * [`Selection::Extremes`] keeps only the smallest and largest surviving
+///   values — the Fault-Tolerant Midpoint algorithm.
+/// * [`Selection::MedianOnly`] keeps only the median surviving value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Selection {
+    /// Keep every value of the reduced multiset.
+    All,
+    /// Keep every `k`-th value (1-based stepping over the sorted multiset).
+    EveryKth {
+        /// The stride `k >= 1`.
+        k: usize,
+    },
+    /// Keep only the minimum and maximum of the reduced multiset.
+    Extremes,
+    /// Keep only the median of the reduced multiset.
+    MedianOnly,
+}
+
+impl Selection {
+    /// Applies the selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variant is [`Selection::EveryKth`] with `k == 0`.
+    #[must_use]
+    pub fn apply(&self, values: &ValueMultiset) -> ValueMultiset {
+        match self {
+            Selection::All => values.clone(),
+            Selection::EveryKth { k } => values.selected(*k),
+            Selection::Extremes => match (values.min(), values.max()) {
+                (Some(lo), Some(hi)) => [lo, hi].into_iter().collect(),
+                _ => ValueMultiset::new(),
+            },
+            Selection::MedianOnly => match values.median() {
+                Some(m) => std::iter::once(m).collect(),
+                None => ValueMultiset::new(),
+            },
+        }
+    }
+}
+
+impl Default for Selection {
+    fn default() -> Self {
+        Selection::All
+    }
+}
+
+impl fmt::Display for Selection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Selection::All => write!(f, "all"),
+            Selection::EveryKth { k } => write!(f, "every-{k}th"),
+            Selection::Extremes => write!(f, "extremes"),
+            Selection::MedianOnly => write!(f, "median"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbaa_types::Value;
+
+    fn ms(vals: &[f64]) -> ValueMultiset {
+        vals.iter().copied().map(Value::new).collect()
+    }
+
+    #[test]
+    fn all_keeps_everything() {
+        let m = ms(&[1.0, 2.0, 3.0]);
+        assert_eq!(Selection::All.apply(&m), m);
+        assert_eq!(Selection::default(), Selection::All);
+    }
+
+    #[test]
+    fn every_kth_strides_over_sorted_values() {
+        let m = ms(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(Selection::EveryKth { k: 2 }.apply(&m), ms(&[0.0, 2.0, 4.0]));
+        assert_eq!(Selection::EveryKth { k: 3 }.apply(&m), ms(&[0.0, 3.0]));
+        assert_eq!(Selection::EveryKth { k: 1 }.apply(&m), m);
+    }
+
+    #[test]
+    fn extremes_keeps_min_and_max() {
+        let m = ms(&[5.0, 1.0, 3.0]);
+        assert_eq!(Selection::Extremes.apply(&m), ms(&[1.0, 5.0]));
+        assert!(Selection::Extremes.apply(&ValueMultiset::new()).is_empty());
+        // A singleton keeps the value twice (min == max), preserving the mean.
+        assert_eq!(Selection::Extremes.apply(&ms(&[2.0])), ms(&[2.0, 2.0]));
+    }
+
+    #[test]
+    fn median_only() {
+        assert_eq!(Selection::MedianOnly.apply(&ms(&[1.0, 2.0, 9.0])), ms(&[2.0]));
+        assert_eq!(
+            Selection::MedianOnly.apply(&ms(&[1.0, 2.0, 3.0, 9.0])),
+            ms(&[2.5])
+        );
+        assert!(Selection::MedianOnly.apply(&ValueMultiset::new()).is_empty());
+    }
+
+    #[test]
+    fn selection_never_widens_range() {
+        let m = ms(&[0.0, 1.0, 2.0, 7.0, 10.0]);
+        let orig = m.range().unwrap();
+        for sel in [
+            Selection::All,
+            Selection::EveryKth { k: 2 },
+            Selection::Extremes,
+            Selection::MedianOnly,
+        ] {
+            let out = sel.apply(&m);
+            if let Some(r) = out.range() {
+                assert!(orig.contains_interval(&r), "{sel}");
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Selection::All.to_string(), "all");
+        assert_eq!(Selection::EveryKth { k: 2 }.to_string(), "every-2th");
+        assert_eq!(Selection::Extremes.to_string(), "extremes");
+        assert_eq!(Selection::MedianOnly.to_string(), "median");
+    }
+}

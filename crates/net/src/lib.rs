@@ -1,0 +1,61 @@
+//! Synchronous round-based message-passing substrate.
+//!
+//! The paper assumes a fully connected, authenticated, reliable synchronous
+//! network: every round is divided into a *send* phase, a *receive* phase
+//! (where every message sent at the beginning of the round is delivered) and
+//! a *compute* phase. This crate provides that substrate as an in-process
+//! simulator:
+//!
+//! * [`Outbox`] — what one process hands to the network in the send phase:
+//!   for each destination, either a value or an omission. A correct process
+//!   broadcasts the same value to everyone; a Byzantine process may put a
+//!   different value (or nothing) in every slot.
+//! * [`RoundDelivery`] — what one process receives in the receive phase:
+//!   for each sender, either the delivered value or an omission. Because the
+//!   network is authenticated, the sender identity attached to each slot is
+//!   always genuine.
+//! * [`SyncNetwork`] — the exchange engine that turns `n` outboxes into `n`
+//!   deliveries while enforcing the reliability guarantees (no loss, no
+//!   duplication, no creation) and recording a [`RoundTrace`].
+//! * [`RoundTrace`] / [`NetworkTrace`] — per-round observation records used
+//!   to classify the behaviour of each sender (benign / symmetric /
+//!   asymmetric), which is how the Table 1 mapping is validated
+//!   experimentally.
+//! * [`NetworkStats`] — message accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use mbaa_net::{Outbox, SyncNetwork};
+//! use mbaa_types::{ProcessId, Round, Value};
+//!
+//! let mut net = SyncNetwork::new(3);
+//! let round = Round::ZERO;
+//!
+//! // Every process broadcasts its own index as its vote.
+//! let outboxes: Vec<Outbox> = (0..3)
+//!     .map(|i| Outbox::broadcast(3, ProcessId::new(i), Value::new(i as f64)))
+//!     .collect();
+//!
+//! let deliveries = net.exchange(round, outboxes).unwrap();
+//! // Process 0 heard 0.0, 1.0 and 2.0.
+//! let heard = deliveries[0].received_multiset();
+//! assert_eq!(heard.len(), 3);
+//! assert_eq!(heard.max(), Some(Value::new(2.0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod delivery;
+mod network;
+mod outbox;
+mod stats;
+mod trace;
+
+pub use delivery::RoundDelivery;
+pub use network::SyncNetwork;
+pub use outbox::Outbox;
+pub use stats::NetworkStats;
+pub use trace::{NetworkTrace, ObservedBehavior, RoundTrace, SenderObservation};

@@ -1,0 +1,252 @@
+//! The synchronous exchange engine.
+
+use mbaa_types::{Error, ProcessId, Result, Round};
+
+use crate::{NetworkStats, NetworkTrace, Outbox, RoundDelivery, RoundTrace};
+
+/// A fully connected, authenticated, reliable synchronous network of `n`
+/// processes.
+///
+/// One call to [`SyncNetwork::exchange`] performs the send and receive
+/// phases of a round: it takes one [`Outbox`] per process and returns one
+/// [`RoundDelivery`] per process, guaranteeing that
+///
+/// * every non-omitted slot is delivered exactly once (*reliability*),
+/// * a delivered value is attributed to its true sender (*authentication*),
+/// * no value is delivered that was not sent (*no creation*).
+///
+/// The engine also keeps a [`NetworkTrace`] of everything that was delivered
+/// (used by the Table 1 behaviour classification) and running
+/// [`NetworkStats`].
+///
+/// # Example
+///
+/// ```
+/// use mbaa_net::{Outbox, SyncNetwork};
+/// use mbaa_types::{ProcessId, Round, Value};
+///
+/// let mut net = SyncNetwork::new(2);
+/// let outboxes = vec![
+///     Outbox::broadcast(2, ProcessId::new(0), Value::new(0.25)),
+///     Outbox::broadcast(2, ProcessId::new(1), Value::new(0.75)),
+/// ];
+/// let deliveries = net.exchange(Round::ZERO, outboxes)?;
+/// assert_eq!(deliveries[1].from_sender(ProcessId::new(0)), Some(Value::new(0.25)));
+/// # Ok::<(), mbaa_types::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyncNetwork {
+    n: usize,
+    stats: NetworkStats,
+    trace: NetworkTrace,
+    record_trace: bool,
+}
+
+impl SyncNetwork {
+    /// Creates a network connecting `n` processes, with tracing enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a network needs at least one process");
+        SyncNetwork {
+            n,
+            stats: NetworkStats::new(),
+            trace: NetworkTrace::new(),
+            record_trace: true,
+        }
+    }
+
+    /// Creates a network that does not record per-round traces (cheaper for
+    /// long benchmark runs).
+    #[must_use]
+    pub fn without_trace(n: usize) -> Self {
+        let mut net = Self::new(n);
+        net.record_trace = false;
+        net
+    }
+
+    /// The number of connected processes.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// The accumulated traffic statistics.
+    #[must_use]
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// The recorded trace (empty when tracing is disabled).
+    #[must_use]
+    pub fn trace(&self) -> &NetworkTrace {
+        &self.trace
+    }
+
+    /// Performs the send + receive phases of `round`.
+    ///
+    /// `outboxes` must contain exactly one outbox per process, ordered by
+    /// process index, each covering the full universe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WrongInputCount`] when the number of outboxes is not
+    /// `n`, and [`Error::InvalidParameter`] when an outbox is mis-ordered
+    /// (authentication would be violated) or covers the wrong universe.
+    pub fn exchange(&mut self, round: Round, outboxes: Vec<Outbox>) -> Result<Vec<RoundDelivery>> {
+        if outboxes.len() != self.n {
+            return Err(Error::WrongInputCount {
+                provided: outboxes.len(),
+                expected: self.n,
+            });
+        }
+        for (i, outbox) in outboxes.iter().enumerate() {
+            if outbox.sender() != ProcessId::new(i) {
+                return Err(Error::InvalidParameter(format!(
+                    "outbox at position {i} claims sender {} (authentication violation)",
+                    outbox.sender()
+                )));
+            }
+            if outbox.universe() != self.n {
+                return Err(Error::InvalidParameter(format!(
+                    "outbox of {} covers {} receivers, expected {}",
+                    outbox.sender(),
+                    outbox.universe(),
+                    self.n
+                )));
+            }
+        }
+
+        // Receive phase: transpose the outbox matrix. Slot [receiver][sender]
+        // of the delivery matrix is slot [sender][receiver] of the outboxes.
+        let deliveries: Vec<RoundDelivery> = (0..self.n)
+            .map(|r| {
+                let receiver = ProcessId::new(r);
+                let slots = outboxes
+                    .iter()
+                    .map(|outbox| outbox.get(receiver))
+                    .collect();
+                RoundDelivery::from_slots(receiver, slots)
+            })
+            .collect();
+
+        // Bookkeeping.
+        self.stats.rounds += 1;
+        for delivery in &deliveries {
+            let delivered = delivery.delivered_count() as u64;
+            self.stats.messages_delivered += delivered;
+            self.stats.omissions += self.n as u64 - delivered;
+        }
+        if self.record_trace {
+            self.trace.push(RoundTrace::from_outboxes(round, &outboxes));
+        }
+
+        Ok(deliveries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbaa_types::Value;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn exchange_transposes_outboxes() {
+        let mut net = SyncNetwork::new(3);
+        let outboxes = vec![
+            Outbox::broadcast(3, pid(0), Value::new(0.0)),
+            Outbox::per_receiver(
+                pid(1),
+                vec![Some(Value::new(10.0)), Some(Value::new(11.0)), Some(Value::new(12.0))],
+            ),
+            Outbox::silent(3, pid(2)),
+        ];
+        let deliveries = net.exchange(Round::ZERO, outboxes).unwrap();
+        assert_eq!(deliveries.len(), 3);
+
+        // Receiver 0: hears 0.0 from p0, 10.0 from p1, nothing from p2.
+        assert_eq!(deliveries[0].from_sender(pid(0)), Some(Value::new(0.0)));
+        assert_eq!(deliveries[0].from_sender(pid(1)), Some(Value::new(10.0)));
+        assert_eq!(deliveries[0].from_sender(pid(2)), None);
+
+        // Receiver 2 hears the asymmetric sender's third slot.
+        assert_eq!(deliveries[2].from_sender(pid(1)), Some(Value::new(12.0)));
+    }
+
+    #[test]
+    fn exchange_rejects_wrong_count() {
+        let mut net = SyncNetwork::new(3);
+        let outboxes = vec![Outbox::broadcast(3, pid(0), Value::new(0.0))];
+        let err = net.exchange(Round::ZERO, outboxes).unwrap_err();
+        assert!(matches!(err, Error::WrongInputCount { provided: 1, expected: 3 }));
+    }
+
+    #[test]
+    fn exchange_rejects_forged_sender() {
+        let mut net = SyncNetwork::new(2);
+        // Position 0 claims to be p1: identity forging is impossible in the
+        // authenticated model, so the engine rejects it.
+        let outboxes = vec![
+            Outbox::broadcast(2, pid(1), Value::new(0.0)),
+            Outbox::broadcast(2, pid(1), Value::new(0.0)),
+        ];
+        let err = net.exchange(Round::ZERO, outboxes).unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn exchange_rejects_wrong_universe() {
+        let mut net = SyncNetwork::new(2);
+        let outboxes = vec![
+            Outbox::broadcast(3, pid(0), Value::new(0.0)),
+            Outbox::broadcast(2, pid(1), Value::new(0.0)),
+        ];
+        let err = net.exchange(Round::ZERO, outboxes).unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut net = SyncNetwork::new(2);
+        let round_outboxes = || {
+            vec![
+                Outbox::broadcast(2, pid(0), Value::new(1.0)),
+                Outbox::silent(2, pid(1)),
+            ]
+        };
+        net.exchange(Round::ZERO, round_outboxes()).unwrap();
+        net.exchange(Round::new(1), round_outboxes()).unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(stats.messages_delivered, 4);
+        assert_eq!(stats.omissions, 4);
+        assert_eq!(stats.messages_per_round(), 2.0);
+    }
+
+    #[test]
+    fn trace_records_rounds_unless_disabled() {
+        let outboxes = || vec![Outbox::broadcast(1, pid(0), Value::new(1.0))];
+
+        let mut traced = SyncNetwork::new(1);
+        traced.exchange(Round::ZERO, outboxes()).unwrap();
+        assert_eq!(traced.trace().len(), 1);
+
+        let mut untraced = SyncNetwork::without_trace(1);
+        untraced.exchange(Round::ZERO, outboxes()).unwrap();
+        assert!(untraced.trace().is_empty());
+        assert_eq!(untraced.stats().rounds, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_process_network_panics() {
+        let _ = SyncNetwork::new(0);
+    }
+}

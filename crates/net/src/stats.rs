@@ -1,0 +1,119 @@
+//! Message accounting for the synchronous network.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing the traffic handled by a [`SyncNetwork`](crate::SyncNetwork).
+///
+/// # Example
+///
+/// ```
+/// use mbaa_net::{Outbox, SyncNetwork};
+/// use mbaa_types::{ProcessId, Round, Value};
+///
+/// let mut net = SyncNetwork::new(2);
+/// let outboxes = vec![
+///     Outbox::broadcast(2, ProcessId::new(0), Value::new(1.0)),
+///     Outbox::silent(2, ProcessId::new(1)),
+/// ];
+/// net.exchange(Round::ZERO, outboxes).unwrap();
+/// let stats = net.stats();
+/// assert_eq!(stats.rounds, 1);
+/// assert_eq!(stats.messages_delivered, 2);
+/// assert_eq!(stats.omissions, 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Number of rounds exchanged.
+    pub rounds: u64,
+    /// Number of point-to-point messages actually delivered.
+    pub messages_delivered: u64,
+    /// Number of omitted (never sent) point-to-point messages.
+    pub omissions: u64,
+}
+
+impl NetworkStats {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of sender/receiver slots processed.
+    #[must_use]
+    pub fn total_slots(&self) -> u64 {
+        self.messages_delivered + self.omissions
+    }
+
+    /// Average number of messages delivered per round, or `0.0` before the
+    /// first round.
+    #[must_use]
+    pub fn messages_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.messages_delivered as f64 / self.rounds as f64
+        }
+    }
+
+    /// Merges counters from another stats record.
+    pub fn merge(&mut self, other: &NetworkStats) {
+        self.rounds += other.rounds;
+        self.messages_delivered += other.messages_delivered;
+        self.omissions += other.omissions;
+    }
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} messages delivered, {} omissions",
+            self.rounds, self.messages_delivered, self.omissions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_by_default() {
+        let s = NetworkStats::new();
+        assert_eq!(s.rounds, 0);
+        assert_eq!(s.total_slots(), 0);
+        assert_eq!(s.messages_per_round(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = NetworkStats {
+            rounds: 2,
+            messages_delivered: 10,
+            omissions: 1,
+        };
+        let b = NetworkStats {
+            rounds: 3,
+            messages_delivered: 5,
+            omissions: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.rounds, 5);
+        assert_eq!(a.messages_delivered, 15);
+        assert_eq!(a.omissions, 3);
+        assert_eq!(a.total_slots(), 18);
+        assert_eq!(a.messages_per_round(), 3.0);
+    }
+
+    #[test]
+    fn display() {
+        let s = NetworkStats {
+            rounds: 1,
+            messages_delivered: 4,
+            omissions: 0,
+        };
+        assert_eq!(s.to_string(), "1 rounds, 4 messages delivered, 0 omissions");
+    }
+}

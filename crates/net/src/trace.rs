@@ -1,0 +1,305 @@
+//! Observation traces: what every receiver saw from every sender.
+//!
+//! Traces exist for two reasons. First, they are the raw material of the
+//! **Table 1 reproduction**: by looking at what one sender delivered to the
+//! different receivers in one round, we can classify its *observed*
+//! behaviour as benign (omitted everywhere), symmetric (same value
+//! everywhere) or asymmetric (different values to different receivers).
+//! Second, they feed the network statistics used by the benchmarks.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use mbaa_types::{ProcessId, Round, Value};
+
+use crate::Outbox;
+
+/// The behaviour of a sender in one round, as perceived by the receivers.
+///
+/// This is the *observable* counterpart of
+/// [`MixedFaultClass`](mbaa_types::MixedFaultClass): a correct broadcast is
+/// indistinguishable from a symmetric fault by looking at one round alone, so
+/// the classification carries a separate `CorrectBroadcast` variant for
+/// senders whose uniform value matches their expected correct vote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObservedBehavior {
+    /// The sender omitted its message to every receiver (self-incriminating,
+    /// i.e. benign).
+    Benign,
+    /// The sender delivered the same value to every receiver, and it equals
+    /// the vote a correct process would have sent.
+    CorrectBroadcast,
+    /// The sender delivered the same (unexpected) value to every receiver.
+    Symmetric,
+    /// The sender delivered different values (or a mix of values and
+    /// omissions) to different receivers.
+    Asymmetric,
+}
+
+impl fmt::Display for ObservedBehavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ObservedBehavior::Benign => "benign",
+            ObservedBehavior::CorrectBroadcast => "correct",
+            ObservedBehavior::Symmetric => "symmetric",
+            ObservedBehavior::Asymmetric => "asymmetric",
+        };
+        f.write_str(name)
+    }
+}
+
+/// What one sender delivered to each receiver in one round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SenderObservation {
+    sender: ProcessId,
+    delivered: Vec<Option<Value>>,
+}
+
+impl SenderObservation {
+    /// Builds the observation of a sender from its outbox (what the network
+    /// actually delivered, since the network is reliable).
+    #[must_use]
+    pub fn from_outbox(outbox: &Outbox) -> Self {
+        SenderObservation {
+            sender: outbox.sender(),
+            delivered: (0..outbox.universe())
+                .map(|i| outbox.get(ProcessId::new(i)))
+                .collect(),
+        }
+    }
+
+    /// The observed sender.
+    #[must_use]
+    pub fn sender(&self) -> ProcessId {
+        self.sender
+    }
+
+    /// What the given receiver got from this sender.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `receiver` is outside the universe.
+    #[must_use]
+    pub fn delivered_to(&self, receiver: ProcessId) -> Option<Value> {
+        self.delivered[receiver.index()]
+    }
+
+    /// Classifies the sender's behaviour this round.
+    ///
+    /// `expected` is the vote a correct process in the sender's position
+    /// would have broadcast (when known); it separates
+    /// [`ObservedBehavior::CorrectBroadcast`] from
+    /// [`ObservedBehavior::Symmetric`]. Pass `None` when no expectation is
+    /// available, in which case any uniform broadcast is reported as
+    /// `CorrectBroadcast`.
+    #[must_use]
+    pub fn classify(&self, expected: Option<Value>) -> ObservedBehavior {
+        let all_omitted = self.delivered.iter().all(Option::is_none);
+        if all_omitted {
+            return ObservedBehavior::Benign;
+        }
+        let first = self.delivered[0];
+        let uniform = self.delivered.iter().all(|d| *d == first);
+        if !uniform {
+            return ObservedBehavior::Asymmetric;
+        }
+        // Uniform and not all omitted => first is Some.
+        let value = first.expect("uniform non-omitted observation has a value");
+        match expected {
+            Some(e) if e != value => ObservedBehavior::Symmetric,
+            _ => ObservedBehavior::CorrectBroadcast,
+        }
+    }
+}
+
+/// All sender observations of a single round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundTrace {
+    round: Round,
+    observations: Vec<SenderObservation>,
+}
+
+impl RoundTrace {
+    /// Builds the round trace from every outbox handed to the network.
+    #[must_use]
+    pub fn from_outboxes(round: Round, outboxes: &[Outbox]) -> Self {
+        RoundTrace {
+            round,
+            observations: outboxes.iter().map(SenderObservation::from_outbox).collect(),
+        }
+    }
+
+    /// The round this trace describes.
+    #[must_use]
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The observation of the given sender.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is outside the universe.
+    #[must_use]
+    pub fn observation(&self, sender: ProcessId) -> &SenderObservation {
+        &self.observations[sender.index()]
+    }
+
+    /// Iterates over all sender observations.
+    pub fn iter(&self) -> impl Iterator<Item = &SenderObservation> {
+        self.observations.iter()
+    }
+
+    /// Number of senders covered.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.observations.len()
+    }
+}
+
+/// The accumulated traces of a whole execution.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetworkTrace {
+    rounds: Vec<RoundTrace>,
+}
+
+impl NetworkTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the trace of one round.
+    pub fn push(&mut self, round_trace: RoundTrace) {
+        self.rounds.push(round_trace);
+    }
+
+    /// Number of recorded rounds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Returns `true` when no round has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// The trace of the given recorded round (by position, not round index).
+    #[must_use]
+    pub fn get(&self, position: usize) -> Option<&RoundTrace> {
+        self.rounds.get(position)
+    }
+
+    /// Iterates over all recorded rounds.
+    pub fn iter(&self) -> impl Iterator<Item = &RoundTrace> {
+        self.rounds.iter()
+    }
+
+    /// The most recent round trace, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<&RoundTrace> {
+        self.rounds.last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn benign_classification_for_silence() {
+        let outbox = Outbox::silent(3, pid(0));
+        let obs = SenderObservation::from_outbox(&outbox);
+        assert_eq!(obs.classify(Some(Value::new(1.0))), ObservedBehavior::Benign);
+        assert_eq!(obs.classify(None), ObservedBehavior::Benign);
+    }
+
+    #[test]
+    fn correct_broadcast_matches_expectation() {
+        let outbox = Outbox::broadcast(3, pid(1), Value::new(2.0));
+        let obs = SenderObservation::from_outbox(&outbox);
+        assert_eq!(
+            obs.classify(Some(Value::new(2.0))),
+            ObservedBehavior::CorrectBroadcast
+        );
+        assert_eq!(obs.classify(None), ObservedBehavior::CorrectBroadcast);
+    }
+
+    #[test]
+    fn symmetric_when_uniform_but_wrong() {
+        let outbox = Outbox::broadcast(3, pid(1), Value::new(42.0));
+        let obs = SenderObservation::from_outbox(&outbox);
+        assert_eq!(
+            obs.classify(Some(Value::new(2.0))),
+            ObservedBehavior::Symmetric
+        );
+    }
+
+    #[test]
+    fn asymmetric_when_values_differ() {
+        let outbox = Outbox::per_receiver(
+            pid(0),
+            vec![Some(Value::new(0.0)), Some(Value::new(1.0)), Some(Value::new(0.0))],
+        );
+        let obs = SenderObservation::from_outbox(&outbox);
+        assert_eq!(obs.classify(None), ObservedBehavior::Asymmetric);
+    }
+
+    #[test]
+    fn partial_omission_is_asymmetric() {
+        let outbox = Outbox::per_receiver(pid(0), vec![Some(Value::new(0.0)), None]);
+        let obs = SenderObservation::from_outbox(&outbox);
+        assert_eq!(obs.classify(None), ObservedBehavior::Asymmetric);
+    }
+
+    #[test]
+    fn observation_delivered_to() {
+        let outbox = Outbox::per_receiver(pid(3), vec![Some(Value::new(5.0)), None]);
+        let obs = SenderObservation::from_outbox(&outbox);
+        assert_eq!(obs.sender(), pid(3));
+        assert_eq!(obs.delivered_to(pid(0)), Some(Value::new(5.0)));
+        assert_eq!(obs.delivered_to(pid(1)), None);
+    }
+
+    #[test]
+    fn round_trace_collects_all_senders() {
+        let outboxes = vec![
+            Outbox::broadcast(2, pid(0), Value::new(1.0)),
+            Outbox::silent(2, pid(1)),
+        ];
+        let trace = RoundTrace::from_outboxes(Round::new(7), &outboxes);
+        assert_eq!(trace.round(), Round::new(7));
+        assert_eq!(trace.universe(), 2);
+        assert_eq!(trace.observation(pid(1)).classify(None), ObservedBehavior::Benign);
+        assert_eq!(trace.iter().count(), 2);
+    }
+
+    #[test]
+    fn network_trace_accumulates_rounds() {
+        let mut trace = NetworkTrace::new();
+        assert!(trace.is_empty());
+        let outboxes = vec![Outbox::broadcast(1, pid(0), Value::new(0.0))];
+        trace.push(RoundTrace::from_outboxes(Round::ZERO, &outboxes));
+        trace.push(RoundTrace::from_outboxes(Round::new(1), &outboxes));
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.get(0).unwrap().round(), Round::ZERO);
+        assert_eq!(trace.last().unwrap().round(), Round::new(1));
+        assert_eq!(trace.iter().count(), 2);
+    }
+
+    #[test]
+    fn observed_behavior_display() {
+        assert_eq!(ObservedBehavior::Benign.to_string(), "benign");
+        assert_eq!(ObservedBehavior::CorrectBroadcast.to_string(), "correct");
+        assert_eq!(ObservedBehavior::Symmetric.to_string(), "symmetric");
+        assert_eq!(ObservedBehavior::Asymmetric.to_string(), "asymmetric");
+    }
+}

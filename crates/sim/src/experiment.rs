@@ -1,0 +1,305 @@
+//! Seeded experiments and their aggregated results.
+
+use serde::{Deserialize, Serialize};
+
+use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
+use mbaa_core::{MobileEngine, ProtocolConfig};
+use mbaa_msr::MsrFunction;
+use mbaa_types::{MobileModel, Result};
+
+use crate::Workload;
+
+/// The description of one experiment point: a `(model, n, f, adversary,
+/// algorithm, workload)` combination evaluated over a batch of seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// The mobile Byzantine model.
+    pub model: MobileModel,
+    /// The number of processes.
+    pub n: usize,
+    /// The number of agents.
+    pub f: usize,
+    /// The agreement tolerance.
+    pub epsilon: f64,
+    /// The per-run round budget.
+    pub max_rounds: usize,
+    /// The adversary's mobility strategy.
+    pub mobility: MobilityStrategy,
+    /// The adversary's corruption strategy.
+    pub corruption: CorruptionStrategy,
+    /// The MSR instance to run, or `None` for the model's default.
+    pub function: Option<MsrFunction>,
+    /// The seeds to evaluate (one full protocol run per seed).
+    pub seeds: Vec<u64>,
+    /// The initial-value workload.
+    pub workload: Workload,
+    /// Whether to allow `n` below the model's bound (threshold sweeps).
+    pub allow_bound_violation: bool,
+}
+
+impl ExperimentConfig {
+    /// Creates an experiment with the workspace defaults: worst-case
+    /// adversary (split corruption, extreme-targeting mobility), ε = 1e-3,
+    /// 300-round budget, 10 seeds, uniform spread workload.
+    #[must_use]
+    pub fn new(model: MobileModel, n: usize, f: usize) -> Self {
+        ExperimentConfig {
+            model,
+            n,
+            f,
+            epsilon: 1e-3,
+            max_rounds: 300,
+            mobility: MobilityStrategy::TargetExtremes,
+            corruption: CorruptionStrategy::split_attack(),
+            function: None,
+            seeds: (0..10).collect(),
+            workload: Workload::default(),
+            allow_bound_violation: false,
+        }
+    }
+
+    /// Replaces the seed batch.
+    #[must_use]
+    pub fn with_seeds<I: IntoIterator<Item = u64>>(mut self, seeds: I) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Replaces the workload.
+    #[must_use]
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Replaces the agreement tolerance.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Replaces the round budget.
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Replaces the adversary strategies.
+    #[must_use]
+    pub fn with_adversary(mut self, mobility: MobilityStrategy, corruption: CorruptionStrategy) -> Self {
+        self.mobility = mobility;
+        self.corruption = corruption;
+        self
+    }
+
+    /// Replaces the voting function.
+    #[must_use]
+    pub fn with_function(mut self, function: MsrFunction) -> Self {
+        self.function = Some(function);
+        self
+    }
+
+    /// Permits `n` below the model's resilience bound.
+    #[must_use]
+    pub fn allowing_bound_violation(mut self) -> Self {
+        self.allow_bound_violation = true;
+        self
+    }
+
+    /// Builds the [`ProtocolConfig`] for one seed.
+    fn protocol_config(&self, seed: u64) -> Result<ProtocolConfig> {
+        let mut builder = ProtocolConfig::builder(self.model, self.n, self.f)
+            .epsilon(self.epsilon)
+            .max_rounds(self.max_rounds)
+            .mobility(self.mobility)
+            .corruption(self.corruption)
+            .seed(seed);
+        if let Some(function) = self.function {
+            builder = builder.function(function);
+        }
+        if self.allow_bound_violation {
+            builder = builder.allow_bound_violation();
+        }
+        builder.build()
+    }
+}
+
+/// The outcome of one seeded run within an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// The adversary/workload seed of this run.
+    pub seed: u64,
+    /// Whether ε-agreement was reached within the round budget.
+    pub reached_agreement: bool,
+    /// Whether validity held at the end of the run.
+    pub validity: bool,
+    /// Number of rounds executed.
+    pub rounds: usize,
+    /// Diameter of the non-faulty values at the end of the run.
+    pub final_diameter: f64,
+    /// Diameter of the non-faulty initial values.
+    pub initial_diameter: f64,
+    /// Geometric-mean per-round contraction factor, when measurable.
+    pub mean_contraction: Option<f64>,
+}
+
+/// The aggregated outcome of an experiment point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// The configuration that produced this result.
+    pub config: ExperimentConfig,
+    /// One summary per seed.
+    pub runs: Vec<RunSummary>,
+}
+
+impl ExperimentResult {
+    /// Fraction of runs that reached ε-agreement *and* preserved validity.
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        let ok = self
+            .runs
+            .iter()
+            .filter(|r| r.reached_agreement && r.validity)
+            .count();
+        ok as f64 / self.runs.len() as f64
+    }
+
+    /// Returns `true` when every run reached ε-agreement with validity.
+    #[must_use]
+    pub fn all_succeeded(&self) -> bool {
+        !self.runs.is_empty() && self.runs.iter().all(|r| r.reached_agreement && r.validity)
+    }
+
+    /// Rounds-to-agreement of the successful runs.
+    #[must_use]
+    pub fn rounds_of_successful_runs(&self) -> Vec<f64> {
+        self.runs
+            .iter()
+            .filter(|r| r.reached_agreement)
+            .map(|r| r.rounds as f64)
+            .collect()
+    }
+
+    /// Mean rounds-to-agreement over the successful runs, or `None` when no
+    /// run succeeded.
+    #[must_use]
+    pub fn mean_rounds(&self) -> Option<f64> {
+        let rounds = self.rounds_of_successful_runs();
+        if rounds.is_empty() {
+            None
+        } else {
+            Some(rounds.iter().sum::<f64>() / rounds.len() as f64)
+        }
+    }
+
+    /// Mean of the per-run contraction factors, over runs where one was
+    /// measurable.
+    #[must_use]
+    pub fn mean_contraction(&self) -> Option<f64> {
+        let factors: Vec<f64> = self.runs.iter().filter_map(|r| r.mean_contraction).collect();
+        if factors.is_empty() {
+            None
+        } else {
+            Some(factors.iter().sum::<f64>() / factors.len() as f64)
+        }
+    }
+}
+
+/// Runs every seed of an experiment point and aggregates the outcomes.
+///
+/// # Errors
+///
+/// Propagates configuration errors (for example `n` below the bound without
+/// [`ExperimentConfig::allowing_bound_violation`]) and engine errors.
+pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult> {
+    let mut runs = Vec::with_capacity(config.seeds.len());
+    for &seed in &config.seeds {
+        let protocol = config.protocol_config(seed)?;
+        let engine = MobileEngine::new(protocol);
+        let inputs = config.workload.generate(config.n, seed);
+        let outcome = engine.run(&inputs)?;
+        runs.push(RunSummary {
+            seed,
+            reached_agreement: outcome.reached_agreement,
+            validity: outcome.validity_holds(),
+            rounds: outcome.rounds_executed,
+            final_diameter: outcome.final_diameter(),
+            initial_diameter: outcome.report.initial_diameter(),
+            mean_contraction: outcome.report.mean_contraction_factor(),
+        });
+    }
+    Ok(ExperimentResult {
+        config: config.clone(),
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_runs_every_seed() {
+        let config = ExperimentConfig::new(MobileModel::Buhrman, 7, 2).with_seeds(0..4);
+        let result = run_experiment(&config).unwrap();
+        assert_eq!(result.runs.len(), 4);
+        assert!(result.all_succeeded());
+        assert_eq!(result.success_rate(), 1.0);
+        assert!(result.mean_rounds().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn below_bound_requires_explicit_opt_in() {
+        let config = ExperimentConfig::new(MobileModel::Garay, 8, 2).with_seeds(0..1);
+        assert!(run_experiment(&config).is_err());
+
+        let permissive = config.allowing_bound_violation();
+        assert!(run_experiment(&permissive).is_ok());
+    }
+
+    #[test]
+    fn every_model_succeeds_at_its_bound() {
+        for model in MobileModel::ALL {
+            let f = 1;
+            let n = model.required_processes(f);
+            let config = ExperimentConfig::new(model, n, f)
+                .with_seeds(0..3)
+                .with_epsilon(1e-3)
+                .with_max_rounds(300);
+            let result = run_experiment(&config).unwrap();
+            assert!(result.all_succeeded(), "{model} failed: {:?}", result.runs);
+        }
+    }
+
+    #[test]
+    fn custom_function_and_workload_are_used() {
+        let config = ExperimentConfig::new(MobileModel::Buhrman, 7, 1)
+            .with_seeds(0..2)
+            .with_function(MsrFunction::fault_tolerant_midpoint(1))
+            .with_workload(Workload::Clustered {
+                centers: vec![0.0, 0.5, 1.0],
+                jitter: 0.01,
+            })
+            .with_adversary(MobilityStrategy::Random, CorruptionStrategy::BoundaryDrag);
+        let result = run_experiment(&config).unwrap();
+        assert!(result.all_succeeded());
+        // Every run records its initial diameter even when the contraction
+        // factor is unmeasurable (exact agreement reached in one step).
+        assert!(result.runs.iter().all(|r| r.initial_diameter > 0.0));
+    }
+
+    #[test]
+    fn empty_seed_batch_yields_empty_result() {
+        let config = ExperimentConfig::new(MobileModel::Buhrman, 4, 1).with_seeds(std::iter::empty());
+        let result = run_experiment(&config).unwrap();
+        assert!(result.runs.is_empty());
+        assert_eq!(result.success_rate(), 0.0);
+        assert!(!result.all_succeeded());
+        assert_eq!(result.mean_rounds(), None);
+    }
+}

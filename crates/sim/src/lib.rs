@@ -1,0 +1,43 @@
+//! Experiment harness: seeded experiments, parameter sweeps, statistics, and
+//! report tables.
+//!
+//! The benchmarks (`mbaa-bench`), the examples, and EXPERIMENTS.md are all
+//! generated through this crate so that every number reported by the
+//! repository can be reproduced from an [`ExperimentConfig`]:
+//!
+//! * [`Workload`] — how initial values are generated (deterministic spread,
+//!   clustered sensors, seeded uniform noise).
+//! * [`ExperimentConfig`] / [`run_experiment`] — run one (model, n, f,
+//!   adversary, algorithm) point over a batch of seeds and aggregate the
+//!   outcomes into an [`ExperimentResult`].
+//! * [`sweep`] — sweeps over `n`, models, and adversary strategies.
+//! * [`stats`] — small summary-statistics helpers.
+//! * [`report`] — Markdown / CSV table emission used by the benches.
+//!
+//! # Example
+//!
+//! ```
+//! use mbaa_sim::{run_experiment, ExperimentConfig, Workload};
+//! use mbaa_types::MobileModel;
+//!
+//! let config = ExperimentConfig::new(MobileModel::Buhrman, 7, 2)
+//!     .with_seeds(0..5)
+//!     .with_workload(Workload::UniformSpread { lo: 0.0, hi: 1.0 });
+//! let result = run_experiment(&config)?;
+//! assert_eq!(result.runs.len(), 5);
+//! assert!(result.success_rate() > 0.99);
+//! # Ok::<(), mbaa_types::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod experiment;
+pub mod report;
+pub mod stats;
+pub mod sweep;
+mod workload;
+
+pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, RunSummary};
+pub use workload::Workload;

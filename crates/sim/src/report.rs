@@ -1,0 +1,170 @@
+//! Plain-text report tables (Markdown and CSV).
+//!
+//! The benchmark targets print the paper's tables through this module so
+//! their output can be pasted straight into EXPERIMENTS.md.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A rectangular table with a header row.
+///
+/// # Example
+///
+/// ```
+/// use mbaa_sim::report::Table;
+///
+/// let mut table = Table::new(["model", "n"]);
+/// table.push_row(["M1", "9"]);
+/// assert!(table.to_markdown().contains("| M1 | 9 |"));
+/// assert_eq!(table.to_csv(), "model,n\nM1,9\n");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no header is provided.
+    #[must_use]
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row does not have exactly one cell per column.
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match the header width"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as GitHub-flavoured Markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.headers.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+
+    /// Renders the table as CSV (no quoting; cells must not contain commas).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+/// Formats a float with a fixed number of decimals for table cells.
+#[must_use]
+pub fn fmt_f64(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Formats an optional float, using `"-"` for `None`.
+#[must_use]
+pub fn fmt_opt_f64(value: Option<f64>, decimals: usize) -> String {
+    value.map_or_else(|| "-".to_string(), |v| fmt_f64(v, decimals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_round_trip() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["1", "2"]);
+        t.push_row(["x", "y"]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a | b |"));
+        assert!(md.contains("| x | y |"));
+
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,2\nx,y\n");
+        assert_eq!(t.to_string(), md);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panic() {
+        let _ = Table::new(Vec::<String>::new());
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_opt_f64(Some(0.5), 1), "0.5");
+        assert_eq!(fmt_opt_f64(None, 3), "-");
+    }
+}

@@ -1,0 +1,116 @@
+//! Summary statistics over experiment measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample of measurements.
+///
+/// # Example
+///
+/// ```
+/// use mbaa_sim::stats::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// assert_eq!(s.median, 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (midpoint of central pair for even counts).
+    pub median: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample, or `None` when it is empty or
+    /// contains non-finite values.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() || samples.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let variance = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+
+        Some(Summary {
+            count,
+            mean,
+            median,
+            min: sorted[0],
+            max: sorted[count - 1],
+            std_dev: variance.sqrt(),
+        })
+    }
+}
+
+/// The relative difference `|a - b| / max(|a|, |b|)`, or `0.0` when both are
+/// zero. Used to compare mobile and static diameter trajectories.
+#[must_use]
+pub fn relative_difference(a: f64, b: f64) -> f64 {
+    let scale = a.abs().max(b.abs());
+    if scale == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_simple_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.median, 4.5);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.std_dev, 2.0);
+    }
+
+    #[test]
+    fn summary_of_odd_sample_and_singleton() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.median, 2.0);
+
+        let one = Summary::of(&[7.0]).unwrap();
+        assert_eq!(one.mean, 7.0);
+        assert_eq!(one.std_dev, 0.0);
+    }
+
+    #[test]
+    fn summary_rejects_empty_and_non_finite() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::of(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn relative_difference_behaviour() {
+        assert_eq!(relative_difference(0.0, 0.0), 0.0);
+        assert_eq!(relative_difference(1.0, 1.0), 0.0);
+        assert!((relative_difference(1.0, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(relative_difference(-2.0, 2.0), 2.0);
+    }
+}

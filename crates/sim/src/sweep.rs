@@ -1,0 +1,249 @@
+//! Parameter sweeps: rounds-to-agreement vs `n`, adversary-strategy
+//! ablations, and the mobile-vs-static equivalence experiment.
+
+use serde::{Deserialize, Serialize};
+
+use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
+use mbaa_mixed::{FaultAssignment, StaticBehavior, StaticSimulator};
+use mbaa_msr::MsrFunction;
+use mbaa_types::{Epsilon, MobileModel, Result};
+
+use crate::{run_experiment, ExperimentConfig, ExperimentResult};
+
+/// One point of a rounds-vs-`n` sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The number of processes at this point.
+    pub n: usize,
+    /// The aggregated experiment result.
+    pub result: ExperimentResult,
+}
+
+/// Sweeps the system size from the model's minimum requirement up to
+/// `required + extra` and measures rounds-to-agreement at each size
+/// (experiment **F2** of DESIGN.md).
+///
+/// # Errors
+///
+/// Propagates configuration or engine errors.
+pub fn rounds_vs_n(
+    model: MobileModel,
+    f: usize,
+    extra: usize,
+    template: &ExperimentConfig,
+) -> Result<Vec<SweepPoint>> {
+    let start = model.required_processes(f);
+    let mut points = Vec::with_capacity(extra + 1);
+    for n in start..=start + extra {
+        let config = ExperimentConfig {
+            model,
+            n,
+            f,
+            ..template.clone()
+        };
+        points.push(SweepPoint {
+            n,
+            result: run_experiment(&config)?,
+        });
+    }
+    Ok(points)
+}
+
+/// One cell of the adversary-strategy ablation grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationPoint {
+    /// The model evaluated.
+    pub model: MobileModel,
+    /// The mobility strategy of the adversary.
+    pub mobility: MobilityStrategy,
+    /// The corruption strategy of the adversary.
+    pub corruption: CorruptionStrategy,
+    /// The aggregated result.
+    pub result: ExperimentResult,
+}
+
+/// Evaluates every (mobility, corruption) pair for every model at
+/// `n = required(f)` (experiment **F4** of DESIGN.md).
+///
+/// # Errors
+///
+/// Propagates configuration or engine errors.
+pub fn adversary_ablation(f: usize, template: &ExperimentConfig) -> Result<Vec<AblationPoint>> {
+    let mut points = Vec::new();
+    for model in MobileModel::ALL {
+        let n = model.required_processes(f);
+        for mobility in MobilityStrategy::ALL {
+            for corruption in CorruptionStrategy::all_representative() {
+                let config = ExperimentConfig {
+                    model,
+                    n,
+                    f,
+                    mobility,
+                    corruption,
+                    ..template.clone()
+                };
+                points.push(AblationPoint {
+                    model,
+                    mobility,
+                    corruption,
+                    result: run_experiment(&config)?,
+                });
+            }
+        }
+    }
+    Ok(points)
+}
+
+/// The diameter trajectories of one mobile run and its static mixed-mode
+/// image (experiment **F3**, Theorem 1's equivalence).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquivalencePoint {
+    /// The seed shared by the two runs.
+    pub seed: u64,
+    /// End-of-round diameters of the mobile execution.
+    pub mobile_diameters: Vec<f64>,
+    /// End-of-round diameters of the static mixed-mode execution.
+    pub static_diameters: Vec<f64>,
+    /// Whether both runs reached ε-agreement.
+    pub both_converged: bool,
+}
+
+impl EquivalencePoint {
+    /// Rounds the mobile run needed (length of its trajectory).
+    #[must_use]
+    pub fn mobile_rounds(&self) -> usize {
+        self.mobile_diameters.len()
+    }
+
+    /// Rounds the static run needed.
+    #[must_use]
+    pub fn static_rounds(&self) -> usize {
+        self.static_diameters.len()
+    }
+}
+
+/// Runs, for each seed, a mobile execution of `model` and a static
+/// mixed-mode execution with the mapped fault counts (Lemmas 1–4), under
+/// comparable adversarial value strategies, and returns both diameter
+/// trajectories.
+///
+/// # Errors
+///
+/// Propagates configuration or engine errors.
+pub fn mobile_vs_static(
+    model: MobileModel,
+    n: usize,
+    f: usize,
+    template: &ExperimentConfig,
+) -> Result<Vec<EquivalencePoint>> {
+    let epsilon = Epsilon::try_new(template.epsilon)
+        .ok_or_else(|| mbaa_types::Error::InvalidParameter("epsilon must be > 0".into()))?;
+    let counts = model.mixed_fault_counts(f);
+    let function = MsrFunction::for_fault_counts(counts);
+    let mut points = Vec::with_capacity(template.seeds.len());
+
+    for &seed in &template.seeds {
+        // Mobile execution.
+        let mobile_config = ExperimentConfig {
+            model,
+            n,
+            f,
+            seeds: vec![seed],
+            ..template.clone()
+        };
+        let mobile = run_experiment(&mobile_config)?;
+        let mobile_run = &mobile.runs[0];
+
+        // To recover the full trajectory we re-run through the engine
+        // directly (run_experiment only keeps the summary).
+        let protocol = mbaa_core::ProtocolConfig::builder(model, n, f)
+            .epsilon(template.epsilon)
+            .max_rounds(template.max_rounds)
+            .mobility(template.mobility)
+            .corruption(template.corruption)
+            .seed(seed)
+            .build()?;
+        let inputs = template.workload.generate(n, seed);
+        let mobile_outcome = mbaa_core::MobileEngine::new(protocol).run(&inputs)?;
+
+        // Static mixed-mode execution with the mapped fault counts.
+        let assignment = FaultAssignment::with_first_processes_faulty(n, counts)?;
+        let static_sim = StaticSimulator::new(assignment, StaticBehavior::spread_attack(), seed);
+        let static_outcome =
+            static_sim.run(&function, &inputs, epsilon, template.max_rounds)?;
+
+        points.push(EquivalencePoint {
+            seed,
+            mobile_diameters: mobile_outcome.report.diameters().to_vec(),
+            static_diameters: static_outcome.report.diameters().to_vec(),
+            both_converged: mobile_run.reached_agreement && static_outcome.reached_agreement,
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_template(seeds: std::ops::Range<u64>) -> ExperimentConfig {
+        ExperimentConfig::new(MobileModel::Buhrman, 7, 2)
+            .with_seeds(seeds)
+            .with_epsilon(1e-3)
+            .with_max_rounds(200)
+    }
+
+    #[test]
+    fn rounds_vs_n_covers_the_requested_range() {
+        let template = small_template(0..2);
+        let points = rounds_vs_n(MobileModel::Buhrman, 2, 3, &template).unwrap();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].n, 7);
+        assert_eq!(points[3].n, 10);
+        assert!(points.iter().all(|p| p.result.all_succeeded()));
+    }
+
+    #[test]
+    fn more_processes_do_not_converge_slower_on_average() {
+        // Convergence should not degrade as n grows well beyond the bound.
+        let template = small_template(0..3);
+        let points = rounds_vs_n(MobileModel::Garay, 1, 8, &template).unwrap();
+        let first = points.first().unwrap().result.mean_rounds().unwrap();
+        let last = points.last().unwrap().result.mean_rounds().unwrap();
+        assert!(last <= first * 2.0, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn ablation_grid_has_one_cell_per_combination() {
+        let template = ExperimentConfig::new(MobileModel::Buhrman, 7, 1)
+            .with_seeds(0..1)
+            .with_max_rounds(150);
+        let points = adversary_ablation(1, &template).unwrap();
+        let expected = MobileModel::ALL.len()
+            * MobilityStrategy::ALL.len()
+            * CorruptionStrategy::all_representative().len();
+        assert_eq!(points.len(), expected);
+        // Above the bound every combination must succeed.
+        for p in &points {
+            assert!(
+                p.result.all_succeeded(),
+                "{} with {}/{} failed",
+                p.model,
+                p.mobility,
+                p.corruption
+            );
+        }
+    }
+
+    #[test]
+    fn mobile_and_static_trajectories_both_converge() {
+        let template = small_template(0..3);
+        let points = mobile_vs_static(MobileModel::Garay, 9, 2, &template).unwrap();
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.both_converged, "seed {} diverged", p.seed);
+            assert!(p.mobile_rounds() > 0);
+            assert!(p.static_rounds() > 0);
+        }
+    }
+}

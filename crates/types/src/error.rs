@@ -1,0 +1,147 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+use crate::{MobileModel, ProcessId, Round};
+
+/// A specialized `Result` type for mbaa operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while configuring or running an agreement protocol.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The system has too few processes for the requested number of mobile
+    /// Byzantine agents under the given model.
+    InsufficientProcesses {
+        /// The model whose bound is violated.
+        model: MobileModel,
+        /// The number of processes configured.
+        n: usize,
+        /// The number of mobile agents configured.
+        f: usize,
+        /// The minimum number of processes the model requires.
+        required: usize,
+    },
+    /// The system has too few processes for the requested static mixed-mode
+    /// fault counts (`n <= 3a + 2s + b`).
+    InsufficientProcessesMixed {
+        /// The number of processes configured.
+        n: usize,
+        /// The minimum number of processes the fault counts require.
+        required: usize,
+    },
+    /// A process index is outside the universe `[0, n)`.
+    UnknownProcess {
+        /// The offending process.
+        process: ProcessId,
+        /// The number of processes in the system.
+        n: usize,
+    },
+    /// The number of initial values does not match the number of processes.
+    WrongInputCount {
+        /// Number of initial values provided.
+        provided: usize,
+        /// Number of processes expected.
+        expected: usize,
+    },
+    /// The protocol did not reach ε-agreement within the allowed rounds.
+    DidNotConverge {
+        /// The last round executed.
+        last_round: Round,
+        /// The diameter of non-faulty values at that round.
+        diameter: f64,
+        /// The agreement tolerance requested.
+        epsilon: f64,
+    },
+    /// An invalid parameter was supplied (message describes which).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InsufficientProcesses {
+                model,
+                n,
+                f: agents,
+                required,
+            } => write!(
+                f,
+                "{model} requires more than {} processes for f={agents} agents, got n={n} (need n >= {required})",
+                required - 1
+            ),
+            Error::InsufficientProcessesMixed { n, required } => write!(
+                f,
+                "mixed-mode fault counts require n >= {required}, got n={n}"
+            ),
+            Error::UnknownProcess { process, n } => {
+                write!(f, "process {process} is outside the universe of {n} processes")
+            }
+            Error::WrongInputCount { provided, expected } => write!(
+                f,
+                "expected {expected} initial values (one per process), got {provided}"
+            ),
+            Error::DidNotConverge {
+                last_round,
+                diameter,
+                epsilon,
+            } => write!(
+                f,
+                "did not reach epsilon-agreement by {last_round}: diameter {diameter} > epsilon {epsilon}"
+            ),
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = Error::InsufficientProcesses {
+            model: MobileModel::Garay,
+            n: 8,
+            f: 2,
+            required: 9,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("Garay"));
+        assert!(msg.contains("n=8"));
+
+        let e = Error::InsufficientProcessesMixed { n: 5, required: 7 };
+        assert!(e.to_string().contains("n >= 7"));
+
+        let e = Error::UnknownProcess {
+            process: ProcessId::new(9),
+            n: 4,
+        };
+        assert!(e.to_string().contains("p9"));
+
+        let e = Error::WrongInputCount {
+            provided: 3,
+            expected: 5,
+        };
+        assert!(e.to_string().contains("5"));
+
+        let e = Error::DidNotConverge {
+            last_round: Round::new(10),
+            diameter: 0.5,
+            epsilon: 0.001,
+        };
+        assert!(e.to_string().contains("r10"));
+
+        let e = Error::InvalidParameter("epsilon must be positive".into());
+        assert!(e.to_string().contains("epsilon"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<Error>();
+    }
+}

@@ -1,0 +1,484 @@
+//! Fault states, mobile Byzantine models, and Mixed-Mode fault classes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The failure state of a process in a given round of a mobile computation.
+///
+/// * `Faulty` — a mobile Byzantine agent currently occupies the process.
+/// * `Cured` — the agent occupied the process in the previous round and has
+///   just left; the local state may still be corrupted.
+/// * `Correct` — neither faulty nor cured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultState {
+    /// The process follows its specification and its state is intact.
+    #[default]
+    Correct,
+    /// The Byzantine agent left at the start of this round; the state may be
+    /// corrupted but the process runs the correct code.
+    Cured,
+    /// A Byzantine agent occupies the process; behaviour is arbitrary.
+    Faulty,
+}
+
+impl FaultState {
+    /// Returns `true` for [`FaultState::Correct`].
+    #[must_use]
+    pub fn is_correct(self) -> bool {
+        matches!(self, FaultState::Correct)
+    }
+
+    /// Returns `true` for [`FaultState::Cured`].
+    #[must_use]
+    pub fn is_cured(self) -> bool {
+        matches!(self, FaultState::Cured)
+    }
+
+    /// Returns `true` for [`FaultState::Faulty`].
+    #[must_use]
+    pub fn is_faulty(self) -> bool {
+        matches!(self, FaultState::Faulty)
+    }
+
+    /// Returns `true` when the process is *non-faulty* (correct or cured) —
+    /// the set the agreement properties quantify over.
+    #[must_use]
+    pub fn is_non_faulty(self) -> bool {
+        !self.is_faulty()
+    }
+}
+
+impl fmt::Display for FaultState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FaultState::Correct => "correct",
+            FaultState::Cured => "cured",
+            FaultState::Faulty => "faulty",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The four synchronous Mobile Byzantine Fault models considered by the
+/// paper.
+///
+/// They differ in *when* agents move and in whether a cured process is aware
+/// of its own state:
+///
+/// | Model | Paper name | Agents move | Cured awareness | Cured behaviour |
+/// |---|---|---|---|---|
+/// | M1 | Garay | between rounds | aware | stays silent (benign) |
+/// | M2 | Bonnet et al. | between rounds | unaware | sends corrupted state to all (symmetric) |
+/// | M3 | Sasaki et al. | between rounds | unaware | poisoned queue: acts Byzantine one more round (asymmetric) |
+/// | M4 | Buhrman | with the messages | aware | no cured senders during the send phase |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MobileModel {
+    /// (M1) Garay's model: cured processes detect their state and stay
+    /// silent for one round. Requires `n > 4f`.
+    Garay,
+    /// (M2) Bonnet et al.'s model: cured processes are unaware but send the
+    /// same (possibly corrupted) value to everyone. Requires `n > 5f`.
+    Bonnet,
+    /// (M3) Sasaki et al.'s model: cured processes are unaware and the agent
+    /// leaves a poisoned outgoing queue, so they behave asymmetrically for
+    /// one extra round. Requires `n > 6f`.
+    Sasaki,
+    /// (M4) Buhrman's model: agents move together with the messages, so the
+    /// send phase sees exactly `f` asymmetric senders. Requires `n > 3f`.
+    Buhrman,
+}
+
+impl MobileModel {
+    /// All models, in the paper's M1–M4 order.
+    pub const ALL: [MobileModel; 4] = [
+        MobileModel::Garay,
+        MobileModel::Bonnet,
+        MobileModel::Sasaki,
+        MobileModel::Buhrman,
+    ];
+
+    /// The paper's short name (M1–M4) for the model.
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            MobileModel::Garay => "M1",
+            MobileModel::Bonnet => "M2",
+            MobileModel::Sasaki => "M3",
+            MobileModel::Buhrman => "M4",
+        }
+    }
+
+    /// Returns `true` when a cured process is aware of its own cured state
+    /// (Garay, Buhrman).
+    #[must_use]
+    pub fn cured_is_aware(self) -> bool {
+        matches!(self, MobileModel::Garay | MobileModel::Buhrman)
+    }
+
+    /// Returns `true` when agents move together with protocol messages
+    /// rather than between rounds (Buhrman).
+    #[must_use]
+    pub fn agents_move_with_messages(self) -> bool {
+        matches!(self, MobileModel::Buhrman)
+    }
+
+    /// The multiplier `c` of the resilience bound `n > c·f` for this model
+    /// (Table 2 of the paper).
+    #[must_use]
+    pub fn bound_multiplier(self) -> usize {
+        match self {
+            MobileModel::Garay => 4,
+            MobileModel::Bonnet => 5,
+            MobileModel::Sasaki => 6,
+            MobileModel::Buhrman => 3,
+        }
+    }
+
+    /// The largest number of processes for which Approximate Agreement is
+    /// *impossible* with `f` agents, i.e. `c·f` (Theorems 3–6).
+    #[must_use]
+    pub fn impossibility_threshold(self, f: usize) -> usize {
+        self.bound_multiplier() * f
+    }
+
+    /// The minimum number of processes `n` that satisfies the model's bound
+    /// `n > c·f`, i.e. `c·f + 1` (Table 2).
+    #[must_use]
+    pub fn required_processes(self, f: usize) -> usize {
+        self.impossibility_threshold(f) + 1
+    }
+
+    /// The Mixed-Mode fault class exhibited by a *cured* process under this
+    /// model during the send phase (Table 1), or `None` when the model never
+    /// has cured senders (Buhrman).
+    #[must_use]
+    pub fn cured_fault_class(self) -> Option<MixedFaultClass> {
+        match self {
+            MobileModel::Garay => Some(MixedFaultClass::Benign),
+            MobileModel::Bonnet => Some(MixedFaultClass::Symmetric),
+            MobileModel::Sasaki => Some(MixedFaultClass::Asymmetric),
+            MobileModel::Buhrman => None,
+        }
+    }
+
+    /// The Mixed-Mode fault counts `(a, s, b)` equivalent to `f` agents plus
+    /// the worst-case set of cured processes under this model (Lemmas 1–4).
+    #[must_use]
+    pub fn mixed_fault_counts(self, f: usize) -> FaultCounts {
+        let mut counts = FaultCounts {
+            asymmetric: f,
+            symmetric: 0,
+            benign: 0,
+        };
+        match self.cured_fault_class() {
+            Some(MixedFaultClass::Benign) => counts.benign = f,
+            Some(MixedFaultClass::Symmetric) => counts.symmetric = f,
+            Some(MixedFaultClass::Asymmetric) => counts.asymmetric += f,
+            None => {}
+        }
+        counts
+    }
+}
+
+impl fmt::Display for MobileModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MobileModel::Garay => "Garay (M1)",
+            MobileModel::Bonnet => "Bonnet (M2)",
+            MobileModel::Sasaki => "Sasaki (M3)",
+            MobileModel::Buhrman => "Buhrman (M4)",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The three fault classes of the Kieckhafer–Azadmanesh Mixed-Mode model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MixedFaultClass {
+    /// Self-incriminating fault, immediately evident to every non-faulty
+    /// process (e.g. a crash or omitted reply in a synchronous system).
+    Benign,
+    /// The faulty behaviour is perceived identically by all non-faulty
+    /// processes (e.g. the same wrong value broadcast to everyone).
+    Symmetric,
+    /// Classical Byzantine behaviour: different non-faulty processes may
+    /// perceive different behaviours.
+    Asymmetric,
+}
+
+impl MixedFaultClass {
+    /// All fault classes, from weakest to strongest.
+    pub const ALL: [MixedFaultClass; 3] = [
+        MixedFaultClass::Benign,
+        MixedFaultClass::Symmetric,
+        MixedFaultClass::Asymmetric,
+    ];
+
+    /// The weight of this class in the resilience bound `n > 3a + 2s + b`.
+    #[must_use]
+    pub fn bound_weight(self) -> usize {
+        match self {
+            MixedFaultClass::Benign => 1,
+            MixedFaultClass::Symmetric => 2,
+            MixedFaultClass::Asymmetric => 3,
+        }
+    }
+}
+
+impl fmt::Display for MixedFaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MixedFaultClass::Benign => "benign",
+            MixedFaultClass::Symmetric => "symmetric",
+            MixedFaultClass::Asymmetric => "asymmetric",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The number of faults of each Mixed-Mode class present in a configuration.
+///
+/// # Example
+///
+/// ```
+/// use mbaa_types::FaultCounts;
+///
+/// let counts = FaultCounts { asymmetric: 2, symmetric: 1, benign: 3 };
+/// // n > 3a + 2s + b  =>  n > 11  =>  n >= 12
+/// assert_eq!(counts.min_processes(), 12);
+/// assert!(counts.tolerated_by(12));
+/// assert!(!counts.tolerated_by(11));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultCounts {
+    /// Number of asymmetric (classical Byzantine) faults `a`.
+    pub asymmetric: usize,
+    /// Number of symmetric faults `s`.
+    pub symmetric: usize,
+    /// Number of benign faults `b`.
+    pub benign: usize,
+}
+
+impl FaultCounts {
+    /// A configuration with no faults at all.
+    pub const NONE: FaultCounts = FaultCounts {
+        asymmetric: 0,
+        symmetric: 0,
+        benign: 0,
+    };
+
+    /// Creates fault counts from `(a, s, b)`.
+    #[must_use]
+    pub fn new(asymmetric: usize, symmetric: usize, benign: usize) -> Self {
+        FaultCounts {
+            asymmetric,
+            symmetric,
+            benign,
+        }
+    }
+
+    /// The total number of faulty processes `a + s + b`.
+    #[must_use]
+    pub fn total(self) -> usize {
+        self.asymmetric + self.symmetric + self.benign
+    }
+
+    /// The value `3a + 2s + b` that the number of processes must exceed.
+    #[must_use]
+    pub fn bound(self) -> usize {
+        3 * self.asymmetric + 2 * self.symmetric + self.benign
+    }
+
+    /// The smallest `n` satisfying `n > 3a + 2s + b`.
+    #[must_use]
+    pub fn min_processes(self) -> usize {
+        self.bound() + 1
+    }
+
+    /// Returns `true` when `n` processes tolerate these fault counts, i.e.
+    /// `n > 3a + 2s + b`.
+    #[must_use]
+    pub fn tolerated_by(self, n: usize) -> bool {
+        n > self.bound()
+    }
+
+    /// The MSR reduction parameter `τ = a + s`: the number of extreme values
+    /// dropped from each end of the received multiset. Benign faults are
+    /// detected and excluded before reduction, so they do not contribute.
+    #[must_use]
+    pub fn reduction_tau(self) -> usize {
+        self.asymmetric + self.symmetric
+    }
+
+    /// The number of faults of the given class.
+    #[must_use]
+    pub fn of_class(self, class: MixedFaultClass) -> usize {
+        match class {
+            MixedFaultClass::Asymmetric => self.asymmetric,
+            MixedFaultClass::Symmetric => self.symmetric,
+            MixedFaultClass::Benign => self.benign,
+        }
+    }
+
+    /// Adds one fault of the given class.
+    #[must_use]
+    pub fn with_fault(mut self, class: MixedFaultClass) -> Self {
+        match class {
+            MixedFaultClass::Asymmetric => self.asymmetric += 1,
+            MixedFaultClass::Symmetric => self.symmetric += 1,
+            MixedFaultClass::Benign => self.benign += 1,
+        }
+        self
+    }
+}
+
+impl fmt::Display for FaultCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "a={}, s={}, b={}",
+            self.asymmetric, self.symmetric, self.benign
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_state_predicates() {
+        assert!(FaultState::Correct.is_correct());
+        assert!(FaultState::Correct.is_non_faulty());
+        assert!(FaultState::Cured.is_cured());
+        assert!(FaultState::Cured.is_non_faulty());
+        assert!(FaultState::Faulty.is_faulty());
+        assert!(!FaultState::Faulty.is_non_faulty());
+        assert_eq!(FaultState::default(), FaultState::Correct);
+    }
+
+    #[test]
+    fn model_bounds_match_table_2() {
+        assert_eq!(MobileModel::Garay.bound_multiplier(), 4);
+        assert_eq!(MobileModel::Bonnet.bound_multiplier(), 5);
+        assert_eq!(MobileModel::Sasaki.bound_multiplier(), 6);
+        assert_eq!(MobileModel::Buhrman.bound_multiplier(), 3);
+
+        for model in MobileModel::ALL {
+            for f in 1..=4 {
+                assert_eq!(
+                    model.required_processes(f),
+                    model.bound_multiplier() * f + 1
+                );
+                assert_eq!(model.impossibility_threshold(f), model.bound_multiplier() * f);
+            }
+        }
+    }
+
+    #[test]
+    fn cured_classes_match_table_1() {
+        assert_eq!(
+            MobileModel::Garay.cured_fault_class(),
+            Some(MixedFaultClass::Benign)
+        );
+        assert_eq!(
+            MobileModel::Bonnet.cured_fault_class(),
+            Some(MixedFaultClass::Symmetric)
+        );
+        assert_eq!(
+            MobileModel::Sasaki.cured_fault_class(),
+            Some(MixedFaultClass::Asymmetric)
+        );
+        assert_eq!(MobileModel::Buhrman.cured_fault_class(), None);
+    }
+
+    #[test]
+    fn cured_awareness() {
+        assert!(MobileModel::Garay.cured_is_aware());
+        assert!(!MobileModel::Bonnet.cured_is_aware());
+        assert!(!MobileModel::Sasaki.cured_is_aware());
+        assert!(MobileModel::Buhrman.cured_is_aware());
+        assert!(MobileModel::Buhrman.agents_move_with_messages());
+        assert!(!MobileModel::Garay.agents_move_with_messages());
+    }
+
+    #[test]
+    fn mixed_counts_reproduce_lemmas_1_to_4() {
+        // Lemma 1: a = f, b = f.
+        assert_eq!(
+            MobileModel::Garay.mixed_fault_counts(2),
+            FaultCounts::new(2, 0, 2)
+        );
+        // Lemma 2: a = f, s = f.
+        assert_eq!(
+            MobileModel::Bonnet.mixed_fault_counts(2),
+            FaultCounts::new(2, 2, 0)
+        );
+        // Lemma 3: a = 2f.
+        assert_eq!(
+            MobileModel::Sasaki.mixed_fault_counts(2),
+            FaultCounts::new(4, 0, 0)
+        );
+        // Lemma 4: a = f.
+        assert_eq!(
+            MobileModel::Buhrman.mixed_fault_counts(2),
+            FaultCounts::new(2, 0, 0)
+        );
+    }
+
+    #[test]
+    fn mixed_counts_bound_equals_model_bound() {
+        // Substituting the mapping into n > 3a + 2s + b must give Table 2.
+        for model in MobileModel::ALL {
+            for f in 1..=5 {
+                assert_eq!(
+                    model.mixed_fault_counts(f).min_processes(),
+                    model.required_processes(f),
+                    "bound mismatch for {model} with f={f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_counts_bound_and_tau() {
+        let c = FaultCounts::new(1, 2, 3);
+        assert_eq!(c.total(), 6);
+        assert_eq!(c.bound(), 3 + 4 + 3);
+        assert_eq!(c.min_processes(), 11);
+        assert!(c.tolerated_by(11));
+        assert!(!c.tolerated_by(10));
+        assert_eq!(c.reduction_tau(), 3);
+        assert_eq!(FaultCounts::NONE.min_processes(), 1);
+    }
+
+    #[test]
+    fn fault_counts_class_accessors() {
+        let c = FaultCounts::new(1, 2, 3);
+        assert_eq!(c.of_class(MixedFaultClass::Asymmetric), 1);
+        assert_eq!(c.of_class(MixedFaultClass::Symmetric), 2);
+        assert_eq!(c.of_class(MixedFaultClass::Benign), 3);
+
+        let c2 = FaultCounts::NONE
+            .with_fault(MixedFaultClass::Asymmetric)
+            .with_fault(MixedFaultClass::Benign);
+        assert_eq!(c2, FaultCounts::new(1, 0, 1));
+    }
+
+    #[test]
+    fn bound_weights() {
+        assert_eq!(MixedFaultClass::Benign.bound_weight(), 1);
+        assert_eq!(MixedFaultClass::Symmetric.bound_weight(), 2);
+        assert_eq!(MixedFaultClass::Asymmetric.bound_weight(), 3);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(MobileModel::Garay.to_string(), "Garay (M1)");
+        assert_eq!(MobileModel::Garay.short_name(), "M1");
+        assert_eq!(MixedFaultClass::Asymmetric.to_string(), "asymmetric");
+        assert_eq!(FaultState::Cured.to_string(), "cured");
+        assert_eq!(FaultCounts::new(1, 2, 3).to_string(), "a=1, s=2, b=3");
+    }
+}

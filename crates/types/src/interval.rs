@@ -1,0 +1,215 @@
+//! Closed real intervals: the range `ρ(V)` of a multiset of values.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Value;
+
+/// A closed interval `[lo, hi]` of real values.
+///
+/// The paper writes `ρ(V) = [min(V), max(V)]` for the range of a multiset
+/// `V` and uses containment in `ρ(U)` (the range of correct values) as the
+/// validity condition of approximate agreement.
+///
+/// # Example
+///
+/// ```
+/// use mbaa_types::{Interval, Value};
+///
+/// let range = Interval::new(Value::new(0.0), Value::new(1.0));
+/// assert!(range.contains(Value::new(0.5)));
+/// assert_eq!(range.diameter(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    lo: Value,
+    hi: Value,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn new(lo: Value, hi: Value) -> Self {
+        assert!(lo <= hi, "interval requires lo <= hi");
+        Interval { lo, hi }
+    }
+
+    /// Creates the degenerate interval `[v, v]`.
+    #[must_use]
+    pub fn point(v: Value) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Creates the smallest interval containing every value of the iterator,
+    /// or `None` when the iterator is empty.
+    pub fn hull<I: IntoIterator<Item = Value>>(values: I) -> Option<Self> {
+        let mut it = values.into_iter();
+        let first = it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for v in it {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some(Interval { lo, hi })
+    }
+
+    /// The lower endpoint.
+    #[must_use]
+    pub fn lo(&self) -> Value {
+        self.lo
+    }
+
+    /// The upper endpoint.
+    #[must_use]
+    pub fn hi(&self) -> Value {
+        self.hi
+    }
+
+    /// The diameter `hi - lo` (written `δ` in the paper).
+    #[must_use]
+    pub fn diameter(&self) -> f64 {
+        self.hi.get() - self.lo.get()
+    }
+
+    /// The midpoint of the interval.
+    #[must_use]
+    pub fn midpoint(&self) -> Value {
+        self.lo.midpoint(self.hi)
+    }
+
+    /// Returns `true` when `v ∈ [lo, hi]`.
+    #[must_use]
+    pub fn contains(&self, v: Value) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Returns `true` when `other ⊆ self`.
+    #[must_use]
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Returns the smallest interval containing both `self` and `other`.
+    #[must_use]
+    pub fn union(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Returns the intersection of `self` and `other`, or `None` when they
+    /// are disjoint.
+    #[must_use]
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Grows the interval by `margin` on both sides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is negative or not finite.
+    #[must_use]
+    pub fn expanded(&self, margin: f64) -> Interval {
+        assert!(margin.is_finite() && margin >= 0.0, "margin must be finite and >= 0");
+        Interval {
+            lo: Value::new(self.lo.get() - margin),
+            hi: Value::new(self.hi.get() + margin),
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(Value::new(lo), Value::new(hi))
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let i = iv(-1.0, 3.0);
+        assert_eq!(i.lo(), Value::new(-1.0));
+        assert_eq!(i.hi(), Value::new(3.0));
+        assert_eq!(i.diameter(), 4.0);
+        assert_eq!(i.midpoint(), Value::new(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn inverted_bounds_panic() {
+        let _ = iv(1.0, 0.0);
+    }
+
+    #[test]
+    fn point_interval_has_zero_diameter() {
+        let p = Interval::point(Value::new(2.0));
+        assert_eq!(p.diameter(), 0.0);
+        assert!(p.contains(Value::new(2.0)));
+        assert!(!p.contains(Value::new(2.1)));
+    }
+
+    #[test]
+    fn hull_of_values() {
+        let hull = Interval::hull([3.0, -2.0, 0.5].into_iter().map(Value::new)).unwrap();
+        assert_eq!(hull, iv(-2.0, 3.0));
+        assert!(Interval::hull(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn containment() {
+        let outer = iv(0.0, 10.0);
+        let inner = iv(2.0, 3.0);
+        assert!(outer.contains_interval(&inner));
+        assert!(!inner.contains_interval(&outer));
+        assert!(outer.contains(Value::new(0.0)));
+        assert!(outer.contains(Value::new(10.0)));
+        assert!(!outer.contains(Value::new(10.000001)));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = iv(0.0, 2.0);
+        let b = iv(1.0, 5.0);
+        assert_eq!(a.union(&b), iv(0.0, 5.0));
+        assert_eq!(a.intersection(&b), Some(iv(1.0, 2.0)));
+
+        let c = iv(10.0, 11.0);
+        assert_eq!(a.intersection(&c), None);
+        assert_eq!(a.union(&c), iv(0.0, 11.0));
+    }
+
+    #[test]
+    fn expansion() {
+        let a = iv(0.0, 1.0);
+        assert_eq!(a.expanded(0.5), iv(-0.5, 1.5));
+        assert_eq!(a.expanded(0.0), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn negative_margin_panics() {
+        let _ = iv(0.0, 1.0).expanded(-0.1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(iv(0.0, 1.5).to_string(), "[0, 1.5]");
+    }
+}

@@ -1,0 +1,158 @@
+//! Synchronous rounds and their phases.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A synchronous round index `r_0, r_1, …`.
+///
+/// # Example
+///
+/// ```
+/// use mbaa_types::Round;
+///
+/// let r = Round::ZERO;
+/// assert_eq!(r.next(), Round::new(1));
+/// assert!(r.is_first());
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Round(u64);
+
+impl Round {
+    /// The first round `r_0`.
+    pub const ZERO: Round = Round(0);
+
+    /// Creates a round from its index.
+    #[must_use]
+    pub fn new(index: u64) -> Self {
+        Round(index)
+    }
+
+    /// The index of this round.
+    #[must_use]
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The next round.
+    #[must_use]
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// The previous round, or `None` for `r_0`.
+    #[must_use]
+    pub fn previous(self) -> Option<Round> {
+        self.0.checked_sub(1).map(Round)
+    }
+
+    /// Returns `true` when this is round `r_0`.
+    #[must_use]
+    pub fn is_first(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl From<u64> for Round {
+    fn from(index: u64) -> Self {
+        Round(index)
+    }
+}
+
+impl From<Round> for u64 {
+    fn from(r: Round) -> u64 {
+        r.0
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The three phases of every synchronous round.
+///
+/// The paper's computation model divides each round into a *send* phase
+/// (processes broadcast their votes), a *receive* phase (all messages sent in
+/// the round are delivered), and a *computation* phase (processes apply the
+/// MSR function to the gathered multiset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Processes send all messages for the current round.
+    Send,
+    /// Processes receive every message sent at the beginning of the round.
+    Receive,
+    /// Processes aggregate received values and prepare the next vote.
+    Compute,
+}
+
+impl Phase {
+    /// All phases in execution order.
+    pub const ALL: [Phase; 3] = [Phase::Send, Phase::Receive, Phase::Compute];
+
+    /// The phase following this one within a round, or `None` after
+    /// [`Phase::Compute`] (the round is over).
+    #[must_use]
+    pub fn next(self) -> Option<Phase> {
+        match self {
+            Phase::Send => Some(Phase::Receive),
+            Phase::Receive => Some(Phase::Compute),
+            Phase::Compute => None,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Phase::Send => "send",
+            Phase::Receive => "receive",
+            Phase::Compute => "compute",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_arithmetic() {
+        let r = Round::new(3);
+        assert_eq!(r.index(), 3);
+        assert_eq!(r.next(), Round::new(4));
+        assert_eq!(r.previous(), Some(Round::new(2)));
+        assert_eq!(Round::ZERO.previous(), None);
+        assert!(Round::ZERO.is_first());
+        assert!(!r.is_first());
+    }
+
+    #[test]
+    fn round_conversions_and_display() {
+        assert_eq!(u64::from(Round::new(5)), 5);
+        assert_eq!(Round::from(5u64), Round::new(5));
+        assert_eq!(Round::new(2).to_string(), "r2");
+        assert_eq!(Round::default(), Round::ZERO);
+    }
+
+    #[test]
+    fn phase_order() {
+        assert_eq!(Phase::Send.next(), Some(Phase::Receive));
+        assert_eq!(Phase::Receive.next(), Some(Phase::Compute));
+        assert_eq!(Phase::Compute.next(), None);
+        assert_eq!(Phase::ALL.len(), 3);
+        assert!(Phase::Send < Phase::Compute);
+    }
+
+    #[test]
+    fn phase_display() {
+        assert_eq!(Phase::Send.to_string(), "send");
+        assert_eq!(Phase::Receive.to_string(), "receive");
+        assert_eq!(Phase::Compute.to_string(), "compute");
+    }
+}

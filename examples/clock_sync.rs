@@ -1,0 +1,75 @@
+//! Clock synchronisation: nodes of a cluster agree on a common clock offset
+//! within a tight tolerance while a moving attacker (a worm hopping between
+//! machines) reports arbitrary clock values.
+//!
+//! Agreement on clock corrections is a classic application of approximate
+//! agreement; the mobile adversary abstracts an attacker that compromises a
+//! few machines at a time and is evicted by re-imaging, only to pop up
+//! elsewhere — exactly the insider-threat reading the paper gives of the
+//! unconstrained-mobility models.
+//!
+//! The example compares the default MSR instance with the non-MSR median
+//! baseline under identical adversaries (Buhrman's model, n > 3f).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example clock_sync
+//! ```
+
+use mbaa::{
+    CorruptionStrategy, MedianVoting, MobileEngine, MobileModel, MobilityStrategy, ProtocolConfig,
+    Value, VotingFunction,
+};
+
+fn offsets_ms(n: usize) -> Vec<Value> {
+    // Clock offsets in milliseconds: most machines drift within ±5 ms, two
+    // racks drift further out.
+    (0..n)
+        .map(|i| {
+            let base = (i as f64 * 1.7) % 10.0 - 5.0;
+            let rack_skew = if i % 5 == 0 { 12.0 } else { 0.0 };
+            Value::new(base + rack_skew)
+        })
+        .collect()
+}
+
+fn run(function: &dyn VotingFunction, n: usize, f: usize) -> mbaa::Result<(bool, usize, f64)> {
+    let config = ProtocolConfig::builder(MobileModel::Buhrman, n, f)
+        .epsilon(0.5) // half a millisecond
+        .max_rounds(200)
+        .mobility(MobilityStrategy::Random)
+        .corruption(CorruptionStrategy::RandomNoise { lo: -1e4, hi: 1e4 })
+        .seed(3)
+        .build()?;
+    let outcome = MobileEngine::new(config).run_with_function(function, &offsets_ms(n))?;
+    Ok((
+        outcome.reached_agreement && outcome.validity_holds(),
+        outcome.rounds_executed,
+        outcome.final_diameter(),
+    ))
+}
+
+fn main() -> mbaa::Result<()> {
+    let f = 3;
+    let n = MobileModel::Buhrman.required_processes(f) + 6; // 16 machines
+
+    println!("machines: {n}, compromised at any instant: {f}");
+    println!("target: all clock corrections within 0.5 ms\n");
+
+    let msr = mbaa::MsrFunction::for_fault_counts(MobileModel::Buhrman.mixed_fault_counts(f));
+    let (ok, rounds, diameter) = run(&msr, n, f)?;
+    println!("MSR trimmed mean   -> success: {ok:5}, rounds: {rounds:3}, final spread: {diameter:.4} ms");
+
+    let median = MedianVoting::new();
+    let (ok, rounds, diameter) = run(&median, n, f)?;
+    println!("median baseline    -> success: {ok:5}, rounds: {rounds:3}, final spread: {diameter:.4} ms");
+
+    println!();
+    println!(
+        "Both converge under Buhrman's model at n = {n} > 3f = {}; the MSR instance is the one",
+        3 * f
+    );
+    println!("whose correctness under *all four* mobile models the paper proves.");
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Executes the lower-bound constructions of Theorems 3–6: at `n = c·f`
+//! processes, the three executions E1/E2/E3 make every deterministic voting
+//! rule violate Simple Approximate Agreement.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example lower_bounds
+//! ```
+
+use mbaa::core::lower_bounds::all_scenarios;
+use mbaa::sim::report::Table;
+use mbaa::{MedianVoting, MsrFunction, VotingFunction};
+
+fn main() {
+    let functions: Vec<(&str, Box<dyn VotingFunction>)> = vec![
+        ("trimmed mean (τ=1)", Box::new(MsrFunction::dolev_mean(1))),
+        ("trimmed mean (τ=2)", Box::new(MsrFunction::dolev_mean(2))),
+        ("FT midpoint (τ=1)", Box::new(MsrFunction::fault_tolerant_midpoint(1))),
+        ("median", Box::new(MedianVoting::new())),
+    ];
+
+    for f in 1..=2 {
+        println!("=== f = {f} agents ===\n");
+        for scenario in all_scenarios(f) {
+            println!(
+                "{} — n = {} = {}·f (one process fewer than the requirement)",
+                scenario.model,
+                scenario.n,
+                scenario.model.bound_multiplier()
+            );
+            println!("  E1 multiset: {}", scenario.e1);
+            println!("  E2 multiset: {}", scenario.e2);
+            println!(
+                "  E3 multisets indistinguishable from E1/E2: {}",
+                scenario.is_indistinguishable()
+            );
+
+            let mut table = Table::new([
+                "voting rule",
+                "E1 decision",
+                "E2 decision",
+                "E3 decisions",
+                "violated property",
+            ]);
+            for (name, function) in &functions {
+                let witness = scenario.evaluate(function.as_ref());
+                let violated = if witness.violates_e1 {
+                    "validity in E1"
+                } else if witness.violates_e2 {
+                    "validity in E2"
+                } else if witness.violates_e3_agreement {
+                    "agreement in E3"
+                } else {
+                    "none (unexpected!)"
+                };
+                table.push_row([
+                    (*name).to_string(),
+                    format!("{:?}", witness.decision_e1.map(|v| v.get())),
+                    format!("{:?}", witness.decision_e2.map(|v| v.get())),
+                    format!(
+                        "({:?}, {:?})",
+                        witness.decision_e3.0.map(|v| v.get()),
+                        witness.decision_e3.1.map(|v| v.get())
+                    ),
+                    violated.to_string(),
+                ]);
+                assert!(
+                    witness.violates_specification(),
+                    "a voting rule escaped the impossibility — this should never print"
+                );
+            }
+            println!("{table}");
+        }
+    }
+    println!("Every voting rule violates the specification in at least one execution,");
+    println!("as Theorems 3-6 require: no algorithm works at n = c·f.");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: reach approximate agreement among 9 processes while 2 mobile
+//! Byzantine agents hop between them.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use mbaa::{MobileEngine, MobileModel, ProtocolConfig, Value};
+
+fn main() -> mbaa::Result<()> {
+    // Garay's model (M1): cured processes know they were just infected and
+    // stay silent for one round. Tolerating f agents needs n > 4f.
+    let model = MobileModel::Garay;
+    let f = 2;
+    let n = model.required_processes(f); // 4f + 1 = 9
+
+    let config = ProtocolConfig::builder(model, n, f)
+        .epsilon(1e-4)
+        .max_rounds(200)
+        .seed(42)
+        .build()?;
+
+    // Every process starts with a different value in [0, 1].
+    let inputs: Vec<Value> = (0..n).map(|i| Value::new(i as f64 / (n - 1) as f64)).collect();
+
+    println!("model:        {model}");
+    println!("processes:    {n} (f = {f} mobile agents)");
+    println!(
+        "initial vals: {:?}",
+        inputs.iter().map(|v| v.get()).collect::<Vec<_>>()
+    );
+
+    let outcome = MobileEngine::new(config).run(&inputs)?;
+
+    println!();
+    println!("reached epsilon-agreement: {}", outcome.reached_agreement);
+    println!("rounds executed:           {}", outcome.rounds_executed);
+    println!("final diameter:            {:.2e}", outcome.final_diameter());
+    println!("validity holds:            {}", outcome.validity_holds());
+    println!(
+        "final non-faulty values:   {:?}",
+        outcome
+            .final_non_faulty_values()
+            .iter()
+            .map(|v| format!("{:.6}", v.get()))
+            .collect::<Vec<_>>()
+    );
+    println!();
+    println!("per-round diameter of non-faulty values:");
+    for (i, d) in outcome.report.diameters().iter().enumerate() {
+        println!("  round {:>3}: {d:.6}", i + 1);
+    }
+
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Robot gathering: autonomous robots on a 1-dimensional track converge to
+//! nearby positions although some robots are transiently hijacked (buggy
+//! firmware, hardware glitches) and the set of misbehaving robots changes
+//! over time.
+//!
+//! The paper's introduction points out that gathering tolerates a final
+//! position difference (the robots have a physical size), which is exactly
+//! ε-agreement, and that faults are naturally mobile.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example robot_gathering
+//! ```
+
+use mbaa::{
+    CorruptionStrategy, MobileEngine, MobileModel, MobilityStrategy, MsrFunction, ProtocolConfig,
+    Value,
+};
+
+fn main() -> mbaa::Result<()> {
+    // Sasaki's model (M3) is the harshest: a robot that was just released by
+    // the glitch still executes the poisoned motion commands for one more
+    // cycle. Tolerating f glitched robots needs n > 6f.
+    let model = MobileModel::Sasaki;
+    let f = 1;
+    let n = model.required_processes(f) + 3; // 10 robots
+    let robot_diameter_m = 0.10;
+
+    // Robots start scattered along a 50 m track.
+    let positions: Vec<Value> = (0..n)
+        .map(|i| Value::new(5.0 * i as f64 * (1.0 + 0.01 * (i % 3) as f64)))
+        .collect();
+
+    let config = ProtocolConfig::builder(model, n, f)
+        .epsilon(robot_diameter_m) // gather to within one robot diameter
+        .max_rounds(300)
+        .mobility(MobilityStrategy::TargetExtremes)
+        .corruption(CorruptionStrategy::split_attack())
+        // The Fault-Tolerant Midpoint rule halves the spread every cycle.
+        .function(MsrFunction::fault_tolerant_midpoint(2 * f))
+        .seed(11)
+        .build()?;
+
+    println!("robots:              {n} (f = {f} glitched at any time)");
+    println!("model:               {model}");
+    println!(
+        "initial spread:      {:.2} m",
+        positions.iter().map(|v| v.get()).fold(f64::MIN, f64::max)
+            - positions.iter().map(|v| v.get()).fold(f64::MAX, f64::min)
+    );
+    println!("gathering tolerance: {robot_diameter_m} m");
+
+    let outcome = MobileEngine::new(config).run(&positions)?;
+
+    println!();
+    println!("motion cycles executed: {}", outcome.rounds_executed);
+    println!("gathered:               {}", outcome.reached_agreement);
+    println!("final spread:           {:.4} m", outcome.final_diameter());
+    println!(
+        "gathering point stayed within the initial positions: {}",
+        outcome.validity_holds()
+    );
+    println!();
+    println!("spread after each motion cycle:");
+    for (i, d) in outcome.report.diameters().iter().enumerate() {
+        println!("  cycle {:>3}: {d:>10.4} m", i + 1);
+    }
+
+    Ok(())
+}

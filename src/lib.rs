@@ -1,0 +1,7 @@
+//! Workspace root crate.
+//!
+//! This package only exists to host the runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`). The library API lives in
+//! the [`mbaa`] facade crate and the `mbaa-*` workspace crates.
+
+pub use mbaa;

@@ -1,0 +1,172 @@
+//! Failure-injection tests: stress the protocol with the nastiest adversary
+//! combinations at the exact resilience boundary and in degenerate
+//! configurations.
+
+use mbaa::{
+    CorruptionStrategy, MobileEngine, MobileModel, MobilityStrategy, ProtocolConfig, Value,
+};
+
+fn inputs_split(n: usize) -> Vec<Value> {
+    // Half the processes at 0, half at 1 — the inputs the lower-bound proofs
+    // use, which maximise the room for an agreement violation.
+    (0..n)
+        .map(|i| Value::new(if i < n / 2 { 0.0 } else { 1.0 }))
+        .collect()
+}
+
+#[test]
+fn stealth_attack_cannot_break_validity_or_stall_convergence() {
+    // Stealth values are inside the correct range, so they are never trimmed;
+    // the protocol must still converge because in-range values cannot expand
+    // the diameter.
+    for model in MobileModel::ALL {
+        let f = 2;
+        let n = model.required_processes(f);
+        let config = ProtocolConfig::builder(model, n, f)
+            .epsilon(1e-3)
+            .max_rounds(400)
+            .mobility(MobilityStrategy::TargetExtremes)
+            .corruption(CorruptionStrategy::Stealth)
+            .seed(8)
+            .build()
+            .unwrap();
+        let outcome = MobileEngine::new(config).run(&inputs_split(n)).unwrap();
+        assert!(outcome.reached_agreement, "{model}: stealth attack stalled convergence");
+        assert!(outcome.validity_holds(), "{model}: stealth attack broke validity");
+    }
+}
+
+#[test]
+fn median_pull_attack_is_tolerated_by_the_msr_family() {
+    for model in MobileModel::ALL {
+        let f = 1;
+        let n = model.required_processes(f);
+        let config = ProtocolConfig::builder(model, n, f)
+            .epsilon(1e-4)
+            .max_rounds(400)
+            .mobility(MobilityStrategy::TargetMedian)
+            .corruption(CorruptionStrategy::MedianPull)
+            .seed(21)
+            .build()
+            .unwrap();
+        let outcome = MobileEngine::new(config).run(&inputs_split(n)).unwrap();
+        assert!(outcome.reached_agreement && outcome.validity_holds(), "{model}");
+    }
+}
+
+#[test]
+fn sweep_mobility_cures_every_process_eventually_without_breaking_agreement() {
+    let model = MobileModel::Bonnet;
+    let f = 2;
+    let n = model.required_processes(f);
+    let config = ProtocolConfig::builder(model, n, f)
+        .epsilon(1e-9)
+        .max_rounds(3 * n)
+        .mobility(MobilityStrategy::Sweep)
+        .corruption(CorruptionStrategy::split_attack())
+        .seed(5)
+        .build()
+        .unwrap();
+    let outcome = MobileEngine::new(config).run(&inputs_split(n)).unwrap();
+    // Over 3n rounds the sweeping agents have visited every process.
+    let mut ever_faulty = vec![false; n];
+    for configuration in &outcome.configurations {
+        for p in configuration.faulty_set().iter() {
+            ever_faulty[p.index()] = true;
+        }
+    }
+    if outcome.rounds_executed >= n {
+        assert!(ever_faulty.iter().all(|&b| b), "sweep did not visit every process");
+    }
+    assert!(outcome.validity_holds());
+    assert!(outcome.report.is_monotonically_non_expanding());
+}
+
+#[test]
+fn maximum_tolerable_agents_for_a_fixed_system_size() {
+    // For n = 25 the largest tolerable f per model is floor((n-1)/c).
+    let n = 25;
+    for model in MobileModel::ALL {
+        let max_f = (n - 1) / model.bound_multiplier();
+        let config = ProtocolConfig::builder(model, n, max_f)
+            .epsilon(1e-3)
+            .max_rounds(500)
+            .seed(6)
+            .build()
+            .unwrap();
+        let inputs: Vec<Value> = (0..n).map(|i| Value::new(i as f64 / n as f64)).collect();
+        let outcome = MobileEngine::new(config).run(&inputs).unwrap();
+        assert!(
+            outcome.reached_agreement && outcome.validity_holds(),
+            "{model} failed at its maximum tolerable f = {max_f}"
+        );
+        // One more agent must be rejected by the builder.
+        assert!(ProtocolConfig::builder(model, n, max_f + 1).build().is_err());
+    }
+}
+
+#[test]
+fn silent_agents_equal_omission_faults_and_converge_fast() {
+    let model = MobileModel::Garay;
+    let f = 2;
+    let n = model.required_processes(f);
+    let config = ProtocolConfig::builder(model, n, f)
+        .epsilon(1e-6)
+        .max_rounds(100)
+        .corruption(CorruptionStrategy::Silent)
+        .seed(4)
+        .build()
+        .unwrap();
+    let outcome = MobileEngine::new(config).run(&inputs_split(n)).unwrap();
+    assert!(outcome.reached_agreement);
+    // Pure omissions cannot slow the trimmed mean much: a handful of rounds.
+    assert!(outcome.rounds_executed <= 10);
+}
+
+#[test]
+fn single_process_system_agrees_trivially() {
+    let config = ProtocolConfig::builder(MobileModel::Buhrman, 1, 0)
+        .epsilon(1e-6)
+        .build()
+        .unwrap();
+    let outcome = MobileEngine::new(config).run(&[Value::new(0.3)]).unwrap();
+    assert!(outcome.reached_agreement);
+    assert_eq!(outcome.rounds_executed, 0);
+    assert_eq!(outcome.final_votes, vec![Value::new(0.3)]);
+}
+
+#[test]
+fn extreme_magnitude_inputs_do_not_overflow() {
+    let model = MobileModel::Buhrman;
+    let f = 1;
+    let n = model.required_processes(f);
+    let config = ProtocolConfig::builder(model, n, f)
+        .epsilon(1.0)
+        .max_rounds(300)
+        .corruption(CorruptionStrategy::OutOfRange { magnitude: 1e100 })
+        .seed(9)
+        .build()
+        .unwrap();
+    let inputs: Vec<Value> = (0..n).map(|i| Value::new(i as f64 * 1e12)).collect();
+    let outcome = MobileEngine::new(config).run(&inputs).unwrap();
+    // All arithmetic stayed finite (Value enforces it) and validity held.
+    assert!(outcome.validity_holds());
+    assert!(outcome.final_votes.iter().all(|v| v.get().is_finite()));
+}
+
+#[test]
+fn epsilon_larger_than_initial_spread_terminates_immediately() {
+    let model = MobileModel::Sasaki;
+    let f = 1;
+    let n = model.required_processes(f);
+    let config = ProtocolConfig::builder(model, n, f)
+        .epsilon(10.0)
+        .max_rounds(50)
+        .seed(3)
+        .build()
+        .unwrap();
+    let inputs: Vec<Value> = (0..n).map(|i| Value::new(i as f64 / n as f64)).collect();
+    let outcome = MobileEngine::new(config).run(&inputs).unwrap();
+    assert!(outcome.reached_agreement);
+    assert_eq!(outcome.rounds_executed, 0);
+}

@@ -1,0 +1,163 @@
+//! End-to-end integration tests: the MSR family reaches Byzantine
+//! Approximate Agreement under every mobile Byzantine model whenever the
+//! replica bound of Table 2 holds (Theorem 2).
+
+use mbaa::{
+    CorruptionStrategy, ExperimentConfig, MobileEngine, MobileModel, MobilityStrategy,
+    MsrFunction, ProtocolConfig, Value, Workload,
+};
+
+fn spread_inputs(n: usize) -> Vec<Value> {
+    (0..n).map(|i| Value::new(i as f64 / n as f64)).collect()
+}
+
+#[test]
+fn every_model_satisfies_the_specification_at_its_bound() {
+    for model in MobileModel::ALL {
+        for f in 1..=2 {
+            let n = model.required_processes(f);
+            let config = ProtocolConfig::builder(model, n, f)
+                .epsilon(1e-4)
+                .max_rounds(500)
+                .seed(7)
+                .build()
+                .unwrap();
+            let outcome = MobileEngine::new(config).run(&spread_inputs(n)).unwrap();
+            assert!(outcome.reached_agreement, "{model} f={f}: no agreement");
+            assert!(outcome.epsilon_agreement_holds(), "{model} f={f}: diameter too large");
+            assert!(outcome.validity_holds(), "{model} f={f}: validity violated");
+        }
+    }
+}
+
+#[test]
+fn agreement_holds_well_above_the_bound_with_extra_processes() {
+    for model in MobileModel::ALL {
+        let f = 2;
+        let n = model.required_processes(f) + 7;
+        let config = ProtocolConfig::builder(model, n, f)
+            .epsilon(1e-5)
+            .max_rounds(500)
+            .mobility(MobilityStrategy::Random)
+            .corruption(CorruptionStrategy::OutOfRange { magnitude: 1e6 })
+            .seed(13)
+            .build()
+            .unwrap();
+        let outcome = MobileEngine::new(config).run(&spread_inputs(n)).unwrap();
+        assert!(outcome.reached_agreement && outcome.validity_holds(), "{model}");
+    }
+}
+
+#[test]
+fn termination_all_non_faulty_processes_decide_the_same_epsilon_ball() {
+    let model = MobileModel::Bonnet;
+    let f = 2;
+    let n = model.required_processes(f);
+    let config = ProtocolConfig::builder(model, n, f)
+        .epsilon(1e-3)
+        .max_rounds(400)
+        .seed(99)
+        .build()
+        .unwrap();
+    let outcome = MobileEngine::new(config).run(&spread_inputs(n)).unwrap();
+    let values = outcome.final_non_faulty_values();
+    // At least n - f processes are non-faulty in the last round.
+    assert!(values.len() >= n - f);
+    for a in values.iter() {
+        for b in values.iter() {
+            assert!(a.distance(b) <= 1e-3);
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic_given_seed_and_inputs() {
+    let config = || {
+        ProtocolConfig::builder(MobileModel::Sasaki, 13, 2)
+            .epsilon(1e-4)
+            .max_rounds(300)
+            .mobility(MobilityStrategy::Random)
+            .corruption(CorruptionStrategy::RandomNoise { lo: -10.0, hi: 10.0 })
+            .seed(31)
+            .build()
+            .unwrap()
+    };
+    let a = MobileEngine::new(config()).run(&spread_inputs(13)).unwrap();
+    let b = MobileEngine::new(config()).run(&spread_inputs(13)).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_msr_instances_all_satisfy_the_specification() {
+    let model = MobileModel::Garay;
+    let f = 1;
+    let n = model.required_processes(f) + 2;
+    let tau = model.mixed_fault_counts(f).reduction_tau();
+    for function in [
+        MsrFunction::dolev_mean(tau),
+        MsrFunction::fault_tolerant_midpoint(tau),
+        MsrFunction::reduced_median(tau),
+    ] {
+        let config = ProtocolConfig::builder(model, n, f)
+            .epsilon(1e-4)
+            .max_rounds(500)
+            .function(function)
+            .seed(5)
+            .build()
+            .unwrap();
+        let outcome = MobileEngine::new(config).run(&spread_inputs(n)).unwrap();
+        assert!(
+            outcome.reached_agreement && outcome.validity_holds(),
+            "instance {function} failed"
+        );
+    }
+}
+
+#[test]
+fn experiment_harness_aggregates_successful_batches() {
+    let config = ExperimentConfig::new(MobileModel::Buhrman, 10, 3)
+        .with_seeds(0..8)
+        .with_workload(Workload::RandomUniform { lo: -5.0, hi: 5.0 })
+        .with_epsilon(1e-3);
+    let result = mbaa::run_experiment(&config).unwrap();
+    assert_eq!(result.runs.len(), 8);
+    assert!(result.all_succeeded());
+    assert!(result.mean_rounds().unwrap() >= 1.0);
+}
+
+#[test]
+fn cured_set_never_exceeds_f_in_any_round() {
+    // Corollary 1 of the paper.
+    for model in MobileModel::ALL {
+        let f = 2;
+        let n = model.required_processes(f);
+        let config = ProtocolConfig::builder(model, n, f)
+            .epsilon(1e-9)
+            .max_rounds(50)
+            .mobility(MobilityStrategy::Random)
+            .seed(17)
+            .build()
+            .unwrap();
+        let outcome = MobileEngine::new(config).run(&spread_inputs(n)).unwrap();
+        for configuration in &outcome.configurations {
+            assert!(configuration.cured_set().len() <= f, "{model}");
+            assert_eq!(configuration.faulty_set().len(), f, "{model}");
+        }
+    }
+}
+
+#[test]
+fn validity_envelope_is_the_range_of_non_faulty_inputs() {
+    let n = 9;
+    let inputs: Vec<Value> = (0..n).map(|i| Value::new(i as f64)).collect();
+    let config = ProtocolConfig::builder(MobileModel::Garay, n, 2)
+        .epsilon(1e-4)
+        .seed(1)
+        .build()
+        .unwrap();
+    let outcome = MobileEngine::new(config).run(&inputs).unwrap();
+    // The envelope is contained in the full input range and is non-trivial.
+    assert!(outcome.validity_envelope.lo() >= Value::new(0.0));
+    assert!(outcome.validity_envelope.hi() <= Value::new((n - 1) as f64));
+    assert!(outcome.validity_envelope.diameter() > 0.0);
+}

@@ -1,0 +1,146 @@
+//! Integration tests for the paper's bounds: the Table 2 requirements, the
+//! Table 1 mapping, and the Theorems 3–6 lower-bound constructions.
+
+use mbaa::core::bounds::{empirical_threshold, table2, ThresholdSearch};
+use mbaa::core::lower_bounds::{all_scenarios, LowerBoundScenario};
+use mbaa::core::mapping::{classify_execution, theoretical_table};
+use mbaa::{
+    CorruptionStrategy, MedianVoting, MobileEngine, MobileModel, MobilityStrategy, MsrFunction,
+    ProtocolConfig, Value, VotingFunction,
+};
+
+#[test]
+fn table2_rows_match_the_paper_for_all_models() {
+    let rows = table2(&[1, 2, 3, 4]);
+    for row in rows {
+        let expected_multiplier = match row.model {
+            MobileModel::Garay => 4,
+            MobileModel::Bonnet => 5,
+            MobileModel::Sasaki => 6,
+            MobileModel::Buhrman => 3,
+        };
+        assert_eq!(row.bound, expected_multiplier * row.f);
+        assert_eq!(row.required, expected_multiplier * row.f + 1);
+    }
+}
+
+#[test]
+fn configurations_below_the_bound_are_rejected_without_opt_in() {
+    for model in MobileModel::ALL {
+        for f in 1..=3 {
+            let just_below = model.required_processes(f) - 1;
+            assert!(
+                ProtocolConfig::builder(model, just_below, f).build().is_err(),
+                "{model} f={f} accepted n={just_below}"
+            );
+        }
+    }
+}
+
+#[test]
+fn empirical_thresholds_never_exceed_the_theoretical_requirement() {
+    for model in MobileModel::ALL {
+        let search = ThresholdSearch {
+            seeds: (0..4).collect(),
+            epsilon: 1e-3,
+            max_rounds: 250,
+            ..ThresholdSearch::worst_case(model, 1)
+        };
+        let result = empirical_threshold(&search, 1).unwrap();
+        assert!(
+            result.theoretical_is_sufficient(),
+            "{model}: empirical {} > theoretical {}",
+            result.empirical,
+            result.theoretical
+        );
+    }
+}
+
+#[test]
+fn theoretical_mapping_is_consistent_with_model_bounds() {
+    // Substituting Table 1 into n > 3a + 2s + b must reproduce Table 2.
+    for row in theoretical_table() {
+        for f in 1..=4 {
+            let counts = row.model.mixed_fault_counts(f);
+            assert_eq!(counts.min_processes(), row.model.required_processes(f));
+        }
+    }
+}
+
+#[test]
+fn observed_behaviour_matches_table1_for_every_model_and_seed() {
+    for model in MobileModel::ALL {
+        for seed in [1_u64, 2, 3] {
+            let f = 2;
+            let n = model.required_processes(f);
+            let config = ProtocolConfig::builder(model, n, f)
+                .epsilon(1e-12)
+                .max_rounds(30)
+                .mobility(MobilityStrategy::RoundRobin)
+                .corruption(CorruptionStrategy::split_attack())
+                .seed(seed)
+                .build()
+                .unwrap();
+            let inputs: Vec<Value> = (0..n).map(|i| Value::new(i as f64)).collect();
+            let outcome = MobileEngine::new(config).run(&inputs).unwrap();
+            let mapping = classify_execution(model, &outcome);
+            assert!(mapping.matches_theory(), "{model} seed {seed}: {mapping:?}");
+        }
+    }
+}
+
+#[test]
+fn lower_bound_scenarios_are_indistinguishable_for_f_up_to_four() {
+    for f in 1..=4 {
+        for scenario in all_scenarios(f) {
+            assert!(scenario.is_indistinguishable(), "{scenario}");
+            assert_eq!(scenario.n, scenario.model.impossibility_threshold(f));
+        }
+    }
+}
+
+#[test]
+fn no_voting_rule_escapes_the_impossibility_at_the_bound() {
+    let rules: Vec<Box<dyn VotingFunction>> = vec![
+        Box::new(MsrFunction::dolev_mean(0)),
+        Box::new(MsrFunction::dolev_mean(1)),
+        Box::new(MsrFunction::dolev_mean(3)),
+        Box::new(MsrFunction::fault_tolerant_midpoint(2)),
+        Box::new(MsrFunction::reduced_median(2)),
+        Box::new(MedianVoting::new()),
+    ];
+    for f in 1..=3 {
+        for scenario in all_scenarios(f) {
+            for rule in &rules {
+                assert!(
+                    scenario.evaluate(rule.as_ref()).violates_specification(),
+                    "{} escaped {scenario}",
+                    rule.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn one_extra_process_makes_the_garay_scenario_solvable() {
+    // Contrast with the impossibility: at n = 4f + 1 the engine converges
+    // against the same adversarial pressure.
+    let f = 1;
+    let scenario = LowerBoundScenario::for_model(MobileModel::Garay, f);
+    assert_eq!(scenario.n, 4);
+
+    let n = scenario.n + 1;
+    let config = ProtocolConfig::builder(MobileModel::Garay, n, f)
+        .epsilon(1e-4)
+        .max_rounds(300)
+        .corruption(CorruptionStrategy::split_attack())
+        .mobility(MobilityStrategy::TargetExtremes)
+        .seed(2)
+        .build()
+        .unwrap();
+    let inputs: Vec<Value> = (0..n).map(|i| Value::new(if i % 2 == 0 { 0.0 } else { 1.0 })).collect();
+    let outcome = MobileEngine::new(config).run(&inputs).unwrap();
+    assert!(outcome.reached_agreement);
+    assert!(outcome.validity_holds());
+}

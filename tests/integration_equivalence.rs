@@ -1,0 +1,70 @@
+//! Integration tests for the mobile-vs-static equivalence (Theorem 1): a
+//! mobile computation behaves like a static mixed-mode computation with the
+//! mapped fault counts, and both converge under the same parameters.
+
+use mbaa::mixed::{FaultAssignment, StaticBehavior, StaticSimulator};
+use mbaa::sim::sweep::mobile_vs_static;
+use mbaa::{Epsilon, ExperimentConfig, MobileModel, MsrFunction, Value};
+
+#[test]
+fn static_mixed_mode_baseline_converges_with_mapped_counts() {
+    for model in MobileModel::ALL {
+        let f = 2;
+        let counts = model.mixed_fault_counts(f);
+        let n = model.required_processes(f);
+        let assignment = FaultAssignment::with_first_processes_faulty(n, counts).unwrap();
+        let inputs: Vec<Value> = (0..n).map(|i| Value::new(i as f64 / n as f64)).collect();
+        let outcome = StaticSimulator::new(assignment.clone(), StaticBehavior::spread_attack(), 3)
+            .run(
+                &MsrFunction::for_fault_counts(counts),
+                &inputs,
+                Epsilon::new(1e-4),
+                400,
+            )
+            .unwrap();
+        assert!(outcome.reached_agreement, "{model} static image did not converge");
+        assert!(outcome.validity_holds(&assignment), "{model} static image violated validity");
+    }
+}
+
+#[test]
+fn mobile_and_static_computations_both_converge_for_every_model() {
+    for model in MobileModel::ALL {
+        let f = 2;
+        let n = model.required_processes(f) + 1;
+        let template = ExperimentConfig::new(model, n, f)
+            .with_seeds(0..5)
+            .with_epsilon(1e-3)
+            .with_max_rounds(400);
+        let points = mobile_vs_static(model, n, f, &template).unwrap();
+        assert_eq!(points.len(), 5);
+        for point in points {
+            assert!(point.both_converged, "{model} seed {}", point.seed);
+            assert!(point.mobile_rounds() > 0);
+            assert!(point.static_rounds() > 0);
+        }
+    }
+}
+
+#[test]
+fn mobile_trajectories_contract_like_static_ones() {
+    // The per-round diameters of the mobile run must be monotonically
+    // non-expanding, exactly as in the static case (the single-step
+    // convergence property transported by Theorem 1).
+    let model = MobileModel::Bonnet;
+    let f = 2;
+    let n = model.required_processes(f) + 2;
+    let template = ExperimentConfig::new(model, n, f)
+        .with_seeds(0..6)
+        .with_epsilon(1e-4)
+        .with_max_rounds(400);
+    let points = mobile_vs_static(model, n, f, &template).unwrap();
+    for point in points {
+        for pair in point.mobile_diameters.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-12, "mobile diameter expanded: {pair:?}");
+        }
+        for pair in point.static_diameters.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-12, "static diameter expanded: {pair:?}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the full protocol: for every mobile Byzantine
+//! model, random adversary strategies, seeds, and inputs, the run above the
+//! replica bound always preserves validity and never expands the diameter,
+//! and (with a generous round budget) reaches ε-agreement.
+
+use mbaa::{
+    CorruptionStrategy, MobileEngine, MobileModel, MobilityStrategy, ProtocolConfig, Value,
+};
+use proptest::prelude::*;
+
+fn model_strategy() -> impl Strategy<Value = MobileModel> {
+    prop::sample::select(MobileModel::ALL.to_vec())
+}
+
+fn mobility_strategy() -> impl Strategy<Value = MobilityStrategy> {
+    prop::sample::select(MobilityStrategy::ALL.to_vec())
+}
+
+fn corruption_strategy() -> impl Strategy<Value = CorruptionStrategy> {
+    prop::sample::select(CorruptionStrategy::all_representative())
+}
+
+proptest! {
+    // Full protocol runs are comparatively expensive; keep the case count
+    // moderate so the suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Above the bound, every adversary combination preserves validity and
+    /// the per-round diameter of non-faulty values never grows.
+    #[test]
+    fn validity_and_contraction_hold_above_the_bound(
+        model in model_strategy(),
+        f in 1usize..=2,
+        extra in 0usize..=3,
+        mobility in mobility_strategy(),
+        corruption in corruption_strategy(),
+        seed in 0u64..1_000,
+        inputs_seed in 0u64..1_000,
+    ) {
+        let n = model.required_processes(f) + extra;
+        let config = ProtocolConfig::builder(model, n, f)
+            .epsilon(1e-3)
+            .max_rounds(250)
+            .mobility(mobility)
+            .corruption(corruption)
+            .seed(seed)
+            .build()
+            .unwrap();
+
+        // Pseudo-random but deterministic inputs derived from inputs_seed.
+        let inputs: Vec<Value> = (0..n)
+            .map(|i| {
+                let x = ((i as u64 + 1) * (inputs_seed + 1)) % 1_000;
+                Value::new(x as f64 / 1_000.0)
+            })
+            .collect();
+
+        let outcome = MobileEngine::new(config).run(&inputs).unwrap();
+
+        prop_assert!(outcome.validity_holds(), "{model} validity violated");
+        prop_assert!(
+            outcome.report.is_monotonically_non_expanding(),
+            "{model} diameter expanded: {:?}",
+            outcome.report.diameters()
+        );
+        prop_assert!(
+            outcome.reached_agreement,
+            "{model} n={n} f={f} {mobility}/{corruption} did not converge in 250 rounds \
+             (final diameter {})",
+            outcome.final_diameter()
+        );
+    }
+
+    /// The number of faulty processes per round never exceeds f and the
+    /// cured set never exceeds f (Corollary 1), whatever the adversary does.
+    #[test]
+    fn per_round_fault_cardinalities_are_bounded(
+        model in model_strategy(),
+        f in 1usize..=3,
+        mobility in mobility_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let n = model.required_processes(f);
+        let config = ProtocolConfig::builder(model, n, f)
+            .epsilon(1e-9)
+            .max_rounds(30)
+            .mobility(mobility)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let inputs: Vec<Value> = (0..n).map(|i| Value::new(i as f64)).collect();
+        let outcome = MobileEngine::new(config).run(&inputs).unwrap();
+        for configuration in &outcome.configurations {
+            prop_assert_eq!(configuration.faulty_set().len(), f);
+            prop_assert!(configuration.cured_set().len() <= f);
+            // Faulty and cured sets are disjoint.
+            prop_assert!(configuration.faulty_set().is_disjoint(&configuration.cured_set()));
+        }
+    }
+}
