@@ -79,10 +79,15 @@ impl CorruptionStrategy {
     pub fn all_representative() -> Vec<CorruptionStrategy> {
         vec![
             CorruptionStrategy::Silent,
-            CorruptionStrategy::Fixed { value: Value::new(1e3) },
+            CorruptionStrategy::Fixed {
+                value: Value::new(1e3),
+            },
             CorruptionStrategy::OutOfRange { magnitude: 10.0 },
             CorruptionStrategy::split_attack(),
-            CorruptionStrategy::RandomNoise { lo: -100.0, hi: 100.0 },
+            CorruptionStrategy::RandomNoise {
+                lo: -100.0,
+                hi: 100.0,
+            },
             CorruptionStrategy::BoundaryDrag,
             CorruptionStrategy::Stealth,
             CorruptionStrategy::MedianPull,
@@ -136,7 +141,11 @@ impl CorruptionStrategy {
             CorruptionStrategy::Stealth => {
                 let slots = (0..n)
                     .map(|_| {
-                        let v = if hi > lo { rng.random_range(lo..=hi) } else { lo };
+                        let v = if hi > lo {
+                            rng.random_range(lo..=hi)
+                        } else {
+                            lo
+                        };
                         Some(Value::new(v))
                     })
                     .collect();
@@ -151,11 +160,7 @@ impl CorruptionStrategy {
     /// The value the agent writes into a process' local state before leaving
     /// it (what a cured process finds in its variables).
     #[must_use]
-    pub fn corrupted_state<R: Rng + ?Sized>(
-        &self,
-        view: &AdversaryView<'_>,
-        rng: &mut R,
-    ) -> Value {
+    pub fn corrupted_state<R: Rng + ?Sized>(&self, view: &AdversaryView<'_>, rng: &mut R) -> Value {
         let lo = view.correct_range.lo().get();
         let hi = view.correct_range.hi().get();
         match self {
@@ -170,9 +175,11 @@ impl CorruptionStrategy {
             }
             CorruptionStrategy::RandomNoise { lo, hi } => Value::new(rng.random_range(*lo..=*hi)),
             CorruptionStrategy::BoundaryDrag => Value::new(lo),
-            CorruptionStrategy::Stealth => {
-                Value::new(if hi > lo { rng.random_range(lo..=hi) } else { lo })
-            }
+            CorruptionStrategy::Stealth => Value::new(if hi > lo {
+                rng.random_range(lo..=hi)
+            } else {
+                lo
+            }),
             CorruptionStrategy::MedianPull => Value::new(lo + 0.25 * (hi - lo)),
         }
     }
@@ -257,7 +264,8 @@ mod tests {
         let votes = vec![Value::new(0.5); 6];
         let view = test_view(&votes);
         let mut rng = StdRng::seed_from_u64(0);
-        let o = CorruptionStrategy::split_attack().faulty_outbox(ProcessId::new(0), &view, &mut rng);
+        let o =
+            CorruptionStrategy::split_attack().faulty_outbox(ProcessId::new(0), &view, &mut rng);
         assert!(!o.is_uniform());
         assert!(o.get(ProcessId::new(0)).unwrap() < Value::new(0.0));
         assert!(o.get(ProcessId::new(5)).unwrap() > Value::new(1.0));
@@ -287,7 +295,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let o = CorruptionStrategy::BoundaryDrag.faulty_outbox(ProcessId::new(0), &view, &mut rng);
         assert_eq!(o.get(ProcessId::new(3)), Some(Value::new(0.0)));
-        assert!(view.correct_range.contains(o.get(ProcessId::new(0)).unwrap()));
+        assert!(view
+            .correct_range
+            .contains(o.get(ProcessId::new(0)).unwrap()));
     }
 
     #[test]
@@ -295,7 +305,9 @@ mod tests {
         let votes = vec![Value::new(0.5); 3];
         let view = test_view(&votes);
         let mut rng = StdRng::seed_from_u64(0);
-        let strategy = CorruptionStrategy::Fixed { value: Value::new(7.0) };
+        let strategy = CorruptionStrategy::Fixed {
+            value: Value::new(7.0),
+        };
         let o = strategy.faulty_outbox(ProcessId::new(0), &view, &mut rng);
         assert_eq!(o.get(ProcessId::new(1)), Some(Value::new(7.0)));
         assert_eq!(strategy.corrupted_state(&view, &mut rng), Value::new(7.0));
@@ -351,7 +363,10 @@ mod tests {
     fn display_names() {
         assert_eq!(CorruptionStrategy::Silent.to_string(), "silent");
         assert_eq!(CorruptionStrategy::split_attack().to_string(), "split(±1)");
-        assert_eq!(CorruptionStrategy::BoundaryDrag.to_string(), "boundary-drag");
+        assert_eq!(
+            CorruptionStrategy::BoundaryDrag.to_string(),
+            "boundary-drag"
+        );
         assert_eq!(CorruptionStrategy::Stealth.to_string(), "stealth");
         assert_eq!(CorruptionStrategy::MedianPull.to_string(), "median-pull");
     }

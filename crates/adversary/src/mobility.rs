@@ -28,11 +28,12 @@ use crate::AdversaryView;
 ///   whose votes are currently the extreme ones — the most damaging choice,
 ///   since it corrupts exactly the states that anchor the correct range and
 ///   maximises the cured fallout next round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum MobilityStrategy {
     /// Agents stay where they started.
     Stationary,
     /// Agents slide over the ring of processes by `f` positions per round.
+    #[default]
     RoundRobin,
     /// Agents jump to uniformly random distinct processes every round.
     Random,
@@ -144,12 +145,6 @@ impl MobilityStrategy {
     }
 }
 
-impl Default for MobilityStrategy {
-    fn default() -> Self {
-        MobilityStrategy::RoundRobin
-    }
-}
-
 impl fmt::Display for MobilityStrategy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {
@@ -201,7 +196,9 @@ mod tests {
         let votes = votes(4);
         let mut rng = StdRng::seed_from_u64(0);
         let v = view(0, &votes);
-        assert!(MobilityStrategy::Random.place(&v, 0, None, &mut rng).is_empty());
+        assert!(MobilityStrategy::Random
+            .place(&v, 0, None, &mut rng)
+            .is_empty());
     }
 
     #[test]
@@ -265,7 +262,10 @@ mod tests {
     #[test]
     fn display_and_default() {
         assert_eq!(MobilityStrategy::default(), MobilityStrategy::RoundRobin);
-        assert_eq!(MobilityStrategy::TargetExtremes.to_string(), "target-extremes");
+        assert_eq!(
+            MobilityStrategy::TargetExtremes.to_string(),
+            "target-extremes"
+        );
         assert_eq!(MobilityStrategy::Sweep.to_string(), "sweep");
         assert_eq!(MobilityStrategy::TargetMedian.to_string(), "target-median");
     }

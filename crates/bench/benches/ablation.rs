@@ -4,18 +4,14 @@
 //!
 //! Run with `cargo bench -p mbaa-bench --bench ablation`.
 
+use mbaa::prelude::*;
 use mbaa::sim::report::{fmt_f64, fmt_opt_f64, Table};
-use mbaa::sim::sweep::adversary_ablation;
-use mbaa::{ExperimentConfig, MobileModel};
 
 fn main() {
     println!("\n=== F4: adversary ablation at n = n_Mi (f = 2, 5 seeds per cell) ===\n");
 
-    let template = ExperimentConfig::new(MobileModel::Buhrman, 7, 2)
-        .with_seeds(0..5)
-        .with_epsilon(1e-3)
-        .with_max_rounds(300);
-    let points = adversary_ablation(2, &template).expect("ablation sweep");
+    let template = Scenario::at_bound(MobileModel::Buhrman, 2);
+    let points = adversary_ablation(&template, 0..5).expect("ablation sweep");
 
     let mut table = Table::new([
         "model",
@@ -28,15 +24,20 @@ fn main() {
     let mut worst_rounds = 0.0f64;
     let mut worst_cell = String::new();
     for point in &points {
-        let mean_rounds = point.result.mean_rounds();
+        let mean_rounds = point.outcome.mean_rounds();
         if let Some(r) = mean_rounds {
             if r > worst_rounds {
                 worst_rounds = r;
-                worst_cell = format!("{} / {} / {}", point.model.short_name(), point.mobility, point.corruption);
+                worst_cell = format!(
+                    "{} / {} / {}",
+                    point.model.short_name(),
+                    point.mobility,
+                    point.corruption
+                );
             }
         }
         assert!(
-            point.result.all_succeeded(),
+            point.outcome.all_succeeded(),
             "{} with {}/{} failed above the bound",
             point.model,
             point.mobility,
@@ -46,18 +47,20 @@ fn main() {
             point.model.short_name().to_string(),
             point.mobility.to_string(),
             point.corruption.to_string(),
-            fmt_f64(point.result.success_rate(), 2),
+            fmt_f64(point.outcome.success_rate(), 2),
             fmt_opt_f64(mean_rounds, 1),
-            fmt_opt_f64(point.result.mean_contraction(), 3),
+            fmt_opt_f64(point.outcome.mean_contraction(), 3),
         ]);
     }
     println!("{table}");
     println!(
         "cells evaluated: {} (4 models x {} mobility x {} corruption strategies)",
         points.len(),
-        mbaa::MobilityStrategy::ALL.len(),
-        mbaa::CorruptionStrategy::all_representative().len()
+        MobilityStrategy::ALL.len(),
+        CorruptionStrategy::all_representative().len()
     );
     println!("slowest-converging cell: {worst_cell} ({worst_rounds:.1} rounds on average)");
-    println!("Every cell succeeds above the bound — no adversary strategy defeats the MSR family there.");
+    println!(
+        "Every cell succeeds above the bound — no adversary strategy defeats the MSR family there."
+    );
 }

@@ -1,14 +1,13 @@
 //! Experiments **F1–F3** (derived figures): single-step contraction at the
 //! bound, rounds-to-ε-agreement as `n` grows, and the mobile-vs-static
-//! equivalence of Theorem 1.
+//! equivalence of Theorem 1 — all driven through the `Scenario` API.
 //!
 //! Run with `cargo bench -p mbaa-bench --bench convergence`.
 
 use mbaa::msr::convergence::predicted_rounds;
+use mbaa::prelude::*;
 use mbaa::sim::report::{fmt_f64, fmt_opt_f64, Table};
 use mbaa::sim::stats::Summary;
-use mbaa::sim::sweep::{mobile_vs_static, rounds_vs_n};
-use mbaa::{run_experiment, Epsilon, ExperimentConfig, MobileModel};
 
 fn f1_single_step_contraction() {
     println!("--- F1: per-round diameter contraction at n = n_Mi (f = 2, 50 seeds) ---\n");
@@ -21,42 +20,50 @@ fn f1_single_step_contraction() {
         "all runs valid + agreed",
     ]);
     for model in MobileModel::ALL {
-        let f = 2;
-        let n = model.required_processes(f);
-        let config = ExperimentConfig::new(model, n, f).with_seeds(0..50);
-        let result = run_experiment(&config).expect("experiment");
-        let factor = result.mean_contraction();
+        let scenario = Scenario::at_bound(model, 2);
+        let batch = scenario.batch(0..50).run().expect("experiment");
+        let factor = batch.mean_contraction();
         let predicted = factor.and_then(|c| predicted_rounds(1.0, Epsilon::new(1e-3), c));
         table.push_row([
             model.short_name().to_string(),
-            n.to_string(),
+            scenario.n.to_string(),
             fmt_opt_f64(factor, 4),
-            fmt_opt_f64(result.mean_rounds(), 1),
+            fmt_opt_f64(batch.mean_rounds(), 1),
             predicted.map_or_else(|| "-".to_string(), |r| r.to_string()),
-            result.all_succeeded().to_string(),
+            batch.all_succeeded().to_string(),
         ]);
-        assert!(result.all_succeeded(), "{model} failed at its bound");
+        assert!(batch.all_succeeded(), "{model} failed at its bound");
     }
     println!("{table}");
 }
 
 fn f2_rounds_vs_n() {
-    println!("--- F2: rounds to epsilon-agreement vs n (f = 2, 10 seeds per point, eps = 1e-3) ---\n");
+    println!(
+        "--- F2: rounds to epsilon-agreement vs n (f = 2, 10 seeds per point, eps = 1e-3) ---\n"
+    );
     let mut table = Table::new(["model", "n", "mean rounds", "max rounds", "success rate"]);
     for model in MobileModel::ALL {
-        let template = ExperimentConfig::new(model, 0, 0).with_seeds(0..10);
-        let points = rounds_vs_n(model, 2, 10, &template).expect("sweep");
+        let points = Scenario::at_bound(model, 2)
+            .sweep_n(10)
+            .seeds(0..10)
+            .run()
+            .expect("sweep");
         for point in points {
-            let rounds = point.result.rounds_of_successful_runs();
+            let result = point.outcome.to_experiment_result();
+            let rounds = result.rounds_of_successful_runs();
             let summary = Summary::of(&rounds);
             table.push_row([
                 model.short_name().to_string(),
-                point.n.to_string(),
+                point.scenario.n.to_string(),
                 fmt_opt_f64(summary.map(|s| s.mean), 1),
                 fmt_opt_f64(summary.map(|s| s.max), 0),
-                fmt_f64(point.result.success_rate(), 2),
+                fmt_f64(point.outcome.success_rate(), 2),
             ]);
-            assert!(point.result.all_succeeded(), "{model} n={} failed", point.n);
+            assert!(
+                point.outcome.all_succeeded(),
+                "{model} n={} failed",
+                point.scenario.n
+            );
         }
     }
     println!("{table}");
@@ -64,7 +71,9 @@ fn f2_rounds_vs_n() {
 }
 
 fn f3_mobile_vs_static() {
-    println!("--- F3: mobile computation vs its static Mixed-Mode image (Theorem 1), 20 seeds ---\n");
+    println!(
+        "--- F3: mobile computation vs its static Mixed-Mode image (Theorem 1), 20 seeds ---\n"
+    );
     let mut table = Table::new([
         "model",
         "n",
@@ -76,11 +85,8 @@ fn f3_mobile_vs_static() {
     for model in MobileModel::ALL {
         let f = 2;
         let n = model.required_processes(f) + 2;
-        let template = ExperimentConfig::new(model, n, f)
-            .with_seeds(0..20)
-            .with_epsilon(1e-4)
-            .with_max_rounds(400);
-        let points = mobile_vs_static(model, n, f, &template).expect("equivalence sweep");
+        let scenario = Scenario::new(model, n, f).epsilon(1e-4).max_rounds(400);
+        let points = mobile_vs_static(&scenario, 0..20).expect("equivalence sweep");
         let mobile_rounds: Vec<f64> = points.iter().map(|p| p.mobile_rounds() as f64).collect();
         let static_rounds: Vec<f64> = points.iter().map(|p| p.static_rounds() as f64).collect();
         let final_diameters: Vec<f64> = points

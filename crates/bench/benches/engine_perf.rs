@@ -65,7 +65,9 @@ fn bench_full_protocol(c: &mut Criterion) {
                     .seed(7)
                     .build()
                     .expect("config");
-                let outcome = MobileEngine::new(config).run(black_box(&inputs)).expect("run");
+                let outcome = MobileEngine::new(config)
+                    .run(black_box(&inputs))
+                    .expect("run");
                 black_box(outcome.rounds_executed)
             });
         });

@@ -6,8 +6,8 @@
 //! Run with `cargo bench -p mbaa-bench --bench lowerbounds`.
 
 use mbaa::core::lower_bounds::all_scenarios;
+use mbaa::prelude::*;
 use mbaa::sim::report::Table;
-use mbaa::{MedianVoting, MsrFunction, VotingFunction};
 
 fn main() {
     println!("\n=== LB1-LB4: Theorems 3-6 — impossibility at n = c·f ===\n");
@@ -17,9 +17,18 @@ fn main() {
         ("trimmed mean τ=1", Box::new(MsrFunction::dolev_mean(1))),
         ("trimmed mean τ=2", Box::new(MsrFunction::dolev_mean(2))),
         ("trimmed mean τ=3", Box::new(MsrFunction::dolev_mean(3))),
-        ("FT midpoint τ=1", Box::new(MsrFunction::fault_tolerant_midpoint(1))),
-        ("FT midpoint τ=2", Box::new(MsrFunction::fault_tolerant_midpoint(2))),
-        ("reduced median τ=1", Box::new(MsrFunction::reduced_median(1))),
+        (
+            "FT midpoint τ=1",
+            Box::new(MsrFunction::fault_tolerant_midpoint(1)),
+        ),
+        (
+            "FT midpoint τ=2",
+            Box::new(MsrFunction::fault_tolerant_midpoint(2)),
+        ),
+        (
+            "reduced median τ=1",
+            Box::new(MsrFunction::reduced_median(1)),
+        ),
         ("median", Box::new(MedianVoting::new())),
     ];
 
@@ -54,7 +63,13 @@ fn main() {
     }
 
     println!("Detailed witnesses for f = 1 (which property each rule breaks):\n");
-    let mut detail = Table::new(["model", "rule", "E1 decision", "E2 decision", "broken property"]);
+    let mut detail = Table::new([
+        "model",
+        "rule",
+        "E1 decision",
+        "E2 decision",
+        "broken property",
+    ]);
     for scenario in all_scenarios(1) {
         for (name, rule) in &rules {
             let w = scenario.evaluate(rule.as_ref());
@@ -75,5 +90,7 @@ fn main() {
         }
     }
     println!("{detail}");
-    println!("No voting rule satisfies Simple Approximate Agreement at n = c·f — matching Theorems 3-6.");
+    println!(
+        "No voting rule satisfies Simple Approximate Agreement at n = c·f — matching Theorems 3-6."
+    );
 }

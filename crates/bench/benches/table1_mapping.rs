@@ -5,8 +5,8 @@
 //! Run with `cargo bench -p mbaa-bench --bench table1_mapping`.
 
 use mbaa::core::mapping::{classify_execution, theoretical_table};
+use mbaa::prelude::*;
 use mbaa::sim::report::Table;
-use mbaa::{CorruptionStrategy, MobileEngine, MobilityStrategy, ProtocolConfig};
 use mbaa_bench::spread_inputs;
 
 fn main() {
@@ -14,7 +14,10 @@ fn main() {
     let seeds: Vec<u64> = (0..20).collect();
 
     println!("\n=== T1: Table 1 — Mobile Byzantine -> Mixed-Mode mapping ===\n");
-    println!("(worst-case split adversary, f = {f}, {} seeds x 40 rounds per model)\n", seeds.len());
+    println!(
+        "(worst-case split adversary, f = {f}, {} seeds x 40 rounds per model)\n",
+        seeds.len()
+    );
 
     let mut table = Table::new([
         "model",
@@ -31,18 +34,16 @@ fn main() {
         let mut cured = (0usize, 0usize, 0usize);
         let mut matches = true;
 
+        let scenario = Scenario::new(row.model, n, f)
+            .epsilon(1e-12)
+            .max_rounds(40)
+            .adversary(
+                MobilityStrategy::RoundRobin,
+                CorruptionStrategy::split_attack(),
+            )
+            .inputs(spread_inputs(n));
         for &seed in &seeds {
-            let config = ProtocolConfig::builder(row.model, n, f)
-                .epsilon(1e-12)
-                .max_rounds(40)
-                .mobility(MobilityStrategy::RoundRobin)
-                .corruption(CorruptionStrategy::split_attack())
-                .seed(seed)
-                .build()
-                .expect("configuration above the bound");
-            let outcome = MobileEngine::new(config)
-                .run(&spread_inputs(n))
-                .expect("engine run");
+            let outcome = scenario.run(seed).expect("engine run");
             let mapping = classify_execution(row.model, &outcome);
             faulty.0 += mapping.faulty.benign;
             faulty.1 += mapping.faulty.symmetric;
@@ -62,7 +63,11 @@ fn main() {
             format!("{}/{}/{}", cured.0, cured.1, cured.2),
             matches.to_string(),
         ]);
-        assert!(matches, "empirical mapping diverged from Table 1 for {}", row.model);
+        assert!(
+            matches,
+            "empirical mapping diverged from Table 1 for {}",
+            row.model
+        );
     }
 
     println!("{table}");

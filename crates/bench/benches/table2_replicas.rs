@@ -5,8 +5,8 @@
 //! Run with `cargo bench -p mbaa-bench --bench table2_replicas`.
 
 use mbaa::core::bounds::{empirical_threshold, table2, ThresholdSearch};
+use mbaa::prelude::*;
 use mbaa::sim::report::Table;
-use mbaa::MobileModel;
 
 fn main() {
     println!("\n=== T2: Table 2 — required replicas n_Mi ===\n");
@@ -25,7 +25,9 @@ fn main() {
     println!("{theory}");
     assert_eq!(table2(&[1, 2, 3, 4]).len(), 16);
 
-    println!("Empirical sweep (worst-case adversary: split corruption + extreme-targeting mobility,");
+    println!(
+        "Empirical sweep (worst-case adversary: split corruption + extreme-targeting mobility,"
+    );
     println!("8 seeds per n, epsilon = 1e-3, 300-round budget):\n");
 
     let mut empirical = Table::new([

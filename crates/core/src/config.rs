@@ -6,6 +6,48 @@ use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
 use mbaa_msr::MsrFunction;
 use mbaa_types::{Epsilon, Error, MobileModel, Result};
 
+/// The single source of truth for every default the workspace fills in when
+/// a knob is left unspecified. The `Scenario` entry point in the `mbaa`
+/// facade crate and [`ProtocolConfigBuilder`] both draw from here, so a
+/// default is never decided in two places.
+pub mod defaults {
+    use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
+    use mbaa_msr::MsrFunction;
+    use mbaa_types::MobileModel;
+
+    /// ε for direct, low-level protocol runs (tight, convergence-focused).
+    pub const PROTOCOL_EPSILON: f64 = 1e-6;
+
+    /// Round budget for direct, low-level protocol runs.
+    pub const PROTOCOL_MAX_ROUNDS: usize = 1_000;
+
+    /// ε for experiment-style scenario runs (the paper's table settings).
+    pub const EXPERIMENT_EPSILON: f64 = 1e-3;
+
+    /// Round budget for experiment-style scenario runs.
+    pub const EXPERIMENT_MAX_ROUNDS: usize = 300;
+
+    /// The worst-case agent placement: occupy the extreme-valued processes.
+    #[must_use]
+    pub fn worst_case_mobility() -> MobilityStrategy {
+        MobilityStrategy::TargetExtremes
+    }
+
+    /// The worst-case value corruption: the classic split attack.
+    #[must_use]
+    pub fn worst_case_corruption() -> CorruptionStrategy {
+        CorruptionStrategy::split_attack()
+    }
+
+    /// The MSR instance the paper analyses for `model` at `f` agents: the
+    /// instance tuned to the model's mapped Mixed-Mode fault counts
+    /// (Lemmas 1–4).
+    #[must_use]
+    pub fn model_default_function(model: MobileModel, f: usize) -> MsrFunction {
+        MsrFunction::for_fault_counts(model.mixed_fault_counts(f))
+    }
+}
+
 /// The complete, validated configuration of one protocol execution.
 ///
 /// Use [`ProtocolConfig::builder`] to assemble one; the builder checks the
@@ -92,8 +134,8 @@ impl ProtocolConfigBuilder {
             model,
             n,
             f,
-            epsilon: Epsilon::new(1e-6),
-            max_rounds: 1_000,
+            epsilon: Epsilon::new(defaults::PROTOCOL_EPSILON),
+            max_rounds: defaults::PROTOCOL_MAX_ROUNDS,
             mobility: MobilityStrategy::default(),
             corruption: CorruptionStrategy::default(),
             function: None,
@@ -171,7 +213,9 @@ impl ProtocolConfigBuilder {
             return Err(Error::InvalidParameter("n must be at least 1".into()));
         }
         if self.max_rounds == 0 {
-            return Err(Error::InvalidParameter("max_rounds must be at least 1".into()));
+            return Err(Error::InvalidParameter(
+                "max_rounds must be at least 1".into(),
+            ));
         }
         if self.f > self.n {
             return Err(Error::InvalidParameter(format!(
@@ -191,7 +235,7 @@ impl ProtocolConfigBuilder {
         }
         let function = self
             .function
-            .unwrap_or_else(|| MsrFunction::for_fault_counts(self.model.mixed_fault_counts(self.f)));
+            .unwrap_or_else(|| defaults::model_default_function(self.model, self.f));
         Ok(ProtocolConfig {
             model: self.model,
             n: self.n,
@@ -214,7 +258,9 @@ mod tests {
 
     #[test]
     fn builder_defaults_are_sensible() {
-        let config = ProtocolConfig::builder(MobileModel::Garay, 9, 2).build().unwrap();
+        let config = ProtocolConfig::builder(MobileModel::Garay, 9, 2)
+            .build()
+            .unwrap();
         assert_eq!(config.model, MobileModel::Garay);
         assert_eq!(config.n, 9);
         assert_eq!(config.f, 2);
@@ -227,10 +273,17 @@ mod tests {
 
     #[test]
     fn bound_violation_rejected_by_default() {
-        let err = ProtocolConfig::builder(MobileModel::Garay, 8, 2).build().unwrap_err();
+        let err = ProtocolConfig::builder(MobileModel::Garay, 8, 2)
+            .build()
+            .unwrap_err();
         assert!(matches!(
             err,
-            Error::InsufficientProcesses { required: 9, n: 8, f: 2, .. }
+            Error::InsufficientProcesses {
+                required: 9,
+                n: 8,
+                f: 2,
+                ..
+            }
         ));
     }
 
@@ -254,7 +307,9 @@ mod tests {
             (MobileModel::Buhrman, 4),
         ] {
             assert!(ProtocolConfig::builder(model, min_n, 1).build().is_ok());
-            assert!(ProtocolConfig::builder(model, min_n - 1, 1).build().is_err());
+            assert!(ProtocolConfig::builder(model, min_n - 1, 1)
+                .build()
+                .is_err());
         }
     }
 
@@ -265,7 +320,9 @@ mod tests {
             Err(Error::InvalidParameter(_))
         ));
         assert!(matches!(
-            ProtocolConfig::builder(MobileModel::Buhrman, 4, 1).max_rounds(0).build(),
+            ProtocolConfig::builder(MobileModel::Buhrman, 4, 1)
+                .max_rounds(0)
+                .build(),
             Err(Error::InvalidParameter(_))
         ));
         assert!(matches!(
@@ -304,7 +361,9 @@ mod tests {
 
     #[test]
     fn zero_agents_is_a_legal_configuration() {
-        let config = ProtocolConfig::builder(MobileModel::Garay, 3, 0).build().unwrap();
+        let config = ProtocolConfig::builder(MobileModel::Garay, 3, 0)
+            .build()
+            .unwrap();
         assert!(config.satisfies_bound());
         assert_eq!(config.tau(), 0);
     }

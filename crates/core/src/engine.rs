@@ -11,7 +11,7 @@ use mbaa_types::{
     ValueMultiset,
 };
 
-use crate::{Configuration, ProtocolConfig};
+use crate::{ProtocolConfig, RoundSnapshot};
 
 /// The outcome of one mobile execution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,7 +34,7 @@ pub struct MobileRunOutcome {
     pub epsilon: Epsilon,
     /// One configuration snapshot per executed round, taken at the beginning
     /// of the round (after agent movement and state corruption).
-    pub configurations: Vec<Configuration>,
+    pub configurations: Vec<RoundSnapshot>,
     /// The full message trace (what every sender delivered to every
     /// receiver, per round) — the raw material of the Table 1 mapping.
     pub trace: NetworkTrace,
@@ -153,14 +153,8 @@ impl MobileEngine {
 
         let mut votes: Vec<Value> = initial_values.to_vec();
         let mut states: Vec<FaultState> = vec![FaultState::Correct; n];
-        let mut adversary = MobileAdversary::new(
-            cfg.model,
-            n,
-            cfg.f,
-            cfg.mobility,
-            cfg.corruption,
-            cfg.seed,
-        );
+        let mut adversary =
+            MobileAdversary::new(cfg.model, n, cfg.f, cfg.mobility, cfg.corruption, cfg.seed);
         let mut network = SyncNetwork::new(n);
         let mut configurations = Vec::new();
 
@@ -203,9 +197,9 @@ impl MobileEngine {
             }
 
             // Track per-process failure states for this round.
-            for i in 0..n {
+            for (i, state) in states.iter_mut().enumerate() {
                 let p = ProcessId::new(i);
-                states[i] = if plan.faulty.contains(p) {
+                *state = if plan.faulty.contains(p) {
                     FaultState::Faulty
                 } else if plan.cured.contains(p) {
                     FaultState::Cured
@@ -213,7 +207,7 @@ impl MobileEngine {
                     FaultState::Correct
                 };
             }
-            configurations.push(Configuration::new(
+            configurations.push(RoundSnapshot::new(
                 states.iter().copied().zip(votes.iter().copied()).collect(),
             ));
 
@@ -368,7 +362,10 @@ mod tests {
             let config = base_config(model, n, f);
             let outcome = MobileEngine::new(config).run(&inputs(n)).unwrap();
             assert!(outcome.reached_agreement, "{model} did not converge");
-            assert!(outcome.epsilon_agreement_holds(), "{model} diameter too large");
+            assert!(
+                outcome.epsilon_agreement_holds(),
+                "{model} diameter too large"
+            );
             assert!(outcome.validity_holds(), "{model} violated validity");
         }
     }
@@ -396,7 +393,13 @@ mod tests {
     fn wrong_input_count_is_rejected() {
         let config = base_config(MobileModel::Garay, 9, 2);
         let err = MobileEngine::new(config).run(&inputs(5)).unwrap_err();
-        assert!(matches!(err, Error::WrongInputCount { provided: 5, expected: 9 }));
+        assert!(matches!(
+            err,
+            Error::WrongInputCount {
+                provided: 5,
+                expected: 9
+            }
+        ));
     }
 
     #[test]

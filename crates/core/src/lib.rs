@@ -10,7 +10,7 @@
 //!   models, enforcing each model's cured-process semantics
 //!   (Garay: aware and silent; Bonnet: unaware, symmetric; Sasaki: unaware,
 //!   poisoned queue; Buhrman: agents move with messages).
-//! * [`Configuration`] and the equivalence machinery of Definitions 5–10,
+//! * [`RoundSnapshot`] and the equivalence machinery of Definitions 5–10,
 //!   used to compare a mobile computation with its static mixed-mode image.
 //! * [`mapping`] — Table 1 as an executable classification: run instrumented
 //!   rounds and observe which mixed-mode class the faulty and cured
@@ -46,11 +46,11 @@
 
 pub mod bounds;
 mod config;
-mod configuration;
 mod engine;
 pub mod lower_bounds;
 pub mod mapping;
+mod snapshot;
 
-pub use config::{ProtocolConfig, ProtocolConfigBuilder};
-pub use configuration::{Configuration, ProcessTuple};
+pub use config::{defaults, ProtocolConfig, ProtocolConfigBuilder};
 pub use engine::{MobileEngine, MobileRunOutcome};
+pub use snapshot::{ProcessTuple, RoundSnapshot};

@@ -113,7 +113,10 @@ impl LowerBoundScenario {
     /// Panics if `f == 0` (the impossibility needs at least one agent).
     #[must_use]
     pub fn for_model(model: MobileModel, f: usize) -> Self {
-        assert!(f >= 1, "the lower-bound construction needs at least one agent");
+        assert!(
+            f >= 1,
+            "the lower-bound construction needs at least one agent"
+        );
         let n = model.impossibility_threshold(f);
         // Per model: the number of values a non-faulty process hears from
         // the groups of the construction.
@@ -152,7 +155,10 @@ impl LowerBoundScenario {
             byzantine + cured_symmetric,
         );
         // E2 mirrors E1 with 0 and 1 swapped.
-        let e2 = binary_multiset(byzantine + cured_symmetric, 2 * correct_group + extra_zero_correct);
+        let e2 = binary_multiset(
+            byzantine + cured_symmetric,
+            2 * correct_group + extra_zero_correct,
+        );
         // E3: one correct group proposes 0, the other proposes 1, the third
         // (Bonnet) group proposes 0, cured processes still hold 1, and the
         // asymmetric actors send 0 to the zero group and 1 to the one group.

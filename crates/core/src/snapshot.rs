@@ -1,4 +1,7 @@
-//! Configurations and their equivalence (Definitions 5–10 of the paper).
+//! Per-round configuration snapshots and their equivalence (Definitions
+//! 5–10 of the paper). The paper calls these *configurations*; the type is
+//! named [`RoundSnapshot`] to keep it apart from [`crate::ProtocolConfig`],
+//! the knob set of one execution.
 
 use std::fmt;
 
@@ -27,10 +30,10 @@ pub struct ProcessTuple {
 /// # Example
 ///
 /// ```
-/// use mbaa_core::Configuration;
+/// use mbaa_core::RoundSnapshot;
 /// use mbaa_types::{FaultState, Value};
 ///
-/// let config = Configuration::new(vec![
+/// let config = RoundSnapshot::new(vec![
 ///     (FaultState::Correct, Value::new(0.1)),
 ///     (FaultState::Faulty, Value::new(9.9)),
 ///     (FaultState::Cured, Value::new(0.4)),
@@ -41,11 +44,11 @@ pub struct ProcessTuple {
 /// assert!(config.correct_values().diameter() < 0.3);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Configuration {
+pub struct RoundSnapshot {
     tuples: Vec<ProcessTuple>,
 }
 
-impl Configuration {
+impl RoundSnapshot {
     /// Creates a configuration from `(state, value)` pairs, one per process.
     ///
     /// # Panics
@@ -53,8 +56,11 @@ impl Configuration {
     /// Panics if `tuples` is empty.
     #[must_use]
     pub fn new(tuples: Vec<(FaultState, Value)>) -> Self {
-        assert!(!tuples.is_empty(), "configuration needs at least one process");
-        Configuration {
+        assert!(
+            !tuples.is_empty(),
+            "configuration needs at least one process"
+        );
+        RoundSnapshot {
             tuples: tuples
                 .into_iter()
                 .map(|(state, value)| ProcessTuple { state, value })
@@ -161,19 +167,19 @@ impl Configuration {
             .count()
     }
 
-    /// Configuration equivalence in the sense of Definition 9, relative to a
+    /// RoundSnapshot equivalence in the sense of Definition 9, relative to a
     /// validity envelope: `self` is equivalent to `other` when both have the
     /// same universe, the same multiset of correct values would be produced
     /// (here: identical correct-value ranges), and `self` has at least as
     /// many 〈correct, in-envelope value〉 tuples as `other`.
     #[must_use]
-    pub fn is_equivalent_to(&self, other: &Configuration, envelope: &Interval) -> bool {
+    pub fn is_equivalent_to(&self, other: &RoundSnapshot, envelope: &Interval) -> bool {
         self.universe() == other.universe()
             && self.correct_tuples_within(envelope) >= other.correct_tuples_within(envelope)
     }
 }
 
-impl fmt::Display for Configuration {
+impl fmt::Display for RoundSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
@@ -191,8 +197,8 @@ impl fmt::Display for Configuration {
 mod tests {
     use super::*;
 
-    fn sample() -> Configuration {
-        Configuration::new(vec![
+    fn sample() -> RoundSnapshot {
+        RoundSnapshot::new(vec![
             (FaultState::Correct, Value::new(0.0)),
             (FaultState::Correct, Value::new(1.0)),
             (FaultState::Cured, Value::new(5.0)),
@@ -207,10 +213,7 @@ mod tests {
         assert_eq!(c.correct_set().len(), 2);
         assert_eq!(c.cured_set().len(), 1);
         assert_eq!(c.faulty_set().len(), 1);
-        let all = c
-            .correct_set()
-            .union(&c.cured_set())
-            .union(&c.faulty_set());
+        let all = c.correct_set().union(&c.cured_set()).union(&c.faulty_set());
         assert_eq!(all.len(), 4);
     }
 
@@ -240,7 +243,7 @@ mod tests {
         let envelope = Interval::new(Value::new(0.0), Value::new(1.0));
         let mobile = sample();
         // A static image with the same number of correct in-envelope tuples.
-        let static_image = Configuration::new(vec![
+        let static_image = RoundSnapshot::new(vec![
             (FaultState::Correct, Value::new(0.2)),
             (FaultState::Correct, Value::new(0.9)),
             (FaultState::Faulty, Value::new(7.0)),
@@ -250,7 +253,7 @@ mod tests {
         assert!(mobile.is_equivalent_to(&static_image, &envelope));
 
         // An image with more correct tuples is not dominated by the mobile one.
-        let richer = Configuration::new(vec![
+        let richer = RoundSnapshot::new(vec![
             (FaultState::Correct, Value::new(0.2)),
             (FaultState::Correct, Value::new(0.4)),
             (FaultState::Correct, Value::new(0.9)),
@@ -258,14 +261,14 @@ mod tests {
         ]);
         assert!(!mobile.is_equivalent_to(&richer, &envelope));
         // Universes must match.
-        let smaller = Configuration::new(vec![(FaultState::Correct, Value::new(0.5))]);
+        let smaller = RoundSnapshot::new(vec![(FaultState::Correct, Value::new(0.5))]);
         assert!(!mobile.is_equivalent_to(&smaller, &envelope));
     }
 
     #[test]
     #[should_panic(expected = "at least one process")]
     fn empty_configuration_panics() {
-        let _ = Configuration::new(vec![]);
+        let _ = RoundSnapshot::new(vec![]);
     }
 
     #[test]

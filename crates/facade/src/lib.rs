@@ -8,7 +8,52 @@
 //! together with the Mobile-to-Mixed-Mode mapping, the replica bounds, and
 //! the lower-bound constructions of the paper.
 //!
-//! This facade crate re-exports the public API of every workspace crate so
+//! # The Scenario API
+//!
+//! The documented entry point is [`Scenario`]: a builder-first description
+//! of one experiment point — the `(model, n, f, ε, adversary, algorithm,
+//! workload)` tuple every table of the paper sweeps — that *lowers* to the
+//! internal forms on demand:
+//!
+//! * a single seeded run: [`Scenario::run`] (lowers to [`ProtocolConfig`] +
+//!   [`MobileEngine`], bit-for-bit identical to driving them by hand),
+//! * a parallel seed batch: [`Scenario::batch`] → [`Runner::run`] fans the
+//!   seeds out on rayon and aggregates into a [`BatchOutcome`] keyed and
+//!   sorted by seed,
+//! * parameter sweeps: [`Scenario::sweep_n`], [`Scenario::sweep_f`],
+//!   [`adversary_ablation`], and [`mobile_vs_static`].
+//!
+//! All defaulting — experiment ε and round budget, the worst-case
+//! adversary, the model's mapped MSR instance, the workload — is decided in
+//! the scenario layer (backed by [`core::defaults`](mbaa_core::defaults)),
+//! so the lowered forms [`ProtocolConfig`] and [`ExperimentConfig`] stay
+//! plain data.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mbaa::prelude::*;
+//!
+//! // 9 sensors, 2 mobile Byzantine agents, Garay's model (n > 4f).
+//! let scenario = Scenario::new(MobileModel::Garay, 9, 2)
+//!     .epsilon(1e-3)
+//!     .workload(Workload::UniformSpread { lo: 20.0, hi: 21.0 });
+//!
+//! // One seeded run with the full outcome…
+//! let outcome = scenario.run(42)?;
+//! assert!(outcome.reached_agreement);
+//! assert!(outcome.validity_holds());
+//!
+//! // …and the same point over a parallel seed batch.
+//! let batch = scenario.batch(0..8).run()?;
+//! assert!(batch.all_succeeded());
+//! assert!(batch.mean_rounds().unwrap() >= 1.0);
+//! # Ok::<(), mbaa::Error>(())
+//! ```
+//!
+//! # Workspace layout
+//!
+//! This facade re-exports the public API of every workspace crate so
 //! downstream users only need a single dependency:
 //!
 //! * [`types`] — values, multisets, rounds, fault states and models.
@@ -18,31 +63,20 @@
 //! * [`adversary`] — mobile agents: mobility and corruption strategies.
 //! * [`core`] — the protocol engine, Table 1 mapping, Table 2 bounds, and
 //!   Theorems 3–6 lower-bound scenarios.
-//! * [`sim`] — seeded experiments, sweeps, statistics, and report tables.
-//!
-//! The most common entry points are re-exported at the crate root.
-//!
-//! # Quickstart
-//!
-//! ```
-//! use mbaa::{MobileEngine, MobileModel, ProtocolConfig, Value};
-//!
-//! // 9 sensors, 2 mobile Byzantine agents, Garay's model (n > 4f).
-//! let config = ProtocolConfig::builder(MobileModel::Garay, 9, 2)
-//!     .epsilon(1e-3)
-//!     .seed(42)
-//!     .build()?;
-//!
-//! let readings: Vec<Value> = (0..9).map(|i| Value::new(20.0 + i as f64 * 0.1)).collect();
-//! let outcome = MobileEngine::new(config).run(&readings)?;
-//!
-//! assert!(outcome.reached_agreement);
-//! assert!(outcome.validity_holds());
-//! # Ok::<(), mbaa::Error>(())
-//! ```
+//! * [`sim`] — the lowered experiment forms, statistics, and report tables.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod prelude;
+mod runner;
+mod scenario;
+
+pub use runner::{
+    adversary_ablation, mobile_vs_static, AblationPoint, BatchOutcome, EquivalencePoint, Runner,
+    SeededRun, Sweep, SweepPoint,
+};
+pub use scenario::Scenario;
 
 /// Foundation types (re-export of [`mbaa_types`]).
 pub use mbaa_types as types;
@@ -68,11 +102,11 @@ pub use mbaa_sim as sim;
 
 pub use mbaa_adversary::{CorruptionStrategy, MobileAdversary, MobilityStrategy};
 pub use mbaa_core::{
-    Configuration, MobileEngine, MobileRunOutcome, ProtocolConfig, ProtocolConfigBuilder,
+    MobileEngine, MobileRunOutcome, ProtocolConfig, ProtocolConfigBuilder, RoundSnapshot,
 };
 pub use mbaa_msr::{MedianVoting, MsrFunction, Reduction, Selection, VotingFunction};
 pub use mbaa_net::{Outbox, RoundDelivery, SyncNetwork};
-pub use mbaa_sim::{run_experiment, ExperimentConfig, ExperimentResult, Workload};
+pub use mbaa_sim::{run_experiment, ExperimentConfig, ExperimentResult, RunSummary, Workload};
 pub use mbaa_types::{
     Epsilon, Error, FaultCounts, FaultState, Interval, MixedFaultClass, MobileModel, ProcessId,
     ProcessSet, Result, Round, Value, ValueMultiset,

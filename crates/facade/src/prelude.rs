@@ -1,0 +1,25 @@
+//! The convenience import: `use mbaa::prelude::*;` brings in the
+//! [`Scenario`] entry point, its runners and outcomes, and the vocabulary
+//! types every experiment description needs.
+//!
+//! ```
+//! use mbaa::prelude::*;
+//!
+//! let outcome = Scenario::at_bound(MobileModel::Buhrman, 2).run(7)?;
+//! assert!(outcome.reached_agreement);
+//! # Ok::<(), mbaa::Error>(())
+//! ```
+
+pub use crate::runner::{
+    adversary_ablation, mobile_vs_static, AblationPoint, BatchOutcome, EquivalencePoint, Runner,
+    SeededRun, Sweep, SweepPoint,
+};
+pub use crate::scenario::Scenario;
+
+pub use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
+pub use mbaa_core::{MobileEngine, MobileRunOutcome, ProtocolConfig, RoundSnapshot};
+pub use mbaa_msr::{MedianVoting, MsrFunction, VotingFunction};
+pub use mbaa_sim::{run_experiment, ExperimentConfig, ExperimentResult, RunSummary, Workload};
+pub use mbaa_types::{
+    Epsilon, Error, FaultCounts, FaultState, Interval, MobileModel, ProcessId, Value, ValueMultiset,
+};

@@ -1,0 +1,582 @@
+//! Batch and sweep execution for [`Scenario`]s: parallel seed fan-out,
+//! seed-keyed aggregation, and the experiment grids the paper's figures are
+//! built from.
+//!
+//! Runs are fully seeded and independent, so the [`Runner`] fans them out
+//! with `rayon` and reassembles the outcomes sorted by seed — the result is
+//! deterministic and independent of both thread scheduling and the order
+//! seeds were supplied in.
+
+use serde::{Deserialize, Serialize};
+
+use rayon::prelude::*;
+
+use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
+use mbaa_core::{defaults, MobileRunOutcome};
+use mbaa_mixed::{FaultAssignment, StaticBehavior, StaticSimulator};
+use mbaa_sim::{ExperimentResult, RunSummary};
+use mbaa_types::{Epsilon, Error, MobileModel, Result};
+
+use crate::Scenario;
+
+/// Executes one scenario over a batch of seeds, in parallel.
+///
+/// Produced by [`Scenario::batch`]; consumed by [`Runner::run`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Runner {
+    scenario: Scenario,
+    seeds: Vec<u64>,
+}
+
+impl Runner {
+    pub(crate) fn new<I: IntoIterator<Item = u64>>(scenario: Scenario, seeds: I) -> Self {
+        Runner {
+            scenario,
+            seeds: seeds.into_iter().collect(),
+        }
+    }
+
+    /// The scenario this runner executes.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The seeds this runner will execute (as supplied, duplicates and
+    /// all; [`run`](Runner::run) sorts and deduplicates).
+    #[must_use]
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// Runs every seed in parallel and aggregates the full outcomes into a
+    /// [`BatchOutcome`], sorted by seed. Supplying the same seeds in any
+    /// order produces an identical result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the smallest failing seed (configuration errors
+    /// surface like this deterministically; engine errors cannot occur for
+    /// workload-generated inputs).
+    pub fn run(&self) -> Result<BatchOutcome> {
+        let seeds = self.sorted_seeds();
+        let scenario = &self.scenario;
+        let results: Vec<(u64, Result<MobileRunOutcome>)> = seeds
+            .into_par_iter()
+            .map(|seed| (seed, scenario.run(seed)))
+            .collect();
+        let mut runs = Vec::with_capacity(results.len());
+        for (seed, outcome) in results {
+            runs.push(SeededRun {
+                seed,
+                outcome: outcome?,
+            });
+        }
+        Ok(BatchOutcome {
+            scenario: self.scenario.clone(),
+            runs,
+        })
+    }
+
+    /// Runs the batch through the lowered [`ExperimentConfig`]
+    /// (summary-only) path of `mbaa_sim` — cheaper than [`Runner::run`]
+    /// when the full per-round outcomes are not needed. Seeds are sorted
+    /// and deduplicated exactly as in [`Runner::run`], so the two paths
+    /// always describe the same runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and engine errors.
+    ///
+    /// [`ExperimentConfig`]: mbaa_sim::ExperimentConfig
+    pub fn summarize(&self) -> Result<ExperimentResult> {
+        mbaa_sim::run_experiment(&self.scenario.to_experiment(self.sorted_seeds()))
+    }
+
+    fn sorted_seeds(&self) -> Vec<u64> {
+        let mut seeds = self.seeds.clone();
+        seeds.sort_unstable();
+        seeds.dedup();
+        seeds
+    }
+}
+
+/// One seeded run within a batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeededRun {
+    /// The seed that drove the adversary and the workload.
+    pub seed: u64,
+    /// The full outcome of the run.
+    pub outcome: MobileRunOutcome,
+}
+
+/// The aggregated outcome of one scenario over a seed batch: the full
+/// [`MobileRunOutcome`] of every seed, sorted by seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchOutcome {
+    /// The scenario that produced this batch.
+    pub scenario: Scenario,
+    /// One full outcome per distinct seed, in ascending seed order.
+    pub runs: Vec<SeededRun>,
+}
+
+impl BatchOutcome {
+    /// Number of runs in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// `true` when the batch holds no runs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The outcome of one seed, if it is part of the batch.
+    #[must_use]
+    pub fn get(&self, seed: u64) -> Option<&MobileRunOutcome> {
+        self.runs
+            .binary_search_by_key(&seed, |r| r.seed)
+            .ok()
+            .map(|i| &self.runs[i].outcome)
+    }
+
+    /// Iterates over `(seed, outcome)` pairs in ascending seed order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &MobileRunOutcome)> + '_ {
+        self.runs.iter().map(|r| (r.seed, &r.outcome))
+    }
+
+    /// Fraction of runs that reached ε-agreement *and* preserved validity.
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        let ok = self
+            .runs
+            .iter()
+            .filter(|r| r.outcome.reached_agreement && r.outcome.validity_holds())
+            .count();
+        ok as f64 / self.runs.len() as f64
+    }
+
+    /// `true` when every run reached ε-agreement with validity.
+    #[must_use]
+    pub fn all_succeeded(&self) -> bool {
+        !self.runs.is_empty()
+            && self
+                .runs
+                .iter()
+                .all(|r| r.outcome.reached_agreement && r.outcome.validity_holds())
+    }
+
+    /// Mean rounds-to-agreement over the successful runs, or `None` when no
+    /// run succeeded.
+    #[must_use]
+    pub fn mean_rounds(&self) -> Option<f64> {
+        let rounds: Vec<f64> = self
+            .runs
+            .iter()
+            .filter(|r| r.outcome.reached_agreement)
+            .map(|r| r.outcome.rounds_executed as f64)
+            .collect();
+        if rounds.is_empty() {
+            None
+        } else {
+            Some(rounds.iter().sum::<f64>() / rounds.len() as f64)
+        }
+    }
+
+    /// Mean per-round contraction factor over the runs where one was
+    /// measurable.
+    #[must_use]
+    pub fn mean_contraction(&self) -> Option<f64> {
+        let factors: Vec<f64> = self
+            .runs
+            .iter()
+            .filter_map(|r| r.outcome.report.mean_contraction_factor())
+            .collect();
+        if factors.is_empty() {
+            None
+        } else {
+            Some(factors.iter().sum::<f64>() / factors.len() as f64)
+        }
+    }
+
+    /// Condenses the batch into the summary-level [`ExperimentResult`] the
+    /// report tables consume.
+    #[must_use]
+    pub fn to_experiment_result(&self) -> ExperimentResult {
+        ExperimentResult {
+            config: self
+                .scenario
+                .to_experiment(self.runs.iter().map(|r| r.seed)),
+            runs: self
+                .runs
+                .iter()
+                .map(|r| RunSummary {
+                    seed: r.seed,
+                    reached_agreement: r.outcome.reached_agreement,
+                    validity: r.outcome.validity_holds(),
+                    rounds: r.outcome.rounds_executed,
+                    final_diameter: r.outcome.final_diameter(),
+                    initial_diameter: r.outcome.report.initial_diameter(),
+                    mean_contraction: r.outcome.report.mean_contraction_factor(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A family of scenarios differing in one axis (system size, agent count,
+/// or anything produced by [`Sweep::over`]), evaluated point by point over
+/// a common seed batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sweep {
+    points: Vec<Scenario>,
+    seeds: Vec<u64>,
+}
+
+impl Sweep {
+    pub(crate) fn new(points: Vec<Scenario>) -> Self {
+        // The historical experiment default: ten seeds per point.
+        Sweep {
+            points,
+            seeds: (0..10).collect(),
+        }
+    }
+
+    /// A sweep over an explicit list of scenario points.
+    #[must_use]
+    pub fn over<I: IntoIterator<Item = Scenario>>(points: I) -> Self {
+        Sweep::new(points.into_iter().collect())
+    }
+
+    /// Replaces the seed batch evaluated at every point (default `0..10`).
+    #[must_use]
+    pub fn seeds<I: IntoIterator<Item = u64>>(mut self, seeds: I) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// The scenario points of the sweep.
+    #[must_use]
+    pub fn points(&self) -> &[Scenario] {
+        &self.points
+    }
+
+    /// Runs every point over the seed batch (each point's seeds fan out in
+    /// parallel) and pairs points with their aggregated outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing point's error.
+    pub fn run(&self) -> Result<Vec<SweepPoint>> {
+        self.points
+            .iter()
+            .map(|scenario| {
+                let outcome = scenario.batch(self.seeds.iter().copied()).run()?;
+                Ok(SweepPoint {
+                    scenario: scenario.clone(),
+                    outcome,
+                })
+            })
+            .collect()
+    }
+}
+
+/// One evaluated point of a [`Sweep`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The scenario of this point (its `n`, `f`, … are the axis values).
+    pub scenario: Scenario,
+    /// The aggregated batch outcome at this point.
+    pub outcome: BatchOutcome,
+}
+
+/// One cell of the adversary-strategy ablation grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationPoint {
+    /// The model evaluated.
+    pub model: MobileModel,
+    /// The mobility strategy of the adversary.
+    pub mobility: MobilityStrategy,
+    /// The corruption strategy of the adversary.
+    pub corruption: CorruptionStrategy,
+    /// The aggregated outcome of the cell.
+    pub outcome: BatchOutcome,
+}
+
+/// Evaluates every (mobility, corruption) pair for every model at
+/// `n = n_Mi(f)` (experiment **F4**), over the template's ε, round budget,
+/// workload, and `f`. Every cell runs its model's mapped default MSR
+/// instance — an explicit `template.function` is ignored, since a single
+/// instance cannot be correctly parameterised for all four models at once.
+///
+/// # Errors
+///
+/// Propagates the first failing cell's error.
+pub fn adversary_ablation<I: IntoIterator<Item = u64>>(
+    template: &Scenario,
+    seeds: I,
+) -> Result<Vec<AblationPoint>> {
+    let seeds: Vec<u64> = seeds.into_iter().collect();
+    let mut points = Vec::new();
+    for model in MobileModel::ALL {
+        for mobility in MobilityStrategy::ALL {
+            for corruption in CorruptionStrategy::all_representative() {
+                let scenario = Scenario {
+                    model,
+                    n: model.required_processes(template.f),
+                    mobility,
+                    corruption,
+                    function: None,
+                    ..template.clone()
+                };
+                points.push(AblationPoint {
+                    model,
+                    mobility,
+                    corruption,
+                    outcome: scenario.batch(seeds.iter().copied()).run()?,
+                });
+            }
+        }
+    }
+    Ok(points)
+}
+
+/// The diameter trajectories of one mobile run and its static mixed-mode
+/// image (experiment **F3**, Theorem 1's equivalence).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquivalencePoint {
+    /// The seed shared by the two runs.
+    pub seed: u64,
+    /// End-of-round diameters of the mobile execution.
+    pub mobile_diameters: Vec<f64>,
+    /// End-of-round diameters of the static mixed-mode execution.
+    pub static_diameters: Vec<f64>,
+    /// Whether both runs reached ε-agreement.
+    pub both_converged: bool,
+}
+
+impl EquivalencePoint {
+    /// Rounds the mobile run needed (length of its trajectory).
+    #[must_use]
+    pub fn mobile_rounds(&self) -> usize {
+        self.mobile_diameters.len()
+    }
+
+    /// Rounds the static run needed.
+    #[must_use]
+    pub fn static_rounds(&self) -> usize {
+        self.static_diameters.len()
+    }
+}
+
+/// Runs, for each seed, a mobile execution of the scenario and a static
+/// mixed-mode execution with the mapped fault counts (Lemmas 1–4), under
+/// comparable adversarial value strategies, and returns both diameter
+/// trajectories.
+///
+/// # Errors
+///
+/// Propagates configuration and engine errors.
+pub fn mobile_vs_static<I: IntoIterator<Item = u64>>(
+    scenario: &Scenario,
+    seeds: I,
+) -> Result<Vec<EquivalencePoint>> {
+    let epsilon = Epsilon::try_new(scenario.epsilon)
+        .ok_or_else(|| Error::InvalidParameter("epsilon must be > 0".into()))?;
+    let counts = scenario.model.mixed_fault_counts(scenario.f);
+    // The static image runs the same voting function as the mobile
+    // execution, honouring an explicit override.
+    let function = scenario
+        .function
+        .unwrap_or_else(|| defaults::model_default_function(scenario.model, scenario.f));
+
+    seeds
+        .into_iter()
+        .map(|seed| {
+            let mobile = scenario.run(seed)?;
+            let inputs = scenario.initial_values(seed);
+
+            let assignment = FaultAssignment::with_first_processes_faulty(scenario.n, counts)?;
+            let static_sim =
+                StaticSimulator::new(assignment, StaticBehavior::spread_attack(), seed);
+            let static_outcome =
+                static_sim.run(&function, &inputs, epsilon, scenario.max_rounds)?;
+
+            Ok(EquivalencePoint {
+                seed,
+                mobile_diameters: mobile.report.diameters().to_vec(),
+                static_diameters: static_outcome.report.diameters().to_vec(),
+                both_converged: mobile.reached_agreement && static_outcome.reached_agreement,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbaa_msr::MsrFunction;
+
+    fn small() -> Scenario {
+        Scenario::at_bound(MobileModel::Buhrman, 2).max_rounds(200)
+    }
+
+    #[test]
+    fn batch_runs_every_seed_sorted() {
+        let batch = small().batch([3, 1, 2, 0]).run().unwrap();
+        assert_eq!(batch.len(), 4);
+        let seeds: Vec<u64> = batch.iter().map(|(s, _)| s).collect();
+        assert_eq!(seeds, vec![0, 1, 2, 3]);
+        assert!(batch.all_succeeded());
+        assert_eq!(batch.success_rate(), 1.0);
+        assert!(batch.mean_rounds().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn batch_is_order_independent_and_deduplicated() {
+        let a = small().batch([0, 1, 2]).run().unwrap();
+        let b = small().batch([2, 0, 1, 1, 2]).run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_matches_single_runs() {
+        let scenario = small();
+        let batch = scenario.batch(0..3).run().unwrap();
+        for (seed, outcome) in batch.iter() {
+            assert_eq!(outcome, &scenario.run(seed).unwrap());
+        }
+        assert_eq!(batch.get(1), Some(&scenario.run(1).unwrap()));
+        assert_eq!(batch.get(99), None);
+    }
+
+    #[test]
+    fn summaries_match_the_lowered_experiment_path() {
+        let scenario = small();
+        let via_batch = scenario.batch(0..4).run().unwrap().to_experiment_result();
+        let via_experiment = scenario.batch(0..4).summarize().unwrap();
+        assert_eq!(via_batch, via_experiment);
+    }
+
+    #[test]
+    fn summarize_applies_the_same_seed_normalisation_as_run() {
+        // Duplicate, unordered seeds must describe the same runs on both
+        // paths.
+        let runner = small().batch([3, 1, 1, 0, 3]);
+        let via_batch = runner.run().unwrap().to_experiment_result();
+        let via_experiment = runner.summarize().unwrap();
+        assert_eq!(via_batch, via_experiment);
+        assert_eq!(
+            via_experiment
+                .runs
+                .iter()
+                .map(|r| r.seed)
+                .collect::<Vec<_>>(),
+            vec![0, 1, 3]
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_legal() {
+        let batch = small().batch(std::iter::empty()).run().unwrap();
+        assert!(batch.is_empty());
+        assert_eq!(batch.success_rate(), 0.0);
+        assert!(!batch.all_succeeded());
+        assert_eq!(batch.mean_rounds(), None);
+    }
+
+    #[test]
+    fn below_bound_batch_errors_deterministically() {
+        let scenario = Scenario::new(MobileModel::Garay, 8, 2);
+        let err = scenario.batch(0..3).run().unwrap_err();
+        assert!(matches!(
+            err,
+            Error::InsufficientProcesses {
+                required: 9,
+                n: 8,
+                ..
+            }
+        ));
+        assert!(scenario
+            .clone()
+            .allow_bound_violation()
+            .batch(0..3)
+            .run()
+            .is_ok());
+    }
+
+    #[test]
+    fn sweep_runs_every_point() {
+        let sweep = small().sweep_n(2).seeds(0..2);
+        let points = sweep.run().unwrap();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].scenario.n, 7);
+        assert_eq!(points[2].scenario.n, 9);
+        assert!(points.iter().all(|p| p.outcome.all_succeeded()));
+    }
+
+    #[test]
+    fn ablation_covers_the_full_grid() {
+        let template = Scenario::at_bound(MobileModel::Buhrman, 1).max_rounds(150);
+        let points = adversary_ablation(&template, 0..1).unwrap();
+        let expected = MobileModel::ALL.len()
+            * MobilityStrategy::ALL.len()
+            * CorruptionStrategy::all_representative().len();
+        assert_eq!(points.len(), expected);
+        for p in &points {
+            assert!(
+                p.outcome.all_succeeded(),
+                "{} with {}/{} failed above the bound",
+                p.model,
+                p.mobility,
+                p.corruption
+            );
+        }
+    }
+
+    #[test]
+    fn ablation_ignores_an_explicit_function_override() {
+        // A single MSR instance cannot fit all four models; the grid must
+        // run each model's mapped default even when the template carries an
+        // override tuned to one model.
+        let template = Scenario::at_bound(MobileModel::Buhrman, 1)
+            .max_rounds(150)
+            .function(MsrFunction::for_fault_counts(
+                MobileModel::Buhrman.mixed_fault_counts(1),
+            ));
+        let points = adversary_ablation(&template, 0..1).unwrap();
+        assert!(points.iter().all(|p| p.outcome.all_succeeded()));
+        assert!(points.iter().all(|p| p.outcome.scenario.function.is_none()));
+    }
+
+    #[test]
+    fn mobile_vs_static_honours_an_explicit_function() {
+        let function = MsrFunction::fault_tolerant_midpoint(2);
+        let scenario = Scenario::new(MobileModel::Garay, 9, 2)
+            .max_rounds(200)
+            .function(function);
+        let points = mobile_vs_static(&scenario, 0..2).unwrap();
+        // The FT-midpoint halves the diameter per round; both sides must
+        // still converge, running the *same* rule.
+        for p in &points {
+            assert!(p.both_converged, "seed {} diverged", p.seed);
+        }
+    }
+
+    #[test]
+    fn mobile_and_static_trajectories_both_converge() {
+        let scenario = Scenario::new(MobileModel::Garay, 9, 2).max_rounds(200);
+        let points = mobile_vs_static(&scenario, 0..3).unwrap();
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.both_converged, "seed {} diverged", p.seed);
+            assert!(p.mobile_rounds() > 0);
+            assert!(p.static_rounds() > 0);
+        }
+    }
+}

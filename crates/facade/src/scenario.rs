@@ -1,0 +1,390 @@
+//! The [`Scenario`] builder: the single entry point describing one
+//! experiment point of the paper.
+//!
+//! A scenario is the `(model, n, f, ε, adversary, algorithm, workload)`
+//! tuple every table and figure of Bonomi et al. (ICDCS 2016) sweeps. It
+//! *lowers* to the pre-existing forms instead of replacing them:
+//!
+//! * [`Scenario::run`] lowers to a [`ProtocolConfig`] and executes one
+//!   seeded run on the [`MobileEngine`] — bit-identical to building the
+//!   `ProtocolConfig` by hand.
+//! * [`Scenario::batch`] produces a [`Runner`](crate::Runner) that fans a
+//!   seed batch out on rayon and aggregates full outcomes into a
+//!   [`BatchOutcome`](crate::BatchOutcome).
+//! * [`Scenario::sweep_n`] / [`Scenario::sweep_f`] produce
+//!   [`Sweep`](crate::Sweep)s over system size or agent count.
+//!
+//! Every default an unspecified knob receives is decided here (drawing on
+//! [`mbaa_core::defaults`]), not in the lowered forms: experiment-grade
+//! ε = 1e-3, a 300-round budget, the worst-case adversary
+//! (extreme-targeting mobility + split corruption), the model's mapped MSR
+//! instance, and the unit-interval spread workload.
+
+use serde::{Deserialize, Serialize};
+
+use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
+use mbaa_core::{defaults, MobileEngine, MobileRunOutcome, ProtocolConfig};
+use mbaa_msr::{MsrFunction, VotingFunction};
+use mbaa_sim::{ExperimentConfig, Workload};
+use mbaa_types::{MobileModel, Result, Value};
+
+use crate::runner::{Runner, Sweep};
+
+/// A builder-first description of one experiment point: the
+/// `(model, n, f, ε, adversary, algorithm, workload)` tuple the paper's
+/// tables sweep.
+///
+/// Construct with [`Scenario::new`], refine with the chainable setters, and
+/// lower with [`run`](Scenario::run) (single seed),
+/// [`batch`](Scenario::batch) (parallel seed batch), or the `sweep_*`
+/// methods (parameter sweeps).
+///
+/// # Example
+///
+/// ```
+/// use mbaa::prelude::*;
+///
+/// let scenario = Scenario::new(MobileModel::Garay, 9, 2).epsilon(1e-4);
+/// let outcome = scenario.run(42)?;
+/// assert!(outcome.reached_agreement && outcome.validity_holds());
+/// # Ok::<(), mbaa::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The mobile Byzantine model.
+    pub model: MobileModel,
+    /// The number of processes.
+    pub n: usize,
+    /// The number of mobile agents.
+    pub f: usize,
+    /// The agreement tolerance ε.
+    pub epsilon: f64,
+    /// The per-run round budget.
+    pub max_rounds: usize,
+    /// The adversary's agent placement strategy.
+    pub mobility: MobilityStrategy,
+    /// The adversary's value corruption strategy.
+    pub corruption: CorruptionStrategy,
+    /// The MSR instance to run, or `None` for the model's mapped default.
+    pub function: Option<MsrFunction>,
+    /// How initial values are generated.
+    pub workload: Workload,
+    /// Whether `n` below the model's replica bound is permitted.
+    pub allow_bound_violation: bool,
+}
+
+impl Scenario {
+    /// Describes `n` processes attacked by `f` mobile agents under `model`,
+    /// with the workspace defaults: experiment-grade ε = 1e-3, a 300-round
+    /// budget, the worst-case adversary (extreme-targeting mobility, split
+    /// corruption), the model's mapped MSR instance, and evenly spread
+    /// initial values in `[0, 1]`.
+    #[must_use]
+    pub fn new(model: MobileModel, n: usize, f: usize) -> Self {
+        Scenario {
+            model,
+            n,
+            f,
+            epsilon: defaults::EXPERIMENT_EPSILON,
+            max_rounds: defaults::EXPERIMENT_MAX_ROUNDS,
+            mobility: defaults::worst_case_mobility(),
+            corruption: defaults::worst_case_corruption(),
+            function: None,
+            workload: Workload::default(),
+            allow_bound_violation: false,
+        }
+    }
+
+    /// Describes the smallest legal system for `f` agents under `model`
+    /// (`n = n_Mi`, Table 2).
+    #[must_use]
+    pub fn at_bound(model: MobileModel, f: usize) -> Self {
+        Scenario::new(model, model.required_processes(f), f)
+    }
+
+    /// Sets the agreement tolerance ε.
+    #[must_use]
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the per-run round budget.
+    #[must_use]
+    pub fn max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the agent placement strategy.
+    #[must_use]
+    pub fn mobility(mut self, mobility: MobilityStrategy) -> Self {
+        self.mobility = mobility;
+        self
+    }
+
+    /// Sets the value corruption strategy.
+    #[must_use]
+    pub fn corruption(mut self, corruption: CorruptionStrategy) -> Self {
+        self.corruption = corruption;
+        self
+    }
+
+    /// Sets both adversary strategies at once.
+    #[must_use]
+    pub fn adversary(mut self, mobility: MobilityStrategy, corruption: CorruptionStrategy) -> Self {
+        self.mobility = mobility;
+        self.corruption = corruption;
+        self
+    }
+
+    /// Sets the MSR instance explicitly (the default is the instance tuned
+    /// to the model's mapped fault counts, Lemmas 1–4).
+    #[must_use]
+    pub fn function(mut self, function: MsrFunction) -> Self {
+        self.function = Some(function);
+        self
+    }
+
+    /// Sets the initial-value workload.
+    #[must_use]
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Fixes the initial values explicitly (sugar for a
+    /// [`Workload::Fixed`] workload). The vector length must equal `n` by
+    /// the time the scenario runs.
+    #[must_use]
+    pub fn inputs<I: IntoIterator<Item = Value>>(mut self, values: I) -> Self {
+        self.workload = Workload::Fixed {
+            values: values.into_iter().collect(),
+        };
+        self
+    }
+
+    /// Permits `n` below the model's replica bound (threshold sweeps and
+    /// lower-bound experiments).
+    #[must_use]
+    pub fn allow_bound_violation(mut self) -> Self {
+        self.allow_bound_violation = true;
+        self
+    }
+
+    /// Returns `true` when `n` satisfies the model's replica requirement
+    /// `n > c·f` (Table 2).
+    #[must_use]
+    pub fn satisfies_bound(&self) -> bool {
+        self.n >= self.model.required_processes(self.f)
+    }
+
+    /// Lowers this scenario to the validated [`ProtocolConfig`] of one
+    /// seeded run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's validation errors (zero-sized system, `f`
+    /// exceeding `n`, or `n` below the bound without
+    /// [`allow_bound_violation`](Scenario::allow_bound_violation)).
+    pub fn lower(&self, seed: u64) -> Result<ProtocolConfig> {
+        let mut builder = ProtocolConfig::builder(self.model, self.n, self.f)
+            .epsilon(self.epsilon)
+            .max_rounds(self.max_rounds)
+            .mobility(self.mobility)
+            .corruption(self.corruption)
+            .seed(seed);
+        if let Some(function) = self.function {
+            builder = builder.function(function);
+        }
+        if self.allow_bound_violation {
+            builder = builder.allow_bound_violation();
+        }
+        builder.build()
+    }
+
+    /// Lowers this scenario to the [`ExperimentConfig`] of a seed batch —
+    /// the aggregate-summary form consumed by
+    /// [`mbaa_sim::run_experiment`].
+    #[must_use]
+    pub fn to_experiment<I: IntoIterator<Item = u64>>(&self, seeds: I) -> ExperimentConfig {
+        ExperimentConfig {
+            model: self.model,
+            n: self.n,
+            f: self.f,
+            epsilon: self.epsilon,
+            max_rounds: self.max_rounds,
+            mobility: self.mobility,
+            corruption: self.corruption,
+            function: self.function,
+            seeds: seeds.into_iter().collect(),
+            workload: self.workload.clone(),
+            allow_bound_violation: self.allow_bound_violation,
+        }
+    }
+
+    /// The initial values of one seeded run, generated by the workload.
+    #[must_use]
+    pub fn initial_values(&self, seed: u64) -> Vec<Value> {
+        self.workload.generate(self.n, seed)
+    }
+
+    /// Runs this scenario once with `seed`, driving both the adversary and
+    /// the workload. The result is bit-identical to lowering by hand:
+    /// building the same [`ProtocolConfig`], generating the workload, and
+    /// calling [`MobileEngine::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering and engine errors.
+    pub fn run(&self, seed: u64) -> Result<MobileRunOutcome> {
+        let config = self.lower(seed)?;
+        let inputs = self.initial_values(seed);
+        MobileEngine::new(config).run(&inputs)
+    }
+
+    /// Runs this scenario once with an explicit voting function, overriding
+    /// the configured MSR instance — used to compare MSR instances with
+    /// non-MSR baselines under identical adversaries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering and engine errors.
+    pub fn run_with_function(
+        &self,
+        function: &dyn VotingFunction,
+        seed: u64,
+    ) -> Result<MobileRunOutcome> {
+        let config = self.lower(seed)?;
+        let inputs = self.initial_values(seed);
+        MobileEngine::new(config).run_with_function(function, &inputs)
+    }
+
+    /// A [`Runner`] over this scenario and a seed batch; `run()` fans the
+    /// seeds out in parallel and aggregates into a
+    /// [`BatchOutcome`](crate::BatchOutcome).
+    #[must_use]
+    pub fn batch<I: IntoIterator<Item = u64>>(&self, seeds: I) -> Runner {
+        Runner::new(self.clone(), seeds)
+    }
+
+    /// A sweep over the system size: `n` from the model's requirement
+    /// `n_Mi` up to `n_Mi + extra`, everything else as in this scenario.
+    #[must_use]
+    pub fn sweep_n(&self, extra: usize) -> Sweep {
+        let start = self.model.required_processes(self.f);
+        let points = (start..=start + extra)
+            .map(|n| Scenario { n, ..self.clone() })
+            .collect();
+        Sweep::new(points)
+    }
+
+    /// A sweep over the agent count. Each point keeps this scenario's
+    /// *margin* above the bound: at `f` agents it runs
+    /// `n = n_Mi(f) + (self.n - n_Mi(self.f))` processes, so every point
+    /// sits the same distance above its requirement.
+    #[must_use]
+    pub fn sweep_f<I: IntoIterator<Item = usize>>(&self, fs: I) -> Sweep {
+        let margin = self.n.saturating_sub(self.model.required_processes(self.f));
+        let points = fs
+            .into_iter()
+            .map(|f| Scenario {
+                f,
+                n: self.model.required_processes(f) + margin,
+                ..self.clone()
+            })
+            .collect();
+        Sweep::new(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_experiment_defaults() {
+        let s = Scenario::new(MobileModel::Garay, 9, 2);
+        assert_eq!(s.epsilon, defaults::EXPERIMENT_EPSILON);
+        assert_eq!(s.max_rounds, defaults::EXPERIMENT_MAX_ROUNDS);
+        assert_eq!(s.mobility, defaults::worst_case_mobility());
+        assert_eq!(s.corruption, defaults::worst_case_corruption());
+        assert_eq!(s.function, None);
+        assert!(!s.allow_bound_violation);
+    }
+
+    #[test]
+    fn lowering_preserves_every_knob() {
+        let s = Scenario::new(MobileModel::Bonnet, 11, 2)
+            .epsilon(0.25)
+            .max_rounds(17)
+            .mobility(MobilityStrategy::Random)
+            .corruption(CorruptionStrategy::BoundaryDrag);
+        let config = s.lower(99).unwrap();
+        assert_eq!(config.model, MobileModel::Bonnet);
+        assert_eq!((config.n, config.f), (11, 2));
+        assert_eq!(config.epsilon.get(), 0.25);
+        assert_eq!(config.max_rounds, 17);
+        assert_eq!(config.mobility, MobilityStrategy::Random);
+        assert_eq!(config.corruption, CorruptionStrategy::BoundaryDrag);
+        assert_eq!(config.seed, 99);
+        // The default function decision is made exactly once, in the
+        // lowering path.
+        assert_eq!(
+            config.function,
+            defaults::model_default_function(MobileModel::Bonnet, 2)
+        );
+    }
+
+    #[test]
+    fn bound_violations_require_opt_in() {
+        let s = Scenario::new(MobileModel::Garay, 8, 2);
+        assert!(!s.satisfies_bound());
+        assert!(s.lower(0).is_err());
+        assert!(s.allow_bound_violation().lower(0).is_ok());
+    }
+
+    #[test]
+    fn at_bound_picks_the_table2_requirement() {
+        for model in MobileModel::ALL {
+            let s = Scenario::at_bound(model, 2);
+            assert_eq!(s.n, model.required_processes(2));
+            assert!(s.satisfies_bound());
+        }
+    }
+
+    #[test]
+    fn to_experiment_copies_the_description() {
+        let s = Scenario::at_bound(MobileModel::Buhrman, 2).epsilon(1e-4);
+        let exp = s.to_experiment(0..5);
+        assert_eq!(exp.model, MobileModel::Buhrman);
+        assert_eq!((exp.n, exp.f), (7, 2));
+        assert_eq!(exp.epsilon, 1e-4);
+        assert_eq!(exp.seeds, vec![0, 1, 2, 3, 4]);
+        assert_eq!(exp.workload, Workload::default());
+    }
+
+    #[test]
+    fn fixed_inputs_override_the_workload() {
+        let values: Vec<Value> = (0..7).map(|i| Value::new(i as f64)).collect();
+        let s = Scenario::at_bound(MobileModel::Buhrman, 2).inputs(values.clone());
+        assert_eq!(s.initial_values(3), values);
+        // Seed only drives the adversary when inputs are fixed.
+        assert_eq!(s.initial_values(4), values);
+    }
+
+    #[test]
+    fn sweep_n_covers_the_requested_range() {
+        let sweep = Scenario::at_bound(MobileModel::Buhrman, 2).sweep_n(3);
+        let ns: Vec<usize> = sweep.points().iter().map(|p| p.n).collect();
+        assert_eq!(ns, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn sweep_f_keeps_the_margin_above_the_bound() {
+        let s = Scenario::new(MobileModel::Garay, 11, 2); // margin 2 above 9
+        let sweep = s.sweep_f(1..=3);
+        let points: Vec<(usize, usize)> = sweep.points().iter().map(|p| (p.f, p.n)).collect();
+        assert_eq!(points, vec![(1, 7), (2, 11), (3, 15)]);
+    }
+}

@@ -197,10 +197,20 @@ mod tests {
 
     #[test]
     fn first_processes_faulty_places_in_order() {
-        let a = FaultAssignment::with_first_processes_faulty(10, FaultCounts::new(2, 1, 1)).unwrap();
-        assert_eq!(a.class_of(ProcessId::new(0)), Some(MixedFaultClass::Asymmetric));
-        assert_eq!(a.class_of(ProcessId::new(1)), Some(MixedFaultClass::Asymmetric));
-        assert_eq!(a.class_of(ProcessId::new(2)), Some(MixedFaultClass::Symmetric));
+        let a =
+            FaultAssignment::with_first_processes_faulty(10, FaultCounts::new(2, 1, 1)).unwrap();
+        assert_eq!(
+            a.class_of(ProcessId::new(0)),
+            Some(MixedFaultClass::Asymmetric)
+        );
+        assert_eq!(
+            a.class_of(ProcessId::new(1)),
+            Some(MixedFaultClass::Asymmetric)
+        );
+        assert_eq!(
+            a.class_of(ProcessId::new(2)),
+            Some(MixedFaultClass::Symmetric)
+        );
         assert_eq!(a.class_of(ProcessId::new(3)), Some(MixedFaultClass::Benign));
         assert!(a.is_correct(ProcessId::new(4)));
         assert_eq!(a.counts(), FaultCounts::new(2, 1, 1));
@@ -211,9 +221,12 @@ mod tests {
     #[test]
     fn bound_violation_rejected() {
         // 3a + 2s + b = 6; n must exceed 6.
-        let err = FaultAssignment::with_first_processes_faulty(6, FaultCounts::new(2, 0, 0))
-            .unwrap_err();
-        assert!(matches!(err, Error::InsufficientProcessesMixed { n: 6, required: 7 }));
+        let err =
+            FaultAssignment::with_first_processes_faulty(6, FaultCounts::new(2, 0, 0)).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::InsufficientProcessesMixed { n: 6, required: 7 }
+        ));
 
         assert!(FaultAssignment::with_first_processes_faulty(7, FaultCounts::new(2, 0, 0)).is_ok());
     }

@@ -111,7 +111,7 @@ impl StaticBehavior {
                 }
             }
             StaticBehavior::Fixed { value } => {
-                if receiver % 2 == 0 {
+                if receiver.is_multiple_of(2) {
                     *value
                 } else {
                     -*value
@@ -153,10 +153,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for behavior in [
             StaticBehavior::spread_attack(),
-            StaticBehavior::Fixed { value: Value::new(5.0) },
+            StaticBehavior::Fixed {
+                value: Value::new(5.0),
+            },
             StaticBehavior::Random { lo: -1.0, hi: 1.0 },
         ] {
-            let o = behavior.outbox(MixedFaultClass::Benign, ProcessId::new(0), 4, range01(), &mut rng);
+            let o = behavior.outbox(
+                MixedFaultClass::Benign,
+                ProcessId::new(0),
+                4,
+                range01(),
+                &mut rng,
+            );
             assert!(o.is_silent(), "{behavior}");
         }
     }
@@ -194,11 +202,25 @@ mod tests {
     #[test]
     fn fixed_behavior_plants_the_fixed_value() {
         let mut rng = StdRng::seed_from_u64(1);
-        let behavior = StaticBehavior::Fixed { value: Value::new(9.0) };
-        let sym = behavior.outbox(MixedFaultClass::Symmetric, ProcessId::new(0), 3, range01(), &mut rng);
+        let behavior = StaticBehavior::Fixed {
+            value: Value::new(9.0),
+        };
+        let sym = behavior.outbox(
+            MixedFaultClass::Symmetric,
+            ProcessId::new(0),
+            3,
+            range01(),
+            &mut rng,
+        );
         assert_eq!(sym.get(ProcessId::new(2)), Some(Value::new(9.0)));
 
-        let asym = behavior.outbox(MixedFaultClass::Asymmetric, ProcessId::new(0), 3, range01(), &mut rng);
+        let asym = behavior.outbox(
+            MixedFaultClass::Asymmetric,
+            ProcessId::new(0),
+            3,
+            range01(),
+            &mut rng,
+        );
         assert_eq!(asym.get(ProcessId::new(0)), Some(Value::new(9.0)));
         assert_eq!(asym.get(ProcessId::new(1)), Some(Value::new(-9.0)));
     }
@@ -208,7 +230,13 @@ mod tests {
         let behavior = StaticBehavior::Random { lo: -2.0, hi: 2.0 };
         let run = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            behavior.outbox(MixedFaultClass::Asymmetric, ProcessId::new(0), 4, range01(), &mut rng)
+            behavior.outbox(
+                MixedFaultClass::Asymmetric,
+                ProcessId::new(0),
+                4,
+                range01(),
+                &mut rng,
+            )
         };
         assert_eq!(run(7), run(7));
         // Values stay within the configured interval.
@@ -223,7 +251,10 @@ mod tests {
     fn display_names() {
         assert_eq!(StaticBehavior::spread_attack().to_string(), "spread(±1)");
         assert_eq!(
-            StaticBehavior::Fixed { value: Value::new(2.0) }.to_string(),
+            StaticBehavior::Fixed {
+                value: Value::new(2.0)
+            }
+            .to_string(),
             "fixed(2)"
         );
         assert_eq!(

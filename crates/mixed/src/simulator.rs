@@ -143,7 +143,8 @@ impl StaticSimulator {
                     match self.assignment.class_of(sender) {
                         None => Outbox::broadcast(n, sender, votes[i]),
                         Some(class) => {
-                            self.behavior.outbox(class, sender, n, correct_range, &mut rng)
+                            self.behavior
+                                .outbox(class, sender, n, correct_range, &mut rng)
                         }
                     }
                 })
@@ -192,7 +193,12 @@ mod tests {
         let assignment = FaultAssignment::all_correct(5);
         let sim = StaticSimulator::new(assignment.clone(), StaticBehavior::spread_attack(), 1);
         let outcome = sim
-            .run(&MsrFunction::dolev_mean(0), &inputs(5), Epsilon::new(1e-9), 10)
+            .run(
+                &MsrFunction::dolev_mean(0),
+                &inputs(5),
+                Epsilon::new(1e-9),
+                10,
+            )
             .unwrap();
         assert!(outcome.reached_agreement);
         // Plain averaging with full information agrees exactly in one round.
@@ -214,7 +220,11 @@ mod tests {
                 200,
             )
             .unwrap();
-        assert!(outcome.reached_agreement, "diameter trace: {:?}", outcome.report.diameters());
+        assert!(
+            outcome.reached_agreement,
+            "diameter trace: {:?}",
+            outcome.report.diameters()
+        );
         assert!(outcome.validity_holds(&assignment));
         assert!(outcome.report.is_monotonically_non_expanding());
     }
@@ -225,8 +235,13 @@ mod tests {
         let assignment = FaultAssignment::with_first_processes_faulty(7, counts).unwrap();
         for behavior in [
             StaticBehavior::spread_attack(),
-            StaticBehavior::Fixed { value: Value::new(50.0) },
-            StaticBehavior::Random { lo: -10.0, hi: 10.0 },
+            StaticBehavior::Fixed {
+                value: Value::new(50.0),
+            },
+            StaticBehavior::Random {
+                lo: -10.0,
+                hi: 10.0,
+            },
         ] {
             let sim = StaticSimulator::new(assignment.clone(), behavior, 3);
             let outcome = sim
@@ -237,8 +252,14 @@ mod tests {
                     300,
                 )
                 .unwrap();
-            assert!(outcome.reached_agreement, "behavior {behavior} did not converge");
-            assert!(outcome.validity_holds(&assignment), "behavior {behavior} broke validity");
+            assert!(
+                outcome.reached_agreement,
+                "behavior {behavior} did not converge"
+            );
+            assert!(
+                outcome.validity_holds(&assignment),
+                "behavior {behavior} broke validity"
+            );
         }
     }
 
@@ -247,7 +268,12 @@ mod tests {
         let assignment = FaultAssignment::all_correct(4);
         let sim = StaticSimulator::new(assignment, StaticBehavior::spread_attack(), 0);
         let err = sim
-            .run(&MsrFunction::dolev_mean(0), &inputs(3), Epsilon::new(0.1), 5)
+            .run(
+                &MsrFunction::dolev_mean(0),
+                &inputs(3),
+                Epsilon::new(0.1),
+                5,
+            )
             .unwrap_err();
         assert!(matches!(err, Error::WrongInputCount { .. }));
     }
@@ -257,7 +283,12 @@ mod tests {
         let assignment = FaultAssignment::all_correct(4);
         let sim = StaticSimulator::new(assignment, StaticBehavior::spread_attack(), 0);
         let err = sim
-            .run(&MsrFunction::dolev_mean(0), &inputs(4), Epsilon::new(0.1), 0)
+            .run(
+                &MsrFunction::dolev_mean(0),
+                &inputs(4),
+                Epsilon::new(0.1),
+                0,
+            )
             .unwrap_err();
         assert!(matches!(err, Error::InvalidParameter(_)));
     }
@@ -279,14 +310,18 @@ mod tests {
         let counts = FaultCounts::new(1, 0, 0);
         let assignment = FaultAssignment::with_first_processes_faulty(4, counts).unwrap();
         let run = |seed| {
-            StaticSimulator::new(assignment.clone(), StaticBehavior::Random { lo: -5.0, hi: 5.0 }, seed)
-                .run(
-                    &MsrFunction::for_fault_counts(counts),
-                    &inputs(4),
-                    Epsilon::new(1e-6),
-                    50,
-                )
-                .unwrap()
+            StaticSimulator::new(
+                assignment.clone(),
+                StaticBehavior::Random { lo: -5.0, hi: 5.0 },
+                seed,
+            )
+            .run(
+                &MsrFunction::for_fault_counts(counts),
+                &inputs(4),
+                Epsilon::new(1e-6),
+                50,
+            )
+            .unwrap()
         };
         assert_eq!(run(11), run(11));
     }

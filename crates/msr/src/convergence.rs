@@ -169,7 +169,10 @@ impl ConvergenceReport {
     /// no round has been recorded).
     #[must_use]
     pub fn final_diameter(&self) -> f64 {
-        self.diameters.last().copied().unwrap_or(self.initial_diameter)
+        self.diameters
+            .last()
+            .copied()
+            .unwrap_or(self.initial_diameter)
     }
 
     /// The first round (1-based) whose end-of-round diameter is within
@@ -221,7 +224,9 @@ impl ConvergenceReport {
     /// convergence property (the diameter never grew).
     #[must_use]
     pub fn is_monotonically_non_expanding(&self) -> bool {
-        self.contractions().iter().all(RoundContraction::is_non_expanding)
+        self.contractions()
+            .iter()
+            .all(RoundContraction::is_non_expanding)
     }
 }
 
@@ -236,7 +241,8 @@ pub fn predicted_rounds(delta0: f64, epsilon: Epsilon, factor: f64) -> Option<us
     if epsilon.covers_diameter(delta0) {
         return Some(0);
     }
-    if !(factor > 0.0 && factor < 1.0) || !delta0.is_finite() || delta0 <= 0.0 {
+    let contracting = factor > 0.0 && factor < 1.0;
+    if !contracting || !delta0.is_finite() || delta0 <= 0.0 {
         return None;
     }
     // Smallest k with delta0 * factor^k <= eps.

@@ -15,9 +15,10 @@ use mbaa_types::ValueMultiset;
 /// originate from non-benign faulty processes, every value surviving the
 /// reduction is bracketed by correct values — the key step behind validity
 /// (property P1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Reduction {
     /// Keep the multiset unchanged (no fault tolerance).
+    #[default]
     Identity,
     /// Remove the `tau` smallest and `tau` largest values.
     Trim {
@@ -56,12 +57,6 @@ impl Reduction {
     #[must_use]
     pub fn min_input_len(&self) -> usize {
         2 * self.tau() + 1
-    }
-}
-
-impl Default for Reduction {
-    fn default() -> Self {
-        Reduction::Identity
     }
 }
 

@@ -20,9 +20,10 @@ use mbaa_types::ValueMultiset;
 /// * [`Selection::Extremes`] keeps only the smallest and largest surviving
 ///   values — the Fault-Tolerant Midpoint algorithm.
 /// * [`Selection::MedianOnly`] keeps only the median surviving value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Selection {
     /// Keep every value of the reduced multiset.
+    #[default]
     All,
     /// Keep every `k`-th value (1-based stepping over the sorted multiset).
     EveryKth {
@@ -55,12 +56,6 @@ impl Selection {
                 None => ValueMultiset::new(),
             },
         }
-    }
-}
-
-impl Default for Selection {
-    fn default() -> Self {
-        Selection::All
     }
 }
 
@@ -110,12 +105,17 @@ mod tests {
 
     #[test]
     fn median_only() {
-        assert_eq!(Selection::MedianOnly.apply(&ms(&[1.0, 2.0, 9.0])), ms(&[2.0]));
+        assert_eq!(
+            Selection::MedianOnly.apply(&ms(&[1.0, 2.0, 9.0])),
+            ms(&[2.0])
+        );
         assert_eq!(
             Selection::MedianOnly.apply(&ms(&[1.0, 2.0, 3.0, 9.0])),
             ms(&[2.5])
         );
-        assert!(Selection::MedianOnly.apply(&ValueMultiset::new()).is_empty());
+        assert!(Selection::MedianOnly
+            .apply(&ValueMultiset::new())
+            .is_empty());
     }
 
     #[test]

@@ -4,8 +4,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use mbaa_types::{ProcessId, ValueMultiset};
 use mbaa_types::Value;
+use mbaa_types::{ProcessId, ValueMultiset};
 
 /// Everything one process receives during the receive phase of a round.
 ///

@@ -125,10 +125,7 @@ impl SyncNetwork {
         let deliveries: Vec<RoundDelivery> = (0..self.n)
             .map(|r| {
                 let receiver = ProcessId::new(r);
-                let slots = outboxes
-                    .iter()
-                    .map(|outbox| outbox.get(receiver))
-                    .collect();
+                let slots = outboxes.iter().map(|outbox| outbox.get(receiver)).collect();
                 RoundDelivery::from_slots(receiver, slots)
             })
             .collect();
@@ -164,7 +161,11 @@ mod tests {
             Outbox::broadcast(3, pid(0), Value::new(0.0)),
             Outbox::per_receiver(
                 pid(1),
-                vec![Some(Value::new(10.0)), Some(Value::new(11.0)), Some(Value::new(12.0))],
+                vec![
+                    Some(Value::new(10.0)),
+                    Some(Value::new(11.0)),
+                    Some(Value::new(12.0)),
+                ],
             ),
             Outbox::silent(3, pid(2)),
         ];
@@ -185,7 +186,13 @@ mod tests {
         let mut net = SyncNetwork::new(3);
         let outboxes = vec![Outbox::broadcast(3, pid(0), Value::new(0.0))];
         let err = net.exchange(Round::ZERO, outboxes).unwrap_err();
-        assert!(matches!(err, Error::WrongInputCount { provided: 1, expected: 3 }));
+        assert!(matches!(
+            err,
+            Error::WrongInputCount {
+                provided: 1,
+                expected: 3
+            }
+        ));
     }
 
     #[test]

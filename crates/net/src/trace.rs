@@ -126,7 +126,10 @@ impl RoundTrace {
     pub fn from_outboxes(round: Round, outboxes: &[Outbox]) -> Self {
         RoundTrace {
             round,
-            observations: outboxes.iter().map(SenderObservation::from_outbox).collect(),
+            observations: outboxes
+                .iter()
+                .map(SenderObservation::from_outbox)
+                .collect(),
         }
     }
 
@@ -218,7 +221,10 @@ mod tests {
     fn benign_classification_for_silence() {
         let outbox = Outbox::silent(3, pid(0));
         let obs = SenderObservation::from_outbox(&outbox);
-        assert_eq!(obs.classify(Some(Value::new(1.0))), ObservedBehavior::Benign);
+        assert_eq!(
+            obs.classify(Some(Value::new(1.0))),
+            ObservedBehavior::Benign
+        );
         assert_eq!(obs.classify(None), ObservedBehavior::Benign);
     }
 
@@ -247,7 +253,11 @@ mod tests {
     fn asymmetric_when_values_differ() {
         let outbox = Outbox::per_receiver(
             pid(0),
-            vec![Some(Value::new(0.0)), Some(Value::new(1.0)), Some(Value::new(0.0))],
+            vec![
+                Some(Value::new(0.0)),
+                Some(Value::new(1.0)),
+                Some(Value::new(0.0)),
+            ],
         );
         let obs = SenderObservation::from_outbox(&outbox);
         assert_eq!(obs.classify(None), ObservedBehavior::Asymmetric);
@@ -278,7 +288,10 @@ mod tests {
         let trace = RoundTrace::from_outboxes(Round::new(7), &outboxes);
         assert_eq!(trace.round(), Round::new(7));
         assert_eq!(trace.universe(), 2);
-        assert_eq!(trace.observation(pid(1)).classify(None), ObservedBehavior::Benign);
+        assert_eq!(
+            trace.observation(pid(1)).classify(None),
+            ObservedBehavior::Benign
+        );
         assert_eq!(trace.iter().count(), 2);
     }
 

@@ -1,5 +1,12 @@
 //! Seeded experiments and their aggregated results.
+//!
+//! [`ExperimentConfig`] is a *lowered form*: plain data with no defaulting
+//! of its own. The documented way to produce one is the `Scenario` builder
+//! in the `mbaa` facade crate (`Scenario::to_experiment` /
+//! `Scenario::batch(..).summarize()`), which is where every default is
+//! decided.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
@@ -11,6 +18,9 @@ use crate::Workload;
 
 /// The description of one experiment point: a `(model, n, f, adversary,
 /// algorithm, workload)` combination evaluated over a batch of seeds.
+///
+/// All fields are public plain data; construct it literally or lower a
+/// `mbaa::Scenario` into it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
     /// The mobile Byzantine model.
@@ -38,78 +48,13 @@ pub struct ExperimentConfig {
 }
 
 impl ExperimentConfig {
-    /// Creates an experiment with the workspace defaults: worst-case
-    /// adversary (split corruption, extreme-targeting mobility), ε = 1e-3,
-    /// 300-round budget, 10 seeds, uniform spread workload.
-    #[must_use]
-    pub fn new(model: MobileModel, n: usize, f: usize) -> Self {
-        ExperimentConfig {
-            model,
-            n,
-            f,
-            epsilon: 1e-3,
-            max_rounds: 300,
-            mobility: MobilityStrategy::TargetExtremes,
-            corruption: CorruptionStrategy::split_attack(),
-            function: None,
-            seeds: (0..10).collect(),
-            workload: Workload::default(),
-            allow_bound_violation: false,
-        }
-    }
-
-    /// Replaces the seed batch.
-    #[must_use]
-    pub fn with_seeds<I: IntoIterator<Item = u64>>(mut self, seeds: I) -> Self {
-        self.seeds = seeds.into_iter().collect();
-        self
-    }
-
-    /// Replaces the workload.
-    #[must_use]
-    pub fn with_workload(mut self, workload: Workload) -> Self {
-        self.workload = workload;
-        self
-    }
-
-    /// Replaces the agreement tolerance.
-    #[must_use]
-    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
-        self.epsilon = epsilon;
-        self
-    }
-
-    /// Replaces the round budget.
-    #[must_use]
-    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
-        self.max_rounds = max_rounds;
-        self
-    }
-
-    /// Replaces the adversary strategies.
-    #[must_use]
-    pub fn with_adversary(mut self, mobility: MobilityStrategy, corruption: CorruptionStrategy) -> Self {
-        self.mobility = mobility;
-        self.corruption = corruption;
-        self
-    }
-
-    /// Replaces the voting function.
-    #[must_use]
-    pub fn with_function(mut self, function: MsrFunction) -> Self {
-        self.function = Some(function);
-        self
-    }
-
-    /// Permits `n` below the model's resilience bound.
-    #[must_use]
-    pub fn allowing_bound_violation(mut self) -> Self {
-        self.allow_bound_violation = true;
-        self
-    }
-
-    /// Builds the [`ProtocolConfig`] for one seed.
-    fn protocol_config(&self, seed: u64) -> Result<ProtocolConfig> {
+    /// Lowers one seed of the experiment to its validated
+    /// [`ProtocolConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's validation errors.
+    pub fn protocol_config(&self, seed: u64) -> Result<ProtocolConfig> {
         let mut builder = ProtocolConfig::builder(self.model, self.n, self.f)
             .epsilon(self.epsilon)
             .max_rounds(self.max_rounds)
@@ -201,7 +146,11 @@ impl ExperimentResult {
     /// measurable.
     #[must_use]
     pub fn mean_contraction(&self) -> Option<f64> {
-        let factors: Vec<f64> = self.runs.iter().filter_map(|r| r.mean_contraction).collect();
+        let factors: Vec<f64> = self
+            .runs
+            .iter()
+            .filter_map(|r| r.mean_contraction)
+            .collect();
         if factors.is_empty() {
             None
         } else {
@@ -210,32 +159,42 @@ impl ExperimentResult {
     }
 }
 
-/// Runs every seed of an experiment point and aggregates the outcomes.
+/// Runs every seed of an experiment point — in parallel, since seeded runs
+/// are fully independent — and aggregates the outcomes in seed-batch order.
 ///
 /// # Errors
 ///
 /// Propagates configuration errors (for example `n` below the bound without
-/// [`ExperimentConfig::allowing_bound_violation`]) and engine errors.
+/// `allow_bound_violation`) and engine errors; the first failing seed in
+/// batch order wins, so errors are deterministic.
 pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult> {
-    let mut runs = Vec::with_capacity(config.seeds.len());
-    for &seed in &config.seeds {
-        let protocol = config.protocol_config(seed)?;
-        let engine = MobileEngine::new(protocol);
-        let inputs = config.workload.generate(config.n, seed);
-        let outcome = engine.run(&inputs)?;
-        runs.push(RunSummary {
-            seed,
-            reached_agreement: outcome.reached_agreement,
-            validity: outcome.validity_holds(),
-            rounds: outcome.rounds_executed,
-            final_diameter: outcome.final_diameter(),
-            initial_diameter: outcome.report.initial_diameter(),
-            mean_contraction: outcome.report.mean_contraction_factor(),
-        });
-    }
+    // Validate every lowering up front: configuration errors then surface
+    // deterministically, before any run starts.
+    let protocols: Vec<(u64, ProtocolConfig)> = config
+        .seeds
+        .iter()
+        .map(|&seed| config.protocol_config(seed).map(|p| (seed, p)))
+        .collect::<Result<_>>()?;
+    let runs: Vec<Result<RunSummary>> = protocols
+        .into_par_iter()
+        .map(|(seed, protocol)| {
+            let engine = MobileEngine::new(protocol);
+            let inputs = config.workload.generate(config.n, seed);
+            let outcome = engine.run(&inputs)?;
+            Ok(RunSummary {
+                seed,
+                reached_agreement: outcome.reached_agreement,
+                validity: outcome.validity_holds(),
+                rounds: outcome.rounds_executed,
+                final_diameter: outcome.final_diameter(),
+                initial_diameter: outcome.report.initial_diameter(),
+                mean_contraction: outcome.report.mean_contraction_factor(),
+            })
+        })
+        .collect();
     Ok(ExperimentResult {
         config: config.clone(),
-        runs,
+        runs: runs.into_iter().collect::<Result<_>>()?,
     })
 }
 
@@ -243,9 +202,31 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult> {
 mod tests {
     use super::*;
 
+    /// A literal lowered form, mirroring what `mbaa::Scenario` produces.
+    fn point(
+        model: MobileModel,
+        n: usize,
+        f: usize,
+        seeds: std::ops::Range<u64>,
+    ) -> ExperimentConfig {
+        ExperimentConfig {
+            model,
+            n,
+            f,
+            epsilon: 1e-3,
+            max_rounds: 300,
+            mobility: MobilityStrategy::TargetExtremes,
+            corruption: CorruptionStrategy::split_attack(),
+            function: None,
+            seeds: seeds.collect(),
+            workload: Workload::default(),
+            allow_bound_violation: false,
+        }
+    }
+
     #[test]
     fn experiment_runs_every_seed() {
-        let config = ExperimentConfig::new(MobileModel::Buhrman, 7, 2).with_seeds(0..4);
+        let config = point(MobileModel::Buhrman, 7, 2, 0..4);
         let result = run_experiment(&config).unwrap();
         assert_eq!(result.runs.len(), 4);
         assert!(result.all_succeeded());
@@ -255,10 +236,13 @@ mod tests {
 
     #[test]
     fn below_bound_requires_explicit_opt_in() {
-        let config = ExperimentConfig::new(MobileModel::Garay, 8, 2).with_seeds(0..1);
+        let config = point(MobileModel::Garay, 8, 2, 0..1);
         assert!(run_experiment(&config).is_err());
 
-        let permissive = config.allowing_bound_violation();
+        let permissive = ExperimentConfig {
+            allow_bound_violation: true,
+            ..config
+        };
         assert!(run_experiment(&permissive).is_ok());
     }
 
@@ -267,10 +251,7 @@ mod tests {
         for model in MobileModel::ALL {
             let f = 1;
             let n = model.required_processes(f);
-            let config = ExperimentConfig::new(model, n, f)
-                .with_seeds(0..3)
-                .with_epsilon(1e-3)
-                .with_max_rounds(300);
+            let config = point(model, n, f, 0..3);
             let result = run_experiment(&config).unwrap();
             assert!(result.all_succeeded(), "{model} failed: {:?}", result.runs);
         }
@@ -278,14 +259,16 @@ mod tests {
 
     #[test]
     fn custom_function_and_workload_are_used() {
-        let config = ExperimentConfig::new(MobileModel::Buhrman, 7, 1)
-            .with_seeds(0..2)
-            .with_function(MsrFunction::fault_tolerant_midpoint(1))
-            .with_workload(Workload::Clustered {
+        let config = ExperimentConfig {
+            function: Some(MsrFunction::fault_tolerant_midpoint(1)),
+            workload: Workload::Clustered {
                 centers: vec![0.0, 0.5, 1.0],
                 jitter: 0.01,
-            })
-            .with_adversary(MobilityStrategy::Random, CorruptionStrategy::BoundaryDrag);
+            },
+            mobility: MobilityStrategy::Random,
+            corruption: CorruptionStrategy::BoundaryDrag,
+            ..point(MobileModel::Buhrman, 7, 1, 0..2)
+        };
         let result = run_experiment(&config).unwrap();
         assert!(result.all_succeeded());
         // Every run records its initial diameter even when the contraction
@@ -295,11 +278,23 @@ mod tests {
 
     #[test]
     fn empty_seed_batch_yields_empty_result() {
-        let config = ExperimentConfig::new(MobileModel::Buhrman, 4, 1).with_seeds(std::iter::empty());
+        let config = point(MobileModel::Buhrman, 4, 1, 0..0);
         let result = run_experiment(&config).unwrap();
         assert!(result.runs.is_empty());
         assert_eq!(result.success_rate(), 0.0);
         assert!(!result.all_succeeded());
         assert_eq!(result.mean_rounds(), None);
+    }
+
+    #[test]
+    fn parallel_execution_matches_run_order() {
+        // Seeds are recorded in batch order regardless of which thread
+        // finished first.
+        let config = point(MobileModel::Garay, 9, 2, 0..16);
+        let result = run_experiment(&config).unwrap();
+        let seeds: Vec<u64> = result.runs.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds, (0..16).collect::<Vec<u64>>());
+        // And repeated execution is bit-identical.
+        assert_eq!(result, run_experiment(&config).unwrap());
     }
 }

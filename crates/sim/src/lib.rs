@@ -1,28 +1,44 @@
-//! Experiment harness: seeded experiments, parameter sweeps, statistics, and
-//! report tables.
+//! Experiment harness: the lowered experiment forms, parallel seed-batch
+//! execution, statistics, and report tables.
 //!
-//! The benchmarks (`mbaa-bench`), the examples, and EXPERIMENTS.md are all
-//! generated through this crate so that every number reported by the
-//! repository can be reproduced from an [`ExperimentConfig`]:
+//! The documented entry point for describing experiments is the `Scenario`
+//! builder in the `mbaa` facade crate; this crate holds the forms a
+//! scenario *lowers to* and the machinery that executes them:
 //!
 //! * [`Workload`] — how initial values are generated (deterministic spread,
-//!   clustered sensors, seeded uniform noise).
+//!   clustered sensors, seeded uniform noise, or explicit values).
 //! * [`ExperimentConfig`] / [`run_experiment`] — run one (model, n, f,
-//!   adversary, algorithm) point over a batch of seeds and aggregate the
-//!   outcomes into an [`ExperimentResult`].
-//! * [`sweep`] — sweeps over `n`, models, and adversary strategies.
+//!   adversary, algorithm) point over a batch of seeds — fanned out in
+//!   parallel with rayon — and aggregate the outcomes into an
+//!   [`ExperimentResult`].
 //! * [`stats`] — small summary-statistics helpers.
 //! * [`report`] — Markdown / CSV table emission used by the benches.
+//!
+//! Parameter sweeps live next to the `Scenario` type in the facade crate
+//! (`Scenario::sweep_n`, `Scenario::sweep_f`, `adversary_ablation`,
+//! `mobile_vs_static`).
 //!
 //! # Example
 //!
 //! ```
 //! use mbaa_sim::{run_experiment, ExperimentConfig, Workload};
+//! use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
 //! use mbaa_types::MobileModel;
 //!
-//! let config = ExperimentConfig::new(MobileModel::Buhrman, 7, 2)
-//!     .with_seeds(0..5)
-//!     .with_workload(Workload::UniformSpread { lo: 0.0, hi: 1.0 });
+//! // The lowered form is plain data (`mbaa::Scenario` produces it for you).
+//! let config = ExperimentConfig {
+//!     model: MobileModel::Buhrman,
+//!     n: 7,
+//!     f: 2,
+//!     epsilon: 1e-3,
+//!     max_rounds: 300,
+//!     mobility: MobilityStrategy::TargetExtremes,
+//!     corruption: CorruptionStrategy::split_attack(),
+//!     function: None,
+//!     seeds: (0..5).collect(),
+//!     workload: Workload::UniformSpread { lo: 0.0, hi: 1.0 },
+//!     allow_bound_violation: false,
+//! };
 //! let result = run_experiment(&config)?;
 //! assert_eq!(result.runs.len(), 5);
 //! assert!(result.success_rate() > 0.99);
@@ -36,7 +52,6 @@
 mod experiment;
 pub mod report;
 pub mod stats;
-pub mod sweep;
 mod workload;
 
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, RunSummary};

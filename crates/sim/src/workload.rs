@@ -39,6 +39,12 @@ pub enum Workload {
         /// Half-width of each cluster.
         jitter: f64,
     },
+    /// Explicit per-process values (real datasets, bespoke examples). The
+    /// seed is ignored; the length must equal `n` at generation time.
+    Fixed {
+        /// The value of every process, in process order.
+        values: Vec<Value>,
+    },
 }
 
 impl Workload {
@@ -46,15 +52,19 @@ impl Workload {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`, if bounds are not finite, or if a clustered
-    /// workload has no centres.
+    /// Panics if `n == 0`, if bounds are not finite, if a clustered
+    /// workload has no centres, or if a fixed workload does not hold
+    /// exactly `n` values.
     #[must_use]
     pub fn generate(&self, n: usize, seed: u64) -> Vec<Value> {
         assert!(n > 0, "workload needs at least one process");
         let mut rng = StdRng::seed_from_u64(seed);
         match self {
             Workload::UniformSpread { lo, hi } => {
-                assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid spread bounds");
+                assert!(
+                    lo.is_finite() && hi.is_finite() && lo <= hi,
+                    "invalid spread bounds"
+                );
                 if n == 1 {
                     return vec![Value::new(*lo)];
                 }
@@ -63,14 +73,23 @@ impl Workload {
                     .collect()
             }
             Workload::RandomUniform { lo, hi } => {
-                assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid uniform bounds");
+                assert!(
+                    lo.is_finite() && hi.is_finite() && lo <= hi,
+                    "invalid uniform bounds"
+                );
                 (0..n)
                     .map(|_| Value::new(rng.random_range(*lo..=*hi)))
                     .collect()
             }
             Workload::Clustered { centers, jitter } => {
-                assert!(!centers.is_empty(), "clustered workload needs at least one centre");
-                assert!(jitter.is_finite() && *jitter >= 0.0, "jitter must be finite and >= 0");
+                assert!(
+                    !centers.is_empty(),
+                    "clustered workload needs at least one centre"
+                );
+                assert!(
+                    jitter.is_finite() && *jitter >= 0.0,
+                    "jitter must be finite and >= 0"
+                );
                 (0..n)
                     .map(|i| {
                         let center = centers[i % centers.len()];
@@ -82,6 +101,15 @@ impl Workload {
                         Value::new(center + offset)
                     })
                     .collect()
+            }
+            Workload::Fixed { values } => {
+                assert_eq!(
+                    values.len(),
+                    n,
+                    "fixed workload holds {} values for {n} processes",
+                    values.len()
+                );
+                values.clone()
             }
         }
     }
@@ -101,6 +129,7 @@ impl fmt::Display for Workload {
             Workload::Clustered { centers, jitter } => {
                 write!(f, "clustered({} centres, ±{jitter})", centers.len())
             }
+            Workload::Fixed { values } => write!(f, "fixed({} values)", values.len()),
         }
     }
 }
@@ -140,12 +169,15 @@ mod tests {
             jitter: 0.0,
         };
         let vs = w.generate(4, 1);
-        assert_eq!(vs, vec![
-            Value::new(0.0),
-            Value::new(10.0),
-            Value::new(0.0),
-            Value::new(10.0)
-        ]);
+        assert_eq!(
+            vs,
+            vec![
+                Value::new(0.0),
+                Value::new(10.0),
+                Value::new(0.0),
+                Value::new(10.0)
+            ]
+        );
 
         let jittered = Workload::Clustered {
             centers: vec![5.0],
@@ -153,6 +185,26 @@ mod tests {
         }
         .generate(8, 3);
         assert!(jittered.iter().all(|v| (v.get() - 5.0).abs() <= 0.5));
+    }
+
+    #[test]
+    fn fixed_returns_the_values_verbatim_for_any_seed() {
+        let values: Vec<Value> = (0..4).map(|i| Value::new(i as f64)).collect();
+        let w = Workload::Fixed {
+            values: values.clone(),
+        };
+        assert_eq!(w.generate(4, 0), values);
+        assert_eq!(w.generate(4, 99), values);
+        assert_eq!(w.to_string(), "fixed(4 values)");
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed workload holds 2 values")]
+    fn fixed_with_wrong_arity_panics() {
+        let w = Workload::Fixed {
+            values: vec![Value::new(0.0), Value::new(1.0)],
+        };
+        let _ = w.generate(3, 0);
     }
 
     #[test]
@@ -164,14 +216,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one centre")]
     fn empty_centres_panics() {
-        let _ = Workload::Clustered { centers: vec![], jitter: 0.0 }.generate(3, 0);
+        let _ = Workload::Clustered {
+            centers: vec![],
+            jitter: 0.0,
+        }
+        .generate(3, 0);
     }
 
     #[test]
     fn display_names() {
         assert_eq!(Workload::default().to_string(), "spread[0, 1]");
         assert_eq!(
-            Workload::Clustered { centers: vec![1.0, 2.0], jitter: 0.1 }.to_string(),
+            Workload::Clustered {
+                centers: vec![1.0, 2.0],
+                jitter: 0.1
+            }
+            .to_string(),
             "clustered(2 centres, ±0.1)"
         );
     }

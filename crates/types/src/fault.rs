@@ -371,7 +371,10 @@ mod tests {
                     model.required_processes(f),
                     model.bound_multiplier() * f + 1
                 );
-                assert_eq!(model.impossibility_threshold(f), model.bound_multiplier() * f);
+                assert_eq!(
+                    model.impossibility_threshold(f),
+                    model.bound_multiplier() * f
+                );
             }
         }
     }

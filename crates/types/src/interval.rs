@@ -120,7 +120,10 @@ impl Interval {
     /// Panics if `margin` is negative or not finite.
     #[must_use]
     pub fn expanded(&self, margin: f64) -> Interval {
-        assert!(margin.is_finite() && margin >= 0.0, "margin must be finite and >= 0");
+        assert!(
+            margin.is_finite() && margin >= 0.0,
+            "margin must be finite and >= 0"
+        );
         Interval {
             lo: Value::new(self.lo.get() - margin),
             hi: Value::new(self.hi.get() + margin),

@@ -267,7 +267,12 @@ mod tests {
         let m = ms(&[3.0, 1.0, 2.0, 1.0]);
         assert_eq!(
             m.as_slice(),
-            &[Value::new(1.0), Value::new(1.0), Value::new(2.0), Value::new(3.0)]
+            &[
+                Value::new(1.0),
+                Value::new(1.0),
+                Value::new(2.0),
+                Value::new(3.0)
+            ]
         );
     }
 

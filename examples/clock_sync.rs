@@ -17,10 +17,7 @@
 //! cargo run --example clock_sync
 //! ```
 
-use mbaa::{
-    CorruptionStrategy, MedianVoting, MobileEngine, MobileModel, MobilityStrategy, ProtocolConfig,
-    Value, VotingFunction,
-};
+use mbaa::prelude::*;
 
 fn offsets_ms(n: usize) -> Vec<Value> {
     // Clock offsets in milliseconds: most machines drift within ±5 ms, two
@@ -34,15 +31,8 @@ fn offsets_ms(n: usize) -> Vec<Value> {
         .collect()
 }
 
-fn run(function: &dyn VotingFunction, n: usize, f: usize) -> mbaa::Result<(bool, usize, f64)> {
-    let config = ProtocolConfig::builder(MobileModel::Buhrman, n, f)
-        .epsilon(0.5) // half a millisecond
-        .max_rounds(200)
-        .mobility(MobilityStrategy::Random)
-        .corruption(CorruptionStrategy::RandomNoise { lo: -1e4, hi: 1e4 })
-        .seed(3)
-        .build()?;
-    let outcome = MobileEngine::new(config).run_with_function(function, &offsets_ms(n))?;
+fn run(scenario: &Scenario, function: &dyn VotingFunction) -> mbaa::Result<(bool, usize, f64)> {
+    let outcome = scenario.run_with_function(function, 3)?;
     Ok((
         outcome.reached_agreement && outcome.validity_holds(),
         outcome.rounds_executed,
@@ -54,16 +44,29 @@ fn main() -> mbaa::Result<()> {
     let f = 3;
     let n = MobileModel::Buhrman.required_processes(f) + 6; // 16 machines
 
+    let scenario = Scenario::new(MobileModel::Buhrman, n, f)
+        .epsilon(0.5) // half a millisecond
+        .max_rounds(200)
+        .adversary(
+            MobilityStrategy::Random,
+            CorruptionStrategy::RandomNoise { lo: -1e4, hi: 1e4 },
+        )
+        .inputs(offsets_ms(n));
+
     println!("machines: {n}, compromised at any instant: {f}");
     println!("target: all clock corrections within 0.5 ms\n");
 
-    let msr = mbaa::MsrFunction::for_fault_counts(MobileModel::Buhrman.mixed_fault_counts(f));
-    let (ok, rounds, diameter) = run(&msr, n, f)?;
-    println!("MSR trimmed mean   -> success: {ok:5}, rounds: {rounds:3}, final spread: {diameter:.4} ms");
+    let msr = MsrFunction::for_fault_counts(MobileModel::Buhrman.mixed_fault_counts(f));
+    let (ok, rounds, diameter) = run(&scenario, &msr)?;
+    println!(
+        "MSR trimmed mean   -> success: {ok:5}, rounds: {rounds:3}, final spread: {diameter:.4} ms"
+    );
 
     let median = MedianVoting::new();
-    let (ok, rounds, diameter) = run(&median, n, f)?;
-    println!("median baseline    -> success: {ok:5}, rounds: {rounds:3}, final spread: {diameter:.4} ms");
+    let (ok, rounds, diameter) = run(&scenario, &median)?;
+    println!(
+        "median baseline    -> success: {ok:5}, rounds: {rounds:3}, final spread: {diameter:.4} ms"
+    );
 
     println!();
     println!(

@@ -9,14 +9,17 @@
 //! ```
 
 use mbaa::core::lower_bounds::all_scenarios;
+use mbaa::prelude::*;
 use mbaa::sim::report::Table;
-use mbaa::{MedianVoting, MsrFunction, VotingFunction};
 
 fn main() {
     let functions: Vec<(&str, Box<dyn VotingFunction>)> = vec![
         ("trimmed mean (τ=1)", Box::new(MsrFunction::dolev_mean(1))),
         ("trimmed mean (τ=2)", Box::new(MsrFunction::dolev_mean(2))),
-        ("FT midpoint (τ=1)", Box::new(MsrFunction::fault_tolerant_midpoint(1))),
+        (
+            "FT midpoint (τ=1)",
+            Box::new(MsrFunction::fault_tolerant_midpoint(1)),
+        ),
         ("median", Box::new(MedianVoting::new())),
     ];
 

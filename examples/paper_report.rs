@@ -1,6 +1,7 @@
 //! Generates the full paper-reproduction report: Table 1, Table 2, the
 //! lower-bound witnesses, and the derived convergence experiments (F1–F4 of
-//! DESIGN.md), in one run. The output is the source of EXPERIMENTS.md.
+//! DESIGN.md), in one run — every section driven through the [`Scenario`]
+//! API. The output is the source of EXPERIMENTS.md.
 //!
 //! Run with:
 //!
@@ -11,34 +12,41 @@
 use mbaa::core::bounds::{empirical_threshold, ThresholdSearch};
 use mbaa::core::lower_bounds::all_scenarios;
 use mbaa::core::mapping::{classify_execution, theoretical_table};
+use mbaa::prelude::*;
 use mbaa::sim::report::{fmt_f64, fmt_opt_f64, Table};
 use mbaa::sim::stats::Summary;
-use mbaa::sim::sweep::{adversary_ablation, mobile_vs_static, rounds_vs_n};
-use mbaa::{
-    CorruptionStrategy, ExperimentConfig, MobileEngine, MobileModel, MobilityStrategy,
-    MsrFunction, ProtocolConfig, Value,
-};
 
 fn table1() -> mbaa::Result<()> {
     println!("## T1 — Table 1: Mobile -> Mixed-Mode mapping\n");
-    let mut table = Table::new(["model", "faulty (theory)", "cured (theory)", "faulty (observed)", "cured (observed)", "match"]);
+    let mut table = Table::new([
+        "model",
+        "faulty (theory)",
+        "cured (theory)",
+        "faulty (observed)",
+        "cured (observed)",
+        "match",
+    ]);
     for row in theoretical_table() {
         let f = 2;
         let n = row.model.required_processes(f);
-        let config = ProtocolConfig::builder(row.model, n, f)
+        let scenario = Scenario::new(row.model, n, f)
             .epsilon(1e-12)
             .max_rounds(60)
-            .mobility(MobilityStrategy::RoundRobin)
-            .corruption(CorruptionStrategy::split_attack())
-            .seed(202)
-            .build()?;
-        let inputs: Vec<Value> = (0..n).map(|i| Value::new(i as f64)).collect();
-        let outcome = MobileEngine::new(config).run(&inputs)?;
+            .adversary(
+                MobilityStrategy::RoundRobin,
+                CorruptionStrategy::split_attack(),
+            )
+            .workload(Workload::UniformSpread {
+                lo: 0.0,
+                hi: (n - 1) as f64,
+            });
+        let outcome = scenario.run(202)?;
         let mapping = classify_execution(row.model, &outcome);
         table.push_row([
             row.model.to_string(),
             row.faulty_class.to_string(),
-            row.cured_class.map_or_else(|| "—".into(), |c| c.to_string()),
+            row.cured_class
+                .map_or_else(|| "—".into(), |c| c.to_string()),
             mapping
                 .faulty
                 .dominant()
@@ -56,7 +64,13 @@ fn table1() -> mbaa::Result<()> {
 
 fn table2() -> mbaa::Result<()> {
     println!("## T2 — Table 2: required replicas and empirical thresholds\n");
-    let mut table = Table::new(["model", "f", "n_Mi (theory)", "empirical threshold", "all runs ok at n_Mi"]);
+    let mut table = Table::new([
+        "model",
+        "f",
+        "n_Mi (theory)",
+        "empirical threshold",
+        "all runs ok at n_Mi",
+    ]);
     for model in MobileModel::ALL {
         for f in 1..=2 {
             let search = ThresholdSearch {
@@ -86,10 +100,16 @@ fn table2() -> mbaa::Result<()> {
 
 fn lower_bounds() {
     println!("## LB1–LB4 — Theorems 3–6: impossibility at n = c·f\n");
-    let mut table = Table::new(["model", "n = c·f", "indistinguishable", "trimmed-mean verdict", "median verdict"]);
+    let mut table = Table::new([
+        "model",
+        "n = c·f",
+        "indistinguishable",
+        "trimmed-mean verdict",
+        "median verdict",
+    ]);
     for scenario in all_scenarios(2) {
         let msr = scenario.evaluate(&MsrFunction::dolev_mean(2));
-        let median = scenario.evaluate(&mbaa::MedianVoting::new());
+        let median = scenario.evaluate(&MedianVoting::new());
         table.push_row([
             scenario.model.short_name().to_string(),
             scenario.n.to_string(),
@@ -103,18 +123,22 @@ fn lower_bounds() {
 
 fn convergence() -> mbaa::Result<()> {
     println!("## F1 — single-step contraction at n = n_Mi (50 seeds)\n");
-    let mut table = Table::new(["model", "n", "mean contraction factor", "mean rounds to 1e-3", "all valid"]);
+    let mut table = Table::new([
+        "model",
+        "n",
+        "mean contraction factor",
+        "mean rounds to 1e-3",
+        "all valid",
+    ]);
     for model in MobileModel::ALL {
-        let f = 2;
-        let n = model.required_processes(f);
-        let config = ExperimentConfig::new(model, n, f).with_seeds(0..50);
-        let result = mbaa::run_experiment(&config)?;
+        let scenario = Scenario::at_bound(model, 2);
+        let batch = scenario.batch(0..50).run()?;
         table.push_row([
             model.short_name().to_string(),
-            n.to_string(),
-            fmt_opt_f64(result.mean_contraction(), 4),
-            fmt_opt_f64(result.mean_rounds(), 1),
-            result.all_succeeded().to_string(),
+            scenario.n.to_string(),
+            fmt_opt_f64(batch.mean_contraction(), 4),
+            fmt_opt_f64(batch.mean_rounds(), 1),
+            batch.all_succeeded().to_string(),
         ]);
     }
     println!("{table}");
@@ -122,13 +146,12 @@ fn convergence() -> mbaa::Result<()> {
     println!("## F2 — rounds to epsilon-agreement vs n (f = 2, 10 seeds per point)\n");
     let mut table = Table::new(["model", "n", "mean rounds", "success rate"]);
     for model in MobileModel::ALL {
-        let template = ExperimentConfig::new(model, 0, 0).with_seeds(0..10);
-        for point in rounds_vs_n(model, 2, 8, &template)? {
+        for point in Scenario::at_bound(model, 2).sweep_n(8).seeds(0..10).run()? {
             table.push_row([
                 model.short_name().to_string(),
-                point.n.to_string(),
-                fmt_opt_f64(point.result.mean_rounds(), 1),
-                fmt_f64(point.result.success_rate(), 2),
+                point.scenario.n.to_string(),
+                fmt_opt_f64(point.outcome.mean_rounds(), 1),
+                fmt_f64(point.outcome.success_rate(), 2),
             ]);
         }
     }
@@ -138,14 +161,30 @@ fn convergence() -> mbaa::Result<()> {
 
 fn equivalence() -> mbaa::Result<()> {
     println!("## F3 — mobile vs static (Theorem 1 equivalence), 20 seeds\n");
-    let mut table = Table::new(["model", "n", "mobile rounds (mean)", "static rounds (mean)", "all converged"]);
+    let mut table = Table::new([
+        "model",
+        "n",
+        "mobile rounds (mean)",
+        "static rounds (mean)",
+        "all converged",
+    ]);
     for model in MobileModel::ALL {
         let f = 2;
         let n = model.required_processes(f) + 2;
-        let template = ExperimentConfig::new(model, n, f).with_seeds(0..20);
-        let points = mobile_vs_static(model, n, f, &template)?;
-        let mobile = Summary::of(&points.iter().map(|p| p.mobile_rounds() as f64).collect::<Vec<_>>());
-        let statics = Summary::of(&points.iter().map(|p| p.static_rounds() as f64).collect::<Vec<_>>());
+        let scenario = Scenario::new(model, n, f);
+        let points = mobile_vs_static(&scenario, 0..20)?;
+        let mobile = Summary::of(
+            &points
+                .iter()
+                .map(|p| p.mobile_rounds() as f64)
+                .collect::<Vec<_>>(),
+        );
+        let statics = Summary::of(
+            &points
+                .iter()
+                .map(|p| p.static_rounds() as f64)
+                .collect::<Vec<_>>(),
+        );
         table.push_row([
             model.short_name().to_string(),
             n.to_string(),
@@ -160,16 +199,22 @@ fn equivalence() -> mbaa::Result<()> {
 
 fn ablation() -> mbaa::Result<()> {
     println!("## F4 — adversary ablation at n = n_Mi (f = 2, 5 seeds per cell)\n");
-    let template = ExperimentConfig::new(MobileModel::Buhrman, 7, 2).with_seeds(0..5);
-    let points = adversary_ablation(2, &template)?;
-    let mut table = Table::new(["model", "mobility", "corruption", "success rate", "mean rounds"]);
+    let template = Scenario::at_bound(MobileModel::Buhrman, 2);
+    let points = adversary_ablation(&template, 0..5)?;
+    let mut table = Table::new([
+        "model",
+        "mobility",
+        "corruption",
+        "success rate",
+        "mean rounds",
+    ]);
     for p in points {
         table.push_row([
             p.model.short_name().to_string(),
             p.mobility.to_string(),
             p.corruption.to_string(),
-            fmt_f64(p.result.success_rate(), 2),
-            fmt_opt_f64(p.result.mean_rounds(), 1),
+            fmt_f64(p.outcome.success_rate(), 2),
+            fmt_opt_f64(p.outcome.mean_rounds(), 1),
         ]);
     }
     println!("{table}");
@@ -184,6 +229,8 @@ fn main() -> mbaa::Result<()> {
     convergence()?;
     equivalence()?;
     ablation()?;
-    println!("Report complete. Every section corresponds to a row of the experiment index in DESIGN.md.");
+    println!(
+        "Report complete. Every section corresponds to a row of the experiment index in DESIGN.md."
+    );
     Ok(())
 }

@@ -1,5 +1,6 @@
 //! Quickstart: reach approximate agreement among 9 processes while 2 mobile
-//! Byzantine agents hop between them.
+//! Byzantine agents hop between them — described as one [`Scenario`],
+//! executed once with a single seed, then over a parallel seed batch.
 //!
 //! Run with:
 //!
@@ -7,7 +8,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use mbaa::{MobileEngine, MobileModel, ProtocolConfig, Value};
+use mbaa::prelude::*;
 
 fn main() -> mbaa::Result<()> {
     // Garay's model (M1): cured processes know they were just infected and
@@ -16,28 +17,30 @@ fn main() -> mbaa::Result<()> {
     let f = 2;
     let n = model.required_processes(f); // 4f + 1 = 9
 
-    let config = ProtocolConfig::builder(model, n, f)
-        .epsilon(1e-4)
-        .max_rounds(200)
-        .seed(42)
-        .build()?;
-
-    // Every process starts with a different value in [0, 1].
-    let inputs: Vec<Value> = (0..n).map(|i| Value::new(i as f64 / (n - 1) as f64)).collect();
+    // One scenario describes the whole experiment point; every process
+    // starts with a different value in [0, 1] (the default workload).
+    let scenario = Scenario::new(model, n, f).epsilon(1e-4).max_rounds(200);
 
     println!("model:        {model}");
     println!("processes:    {n} (f = {f} mobile agents)");
     println!(
         "initial vals: {:?}",
-        inputs.iter().map(|v| v.get()).collect::<Vec<_>>()
+        scenario
+            .initial_values(42)
+            .iter()
+            .map(|v| v.get())
+            .collect::<Vec<_>>()
     );
 
-    let outcome = MobileEngine::new(config).run(&inputs)?;
+    let outcome = scenario.run(42)?;
 
     println!();
     println!("reached epsilon-agreement: {}", outcome.reached_agreement);
     println!("rounds executed:           {}", outcome.rounds_executed);
-    println!("final diameter:            {:.2e}", outcome.final_diameter());
+    println!(
+        "final diameter:            {:.2e}",
+        outcome.final_diameter()
+    );
     println!("validity holds:            {}", outcome.validity_holds());
     println!(
         "final non-faulty values:   {:?}",
@@ -52,6 +55,16 @@ fn main() -> mbaa::Result<()> {
     for (i, d) in outcome.report.diameters().iter().enumerate() {
         println!("  round {:>3}: {d:.6}", i + 1);
     }
+
+    // The same scenario fans a seed batch out in parallel.
+    let batch = scenario.batch(0..16).run()?;
+    println!();
+    println!(
+        "seed batch: {} parallel runs, success rate {:.0}%, mean rounds {:.1}",
+        batch.len(),
+        batch.success_rate() * 100.0,
+        batch.mean_rounds().unwrap_or(f64::NAN)
+    );
 
     Ok(())
 }

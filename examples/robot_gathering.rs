@@ -13,10 +13,7 @@
 //! cargo run --example robot_gathering
 //! ```
 
-use mbaa::{
-    CorruptionStrategy, MobileEngine, MobileModel, MobilityStrategy, MsrFunction, ProtocolConfig,
-    Value,
-};
+use mbaa::prelude::*;
 
 fn main() -> mbaa::Result<()> {
     // Sasaki's model (M3) is the harshest: a robot that was just released by
@@ -32,15 +29,16 @@ fn main() -> mbaa::Result<()> {
         .map(|i| Value::new(5.0 * i as f64 * (1.0 + 0.01 * (i % 3) as f64)))
         .collect();
 
-    let config = ProtocolConfig::builder(model, n, f)
+    let scenario = Scenario::new(model, n, f)
         .epsilon(robot_diameter_m) // gather to within one robot diameter
         .max_rounds(300)
-        .mobility(MobilityStrategy::TargetExtremes)
-        .corruption(CorruptionStrategy::split_attack())
+        .adversary(
+            MobilityStrategy::TargetExtremes,
+            CorruptionStrategy::split_attack(),
+        )
         // The Fault-Tolerant Midpoint rule halves the spread every cycle.
         .function(MsrFunction::fault_tolerant_midpoint(2 * f))
-        .seed(11)
-        .build()?;
+        .inputs(positions.clone());
 
     println!("robots:              {n} (f = {f} glitched at any time)");
     println!("model:               {model}");
@@ -51,7 +49,7 @@ fn main() -> mbaa::Result<()> {
     );
     println!("gathering tolerance: {robot_diameter_m} m");
 
-    let outcome = MobileEngine::new(config).run(&positions)?;
+    let outcome = scenario.run(11)?;
 
     println!();
     println!("motion cycles executed: {}", outcome.rounds_executed);

@@ -12,9 +12,7 @@
 //! cargo run --example sensor_fusion
 //! ```
 
-use mbaa::{
-    CorruptionStrategy, MobileEngine, MobileModel, MobilityStrategy, ProtocolConfig, Value,
-};
+use mbaa::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -32,15 +30,16 @@ fn main() -> mbaa::Result<()> {
         .collect();
     let true_mean = readings.iter().map(|v| v.get()).sum::<f64>() / n as f64;
 
-    let config = ProtocolConfig::builder(model, n, f)
+    // The perturbation drifts across the field; perturbed sensors report
+    // wildly out-of-range temperatures.
+    let scenario = Scenario::new(model, n, f)
         .epsilon(0.05) // agree to within 0.05 °C
         .max_rounds(100)
-        // The perturbation drifts across the field; perturbed sensors report
-        // wildly out-of-range temperatures.
-        .mobility(MobilityStrategy::RoundRobin)
-        .corruption(CorruptionStrategy::OutOfRange { magnitude: 50.0 })
-        .seed(2024)
-        .build()?;
+        .adversary(
+            MobilityStrategy::RoundRobin,
+            CorruptionStrategy::OutOfRange { magnitude: 50.0 },
+        )
+        .inputs(readings.clone());
 
     println!("sensors:            {n} (f = {f} perturbed at any time)");
     println!("model:              {model}");
@@ -51,15 +50,21 @@ fn main() -> mbaa::Result<()> {
             - readings.iter().map(|v| v.get()).fold(f64::MAX, f64::min)
     );
 
-    let outcome = MobileEngine::new(config).run(&readings)?;
+    let outcome = scenario.run(2024)?;
 
-    let fused = outcome.final_non_faulty_values().mean().expect("non-faulty sensors exist");
+    let fused = outcome
+        .final_non_faulty_values()
+        .mean()
+        .expect("non-faulty sensors exist");
     println!();
     println!("rounds to agreement:  {}", outcome.rounds_executed);
     println!("agreement reached:    {}", outcome.reached_agreement);
     println!("validity preserved:   {}", outcome.validity_holds());
     println!("fused reading:        {:.3} °C", fused.get());
-    println!("fusion error:         {:.3} °C", (fused.get() - true_mean).abs());
+    println!(
+        "fusion error:         {:.3} °C",
+        (fused.get() - true_mean).abs()
+    );
     println!(
         "final sensor spread:  {:.4} °C (epsilon = 0.05)",
         outcome.final_diameter()

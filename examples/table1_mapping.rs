@@ -14,23 +14,29 @@
 //! ```
 
 use mbaa::core::mapping::{classify_execution, theoretical_table};
+use mbaa::prelude::*;
 use mbaa::sim::report::Table;
-use mbaa::{
-    CorruptionStrategy, MobileEngine, MobileModel, MobilityStrategy, ProtocolConfig, Value,
-};
 
 fn main() -> mbaa::Result<()> {
     println!("Theoretical Table 1 (Lemmas 1-4)\n");
-    let mut theory = Table::new(["", "M1 (Garay)", "M2 (Bonnet)", "M3 (Sasaki)", "M4 (Buhrman)"]);
+    let mut theory = Table::new([
+        "",
+        "M1 (Garay)",
+        "M2 (Bonnet)",
+        "M3 (Sasaki)",
+        "M4 (Buhrman)",
+    ]);
     let rows = theoretical_table();
     theory.push_row(
         std::iter::once("faulty".to_string())
             .chain(rows.iter().map(|r| r.faulty_class.to_string())),
     );
-    theory.push_row(std::iter::once("cured".to_string()).chain(rows.iter().map(|r| {
-        r.cured_class
-            .map_or_else(|| "—".to_string(), |c| c.to_string())
-    })));
+    theory.push_row(
+        std::iter::once("cured".to_string()).chain(rows.iter().map(|r| {
+            r.cured_class
+                .map_or_else(|| "—".to_string(), |c| c.to_string())
+        })),
+    );
     println!("{theory}");
 
     println!("Empirical Table 1 (observed behaviour, split adversary, f = 2, 40 rounds)\n");
@@ -44,15 +50,19 @@ fn main() -> mbaa::Result<()> {
     for model in MobileModel::ALL {
         let f = 2;
         let n = model.required_processes(f);
-        let config = ProtocolConfig::builder(model, n, f)
-            .epsilon(1e-12) // keep running for the full budget
+        // ε = 1e-12 keeps the instrumented run going for the full budget.
+        let scenario = Scenario::new(model, n, f)
+            .epsilon(1e-12)
             .max_rounds(40)
-            .mobility(MobilityStrategy::RoundRobin)
-            .corruption(CorruptionStrategy::split_attack())
-            .seed(123)
-            .build()?;
-        let inputs: Vec<Value> = (0..n).map(|i| Value::new(i as f64)).collect();
-        let outcome = MobileEngine::new(config).run(&inputs)?;
+            .adversary(
+                MobilityStrategy::RoundRobin,
+                CorruptionStrategy::split_attack(),
+            )
+            .workload(Workload::UniformSpread {
+                lo: 0.0,
+                hi: (n - 1) as f64,
+            });
+        let outcome = scenario.run(123)?;
         let mapping = classify_execution(model, &outcome);
         empirical.push_row([
             model.to_string(),

@@ -9,8 +9,8 @@
 //! ```
 
 use mbaa::core::bounds::{empirical_threshold, table2, ThresholdSearch};
+use mbaa::prelude::*;
 use mbaa::sim::report::Table;
-use mbaa::MobileModel;
 
 fn main() -> mbaa::Result<()> {
     println!("Theoretical Table 2 (required replicas n_Mi)\n");

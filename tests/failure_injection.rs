@@ -1,10 +1,8 @@
 //! Failure-injection tests: stress the protocol with the nastiest adversary
 //! combinations at the exact resilience boundary and in degenerate
-//! configurations.
+//! scenarios.
 
-use mbaa::{
-    CorruptionStrategy, MobileEngine, MobileModel, MobilityStrategy, ProtocolConfig, Value,
-};
+use mbaa::prelude::*;
 
 fn inputs_split(n: usize) -> Vec<Value> {
     // Half the processes at 0, half at 1 — the inputs the lower-bound proofs
@@ -22,17 +20,24 @@ fn stealth_attack_cannot_break_validity_or_stall_convergence() {
     for model in MobileModel::ALL {
         let f = 2;
         let n = model.required_processes(f);
-        let config = ProtocolConfig::builder(model, n, f)
+        let outcome = Scenario::new(model, n, f)
             .epsilon(1e-3)
             .max_rounds(400)
-            .mobility(MobilityStrategy::TargetExtremes)
-            .corruption(CorruptionStrategy::Stealth)
-            .seed(8)
-            .build()
+            .adversary(
+                MobilityStrategy::TargetExtremes,
+                CorruptionStrategy::Stealth,
+            )
+            .inputs(inputs_split(n))
+            .run(8)
             .unwrap();
-        let outcome = MobileEngine::new(config).run(&inputs_split(n)).unwrap();
-        assert!(outcome.reached_agreement, "{model}: stealth attack stalled convergence");
-        assert!(outcome.validity_holds(), "{model}: stealth attack broke validity");
+        assert!(
+            outcome.reached_agreement,
+            "{model}: stealth attack stalled convergence"
+        );
+        assert!(
+            outcome.validity_holds(),
+            "{model}: stealth attack broke validity"
+        );
     }
 }
 
@@ -41,16 +46,20 @@ fn median_pull_attack_is_tolerated_by_the_msr_family() {
     for model in MobileModel::ALL {
         let f = 1;
         let n = model.required_processes(f);
-        let config = ProtocolConfig::builder(model, n, f)
+        let outcome = Scenario::new(model, n, f)
             .epsilon(1e-4)
             .max_rounds(400)
-            .mobility(MobilityStrategy::TargetMedian)
-            .corruption(CorruptionStrategy::MedianPull)
-            .seed(21)
-            .build()
+            .adversary(
+                MobilityStrategy::TargetMedian,
+                CorruptionStrategy::MedianPull,
+            )
+            .inputs(inputs_split(n))
+            .run(21)
             .unwrap();
-        let outcome = MobileEngine::new(config).run(&inputs_split(n)).unwrap();
-        assert!(outcome.reached_agreement && outcome.validity_holds(), "{model}");
+        assert!(
+            outcome.reached_agreement && outcome.validity_holds(),
+            "{model}"
+        );
     }
 }
 
@@ -59,24 +68,25 @@ fn sweep_mobility_cures_every_process_eventually_without_breaking_agreement() {
     let model = MobileModel::Bonnet;
     let f = 2;
     let n = model.required_processes(f);
-    let config = ProtocolConfig::builder(model, n, f)
+    let outcome = Scenario::new(model, n, f)
         .epsilon(1e-9)
         .max_rounds(3 * n)
-        .mobility(MobilityStrategy::Sweep)
-        .corruption(CorruptionStrategy::split_attack())
-        .seed(5)
-        .build()
+        .adversary(MobilityStrategy::Sweep, CorruptionStrategy::split_attack())
+        .inputs(inputs_split(n))
+        .run(5)
         .unwrap();
-    let outcome = MobileEngine::new(config).run(&inputs_split(n)).unwrap();
     // Over 3n rounds the sweeping agents have visited every process.
     let mut ever_faulty = vec![false; n];
-    for configuration in &outcome.configurations {
-        for p in configuration.faulty_set().iter() {
+    for snapshot in &outcome.configurations {
+        for p in snapshot.faulty_set().iter() {
             ever_faulty[p.index()] = true;
         }
     }
     if outcome.rounds_executed >= n {
-        assert!(ever_faulty.iter().all(|&b| b), "sweep did not visit every process");
+        assert!(
+            ever_faulty.iter().all(|&b| b),
+            "sweep did not visit every process"
+        );
     }
     assert!(outcome.validity_holds());
     assert!(outcome.report.is_monotonically_non_expanding());
@@ -88,20 +98,23 @@ fn maximum_tolerable_agents_for_a_fixed_system_size() {
     let n = 25;
     for model in MobileModel::ALL {
         let max_f = (n - 1) / model.bound_multiplier();
-        let config = ProtocolConfig::builder(model, n, max_f)
+        let inputs: Vec<Value> = (0..n).map(|i| Value::new(i as f64 / n as f64)).collect();
+        let outcome = Scenario::new(model, n, max_f)
             .epsilon(1e-3)
             .max_rounds(500)
-            .seed(6)
-            .build()
+            .adversary(
+                MobilityStrategy::RoundRobin,
+                CorruptionStrategy::split_attack(),
+            )
+            .inputs(inputs)
+            .run(6)
             .unwrap();
-        let inputs: Vec<Value> = (0..n).map(|i| Value::new(i as f64 / n as f64)).collect();
-        let outcome = MobileEngine::new(config).run(&inputs).unwrap();
         assert!(
             outcome.reached_agreement && outcome.validity_holds(),
             "{model} failed at its maximum tolerable f = {max_f}"
         );
-        // One more agent must be rejected by the builder.
-        assert!(ProtocolConfig::builder(model, n, max_f + 1).build().is_err());
+        // One more agent must be rejected by the lowering.
+        assert!(Scenario::new(model, n, max_f + 1).lower(6).is_err());
     }
 }
 
@@ -110,14 +123,13 @@ fn silent_agents_equal_omission_faults_and_converge_fast() {
     let model = MobileModel::Garay;
     let f = 2;
     let n = model.required_processes(f);
-    let config = ProtocolConfig::builder(model, n, f)
+    let outcome = Scenario::new(model, n, f)
         .epsilon(1e-6)
         .max_rounds(100)
-        .corruption(CorruptionStrategy::Silent)
-        .seed(4)
-        .build()
+        .adversary(MobilityStrategy::RoundRobin, CorruptionStrategy::Silent)
+        .inputs(inputs_split(n))
+        .run(4)
         .unwrap();
-    let outcome = MobileEngine::new(config).run(&inputs_split(n)).unwrap();
     assert!(outcome.reached_agreement);
     // Pure omissions cannot slow the trimmed mean much: a handful of rounds.
     assert!(outcome.rounds_executed <= 10);
@@ -125,11 +137,11 @@ fn silent_agents_equal_omission_faults_and_converge_fast() {
 
 #[test]
 fn single_process_system_agrees_trivially() {
-    let config = ProtocolConfig::builder(MobileModel::Buhrman, 1, 0)
+    let outcome = Scenario::new(MobileModel::Buhrman, 1, 0)
         .epsilon(1e-6)
-        .build()
+        .inputs([Value::new(0.3)])
+        .run(0)
         .unwrap();
-    let outcome = MobileEngine::new(config).run(&[Value::new(0.3)]).unwrap();
     assert!(outcome.reached_agreement);
     assert_eq!(outcome.rounds_executed, 0);
     assert_eq!(outcome.final_votes, vec![Value::new(0.3)]);
@@ -140,15 +152,16 @@ fn extreme_magnitude_inputs_do_not_overflow() {
     let model = MobileModel::Buhrman;
     let f = 1;
     let n = model.required_processes(f);
-    let config = ProtocolConfig::builder(model, n, f)
-        .epsilon(1.0)
-        .max_rounds(300)
-        .corruption(CorruptionStrategy::OutOfRange { magnitude: 1e100 })
-        .seed(9)
-        .build()
-        .unwrap();
     let inputs: Vec<Value> = (0..n).map(|i| Value::new(i as f64 * 1e12)).collect();
-    let outcome = MobileEngine::new(config).run(&inputs).unwrap();
+    let outcome = Scenario::new(model, n, f)
+        .epsilon(1.0)
+        .adversary(
+            MobilityStrategy::RoundRobin,
+            CorruptionStrategy::OutOfRange { magnitude: 1e100 },
+        )
+        .inputs(inputs)
+        .run(9)
+        .unwrap();
     // All arithmetic stayed finite (Value enforces it) and validity held.
     assert!(outcome.validity_holds());
     assert!(outcome.final_votes.iter().all(|v| v.get().is_finite()));
@@ -159,14 +172,17 @@ fn epsilon_larger_than_initial_spread_terminates_immediately() {
     let model = MobileModel::Sasaki;
     let f = 1;
     let n = model.required_processes(f);
-    let config = ProtocolConfig::builder(model, n, f)
+    let inputs: Vec<Value> = (0..n).map(|i| Value::new(i as f64 / n as f64)).collect();
+    let outcome = Scenario::new(model, n, f)
         .epsilon(10.0)
         .max_rounds(50)
-        .seed(3)
-        .build()
+        .adversary(
+            MobilityStrategy::RoundRobin,
+            CorruptionStrategy::split_attack(),
+        )
+        .inputs(inputs)
+        .run(3)
         .unwrap();
-    let inputs: Vec<Value> = (0..n).map(|i| Value::new(i as f64 / n as f64)).collect();
-    let outcome = MobileEngine::new(config).run(&inputs).unwrap();
     assert!(outcome.reached_agreement);
     assert_eq!(outcome.rounds_executed, 0);
 }

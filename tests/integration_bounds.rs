@@ -4,10 +4,7 @@
 use mbaa::core::bounds::{empirical_threshold, table2, ThresholdSearch};
 use mbaa::core::lower_bounds::{all_scenarios, LowerBoundScenario};
 use mbaa::core::mapping::{classify_execution, theoretical_table};
-use mbaa::{
-    CorruptionStrategy, MedianVoting, MobileEngine, MobileModel, MobilityStrategy, MsrFunction,
-    ProtocolConfig, Value, VotingFunction,
-};
+use mbaa::prelude::*;
 
 #[test]
 fn table2_rows_match_the_paper_for_all_models() {
@@ -25,13 +22,19 @@ fn table2_rows_match_the_paper_for_all_models() {
 }
 
 #[test]
-fn configurations_below_the_bound_are_rejected_without_opt_in() {
+fn scenarios_below_the_bound_are_rejected_without_opt_in() {
     for model in MobileModel::ALL {
         for f in 1..=3 {
             let just_below = model.required_processes(f) - 1;
+            let scenario = Scenario::new(model, just_below, f);
+            assert!(!scenario.satisfies_bound());
             assert!(
-                ProtocolConfig::builder(model, just_below, f).build().is_err(),
+                scenario.lower(0).is_err(),
                 "{model} f={f} accepted n={just_below}"
+            );
+            assert!(
+                scenario.allow_bound_violation().lower(0).is_ok(),
+                "{model} f={f} rejected the explicit opt-in"
             );
         }
     }
@@ -73,16 +76,19 @@ fn observed_behaviour_matches_table1_for_every_model_and_seed() {
         for seed in [1_u64, 2, 3] {
             let f = 2;
             let n = model.required_processes(f);
-            let config = ProtocolConfig::builder(model, n, f)
+            let outcome = Scenario::new(model, n, f)
                 .epsilon(1e-12)
                 .max_rounds(30)
-                .mobility(MobilityStrategy::RoundRobin)
-                .corruption(CorruptionStrategy::split_attack())
-                .seed(seed)
-                .build()
+                .adversary(
+                    MobilityStrategy::RoundRobin,
+                    CorruptionStrategy::split_attack(),
+                )
+                .workload(Workload::UniformSpread {
+                    lo: 0.0,
+                    hi: (n - 1) as f64,
+                })
+                .run(seed)
                 .unwrap();
-            let inputs: Vec<Value> = (0..n).map(|i| Value::new(i as f64)).collect();
-            let outcome = MobileEngine::new(config).run(&inputs).unwrap();
             let mapping = classify_execution(model, &outcome);
             assert!(mapping.matches_theory(), "{model} seed {seed}: {mapping:?}");
         }
@@ -127,20 +133,22 @@ fn one_extra_process_makes_the_garay_scenario_solvable() {
     // Contrast with the impossibility: at n = 4f + 1 the engine converges
     // against the same adversarial pressure.
     let f = 1;
-    let scenario = LowerBoundScenario::for_model(MobileModel::Garay, f);
-    assert_eq!(scenario.n, 4);
+    let witness = LowerBoundScenario::for_model(MobileModel::Garay, f);
+    assert_eq!(witness.n, 4);
 
-    let n = scenario.n + 1;
-    let config = ProtocolConfig::builder(MobileModel::Garay, n, f)
+    let n = witness.n + 1;
+    let inputs: Vec<Value> = (0..n)
+        .map(|i| Value::new(if i % 2 == 0 { 0.0 } else { 1.0 }))
+        .collect();
+    let outcome = Scenario::new(MobileModel::Garay, n, f)
         .epsilon(1e-4)
-        .max_rounds(300)
-        .corruption(CorruptionStrategy::split_attack())
-        .mobility(MobilityStrategy::TargetExtremes)
-        .seed(2)
-        .build()
+        .adversary(
+            MobilityStrategy::TargetExtremes,
+            CorruptionStrategy::split_attack(),
+        )
+        .inputs(inputs)
+        .run(2)
         .unwrap();
-    let inputs: Vec<Value> = (0..n).map(|i| Value::new(if i % 2 == 0 { 0.0 } else { 1.0 })).collect();
-    let outcome = MobileEngine::new(config).run(&inputs).unwrap();
     assert!(outcome.reached_agreement);
     assert!(outcome.validity_holds());
 }

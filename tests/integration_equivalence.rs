@@ -3,8 +3,7 @@
 //! mapped fault counts, and both converge under the same parameters.
 
 use mbaa::mixed::{FaultAssignment, StaticBehavior, StaticSimulator};
-use mbaa::sim::sweep::mobile_vs_static;
-use mbaa::{Epsilon, ExperimentConfig, MobileModel, MsrFunction, Value};
+use mbaa::prelude::*;
 
 #[test]
 fn static_mixed_mode_baseline_converges_with_mapped_counts() {
@@ -22,8 +21,14 @@ fn static_mixed_mode_baseline_converges_with_mapped_counts() {
                 400,
             )
             .unwrap();
-        assert!(outcome.reached_agreement, "{model} static image did not converge");
-        assert!(outcome.validity_holds(&assignment), "{model} static image violated validity");
+        assert!(
+            outcome.reached_agreement,
+            "{model} static image did not converge"
+        );
+        assert!(
+            outcome.validity_holds(&assignment),
+            "{model} static image violated validity"
+        );
     }
 }
 
@@ -32,11 +37,8 @@ fn mobile_and_static_computations_both_converge_for_every_model() {
     for model in MobileModel::ALL {
         let f = 2;
         let n = model.required_processes(f) + 1;
-        let template = ExperimentConfig::new(model, n, f)
-            .with_seeds(0..5)
-            .with_epsilon(1e-3)
-            .with_max_rounds(400);
-        let points = mobile_vs_static(model, n, f, &template).unwrap();
+        let scenario = Scenario::new(model, n, f).max_rounds(400);
+        let points = mobile_vs_static(&scenario, 0..5).unwrap();
         assert_eq!(points.len(), 5);
         for point in points {
             assert!(point.both_converged, "{model} seed {}", point.seed);
@@ -54,17 +56,20 @@ fn mobile_trajectories_contract_like_static_ones() {
     let model = MobileModel::Bonnet;
     let f = 2;
     let n = model.required_processes(f) + 2;
-    let template = ExperimentConfig::new(model, n, f)
-        .with_seeds(0..6)
-        .with_epsilon(1e-4)
-        .with_max_rounds(400);
-    let points = mobile_vs_static(model, n, f, &template).unwrap();
+    let scenario = Scenario::new(model, n, f).epsilon(1e-4).max_rounds(400);
+    let points = mobile_vs_static(&scenario, 0..6).unwrap();
     for point in points {
         for pair in point.mobile_diameters.windows(2) {
-            assert!(pair[1] <= pair[0] + 1e-12, "mobile diameter expanded: {pair:?}");
+            assert!(
+                pair[1] <= pair[0] + 1e-12,
+                "mobile diameter expanded: {pair:?}"
+            );
         }
         for pair in point.static_diameters.windows(2) {
-            assert!(pair[1] <= pair[0] + 1e-12, "static diameter expanded: {pair:?}");
+            assert!(
+                pair[1] <= pair[0] + 1e-12,
+                "static diameter expanded: {pair:?}"
+            );
         }
     }
 }

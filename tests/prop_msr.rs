@@ -1,39 +1,53 @@
-//! Property-based tests of the MSR function family: the single-step
+//! Property-style tests of the MSR function family: the single-step
 //! convergence properties P1/P2 and structural invariants of the reduction
-//! and selection steps.
+//! and selection steps, checked over seeded random case batteries (the
+//! offline stand-in for the original proptest strategies — same properties,
+//! deterministic sampling).
 
 use mbaa::msr::convergence::{satisfies_p1, satisfies_p2};
-use mbaa::{FaultCounts, MsrFunction, Value, ValueMultiset, VotingFunction};
-use proptest::prelude::*;
+use mbaa::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
-/// A strategy producing a vector of finite values in a modest range.
-fn values(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1.0e3..1.0e3f64, min_len..=max_len)
+const CASES: usize = 128;
+
+/// A vector of finite values in a modest range.
+fn values(rng: &mut StdRng, min_len: usize, max_len: usize) -> Vec<f64> {
+    let len = rng.random_range(min_len..=max_len);
+    (0..len)
+        .map(|_| rng.random_range(-1.0e3..1.0e3f64))
+        .collect()
 }
 
-/// A strategy producing mixed-mode fault counts with a + s + b <= 4.
-fn fault_counts() -> impl Strategy<Value = FaultCounts> {
-    (0usize..=2, 0usize..=2, 0usize..=2).prop_map(|(a, s, b)| FaultCounts::new(a, s, b))
+/// Mixed-mode fault counts with each class at most 2.
+fn fault_counts(rng: &mut StdRng) -> FaultCounts {
+    FaultCounts::new(
+        rng.random_range(0usize..=2),
+        rng.random_range(0usize..=2),
+        rng.random_range(0usize..=2),
+    )
 }
 
 fn multiset(raw: &[f64]) -> ValueMultiset {
     raw.iter().copied().map(Value::new).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The MSR function result always lies within the range of the *correct*
-    /// values (property P1), as long as the faulty values are at most τ on
-    /// each side of the sorted multiset (which trimming guarantees when the
-    /// bound holds).
-    #[test]
-    fn p1_result_in_correct_range(correct in values(3, 12), counts in fault_counts()) {
+/// The MSR function result always lies within the range of the *correct*
+/// values (property P1), as long as the faulty values are at most τ on each
+/// side of the sorted multiset (which trimming guarantees when the bound
+/// holds).
+#[test]
+fn p1_result_in_correct_range() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut checked = 0;
+    while checked < CASES {
+        let correct = values(&mut rng, 3, 12);
+        let counts = fault_counts(&mut rng);
         let tau = counts.reduction_tau();
-        let n_needed = counts.min_processes();
-        // Build a received multiset: the correct values plus up to a + s
-        // arbitrary planted values.
-        prop_assume!(correct.len() + counts.total() >= n_needed);
+        if correct.len() + counts.total() < counts.min_processes() {
+            continue;
+        }
+        checked += 1;
         let correct_ms = multiset(&correct);
         let lo = correct_ms.min().unwrap().get();
         let hi = correct_ms.max().unwrap().get();
@@ -49,23 +63,34 @@ proptest! {
         }
         let function = MsrFunction::for_fault_counts(counts);
         if let Some(result) = function.apply(&multiset(&received)) {
-            prop_assert!(
+            assert!(
                 satisfies_p1(result, &correct_ms),
                 "result {result} outside [{lo}, {hi}]"
             );
         }
     }
+}
 
-    /// Two processes applying the MSR function to multisets that share the
-    /// same correct values (but see different faulty values) compute results
-    /// strictly closer than the correct diameter (property P2).
-    #[test]
-    fn p2_results_contract(correct in values(4, 12), counts in fault_counts(), seed_offset in 0.0..500.0f64) {
+/// Two processes applying the MSR function to multisets that share the same
+/// correct values (but see different faulty values) compute results strictly
+/// closer than the correct diameter (property P2).
+#[test]
+fn p2_results_contract() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut checked = 0;
+    while checked < CASES {
+        let correct = values(&mut rng, 4, 12);
+        let counts = fault_counts(&mut rng);
+        let seed_offset = rng.random_range(0.0..500.0f64);
         let tau = counts.reduction_tau();
-        prop_assume!(tau >= 1);
-        prop_assume!(correct.len() + counts.total() >= counts.min_processes());
+        if tau < 1 || correct.len() + counts.total() < counts.min_processes() {
+            continue;
+        }
         let correct_ms = multiset(&correct);
-        prop_assume!(correct_ms.diameter() > 1e-9);
+        if correct_ms.diameter() <= 1e-9 {
+            continue;
+        }
+        checked += 1;
         let lo = correct_ms.min().unwrap().get();
         let hi = correct_ms.max().unwrap().get();
 
@@ -81,57 +106,82 @@ proptest! {
         let vi = function.apply(&multiset(&seen_i));
         let vj = function.apply(&multiset(&seen_j));
         if let (Some(vi), Some(vj)) = (vi, vj) {
-            prop_assert!(
+            assert!(
                 satisfies_p2(vi, vj, &correct_ms),
                 "|{vi} - {vj}| >= diameter {}",
                 correct_ms.diameter()
             );
         }
     }
+}
 
-    /// Reduction never widens the range and removes exactly 2τ values when
-    /// enough values are present.
-    #[test]
-    fn reduction_shrinks_cardinality_and_range(raw in values(1, 20), tau in 0usize..4) {
+/// Reduction never widens the range and removes exactly 2τ values when
+/// enough values are present.
+#[test]
+fn reduction_shrinks_cardinality_and_range() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..CASES {
+        let raw = values(&mut rng, 1, 20);
+        let tau = rng.random_range(0usize..4);
         let ms = multiset(&raw);
         let reduced = ms.trimmed(tau);
         if ms.len() > 2 * tau {
-            prop_assert_eq!(reduced.len(), ms.len() - 2 * tau);
+            assert_eq!(reduced.len(), ms.len() - 2 * tau);
             let orig = ms.range().unwrap();
             let new = reduced.range().unwrap();
-            prop_assert!(orig.contains_interval(&new));
+            assert!(orig.contains_interval(&new));
         } else {
-            prop_assert!(reduced.is_empty());
+            assert!(reduced.is_empty());
         }
     }
+}
 
-    /// The mean of any non-empty multiset lies within its range.
-    #[test]
-    fn mean_is_within_range(raw in values(1, 30)) {
+/// The mean of any non-empty multiset lies within its range.
+#[test]
+fn mean_is_within_range() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..CASES {
+        let raw = values(&mut rng, 1, 30);
         let ms = multiset(&raw);
         let mean = ms.mean().unwrap();
-        prop_assert!(ms.range().unwrap().contains(mean));
+        assert!(ms.range().unwrap().contains(mean));
     }
+}
 
-    /// Every MSR instance is permutation-invariant: the result only depends
-    /// on the multiset, not on the order values arrived in.
-    #[test]
-    fn msr_is_permutation_invariant(raw in values(3, 12), tau in 0usize..3) {
+/// Every MSR instance is permutation-invariant: the result only depends on
+/// the multiset, not on the order values arrived in.
+#[test]
+fn msr_is_permutation_invariant() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..CASES {
+        let raw = values(&mut rng, 3, 12);
+        let tau = rng.random_range(0usize..3);
         let function = MsrFunction::dolev_mean(tau);
         let forward = function.apply(&multiset(&raw));
         let mut reversed = raw.clone();
         reversed.reverse();
         let backward = function.apply(&multiset(&reversed));
-        prop_assert_eq!(forward, backward);
+        assert_eq!(forward, backward);
     }
+}
 
-    /// The fault-tolerant midpoint never leaves the reduced range either.
-    #[test]
-    fn ftm_result_is_bracketed(raw in values(5, 15), tau in 1usize..3) {
+/// The fault-tolerant midpoint never leaves the reduced range either.
+#[test]
+fn ftm_result_is_bracketed() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut checked = 0;
+    while checked < CASES {
+        let raw = values(&mut rng, 5, 15);
+        let tau = rng.random_range(1usize..3);
         let ms = multiset(&raw);
-        prop_assume!(ms.len() > 2 * tau);
+        if ms.len() <= 2 * tau {
+            continue;
+        }
+        checked += 1;
         let reduced = ms.trimmed(tau);
-        let result = MsrFunction::fault_tolerant_midpoint(tau).apply(&ms).unwrap();
-        prop_assert!(reduced.range().unwrap().contains(result));
+        let result = MsrFunction::fault_tolerant_midpoint(tau)
+            .apply(&ms)
+            .unwrap();
+        assert!(reduced.range().unwrap().contains(result));
     }
 }

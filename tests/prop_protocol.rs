@@ -1,100 +1,99 @@
-//! Property-based tests of the full protocol: for every mobile Byzantine
+//! Property-style tests of the full protocol: for every mobile Byzantine
 //! model, random adversary strategies, seeds, and inputs, the run above the
 //! replica bound always preserves validity and never expands the diameter,
-//! and (with a generous round budget) reaches ε-agreement.
+//! and (with a generous round budget) reaches ε-agreement. Cases are drawn
+//! from a seeded generator (the offline stand-in for the original proptest
+//! strategies — same properties, deterministic sampling), and every run
+//! goes through the `Scenario` entry point.
 
-use mbaa::{
-    CorruptionStrategy, MobileEngine, MobileModel, MobilityStrategy, ProtocolConfig, Value,
-};
-use proptest::prelude::*;
+use mbaa::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
-fn model_strategy() -> impl Strategy<Value = MobileModel> {
-    prop::sample::select(MobileModel::ALL.to_vec())
+fn pick<T: Copy>(rng: &mut StdRng, options: &[T]) -> T {
+    options[rng.random_range(0..options.len())]
 }
 
-fn mobility_strategy() -> impl Strategy<Value = MobilityStrategy> {
-    prop::sample::select(MobilityStrategy::ALL.to_vec())
+fn pick_corruption(rng: &mut StdRng) -> CorruptionStrategy {
+    let all = CorruptionStrategy::all_representative();
+    all[rng.random_range(0..all.len())]
 }
 
-fn corruption_strategy() -> impl Strategy<Value = CorruptionStrategy> {
-    prop::sample::select(CorruptionStrategy::all_representative())
+/// Pseudo-random but deterministic inputs derived from `inputs_seed`.
+fn derived_inputs(n: usize, inputs_seed: u64) -> Vec<Value> {
+    (0..n)
+        .map(|i| {
+            let x = ((i as u64 + 1) * (inputs_seed + 1)) % 1_000;
+            Value::new(x as f64 / 1_000.0)
+        })
+        .collect()
 }
 
-proptest! {
+/// Above the bound, every adversary combination preserves validity and the
+/// per-round diameter of non-faulty values never grows.
+#[test]
+fn validity_and_contraction_hold_above_the_bound() {
     // Full protocol runs are comparatively expensive; keep the case count
     // moderate so the suite stays fast.
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..24 {
+        let model = pick(&mut rng, &MobileModel::ALL);
+        let f = rng.random_range(1usize..=2);
+        let extra = rng.random_range(0usize..=3);
+        let mobility = pick(&mut rng, &MobilityStrategy::ALL);
+        let corruption = pick_corruption(&mut rng);
+        let seed = rng.random_range(0u64..1_000);
+        let inputs_seed = rng.random_range(0u64..1_000);
 
-    /// Above the bound, every adversary combination preserves validity and
-    /// the per-round diameter of non-faulty values never grows.
-    #[test]
-    fn validity_and_contraction_hold_above_the_bound(
-        model in model_strategy(),
-        f in 1usize..=2,
-        extra in 0usize..=3,
-        mobility in mobility_strategy(),
-        corruption in corruption_strategy(),
-        seed in 0u64..1_000,
-        inputs_seed in 0u64..1_000,
-    ) {
         let n = model.required_processes(f) + extra;
-        let config = ProtocolConfig::builder(model, n, f)
+        let outcome = Scenario::new(model, n, f)
             .epsilon(1e-3)
             .max_rounds(250)
-            .mobility(mobility)
-            .corruption(corruption)
-            .seed(seed)
-            .build()
+            .adversary(mobility, corruption)
+            .inputs(derived_inputs(n, inputs_seed))
+            .run(seed)
             .unwrap();
 
-        // Pseudo-random but deterministic inputs derived from inputs_seed.
-        let inputs: Vec<Value> = (0..n)
-            .map(|i| {
-                let x = ((i as u64 + 1) * (inputs_seed + 1)) % 1_000;
-                Value::new(x as f64 / 1_000.0)
-            })
-            .collect();
-
-        let outcome = MobileEngine::new(config).run(&inputs).unwrap();
-
-        prop_assert!(outcome.validity_holds(), "{model} validity violated");
-        prop_assert!(
+        assert!(outcome.validity_holds(), "{model} validity violated");
+        assert!(
             outcome.report.is_monotonically_non_expanding(),
             "{model} diameter expanded: {:?}",
             outcome.report.diameters()
         );
-        prop_assert!(
+        assert!(
             outcome.reached_agreement,
             "{model} n={n} f={f} {mobility}/{corruption} did not converge in 250 rounds \
              (final diameter {})",
             outcome.final_diameter()
         );
     }
+}
 
-    /// The number of faulty processes per round never exceeds f and the
-    /// cured set never exceeds f (Corollary 1), whatever the adversary does.
-    #[test]
-    fn per_round_fault_cardinalities_are_bounded(
-        model in model_strategy(),
-        f in 1usize..=3,
-        mobility in mobility_strategy(),
-        seed in 0u64..1_000,
-    ) {
+/// The number of faulty processes per round never exceeds f and the cured
+/// set never exceeds f (Corollary 1), whatever the adversary does.
+#[test]
+fn per_round_fault_cardinalities_are_bounded() {
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..24 {
+        let model = pick(&mut rng, &MobileModel::ALL);
+        let f = rng.random_range(1usize..=3);
+        let mobility = pick(&mut rng, &MobilityStrategy::ALL);
+        let seed = rng.random_range(0u64..1_000);
+
         let n = model.required_processes(f);
-        let config = ProtocolConfig::builder(model, n, f)
+        let inputs: Vec<Value> = (0..n).map(|i| Value::new(i as f64)).collect();
+        let outcome = Scenario::new(model, n, f)
             .epsilon(1e-9)
             .max_rounds(30)
-            .mobility(mobility)
-            .seed(seed)
-            .build()
+            .adversary(mobility, CorruptionStrategy::split_attack())
+            .inputs(inputs)
+            .run(seed)
             .unwrap();
-        let inputs: Vec<Value> = (0..n).map(|i| Value::new(i as f64)).collect();
-        let outcome = MobileEngine::new(config).run(&inputs).unwrap();
-        for configuration in &outcome.configurations {
-            prop_assert_eq!(configuration.faulty_set().len(), f);
-            prop_assert!(configuration.cured_set().len() <= f);
+        for snapshot in &outcome.configurations {
+            assert_eq!(snapshot.faulty_set().len(), f);
+            assert!(snapshot.cured_set().len() <= f);
             // Faulty and cured sets are disjoint.
-            prop_assert!(configuration.faulty_set().is_disjoint(&configuration.cured_set()));
+            assert!(snapshot.faulty_set().is_disjoint(&snapshot.cured_set()));
         }
     }
 }

@@ -1,0 +1,128 @@
+//! Integration tests of the unified `Scenario` API: the builder-first entry
+//! point must lower to the exact same executions as the hand-driven
+//! `ProtocolConfig` path, and its parallel batch runner must be
+//! deterministic and order-independent.
+
+use mbaa::prelude::*;
+
+fn scenario_for(model: MobileModel) -> Scenario {
+    Scenario::at_bound(model, 2).epsilon(1e-4).max_rounds(400)
+}
+
+#[test]
+fn single_runs_are_byte_identical_to_the_lowered_protocol_path_for_all_models() {
+    for model in MobileModel::ALL {
+        let scenario = scenario_for(model);
+        let seed = 42;
+
+        // The scenario path.
+        let via_scenario = scenario.run(seed).unwrap();
+
+        // The hand-lowered path: same ProtocolConfig, same workload, same
+        // engine — built without going through Scenario::run.
+        let config = ProtocolConfig::builder(model, scenario.n, scenario.f)
+            .epsilon(scenario.epsilon)
+            .max_rounds(scenario.max_rounds)
+            .mobility(scenario.mobility)
+            .corruption(scenario.corruption)
+            .seed(seed)
+            .build()
+            .unwrap();
+        assert_eq!(
+            config,
+            scenario.lower(seed).unwrap(),
+            "{model}: lowering diverged"
+        );
+        let inputs = scenario.initial_values(seed);
+        let via_protocol = MobileEngine::new(config).run(&inputs).unwrap();
+
+        // Structurally identical…
+        assert_eq!(via_scenario, via_protocol, "{model}: outcomes diverged");
+        // …and byte-identical in their full rendering (every field, every
+        // round snapshot, every trace entry).
+        assert_eq!(
+            format!("{via_scenario:?}").into_bytes(),
+            format!("{via_protocol:?}").into_bytes(),
+            "{model}: outcome renderings diverged"
+        );
+    }
+}
+
+#[test]
+fn explicit_function_lowering_is_also_identical() {
+    let function = MsrFunction::fault_tolerant_midpoint(2);
+    let scenario = scenario_for(MobileModel::Sasaki).function(function);
+    let via_scenario = scenario.run(7).unwrap();
+    let config = ProtocolConfig::builder(MobileModel::Sasaki, scenario.n, 2)
+        .epsilon(1e-4)
+        .max_rounds(400)
+        .mobility(scenario.mobility)
+        .corruption(scenario.corruption)
+        .function(function)
+        .seed(7)
+        .build()
+        .unwrap();
+    let via_protocol = MobileEngine::new(config)
+        .run(&scenario.initial_values(7))
+        .unwrap();
+    assert_eq!(via_scenario, via_protocol);
+}
+
+#[test]
+fn parallel_batches_are_deterministic() {
+    for model in MobileModel::ALL {
+        let scenario = scenario_for(model);
+        let first = scenario.batch(0..12).run().unwrap();
+        let second = scenario.batch(0..12).run().unwrap();
+        assert_eq!(first, second, "{model}: repeated batch diverged");
+    }
+}
+
+#[test]
+fn parallel_batches_are_order_independent() {
+    let scenario = scenario_for(MobileModel::Garay);
+    let ascending = scenario.batch(0..8).run().unwrap();
+    let descending = scenario.batch((0..8).rev()).run().unwrap();
+    let shuffled = scenario.batch([5, 2, 7, 0, 3, 6, 1, 4]).run().unwrap();
+    assert_eq!(ascending, descending);
+    assert_eq!(ascending, shuffled);
+    // Aggregation is keyed by seed, in ascending order.
+    let seeds: Vec<u64> = ascending.iter().map(|(s, _)| s).collect();
+    assert_eq!(seeds, (0..8).collect::<Vec<u64>>());
+}
+
+#[test]
+fn batch_entries_match_independent_single_runs() {
+    let scenario = scenario_for(MobileModel::Bonnet);
+    let batch = scenario.batch(0..6).run().unwrap();
+    for (seed, outcome) in batch.iter() {
+        assert_eq!(
+            outcome,
+            &scenario.run(seed).unwrap(),
+            "seed {seed} diverged"
+        );
+    }
+}
+
+#[test]
+fn batch_summaries_agree_with_the_experiment_lowering() {
+    let scenario =
+        scenario_for(MobileModel::Buhrman).workload(Workload::RandomUniform { lo: -1.0, hi: 1.0 });
+    let full = scenario.batch(0..6).run().unwrap().to_experiment_result();
+    let lowered = run_experiment(&scenario.to_experiment(0..6)).unwrap();
+    assert_eq!(full, lowered);
+}
+
+#[test]
+fn sweeps_go_through_the_same_batch_machinery() {
+    let points = scenario_for(MobileModel::Buhrman)
+        .sweep_n(2)
+        .seeds(0..3)
+        .run()
+        .unwrap();
+    assert_eq!(points.len(), 3);
+    for point in points {
+        assert_eq!(point.outcome, point.scenario.batch(0..3).run().unwrap());
+        assert!(point.outcome.all_succeeded());
+    }
+}

@@ -1,0 +1,216 @@
+//! Offline stand-in for `rayon`, implementing the data-parallel surface
+//! the workspace uses — `into_par_iter()` / `par_iter()` followed by
+//! `map(..).collect()` — on top of `std::thread::scope`. Work is split
+//! into one contiguous chunk per available core, results are reassembled
+//! in input order, and panics in workers propagate to the caller. See
+//! `vendor/README.md` for why this exists.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// The customary glob import, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Number of worker threads to use for `len` items.
+fn worker_count(len: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(len)
+        .max(1)
+}
+
+/// Runs `f` over `items` in parallel, preserving order.
+fn par_map_vec<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let workers = worker_count(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let mut results: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(mapped) => results.push(mapped),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// A parallel iterator over owned items.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` in parallel.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParMap<T, F> {
+    /// Executes the parallel map and collects the results in input order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        par_map_vec(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator (mirrors `rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The item type iterated over.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+/// Borrowing conversion (mirrors `rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: Send + 'a;
+
+    /// A parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1_000).collect();
+        let doubled: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v: Vec<u64> = (0..100).collect();
+        let total: Vec<u64> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(total.iter().sum::<u64>(), 5_050);
+    }
+
+    #[test]
+    fn collect_into_result_short_circuit_semantics() {
+        let v: Vec<u32> = (0..10).collect();
+        let ok: Result<Vec<u32>, String> = v.into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 10);
+        let v: Vec<u32> = (0..10).collect();
+        let err: Result<Vec<u32>, String> = v
+            .into_par_iter()
+            .map(|x| {
+                if x == 5 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let v: Vec<usize> = (0..64).collect();
+        let _: Vec<()> = v
+            .into_par_iter()
+            .map(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+            .collect();
+        let distinct = ids.lock().unwrap().len();
+        // On a multi-core box the chunks land on distinct threads.
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(
+                distinct > 1,
+                "expected parallel execution, saw {distinct} thread(s)"
+            );
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline stand-in for `serde`: re-exports the no-op derives and declares
+//! the two marker traits so trait bounds written against serde still
+//! compile. See `vendor/README.md` for why this exists.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

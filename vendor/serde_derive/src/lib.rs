@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde_derive`: the derives parse (including
+//! `#[serde(...)]` helper attributes) and expand to nothing. See
+//! `vendor/README.md` for why this exists.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
