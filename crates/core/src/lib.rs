@@ -2,7 +2,7 @@
 //! contribution, executable.
 //!
 //! This crate sits on top of the substrates ([`mbaa_net`], [`mbaa_msr`],
-//! [`mbaa_adversary`], [`mbaa_mixed`]) and provides:
+//! [`mbaa_adversary`], `mbaa_mixed`) and provides:
 //!
 //! * [`ProtocolConfig`] / [`MobileEngine`] — the round-based protocol engine
 //!   that runs any [`VotingFunction`](mbaa_msr::VotingFunction) (in

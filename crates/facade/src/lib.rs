@@ -18,14 +18,20 @@
 //! * a single seeded run: [`Scenario::run`] (lowers to [`ProtocolConfig`] +
 //!   [`MobileEngine`], bit-for-bit identical to driving them by hand),
 //! * a parallel seed batch: [`Scenario::batch`] → [`Runner::run`] fans the
-//!   seeds out on rayon and aggregates into a [`BatchOutcome`] keyed and
-//!   sorted by seed,
+//!   seeds out on the work-stealing rayon pool and aggregates into a
+//!   [`BatchOutcome`] keyed and sorted by seed,
+//! * a streaming seed batch: [`Runner::stream`] folds each completed run
+//!   into its [`RunSummary`] on the worker — flat memory for very large
+//!   batches, bit-identical summaries,
 //! * parameter sweeps: [`Scenario::sweep_n`], [`Scenario::sweep_f`],
-//!   [`adversary_ablation`], and [`mobile_vs_static`].
+//!   [`adversary_ablation`], and [`mobile_vs_static`]. [`Sweep::run`] and
+//!   [`Sweep::stream`] flatten all `(point, seed)` pairs into one global
+//!   work pool under a single concurrency budget, so uneven points no
+//!   longer serialize the sweep.
 //!
 //! All defaulting — experiment ε and round budget, the worst-case
 //! adversary, the model's mapped MSR instance, the workload — is decided in
-//! the scenario layer (backed by [`core::defaults`](mbaa_core::defaults)),
+//! the scenario layer (backed by [`core::defaults`]),
 //! so the lowered forms [`ProtocolConfig`] and [`ExperimentConfig`] stay
 //! plain data.
 //!
@@ -74,7 +80,7 @@ mod scenario;
 
 pub use runner::{
     adversary_ablation, mobile_vs_static, AblationPoint, BatchOutcome, EquivalencePoint, Runner,
-    SeededRun, Sweep, SweepPoint,
+    SeededRun, Sweep, SweepPoint, SweepSummary,
 };
 pub use scenario::Scenario;
 
@@ -106,7 +112,9 @@ pub use mbaa_core::{
 };
 pub use mbaa_msr::{MedianVoting, MsrFunction, Reduction, Selection, VotingFunction};
 pub use mbaa_net::{Outbox, RoundDelivery, SyncNetwork};
-pub use mbaa_sim::{run_experiment, ExperimentConfig, ExperimentResult, RunSummary, Workload};
+pub use mbaa_sim::{
+    run_experiment, run_experiment_with, ExperimentConfig, ExperimentResult, RunSummary, Workload,
+};
 pub use mbaa_types::{
     Epsilon, Error, FaultCounts, FaultState, Interval, MixedFaultClass, MobileModel, ProcessId,
     ProcessSet, Result, Round, Value, ValueMultiset,

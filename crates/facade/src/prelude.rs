@@ -12,14 +12,16 @@
 
 pub use crate::runner::{
     adversary_ablation, mobile_vs_static, AblationPoint, BatchOutcome, EquivalencePoint, Runner,
-    SeededRun, Sweep, SweepPoint,
+    SeededRun, Sweep, SweepPoint, SweepSummary,
 };
 pub use crate::scenario::Scenario;
 
 pub use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
 pub use mbaa_core::{MobileEngine, MobileRunOutcome, ProtocolConfig, RoundSnapshot};
 pub use mbaa_msr::{MedianVoting, MsrFunction, VotingFunction};
-pub use mbaa_sim::{run_experiment, ExperimentConfig, ExperimentResult, RunSummary, Workload};
+pub use mbaa_sim::{
+    run_experiment, run_experiment_with, ExperimentConfig, ExperimentResult, RunSummary, Workload,
+};
 pub use mbaa_types::{
     Epsilon, Error, FaultCounts, FaultState, Interval, MobileModel, ProcessId, Value, ValueMultiset,
 };

@@ -3,9 +3,15 @@
 //! built from.
 //!
 //! Runs are fully seeded and independent, so the [`Runner`] fans them out
-//! with `rayon` and reassembles the outcomes sorted by seed — the result is
-//! deterministic and independent of both thread scheduling and the order
-//! seeds were supplied in.
+//! on the work-stealing `rayon` pool and reassembles the outcomes sorted by
+//! seed — the result is deterministic and independent of thread scheduling,
+//! steal order, worker count, and the order seeds were supplied in.
+//! [`Sweep::run`] flattens all of its `(point, seed)` pairs into **one**
+//! global work pool under a single concurrency budget, so cheap points
+//! drain while a near-threshold point is still converging. For very large
+//! seed batches, [`Runner::stream`] / [`Sweep::stream`] fold each completed
+//! run into its [`RunSummary`] on the worker instead of materializing full
+//! trajectories.
 
 use serde::{Deserialize, Serialize};
 
@@ -19,6 +25,19 @@ use mbaa_types::{Epsilon, Error, MobileModel, Result};
 
 use crate::Scenario;
 
+/// Runs `op` with an explicit worker budget installed, or on the ambient
+/// pool when none was requested.
+fn with_pool<R>(workers: Option<usize>, op: impl FnOnce() -> R) -> R {
+    match workers {
+        Some(width) => rayon::ThreadPoolBuilder::new()
+            .num_threads(width)
+            .build()
+            .expect("the vendored pool builder cannot fail")
+            .install(op),
+        None => op(),
+    }
+}
+
 /// Executes one scenario over a batch of seeds, in parallel.
 ///
 /// Produced by [`Scenario::batch`]; consumed by [`Runner::run`].
@@ -26,6 +45,7 @@ use crate::Scenario;
 pub struct Runner {
     scenario: Scenario,
     seeds: Vec<u64>,
+    workers: Option<usize>,
 }
 
 impl Runner {
@@ -33,7 +53,17 @@ impl Runner {
         Runner {
             scenario,
             seeds: seeds.into_iter().collect(),
+            workers: None,
         }
+    }
+
+    /// Caps the worker threads this runner fans out on (the default is the
+    /// machine's available parallelism). Purely a throughput knob: results
+    /// are bit-identical for every width, including `1`.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
     }
 
     /// The scenario this runner executes.
@@ -61,10 +91,12 @@ impl Runner {
     pub fn run(&self) -> Result<BatchOutcome> {
         let seeds = self.sorted_seeds();
         let scenario = &self.scenario;
-        let results: Vec<(u64, Result<MobileRunOutcome>)> = seeds
-            .into_par_iter()
-            .map(|seed| (seed, scenario.run(seed)))
-            .collect();
+        let results: Vec<(u64, Result<MobileRunOutcome>)> = with_pool(self.workers, || {
+            seeds
+                .into_par_iter()
+                .map(|seed| (seed, scenario.run(seed)))
+                .collect()
+        });
         let mut runs = Vec::with_capacity(results.len());
         for (seed, outcome) in results {
             runs.push(SeededRun {
@@ -90,7 +122,51 @@ impl Runner {
     ///
     /// [`ExperimentConfig`]: mbaa_sim::ExperimentConfig
     pub fn summarize(&self) -> Result<ExperimentResult> {
-        mbaa_sim::run_experiment(&self.scenario.to_experiment(self.sorted_seeds()))
+        with_pool(self.workers, || {
+            mbaa_sim::run_experiment(&self.scenario.to_experiment(self.sorted_seeds()))
+        })
+    }
+
+    /// Streams the batch: every seed still runs in parallel, but each
+    /// completed run is folded into its [`RunSummary`] *on the worker* and
+    /// the full trajectory (trace + per-round snapshots) is dropped
+    /// immediately, so memory stays flat even for very large seed batches.
+    /// The result equals [`Runner::run`]`()?.to_experiment_result()` (and
+    /// [`Runner::summarize`]) bit for bit, for every worker count.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mbaa::prelude::*;
+    ///
+    /// let scenario = Scenario::at_bound(MobileModel::Buhrman, 2);
+    /// // A large seed batch without holding one trajectory per seed.
+    /// let summary = scenario.batch(0..128).stream()?;
+    /// assert_eq!(summary.runs.len(), 128);
+    /// assert!(summary.success_rate() > 0.99);
+    /// # Ok::<(), mbaa::Error>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and engine errors, deterministically (the
+    /// smallest failing seed wins).
+    pub fn stream(&self) -> Result<ExperimentResult> {
+        self.stream_with(|_| {})
+    }
+
+    /// Like [`Runner::stream`], but also hands every completed
+    /// [`RunSummary`] to `on_run` as it finishes — in completion order, on
+    /// the worker that produced it — for live progress reporting or online
+    /// aggregation. `on_run` is never invoked for a failing seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and engine errors, deterministically.
+    pub fn stream_with<F: Fn(&RunSummary) + Sync>(&self, on_run: F) -> Result<ExperimentResult> {
+        with_pool(self.workers, || {
+            mbaa_sim::run_experiment_with(&self.scenario.to_experiment(self.sorted_seeds()), on_run)
+        })
     }
 
     fn sorted_seeds(&self) -> Vec<u64> {
@@ -215,15 +291,7 @@ impl BatchOutcome {
             runs: self
                 .runs
                 .iter()
-                .map(|r| RunSummary {
-                    seed: r.seed,
-                    reached_agreement: r.outcome.reached_agreement,
-                    validity: r.outcome.validity_holds(),
-                    rounds: r.outcome.rounds_executed,
-                    final_diameter: r.outcome.final_diameter(),
-                    initial_diameter: r.outcome.report.initial_diameter(),
-                    mean_contraction: r.outcome.report.mean_contraction_factor(),
-                })
+                .map(|r| RunSummary::from_outcome(r.seed, &r.outcome))
                 .collect(),
         }
     }
@@ -236,6 +304,7 @@ impl BatchOutcome {
 pub struct Sweep {
     points: Vec<Scenario>,
     seeds: Vec<u64>,
+    workers: Option<usize>,
 }
 
 impl Sweep {
@@ -244,6 +313,7 @@ impl Sweep {
         Sweep {
             points,
             seeds: (0..10).collect(),
+            workers: None,
         }
     }
 
@@ -260,26 +330,141 @@ impl Sweep {
         self
     }
 
+    /// Caps the worker threads of the sweep's global work pool (the default
+    /// is the machine's available parallelism) — the sweep's single
+    /// concurrency budget. Purely a throughput knob: results are
+    /// bit-identical for every width, including `1`.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
     /// The scenario points of the sweep.
     #[must_use]
     pub fn points(&self) -> &[Scenario] {
         &self.points
     }
 
-    /// Runs every point over the seed batch (each point's seeds fan out in
-    /// parallel) and pairs points with their aggregated outcomes.
+    /// The seed batch, sorted and deduplicated exactly as
+    /// [`Runner::run`] normalizes it, so flattened execution and the
+    /// per-point [`Runner`] path always describe the same runs.
+    fn normalized_seeds(&self) -> Vec<u64> {
+        let mut seeds = self.seeds.clone();
+        seeds.sort_unstable();
+        seeds.dedup();
+        seeds
+    }
+
+    /// Every `(point index, seed)` pair of the sweep, point-major — the
+    /// flattened global work pool [`run`](Sweep::run) and
+    /// [`stream`](Sweep::stream) schedule over.
+    fn flattened_tasks(&self, seeds: &[u64]) -> Vec<(usize, u64)> {
+        (0..self.points.len())
+            .flat_map(|point| seeds.iter().map(move |&seed| (point, seed)))
+            .collect()
+    }
+
+    /// Runs the whole sweep through **one** global work-stealing pool: all
+    /// `(point, seed)` pairs are flattened into a single task list and
+    /// workers steal across point boundaries, so a near-threshold point
+    /// that needs many rounds no longer serializes the points behind it.
+    /// Outcomes are regrouped per point afterwards; every
+    /// [`SweepPoint::outcome`] is bit-identical to running
+    /// `point.batch(seeds).run()` on its own, for every worker count and
+    /// steal order.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mbaa::prelude::*;
+    ///
+    /// // Three system sizes × four seeds = twelve runs in one pool.
+    /// let points = Scenario::at_bound(MobileModel::Buhrman, 2)
+    ///     .sweep_n(2)
+    ///     .seeds(0..4)
+    ///     .run()?;
+    /// assert_eq!(points.len(), 3);
+    /// assert!(points.iter().all(|p| p.outcome.all_succeeded()));
+    /// # Ok::<(), mbaa::Error>(())
+    /// ```
     ///
     /// # Errors
     ///
-    /// Propagates the first failing point's error.
+    /// Propagates the first failing `(point, seed)` pair's error in
+    /// point-major, seed-minor order — the same error the old sequential
+    /// point loop surfaced.
     pub fn run(&self) -> Result<Vec<SweepPoint>> {
+        let seeds = self.normalized_seeds();
+        let tasks = self.flattened_tasks(&seeds);
+        let results: Vec<Result<MobileRunOutcome>> = with_pool(self.workers, || {
+            tasks
+                .into_par_iter()
+                .map(|(point, seed)| self.points[point].run(seed))
+                .collect()
+        });
+        let mut results = results.into_iter();
         self.points
             .iter()
             .map(|scenario| {
-                let outcome = scenario.batch(self.seeds.iter().copied()).run()?;
+                let runs = seeds
+                    .iter()
+                    .map(|&seed| {
+                        Ok(SeededRun {
+                            seed,
+                            outcome: results.next().expect("one result per task")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
                 Ok(SweepPoint {
                     scenario: scenario.clone(),
-                    outcome,
+                    outcome: BatchOutcome {
+                        scenario: scenario.clone(),
+                        runs,
+                    },
+                })
+            })
+            .collect()
+    }
+
+    /// Streaming variant of [`Sweep::run`]: the same flattened global pool,
+    /// but each completed run is folded into its [`RunSummary`] on the
+    /// worker and the trajectory is dropped immediately, so even a sweep of
+    /// many large seed batches keeps memory flat. Each point's
+    /// [`ExperimentResult`] equals
+    /// `point.batch(seeds).run()?.to_experiment_result()` bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing `(point, seed)` pair's error in
+    /// point-major, seed-minor order.
+    pub fn stream(&self) -> Result<Vec<SweepSummary>> {
+        let seeds = self.normalized_seeds();
+        let tasks = self.flattened_tasks(&seeds);
+        let results: Vec<Result<RunSummary>> = with_pool(self.workers, || {
+            tasks
+                .into_par_iter()
+                .map(|(point, seed)| {
+                    self.points[point]
+                        .run(seed)
+                        .map(|outcome| RunSummary::from_outcome(seed, &outcome))
+                })
+                .collect()
+        });
+        let mut results = results.into_iter();
+        self.points
+            .iter()
+            .map(|scenario| {
+                let runs = seeds
+                    .iter()
+                    .map(|_| results.next().expect("one result per task"))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(SweepSummary {
+                    scenario: scenario.clone(),
+                    result: ExperimentResult {
+                        config: scenario.to_experiment(seeds.iter().copied()),
+                        runs,
+                    },
                 })
             })
             .collect()
@@ -293,6 +478,16 @@ pub struct SweepPoint {
     pub scenario: Scenario,
     /// The aggregated batch outcome at this point.
     pub outcome: BatchOutcome,
+}
+
+/// One summary-only point of a streamed [`Sweep`] (see [`Sweep::stream`]):
+/// the per-seed [`RunSummary`]s without the trajectories.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSummary {
+    /// The scenario of this point (its `n`, `f`, … are the axis values).
+    pub scenario: Scenario,
+    /// The aggregated summary-level result at this point.
+    pub result: ExperimentResult,
 }
 
 /// One cell of the adversary-strategy ablation grid.
@@ -511,6 +706,38 @@ mod tests {
     }
 
     #[test]
+    fn stream_matches_the_eager_experiment_result() {
+        let runner = small().batch([4, 2, 0, 2, 1]);
+        let eager = runner.run().unwrap().to_experiment_result();
+        let streamed = runner.stream().unwrap();
+        assert_eq!(eager, streamed);
+        assert_eq!(streamed, runner.summarize().unwrap());
+    }
+
+    #[test]
+    fn stream_with_observes_every_completed_run() {
+        let runner = small().batch(0..5);
+        let seen = std::sync::Mutex::new(Vec::new());
+        let streamed = runner
+            .stream_with(|summary| seen.lock().unwrap().push(summary.seed))
+            .unwrap();
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(streamed, runner.run().unwrap().to_experiment_result());
+    }
+
+    #[test]
+    fn batch_results_are_identical_for_every_worker_budget() {
+        let reference = small().batch(0..6).workers(1).run().unwrap();
+        for width in [2usize, 3, 16] {
+            let outcome = small().batch(0..6).workers(width).run().unwrap();
+            assert_eq!(outcome, reference, "{width} workers diverged");
+        }
+        assert_eq!(small().batch(0..6).run().unwrap(), reference);
+    }
+
+    #[test]
     fn sweep_runs_every_point() {
         let sweep = small().sweep_n(2).seeds(0..2);
         let points = sweep.run().unwrap();
@@ -518,6 +745,63 @@ mod tests {
         assert_eq!(points[0].scenario.n, 7);
         assert_eq!(points[2].scenario.n, 9);
         assert!(points.iter().all(|p| p.outcome.all_succeeded()));
+    }
+
+    #[test]
+    fn flattened_sweep_matches_per_point_batches_for_every_worker_budget() {
+        // Mixed costs on purpose: the bound point converges slowly, the
+        // wider points quickly — exactly the shape static chunking stalls
+        // on. Every width must regroup to identical per-point outcomes.
+        let sweep = small().sweep_n(2).seeds([3, 0, 2, 0]);
+        let reference: Vec<SweepPoint> = sweep.clone().workers(1).run().unwrap();
+        for width in [2usize, 5, 32] {
+            let points = sweep.clone().workers(width).run().unwrap();
+            assert_eq!(points, reference, "{width} workers diverged");
+        }
+        for point in &reference {
+            assert_eq!(
+                point.outcome,
+                point.scenario.batch([3, 0, 2, 0]).run().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_sweep_matches_the_eager_sweep() {
+        let sweep = small().sweep_n(1).seeds(0..3);
+        let eager = sweep.run().unwrap();
+        let streamed = sweep.stream().unwrap();
+        assert_eq!(eager.len(), streamed.len());
+        for (point, summary) in eager.iter().zip(&streamed) {
+            assert_eq!(point.scenario, summary.scenario);
+            assert_eq!(point.outcome.to_experiment_result(), summary.result);
+        }
+    }
+
+    #[test]
+    fn sweep_error_is_the_first_failing_point_major_pair() {
+        // Second point is below the bound; the flattened pool must still
+        // surface that point's smallest-seed error, not an arbitrary one.
+        let ok = small();
+        let bad = Scenario::new(MobileModel::Garay, 8, 2);
+        let err = Sweep::over([ok, bad]).seeds(0..3).run().unwrap_err();
+        assert!(matches!(
+            err,
+            Error::InsufficientProcesses {
+                required: 9,
+                n: 8,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_sweep_and_empty_seed_batch_are_legal() {
+        assert!(Sweep::over([]).seeds(0..3).run().unwrap().is_empty());
+        let points = small().sweep_n(1).seeds(std::iter::empty()).run().unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.outcome.is_empty()));
+        assert!(Sweep::over([]).stream().unwrap().is_empty());
     }
 
     #[test]

@@ -261,8 +261,10 @@ impl Scenario {
     }
 
     /// A [`Runner`] over this scenario and a seed batch; `run()` fans the
-    /// seeds out in parallel and aggregates into a
-    /// [`BatchOutcome`](crate::BatchOutcome).
+    /// seeds out on the work-stealing pool and aggregates full outcomes
+    /// into a [`BatchOutcome`](crate::BatchOutcome), while `stream()` folds
+    /// each run into its summary on the worker — flat memory for very
+    /// large batches. Both are deterministic for every worker count.
     #[must_use]
     pub fn batch<I: IntoIterator<Item = u64>>(&self, seeds: I) -> Runner {
         Runner::new(self.clone(), seeds)

@@ -10,7 +10,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
-use mbaa_core::{MobileEngine, ProtocolConfig};
+use mbaa_core::{MobileEngine, MobileRunOutcome, ProtocolConfig};
 use mbaa_msr::MsrFunction;
 use mbaa_types::{MobileModel, Result};
 
@@ -88,6 +88,25 @@ pub struct RunSummary {
     pub initial_diameter: f64,
     /// Geometric-mean per-round contraction factor, when measurable.
     pub mean_contraction: Option<f64>,
+}
+
+impl RunSummary {
+    /// Condenses one full run outcome into its summary — the single place
+    /// the summary fields are derived, shared by [`run_experiment`], the
+    /// facade's `BatchOutcome::to_experiment_result`, and the streaming
+    /// paths, so all of them agree field for field.
+    #[must_use]
+    pub fn from_outcome(seed: u64, outcome: &MobileRunOutcome) -> Self {
+        RunSummary {
+            seed,
+            reached_agreement: outcome.reached_agreement,
+            validity: outcome.validity_holds(),
+            rounds: outcome.rounds_executed,
+            final_diameter: outcome.final_diameter(),
+            initial_diameter: outcome.report.initial_diameter(),
+            mean_contraction: outcome.report.mean_contraction_factor(),
+        }
+    }
 }
 
 /// The aggregated outcome of an experiment point.
@@ -168,6 +187,30 @@ impl ExperimentResult {
 /// `allow_bound_violation`) and engine errors; the first failing seed in
 /// batch order wins, so errors are deterministic.
 pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult> {
+    run_experiment_with(config, |_| {})
+}
+
+/// Streaming variant of [`run_experiment`]: runs every seed in parallel and
+/// invokes `on_run` with each completed [`RunSummary`] *as it finishes*, in
+/// completion order, on the worker that produced it. The full
+/// [`MobileRunOutcome`] (trace + per-round snapshots) is dropped inside the
+/// worker as soon as the summary is folded out of it, so memory stays flat
+/// no matter how many seeds the batch holds.
+///
+/// The returned [`ExperimentResult`] is assembled in seed-batch order and is
+/// bit-identical to [`run_experiment`]'s for the same configuration,
+/// regardless of worker count or steal order. `on_run` is never invoked for
+/// a failing seed.
+///
+/// # Errors
+///
+/// Propagates configuration errors (surfaced deterministically, before any
+/// run starts) and engine errors; the first failing seed in batch order
+/// wins.
+pub fn run_experiment_with<F>(config: &ExperimentConfig, on_run: F) -> Result<ExperimentResult>
+where
+    F: Fn(&RunSummary) + Sync,
+{
     // Validate every lowering up front: configuration errors then surface
     // deterministically, before any run starts.
     let protocols: Vec<(u64, ProtocolConfig)> = config
@@ -181,15 +224,9 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult> {
             let engine = MobileEngine::new(protocol);
             let inputs = config.workload.generate(config.n, seed);
             let outcome = engine.run(&inputs)?;
-            Ok(RunSummary {
-                seed,
-                reached_agreement: outcome.reached_agreement,
-                validity: outcome.validity_holds(),
-                rounds: outcome.rounds_executed,
-                final_diameter: outcome.final_diameter(),
-                initial_diameter: outcome.report.initial_diameter(),
-                mean_contraction: outcome.report.mean_contraction_factor(),
-            })
+            let summary = RunSummary::from_outcome(seed, &outcome);
+            on_run(&summary);
+            Ok(summary)
         })
         .collect();
     Ok(ExperimentResult {
@@ -284,6 +321,31 @@ mod tests {
         assert_eq!(result.success_rate(), 0.0);
         assert!(!result.all_succeeded());
         assert_eq!(result.mean_rounds(), None);
+    }
+
+    #[test]
+    fn streaming_observer_sees_every_summary_and_results_match() {
+        let config = point(MobileModel::Buhrman, 7, 2, 0..6);
+        let seen = std::sync::Mutex::new(Vec::new());
+        let streamed = run_experiment_with(&config, |s| seen.lock().unwrap().push(*s)).unwrap();
+        let eager = run_experiment(&config).unwrap();
+        assert_eq!(streamed, eager);
+        // The observer saw exactly the returned summaries (in completion
+        // order; seed order once sorted).
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_by_key(|s| s.seed);
+        assert_eq!(seen, streamed.runs);
+    }
+
+    #[test]
+    fn streaming_observer_is_not_invoked_for_failing_configs() {
+        let config = point(MobileModel::Garay, 8, 2, 0..3);
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let err = run_experiment_with(&config, |_| {
+            calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert!(err.is_err());
+        assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -8,9 +8,12 @@
 //! * [`Workload`] — how initial values are generated (deterministic spread,
 //!   clustered sensors, seeded uniform noise, or explicit values).
 //! * [`ExperimentConfig`] / [`run_experiment`] — run one (model, n, f,
-//!   adversary, algorithm) point over a batch of seeds — fanned out in
-//!   parallel with rayon — and aggregate the outcomes into an
+//!   adversary, algorithm) point over a batch of seeds — fanned out on the
+//!   work-stealing rayon pool — and aggregate the outcomes into an
 //!   [`ExperimentResult`].
+//! * [`run_experiment_with`] — the streaming variant: folds each completed
+//!   run into its [`RunSummary`] on the worker and hands it to an observer
+//!   as it finishes, keeping memory flat for very large seed batches.
 //! * [`stats`] — small summary-statistics helpers.
 //! * [`report`] — Markdown / CSV table emission used by the benches.
 //!
@@ -54,5 +57,7 @@ pub mod report;
 pub mod stats;
 mod workload;
 
-pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, RunSummary};
+pub use experiment::{
+    run_experiment, run_experiment_with, ExperimentConfig, ExperimentResult, RunSummary,
+};
 pub use workload::Workload;

@@ -126,3 +126,41 @@ fn sweeps_go_through_the_same_batch_machinery() {
         assert!(point.outcome.all_succeeded());
     }
 }
+
+#[test]
+fn batches_are_identical_for_every_worker_count() {
+    // The work-stealing pool must not leak scheduling into results: a
+    // single worker, a few workers, and an oversubscribed pool all
+    // aggregate to the same BatchOutcome.
+    let scenario = scenario_for(MobileModel::Garay);
+    let reference = scenario.batch(0..10).workers(1).run().unwrap();
+    for width in [2usize, 4, 24] {
+        assert_eq!(
+            scenario.batch(0..10).workers(width).run().unwrap(),
+            reference,
+            "{width} workers diverged"
+        );
+    }
+    assert_eq!(scenario.batch(0..10).run().unwrap(), reference);
+}
+
+#[test]
+fn flattened_sweeps_are_identical_for_every_worker_count() {
+    let sweep = || scenario_for(MobileModel::Buhrman).sweep_n(2).seeds(0..3);
+    let reference = sweep().workers(1).run().unwrap();
+    for width in [2usize, 16] {
+        assert_eq!(
+            sweep().workers(width).run().unwrap(),
+            reference,
+            "{width} workers diverged"
+        );
+    }
+}
+
+#[test]
+fn streaming_summaries_match_the_eager_batch() {
+    let scenario = scenario_for(MobileModel::Bonnet);
+    let eager = scenario.batch(0..8).run().unwrap().to_experiment_result();
+    assert_eq!(scenario.batch(0..8).stream().unwrap(), eager);
+    assert_eq!(scenario.batch(0..8).workers(1).stream().unwrap(), eager);
+}

@@ -3,15 +3,49 @@
 //! groups with throughput/sample-size knobs, and `Bencher::iter` with
 //! wall-clock timing and a plain-text mean/min report. No statistics, no
 //! HTML — just honest timings. See `vendor/README.md` for why this exists.
+//!
+//! # CI hooks
+//!
+//! Two environment variables make the shim usable as a CI smoke check:
+//!
+//! * `MBAA_BENCH_SAMPLES` — overrides every benchmark's sample count
+//!   (clamped to ≥ 1), so the whole suite can run in seconds.
+//! * `MBAA_BENCH_JSON` — a directory; when set, `criterion_main!` writes a
+//!   `BENCH_<binary>.json` file there after the groups run: a JSON array of
+//!   `{group, id, mean_ns, min_ns, samples}` records, one per benchmark,
+//!   suitable for uploading as a CI artifact and diffing across commits.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export mirroring `criterion::black_box` (deprecated upstream in
 /// favour of `std::hint::black_box`, which the benches already use).
 pub use std::hint::black_box;
+
+/// One timed benchmark, as recorded for the JSON report.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    group: String,
+    id: String,
+    mean_ns: u128,
+    min_ns: u128,
+    samples: u64,
+}
+
+/// Every benchmark timed by this process, in execution order.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// The sample-count override from `MBAA_BENCH_SAMPLES`, if any.
+fn sample_override() -> Option<usize> {
+    std::env::var("MBAA_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|v| v.max(1))
+}
 
 /// The benchmark driver.
 #[derive(Debug, Default)]
@@ -25,6 +59,7 @@ impl Criterion {
         println!("\nbenchmark group: {name}");
         BenchmarkGroup {
             _criterion: self,
+            name: name.to_string(),
             sample_size: 50,
         }
     }
@@ -33,7 +68,7 @@ impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
         let mut bencher = Bencher::new(50);
         f(&mut bencher);
-        bencher.report(&id.to_string());
+        bencher.report("", &id.to_string());
     }
 }
 
@@ -41,6 +76,7 @@ impl Criterion {
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
+    name: String,
     sample_size: usize,
 }
 
@@ -61,14 +97,14 @@ impl BenchmarkGroup<'_> {
     {
         let mut bencher = Bencher::new(self.sample_size);
         f(&mut bencher, input);
-        bencher.report(&id.to_string());
+        bencher.report(&self.name, &id.to_string());
     }
 
     /// Benchmarks `f` without an input.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
         let mut bencher = Bencher::new(self.sample_size);
         f(&mut bencher);
-        bencher.report(&id.to_string());
+        bencher.report(&self.name, &id.to_string());
     }
 
     /// Ends the group.
@@ -124,7 +160,7 @@ pub struct Bencher {
 impl Bencher {
     fn new(samples: usize) -> Self {
         Bencher {
-            samples: samples.max(1),
+            samples: sample_override().unwrap_or(samples).max(1),
             total: Duration::ZERO,
             min: Duration::MAX,
             iterations: 0,
@@ -147,7 +183,7 @@ impl Bencher {
         }
     }
 
-    fn report(&self, id: &str) {
+    fn report(&self, group: &str, id: &str) {
         if self.iterations == 0 {
             println!("  {id}: no samples");
             return;
@@ -157,6 +193,78 @@ impl Bencher {
             "  {id}: mean {mean:?}, min {:?} ({} samples)",
             self.min, self.iterations
         );
+        RESULTS.lock().unwrap().push(BenchRecord {
+            group: group.to_string(),
+            id: id.to_string(),
+            mean_ns: mean.as_nanos(),
+            min_ns: self.min.as_nanos(),
+            samples: self.iterations,
+        });
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The benchmark binary's stem, with cargo's trailing `-<hash>` stripped.
+fn binary_stem() -> String {
+    let stem = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit()) => {
+            name.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Writes every benchmark this process recorded to
+/// `$MBAA_BENCH_JSON/BENCH_<binary>.json` as a valid JSON array, one object
+/// per benchmark. A no-op when the variable is unset or nothing was timed.
+/// Called by `criterion_main!` after all groups have run.
+pub fn write_json_report() {
+    let Ok(dir) = std::env::var("MBAA_BENCH_JSON") else {
+        return;
+    };
+    let records = RESULTS.lock().unwrap();
+    if records.is_empty() {
+        return;
+    }
+    let mut body = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = writeln!(
+            body,
+            "  {{\"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}}}{}",
+            json_escape(&r.group),
+            json_escape(&r.id),
+            r.mean_ns,
+            r.min_ns,
+            r.samples,
+            if i + 1 == records.len() { "" } else { "," }
+        );
+    }
+    body.push_str("]\n");
+    let dir = std::path::PathBuf::from(dir);
+    let path = dir.join(format!("BENCH_{}.json", binary_stem()));
+    if let Err(error) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, body)) {
+        eprintln!("warning: could not write {}: {error}", path.display());
+    } else {
+        println!("\nwrote {}", path.display());
     }
 }
 
@@ -171,12 +279,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the benchmark binary entry point.
+/// Declares the benchmark binary entry point. After every group has run,
+/// the collected timings are written as a JSON report when
+/// `MBAA_BENCH_JSON` is set (see [`write_json_report`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }
@@ -201,5 +312,18 @@ mod tests {
     #[test]
     fn macros_and_groups_run() {
         benches();
+        let records = RESULTS.lock().unwrap();
+        assert!(records
+            .iter()
+            .any(|r| r.group == "shim" && r.id == "4" && r.samples == 5
+                || sample_override().is_some()));
+        assert!(records.iter().any(|r| r.id == "sum/8"));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_controls() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 }

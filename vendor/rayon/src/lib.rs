@@ -1,29 +1,64 @@
 //! Offline stand-in for `rayon`, implementing the data-parallel surface
 //! the workspace uses — `into_par_iter()` / `par_iter()` followed by
-//! `map(..).collect()` — on top of `std::thread::scope`. Work is split
-//! into one contiguous chunk per available core, results are reassembled
-//! in input order, and panics in workers propagate to the caller. See
-//! `vendor/README.md` for why this exists.
+//! `map(..).collect()` — on top of `std::thread::scope`, plus a minimal
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`] pair for pinning the
+//! worker count.
+//!
+//! # Scheduling: work stealing over a shared atomic work index
+//!
+//! Work is **not** split into static per-worker chunks. Every item of the
+//! input becomes one slot in a shared pool, and a single atomic cursor
+//! ([`AtomicUsize`]) is the head of the remaining work: each worker claims
+//! the next unclaimed index with `fetch_add`, processes that item, and
+//! loops. A worker that drew only cheap items therefore keeps pulling work
+//! that a static chunking would have left stranded behind a slow neighbour
+//! — the classic uneven-run-length problem in threshold sweeps. Results
+//! carry their input index and are reassembled in input order after all
+//! workers join, so collection order (and the collected value, for any
+//! deterministic `f`) is identical for every worker count and every steal
+//! interleaving. Panics in workers propagate to the caller, exactly like
+//! real rayon. See `vendor/README.md` for why this crate exists.
 
 #![forbid(unsafe_code)]
 
+use std::cell::Cell;
+use std::fmt;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The customary glob import, mirroring `rayon::prelude::*`.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
 }
 
-/// Number of worker threads to use for `len` items.
-fn worker_count(len: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(len)
-        .max(1)
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] on the
+    /// calling thread (`None` → use all available cores).
+    static POOL_WORKERS: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
-/// Runs `f` over `items` in parallel, preserving order.
+/// Number of worker threads to use for `len` items: the installed
+/// [`ThreadPool`] width if one is active on this thread, otherwise the
+/// available parallelism, never more than `len` and never zero.
+fn worker_count(len: usize) -> usize {
+    let configured = POOL_WORKERS.with(Cell::get).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    configured.min(len).max(1)
+}
+
+/// The number of worker threads parallel operations on this thread will
+/// use for large inputs (mirrors `rayon::current_num_threads`).
+#[must_use]
+pub fn current_num_threads() -> usize {
+    worker_count(usize::MAX)
+}
+
+/// Runs `f` over `items` in parallel with work stealing, preserving input
+/// order in the output.
 fn par_map_vec<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
 where
     T: Send,
@@ -34,30 +69,140 @@ where
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let chunk_len = items.len().div_ceil(workers);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
-    let mut items = items.into_iter();
-    loop {
-        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
-        if chunk.is_empty() {
-            break;
-        }
-        chunks.push(chunk);
-    }
-    let mut results: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    // One slot per item. The per-slot mutex only exists to move the item
+    // out safely; `cursor` hands every index to exactly one worker, so the
+    // locks are never contended.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, U)>> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(slot) = slots.get(index) else {
+                            break;
+                        };
+                        let item = slot
+                            .lock()
+                            .expect("no worker panics while holding a slot lock")
+                            .take()
+                            .expect("every index is claimed exactly once");
+                        produced.push((index, f(item)));
+                    }
+                    produced
+                })
+            })
             .collect();
         for handle in handles {
             match handle.join() {
-                Ok(mapped) => results.push(mapped),
+                Ok(produced) => per_worker.push(produced),
                 Err(panic) => std::panic::resume_unwind(panic),
             }
         }
     });
-    results.into_iter().flatten().collect()
+    // Reassemble in input order: concatenate the workers' (index, value)
+    // pairs and sort by index. The sort is the only order-restoring step,
+    // so the output is independent of the steal interleaving.
+    let mut merged: Vec<(usize, U)> = per_worker.into_iter().flatten().collect();
+    merged.sort_unstable_by_key(|&(index, _)| index);
+    merged.into_iter().map(|(_, value)| value).collect()
+}
+
+/// Configures a [`ThreadPool`] (mirrors `rayon::ThreadPoolBuilder`).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default configuration (all available cores).
+    #[must_use]
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads (`0` → all available cores).
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this shim; the `Result` mirrors the real rayon
+    /// signature so call sites port over unchanged.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error building a [`ThreadPool`] (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    _private: (),
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped worker-count policy (mirrors `rayon::ThreadPool`).
+///
+/// [`install`](ThreadPool::install) pins every parallel operation started
+/// by the closure (on this thread) to the configured width — the handle the
+/// determinism tests use to prove results are identical for 1, 2, and many
+/// workers.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker count installed for every parallel
+    /// operation `op` starts on the calling thread. Restores the previous
+    /// policy on exit (nesting works the obvious way).
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        let previous = POOL_WORKERS.with(|cell| {
+            cell.replace(if self.num_threads == 0 {
+                None
+            } else {
+                Some(self.num_threads)
+            })
+        });
+        // Restore on unwind too, so a panicking `op` cannot leak the
+        // override into later work on this thread.
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let previous = self.0;
+                POOL_WORKERS.with(|cell| cell.set(previous));
+            }
+        }
+        let _restore = Restore(previous);
+        op()
+    }
+
+    /// The configured worker count (`0` means "all available cores").
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        }
+    }
 }
 
 /// A parallel iterator over owned items.
@@ -146,6 +291,7 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn map_collect_preserves_order() {
@@ -188,6 +334,100 @@ mod tests {
     }
 
     #[test]
+    fn empty_input_under_every_pool_width() {
+        for width in [1usize, 2, 7] {
+            let pool = ThreadPoolBuilder::new().num_threads(width).build().unwrap();
+            let out: Vec<u8> = pool.install(|| Vec::new().into_par_iter().map(|x: u8| x).collect());
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            let v: Vec<u32> = (0..64).collect();
+            let _: Vec<u32> = v
+                .into_par_iter()
+                .map(|x| {
+                    assert!(x != 17, "injected worker panic");
+                    x
+                })
+                .collect();
+        });
+        let panic = caught.expect_err("the worker panic must reach the caller");
+        let message = panic
+            .downcast_ref::<&str>()
+            .map(ToString::to_string)
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            message.contains("injected worker panic"),
+            "unexpected panic payload: {message:?}"
+        );
+    }
+
+    #[test]
+    fn panic_on_a_single_worker_pool_propagates_too() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let caught = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                let _: Vec<u32> = vec![1u32].into_par_iter().map(|_| panic!("one")).collect();
+            });
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn results_are_identical_for_every_worker_count() {
+        let input: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = input.iter().map(|&x| x * x + 1).collect();
+        for width in [1usize, 2, 3, 8, 64] {
+            let pool = ThreadPoolBuilder::new().num_threads(width).build().unwrap();
+            let got: Vec<u64> =
+                pool.install(|| input.clone().into_par_iter().map(|x| x * x + 1).collect());
+            assert_eq!(got, expected, "width {width} diverged");
+        }
+    }
+
+    #[test]
+    fn uneven_item_costs_are_balanced_and_ordered() {
+        // One pathologically slow item at the front: static chunking would
+        // strand the first chunk behind it; stealing lets the other workers
+        // drain the rest. Either way the *result* must stay in input order.
+        let v: Vec<u64> = (0..128).collect();
+        let out: Vec<u64> = v
+            .into_par_iter()
+            .map(|x| {
+                if x == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                x
+            })
+            .collect();
+        assert_eq!(out, (0..128).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn install_restores_the_previous_width_even_on_panic() {
+        let outer = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            let inner = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+            let caught = std::panic::catch_unwind(|| inner.install(|| panic!("inner")));
+            assert!(caught.is_err());
+            assert_eq!(current_num_threads(), 3, "override leaked past install");
+        });
+    }
+
+    #[test]
+    fn zero_threads_means_default_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+        let out: Vec<u8> = pool.install(|| vec![1u8, 2, 3].into_par_iter().map(|x| x).collect());
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
     fn actually_runs_on_multiple_threads() {
         use std::collections::HashSet;
         use std::sync::Mutex;
@@ -201,7 +441,7 @@ mod tests {
             })
             .collect();
         let distinct = ids.lock().unwrap().len();
-        // On a multi-core box the chunks land on distinct threads.
+        // On a multi-core box the stealing workers land on distinct threads.
         if std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1)
