@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
 use mbaa_msr::MsrFunction;
+use mbaa_net::Topology;
 use mbaa_types::{Epsilon, Error, MobileModel, Result};
 
 /// The single source of truth for every default the workspace fills in when
@@ -83,6 +84,9 @@ pub struct ProtocolConfig {
     pub mobility: MobilityStrategy,
     /// The value corruption strategy.
     pub corruption: CorruptionStrategy,
+    /// The communication graph mediating every exchange
+    /// ([`Topology::Complete`] reproduces the paper's network exactly).
+    pub topology: Topology,
     /// The MSR instance run by non-faulty processes.
     pub function: MsrFunction,
     /// Seed of all adversarial randomness.
@@ -123,6 +127,7 @@ pub struct ProtocolConfigBuilder {
     max_rounds: usize,
     mobility: MobilityStrategy,
     corruption: CorruptionStrategy,
+    topology: Topology,
     function: Option<MsrFunction>,
     seed: u64,
     allow_bound_violation: bool,
@@ -138,6 +143,7 @@ impl ProtocolConfigBuilder {
             max_rounds: defaults::PROTOCOL_MAX_ROUNDS,
             mobility: MobilityStrategy::default(),
             corruption: CorruptionStrategy::default(),
+            topology: Topology::Complete,
             function: None,
             seed: 0,
             allow_bound_violation: false,
@@ -176,6 +182,20 @@ impl ProtocolConfigBuilder {
         self
     }
 
+    /// Sets the communication graph (default [`Topology::Complete`], the
+    /// paper's fully connected network).
+    ///
+    /// [`build`](ProtocolConfigBuilder::build) realizes and validates the
+    /// graph: disconnected topologies are always rejected, and on a partial
+    /// graph every process must hear at least the model's replica
+    /// requirement `n_Mi` per round (its closed neighbourhood) unless bound
+    /// violations are explicitly allowed.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
     /// Sets the MSR instance explicitly. By default the builder picks
     /// [`MsrFunction::for_fault_counts`] with the model's mapped fault
     /// counts (Lemmas 1–4), which is the instance the paper analyses.
@@ -204,9 +224,16 @@ impl ProtocolConfigBuilder {
     ///
     /// # Errors
     ///
-    /// * [`Error::InvalidParameter`] when `n == 0`, `f == 0` and the
-    ///   corruption strategy is meaningless, or `max_rounds == 0`.
+    /// * [`Error::InvalidParameter`] when `n == 0`, `max_rounds == 0`, `f`
+    ///   exceeds `n`, or the topology cannot be realized over `n` processes
+    ///   (mismatched custom matrix, infeasible random-regular degree).
     /// * [`Error::InsufficientProcesses`] when `n <= n_Mi` and bound
+    ///   violations were not explicitly allowed.
+    /// * [`Error::DisconnectedTopology`] when the realized graph is not
+    ///   connected (never waived: agreement is meaningless across
+    ///   components).
+    /// * [`Error::InsufficientConnectivity`] when, on a partial graph, some
+    ///   process hears fewer than `n_Mi` processes per round and bound
     ///   violations were not explicitly allowed.
     pub fn build(self) -> Result<ProtocolConfig> {
         if self.n == 0 {
@@ -233,6 +260,31 @@ impl ProtocolConfigBuilder {
                 required,
             });
         }
+        // The default Complete topology is trivially connected and needs no
+        // graph checks — skip realization entirely so the common lowering
+        // path never allocates the n² matrix. Partial descriptions are
+        // realized once here for validation; the engine re-realizes
+        // deterministically from the same (n, seed) pair.
+        if !self.topology.is_complete() {
+            let adjacency = self.topology.realize(self.n, self.seed)?;
+            if !adjacency.is_connected() {
+                return Err(Error::DisconnectedTopology {
+                    n: self.n,
+                    components: adjacency.component_count(),
+                });
+            }
+            if !adjacency.is_complete() {
+                let min_neighborhood = adjacency.min_closed_neighborhood();
+                if min_neighborhood < required && !self.allow_bound_violation {
+                    return Err(Error::InsufficientConnectivity {
+                        model: self.model,
+                        f: self.f,
+                        min_neighborhood,
+                        required,
+                    });
+                }
+            }
+        }
         let function = self
             .function
             .unwrap_or_else(|| defaults::model_default_function(self.model, self.f));
@@ -244,6 +296,7 @@ impl ProtocolConfigBuilder {
             max_rounds: self.max_rounds,
             mobility: self.mobility,
             corruption: self.corruption,
+            topology: self.topology,
             function,
             seed: self.seed,
             bound_violation_allowed: self.allow_bound_violation,
@@ -357,6 +410,66 @@ mod tests {
         assert_eq!(config.mobility, MobilityStrategy::Random);
         assert_eq!(config.corruption, CorruptionStrategy::BoundaryDrag);
         assert_eq!(config.seed, 99);
+    }
+
+    #[test]
+    fn topology_defaults_to_complete() {
+        let config = ProtocolConfig::builder(MobileModel::Garay, 9, 2)
+            .build()
+            .unwrap();
+        assert_eq!(config.topology, Topology::Complete);
+    }
+
+    #[test]
+    fn sparse_topology_below_the_neighborhood_bound_is_rejected() {
+        // Garay with f = 1 needs every process to hear n_Mi = 5 processes;
+        // a k = 1 ring offers closed neighbourhoods of 3.
+        let err = ProtocolConfig::builder(MobileModel::Garay, 9, 1)
+            .topology(Topology::Ring { k: 1 })
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::InsufficientConnectivity {
+                model: MobileModel::Garay,
+                f: 1,
+                min_neighborhood: 3,
+                required: 5,
+            }
+        ));
+        // The threshold experiments can opt in, exactly like the global
+        // bound.
+        let config = ProtocolConfig::builder(MobileModel::Garay, 9, 1)
+            .topology(Topology::Ring { k: 1 })
+            .allow_bound_violation()
+            .build()
+            .unwrap();
+        assert_eq!(config.topology, Topology::Ring { k: 1 });
+    }
+
+    #[test]
+    fn topology_at_the_neighborhood_bound_builds() {
+        // A k = 2 ring gives closed neighbourhoods of exactly 5 = n_Mi.
+        assert!(ProtocolConfig::builder(MobileModel::Garay, 9, 1)
+            .topology(Topology::Ring { k: 2 })
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn disconnected_topology_is_rejected_even_with_bound_violations_allowed() {
+        let err = ProtocolConfig::builder(MobileModel::Buhrman, 4, 1)
+            .topology(Topology::Ring { k: 0 })
+            .allow_bound_violation()
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::DisconnectedTopology {
+                n: 4,
+                components: 4
+            }
+        ));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use mbaa_adversary::{AdversaryView, MobileAdversary, RoundFaultPlan};
 use mbaa_msr::{ConvergenceReport, VotingFunction};
-use mbaa_net::{NetworkTrace, Outbox, SyncNetwork};
+use mbaa_net::{NetworkTrace, Outbox, SyncNetwork, Topology};
 use mbaa_types::{
     Epsilon, Error, FaultState, Interval, MobileModel, ProcessId, Result, Round, Value,
     ValueMultiset,
@@ -155,7 +155,15 @@ impl MobileEngine {
         let mut states: Vec<FaultState> = vec![FaultState::Correct; n];
         let mut adversary =
             MobileAdversary::new(cfg.model, n, cfg.f, cfg.mobility, cfg.corruption, cfg.seed);
-        let mut network = SyncNetwork::new(n);
+        // The complete topology takes the unmasked fast path — bit-identical
+        // to the pre-topology engine. Partial descriptions realize to the
+        // same graph the builder validated (deterministic in (n, seed));
+        // `with_topology` still lowers rings that normalized to complete
+        // onto the fast path.
+        let mut network = match &cfg.topology {
+            Topology::Complete => SyncNetwork::new(n),
+            partial => SyncNetwork::with_topology(partial.realize(n, cfg.seed)?),
+        };
         let mut configurations = Vec::new();
 
         // Until the adversary has placed its agents we do not know which
@@ -475,6 +483,26 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn partial_topology_runs_are_deterministic_and_structurally_masked() {
+        let config = ProtocolConfig::builder(MobileModel::Garay, 9, 1)
+            .epsilon(1e-3)
+            .max_rounds(300)
+            .seed(5)
+            .topology(Topology::Ring { k: 2 })
+            .build()
+            .unwrap();
+        let engine = MobileEngine::new(config);
+        let a = engine.run(&inputs(9)).unwrap();
+        let b = engine.run(&inputs(9)).unwrap();
+        assert_eq!(a, b);
+        assert!(a.rounds_executed > 0);
+        // On a 9-ring with k = 2 every sender misses 4 non-neighbours, and
+        // the trace records that as structure, not as faults.
+        let obs = a.trace.get(0).unwrap().observation(ProcessId::new(0));
+        assert_eq!(obs.unreachable_receivers().len(), 4);
     }
 
     #[test]

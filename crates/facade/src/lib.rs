@@ -24,14 +24,22 @@
 //!   into its [`RunSummary`] on the worker — flat memory for very large
 //!   batches, bit-identical summaries,
 //! * parameter sweeps: [`Scenario::sweep_n`], [`Scenario::sweep_f`],
-//!   [`adversary_ablation`], and [`mobile_vs_static`]. [`Sweep::run`] and
-//!   [`Sweep::stream`] flatten all `(point, seed)` pairs into one global
-//!   work pool under a single concurrency budget, so uneven points no
-//!   longer serialize the sweep.
+//!   [`Scenario::sweep_connectivity`], [`adversary_ablation`], and
+//!   [`mobile_vs_static`]. [`Sweep::run`] and [`Sweep::stream`] flatten
+//!   all `(point, seed)` pairs into one global work pool under a single
+//!   concurrency budget, so uneven points no longer serialize the sweep,
+//!   and [`Sweep::stream_with`] reports each point as it completes.
+//!
+//! The network topology is a scenario axis: [`Scenario::topology`] accepts
+//! a [`Topology`] (complete by default — the paper's network — or ring /
+//! random-regular / grid / custom adjacency), validated at lowering time
+//! against connectivity and the model's degree-dependent resilience
+//! requirement. See `examples/partial_connectivity.rs` for the
+//! convergence-vs-degree surface this opens.
 //!
 //! All defaulting — experiment ε and round budget, the worst-case
-//! adversary, the model's mapped MSR instance, the workload — is decided in
-//! the scenario layer (backed by [`core::defaults`]),
+//! adversary, the model's mapped MSR instance, the topology, the workload —
+//! is decided in the scenario layer (backed by [`core::defaults`]),
 //! so the lowered forms [`ProtocolConfig`] and [`ExperimentConfig`] stay
 //! plain data.
 //!
@@ -111,7 +119,7 @@ pub use mbaa_core::{
     MobileEngine, MobileRunOutcome, ProtocolConfig, ProtocolConfigBuilder, RoundSnapshot,
 };
 pub use mbaa_msr::{MedianVoting, MsrFunction, Reduction, Selection, VotingFunction};
-pub use mbaa_net::{Outbox, RoundDelivery, SyncNetwork};
+pub use mbaa_net::{Adjacency, Outbox, RoundDelivery, SyncNetwork, Topology};
 pub use mbaa_sim::{
     run_experiment, run_experiment_with, ExperimentConfig, ExperimentResult, RunSummary, Workload,
 };

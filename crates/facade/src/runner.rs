@@ -13,6 +13,9 @@
 //! run into its [`RunSummary`] on the worker instead of materializing full
 //! trajectories.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use serde::{Deserialize, Serialize};
 
 use rayon::prelude::*;
@@ -36,6 +39,17 @@ fn with_pool<R>(workers: Option<usize>, op: impl FnOnce() -> R) -> R {
             .install(op),
         None => op(),
     }
+}
+
+/// The single seed-batch normalization every execution path shares: sorted
+/// ascending, duplicates removed. [`Runner`], [`Sweep`], and
+/// [`adversary_ablation`] all describe their runs through this, so the
+/// flattened pools and the per-point batches always agree on which runs
+/// exist.
+fn normalize_seeds(mut seeds: Vec<u64>) -> Vec<u64> {
+    seeds.sort_unstable();
+    seeds.dedup();
+    seeds
 }
 
 /// Executes one scenario over a batch of seeds, in parallel.
@@ -170,10 +184,7 @@ impl Runner {
     }
 
     fn sorted_seeds(&self) -> Vec<u64> {
-        let mut seeds = self.seeds.clone();
-        seeds.sort_unstable();
-        seeds.dedup();
-        seeds
+        normalize_seeds(self.seeds.clone())
     }
 }
 
@@ -350,10 +361,7 @@ impl Sweep {
     /// [`Runner::run`] normalizes it, so flattened execution and the
     /// per-point [`Runner`] path always describe the same runs.
     fn normalized_seeds(&self) -> Vec<u64> {
-        let mut seeds = self.seeds.clone();
-        seeds.sort_unstable();
-        seeds.dedup();
-        seeds
+        normalize_seeds(self.seeds.clone())
     }
 
     /// Every `(point index, seed)` pair of the sweep, point-major — the
@@ -439,20 +447,110 @@ impl Sweep {
     /// Propagates the first failing `(point, seed)` pair's error in
     /// point-major, seed-minor order.
     pub fn stream(&self) -> Result<Vec<SweepSummary>> {
+        // No callback, no completion tracking: the plain streaming path
+        // pays nothing for the progress machinery.
+        self.stream_impl(None::<fn(&SweepSummary)>)
+    }
+
+    /// Like [`Sweep::stream`], but also hands every *completed point* to
+    /// `on_point` as its last seed finishes — on the worker that completed
+    /// it, in completion order — for live progress reporting over long
+    /// sweeps. The [`SweepSummary`] passed to the callback is bit-identical
+    /// to the corresponding entry of the returned vector; a point whose
+    /// runs fail is never reported.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mbaa::prelude::*;
+    /// use std::sync::atomic::{AtomicUsize, Ordering};
+    ///
+    /// let done = AtomicUsize::new(0);
+    /// let points = Scenario::at_bound(MobileModel::Buhrman, 2)
+    ///     .sweep_n(2)
+    ///     .seeds(0..4)
+    ///     .stream_with(|point| {
+    ///         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+    ///         eprintln!("{finished} points done, n={}", point.scenario.n);
+    ///     })?;
+    /// assert_eq!(done.load(Ordering::Relaxed), points.len());
+    /// # Ok::<(), mbaa::Error>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing `(point, seed)` pair's error in
+    /// point-major, seed-minor order.
+    pub fn stream_with<F: Fn(&SweepSummary) + Sync>(
+        &self,
+        on_point: F,
+    ) -> Result<Vec<SweepSummary>> {
+        self.stream_impl(Some(on_point))
+    }
+
+    /// Shared implementation of [`Sweep::stream`] / [`Sweep::stream_with`]:
+    /// the per-point completion tracking only exists when a callback does.
+    fn stream_impl<F: Fn(&SweepSummary) + Sync>(
+        &self,
+        on_point: Option<F>,
+    ) -> Result<Vec<SweepSummary>> {
         let seeds = self.normalized_seeds();
         let tasks = self.flattened_tasks(&seeds);
+        // Per-point completion tracking: every finished seed stashes its
+        // summary in the point's slot vector and decrements the pending
+        // counter; whoever drops it to zero owns the completion and reports
+        // the point.
+        let tracking = on_point.as_ref().map(|_| {
+            let pending: Vec<AtomicUsize> = self
+                .points
+                .iter()
+                .map(|_| AtomicUsize::new(seeds.len()))
+                .collect();
+            let partial: Vec<Mutex<Vec<Option<RunSummary>>>> = self
+                .points
+                .iter()
+                .map(|_| Mutex::new(vec![None; seeds.len()]))
+                .collect();
+            (pending, partial)
+        });
         let results: Vec<Result<RunSummary>> = with_pool(self.workers, || {
             tasks
                 .into_par_iter()
                 .map(|(point, seed)| {
-                    self.points[point]
+                    let summary = self.points[point]
                         .run(seed)
-                        .map(|outcome| RunSummary::from_outcome(seed, &outcome))
+                        .map(|outcome| RunSummary::from_outcome(seed, &outcome))?;
+                    if let (Some(on_point), Some((pending, partial))) =
+                        (on_point.as_ref(), tracking.as_ref())
+                    {
+                        let slot = seeds
+                            .binary_search(&seed)
+                            .expect("seed comes from the normalized batch");
+                        partial[point].lock().expect("no panics hold the lock")[slot] =
+                            Some(summary);
+                        if pending[point].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            let runs: Vec<RunSummary> = partial[point]
+                                .lock()
+                                .expect("no panics hold the lock")
+                                .iter()
+                                .map(|s| s.expect("every seed of a completed point is stashed"))
+                                .collect();
+                            on_point(&SweepSummary {
+                                scenario: self.points[point].clone(),
+                                result: ExperimentResult {
+                                    config: self.points[point].to_experiment(seeds.iter().copied()),
+                                    runs,
+                                },
+                            });
+                        }
+                    }
+                    Ok(summary)
                 })
                 .collect()
         });
         let mut results = results.into_iter();
-        self.points
+        let summaries: Result<Vec<SweepSummary>> = self
+            .points
             .iter()
             .map(|scenario| {
                 let runs = seeds
@@ -467,7 +565,19 @@ impl Sweep {
                     },
                 })
             })
-            .collect()
+            .collect();
+        let summaries = summaries?;
+        // With an empty seed batch no task ever fires, but every point is
+        // trivially complete: report them in order so the callback still
+        // sees one invocation per completed point.
+        if seeds.is_empty() {
+            if let Some(on_point) = on_point.as_ref() {
+                for summary in &summaries {
+                    on_point(summary);
+                }
+            }
+        }
+        Ok(summaries)
     }
 }
 
@@ -509,15 +619,21 @@ pub struct AblationPoint {
 /// instance — an explicit `template.function` is ignored, since a single
 /// instance cannot be correctly parameterised for all four models at once.
 ///
+/// All `(cell, seed)` pairs of the grid are flattened onto **one** global
+/// work-stealing pool — the same scheduling [`Sweep::run`] uses — so a slow
+/// cell (a worst-case adversary near the bound) no longer serializes the
+/// cells behind it. Each cell's [`BatchOutcome`] is bit-identical to
+/// running `scenario.batch(seeds).run()` on its own.
+///
 /// # Errors
 ///
-/// Propagates the first failing cell's error.
+/// Propagates the first failing `(cell, seed)` pair's error in grid-major,
+/// seed-minor order — the same error the old sequential cell loop surfaced.
 pub fn adversary_ablation<I: IntoIterator<Item = u64>>(
     template: &Scenario,
     seeds: I,
 ) -> Result<Vec<AblationPoint>> {
-    let seeds: Vec<u64> = seeds.into_iter().collect();
-    let mut points = Vec::new();
+    let mut cells = Vec::new();
     for model in MobileModel::ALL {
         for mobility in MobilityStrategy::ALL {
             for corruption in CorruptionStrategy::all_representative() {
@@ -529,16 +645,26 @@ pub fn adversary_ablation<I: IntoIterator<Item = u64>>(
                     function: None,
                     ..template.clone()
                 };
-                points.push(AblationPoint {
-                    model,
-                    mobility,
-                    corruption,
-                    outcome: scenario.batch(seeds.iter().copied()).run()?,
-                });
+                cells.push((model, mobility, corruption, scenario));
             }
         }
     }
-    Ok(points)
+
+    // The grid *is* a sweep over adversary cells: reuse its flattened pool,
+    // seed normalization, regrouping, and error ordering wholesale.
+    let points = Sweep::over(cells.iter().map(|(_, _, _, scenario)| scenario.clone()))
+        .seeds(seeds)
+        .run()?;
+    Ok(cells
+        .iter()
+        .zip(points)
+        .map(|((model, mobility, corruption, _), point)| AblationPoint {
+            model: *model,
+            mobility: *mobility,
+            corruption: *corruption,
+            outcome: point.outcome,
+        })
+        .collect())
 }
 
 /// The diameter trajectories of one mobile run and its static mixed-mode
@@ -576,11 +702,23 @@ impl EquivalencePoint {
 ///
 /// # Errors
 ///
-/// Propagates configuration and engine errors.
+/// Propagates configuration and engine errors. Rejects scenarios with a
+/// partial [`Topology`](mbaa_net::Topology): Theorem 1's equivalence is
+/// stated on the fully connected network, and the static mixed-mode
+/// simulator has no topology axis — comparing a masked mobile run against
+/// an all-to-all static image would claim an equivalence that was never
+/// computed on the same graph.
 pub fn mobile_vs_static<I: IntoIterator<Item = u64>>(
     scenario: &Scenario,
     seeds: I,
 ) -> Result<Vec<EquivalencePoint>> {
+    if !scenario.topology.is_complete() {
+        return Err(Error::InvalidParameter(format!(
+            "mobile_vs_static requires the complete topology (Theorem 1's setting); \
+             got {} — run the mobile side alone via Scenario::batch instead",
+            scenario.topology
+        )));
+    }
     let epsilon = Epsilon::try_new(scenario.epsilon)
         .ok_or_else(|| Error::InvalidParameter("epsilon must be > 0".into()))?;
     let counts = scenario.model.mixed_fault_counts(scenario.f);
@@ -824,6 +962,67 @@ mod tests {
     }
 
     #[test]
+    fn stream_with_reports_every_completed_point_identically() {
+        let sweep = small().sweep_n(2).seeds([2, 0, 1]);
+        let seen = Mutex::new(Vec::new());
+        let summaries = sweep
+            .stream_with(|point| seen.lock().unwrap().push(point.clone()))
+            .unwrap();
+        let mut seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), summaries.len());
+        // Completion order is scheduling-dependent; the content is not:
+        // every reported point is bit-identical to the returned entry.
+        seen.sort_by_key(|p| p.scenario.n);
+        assert_eq!(seen, summaries);
+    }
+
+    #[test]
+    fn stream_with_reports_empty_points_and_skips_failing_ones() {
+        let empty = small().sweep_n(1).seeds(std::iter::empty());
+        let count = std::sync::atomic::AtomicUsize::new(0);
+        let summaries = empty
+            .stream_with(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), summaries.len());
+
+        // A failing point is never handed to the callback.
+        let bad = Scenario::new(MobileModel::Garay, 8, 2);
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let err = Sweep::over([bad]).seeds(0..2).stream_with(|_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(err.is_err());
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn stream_with_is_deterministic_for_every_worker_budget() {
+        let sweep = || small().sweep_n(1).seeds(0..3);
+        let reference = sweep().workers(1).stream_with(|_| {}).unwrap();
+        for width in [2usize, 8] {
+            assert_eq!(
+                sweep().workers(width).stream_with(|_| {}).unwrap(),
+                reference,
+                "{width} workers diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn flattened_ablation_matches_per_cell_batches() {
+        // The flattened grid must regroup to the exact BatchOutcome each
+        // cell's standalone batch produces — unordered duplicate seeds and
+        // all.
+        let template = Scenario::at_bound(MobileModel::Buhrman, 1).max_rounds(150);
+        let points = adversary_ablation(&template, [1, 0, 1]).unwrap();
+        for p in &points {
+            assert_eq!(p.outcome, p.outcome.scenario.batch([0, 1]).run().unwrap());
+        }
+    }
+
+    #[test]
     fn ablation_ignores_an_explicit_function_override() {
         // A single MSR instance cannot fit all four models; the grid must
         // run each model's mapped default even when the template carries an
@@ -850,6 +1049,19 @@ mod tests {
         for p in &points {
             assert!(p.both_converged, "seed {} diverged", p.seed);
         }
+    }
+
+    #[test]
+    fn mobile_vs_static_rejects_partial_topologies() {
+        // The static mixed-mode simulator has no topology axis; claiming
+        // Theorem 1's equivalence across different graphs would be wrong.
+        use mbaa_net::Topology;
+        let scenario = Scenario::new(MobileModel::Garay, 9, 1)
+            .max_rounds(100)
+            .topology(Topology::Ring { k: 2 });
+        let err = mobile_vs_static(&scenario, 0..2).unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter(_)));
+        assert!(err.to_string().contains("complete topology"));
     }
 
     #[test]

@@ -25,6 +25,7 @@ use serde::{Deserialize, Serialize};
 use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
 use mbaa_core::{defaults, MobileEngine, MobileRunOutcome, ProtocolConfig};
 use mbaa_msr::{MsrFunction, VotingFunction};
+use mbaa_net::Topology;
 use mbaa_sim::{ExperimentConfig, Workload};
 use mbaa_types::{MobileModel, Result, Value};
 
@@ -65,6 +66,9 @@ pub struct Scenario {
     pub mobility: MobilityStrategy,
     /// The adversary's value corruption strategy.
     pub corruption: CorruptionStrategy,
+    /// The communication graph every exchange is mediated by
+    /// ([`Topology::Complete`] by default — the paper's network).
+    pub topology: Topology,
     /// The MSR instance to run, or `None` for the model's mapped default.
     pub function: Option<MsrFunction>,
     /// How initial values are generated.
@@ -89,6 +93,7 @@ impl Scenario {
             max_rounds: defaults::EXPERIMENT_MAX_ROUNDS,
             mobility: defaults::worst_case_mobility(),
             corruption: defaults::worst_case_corruption(),
+            topology: Topology::Complete,
             function: None,
             workload: Workload::default(),
             allow_bound_violation: false,
@@ -135,6 +140,32 @@ impl Scenario {
     pub fn adversary(mut self, mobility: MobilityStrategy, corruption: CorruptionStrategy) -> Self {
         self.mobility = mobility;
         self.corruption = corruption;
+        self
+    }
+
+    /// Sets the communication graph (default [`Topology::Complete`]).
+    ///
+    /// Lowering validates the graph: disconnected topologies are rejected
+    /// with a typed error, and a partial graph must give every process a
+    /// closed neighbourhood of at least the model's replica requirement
+    /// `n_Mi` unless
+    /// [`allow_bound_violation`](Scenario::allow_bound_violation) is set.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mbaa::prelude::*;
+    ///
+    /// // 9 processes on a ring lattice, each hearing 2 neighbours per side.
+    /// let outcome = Scenario::new(MobileModel::Garay, 9, 1)
+    ///     .topology(Topology::Ring { k: 2 })
+    ///     .run(0)?;
+    /// assert!(outcome.rounds_executed > 0);
+    /// # Ok::<(), mbaa::Error>(())
+    /// ```
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
         self
     }
 
@@ -193,6 +224,7 @@ impl Scenario {
             .max_rounds(self.max_rounds)
             .mobility(self.mobility)
             .corruption(self.corruption)
+            .topology(self.topology.clone())
             .seed(seed);
         if let Some(function) = self.function {
             builder = builder.function(function);
@@ -216,6 +248,7 @@ impl Scenario {
             max_rounds: self.max_rounds,
             mobility: self.mobility,
             corruption: self.corruption,
+            topology: self.topology.clone(),
             function: self.function,
             seeds: seeds.into_iter().collect(),
             workload: self.workload.clone(),
@@ -293,6 +326,25 @@ impl Scenario {
             .map(|f| Scenario {
                 f,
                 n: self.model.required_processes(f) + margin,
+                ..self.clone()
+            })
+            .collect();
+        Sweep::new(points)
+    }
+
+    /// A sweep over the network connectivity: one point per topology,
+    /// everything else as in this scenario. Like every [`Sweep`], `run()`
+    /// and `stream()` flatten all `(point, seed)` pairs onto the shared
+    /// work-stealing pool, so a slow sparse point never serializes the
+    /// denser points behind it — this is the convergence-vs-degree surface
+    /// of the Li–Hurfin–Wang connectivity regimes
+    /// (see `examples/partial_connectivity.rs`).
+    #[must_use]
+    pub fn sweep_connectivity<I: IntoIterator<Item = Topology>>(&self, topologies: I) -> Sweep {
+        let points = topologies
+            .into_iter()
+            .map(|topology| Scenario {
+                topology,
                 ..self.clone()
             })
             .collect();
@@ -380,6 +432,35 @@ mod tests {
         let sweep = Scenario::at_bound(MobileModel::Buhrman, 2).sweep_n(3);
         let ns: Vec<usize> = sweep.points().iter().map(|p| p.n).collect();
         assert_eq!(ns, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn default_topology_is_complete_and_lowers_through() {
+        let s = Scenario::new(MobileModel::Garay, 9, 1);
+        assert_eq!(s.topology, Topology::Complete);
+        let ringed = s.topology(Topology::Ring { k: 2 });
+        assert_eq!(ringed.lower(3).unwrap().topology, Topology::Ring { k: 2 });
+        assert_eq!(ringed.to_experiment(0..2).topology, Topology::Ring { k: 2 });
+    }
+
+    #[test]
+    fn sweep_connectivity_varies_only_the_topology() {
+        let s = Scenario::new(MobileModel::Garay, 9, 1);
+        let sweep = s.sweep_connectivity([
+            Topology::Ring { k: 2 },
+            Topology::Ring { k: 3 },
+            Topology::Complete,
+        ]);
+        let topologies: Vec<Topology> = sweep.points().iter().map(|p| p.topology.clone()).collect();
+        assert_eq!(
+            topologies,
+            vec![
+                Topology::Ring { k: 2 },
+                Topology::Ring { k: 3 },
+                Topology::Complete,
+            ]
+        );
+        assert!(sweep.points().iter().all(|p| p.n == 9 && p.f == 1));
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! network: every round is divided into a *send* phase, a *receive* phase
 //! (where every message sent at the beginning of the round is delivered) and
 //! a *compute* phase. This crate provides that substrate as an in-process
-//! simulator:
+//! simulator, generalized to partial connectivity: every exchange is
+//! mediated by a [`Topology`] (complete by default, reproducing the paper's
+//! network exactly), and slots between non-neighbours become *structural*
+//! non-deliveries, accounted separately from omission faults:
 //!
 //! * [`Outbox`] — what one process hands to the network in the send phase:
 //!   for each destination, either a value or an omission. A correct process
@@ -16,7 +19,12 @@
 //!   always genuine.
 //! * [`SyncNetwork`] — the exchange engine that turns `n` outboxes into `n`
 //!   deliveries while enforcing the reliability guarantees (no loss, no
-//!   duplication, no creation) and recording a [`RoundTrace`].
+//!   duplication, no creation) and recording a [`RoundTrace`]. Built
+//!   [`with_topology`](SyncNetwork::with_topology), it masks delivery by
+//!   adjacency.
+//! * [`Topology`] / [`Adjacency`] — the communication graph: complete,
+//!   ring lattice, random regular, grid, or an explicit validated
+//!   adjacency matrix, with connectivity and degree queries.
 //! * [`RoundTrace`] / [`NetworkTrace`] — per-round observation records used
 //!   to classify the behaviour of each sender (benign / symmetric /
 //!   asymmetric), which is how the Table 1 mapping is validated
@@ -52,10 +60,12 @@ mod delivery;
 mod network;
 mod outbox;
 mod stats;
+mod topology;
 mod trace;
 
 pub use delivery::RoundDelivery;
 pub use network::SyncNetwork;
 pub use outbox::Outbox;
 pub use stats::NetworkStats;
+pub use topology::{Adjacency, Topology};
 pub use trace::{NetworkTrace, ObservedBehavior, RoundTrace, SenderObservation};

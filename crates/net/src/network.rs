@@ -2,18 +2,23 @@
 
 use mbaa_types::{Error, ProcessId, Result, Round};
 
-use crate::{NetworkStats, NetworkTrace, Outbox, RoundDelivery, RoundTrace};
+use crate::{Adjacency, NetworkStats, NetworkTrace, Outbox, RoundDelivery, RoundTrace};
 
-/// A fully connected, authenticated, reliable synchronous network of `n`
-/// processes.
+/// An authenticated, reliable synchronous network of `n` processes — fully
+/// connected by default, or mediated by a partial [`Adjacency`] when built
+/// [`with_topology`](SyncNetwork::with_topology).
 ///
 /// One call to [`SyncNetwork::exchange`] performs the send and receive
 /// phases of a round: it takes one [`Outbox`] per process and returns one
 /// [`RoundDelivery`] per process, guaranteeing that
 ///
-/// * every non-omitted slot is delivered exactly once (*reliability*),
+/// * every non-omitted slot between neighbours is delivered exactly once
+///   (*reliability*),
 /// * a delivered value is attributed to its true sender (*authentication*),
-/// * no value is delivered that was not sent (*no creation*).
+/// * no value is delivered that was not sent (*no creation*),
+/// * nothing crosses a missing link: non-neighbour slots are *structural*
+///   `None`s, counted in [`NetworkStats::unreachable`] (never as omission
+///   faults) and flagged per receiver in the trace.
 ///
 /// The engine also keeps a [`NetworkTrace`] of everything that was delivered
 /// (used by the Table 1 behaviour classification) and running
@@ -37,13 +42,17 @@ use crate::{NetworkStats, NetworkTrace, Outbox, RoundDelivery, RoundTrace};
 #[derive(Debug, Clone)]
 pub struct SyncNetwork {
     n: usize,
+    /// `None` means fully connected (the legacy fast path, bit-identical to
+    /// the pre-topology engine); `Some` masks delivery by adjacency.
+    topology: Option<Adjacency>,
     stats: NetworkStats,
     trace: NetworkTrace,
     record_trace: bool,
 }
 
 impl SyncNetwork {
-    /// Creates a network connecting `n` processes, with tracing enabled.
+    /// Creates a fully connected network of `n` processes, with tracing
+    /// enabled.
     ///
     /// # Panics
     ///
@@ -53,6 +62,7 @@ impl SyncNetwork {
         assert!(n > 0, "a network needs at least one process");
         SyncNetwork {
             n,
+            topology: None,
             stats: NetworkStats::new(),
             trace: NetworkTrace::new(),
             record_trace: true,
@@ -68,10 +78,31 @@ impl SyncNetwork {
         net
     }
 
+    /// Creates a network whose delivery is masked by the given adjacency:
+    /// slots between non-neighbours are structurally undeliverable. A
+    /// complete adjacency is recognized and lowered to the unmasked fast
+    /// path, so `with_topology(Adjacency::complete(n))` behaves
+    /// bit-identically to [`SyncNetwork::new`].
+    #[must_use]
+    pub fn with_topology(adjacency: Adjacency) -> Self {
+        let mut net = Self::new(adjacency.n());
+        if !adjacency.is_complete() {
+            net.topology = Some(adjacency);
+        }
+        net
+    }
+
     /// The number of connected processes.
     #[must_use]
     pub fn universe(&self) -> usize {
         self.n
+    }
+
+    /// The adjacency masking delivery, or `None` for a fully connected
+    /// network.
+    #[must_use]
+    pub fn topology(&self) -> Option<&Adjacency> {
+        self.topology.as_ref()
     }
 
     /// The accumulated traffic statistics.
@@ -121,24 +152,47 @@ impl SyncNetwork {
         }
 
         // Receive phase: transpose the outbox matrix. Slot [receiver][sender]
-        // of the delivery matrix is slot [sender][receiver] of the outboxes.
+        // of the delivery matrix is slot [sender][receiver] of the outboxes,
+        // masked to a structural None when the pair shares no link.
         let deliveries: Vec<RoundDelivery> = (0..self.n)
             .map(|r| {
                 let receiver = ProcessId::new(r);
-                let slots = outboxes.iter().map(|outbox| outbox.get(receiver)).collect();
+                let slots = match &self.topology {
+                    None => outboxes.iter().map(|outbox| outbox.get(receiver)).collect(),
+                    Some(adjacency) => outboxes
+                        .iter()
+                        .map(|outbox| {
+                            adjacency
+                                .connected(outbox.sender(), receiver)
+                                .then(|| outbox.get(receiver))
+                                .flatten()
+                        })
+                        .collect(),
+                };
                 RoundDelivery::from_slots(receiver, slots)
             })
             .collect();
 
-        // Bookkeeping.
+        // Bookkeeping. Undeliverable slots are structural, not faults: they
+        // go to `unreachable`, never to `omissions`.
         self.stats.rounds += 1;
         for delivery in &deliveries {
             let delivered = delivery.delivered_count() as u64;
+            let reachable = match &self.topology {
+                None => self.n as u64,
+                // The closed neighbourhood: the receiver always hears itself.
+                Some(adjacency) => adjacency.degree(delivery.receiver()) as u64 + 1,
+            };
             self.stats.messages_delivered += delivered;
-            self.stats.omissions += self.n as u64 - delivered;
+            self.stats.omissions += reachable - delivered;
+            self.stats.unreachable += self.n as u64 - reachable;
         }
         if self.record_trace {
-            self.trace.push(RoundTrace::from_outboxes(round, &outboxes));
+            let round_trace = match &self.topology {
+                None => RoundTrace::from_outboxes(round, &outboxes),
+                Some(adjacency) => RoundTrace::from_outboxes_masked(round, &outboxes, adjacency),
+            };
+            self.trace.push(round_trace);
         }
 
         Ok(deliveries)
@@ -255,5 +309,88 @@ mod tests {
     #[should_panic(expected = "at least one process")]
     fn zero_process_network_panics() {
         let _ = SyncNetwork::new(0);
+    }
+
+    #[test]
+    fn partial_topology_masks_non_neighbour_slots() {
+        // A path 0 — 1 — 2: the ends share no link.
+        let path = crate::Adjacency::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let mut net = SyncNetwork::with_topology(path);
+        assert!(net.topology().is_some());
+        let outboxes = vec![
+            Outbox::broadcast(3, pid(0), Value::new(0.0)),
+            Outbox::broadcast(3, pid(1), Value::new(1.0)),
+            Outbox::broadcast(3, pid(2), Value::new(2.0)),
+        ];
+        let deliveries = net.exchange(Round::ZERO, outboxes).unwrap();
+        // The middle hears everyone; the ends hear themselves, the middle,
+        // and a structural None from each other.
+        assert_eq!(deliveries[1].delivered_count(), 3);
+        assert_eq!(deliveries[0].from_sender(pid(2)), None);
+        assert_eq!(deliveries[2].from_sender(pid(0)), None);
+        assert_eq!(deliveries[0].from_sender(pid(0)), Some(Value::new(0.0)));
+        assert_eq!(deliveries[0].from_sender(pid(1)), Some(Value::new(1.0)));
+    }
+
+    #[test]
+    fn structural_non_delivery_is_not_an_omission() {
+        let path = crate::Adjacency::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let mut net = SyncNetwork::with_topology(path);
+        let outboxes = vec![
+            Outbox::broadcast(3, pid(0), Value::new(0.0)),
+            Outbox::broadcast(3, pid(1), Value::new(1.0)),
+            // A genuine omission fault, distinct from the missing 0—2 link.
+            Outbox::silent(3, pid(2)),
+        ];
+        net.exchange(Round::ZERO, outboxes).unwrap();
+        let stats = net.stats();
+        // Reachable slots: 2 + 3 + 2 = 7. p2's silence omits to its
+        // reachable audience (itself and p1); the 0—2 slots are structural.
+        assert_eq!(stats.unreachable, 2);
+        assert_eq!(stats.omissions, 2);
+        assert_eq!(stats.messages_delivered, 5);
+        assert_eq!(stats.total_slots(), 9);
+    }
+
+    #[test]
+    fn complete_topology_lowers_to_the_unmasked_fast_path() {
+        let mut masked = SyncNetwork::with_topology(crate::Adjacency::complete(3));
+        assert!(masked.topology().is_none());
+        let mut plain = SyncNetwork::new(3);
+        let outboxes = || {
+            vec![
+                Outbox::broadcast(3, pid(0), Value::new(0.5)),
+                Outbox::silent(3, pid(1)),
+                Outbox::broadcast(3, pid(2), Value::new(1.5)),
+            ]
+        };
+        let a = masked.exchange(Round::ZERO, outboxes()).unwrap();
+        let b = plain.exchange(Round::ZERO, outboxes()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(masked.stats(), plain.stats());
+        assert_eq!(masked.trace(), plain.trace());
+        assert_eq!(masked.stats().unreachable, 0);
+    }
+
+    #[test]
+    fn masked_trace_flags_unreachable_receivers() {
+        let path = crate::Adjacency::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let mut net = SyncNetwork::with_topology(path);
+        let outboxes = vec![
+            Outbox::broadcast(3, pid(0), Value::new(0.0)),
+            Outbox::broadcast(3, pid(1), Value::new(1.0)),
+            Outbox::broadcast(3, pid(2), Value::new(2.0)),
+        ];
+        net.exchange(Round::ZERO, outboxes).unwrap();
+        let trace = net.trace();
+        let obs = trace.get(0).unwrap().observation(pid(0));
+        assert!(obs.reaches(pid(1)));
+        assert!(!obs.reaches(pid(2)));
+        // A masked uniform broadcast still classifies as a broadcast, not
+        // as an asymmetric fault.
+        assert_eq!(
+            obs.classify(Some(Value::new(0.0))),
+            crate::ObservedBehavior::CorrectBroadcast
+        );
     }
 }

@@ -29,8 +29,14 @@ pub struct NetworkStats {
     pub rounds: u64,
     /// Number of point-to-point messages actually delivered.
     pub messages_delivered: u64,
-    /// Number of omitted (never sent) point-to-point messages.
+    /// Number of omitted (never sent) point-to-point messages between
+    /// *neighbours* — detected benign faults, attributable to the sender.
     pub omissions: u64,
+    /// Number of sender/receiver slots with no link between the pair —
+    /// structural non-deliveries on a partial
+    /// [`Topology`](crate::Topology), **not** faults. Always zero on a
+    /// fully connected network.
+    pub unreachable: u64,
 }
 
 impl NetworkStats {
@@ -40,10 +46,11 @@ impl NetworkStats {
         Self::default()
     }
 
-    /// Total number of sender/receiver slots processed.
+    /// Total number of sender/receiver slots processed (delivered, omitted,
+    /// and structurally unreachable).
     #[must_use]
     pub fn total_slots(&self) -> u64 {
-        self.messages_delivered + self.omissions
+        self.messages_delivered + self.omissions + self.unreachable
     }
 
     /// Average number of messages delivered per round, or `0.0` before the
@@ -62,6 +69,7 @@ impl NetworkStats {
         self.rounds += other.rounds;
         self.messages_delivered += other.messages_delivered;
         self.omissions += other.omissions;
+        self.unreachable += other.unreachable;
     }
 }
 
@@ -69,8 +77,8 @@ impl fmt::Display for NetworkStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} rounds, {} messages delivered, {} omissions",
-            self.rounds, self.messages_delivered, self.omissions
+            "{} rounds, {} messages delivered, {} omissions, {} unreachable",
+            self.rounds, self.messages_delivered, self.omissions, self.unreachable
         )
     }
 }
@@ -93,17 +101,20 @@ mod tests {
             rounds: 2,
             messages_delivered: 10,
             omissions: 1,
+            unreachable: 4,
         };
         let b = NetworkStats {
             rounds: 3,
             messages_delivered: 5,
             omissions: 2,
+            unreachable: 1,
         };
         a.merge(&b);
         assert_eq!(a.rounds, 5);
         assert_eq!(a.messages_delivered, 15);
         assert_eq!(a.omissions, 3);
-        assert_eq!(a.total_slots(), 18);
+        assert_eq!(a.unreachable, 5);
+        assert_eq!(a.total_slots(), 23);
         assert_eq!(a.messages_per_round(), 3.0);
     }
 
@@ -113,7 +124,11 @@ mod tests {
             rounds: 1,
             messages_delivered: 4,
             omissions: 0,
+            unreachable: 2,
         };
-        assert_eq!(s.to_string(), "1 rounds, 4 messages delivered, 0 omissions");
+        assert_eq!(
+            s.to_string(),
+            "1 rounds, 4 messages delivered, 0 omissions, 2 unreachable"
+        );
     }
 }

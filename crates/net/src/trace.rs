@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use mbaa_types::{ProcessId, Round, Value};
 
-use crate::Outbox;
+use crate::{Adjacency, Outbox};
 
 /// The behaviour of a sender in one round, as perceived by the receivers.
 ///
@@ -49,16 +49,27 @@ impl fmt::Display for ObservedBehavior {
     }
 }
 
-/// What one sender delivered to each receiver in one round.
+/// What one sender delivered to each receiver in one round, together with
+/// which receivers the sender could structurally reach at all.
+///
+/// On a partial [`Topology`](crate::Topology) a non-neighbour's slot is
+/// always empty — that is a property of the graph, not of the sender's
+/// behaviour, so [`classify`](SenderObservation::classify) only looks at
+/// the reachable slots and unreachable receivers are flagged separately
+/// (see [`reaches`](SenderObservation::reaches)).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SenderObservation {
     sender: ProcessId,
     delivered: Vec<Option<Value>>,
+    /// `reachable[r]` is `false` when the sender shares no link with `r`
+    /// (all `true` on a fully connected network).
+    reachable: Vec<bool>,
 }
 
 impl SenderObservation {
     /// Builds the observation of a sender from its outbox (what the network
-    /// actually delivered, since the network is reliable).
+    /// actually delivered, since the network is reliable) on a fully
+    /// connected network.
     #[must_use]
     pub fn from_outbox(outbox: &Outbox) -> Self {
         SenderObservation {
@@ -66,6 +77,33 @@ impl SenderObservation {
             delivered: (0..outbox.universe())
                 .map(|i| outbox.get(ProcessId::new(i)))
                 .collect(),
+            reachable: vec![true; outbox.universe()],
+        }
+    }
+
+    /// Builds the observation of a sender whose delivery was masked by a
+    /// partial adjacency: non-neighbour slots become structural `None`s and
+    /// are flagged unreachable.
+    #[must_use]
+    pub fn from_outbox_masked(outbox: &Outbox, adjacency: &Adjacency) -> Self {
+        let sender = outbox.sender();
+        let reachable: Vec<bool> = (0..outbox.universe())
+            .map(|i| adjacency.connected(sender, ProcessId::new(i)))
+            .collect();
+        SenderObservation {
+            sender,
+            delivered: reachable
+                .iter()
+                .enumerate()
+                .map(|(i, &linked)| {
+                    if linked {
+                        outbox.get(ProcessId::new(i))
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+            reachable,
         }
     }
 
@@ -75,7 +113,9 @@ impl SenderObservation {
         self.sender
     }
 
-    /// What the given receiver got from this sender.
+    /// What the given receiver got from this sender (`None` for both
+    /// omissions and structurally unreachable receivers; disambiguate with
+    /// [`reaches`](SenderObservation::reaches)).
     ///
     /// # Panics
     ///
@@ -85,7 +125,30 @@ impl SenderObservation {
         self.delivered[receiver.index()]
     }
 
-    /// Classifies the sender's behaviour this round.
+    /// Returns `true` when the sender shares a link with `receiver` (always
+    /// `true` on a fully connected network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `receiver` is outside the universe.
+    #[must_use]
+    pub fn reaches(&self, receiver: ProcessId) -> bool {
+        self.reachable[receiver.index()]
+    }
+
+    /// The receivers the sender shares no link with, in ascending order
+    /// (empty on a fully connected network).
+    #[must_use]
+    pub fn unreachable_receivers(&self) -> Vec<ProcessId> {
+        self.reachable
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &linked)| (!linked).then_some(ProcessId::new(i)))
+            .collect()
+    }
+
+    /// Classifies the sender's behaviour this round, considering only the
+    /// receivers it can structurally reach.
     ///
     /// `expected` is the vote a correct process in the sender's position
     /// would have broadcast (when known); it separates
@@ -95,17 +158,24 @@ impl SenderObservation {
     /// `CorrectBroadcast`.
     #[must_use]
     pub fn classify(&self, expected: Option<Value>) -> ObservedBehavior {
-        let all_omitted = self.delivered.iter().all(Option::is_none);
-        if all_omitted {
+        let mut slots = self
+            .delivered
+            .iter()
+            .zip(&self.reachable)
+            .filter_map(|(slot, &linked)| linked.then_some(*slot));
+        let Some(first) = slots.next() else {
+            // No reachable receiver at all (an isolated sender): nothing
+            // observable beyond silence.
             return ObservedBehavior::Benign;
-        }
-        let first = self.delivered[0];
-        let uniform = self.delivered.iter().all(|d| *d == first);
-        if !uniform {
+        };
+        if !slots.all(|d| d == first) {
             return ObservedBehavior::Asymmetric;
         }
-        // Uniform and not all omitted => first is Some.
-        let value = first.expect("uniform non-omitted observation has a value");
+        // Uniform: either omitted everywhere it reaches (benign) or the
+        // same value everywhere it reaches.
+        let Some(value) = first else {
+            return ObservedBehavior::Benign;
+        };
         match expected {
             Some(e) if e != value => ObservedBehavior::Symmetric,
             _ => ObservedBehavior::CorrectBroadcast,
@@ -129,6 +199,20 @@ impl RoundTrace {
             observations: outboxes
                 .iter()
                 .map(SenderObservation::from_outbox)
+                .collect(),
+        }
+    }
+
+    /// Builds the round trace of a topology-mediated exchange: every
+    /// observation is masked by the adjacency and flags its unreachable
+    /// receivers.
+    #[must_use]
+    pub fn from_outboxes_masked(round: Round, outboxes: &[Outbox], adjacency: &Adjacency) -> Self {
+        RoundTrace {
+            round,
+            observations: outboxes
+                .iter()
+                .map(|outbox| SenderObservation::from_outbox_masked(outbox, adjacency))
                 .collect(),
         }
     }
@@ -306,6 +390,65 @@ mod tests {
         assert_eq!(trace.get(0).unwrap().round(), Round::ZERO);
         assert_eq!(trace.last().unwrap().round(), Round::new(1));
         assert_eq!(trace.iter().count(), 2);
+    }
+
+    #[test]
+    fn masked_observation_ignores_unreachable_slots() {
+        // 0 — 1 linked, 2 unreachable from 0.
+        let adjacency = Adjacency::from_edges(3, [(0, 1)]).unwrap();
+        let outbox = Outbox::broadcast(3, pid(0), Value::new(1.0));
+        let obs = SenderObservation::from_outbox_masked(&outbox, &adjacency);
+        // The masked slot reads as None but is flagged structural…
+        assert_eq!(obs.delivered_to(pid(2)), None);
+        assert!(!obs.reaches(pid(2)));
+        assert!(obs.reaches(pid(1)));
+        assert_eq!(obs.unreachable_receivers(), vec![pid(2)]);
+        // …and the classification only judges the reachable audience: a
+        // uniform broadcast stays a broadcast, not an asymmetric fault.
+        assert_eq!(
+            obs.classify(Some(Value::new(1.0))),
+            ObservedBehavior::CorrectBroadcast
+        );
+        assert_eq!(
+            obs.classify(Some(Value::new(2.0))),
+            ObservedBehavior::Symmetric
+        );
+    }
+
+    #[test]
+    fn masked_silence_is_benign_and_masked_mixture_is_asymmetric() {
+        let adjacency = Adjacency::from_edges(3, [(0, 1), (0, 2)]).unwrap();
+        let silent = SenderObservation::from_outbox_masked(&Outbox::silent(3, pid(0)), &adjacency);
+        assert_eq!(silent.classify(None), ObservedBehavior::Benign);
+
+        let mixed = SenderObservation::from_outbox_masked(
+            &Outbox::per_receiver(
+                pid(0),
+                vec![Some(Value::new(0.0)), Some(Value::new(1.0)), None],
+            ),
+            &adjacency,
+        );
+        assert_eq!(mixed.classify(None), ObservedBehavior::Asymmetric);
+    }
+
+    #[test]
+    fn fully_connected_observation_reaches_everyone() {
+        let outbox = Outbox::broadcast(2, pid(0), Value::new(1.0));
+        let obs = SenderObservation::from_outbox(&outbox);
+        assert!(obs.reaches(pid(0)) && obs.reaches(pid(1)));
+        assert!(obs.unreachable_receivers().is_empty());
+    }
+
+    #[test]
+    fn masked_round_trace_carries_reachability() {
+        let adjacency = Adjacency::from_edges(2, []).unwrap();
+        let outboxes = vec![
+            Outbox::broadcast(2, pid(0), Value::new(1.0)),
+            Outbox::broadcast(2, pid(1), Value::new(2.0)),
+        ];
+        let trace = RoundTrace::from_outboxes_masked(Round::ZERO, &outboxes, &adjacency);
+        assert!(!trace.observation(pid(0)).reaches(pid(1)));
+        assert!(trace.observation(pid(0)).reaches(pid(0)));
     }
 
     #[test]

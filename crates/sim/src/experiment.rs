@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
 use mbaa_core::{MobileEngine, MobileRunOutcome, ProtocolConfig};
 use mbaa_msr::MsrFunction;
+use mbaa_net::Topology;
 use mbaa_types::{MobileModel, Result};
 
 use crate::Workload;
@@ -37,6 +38,9 @@ pub struct ExperimentConfig {
     pub mobility: MobilityStrategy,
     /// The adversary's corruption strategy.
     pub corruption: CorruptionStrategy,
+    /// The communication graph every exchange is mediated by — recorded
+    /// here so summary-level results stay self-describing.
+    pub topology: Topology,
     /// The MSR instance to run, or `None` for the model's default.
     pub function: Option<MsrFunction>,
     /// The seeds to evaluate (one full protocol run per seed).
@@ -60,6 +64,7 @@ impl ExperimentConfig {
             .max_rounds(self.max_rounds)
             .mobility(self.mobility)
             .corruption(self.corruption)
+            .topology(self.topology.clone())
             .seed(seed);
         if let Some(function) = self.function {
             builder = builder.function(function);
@@ -254,6 +259,7 @@ mod tests {
             max_rounds: 300,
             mobility: MobilityStrategy::TargetExtremes,
             corruption: CorruptionStrategy::split_attack(),
+            topology: Topology::Complete,
             function: None,
             seeds: seeds.collect(),
             workload: Workload::default(),
@@ -311,6 +317,21 @@ mod tests {
         // Every run records its initial diameter even when the contraction
         // factor is unmeasurable (exact agreement reached in one step).
         assert!(result.runs.iter().all(|r| r.initial_diameter > 0.0));
+    }
+
+    #[test]
+    fn topology_is_recorded_and_threaded_through_lowering() {
+        let config = ExperimentConfig {
+            topology: Topology::Ring { k: 2 },
+            ..point(MobileModel::Garay, 9, 1, 0..2)
+        };
+        let result = run_experiment(&config).unwrap();
+        // Summary-level results stay self-describing: the topology rides
+        // along in the recorded configuration.
+        assert_eq!(result.config.topology, Topology::Ring { k: 2 });
+        assert_eq!(result.runs.len(), 2);
+        let protocol = config.protocol_config(0).unwrap();
+        assert_eq!(protocol.topology, Topology::Ring { k: 2 });
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! ```
 //! use mbaa_sim::{run_experiment, ExperimentConfig, Workload};
 //! use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
+//! use mbaa_net::Topology;
 //! use mbaa_types::MobileModel;
 //!
 //! // The lowered form is plain data (`mbaa::Scenario` produces it for you).
@@ -37,6 +38,7 @@
 //!     max_rounds: 300,
 //!     mobility: MobilityStrategy::TargetExtremes,
 //!     corruption: CorruptionStrategy::split_attack(),
+//!     topology: Topology::Complete,
 //!     function: None,
 //!     seeds: (0..5).collect(),
 //!     workload: Workload::UniformSpread { lo: 0.0, hi: 1.0 },

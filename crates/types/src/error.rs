@@ -38,6 +38,30 @@ pub enum Error {
         /// The number of processes in the system.
         n: usize,
     },
+    /// The configured network topology is not connected: some process pair
+    /// has no path at all, so no agreement protocol can relate their
+    /// values.
+    DisconnectedTopology {
+        /// The number of processes in the system.
+        n: usize,
+        /// The number of connected components the graph splits into.
+        components: usize,
+    },
+    /// The configured network topology is too sparse for the model's
+    /// resilience requirement: the worst-placed process hears fewer
+    /// processes per round (its closed neighbourhood) than the model's
+    /// replica bound `n_Mi` demands — the degree-dependent analogue of the
+    /// global `n > c·f` checks.
+    InsufficientConnectivity {
+        /// The model whose bound is violated.
+        model: MobileModel,
+        /// The number of mobile agents configured.
+        f: usize,
+        /// The smallest closed neighbourhood (degree + 1) in the graph.
+        min_neighborhood: usize,
+        /// The processes-per-neighbourhood the model requires.
+        required: usize,
+    },
     /// The number of initial values does not match the number of processes.
     WrongInputCount {
         /// Number of initial values provided.
@@ -74,6 +98,22 @@ impl fmt::Display for Error {
             Error::InsufficientProcessesMixed { n, required } => write!(
                 f,
                 "mixed-mode fault counts require n >= {required}, got n={n}"
+            ),
+            Error::DisconnectedTopology { n, components } => write!(
+                f,
+                "topology over {n} processes is disconnected ({components} components); \
+                 agreement requires a connected communication graph"
+            ),
+            Error::InsufficientConnectivity {
+                model,
+                f: agents,
+                min_neighborhood,
+                required,
+            } => write!(
+                f,
+                "{model} with f={agents} agents requires every process to hear at least \
+                 {required} processes per round, but the sparsest neighbourhood holds only \
+                 {min_neighborhood}"
             ),
             Error::UnknownProcess { process, n } => {
                 write!(f, "process {process} is outside the universe of {n} processes")
@@ -137,6 +177,21 @@ mod tests {
 
         let e = Error::InvalidParameter("epsilon must be positive".into());
         assert!(e.to_string().contains("epsilon"));
+
+        let e = Error::DisconnectedTopology {
+            n: 6,
+            components: 2,
+        };
+        assert!(e.to_string().contains("2 components"));
+
+        let e = Error::InsufficientConnectivity {
+            model: MobileModel::Garay,
+            f: 1,
+            min_neighborhood: 3,
+            required: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("Garay") && msg.contains("at least 5") && msg.contains("only 3"));
     }
 
     #[test]

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare two directories of BENCH_*.json reports and emit a Markdown diff.
+
+Usage: bench_diff.py BASELINE_DIR CURRENT_DIR [--threshold PCT]
+
+Each BENCH_<binary>.json (written by the vendored criterion shim under
+MBAA_BENCH_JSON) is an array of {group, id, mean_ns, min_ns, samples}
+records. Benchmarks are matched by (file name, group, id); mean_ns is
+compared and any regression above the threshold (default 15%) is flagged.
+
+The Markdown goes to stdout (append it to $GITHUB_STEP_SUMMARY in CI). The
+exit code is always 0: CI smoke runners are noisy, so regressions are
+flagged for humans, not used to fail the build.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_records(directory: Path) -> dict:
+    """Map (file, group, id) -> record for every BENCH_*.json in directory."""
+    records = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            entries = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"<!-- skipping unreadable {path.name}: {err} -->")
+            continue
+        for entry in entries:
+            if not isinstance(entry, dict) or not isinstance(entry.get("mean_ns"), (int, float)):
+                print(f"<!-- skipping malformed record in {path.name}: {entry!r} -->")
+                continue
+            key = (path.name, entry.get("group", ""), entry.get("id", ""))
+            records[key] = entry
+    return records
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument("--threshold", type=float, default=15.0,
+                        help="regression threshold in percent (default 15)")
+    args = parser.parse_args()
+
+    print("## Benchmark diff")
+    print()
+
+    if not args.baseline.is_dir():
+        print(f"No baseline directory at `{args.baseline}` "
+              "(first run, or the previous artifact expired) — nothing to compare.")
+        return 0
+
+    baseline = load_records(args.baseline)
+    current = load_records(args.current)
+    if not baseline or not current:
+        print("Baseline or current run holds no BENCH_*.json records — nothing to compare.")
+        return 0
+
+    rows = []
+    regressions = 0
+    for key, cur in sorted(current.items()):
+        base = baseline.get(key)
+        name = f"{key[1]}/{key[2]}"
+        if base is None or not base.get("mean_ns"):
+            rows.append((name, "-", cur["mean_ns"], "new", ""))
+            continue
+        change = (cur["mean_ns"] - base["mean_ns"]) / base["mean_ns"] * 100.0
+        flag = ""
+        if change > args.threshold:
+            flag = f"⚠️ regression > {args.threshold:.0f}%"
+            regressions += 1
+        elif change < -args.threshold:
+            flag = "✅ improvement"
+        rows.append((name, base["mean_ns"], cur["mean_ns"], f"{change:+.1f}%", flag))
+
+    removed = sorted(set(baseline) - set(current))
+
+    print("| benchmark | baseline mean | current mean | change | |")
+    print("|---|---|---|---|---|")
+    for name, base_ns, cur_ns, change, flag in rows:
+        base_cell = f"{base_ns:,.0f} ns" if isinstance(base_ns, (int, float)) else base_ns
+        cur_cell = f"{cur_ns:,.0f} ns" if isinstance(cur_ns, (int, float)) else cur_ns
+        print(f"| {name} | {base_cell} | {cur_cell} | {change} | {flag} |")
+    for key in removed:
+        print(f"| {key[1]}/{key[2]} | - | - | removed | |")
+    print()
+    if regressions:
+        print(f"**{regressions} benchmark(s) regressed by more than "
+              f"{args.threshold:.0f}% — worth a look before merging.**")
+    else:
+        print(f"No regression above {args.threshold:.0f}%.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

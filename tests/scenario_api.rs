@@ -164,3 +164,65 @@ fn streaming_summaries_match_the_eager_batch() {
     assert_eq!(scenario.batch(0..8).stream().unwrap(), eager);
     assert_eq!(scenario.batch(0..8).workers(1).stream().unwrap(), eager);
 }
+
+#[test]
+fn explicit_complete_topology_is_byte_identical_to_the_default_single_runs() {
+    // The topology axis must not perturb the legacy engine: an explicit
+    // Topology::Complete and the default (no `.topology(...)` call at all)
+    // produce byte-identical outcomes for every model and seed.
+    for model in MobileModel::ALL {
+        let default_scenario = scenario_for(model);
+        let explicit = default_scenario.clone().topology(Topology::Complete);
+        for seed in 0..6 {
+            let via_default = default_scenario.run(seed).unwrap();
+            let via_explicit = explicit.run(seed).unwrap();
+            assert_eq!(via_default, via_explicit, "{model} seed {seed} diverged");
+            assert_eq!(
+                format!("{via_default:?}").into_bytes(),
+                format!("{via_explicit:?}").into_bytes(),
+                "{model} seed {seed} renderings diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn explicit_complete_topology_is_identical_on_every_execution_path() {
+    // run() is covered above; batch, stream, summarize, and the flattened
+    // sweep must agree too, for more than one worker budget.
+    let default_scenario = scenario_for(MobileModel::Garay);
+    let explicit = default_scenario.clone().topology(Topology::Complete);
+
+    let batch_default = default_scenario.batch(0..6).run().unwrap();
+    let batch_explicit = explicit.batch(0..6).run().unwrap();
+    for ((_, a), (_, b)) in batch_default.iter().zip(batch_explicit.iter()) {
+        assert_eq!(a, b, "batch path diverged");
+    }
+    assert_eq!(
+        batch_default.to_experiment_result().runs,
+        batch_explicit.to_experiment_result().runs
+    );
+
+    for workers in [1usize, 4] {
+        assert_eq!(
+            default_scenario
+                .batch(0..6)
+                .workers(workers)
+                .stream()
+                .unwrap()
+                .runs,
+            explicit.batch(0..6).workers(workers).stream().unwrap().runs,
+            "stream path diverged at {workers} workers"
+        );
+    }
+    assert_eq!(
+        default_scenario.batch(0..6).summarize().unwrap().runs,
+        explicit.batch(0..6).summarize().unwrap().runs
+    );
+
+    let sweep_default = default_scenario.sweep_n(1).seeds(0..3).run().unwrap();
+    let sweep_explicit = explicit.sweep_n(1).seeds(0..3).run().unwrap();
+    for (a, b) in sweep_default.iter().zip(&sweep_explicit) {
+        assert_eq!(a.outcome.runs, b.outcome.runs, "sweep path diverged");
+    }
+}

@@ -9,15 +9,26 @@
 //! Work is **not** split into static per-worker chunks. Every item of the
 //! input becomes one slot in a shared pool, and a single atomic cursor
 //! ([`AtomicUsize`]) is the head of the remaining work: each worker claims
-//! the next unclaimed index with `fetch_add`, processes that item, and
-//! loops. A worker that drew only cheap items therefore keeps pulling work
-//! that a static chunking would have left stranded behind a slow neighbour
-//! — the classic uneven-run-length problem in threshold sweeps. Results
-//! carry their input index and are reassembled in input order after all
-//! workers join, so collection order (and the collected value, for any
-//! deterministic `f`) is identical for every worker count and every steal
-//! interleaving. Panics in workers propagate to the caller, exactly like
-//! real rayon. See `vendor/README.md` for why this crate exists.
+//! a **batch of consecutive indices** with one `fetch_add(k)`, processes
+//! them, and loops. A worker that drew only cheap items therefore keeps
+//! pulling work that a static chunking would have left stranded behind a
+//! slow neighbour — the classic uneven-run-length problem in threshold
+//! sweeps.
+//!
+//! The claim size `k` amortizes atomic traffic on micro-runs (thousands of
+//! sub-millisecond items would otherwise serialize on the cursor's cache
+//! line) while staying far smaller than `len / workers`, so the tail of
+//! the pool — the *remainder* — is still stolen batch by batch by whichever
+//! workers free up first. `k` is chosen per call (`claim_size`): 1 for
+//! small inputs (maximum balance), growing logarithmically and capped so
+//! every worker sees many batches.
+//!
+//! Results carry their input index and are reassembled in input order
+//! after all workers join, so collection order (and the collected value,
+//! for any deterministic `f`) is identical for every worker count and
+//! every claim size — asserted by the tests over widths × claim sizes.
+//! Panics in workers propagate to the caller, exactly like real rayon. See
+//! `vendor/README.md` for why this crate exists.
 
 #![forbid(unsafe_code)]
 
@@ -57,6 +68,21 @@ pub fn current_num_threads() -> usize {
     worker_count(usize::MAX)
 }
 
+/// The number of consecutive indices one `fetch_add` claims for `len`
+/// items on `workers` workers.
+///
+/// Batching exists purely to cut atomic/cache-line traffic on micro-runs;
+/// it must never reintroduce the static-chunking imbalance. Two guards
+/// keep it honest: claims grow only logarithmically with the per-worker
+/// share (1 below 32 items/worker, then 2, 4, … capped at 32), and a claim
+/// never exceeds 1/8 of a worker's share, so every worker has at least ~8
+/// opportunities to steal from the remainder of the pool.
+fn claim_size(len: usize, workers: usize) -> usize {
+    let share = len / workers.max(1);
+    let log_growth = (share / 32).next_power_of_two().min(32);
+    log_growth.min((share / 8).max(1))
+}
+
 /// Runs `f` over `items` in parallel with work stealing, preserving input
 /// order in the output.
 fn par_map_vec<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
@@ -66,9 +92,23 @@ where
     F: Fn(T) -> U + Sync,
 {
     let workers = worker_count(items.len());
+    let claim = claim_size(items.len(), workers);
+    par_map_vec_batched(items, f, workers, claim)
+}
+
+/// [`par_map_vec`] with an explicit worker count and claim (batch) size —
+/// the output is bit-identical for *every* combination, which the tests
+/// assert directly.
+fn par_map_vec_batched<T, U, F>(items: Vec<T>, f: &F, workers: usize, claim: usize) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
+    let claim = claim.max(1);
     // One slot per item. The per-slot mutex only exists to move the item
     // out safely; `cursor` hands every index to exactly one worker, so the
     // locks are never contended.
@@ -81,16 +121,22 @@ where
                 scope.spawn(|| {
                     let mut produced = Vec::new();
                     loop {
-                        let index = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(slot) = slots.get(index) else {
+                        // Claim a batch of `claim` consecutive indices with
+                        // one atomic op; the batch may run past the end, in
+                        // which case only the in-range prefix exists.
+                        let start = cursor.fetch_add(claim, Ordering::Relaxed);
+                        if start >= slots.len() {
                             break;
-                        };
-                        let item = slot
-                            .lock()
-                            .expect("no worker panics while holding a slot lock")
-                            .take()
-                            .expect("every index is claimed exactly once");
-                        produced.push((index, f(item)));
+                        }
+                        let end = start.saturating_add(claim).min(slots.len());
+                        for (offset, slot) in slots[start..end].iter().enumerate() {
+                            let item = slot
+                                .lock()
+                                .expect("no worker panics while holding a slot lock")
+                                .take()
+                                .expect("every index is claimed exactly once");
+                            produced.push((start + offset, f(item)));
+                        }
                     }
                     produced
                 })
@@ -105,7 +151,8 @@ where
     });
     // Reassemble in input order: concatenate the workers' (index, value)
     // pairs and sort by index. The sort is the only order-restoring step,
-    // so the output is independent of the steal interleaving.
+    // so the output is independent of the steal interleaving and the claim
+    // size.
     let mut merged: Vec<(usize, U)> = per_worker.into_iter().flatten().collect();
     merged.sort_unstable_by_key(|&(index, _)| index);
     merged.into_iter().map(|(_, value)| value).collect()
@@ -373,6 +420,76 @@ mod tests {
             pool.install(|| {
                 let _: Vec<u32> = vec![1u32].into_par_iter().map(|_| panic!("one")).collect();
             });
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn results_are_identical_for_every_claim_size_and_worker_count() {
+        let input: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = input.iter().map(|&x| x * 3 + 1).collect();
+        for workers in [2usize, 3, 8] {
+            for claim in [1usize, 2, 3, 7, 32, 300] {
+                let got = par_map_vec_batched(input.clone(), &|x| x * 3 + 1, workers, claim);
+                assert_eq!(
+                    got, expected,
+                    "{workers} workers with claim {claim} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_claims_balance_uneven_costs() {
+        // A slow item at the front must not strand the tail: the remainder
+        // is stolen batch by batch by the free worker.
+        let input: Vec<u64> = (0..96).collect();
+        let out = par_map_vec_batched(
+            input,
+            &|x| {
+                if x == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                x
+            },
+            4,
+            4,
+        );
+        assert_eq!(out, (0..96).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn claim_size_stays_small_relative_to_the_share() {
+        // Tiny inputs claim one item at a time: balance beats batching.
+        assert_eq!(claim_size(10, 4), 1);
+        assert_eq!(claim_size(100, 4), 1);
+        assert_eq!(claim_size(0, 4), 1);
+        // Micro-run regime: claims grow, but every worker still sees at
+        // least ~8 batches of remainder to steal.
+        for (len, workers) in [(1_000usize, 4usize), (10_000, 8), (100_000, 2)] {
+            let claim = claim_size(len, workers);
+            assert!((1..=32).contains(&claim));
+            assert!(
+                claim <= (len / workers / 8).max(1),
+                "claim {claim} too coarse for {len} items on {workers} workers"
+            );
+        }
+        assert_eq!(claim_size(100_000, 4), 32);
+    }
+
+    #[test]
+    fn batched_worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            let v: Vec<u32> = (0..64).collect();
+            let _ = par_map_vec_batched(
+                v,
+                &|x| {
+                    assert!(x != 17, "injected batched panic");
+                    x
+                },
+                4,
+                8,
+            );
         });
         assert!(caught.is_err());
     }
