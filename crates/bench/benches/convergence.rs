@@ -2,8 +2,12 @@
 //! bound, rounds-to-ε-agreement as `n` grows, and the mobile-vs-static
 //! equivalence of Theorem 1 — all driven through the `Scenario` API.
 //!
-//! Run with `cargo bench -p mbaa-bench --bench convergence`.
+//! Run with `cargo bench -p mbaa-bench --bench convergence`. With
+//! `MBAA_BENCH_JSON=<dir>` set, the per-experiment summary metrics are
+//! also written as machine-readable rows to `BENCH_convergence.json`,
+//! which `scripts/bench_diff.py` diffs across commits.
 
+use criterion::{record_metric, write_json_report};
 use mbaa::msr::convergence::predicted_rounds;
 use mbaa::prelude::*;
 use mbaa::sim::report::{fmt_f64, fmt_opt_f64, Table};
@@ -33,6 +37,22 @@ fn f1_single_step_contraction() {
             batch.all_succeeded().to_string(),
         ]);
         assert!(batch.all_succeeded(), "{model} failed at its bound");
+        if let Some(factor) = factor {
+            record_metric(
+                "f1",
+                &format!("{}/contraction", model.short_name()),
+                factor,
+                "factor",
+            );
+        }
+        if let Some(rounds) = batch.mean_rounds() {
+            record_metric(
+                "f1",
+                &format!("{}/mean_rounds", model.short_name()),
+                rounds,
+                "rounds",
+            );
+        }
     }
     println!("{table}");
 }
@@ -64,6 +84,14 @@ fn f2_rounds_vs_n() {
                 "{model} n={} failed",
                 point.scenario.n
             );
+            if let Some(summary) = summary {
+                record_metric(
+                    "f2",
+                    &format!("{}/n={}/mean_rounds", model.short_name(), point.scenario.n),
+                    summary.mean,
+                    "rounds",
+                );
+            }
         }
     }
     println!("{table}");
@@ -103,6 +131,16 @@ fn f3_mobile_vs_static() {
             fmt_opt_f64(Summary::of(&final_diameters).map(|s| s.mean), 6),
             all_converged.to_string(),
         ]);
+        for (side, rounds) in [("mobile", &mobile_rounds), ("static", &static_rounds)] {
+            if let Some(summary) = Summary::of(rounds) {
+                record_metric(
+                    "f3",
+                    &format!("{}/{side}_rounds", model.short_name()),
+                    summary.mean,
+                    "rounds",
+                );
+            }
+        }
     }
     println!("{table}");
 }
@@ -113,4 +151,5 @@ fn main() {
     f2_rounds_vs_n();
     f3_mobile_vs_static();
     println!("All convergence experiments match the paper's claims (P1/P2 contraction, Theorem 1 equivalence).");
+    write_json_report();
 }

@@ -2,8 +2,12 @@
 //! cured behaviour in the mobile Byzantine models and the Mixed-Mode fault
 //! classes, reproduced empirically by classifying instrumented executions.
 //!
-//! Run with `cargo bench -p mbaa-bench --bench table1_mapping`.
+//! Run with `cargo bench -p mbaa-bench --bench table1_mapping`. With
+//! `MBAA_BENCH_JSON=<dir>` set, the observed behaviour counts are also
+//! written as machine-readable rows to `BENCH_table1_mapping.json`, which
+//! `scripts/bench_diff.py` diffs across commits.
 
+use criterion::{record_metric, write_json_report};
 use mbaa::core::mapping::{classify_execution, theoretical_table};
 use mbaa::prelude::*;
 use mbaa::sim::report::Table;
@@ -68,8 +72,31 @@ fn main() {
             "empirical mapping diverged from Table 1 for {}",
             row.model
         );
+
+        let model = row.model.short_name();
+        for (role, (benign, symmetric, asymmetric)) in [("faulty", faulty), ("cured", cured)] {
+            record_metric(
+                "table1",
+                &format!("{model}/{role}_benign"),
+                benign as f64,
+                "count",
+            );
+            record_metric(
+                "table1",
+                &format!("{model}/{role}_symmetric"),
+                symmetric as f64,
+                "count",
+            );
+            record_metric(
+                "table1",
+                &format!("{model}/{role}_asymmetric"),
+                asymmetric as f64,
+                "count",
+            );
+        }
     }
 
     println!("{table}");
     println!("Every model's observed faulty/cured behaviour matches Table 1 of the paper.");
+    write_json_report();
 }

@@ -2,8 +2,12 @@
 //! plus an empirical sweep locating the smallest `n` at which every seeded
 //! worst-case run reaches ε-agreement with validity.
 //!
-//! Run with `cargo bench -p mbaa-bench --bench table2_replicas`.
+//! Run with `cargo bench -p mbaa-bench --bench table2_replicas`. With
+//! `MBAA_BENCH_JSON=<dir>` set, the empirical thresholds are also written
+//! as machine-readable rows to `BENCH_table2_replicas.json`, which
+//! `scripts/bench_diff.py` diffs across commits.
 
+use criterion::{record_metric, write_json_report};
 use mbaa::core::bounds::{empirical_threshold, table2, ThresholdSearch};
 use mbaa::prelude::*;
 use mbaa::sim::report::Table;
@@ -65,10 +69,17 @@ fn main() {
                 result.theoretical_is_sufficient().to_string(),
                 successes,
             ]);
+            record_metric(
+                "table2",
+                &format!("{}/f={f}/empirical_threshold", model.short_name()),
+                result.empirical as f64,
+                "n",
+            );
         }
     }
     println!("{empirical}");
     println!("The theoretical requirement of Table 2 is sufficient in every sweep; the empirical");
     println!("threshold may sit lower because a concrete adversary is not optimal (tightness is");
     println!("shown by the lowerbounds bench).");
+    write_json_report();
 }

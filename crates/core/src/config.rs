@@ -4,8 +4,10 @@ use serde::{Deserialize, Serialize};
 
 use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
 use mbaa_msr::MsrFunction;
-use mbaa_net::Topology;
-use mbaa_types::{Epsilon, Error, MobileModel, Result};
+use mbaa_net::{
+    Adjacency, DirectedAdjacency, DisconnectionPolicy, LinkFaultPlan, Topology, TopologySchedule,
+};
+use mbaa_types::{Epsilon, Error, MobileModel, ProcessId, Result};
 
 /// The single source of truth for every default the workspace fills in when
 /// a knob is left unspecified. The `Scenario` entry point in the `mbaa`
@@ -87,6 +89,18 @@ pub struct ProtocolConfig {
     /// The communication graph mediating every exchange
     /// ([`Topology::Complete`] reproduces the paper's network exactly).
     pub topology: Topology,
+    /// The per-round topology schedule, or `None` for the static
+    /// [`topology`](ProtocolConfig::topology) axis. When set, the (then
+    /// necessarily default-complete) static topology is ignored and the
+    /// schedule's realized graph of each round masks delivery.
+    pub schedule: Option<TopologySchedule>,
+    /// Per-link omission/delay faults layered on the structural mask
+    /// (clean by default — the paper's reliable links).
+    pub link_faults: LinkFaultPlan,
+    /// What a dynamic schedule does with a transiently disconnected round:
+    /// record it in the network statistics (default) or reject the run
+    /// with a typed error.
+    pub disconnection: DisconnectionPolicy,
     /// The MSR instance run by non-faulty processes.
     pub function: MsrFunction,
     /// Seed of all adversarial randomness.
@@ -128,6 +142,9 @@ pub struct ProtocolConfigBuilder {
     mobility: MobilityStrategy,
     corruption: CorruptionStrategy,
     topology: Topology,
+    schedule: Option<TopologySchedule>,
+    link_faults: LinkFaultPlan,
+    disconnection: DisconnectionPolicy,
     function: Option<MsrFunction>,
     seed: u64,
     allow_bound_violation: bool,
@@ -144,6 +161,9 @@ impl ProtocolConfigBuilder {
             mobility: MobilityStrategy::default(),
             corruption: CorruptionStrategy::default(),
             topology: Topology::Complete,
+            schedule: None,
+            link_faults: LinkFaultPlan::default(),
+            disconnection: DisconnectionPolicy::default(),
             function: None,
             seed: 0,
             allow_bound_violation: false,
@@ -196,6 +216,43 @@ impl ProtocolConfigBuilder {
         self
     }
 
+    /// Sets a per-round topology schedule — the mobile-network axis. The
+    /// static topology must stay at its default ([`Topology::Complete`]);
+    /// schedule a static graph with
+    /// [`TopologySchedule::Static`] instead of setting both knobs.
+    ///
+    /// [`build`](ProtocolConfigBuilder::build) realizes and validates the
+    /// schedule: the static graph or churn base must be connected (the
+    /// typed [`Error::DisconnectedTopology`], never waived) and satisfy
+    /// the model's degree-dependent resilience requirement unless bound
+    /// violations are allowed. Periodic phases are held to the same checks
+    /// under the [`DisconnectionPolicy::Reject`] policy; under the default
+    /// [`DisconnectionPolicy::Record`] policy a phase may be transiently
+    /// disconnected or sparse — the Li–Hurfin–Wang evolving-graph regime,
+    /// where only the union over a window carries the bound.
+    #[must_use]
+    pub fn topology_schedule(mut self, schedule: TopologySchedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Sets the per-link omission/delay fault plan (default clean — the
+    /// paper's reliable links). [`build`](ProtocolConfigBuilder::build)
+    /// validates every rule against the universe with typed errors.
+    #[must_use]
+    pub fn link_faults(mut self, link_faults: LinkFaultPlan) -> Self {
+        self.link_faults = link_faults;
+        self
+    }
+
+    /// Sets the per-round disconnection policy of a dynamic schedule
+    /// (default [`DisconnectionPolicy::Record`]).
+    #[must_use]
+    pub fn disconnection(mut self, policy: DisconnectionPolicy) -> Self {
+        self.disconnection = policy;
+        self
+    }
+
     /// Sets the MSR instance explicitly. By default the builder picks
     /// [`MsrFunction::for_fault_counts`] with the model's mapped fault
     /// counts (Lemmas 1–4), which is the instance the paper analyses.
@@ -235,6 +292,8 @@ impl ProtocolConfigBuilder {
     /// * [`Error::InsufficientConnectivity`] when, on a partial graph, some
     ///   process hears fewer than `n_Mi` processes per round and bound
     ///   violations were not explicitly allowed.
+    /// * [`Error::UnknownProcess`] when a link-fault rule names an endpoint
+    ///   outside the universe.
     pub fn build(self) -> Result<ProtocolConfig> {
         if self.n == 0 {
             return Err(Error::InvalidParameter("n must be at least 1".into()));
@@ -260,30 +319,71 @@ impl ProtocolConfigBuilder {
                 required,
             });
         }
-        // The default Complete topology is trivially connected and needs no
-        // graph checks — skip realization entirely so the common lowering
-        // path never allocates the n² matrix. Partial descriptions are
-        // realized once here for validation; the engine re-realizes
-        // deterministically from the same (n, seed) pair.
-        if !self.topology.is_complete() {
-            let adjacency = self.topology.realize(self.n, self.seed)?;
-            if !adjacency.is_connected() {
-                return Err(Error::DisconnectedTopology {
-                    n: self.n,
-                    components: adjacency.component_count(),
-                });
+        // Link-fault rules are validated against the universe exactly once,
+        // at build time, by the compilation below (a clean plan has no
+        // rules to check); the engine re-compiles the same plan infallibly.
+        // Deterministic p = 1 cuts are structure in disguise, so they are
+        // subtracted from the realized graph before the connectivity and
+        // resilience checks below — a plan cannot smuggle in a partition
+        // that the equivalent Topology::Custom would be rejected for.
+        let severed = if self.link_faults.is_clean() {
+            Vec::new()
+        } else {
+            self.link_faults.compile(self.n)?.severed_arcs()
+        };
+        let validator = GraphValidator {
+            model: self.model,
+            f: self.f,
+            n: self.n,
+            required,
+            allow_bound_violation: self.allow_bound_violation,
+        };
+        // The default Complete topology with no cuts is trivially connected
+        // and needs no graph checks — skip realization entirely so the
+        // common lowering path never allocates the n² matrix. Partial
+        // descriptions are realized once here for validation; the engine
+        // re-realizes deterministically from the same (n, seed) pair.
+        if let Some(schedule) = &self.schedule {
+            if !self.topology.is_complete() {
+                return Err(Error::InvalidParameter(
+                    "set either a static topology or a topology schedule, not both \
+                     (schedule a static graph with TopologySchedule::Static)"
+                        .into(),
+                ));
             }
-            if !adjacency.is_complete() {
-                let min_neighborhood = adjacency.min_closed_neighborhood();
-                if min_neighborhood < required && !self.allow_bound_violation {
-                    return Err(Error::InsufficientConnectivity {
-                        model: self.model,
-                        f: self.f,
-                        min_neighborhood,
-                        required,
-                    });
+            if let TopologySchedule::SeededChurn { flip_rate, .. } = schedule {
+                if *flip_rate >= 1.0 && self.n > 1 {
+                    return Err(Error::InvalidParameter(
+                        "churn flip_rate 1.0 severs every link in every round — a \
+                         permanent partition, not transient churn"
+                            .into(),
+                    ));
                 }
             }
+            let realized = schedule.realize(self.n, self.seed)?;
+            // A static graph or a churn base can never recover from
+            // disconnection or sparsity, so the PR 3 checks apply in full.
+            // Genuinely rotating periodic phases are transient under the
+            // Record policy: a phase may be disconnected or sparse, but
+            // the union over one period must still be connected — a
+            // partition every phase shares is permanent. A schedule whose
+            // phases are all identical is static in disguise (it also
+            // lowers onto the static network path) and gets the full
+            // checks regardless of policy.
+            let transient_phases = matches!(schedule, TopologySchedule::Periodic { .. })
+                && self.disconnection == DisconnectionPolicy::Record
+                && realized.is_dynamic();
+            if transient_phases {
+                let union = union_of(self.n, realized.validation_graphs());
+                validator.check(&union, &severed, false)?;
+            } else {
+                for graph in realized.validation_graphs() {
+                    validator.check(graph, &severed, true)?;
+                }
+            }
+        } else if !self.topology.is_complete() || !severed.is_empty() {
+            let adjacency = self.topology.realize(self.n, self.seed)?;
+            validator.check(&adjacency, &severed, true)?;
         }
         let function = self
             .function
@@ -297,11 +397,93 @@ impl ProtocolConfigBuilder {
             mobility: self.mobility,
             corruption: self.corruption,
             topology: self.topology,
+            schedule: self.schedule,
+            link_faults: self.link_faults,
+            disconnection: self.disconnection,
             function,
             seed: self.seed,
             bound_violation_allowed: self.allow_bound_violation,
         })
     }
+}
+
+/// The graph checks one realized communication graph goes through at build
+/// time, shared by the static-topology and schedule paths.
+struct GraphValidator {
+    model: MobileModel,
+    f: usize,
+    n: usize,
+    /// The model's replica requirement `n_Mi`.
+    required: usize,
+    allow_bound_violation: bool,
+}
+
+impl GraphValidator {
+    /// Validates `graph` with the plan's deterministically severed arcs
+    /// subtracted: connectivity is never waived (strong connectivity once
+    /// cuts make the effective graph directed), and — when
+    /// `enforce_resilience` — every process must hear at least the replica
+    /// requirement per round unless bound violations are allowed.
+    fn check(
+        &self,
+        graph: &Adjacency,
+        severed: &[(usize, usize)],
+        enforce_resilience: bool,
+    ) -> Result<()> {
+        if severed.is_empty() {
+            if !graph.is_connected() {
+                return Err(Error::DisconnectedTopology {
+                    n: self.n,
+                    components: graph.component_count(),
+                });
+            }
+            if enforce_resilience && !graph.is_complete() {
+                self.check_neighborhood(graph.min_closed_neighborhood())?;
+            }
+            return Ok(());
+        }
+        let effective =
+            DirectedAdjacency::from_symmetric(graph).without_arcs(severed.iter().copied());
+        if !effective.is_strongly_connected() {
+            return Err(Error::DisconnectedTopology {
+                n: self.n,
+                components: effective.strong_component_count(),
+            });
+        }
+        if enforce_resilience && !effective.is_complete() {
+            self.check_neighborhood(effective.min_in_closed_neighborhood())?;
+        }
+        Ok(())
+    }
+
+    fn check_neighborhood(&self, min_neighborhood: usize) -> Result<()> {
+        if min_neighborhood < self.required && !self.allow_bound_violation {
+            return Err(Error::InsufficientConnectivity {
+                model: self.model,
+                f: self.f,
+                min_neighborhood,
+                required: self.required,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The union of several realized graphs over one universe: a link exists
+/// when any of the graphs carries it. This is the graph a rotating
+/// periodic schedule offers *across* one period — the quantity the
+/// transient-disconnection reading needs connected.
+fn union_of(n: usize, graphs: &[Adjacency]) -> Adjacency {
+    let edges = (0..n).flat_map(|a| {
+        (a + 1..n)
+            .filter(move |&b| {
+                graphs
+                    .iter()
+                    .any(|g| g.connected(ProcessId::new(a), ProcessId::new(b)))
+            })
+            .map(move |b| (a, b))
+    });
+    Adjacency::from_edges(n, edges).expect("union edges stay inside the universe")
 }
 
 #[cfg(test)]
@@ -470,6 +652,199 @@ mod tests {
                 components: 4
             }
         ));
+    }
+
+    #[test]
+    fn schedule_and_partial_topology_are_mutually_exclusive() {
+        let err = ProtocolConfig::builder(MobileModel::Garay, 9, 1)
+            .topology(Topology::Ring { k: 2 })
+            .topology_schedule(TopologySchedule::Static(Topology::Complete))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter(_)));
+        // The schedule alone carries the graph instead.
+        let config = ProtocolConfig::builder(MobileModel::Garay, 9, 1)
+            .topology_schedule(TopologySchedule::Static(Topology::Ring { k: 2 }))
+            .build()
+            .unwrap();
+        assert_eq!(
+            config.schedule,
+            Some(TopologySchedule::Static(Topology::Ring { k: 2 }))
+        );
+    }
+
+    #[test]
+    fn static_schedule_gets_the_full_graph_checks() {
+        // Disconnected: never waived, exactly like the static topology axis.
+        let err = ProtocolConfig::builder(MobileModel::Buhrman, 4, 1)
+            .topology_schedule(TopologySchedule::Static(Topology::Ring { k: 0 }))
+            .allow_bound_violation()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::DisconnectedTopology { n: 4, .. }));
+        // Sparse below the neighbourhood bound: waivable.
+        let err = ProtocolConfig::builder(MobileModel::Garay, 9, 1)
+            .topology_schedule(TopologySchedule::Static(Topology::Ring { k: 1 }))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InsufficientConnectivity { .. }));
+    }
+
+    #[test]
+    fn churn_base_is_checked_but_periodic_phases_may_be_transient() {
+        // A disconnected churn base can never recover: rejected.
+        let err = ProtocolConfig::builder(MobileModel::Buhrman, 4, 1)
+            .topology_schedule(TopologySchedule::SeededChurn {
+                base: Topology::Ring { k: 0 },
+                flip_rate: 0.1,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::DisconnectedTopology { .. }));
+        // A churn over a sound base builds.
+        assert!(ProtocolConfig::builder(MobileModel::Garay, 9, 1)
+            .topology_schedule(TopologySchedule::SeededChurn {
+                base: Topology::Complete,
+                flip_rate: 0.3,
+            })
+            .build()
+            .is_ok());
+        // Periodic phases under the Record policy may be individually
+        // disconnected (the union over the cycle is the experimenter's
+        // responsibility)…
+        let phases = vec![Topology::Ring { k: 0 }, Topology::Complete];
+        assert!(ProtocolConfig::builder(MobileModel::Buhrman, 4, 1)
+            .topology_schedule(TopologySchedule::Periodic {
+                phases: phases.clone(),
+            })
+            .build()
+            .is_ok());
+        // …but the Reject policy holds every phase to the static checks.
+        let err = ProtocolConfig::builder(MobileModel::Buhrman, 4, 1)
+            .topology_schedule(TopologySchedule::Periodic { phases })
+            .disconnection(DisconnectionPolicy::Reject)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::DisconnectedTopology { .. }));
+    }
+
+    #[test]
+    fn deterministic_cuts_join_the_connectivity_and_resilience_checks() {
+        // Severing every link is a permanent partition — rejected even on
+        // the complete topology, under either disconnection policy.
+        for policy in [DisconnectionPolicy::Record, DisconnectionPolicy::Reject] {
+            let err = ProtocolConfig::builder(MobileModel::Buhrman, 4, 0)
+                .link_faults(LinkFaultPlan::new().omit_all(1.0))
+                .disconnection(policy)
+                .build()
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                Error::DisconnectedTopology { components: 4, .. }
+            ));
+        }
+        // A single one-way cut keeps the complete graph strongly connected.
+        assert!(ProtocolConfig::builder(MobileModel::Garay, 9, 1)
+            .link_faults(LinkFaultPlan::new().cut(0, 1))
+            .build()
+            .is_ok());
+        // Cutting a bridge in both directions partitions a path graph.
+        let path =
+            Topology::Custom(mbaa_net::Adjacency::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap());
+        let err = ProtocolConfig::builder(MobileModel::Buhrman, 4, 0)
+            .topology(path)
+            .link_faults(LinkFaultPlan::new().cut(1, 2).cut(2, 1))
+            .allow_bound_violation()
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::DisconnectedTopology { components: 2, .. }
+        ));
+        // Cuts also count against the degree-dependent resilience bound: a
+        // k = 2 ring sits exactly at Garay's requirement of 5, and one
+        // inbound cut drops a closed in-neighbourhood to 4.
+        let err = ProtocolConfig::builder(MobileModel::Garay, 9, 1)
+            .topology(Topology::Ring { k: 2 })
+            .link_faults(LinkFaultPlan::new().cut(1, 0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::InsufficientConnectivity {
+                min_neighborhood: 4,
+                required: 5,
+                ..
+            }
+        ));
+        assert!(ProtocolConfig::builder(MobileModel::Garay, 9, 1)
+            .topology(Topology::Ring { k: 2 })
+            .link_faults(LinkFaultPlan::new().cut(1, 0))
+            .allow_bound_violation()
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn degenerate_schedules_cannot_hide_permanent_partitions() {
+        // A periodic schedule whose phases are all identical is static in
+        // disguise: the Record policy's transient exemption does not apply.
+        for phases in [
+            vec![Topology::Ring { k: 0 }],
+            vec![Topology::Ring { k: 0 }, Topology::Ring { k: 0 }],
+        ] {
+            let err = ProtocolConfig::builder(MobileModel::Buhrman, 4, 0)
+                .topology_schedule(TopologySchedule::Periodic { phases })
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, Error::DisconnectedTopology { .. }));
+        }
+        // Genuinely rotating phases may each be disconnected, but their
+        // union over one period must be connected: two phases confined to
+        // the same two islands are a permanent partition.
+        let islands = vec![
+            Topology::Custom(mbaa_net::Adjacency::from_edges(4, [(0, 1)]).unwrap()),
+            Topology::Custom(mbaa_net::Adjacency::from_edges(4, [(2, 3)]).unwrap()),
+        ];
+        let err = ProtocolConfig::builder(MobileModel::Buhrman, 4, 0)
+            .topology_schedule(TopologySchedule::Periodic { phases: islands })
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::DisconnectedTopology { components: 2, .. }
+        ));
+        // Churn at flip_rate 1.0 never delivers anything: rejected.
+        let err = ProtocolConfig::builder(MobileModel::Buhrman, 4, 0)
+            .topology_schedule(TopologySchedule::SeededChurn {
+                base: Topology::Complete,
+                flip_rate: 1.0,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn link_fault_rules_are_validated_at_build() {
+        let err = ProtocolConfig::builder(MobileModel::Buhrman, 4, 1)
+            .link_faults(LinkFaultPlan::new().omit(0, 9, 0.5))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::UnknownProcess { n: 4, .. }));
+        let err = ProtocolConfig::builder(MobileModel::Buhrman, 4, 1)
+            .link_faults(LinkFaultPlan::new().omit(0, 1, 2.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter(_)));
+        let config = ProtocolConfig::builder(MobileModel::Buhrman, 4, 1)
+            .link_faults(LinkFaultPlan::new().omit(0, 1, 0.5).delay(1, 2, 3))
+            .disconnection(DisconnectionPolicy::Reject)
+            .build()
+            .unwrap();
+        assert!(!config.link_faults.is_clean());
+        assert_eq!(config.disconnection, DisconnectionPolicy::Reject);
+        assert_eq!(config.schedule, None);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use mbaa_adversary::{AdversaryView, MobileAdversary, RoundFaultPlan};
 use mbaa_msr::{ConvergenceReport, VotingFunction};
-use mbaa_net::{NetworkTrace, Outbox, SyncNetwork, Topology};
+use mbaa_net::{NetworkStats, NetworkTrace, Outbox, SyncNetwork, Topology, TopologySchedule};
 use mbaa_types::{
     Epsilon, Error, FaultState, Interval, MobileModel, ProcessId, Result, Round, Value,
     ValueMultiset,
@@ -38,6 +38,11 @@ pub struct MobileRunOutcome {
     /// The full message trace (what every sender delivered to every
     /// receiver, per round) — the raw material of the Table 1 mapping.
     pub trace: NetworkTrace,
+    /// The network's traffic accounting: deliveries, sender omissions,
+    /// structural non-deliveries, and — on a link-faulted or dynamic
+    /// network — the separately counted link omissions, delayed
+    /// deliveries, in-flight slots, and disconnected rounds.
+    pub network_stats: NetworkStats,
 }
 
 impl MobileRunOutcome {
@@ -159,10 +164,24 @@ impl MobileEngine {
         // to the pre-topology engine. Partial descriptions realize to the
         // same graph the builder validated (deterministic in (n, seed));
         // `with_topology` still lowers rings that normalized to complete
-        // onto the fast path.
-        let mut network = match &cfg.topology {
-            Topology::Complete => SyncNetwork::new(n),
-            partial => SyncNetwork::with_topology(partial.realize(n, cfg.seed)?),
+        // onto the fast path, and `with_dynamics` lowers a static schedule
+        // with a clean link-fault plan onto the same static paths.
+        let mut network = if cfg.schedule.is_none() && cfg.link_faults.is_clean() {
+            match &cfg.topology {
+                Topology::Complete => SyncNetwork::new(n),
+                partial => SyncNetwork::with_topology(partial.realize(n, cfg.seed)?),
+            }
+        } else {
+            let schedule = cfg
+                .schedule
+                .clone()
+                .unwrap_or_else(|| TopologySchedule::Static(cfg.topology.clone()));
+            SyncNetwork::with_dynamics(
+                schedule.realize(n, cfg.seed)?,
+                &cfg.link_faults,
+                cfg.disconnection,
+                cfg.seed,
+            )?
         };
         let mut configurations = Vec::new();
 
@@ -307,6 +326,7 @@ impl MobileEngine {
             epsilon: cfg.epsilon,
             configurations,
             trace: network.trace().clone(),
+            network_stats: network.stats(),
         })
     }
 
@@ -503,6 +523,71 @@ mod tests {
         // the trace records that as structure, not as faults.
         let obs = a.trace.get(0).unwrap().observation(ProcessId::new(0));
         assert_eq!(obs.unreachable_receivers().len(), 4);
+    }
+
+    #[test]
+    fn churned_runs_are_deterministic_and_account_link_faults_separately() {
+        use mbaa_net::{DisconnectionPolicy, LinkFaultPlan};
+        let config = ProtocolConfig::builder(MobileModel::Garay, 9, 1)
+            .epsilon(1e-3)
+            .max_rounds(300)
+            .seed(7)
+            .topology_schedule(TopologySchedule::SeededChurn {
+                base: Topology::Complete,
+                flip_rate: 0.3,
+            })
+            .link_faults(LinkFaultPlan::new().omit_all(0.05))
+            .build()
+            .unwrap();
+        assert_eq!(config.disconnection, DisconnectionPolicy::Record);
+        let engine = MobileEngine::new(config);
+        let a = engine.run(&inputs(9)).unwrap();
+        let b = engine.run(&inputs(9)).unwrap();
+        assert_eq!(a, b);
+        assert!(a.rounds_executed > 0);
+        // Structural drops and link losses never masquerade as adversary
+        // omissions: the adversary here is Garay's, whose cured processes
+        // do omit — but the link counters are tracked on their own.
+        assert!(a.network_stats.unreachable > 0, "churn dropped no link");
+        assert!(a.network_stats.link_omissions > 0, "p=0.05 lost nothing");
+        assert_eq!(a.network_stats.link_delayed, 0);
+        assert_eq!(a.network_stats.rounds as usize, a.rounds_executed);
+    }
+
+    #[test]
+    fn reject_policy_surfaces_disconnected_rounds_as_typed_errors() {
+        use mbaa_net::DisconnectionPolicy;
+        let config = ProtocolConfig::builder(MobileModel::Garay, 9, 1)
+            .epsilon(1e-9)
+            .max_rounds(200)
+            .seed(3)
+            .topology_schedule(TopologySchedule::SeededChurn {
+                base: Topology::Complete,
+                flip_rate: 0.9,
+            })
+            .disconnection(DisconnectionPolicy::Reject)
+            .build()
+            .unwrap();
+        let err = MobileEngine::new(config).run(&inputs(9)).unwrap_err();
+        assert!(matches!(err, Error::DisconnectedRound { .. }));
+    }
+
+    #[test]
+    fn static_complete_schedule_is_bit_identical_to_no_schedule() {
+        let plain = base_config(MobileModel::Bonnet, 11, 2);
+        let scheduled = ProtocolConfig::builder(MobileModel::Bonnet, 11, 2)
+            .epsilon(1e-4)
+            .max_rounds(500)
+            .seed(11)
+            .topology_schedule(TopologySchedule::Static(Topology::Complete))
+            .build()
+            .unwrap();
+        let a = MobileEngine::new(plain).run(&inputs(11)).unwrap();
+        let b = MobileEngine::new(scheduled).run(&inputs(11)).unwrap();
+        // The configs differ (one carries the schedule) but every outcome
+        // field is identical, trace and stats included.
+        assert_eq!(a, b);
+        assert!(!a.network_stats.has_link_faults());
     }
 
     #[test]

@@ -37,6 +37,15 @@
 //! requirement. See `examples/partial_connectivity.rs` for the
 //! convergence-vs-degree surface this opens.
 //!
+//! The network can itself be *mobile*: [`Scenario::topology_schedule`]
+//! accepts a [`TopologySchedule`] (static, periodic phases, or seeded
+//! per-round churn), [`Scenario::link_faults`] layers per-link omission and
+//! delay faults ([`LinkFaultPlan`]) on the structural mask, and
+//! [`Scenario::sweep_churn`] / [`Scenario::sweep_degrees`] sweep the churn
+//! rate and the degree range on the shared pool. Link-attributable losses
+//! are accounted separately from adversary omissions; see
+//! `examples/mobile_network.rs` for the convergence-vs-churn-rate curve.
+//!
 //! All defaulting — experiment ε and round budget, the worst-case
 //! adversary, the model's mapped MSR instance, the topology, the workload —
 //! is decided in the scenario layer (backed by [`core::defaults`]),
@@ -119,7 +128,10 @@ pub use mbaa_core::{
     MobileEngine, MobileRunOutcome, ProtocolConfig, ProtocolConfigBuilder, RoundSnapshot,
 };
 pub use mbaa_msr::{MedianVoting, MsrFunction, Reduction, Selection, VotingFunction};
-pub use mbaa_net::{Adjacency, Outbox, RoundDelivery, SyncNetwork, Topology};
+pub use mbaa_net::{
+    Adjacency, DirectedAdjacency, DisconnectionPolicy, LinkFaultPlan, Outbox, RoundDelivery,
+    SyncNetwork, Topology, TopologySchedule,
+};
 pub use mbaa_sim::{
     run_experiment, run_experiment_with, ExperimentConfig, ExperimentResult, RunSummary, Workload,
 };

@@ -19,7 +19,9 @@ pub use crate::scenario::Scenario;
 pub use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
 pub use mbaa_core::{MobileEngine, MobileRunOutcome, ProtocolConfig, RoundSnapshot};
 pub use mbaa_msr::{MedianVoting, MsrFunction, VotingFunction};
-pub use mbaa_net::{Adjacency, Topology};
+pub use mbaa_net::{
+    Adjacency, DirectedAdjacency, DisconnectionPolicy, LinkFaultPlan, Topology, TopologySchedule,
+};
 pub use mbaa_sim::{
     run_experiment, run_experiment_with, ExperimentConfig, ExperimentResult, RunSummary, Workload,
 };

@@ -719,6 +719,14 @@ pub fn mobile_vs_static<I: IntoIterator<Item = u64>>(
             scenario.topology
         )));
     }
+    if scenario.schedule.is_some() || !scenario.link_faults.is_clean() {
+        return Err(Error::InvalidParameter(
+            "mobile_vs_static requires a static fault-free network (Theorem 1's \
+             setting); drop the topology schedule / link-fault plan and run the \
+             mobile side alone via Scenario::batch instead"
+                .into(),
+        ));
+    }
     let epsilon = Epsilon::try_new(scenario.epsilon)
         .ok_or_else(|| Error::InvalidParameter("epsilon must be > 0".into()))?;
     let counts = scenario.model.mixed_fault_counts(scenario.f);
@@ -1062,6 +1070,22 @@ mod tests {
         let err = mobile_vs_static(&scenario, 0..2).unwrap_err();
         assert!(matches!(err, Error::InvalidParameter(_)));
         assert!(err.to_string().contains("complete topology"));
+    }
+
+    #[test]
+    fn mobile_vs_static_rejects_schedules_and_link_faults() {
+        use mbaa_net::{LinkFaultPlan, Topology, TopologySchedule};
+        let scheduled = Scenario::new(MobileModel::Garay, 9, 1)
+            .max_rounds(100)
+            .topology_schedule(TopologySchedule::SeededChurn {
+                base: Topology::Complete,
+                flip_rate: 0.2,
+            });
+        assert!(mobile_vs_static(&scheduled, 0..1).is_err());
+        let faulted = Scenario::new(MobileModel::Garay, 9, 1)
+            .max_rounds(100)
+            .link_faults(LinkFaultPlan::new().omit_all(0.1));
+        assert!(mobile_vs_static(&faulted, 0..1).is_err());
     }
 
     #[test]

@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
 use mbaa_core::{defaults, MobileEngine, MobileRunOutcome, ProtocolConfig};
 use mbaa_msr::{MsrFunction, VotingFunction};
-use mbaa_net::Topology;
+use mbaa_net::{DisconnectionPolicy, LinkFaultPlan, Topology, TopologySchedule};
 use mbaa_sim::{ExperimentConfig, Workload};
 use mbaa_types::{MobileModel, Result, Value};
 
@@ -69,6 +69,15 @@ pub struct Scenario {
     /// The communication graph every exchange is mediated by
     /// ([`Topology::Complete`] by default — the paper's network).
     pub topology: Topology,
+    /// The per-round topology schedule — the mobile-network axis — or
+    /// `None` for the static [`topology`](Scenario::topology).
+    pub schedule: Option<TopologySchedule>,
+    /// Per-link omission/delay faults layered on the structural mask
+    /// (clean by default — the paper's reliable links).
+    pub link_faults: LinkFaultPlan,
+    /// What a dynamic schedule does with a transiently disconnected round
+    /// (record by default).
+    pub disconnection: DisconnectionPolicy,
     /// The MSR instance to run, or `None` for the model's mapped default.
     pub function: Option<MsrFunction>,
     /// How initial values are generated.
@@ -94,6 +103,9 @@ impl Scenario {
             mobility: defaults::worst_case_mobility(),
             corruption: defaults::worst_case_corruption(),
             topology: Topology::Complete,
+            schedule: None,
+            link_faults: LinkFaultPlan::default(),
+            disconnection: DisconnectionPolicy::default(),
             function: None,
             workload: Workload::default(),
             allow_bound_violation: false,
@@ -169,6 +181,53 @@ impl Scenario {
         self
     }
 
+    /// Sets a per-round topology schedule — the mobile-*network* axis,
+    /// composing with the mobile adversary. Use
+    /// [`TopologySchedule::Static`] instead of also setting
+    /// [`topology`](Scenario::topology) (lowering rejects the ambiguous
+    /// combination).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mbaa::prelude::*;
+    ///
+    /// // Every link of the complete graph is down 20% of the rounds.
+    /// let outcome = Scenario::new(MobileModel::Garay, 9, 1)
+    ///     .topology_schedule(TopologySchedule::SeededChurn {
+    ///         base: Topology::Complete,
+    ///         flip_rate: 0.2,
+    ///     })
+    ///     .run(0)?;
+    /// assert!(outcome.rounds_executed > 0);
+    /// assert!(outcome.network_stats.unreachable > 0);
+    /// # Ok::<(), mbaa::Error>(())
+    /// ```
+    #[must_use]
+    pub fn topology_schedule(mut self, schedule: TopologySchedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Sets the per-link omission/delay fault plan (clean by default).
+    /// Lowering validates every rule against the universe; losses and
+    /// delays are accounted in the dedicated
+    /// [`NetworkStats`](mbaa_net::NetworkStats) fields, never as adversary
+    /// omissions.
+    #[must_use]
+    pub fn link_faults(mut self, link_faults: LinkFaultPlan) -> Self {
+        self.link_faults = link_faults;
+        self
+    }
+
+    /// Sets the per-round disconnection policy of a dynamic schedule
+    /// (default [`DisconnectionPolicy::Record`]).
+    #[must_use]
+    pub fn disconnection(mut self, policy: DisconnectionPolicy) -> Self {
+        self.disconnection = policy;
+        self
+    }
+
     /// Sets the MSR instance explicitly (the default is the instance tuned
     /// to the model's mapped fault counts, Lemmas 1–4).
     #[must_use]
@@ -225,7 +284,12 @@ impl Scenario {
             .mobility(self.mobility)
             .corruption(self.corruption)
             .topology(self.topology.clone())
+            .link_faults(self.link_faults.clone())
+            .disconnection(self.disconnection)
             .seed(seed);
+        if let Some(schedule) = &self.schedule {
+            builder = builder.topology_schedule(schedule.clone());
+        }
         if let Some(function) = self.function {
             builder = builder.function(function);
         }
@@ -249,6 +313,9 @@ impl Scenario {
             mobility: self.mobility,
             corruption: self.corruption,
             topology: self.topology.clone(),
+            schedule: self.schedule.clone(),
+            link_faults: self.link_faults.clone(),
+            disconnection: self.disconnection,
             function: self.function,
             seeds: seeds.into_iter().collect(),
             workload: self.workload.clone(),
@@ -345,6 +412,78 @@ impl Scenario {
             .into_iter()
             .map(|topology| Scenario {
                 topology,
+                ..self.clone()
+            })
+            .collect();
+        Sweep::new(points)
+    }
+
+    /// A sweep over the network degree: one point per degree `d`, realized
+    /// as `Ring { k: d / 2 }` for even degrees (deterministic circulant
+    /// lattices) and `RandomRegular { degree: d }` for odd ones. This is
+    /// the ROADMAP's degree-range convenience over
+    /// [`sweep_connectivity`](Scenario::sweep_connectivity): charting
+    /// convergence against the closed neighbourhood `d + 1` directly.
+    ///
+    /// No `d`-regular graph on `n` vertices exists when `n · d` is odd
+    /// (handshake lemma), so odd degrees need an even `n`: an infeasible
+    /// point fails the whole sweep at run time with the realization's
+    /// typed error. Restrict an odd-`n` scenario to even degrees, e.g.
+    /// `(lo..=hi).filter(|d| d % 2 == 0)`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mbaa::prelude::*;
+    ///
+    /// // Even n: every degree in the range is feasible.
+    /// let sweep = Scenario::new(MobileModel::Garay, 10, 1)
+    ///     .allow_bound_violation()
+    ///     .sweep_degrees(2..=4);
+    /// assert_eq!(sweep.points().len(), 3);
+    /// assert_eq!(sweep.points()[0].topology, Topology::Ring { k: 1 });
+    /// assert_eq!(
+    ///     sweep.points()[1].topology,
+    ///     Topology::RandomRegular { degree: 3 },
+    /// );
+    /// assert!(sweep.seeds(0..2).run().is_ok());
+    /// ```
+    #[must_use]
+    pub fn sweep_degrees<I: IntoIterator<Item = usize>>(&self, degrees: I) -> Sweep {
+        self.sweep_connectivity(degrees.into_iter().map(|degree| {
+            if degree % 2 == 0 {
+                Topology::Ring { k: degree / 2 }
+            } else {
+                Topology::RandomRegular { degree }
+            }
+        }))
+    }
+
+    /// A sweep over the churn rate: one point per `flip_rate`, each
+    /// churning the scenario's *base graph* — the static/churned graph of
+    /// an existing schedule, or the scenario's [`topology`] otherwise —
+    /// with every link independently down that fraction of the rounds.
+    /// This is the convergence-vs-churn surface of the Li–Hurfin–Wang
+    /// evolving-network regimes (see `examples/mobile_network.rs`); like
+    /// every [`Sweep`], all `(point, seed)` pairs are flattened onto the
+    /// shared work-stealing pool.
+    ///
+    /// [`topology`]: Scenario::topology
+    #[must_use]
+    pub fn sweep_churn<I: IntoIterator<Item = f64>>(&self, flip_rates: I) -> Sweep {
+        let base = match &self.schedule {
+            Some(TopologySchedule::Static(topology)) => topology.clone(),
+            Some(TopologySchedule::SeededChurn { base, .. }) => base.clone(),
+            Some(TopologySchedule::Periodic { .. }) | None => self.topology.clone(),
+        };
+        let points = flip_rates
+            .into_iter()
+            .map(|flip_rate| Scenario {
+                topology: Topology::Complete,
+                schedule: Some(TopologySchedule::SeededChurn {
+                    base: base.clone(),
+                    flip_rate,
+                }),
                 ..self.clone()
             })
             .collect();
@@ -461,6 +600,76 @@ mod tests {
             ]
         );
         assert!(sweep.points().iter().all(|p| p.n == 9 && p.f == 1));
+    }
+
+    #[test]
+    fn schedule_and_link_faults_lower_through() {
+        let schedule = TopologySchedule::SeededChurn {
+            base: Topology::Complete,
+            flip_rate: 0.25,
+        };
+        let plan = LinkFaultPlan::new().omit_all(0.1).delay(0, 1, 2);
+        let s = Scenario::new(MobileModel::Garay, 9, 1)
+            .topology_schedule(schedule.clone())
+            .link_faults(plan.clone())
+            .disconnection(DisconnectionPolicy::Reject);
+        let config = s.lower(3).unwrap();
+        assert_eq!(config.schedule, Some(schedule.clone()));
+        assert_eq!(config.link_faults, plan);
+        assert_eq!(config.disconnection, DisconnectionPolicy::Reject);
+        let exp = s.to_experiment(0..2);
+        assert_eq!(exp.schedule, Some(schedule));
+        assert_eq!(exp.link_faults, plan);
+        assert_eq!(exp.disconnection, DisconnectionPolicy::Reject);
+    }
+
+    #[test]
+    fn sweep_degrees_picks_rings_for_even_and_regular_for_odd() {
+        let s = Scenario::new(MobileModel::Garay, 10, 1).allow_bound_violation();
+        let sweep = s.sweep_degrees(2..=5);
+        let topologies: Vec<Topology> = sweep.points().iter().map(|p| p.topology.clone()).collect();
+        assert_eq!(
+            topologies,
+            vec![
+                Topology::Ring { k: 1 },
+                Topology::RandomRegular { degree: 3 },
+                Topology::Ring { k: 2 },
+                Topology::RandomRegular { degree: 5 },
+            ]
+        );
+        assert!(sweep.points().iter().all(|p| p.n == 10 && p.f == 1));
+    }
+
+    #[test]
+    fn sweep_churn_churns_the_base_graph() {
+        // Base from the static topology axis…
+        let s = Scenario::new(MobileModel::Garay, 9, 1).topology(Topology::Ring { k: 3 });
+        let sweep = s.sweep_churn([0.0, 0.2]);
+        for (point, rate) in sweep.points().iter().zip([0.0, 0.2]) {
+            assert_eq!(point.topology, Topology::Complete);
+            assert_eq!(
+                point.schedule,
+                Some(TopologySchedule::SeededChurn {
+                    base: Topology::Ring { k: 3 },
+                    flip_rate: rate,
+                })
+            );
+        }
+        // …or from an existing churn schedule.
+        let churned = Scenario::new(MobileModel::Garay, 9, 1).topology_schedule(
+            TopologySchedule::SeededChurn {
+                base: Topology::Grid,
+                flip_rate: 0.5,
+            },
+        );
+        let resweep = churned.sweep_churn([0.1]);
+        assert_eq!(
+            resweep.points()[0].schedule,
+            Some(TopologySchedule::SeededChurn {
+                base: Topology::Grid,
+                flip_rate: 0.1,
+            })
+        );
     }
 
     #[test]

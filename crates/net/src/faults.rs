@@ -1,0 +1,1331 @@
+//! Link faults and dynamic topologies: directed links, per-link omission
+//! and delay, and round-indexed churn.
+//!
+//! The paper's mobile Byzantine adversary moves between *processes*; this
+//! module makes the *network itself* mobile, in the style of Li–Hurfin–Wang
+//! (arXiv:1206.0089) and of agreement on evolving graphs (arXiv:1706.06789):
+//!
+//! * [`DirectedAdjacency`] — an asymmetric link matrix with the same
+//!   validation and connectivity queries as [`Adjacency`], which becomes
+//!   the symmetric special case ([`DirectedAdjacency::from_symmetric`] /
+//!   [`DirectedAdjacency::to_symmetric`] round-trip it losslessly).
+//! * [`LinkFaultPlan`] — per-link behaviours layered on the structural
+//!   mask: deterministic or seeded-random omission probability, and fixed
+//!   delays in rounds served by an in-order delivery buffer inside
+//!   [`SyncNetwork::exchange`](crate::SyncNetwork::exchange).
+//! * [`TopologySchedule`] — a (possibly different) realized communication
+//!   graph per round: [`Static`](TopologySchedule::Static),
+//!   [`Periodic`](TopologySchedule::Periodic) (rotating graph phases), and
+//!   [`SeededChurn`](TopologySchedule::SeededChurn) (every base link is
+//!   down each round with a seeded probability).
+//! * [`DisconnectionPolicy`] — what a dynamic exchange does when the
+//!   realized graph of some round is disconnected: record it in
+//!   [`NetworkStats`](crate::NetworkStats) or reject the round with the
+//!   typed [`Error::DisconnectedRound`].
+//!
+//! Everything here is deterministic in `(description, n, seed)`: the same
+//! schedule realizes to the same per-round graphs and the same omission
+//! draws no matter which worker, batch, or streaming path executes the run.
+//!
+//! # Example
+//!
+//! ```
+//! use mbaa_net::{DirectedAdjacency, LinkFaultPlan, Topology, TopologySchedule};
+//! use mbaa_types::{ProcessId, Round};
+//!
+//! // A directed graph where p0 -> p1 exists but p1 -> p0 does not.
+//! let one_way = DirectedAdjacency::from_arcs(2, [(0, 1)])?;
+//! assert!(one_way.delivers(ProcessId::new(0), ProcessId::new(1)));
+//! assert!(!one_way.delivers(ProcessId::new(1), ProcessId::new(0)));
+//! assert!(!one_way.is_symmetric());
+//!
+//! // A churn schedule: each link of the complete graph is down 30% of the
+//! // time, deterministically per (seed, round, link).
+//! let schedule = TopologySchedule::SeededChurn {
+//!     base: Topology::Complete,
+//!     flip_rate: 0.3,
+//! };
+//! let realized = schedule.realize(9, 7)?;
+//! assert_eq!(
+//!     realized.adjacency_at(Round::new(3)),
+//!     realized.adjacency_at(Round::new(3)),
+//! );
+//!
+//! // A link-fault plan: drop p0 -> p1 half the time, delay p2 -> p3 by two
+//! // rounds.
+//! let plan = LinkFaultPlan::new().omit(0, 1, 0.5).delay(2, 3, 2);
+//! assert!(!plan.is_clean());
+//! assert_eq!(plan.max_delay(), 2);
+//! # Ok::<(), mbaa_types::Error>(())
+//! ```
+
+use std::borrow::Cow;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use mbaa_types::{Error, ProcessId, Result, Round};
+
+use crate::{Adjacency, Topology};
+
+/// Stream constant decorrelating churn draws from the omission draws that
+/// consume the same run seed.
+const CHURN_STREAM: u64 = 0x5DEE_CE66_D1A4_F8B5;
+
+/// Stream constant for per-link omission draws.
+const OMIT_STREAM: u64 = 0xA24B_AED4_963E_E407;
+
+/// One SplitMix64 step (Steele–Lea–Flood 2014) folding `v` into the running
+/// hash `h` — the primitive behind every deterministic per-(round, link)
+/// draw here. Inlined rather than routed through `rand` so the draw stream
+/// is pinned to this algorithm no matter which `rand` implementation the
+/// workspace links (swapping the vendored shim for the real crate must not
+/// silently re-randomize every seeded network).
+fn mix(h: u64, v: u64) -> u64 {
+    let mut z = (h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from 53 hashed mantissa bits.
+fn unit(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The deterministic churn draw: returns `true` when the base link
+/// `a — b` is *down* in `round` under `flip_rate`.
+fn churn_link_down(seed: u64, round: u64, a: usize, b: usize, flip_rate: f64) -> bool {
+    let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+    let h = mix(mix(mix(seed ^ CHURN_STREAM, round), lo), hi);
+    unit(h) < flip_rate
+}
+
+/// The deterministic omission draw: returns `true` when the message sent on
+/// the directed link `from -> to` in `round` is lost under `probability`.
+pub(crate) fn omission_lost(
+    seed: u64,
+    round: u64,
+    from: usize,
+    to: usize,
+    probability: f64,
+) -> bool {
+    if probability <= 0.0 {
+        return false;
+    }
+    if probability >= 1.0 {
+        return true;
+    }
+    let h = mix(mix(mix(seed ^ OMIT_STREAM, round), from as u64), to as u64);
+    unit(h) < probability
+}
+
+/// A realized, validated **directed** communication graph: an `n × n`
+/// boolean matrix whose diagonal is always set (self-delivery is
+/// structural), with no symmetry requirement — `a -> b` may exist without
+/// `b -> a`.
+///
+/// [`Adjacency`] is the symmetric special case:
+/// [`from_symmetric`](DirectedAdjacency::from_symmetric) and
+/// [`to_symmetric`](DirectedAdjacency::to_symmetric) round-trip it exactly.
+///
+/// # Example
+///
+/// ```
+/// use mbaa_net::{Adjacency, DirectedAdjacency};
+/// use mbaa_types::ProcessId;
+///
+/// let symmetric = Adjacency::from_edges(3, [(0, 1), (1, 2)])?;
+/// let directed = DirectedAdjacency::from_symmetric(&symmetric);
+/// assert!(directed.is_symmetric());
+/// assert_eq!(directed.to_symmetric()?, symmetric);
+/// assert_eq!(directed.out_degree(ProcessId::new(1)), 2);
+/// # Ok::<(), mbaa_types::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectedAdjacency {
+    n: usize,
+    /// Row-major `n * n` arc matrix; `bits[from * n + to]` means messages
+    /// from `from` reach `to`. Diagonal always `true`.
+    bits: Vec<bool>,
+}
+
+impl DirectedAdjacency {
+    /// The all-to-all graph over `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn complete(n: usize) -> Self {
+        assert!(n > 0, "a graph needs at least one process");
+        DirectedAdjacency {
+            n,
+            bits: vec![true; n * n],
+        }
+    }
+
+    /// The arcless graph (diagonal only).
+    fn empty(n: usize) -> Self {
+        let mut bits = vec![false; n * n];
+        for i in 0..n {
+            bits[i * n + i] = true;
+        }
+        DirectedAdjacency { n, bits }
+    }
+
+    /// Lifts a symmetric graph into the directed representation: every
+    /// undirected link becomes a pair of opposite arcs.
+    #[must_use]
+    pub fn from_symmetric(adjacency: &Adjacency) -> Self {
+        let n = adjacency.n();
+        let mut directed = DirectedAdjacency::empty(n);
+        for a in 0..n {
+            for (b, &linked) in adjacency.row(ProcessId::new(a)).iter().enumerate() {
+                if linked {
+                    directed.bits[a * n + b] = true;
+                }
+            }
+        }
+        directed
+    }
+
+    /// Builds a graph from an explicit boolean matrix, one row per sender.
+    /// Unlike [`Adjacency::from_matrix`] there is **no** symmetry
+    /// requirement; the diagonal is forced on either way.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] when the matrix is empty or not square.
+    pub fn from_matrix(matrix: Vec<Vec<bool>>) -> Result<Self> {
+        let n = matrix.len();
+        if n == 0 {
+            return Err(Error::InvalidParameter(
+                "adjacency matrix must cover at least one process".into(),
+            ));
+        }
+        if let Some(row) = matrix.iter().find(|row| row.len() != n) {
+            return Err(Error::InvalidParameter(format!(
+                "adjacency matrix must be square: a row covers {} of {n} processes",
+                row.len()
+            )));
+        }
+        let mut directed = DirectedAdjacency::empty(n);
+        for (a, row) in matrix.iter().enumerate() {
+            for (b, &linked) in row.iter().enumerate() {
+                if linked && a != b {
+                    directed.bits[a * n + b] = true;
+                }
+            }
+        }
+        Ok(directed)
+    }
+
+    /// Builds a graph over `n` processes from an explicit directed arc
+    /// list (`(from, to)` pairs). Self-arcs are ignored (self-delivery is
+    /// structural anyway).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] when `n == 0`, and
+    /// [`Error::UnknownProcess`] when an endpoint is outside `[0, n)`.
+    pub fn from_arcs<I: IntoIterator<Item = (usize, usize)>>(n: usize, arcs: I) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::InvalidParameter(
+                "a graph needs at least one process".into(),
+            ));
+        }
+        let mut directed = DirectedAdjacency::empty(n);
+        for (from, to) in arcs {
+            for endpoint in [from, to] {
+                if endpoint >= n {
+                    return Err(Error::UnknownProcess {
+                        process: ProcessId::new(endpoint),
+                        n,
+                    });
+                }
+            }
+            if from != to {
+                directed.bits[from * n + to] = true;
+            }
+        }
+        Ok(directed)
+    }
+
+    /// The number of processes this graph covers.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` when messages from `from` reach `to` (always `true`
+    /// for `from == to`: self-delivery is structural).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either process is outside the universe.
+    #[must_use]
+    pub fn delivers(&self, from: ProcessId, to: ProcessId) -> bool {
+        assert!(
+            from.index() < self.n && to.index() < self.n,
+            "process outside the universe"
+        );
+        self.bits[from.index() * self.n + to.index()]
+    }
+
+    /// The receivers `p` can reach, excluding `p` itself, in ascending
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the universe.
+    #[must_use]
+    pub fn out_neighbors(&self, p: ProcessId) -> Vec<ProcessId> {
+        let row = &self.bits[p.index() * self.n..(p.index() + 1) * self.n];
+        row.iter()
+            .enumerate()
+            .filter_map(|(i, &linked)| (linked && i != p.index()).then_some(ProcessId::new(i)))
+            .collect()
+    }
+
+    /// The senders `p` hears, excluding `p` itself, in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the universe.
+    #[must_use]
+    pub fn in_neighbors(&self, p: ProcessId) -> Vec<ProcessId> {
+        (0..self.n)
+            .filter(|&i| i != p.index() && self.bits[i * self.n + p.index()])
+            .map(ProcessId::new)
+            .collect()
+    }
+
+    /// The number of receivers `p` can reach (itself excluded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the universe.
+    #[must_use]
+    pub fn out_degree(&self, p: ProcessId) -> usize {
+        let row = &self.bits[p.index() * self.n..(p.index() + 1) * self.n];
+        row.iter().filter(|&&linked| linked).count() - 1
+    }
+
+    /// The number of senders `p` hears (itself excluded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the universe.
+    #[must_use]
+    pub fn in_degree(&self, p: ProcessId) -> usize {
+        (0..self.n)
+            .filter(|&i| i != p.index() && self.bits[i * self.n + p.index()])
+            .count()
+    }
+
+    /// The smallest *closed in-neighbourhood* size (`in_degree + 1`): the
+    /// number of processes the worst-placed receiver hears each round,
+    /// itself included — the quantity the degree-dependent resilience
+    /// checks compare against the model's replica requirement.
+    #[must_use]
+    pub fn min_in_closed_neighborhood(&self) -> usize {
+        (0..self.n)
+            .map(|i| self.in_degree(ProcessId::new(i)) + 1)
+            .min()
+            .expect("a graph covers at least one process")
+    }
+
+    /// The number of directed arcs (self-arcs excluded).
+    #[must_use]
+    pub fn arc_count(&self) -> usize {
+        (0..self.n)
+            .map(|i| self.out_degree(ProcessId::new(i)))
+            .sum()
+    }
+
+    /// Returns `true` when every ordered pair shares an arc.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.bits.iter().all(|&linked| linked)
+    }
+
+    /// Returns `true` when every arc has its reverse — the graph is an
+    /// [`Adjacency`] in directed clothing.
+    #[must_use]
+    pub fn is_symmetric(&self) -> bool {
+        (0..self.n).all(|a| {
+            (a + 1..self.n).all(|b| self.bits[a * self.n + b] == self.bits[b * self.n + a])
+        })
+    }
+
+    /// Projects a symmetric directed graph back onto [`Adjacency`] — the
+    /// inverse of [`from_symmetric`](DirectedAdjacency::from_symmetric).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] when some arc lacks its reverse.
+    pub fn to_symmetric(&self) -> Result<Adjacency> {
+        if !self.is_symmetric() {
+            return Err(Error::InvalidParameter(
+                "directed graph has one-way arcs; no symmetric projection exists".into(),
+            ));
+        }
+        let edges = (0..self.n).flat_map(|a| {
+            (a + 1..self.n).filter_map(move |b| self.bits[a * self.n + b].then_some((a, b)))
+        });
+        Adjacency::from_edges(self.n, edges)
+    }
+
+    /// Returns `true` when every process can reach every other along
+    /// directed arcs (strong connectivity) — the directed analogue of
+    /// [`Adjacency::is_connected`]. A one-way link between two otherwise
+    /// separated halves leaves the graph weakly but not strongly connected.
+    #[must_use]
+    pub fn is_strongly_connected(&self) -> bool {
+        self.reachable_from(0).iter().all(|&r| r) && self.reaching(0).iter().all(|&r| r)
+    }
+
+    /// The number of strongly connected components — the directed analogue
+    /// of [`Adjacency::component_count`]. `1` iff
+    /// [`is_strongly_connected`](DirectedAdjacency::is_strongly_connected).
+    #[must_use]
+    pub fn strong_component_count(&self) -> usize {
+        let mut assigned = vec![false; self.n];
+        let mut components = 0;
+        for v in 0..self.n {
+            if assigned[v] {
+                continue;
+            }
+            components += 1;
+            // v's strong component is exactly the processes both reachable
+            // from v and reaching v.
+            let forward = self.reachable_from(v);
+            let backward = self.reaching(v);
+            for (slot, both) in assigned
+                .iter_mut()
+                .zip(forward.iter().zip(&backward).map(|(&fwd, &bwd)| fwd && bwd))
+            {
+                *slot |= both;
+            }
+        }
+        components
+    }
+
+    /// Returns a copy with the given directed arcs removed. Self-arcs are
+    /// untouchable (self-delivery is structural) and arcs already absent
+    /// are no-ops — this is how a deterministic one-way cut of a
+    /// [`LinkFaultPlan`] projects onto the structural graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is outside the universe.
+    #[must_use]
+    pub fn without_arcs<I: IntoIterator<Item = (usize, usize)>>(&self, arcs: I) -> Self {
+        let mut pruned = self.clone();
+        for (from, to) in arcs {
+            assert!(from < self.n && to < self.n, "process outside the universe");
+            if from != to {
+                pruned.bits[from * self.n + to] = false;
+            }
+        }
+        pruned
+    }
+
+    /// Which processes are reachable from `start` along arcs (including
+    /// `start`).
+    fn reachable_from(&self, start: usize) -> Vec<bool> {
+        let mut visited = vec![false; self.n];
+        let mut stack = vec![start];
+        visited[start] = true;
+        while let Some(node) = stack.pop() {
+            let row = &self.bits[node * self.n..(node + 1) * self.n];
+            for (next, &linked) in row.iter().enumerate() {
+                if linked && !visited[next] {
+                    visited[next] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        visited
+    }
+
+    /// Which processes can reach `target` along arcs (including `target`).
+    fn reaching(&self, target: usize) -> Vec<bool> {
+        let mut visited = vec![false; self.n];
+        let mut stack = vec![target];
+        visited[target] = true;
+        while let Some(node) = stack.pop() {
+            let mut discovered = Vec::new();
+            for (prev, was_visited) in visited.iter_mut().enumerate() {
+                if self.bits[prev * self.n + node] && !*was_visited {
+                    *was_visited = true;
+                    discovered.push(prev);
+                }
+            }
+            stack.extend(discovered);
+        }
+        visited
+    }
+
+    /// One row of the matrix as reachability flags: `row(p)[q]` is `true`
+    /// when messages from `p` reach `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the universe.
+    #[must_use]
+    pub fn row(&self, p: ProcessId) -> &[bool] {
+        &self.bits[p.index() * self.n..(p.index() + 1) * self.n]
+    }
+}
+
+impl From<Adjacency> for DirectedAdjacency {
+    fn from(adjacency: Adjacency) -> Self {
+        DirectedAdjacency::from_symmetric(&adjacency)
+    }
+}
+
+impl fmt::Display for DirectedAdjacency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} processes, {} arcs, min in-neighbourhood {}",
+            self.n,
+            self.arc_count(),
+            self.min_in_closed_neighborhood()
+        )
+    }
+}
+
+/// What a dynamic exchange does when the realized communication graph of a
+/// round is disconnected.
+///
+/// Only dynamic schedules consult this: a *static* disconnected topology is
+/// always rejected at configuration time (agreement is meaningless across
+/// permanent components), but a churning graph may be transiently
+/// disconnected while its union over a window still carries information.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DisconnectionPolicy {
+    /// Count the round in
+    /// [`NetworkStats::disconnected_rounds`](crate::NetworkStats) and carry
+    /// on — the Li–Hurfin–Wang evolving-graph reading, where only the union
+    /// over a window needs connectivity.
+    #[default]
+    Record,
+    /// Fail the exchange with the typed
+    /// [`Error::DisconnectedRound`], treating any transient partition as a
+    /// configuration error.
+    Reject,
+}
+
+impl fmt::Display for DisconnectionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DisconnectionPolicy::Record => "record",
+            DisconnectionPolicy::Reject => "reject",
+        })
+    }
+}
+
+/// One rule of a [`LinkFaultPlan`]: a (possibly wildcarded) directed link
+/// selector together with the behaviour it sets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct LinkRule {
+    /// Sending endpoint, or `None` for every sender.
+    from: Option<usize>,
+    /// Receiving endpoint, or `None` for every receiver.
+    to: Option<usize>,
+    /// Omission probability to set, if any.
+    omit: Option<f64>,
+    /// Delivery delay (in rounds) to set, if any.
+    delay: Option<usize>,
+}
+
+impl LinkRule {
+    fn matches(&self, from: usize, to: usize) -> bool {
+        self.from.is_none_or(|f| f == from) && self.to.is_none_or(|t| t == to)
+    }
+}
+
+/// Per-link fault behaviours layered on the structural topology mask:
+/// seeded-random (or, at probability 1, deterministic) message omission and
+/// fixed delivery delays with in-order buffering.
+///
+/// A plan is *scenario-level plain data*: rules name directed links (or
+/// wildcards) and are applied in order, later rules overriding the field
+/// they set on the links they match. It is validated and compiled against a
+/// concrete universe when the network is built. Self-links are never
+/// faulted — self-delivery stays structural, as in the paper.
+///
+/// Omission draws are deterministic in `(seed, round, link)`, so two runs of
+/// the same configuration lose exactly the same messages. Delayed links
+/// deliver in order: a message sent on a `delay = d` link in round `r`
+/// arrives in round `r + d`, behind every earlier message on that link.
+/// Lost or delayed messages are accounted in the dedicated
+/// [`NetworkStats`](crate::NetworkStats) fields — never as adversary
+/// omissions.
+///
+/// # Example
+///
+/// ```
+/// use mbaa_net::LinkFaultPlan;
+///
+/// let plan = LinkFaultPlan::new()
+///     .omit_all(0.05)      // a lossy fabric: every link drops 5%
+///     .cut(0, 3)           // p0 -> p3 severed outright (one-way cut)
+///     .delay(1, 2, 3);     // p1 -> p2 delivers three rounds late
+/// assert!(!plan.is_clean());
+/// assert_eq!(plan.max_delay(), 3);
+/// assert!(plan.validate(5).is_ok());
+/// assert!(plan.validate(2).is_err()); // p3 is outside a 2-process universe
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinkFaultPlan {
+    rules: Vec<LinkRule>,
+}
+
+impl LinkFaultPlan {
+    /// The clean plan: every link delivers immediately and losslessly.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the omission probability of the directed link `from -> to`.
+    /// `1.0` severs the link deterministically; values in `(0, 1)` lose
+    /// each message independently with that probability, seeded by the run.
+    #[must_use]
+    pub fn omit(mut self, from: usize, to: usize, probability: f64) -> Self {
+        self.rules.push(LinkRule {
+            from: Some(from),
+            to: Some(to),
+            omit: Some(probability),
+            delay: None,
+        });
+        self
+    }
+
+    /// Sets the omission probability of **every** link at once.
+    #[must_use]
+    pub fn omit_all(mut self, probability: f64) -> Self {
+        self.rules.push(LinkRule {
+            from: None,
+            to: None,
+            omit: Some(probability),
+            delay: None,
+        });
+        self
+    }
+
+    /// Severs the directed link `from -> to` outright (sugar for
+    /// [`omit`](LinkFaultPlan::omit) at probability 1): together with the
+    /// intact reverse direction this expresses a one-way link.
+    #[must_use]
+    pub fn cut(self, from: usize, to: usize) -> Self {
+        self.omit(from, to, 1.0)
+    }
+
+    /// Sets the fixed delivery delay (in rounds) of the directed link
+    /// `from -> to`. Delay 0 restores immediate delivery.
+    ///
+    /// A delayed link surfaces round `r`'s value in round `r + d`, so its
+    /// slot never reflects the sender's *current* round: the trace flags
+    /// it `link_faulted` every round and behaviour classification
+    /// deliberately abstains on it for the whole run (judging round-`r`
+    /// behaviour against round-`r + d` expectations would mis-attribute
+    /// across rounds). Keep the links feeding a Table 1-style
+    /// classification delay-free.
+    #[must_use]
+    pub fn delay(mut self, from: usize, to: usize, rounds: usize) -> Self {
+        self.rules.push(LinkRule {
+            from: Some(from),
+            to: Some(to),
+            omit: None,
+            delay: Some(rounds),
+        });
+        self
+    }
+
+    /// Sets the fixed delivery delay of **every** link at once.
+    #[must_use]
+    pub fn delay_all(mut self, rounds: usize) -> Self {
+        self.rules.push(LinkRule {
+            from: None,
+            to: None,
+            omit: None,
+            delay: Some(rounds),
+        });
+        self
+    }
+
+    /// Returns `true` when the plan holds no rules at all — the network
+    /// lowers onto the fault-free fast path.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The largest delay any rule sets (0 for a clean plan).
+    #[must_use]
+    pub fn max_delay(&self) -> usize {
+        self.rules.iter().filter_map(|r| r.delay).max().unwrap_or(0)
+    }
+
+    /// Checks every rule against a universe of `n` processes.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownProcess`] when a rule names an endpoint outside
+    ///   `[0, n)`.
+    /// * [`Error::InvalidParameter`] when an omission probability is not a
+    ///   finite value in `[0, 1]`.
+    pub fn validate(&self, n: usize) -> Result<()> {
+        for rule in &self.rules {
+            for endpoint in [rule.from, rule.to].into_iter().flatten() {
+                if endpoint >= n {
+                    return Err(Error::UnknownProcess {
+                        process: ProcessId::new(endpoint),
+                        n,
+                    });
+                }
+            }
+            if let Some(p) = rule.omit {
+                if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                    return Err(Error::InvalidParameter(format!(
+                        "link omission probability must be a finite value in [0, 1], got {p}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles the plan into per-link omission/delay matrices over `n`
+    /// processes. Self-links stay clean regardless of wildcards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`validate`](LinkFaultPlan::validate).
+    pub fn compile(&self, n: usize) -> Result<CompiledLinkFaults> {
+        self.validate(n)?;
+        let mut omit = vec![0.0f64; n * n];
+        let mut delay = vec![0usize; n * n];
+        for rule in &self.rules {
+            for from in 0..n {
+                for to in 0..n {
+                    if from == to || !rule.matches(from, to) {
+                        continue;
+                    }
+                    if let Some(p) = rule.omit {
+                        omit[from * n + to] = p;
+                    }
+                    if let Some(d) = rule.delay {
+                        delay[from * n + to] = d;
+                    }
+                }
+            }
+        }
+        Ok(CompiledLinkFaults { n, omit, delay })
+    }
+}
+
+impl fmt::Display for LinkFaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return f.write_str("clean");
+        }
+        write!(f, "{} link-fault rule(s)", self.rules.len())
+    }
+}
+
+/// A [`LinkFaultPlan`] compiled against a concrete universe: one omission
+/// probability and one delay per directed link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledLinkFaults {
+    n: usize,
+    omit: Vec<f64>,
+    delay: Vec<usize>,
+}
+
+impl CompiledLinkFaults {
+    /// The universe size the plan was compiled against.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The omission probability of the directed link `from -> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either process is outside the universe.
+    #[must_use]
+    pub fn omit_probability(&self, from: ProcessId, to: ProcessId) -> f64 {
+        assert!(
+            from.index() < self.n && to.index() < self.n,
+            "process outside the universe"
+        );
+        self.omit[from.index() * self.n + to.index()]
+    }
+
+    /// The fixed delivery delay (in rounds) of the directed link
+    /// `from -> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either process is outside the universe.
+    #[must_use]
+    pub fn delay(&self, from: ProcessId, to: ProcessId) -> usize {
+        assert!(
+            from.index() < self.n && to.index() < self.n,
+            "process outside the universe"
+        );
+        self.delay[from.index() * self.n + to.index()]
+    }
+
+    /// Returns `true` when no link carries any fault — the compiled form of
+    /// an (effectively) clean plan.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.omit.iter().all(|&p| p == 0.0) && self.delay.iter().all(|&d| d == 0)
+    }
+
+    /// The directed links whose omission probability is 1 — severed
+    /// deterministically, i.e. structural one-way cuts in link-fault
+    /// clothing. The configuration layer subtracts these from the realized
+    /// graph before its connectivity and resilience checks, so a plan
+    /// cannot smuggle in a permanent partition that an equivalent
+    /// [`Topology::Custom`] would be rejected for.
+    #[must_use]
+    pub fn severed_arcs(&self) -> Vec<(usize, usize)> {
+        (0..self.n)
+            .flat_map(|from| (0..self.n).map(move |to| (from, to)))
+            .filter(|&(from, to)| from != to && self.omit[from * self.n + to] >= 1.0)
+            .collect()
+    }
+
+    pub(crate) fn omit_at(&self, from: usize, to: usize) -> f64 {
+        self.omit[from * self.n + to]
+    }
+
+    pub(crate) fn delay_at(&self, from: usize, to: usize) -> usize {
+        self.delay[from * self.n + to]
+    }
+}
+
+/// A description of how the communication graph evolves over rounds.
+///
+/// Like [`Topology`], a schedule is scenario-level plain data: it does not
+/// know the system size until [`realize`](TopologySchedule::realize)d, and
+/// realization is deterministic in `(n, seed)` — the per-round graphs are a
+/// pure function of the round index, independent of execution order, worker
+/// count, or batch/stream path.
+///
+/// # Example
+///
+/// ```
+/// use mbaa_net::{Topology, TopologySchedule};
+/// use mbaa_types::Round;
+///
+/// // Alternate between two half-rings; their union is the k=2 ring.
+/// let schedule = TopologySchedule::Periodic {
+///     phases: vec![Topology::Ring { k: 1 }, Topology::Ring { k: 2 }],
+/// };
+/// let realized = schedule.realize(9, 0)?;
+/// assert_eq!(realized.adjacency_at(Round::new(0)).min_degree(), 2);
+/// assert_eq!(realized.adjacency_at(Round::new(1)).min_degree(), 4);
+/// // Period 2: round 2 repeats round 0.
+/// assert_eq!(
+///     realized.adjacency_at(Round::new(2)),
+///     realized.adjacency_at(Round::new(0)),
+/// );
+/// # Ok::<(), mbaa_types::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopologySchedule {
+    /// The same graph every round — the degenerate schedule, equivalent to
+    /// the plain [`Topology`] axis and lowered onto the same fast paths.
+    Static(Topology),
+    /// A rotating cycle of graph phases: round `r` uses
+    /// `phases[r % phases.len()]`. Each phase is realized once, with a
+    /// per-phase seed, so rotating random-regular phases yields *different*
+    /// regular graphs.
+    Periodic {
+        /// The graph families cycled through, one per round.
+        phases: Vec<Topology>,
+    },
+    /// Round-indexed churn: every link of the realized `base` graph is
+    /// independently **down** each round with probability `flip_rate`,
+    /// deterministically in `(seed, round, link)`. The union of the
+    /// realized graphs over a window of `w` rounds misses a base link with
+    /// probability `flip_rate^w` — the evolving-graph regime where the
+    /// union, not any single round, meets the degree bound.
+    SeededChurn {
+        /// The graph being churned.
+        base: Topology,
+        /// Per-round, per-link down-probability in `[0, 1]`.
+        flip_rate: f64,
+    },
+}
+
+impl Default for TopologySchedule {
+    fn default() -> Self {
+        TopologySchedule::Static(Topology::Complete)
+    }
+}
+
+impl fmt::Display for TopologySchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologySchedule::Static(topology) => write!(f, "static({topology})"),
+            TopologySchedule::Periodic { phases } => {
+                write!(f, "periodic(")?;
+                for (i, phase) in phases.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{phase}")?;
+                }
+                write!(f, ")")
+            }
+            TopologySchedule::SeededChurn { base, flip_rate } => {
+                write!(f, "churn({base}, flip_rate={flip_rate})")
+            }
+        }
+    }
+}
+
+impl TopologySchedule {
+    /// Returns `true` for the static complete schedule — the description
+    /// that lowers onto the unmasked fast path, bit-identical to no
+    /// schedule at all.
+    #[must_use]
+    pub fn is_static_complete(&self) -> bool {
+        matches!(self, TopologySchedule::Static(t) if t.is_complete())
+    }
+
+    /// Realizes the schedule over `n` processes. Every phase (and the churn
+    /// base) is realized exactly once;
+    /// [`SeededChurn`](TopologySchedule::SeededChurn) derives its per-round
+    /// drops lazily from `(seed, round, link)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidParameter`] when a phase cannot be realized, when
+    ///   a periodic schedule has no phases, or when a churn `flip_rate` is
+    ///   not a finite value in `[0, 1]`.
+    ///
+    /// Like [`Topology::realize`], this does **not** reject disconnected
+    /// graphs; the protocol configuration layer does, honouring the
+    /// [`DisconnectionPolicy`].
+    pub fn realize(&self, n: usize, seed: u64) -> Result<RealizedSchedule> {
+        let kind = match self {
+            TopologySchedule::Static(topology) => RealizedKind::Static(topology.realize(n, seed)?),
+            TopologySchedule::Periodic { phases } => {
+                if phases.is_empty() {
+                    return Err(Error::InvalidParameter(
+                        "a periodic schedule needs at least one phase".into(),
+                    ));
+                }
+                let realized = phases
+                    .iter()
+                    .enumerate()
+                    .map(|(i, phase)| phase.realize(n, mix(seed, i as u64)))
+                    .collect::<Result<Vec<_>>>()?;
+                RealizedKind::Periodic(realized)
+            }
+            TopologySchedule::SeededChurn { base, flip_rate } => {
+                if !flip_rate.is_finite() || !(0.0..=1.0).contains(flip_rate) {
+                    return Err(Error::InvalidParameter(format!(
+                        "churn flip_rate must be a finite value in [0, 1], got {flip_rate}"
+                    )));
+                }
+                RealizedKind::Churn {
+                    base: base.realize(n, seed)?,
+                    flip_rate: *flip_rate,
+                }
+            }
+        };
+        Ok(RealizedSchedule { n, seed, kind })
+    }
+}
+
+/// The realized forms behind a [`RealizedSchedule`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum RealizedKind {
+    Static(Adjacency),
+    Periodic(Vec<Adjacency>),
+    Churn { base: Adjacency, flip_rate: f64 },
+}
+
+/// A [`TopologySchedule`] realized over a concrete universe: a pure,
+/// deterministic mapping from round index to communication graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealizedSchedule {
+    n: usize,
+    seed: u64,
+    kind: RealizedKind,
+}
+
+impl RealizedSchedule {
+    /// The number of processes every per-round graph covers.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The communication graph of `round`. Static and periodic schedules
+    /// hand back their pre-realized phases; churn builds the round's
+    /// subgraph of the base on demand (borrowed vs. owned is an
+    /// implementation detail the [`Cow`] hides).
+    #[must_use]
+    pub fn adjacency_at(&self, round: Round) -> Cow<'_, Adjacency> {
+        match &self.kind {
+            RealizedKind::Static(adjacency) => Cow::Borrowed(adjacency),
+            RealizedKind::Periodic(phases) => {
+                Cow::Borrowed(&phases[(round.index() % phases.len() as u64) as usize])
+            }
+            RealizedKind::Churn { base, flip_rate } => {
+                if *flip_rate == 0.0 {
+                    return Cow::Borrowed(base);
+                }
+                let surviving = (0..self.n).flat_map(|a| {
+                    (a + 1..self.n).filter_map(move |b| {
+                        (base.connected(ProcessId::new(a), ProcessId::new(b))
+                            && !churn_link_down(self.seed, round.index(), a, b, *flip_rate))
+                        .then_some((a, b))
+                    })
+                });
+                Cow::Owned(
+                    Adjacency::from_edges(self.n, surviving)
+                        .expect("surviving edges stay inside the universe"),
+                )
+            }
+        }
+    }
+
+    /// The single graph of a static schedule, or `None` for a genuinely
+    /// dynamic one.
+    #[must_use]
+    pub fn static_adjacency(&self) -> Option<&Adjacency> {
+        match &self.kind {
+            RealizedKind::Static(adjacency) => Some(adjacency),
+            _ => None,
+        }
+    }
+
+    /// The graphs configuration-time validation inspects: the static graph,
+    /// every periodic phase, or the churn base.
+    #[must_use]
+    pub fn validation_graphs(&self) -> &[Adjacency] {
+        match &self.kind {
+            RealizedKind::Static(adjacency) => std::slice::from_ref(adjacency),
+            RealizedKind::Periodic(phases) => phases,
+            RealizedKind::Churn { base, .. } => std::slice::from_ref(base),
+        }
+    }
+
+    /// Returns `true` when per-round graphs can differ from one another
+    /// (periodic with more than one distinct phase, or churn with a
+    /// positive flip rate).
+    #[must_use]
+    pub fn is_dynamic(&self) -> bool {
+        match &self.kind {
+            RealizedKind::Static(_) => false,
+            RealizedKind::Periodic(phases) => phases.iter().any(|p| p != &phases[0]),
+            RealizedKind::Churn { flip_rate, .. } => *flip_rate > 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn directed_complete_and_symmetric_roundtrip() {
+        let symmetric = Adjacency::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let directed = DirectedAdjacency::from_symmetric(&symmetric);
+        assert!(directed.is_symmetric());
+        assert!(directed.is_strongly_connected());
+        assert_eq!(directed.to_symmetric().unwrap(), symmetric);
+        assert_eq!(directed.arc_count(), 2 * symmetric.edge_count());
+        assert!(DirectedAdjacency::complete(3).is_complete());
+        assert_eq!(
+            DirectedAdjacency::from(Adjacency::complete(3)),
+            DirectedAdjacency::complete(3)
+        );
+    }
+
+    #[test]
+    fn one_way_arcs_break_symmetry_and_strong_connectivity() {
+        let one_way = DirectedAdjacency::from_arcs(3, [(0, 1), (1, 2), (2, 1), (1, 0)]).unwrap();
+        // 2 hears 1 and 1 hears 2, but nothing reaches 0 except via 1.
+        assert!(one_way.is_strongly_connected());
+        let severed = DirectedAdjacency::from_arcs(3, [(0, 1), (1, 2)]).unwrap();
+        assert!(!severed.is_symmetric());
+        assert!(!severed.is_strongly_connected());
+        assert!(severed.to_symmetric().is_err());
+        assert_eq!(severed.out_neighbors(pid(0)), vec![pid(1)]);
+        assert_eq!(severed.in_neighbors(pid(0)), vec![]);
+        assert_eq!(severed.in_degree(pid(2)), 1);
+        assert_eq!(severed.out_degree(pid(2)), 0);
+        assert_eq!(severed.min_in_closed_neighborhood(), 1);
+    }
+
+    #[test]
+    fn directed_from_matrix_accepts_asymmetry_but_validates_shape() {
+        let asym =
+            DirectedAdjacency::from_matrix(vec![vec![false, true], vec![false, false]]).unwrap();
+        assert!(asym.delivers(pid(0), pid(1)));
+        assert!(!asym.delivers(pid(1), pid(0)));
+        // Diagonal forced on.
+        assert!(asym.delivers(pid(0), pid(0)));
+        assert!(DirectedAdjacency::from_matrix(vec![]).is_err());
+        assert!(DirectedAdjacency::from_matrix(vec![vec![true], vec![true]]).is_err());
+        assert!(matches!(
+            DirectedAdjacency::from_arcs(2, [(0, 5)]),
+            Err(Error::UnknownProcess { n: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn link_fault_plan_compiles_rules_in_order() {
+        let plan = LinkFaultPlan::new()
+            .omit_all(0.1)
+            .omit(0, 1, 0.9)
+            .delay(1, 0, 2);
+        let compiled = plan.compile(3).unwrap();
+        assert_eq!(compiled.omit_probability(pid(0), pid(1)), 0.9);
+        assert_eq!(compiled.omit_probability(pid(0), pid(2)), 0.1);
+        assert_eq!(compiled.delay(pid(1), pid(0)), 2);
+        assert_eq!(compiled.delay(pid(0), pid(1)), 0);
+        // Self-links are never faulted, wildcards notwithstanding.
+        assert_eq!(compiled.omit_probability(pid(1), pid(1)), 0.0);
+        assert!(!compiled.is_clean());
+        assert!(LinkFaultPlan::new().compile(3).unwrap().is_clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the universe")]
+    fn compiled_faults_panic_on_out_of_universe_lookups() {
+        let compiled = LinkFaultPlan::new().compile(3).unwrap();
+        let _ = compiled.omit_probability(pid(0), pid(5));
+    }
+
+    #[test]
+    fn link_fault_plan_validates_probabilities_and_endpoints() {
+        assert!(LinkFaultPlan::new().omit(0, 1, 1.5).validate(3).is_err());
+        assert!(LinkFaultPlan::new()
+            .omit(0, 1, f64::NAN)
+            .validate(3)
+            .is_err());
+        assert!(matches!(
+            LinkFaultPlan::new().delay(0, 7, 1).validate(3),
+            Err(Error::UnknownProcess { n: 3, .. })
+        ));
+        assert!(LinkFaultPlan::new().cut(0, 1).validate(2).is_ok());
+    }
+
+    #[test]
+    fn omission_draw_is_deterministic_and_respects_extremes() {
+        assert!(!omission_lost(7, 3, 0, 1, 0.0));
+        assert!(omission_lost(7, 3, 0, 1, 1.0));
+        for round in 0..50 {
+            assert_eq!(
+                omission_lost(7, round, 0, 1, 0.5),
+                omission_lost(7, round, 0, 1, 0.5)
+            );
+        }
+        // Roughly half the draws land on each side for p = 0.5.
+        let lost = (0..1000)
+            .filter(|&r| omission_lost(11, r, 2, 3, 0.5))
+            .count();
+        assert!((350..=650).contains(&lost), "p=0.5 lost {lost}/1000");
+    }
+
+    #[test]
+    fn static_schedule_realizes_to_one_graph() {
+        let realized = TopologySchedule::Static(Topology::Ring { k: 2 })
+            .realize(9, 0)
+            .unwrap();
+        assert!(!realized.is_dynamic());
+        assert_eq!(realized.validation_graphs().len(), 1);
+        let r0 = realized.adjacency_at(Round::ZERO);
+        let r9 = realized.adjacency_at(Round::new(9));
+        assert_eq!(r0, r9);
+        assert_eq!(realized.static_adjacency(), Some(&*r0));
+        assert!(TopologySchedule::default().is_static_complete());
+    }
+
+    #[test]
+    fn periodic_schedule_rotates_phases() {
+        let schedule = TopologySchedule::Periodic {
+            phases: vec![Topology::Ring { k: 1 }, Topology::Complete],
+        };
+        let realized = schedule.realize(6, 3).unwrap();
+        assert!(realized.is_dynamic());
+        assert!(realized.static_adjacency().is_none());
+        assert!(!realized.adjacency_at(Round::ZERO).is_complete());
+        assert!(realized.adjacency_at(Round::new(1)).is_complete());
+        assert_eq!(
+            realized.adjacency_at(Round::new(4)),
+            realized.adjacency_at(Round::ZERO)
+        );
+        assert!(matches!(
+            TopologySchedule::Periodic { phases: vec![] }.realize(6, 3),
+            Err(Error::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn periodic_random_regular_phases_draw_distinct_graphs() {
+        let schedule = TopologySchedule::Periodic {
+            phases: vec![
+                Topology::RandomRegular { degree: 4 },
+                Topology::RandomRegular { degree: 4 },
+            ],
+        };
+        let realized = schedule.realize(10, 7).unwrap();
+        assert_ne!(
+            realized.adjacency_at(Round::ZERO),
+            realized.adjacency_at(Round::new(1)),
+            "per-phase seeds should decorrelate identical families"
+        );
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_round_and_bounded_by_base() {
+        let schedule = TopologySchedule::SeededChurn {
+            base: Topology::Ring { k: 2 },
+            flip_rate: 0.4,
+        };
+        let a = schedule.realize(9, 5).unwrap();
+        let b = schedule.realize(9, 5).unwrap();
+        let base = Topology::Ring { k: 2 }.realize(9, 5).unwrap();
+        let mut saw_a_drop = false;
+        for round in 0..30 {
+            let ga = a.adjacency_at(Round::new(round));
+            assert_eq!(*ga, *b.adjacency_at(Round::new(round)));
+            for x in 0..9 {
+                for y in 0..9 {
+                    if ga.connected(pid(x), pid(y)) {
+                        assert!(base.connected(pid(x), pid(y)), "churn invented a link");
+                    }
+                }
+            }
+            if ga.edge_count() < base.edge_count() {
+                saw_a_drop = true;
+            }
+        }
+        assert!(
+            saw_a_drop,
+            "flip_rate 0.4 never dropped a link in 30 rounds"
+        );
+        // Different seeds draw different evolutions (overwhelmingly).
+        let c = schedule.realize(9, 6).unwrap();
+        assert!((0..30).any(|r| *a.adjacency_at(Round::new(r)) != *c.adjacency_at(Round::new(r))));
+    }
+
+    #[test]
+    fn churn_extremes_and_validation() {
+        let frozen = TopologySchedule::SeededChurn {
+            base: Topology::Complete,
+            flip_rate: 0.0,
+        }
+        .realize(5, 0)
+        .unwrap();
+        assert!(!frozen.is_dynamic());
+        assert!(frozen.adjacency_at(Round::new(9)).is_complete());
+
+        let dark = TopologySchedule::SeededChurn {
+            base: Topology::Complete,
+            flip_rate: 1.0,
+        }
+        .realize(5, 0)
+        .unwrap();
+        assert_eq!(dark.adjacency_at(Round::ZERO).edge_count(), 0);
+
+        assert!(matches!(
+            TopologySchedule::SeededChurn {
+                base: Topology::Complete,
+                flip_rate: 1.5,
+            }
+            .realize(5, 0),
+            Err(Error::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn churn_union_over_a_window_recovers_the_base() {
+        let realized = TopologySchedule::SeededChurn {
+            base: Topology::Complete,
+            flip_rate: 0.5,
+        }
+        .realize(7, 2)
+        .unwrap();
+        let mut union = [false; 7 * 7];
+        for round in 0..12 {
+            let g = realized.adjacency_at(Round::new(round));
+            for a in 0..7 {
+                for b in 0..7 {
+                    if g.connected(pid(a), pid(b)) {
+                        union[a * 7 + b] = true;
+                    }
+                }
+            }
+        }
+        assert!(
+            union.iter().all(|&present| present),
+            "union of 12 churned rounds at flip_rate 0.5 should cover the complete base"
+        );
+    }
+
+    #[test]
+    fn displays_name_the_families() {
+        assert_eq!(
+            TopologySchedule::Static(Topology::Complete).to_string(),
+            "static(complete)"
+        );
+        assert_eq!(
+            TopologySchedule::Periodic {
+                phases: vec![Topology::Ring { k: 1 }, Topology::Grid],
+            }
+            .to_string(),
+            "periodic(ring(k=1), grid)"
+        );
+        assert_eq!(
+            TopologySchedule::SeededChurn {
+                base: Topology::Complete,
+                flip_rate: 0.25,
+            }
+            .to_string(),
+            "churn(complete, flip_rate=0.25)"
+        );
+        assert_eq!(LinkFaultPlan::new().to_string(), "clean");
+        assert_eq!(
+            LinkFaultPlan::new().cut(0, 1).to_string(),
+            "1 link-fault rule(s)"
+        );
+        assert_eq!(DisconnectionPolicy::Record.to_string(), "record");
+        assert_eq!(DisconnectionPolicy::Reject.to_string(), "reject");
+        assert_eq!(
+            DirectedAdjacency::complete(3).to_string(),
+            "3 processes, 6 arcs, min in-neighbourhood 3"
+        );
+    }
+
+    #[test]
+    fn singleton_universe_is_strongly_connected() {
+        let one = DirectedAdjacency::complete(1);
+        assert!(one.is_strongly_connected());
+        assert!(one.is_symmetric());
+        assert_eq!(one.min_in_closed_neighborhood(), 1);
+        assert_eq!(one.arc_count(), 0);
+    }
+}

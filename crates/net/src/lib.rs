@@ -25,6 +25,12 @@
 //! * [`Topology`] / [`Adjacency`] — the communication graph: complete,
 //!   ring lattice, random regular, grid, or an explicit validated
 //!   adjacency matrix, with connectivity and degree queries.
+//! * [`faults`] — the link-fault & dynamic-topology subsystem:
+//!   [`DirectedAdjacency`] (one-way links), [`LinkFaultPlan`] (per-link
+//!   omission probability and fixed delays with in-order buffering), and
+//!   [`TopologySchedule`] (a possibly different realized graph per round —
+//!   static, periodic, or seeded churn), with link-attributable
+//!   non-deliveries accounted separately from adversary omissions.
 //! * [`RoundTrace`] / [`NetworkTrace`] — per-round observation records used
 //!   to classify the behaviour of each sender (benign / symmetric /
 //!   asymmetric), which is how the Table 1 mapping is validated
@@ -57,6 +63,7 @@
 #![warn(missing_debug_implementations)]
 
 mod delivery;
+pub mod faults;
 mod network;
 mod outbox;
 mod stats;
@@ -64,6 +71,10 @@ mod topology;
 mod trace;
 
 pub use delivery::RoundDelivery;
+pub use faults::{
+    CompiledLinkFaults, DirectedAdjacency, DisconnectionPolicy, LinkFaultPlan, RealizedSchedule,
+    TopologySchedule,
+};
 pub use network::SyncNetwork;
 pub use outbox::Outbox;
 pub use stats::NetworkStats;

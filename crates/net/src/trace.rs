@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use mbaa_types::{ProcessId, Round, Value};
 
-use crate::{Adjacency, Outbox};
+use crate::{Adjacency, DirectedAdjacency, Outbox};
 
 /// The behaviour of a sender in one round, as perceived by the receivers.
 ///
@@ -64,6 +64,12 @@ pub struct SenderObservation {
     /// `reachable[r]` is `false` when the sender shares no link with `r`
     /// (all `true` on a fully connected network).
     reachable: Vec<bool>,
+    /// `link_faulted[r]` is `true` when the slot to `r` was governed by a
+    /// per-link fault this round (the link omitted the message, or a delay
+    /// buffer shifted it to a later round) — a property of the *link*, not
+    /// of the sender, so classification skips these slots. All `false` on a
+    /// fault-free network.
+    link_faulted: Vec<bool>,
 }
 
 impl SenderObservation {
@@ -78,6 +84,7 @@ impl SenderObservation {
                 .map(|i| outbox.get(ProcessId::new(i)))
                 .collect(),
             reachable: vec![true; outbox.universe()],
+            link_faulted: vec![false; outbox.universe()],
         }
     }
 
@@ -90,8 +97,25 @@ impl SenderObservation {
         let reachable: Vec<bool> = (0..outbox.universe())
             .map(|i| adjacency.connected(sender, ProcessId::new(i)))
             .collect();
+        Self::from_reachability(outbox, reachable)
+    }
+
+    /// Builds the observation of a sender whose delivery was masked by a
+    /// **directed** graph: slots to receivers outside the sender's
+    /// out-neighbourhood become structural `None`s and are flagged
+    /// unreachable.
+    #[must_use]
+    pub fn from_outbox_directed(outbox: &Outbox, directed: &DirectedAdjacency) -> Self {
+        let sender = outbox.sender();
+        let reachable: Vec<bool> = (0..outbox.universe())
+            .map(|i| directed.delivers(sender, ProcessId::new(i)))
+            .collect();
+        Self::from_reachability(outbox, reachable)
+    }
+
+    fn from_reachability(outbox: &Outbox, reachable: Vec<bool>) -> Self {
         SenderObservation {
-            sender,
+            sender: outbox.sender(),
             delivered: reachable
                 .iter()
                 .enumerate()
@@ -104,6 +128,44 @@ impl SenderObservation {
                 })
                 .collect(),
             reachable,
+            link_faulted: vec![false; outbox.universe()],
+        }
+    }
+
+    /// Builds the observation of a sender on a dynamic, link-faulted
+    /// network: `reachable` is the structural mask of the round's realized
+    /// graph, and `link_faulted` flags the slots whose outcome was decided
+    /// by a per-link fault (omission draw or delay buffer) rather than by
+    /// the sender — those slots read as `None` and are excluded from
+    /// [`classify`](SenderObservation::classify).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flag vectors do not cover the outbox's universe.
+    #[must_use]
+    pub fn from_outbox_with_faults(
+        outbox: &Outbox,
+        reachable: Vec<bool>,
+        link_faulted: Vec<bool>,
+    ) -> Self {
+        let n = outbox.universe();
+        assert!(
+            reachable.len() == n && link_faulted.len() == n,
+            "flag vectors must cover the outbox universe"
+        );
+        SenderObservation {
+            sender: outbox.sender(),
+            delivered: (0..n)
+                .map(|i| {
+                    if reachable[i] && !link_faulted[i] {
+                        outbox.get(ProcessId::new(i))
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+            reachable,
+            link_faulted,
         }
     }
 
@@ -136,6 +198,22 @@ impl SenderObservation {
         self.reachable[receiver.index()]
     }
 
+    /// Returns `true` when the slot to `receiver` was governed by a
+    /// per-link fault this round (omitted by the link or shifted by a delay
+    /// buffer) — always `false` on a fault-free network. A link with a
+    /// fixed delay is flagged in *every* round, not just during warm-up:
+    /// its slot always carries another round's value, so classification
+    /// abstains on it for the run's duration rather than judging a sender
+    /// across rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `receiver` is outside the universe.
+    #[must_use]
+    pub fn link_faulted(&self, receiver: ProcessId) -> bool {
+        self.link_faulted[receiver.index()]
+    }
+
     /// The receivers the sender shares no link with, in ascending order
     /// (empty on a fully connected network).
     #[must_use]
@@ -148,7 +226,9 @@ impl SenderObservation {
     }
 
     /// Classifies the sender's behaviour this round, considering only the
-    /// receivers it can structurally reach.
+    /// receivers it can structurally reach over link-fault-free slots: a
+    /// message the *link* dropped or delayed says nothing about the sender,
+    /// so those slots are skipped exactly like unreachable ones.
     ///
     /// `expected` is the vote a correct process in the sender's position
     /// would have broadcast (when known); it separates
@@ -161,8 +241,8 @@ impl SenderObservation {
         let mut slots = self
             .delivered
             .iter()
-            .zip(&self.reachable)
-            .filter_map(|(slot, &linked)| linked.then_some(*slot));
+            .zip(self.reachable.iter().zip(&self.link_faulted))
+            .filter_map(|(slot, (&linked, &faulted))| (linked && !faulted).then_some(*slot));
         let Some(first) = slots.next() else {
             // No reachable receiver at all (an isolated sender): nothing
             // observable beyond silence.
@@ -214,6 +294,33 @@ impl RoundTrace {
                 .iter()
                 .map(|outbox| SenderObservation::from_outbox_masked(outbox, adjacency))
                 .collect(),
+        }
+    }
+
+    /// Builds the round trace of a **directed**-topology exchange.
+    #[must_use]
+    pub fn from_outboxes_directed(
+        round: Round,
+        outboxes: &[Outbox],
+        directed: &DirectedAdjacency,
+    ) -> Self {
+        RoundTrace {
+            round,
+            observations: outboxes
+                .iter()
+                .map(|outbox| SenderObservation::from_outbox_directed(outbox, directed))
+                .collect(),
+        }
+    }
+
+    /// Builds a round trace from explicitly assembled observations — used
+    /// by the dynamic, link-faulted exchange, which computes reachability
+    /// and fault flags per slot.
+    #[must_use]
+    pub fn from_observations(round: Round, observations: Vec<SenderObservation>) -> Self {
+        RoundTrace {
+            round,
+            observations,
         }
     }
 
@@ -449,6 +556,50 @@ mod tests {
         let trace = RoundTrace::from_outboxes_masked(Round::ZERO, &outboxes, &adjacency);
         assert!(!trace.observation(pid(0)).reaches(pid(1)));
         assert!(trace.observation(pid(0)).reaches(pid(0)));
+    }
+
+    #[test]
+    fn link_faulted_slots_are_excluded_from_classification() {
+        // A correct broadcast whose slot to p2 was eaten by the link: still
+        // a correct broadcast, not an asymmetric fault.
+        let outbox = Outbox::broadcast(3, pid(0), Value::new(1.0));
+        let obs = SenderObservation::from_outbox_with_faults(
+            &outbox,
+            vec![true, true, true],
+            vec![false, false, true],
+        );
+        assert!(obs.link_faulted(pid(2)));
+        assert!(!obs.link_faulted(pid(1)));
+        assert!(obs.reaches(pid(2)));
+        assert_eq!(obs.delivered_to(pid(2)), None);
+        assert_eq!(
+            obs.classify(Some(Value::new(1.0))),
+            ObservedBehavior::CorrectBroadcast
+        );
+        // Every judgeable slot gone: nothing observable beyond silence.
+        let dark = SenderObservation::from_outbox_with_faults(
+            &outbox,
+            vec![true, true, true],
+            vec![true, true, true],
+        );
+        assert_eq!(dark.classify(None), ObservedBehavior::Benign);
+    }
+
+    #[test]
+    fn directed_observation_uses_out_reachability() {
+        let directed = DirectedAdjacency::from_arcs(3, [(0, 1)]).unwrap();
+        let outbox = Outbox::broadcast(3, pid(0), Value::new(2.0));
+        let obs = SenderObservation::from_outbox_directed(&outbox, &directed);
+        assert!(obs.reaches(pid(1)));
+        assert!(!obs.reaches(pid(2)));
+        assert_eq!(obs.classify(None), ObservedBehavior::CorrectBroadcast);
+        // p1 cannot reach anyone but itself.
+        let back = SenderObservation::from_outbox_directed(
+            &Outbox::broadcast(3, pid(1), Value::new(3.0)),
+            &directed,
+        );
+        assert!(!back.reaches(pid(0)));
+        assert_eq!(back.unreachable_receivers(), vec![pid(0), pid(2)]);
     }
 
     #[test]

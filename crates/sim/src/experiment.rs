@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
 use mbaa_core::{MobileEngine, MobileRunOutcome, ProtocolConfig};
 use mbaa_msr::MsrFunction;
-use mbaa_net::Topology;
+use mbaa_net::{DisconnectionPolicy, LinkFaultPlan, Topology, TopologySchedule};
 use mbaa_types::{MobileModel, Result};
 
 use crate::Workload;
@@ -41,6 +41,13 @@ pub struct ExperimentConfig {
     /// The communication graph every exchange is mediated by — recorded
     /// here so summary-level results stay self-describing.
     pub topology: Topology,
+    /// The per-round topology schedule, or `None` for the static
+    /// [`topology`](ExperimentConfig::topology) axis.
+    pub schedule: Option<TopologySchedule>,
+    /// Per-link omission/delay faults layered on the structural mask.
+    pub link_faults: LinkFaultPlan,
+    /// The per-round disconnection policy of a dynamic schedule.
+    pub disconnection: DisconnectionPolicy,
     /// The MSR instance to run, or `None` for the model's default.
     pub function: Option<MsrFunction>,
     /// The seeds to evaluate (one full protocol run per seed).
@@ -65,7 +72,12 @@ impl ExperimentConfig {
             .mobility(self.mobility)
             .corruption(self.corruption)
             .topology(self.topology.clone())
+            .link_faults(self.link_faults.clone())
+            .disconnection(self.disconnection)
             .seed(seed);
+        if let Some(schedule) = &self.schedule {
+            builder = builder.topology_schedule(schedule.clone());
+        }
         if let Some(function) = self.function {
             builder = builder.function(function);
         }
@@ -260,6 +272,9 @@ mod tests {
             mobility: MobilityStrategy::TargetExtremes,
             corruption: CorruptionStrategy::split_attack(),
             topology: Topology::Complete,
+            schedule: None,
+            link_faults: LinkFaultPlan::default(),
+            disconnection: DisconnectionPolicy::default(),
             function: None,
             seeds: seeds.collect(),
             workload: Workload::default(),
@@ -332,6 +347,28 @@ mod tests {
         assert_eq!(result.runs.len(), 2);
         let protocol = config.protocol_config(0).unwrap();
         assert_eq!(protocol.topology, Topology::Ring { k: 2 });
+    }
+
+    #[test]
+    fn schedule_and_link_faults_are_recorded_and_threaded_through_lowering() {
+        let schedule = TopologySchedule::SeededChurn {
+            base: Topology::Complete,
+            flip_rate: 0.2,
+        };
+        let config = ExperimentConfig {
+            schedule: Some(schedule.clone()),
+            link_faults: LinkFaultPlan::new().omit_all(0.05),
+            disconnection: DisconnectionPolicy::Record,
+            ..point(MobileModel::Garay, 9, 1, 0..2)
+        };
+        let result = run_experiment(&config).unwrap();
+        assert_eq!(result.config.schedule, Some(schedule.clone()));
+        assert!(!result.config.link_faults.is_clean());
+        assert_eq!(result.runs.len(), 2);
+        let protocol = config.protocol_config(0).unwrap();
+        assert_eq!(protocol.schedule, Some(schedule));
+        assert!(!protocol.link_faults.is_clean());
+        assert_eq!(protocol.disconnection, DisconnectionPolicy::Record);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! ```
 //! use mbaa_sim::{run_experiment, ExperimentConfig, Workload};
 //! use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
-//! use mbaa_net::Topology;
+//! use mbaa_net::{DisconnectionPolicy, LinkFaultPlan, Topology};
 //! use mbaa_types::MobileModel;
 //!
 //! // The lowered form is plain data (`mbaa::Scenario` produces it for you).
@@ -39,6 +39,9 @@
 //!     mobility: MobilityStrategy::TargetExtremes,
 //!     corruption: CorruptionStrategy::split_attack(),
 //!     topology: Topology::Complete,
+//!     schedule: None,
+//!     link_faults: LinkFaultPlan::default(),
+//!     disconnection: DisconnectionPolicy::default(),
 //!     function: None,
 //!     seeds: (0..5).collect(),
 //!     workload: Workload::UniformSpread { lo: 0.0, hi: 1.0 },

@@ -62,6 +62,17 @@ pub enum Error {
         /// The processes-per-neighbourhood the model requires.
         required: usize,
     },
+    /// A dynamic topology schedule realized a disconnected communication
+    /// graph in some round, under the reject disconnection policy. Unlike
+    /// [`Error::DisconnectedTopology`] (a *static* graph with permanent
+    /// components, never tolerated), this is a transient, per-round
+    /// condition a churn experiment may instead choose to record.
+    DisconnectedRound {
+        /// The round whose realized graph was disconnected.
+        round: Round,
+        /// The number of connected components the graph split into.
+        components: usize,
+    },
     /// The number of initial values does not match the number of processes.
     WrongInputCount {
         /// Number of initial values provided.
@@ -114,6 +125,11 @@ impl fmt::Display for Error {
                 "{model} with f={agents} agents requires every process to hear at least \
                  {required} processes per round, but the sparsest neighbourhood holds only \
                  {min_neighborhood}"
+            ),
+            Error::DisconnectedRound { round, components } => write!(
+                f,
+                "realized topology at {round} is disconnected ({components} components) \
+                 under the reject disconnection policy"
             ),
             Error::UnknownProcess { process, n } => {
                 write!(f, "process {process} is outside the universe of {n} processes")
@@ -192,6 +208,13 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("Garay") && msg.contains("at least 5") && msg.contains("only 3"));
+
+        let e = Error::DisconnectedRound {
+            round: Round::new(4),
+            components: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("r4") && msg.contains("3 components"));
     }
 
     #[test]

@@ -4,9 +4,14 @@
 Usage: bench_diff.py BASELINE_DIR CURRENT_DIR [--threshold PCT]
 
 Each BENCH_<binary>.json (written by the vendored criterion shim under
-MBAA_BENCH_JSON) is an array of {group, id, mean_ns, min_ns, samples}
-records. Benchmarks are matched by (file name, group, id); mean_ns is
-compared and any regression above the threshold (default 15%) is flagged.
+MBAA_BENCH_JSON) is an array of {group, id, mean_ns, min_ns, samples, unit}
+records — wall-clock timings (unit "ns") from the criterion-style benches
+and report-style metrics (rounds, thresholds, contraction factors, with
+their own units) from the table1/table2/convergence benches. *Every*
+BENCH_*.json file in the two directories is diffed; benchmarks are matched
+by (file name, group, id), mean_ns is compared, and any regression above
+the threshold (default 15%) is flagged. The "unit" field is display-only
+and optional (old baselines without it read as "ns").
 
 The Markdown goes to stdout (append it to $GITHUB_STEP_SUMMARY in CI). The
 exit code is always 0: CI smoke runners are noisy, so regressions are
@@ -59,31 +64,52 @@ def main() -> int:
         print("Baseline or current run holds no BENCH_*.json records — nothing to compare.")
         return 0
 
+    files = sorted({key[0] for key in current} | {key[0] for key in baseline})
+    print(f"Diffing {len(files)} report file(s): " + ", ".join(f"`{f}`" for f in files))
+    print()
+
     rows = []
     regressions = 0
     for key, cur in sorted(current.items()):
         base = baseline.get(key)
         name = f"{key[1]}/{key[2]}"
-        if base is None or not base.get("mean_ns"):
-            rows.append((name, "-", cur["mean_ns"], "new", ""))
+        unit = cur.get("unit", "ns")
+        base_mean = base.get("mean_ns") if base is not None else None
+        if not isinstance(base_mean, (int, float)):
+            rows.append((name, "-", cur["mean_ns"], "new", "", unit))
             continue
-        change = (cur["mean_ns"] - base["mean_ns"]) / base["mean_ns"] * 100.0
+        # Report-style metric rows (counts, thresholds) may legitimately be
+        # zero; a move away from zero has no percentage but is exactly the
+        # kind of change worth flagging.
+        if base_mean == 0:
+            if cur["mean_ns"] == 0:
+                rows.append((name, base_mean, cur["mean_ns"], "+0.0%", "", unit))
+            else:
+                regressions += 1
+                rows.append((name, base_mean, cur["mean_ns"], "from 0", "⚠️ changed from 0", unit))
+            continue
+        change = (cur["mean_ns"] - base_mean) / base_mean * 100.0
         flag = ""
         if change > args.threshold:
             flag = f"⚠️ regression > {args.threshold:.0f}%"
             regressions += 1
         elif change < -args.threshold:
             flag = "✅ improvement"
-        rows.append((name, base["mean_ns"], cur["mean_ns"], f"{change:+.1f}%", flag))
+        rows.append((name, base_mean, cur["mean_ns"], f"{change:+.1f}%", flag, unit))
 
     removed = sorted(set(baseline) - set(current))
 
+    def fmt(value, unit):
+        if not isinstance(value, (int, float)):
+            return value
+        if unit == "ns":
+            return f"{value:,.0f} ns"
+        return f"{value:g} {unit}"
+
     print("| benchmark | baseline mean | current mean | change | |")
     print("|---|---|---|---|---|")
-    for name, base_ns, cur_ns, change, flag in rows:
-        base_cell = f"{base_ns:,.0f} ns" if isinstance(base_ns, (int, float)) else base_ns
-        cur_cell = f"{cur_ns:,.0f} ns" if isinstance(cur_ns, (int, float)) else cur_ns
-        print(f"| {name} | {base_cell} | {cur_cell} | {change} | {flag} |")
+    for name, base_ns, cur_ns, change, flag, unit in rows:
+        print(f"| {name} | {fmt(base_ns, unit)} | {fmt(cur_ns, unit)} | {change} | {flag} |")
     for key in removed:
         print(f"| {key[1]}/{key[2]} | - | - | removed | |")
     print()

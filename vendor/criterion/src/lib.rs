@@ -12,8 +12,16 @@
 //!   (clamped to ≥ 1), so the whole suite can run in seconds.
 //! * `MBAA_BENCH_JSON` — a directory; when set, `criterion_main!` writes a
 //!   `BENCH_<binary>.json` file there after the groups run: a JSON array of
-//!   `{group, id, mean_ns, min_ns, samples}` records, one per benchmark,
-//!   suitable for uploading as a CI artifact and diffing across commits.
+//!   `{group, id, mean_ns, min_ns, samples, unit}` records, one per
+//!   benchmark, suitable for uploading as a CI artifact and diffing across
+//!   commits.
+//!
+//! Report-style benches (plain `fn main()` targets that measure *protocol*
+//! quantities — rounds, thresholds, contraction factors — rather than wall
+//! time) feed the same report through [`record_metric`] and flush it with
+//! an explicit [`write_json_report`] call; their rows carry a caller-chosen
+//! `unit` instead of `"ns"`, and `scripts/bench_diff.py` diffs them exactly
+//! like timing rows.
 
 #![forbid(unsafe_code)]
 
@@ -26,14 +34,18 @@ use std::time::{Duration, Instant};
 /// favour of `std::hint::black_box`, which the benches already use).
 pub use std::hint::black_box;
 
-/// One timed benchmark, as recorded for the JSON report.
+/// One benchmark result, as recorded for the JSON report: a wall-clock
+/// timing (unit `"ns"`) or a report-style metric with its own unit. The
+/// field names keep the historical `_ns` suffix so reports diff cleanly
+/// across commits.
 #[derive(Debug, Clone)]
 struct BenchRecord {
     group: String,
     id: String,
-    mean_ns: u128,
-    min_ns: u128,
+    mean_ns: f64,
+    min_ns: f64,
     samples: u64,
+    unit: String,
 }
 
 /// Every benchmark timed by this process, in execution order.
@@ -196,11 +208,33 @@ impl Bencher {
         RESULTS.lock().unwrap().push(BenchRecord {
             group: group.to_string(),
             id: id.to_string(),
-            mean_ns: mean.as_nanos(),
-            min_ns: self.min.as_nanos(),
+            mean_ns: mean.as_nanos() as f64,
+            min_ns: self.min.as_nanos() as f64,
             samples: self.iterations,
+            unit: "ns".to_string(),
         });
     }
+}
+
+/// Records a report-style metric row (a protocol quantity such as rounds to
+/// agreement, an empirical threshold, or a contraction factor) into the
+/// same JSON report the timed benchmarks feed. `value` fills both the mean
+/// and min fields; non-finite values are dropped with a warning rather than
+/// corrupting the report. Benches with a plain `fn main()` must flush with
+/// [`write_json_report`] themselves.
+pub fn record_metric(group: &str, id: &str, value: f64, unit: &str) {
+    if !value.is_finite() {
+        eprintln!("warning: skipping non-finite metric {group}/{id} = {value}");
+        return;
+    }
+    RESULTS.lock().unwrap().push(BenchRecord {
+        group: group.to_string(),
+        id: id.to_string(),
+        mean_ns: value,
+        min_ns: value,
+        samples: 1,
+        unit: unit.to_string(),
+    });
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -233,10 +267,22 @@ fn binary_stem() -> String {
     }
 }
 
+/// Renders an f64 as a JSON number: integral values print without a
+/// fractional part, exactly like the historical integer nanosecond fields.
+fn json_number(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 9.0e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
 /// Writes every benchmark this process recorded to
 /// `$MBAA_BENCH_JSON/BENCH_<binary>.json` as a valid JSON array, one object
 /// per benchmark. A no-op when the variable is unset or nothing was timed.
-/// Called by `criterion_main!` after all groups have run.
+/// Called by `criterion_main!` after all groups have run; report-style
+/// benches with a plain `fn main()` call it explicitly after their
+/// [`record_metric`] rows.
 pub fn write_json_report() {
     let Ok(dir) = std::env::var("MBAA_BENCH_JSON") else {
         return;
@@ -249,12 +295,13 @@ pub fn write_json_report() {
     for (i, r) in records.iter().enumerate() {
         let _ = writeln!(
             body,
-            "  {{\"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}}}{}",
+            "  {{\"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}, \"unit\": \"{}\"}}{}",
             json_escape(&r.group),
             json_escape(&r.id),
-            r.mean_ns,
-            r.min_ns,
+            json_number(r.mean_ns),
+            json_number(r.min_ns),
             r.samples,
+            json_escape(&r.unit),
             if i + 1 == records.len() { "" } else { "," }
         );
     }
@@ -325,5 +372,27 @@ mod tests {
         assert_eq!(json_escape("plain"), "plain");
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn json_numbers_keep_integers_clean() {
+        assert_eq!(json_number(123.0), "123");
+        assert_eq!(json_number(3.5), "3.5");
+        assert_eq!(json_number(-2.0), "-2");
+    }
+
+    #[test]
+    fn metric_rows_join_the_report_with_their_unit() {
+        record_metric("report", "mean_rounds", 12.5, "rounds");
+        record_metric("report", "nan", f64::NAN, "rounds");
+        let records = RESULTS.lock().unwrap();
+        let row = records
+            .iter()
+            .find(|r| r.group == "report" && r.id == "mean_rounds")
+            .expect("metric row recorded");
+        assert_eq!(row.mean_ns, 12.5);
+        assert_eq!(row.unit, "rounds");
+        assert_eq!(row.samples, 1);
+        assert!(!records.iter().any(|r| r.id == "nan"), "NaN row was kept");
     }
 }
