@@ -109,50 +109,71 @@ impl CorruptionStrategy {
         view: &AdversaryView<'_>,
         rng: &mut R,
     ) -> Outbox {
+        let mut outbox = Outbox::silent(view.universe(), sender);
+        self.fill_faulty_outbox(sender, view, rng, &mut outbox);
+        outbox
+    }
+
+    /// In-place form of [`CorruptionStrategy::faulty_outbox`]: overwrites a
+    /// reused outbox with this round's attack. Slot values and the RNG draw
+    /// sequence are identical to the owned form, so the two paths stay
+    /// bit-compatible; no strategy allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out`'s universe differs from the view's.
+    pub fn fill_faulty_outbox<R: Rng + ?Sized>(
+        &self,
+        sender: ProcessId,
+        view: &AdversaryView<'_>,
+        rng: &mut R,
+        out: &mut Outbox,
+    ) {
         let n = view.universe();
+        assert_eq!(out.universe(), n, "outbox universe mismatch");
+        out.set_sender(sender);
         let lo = view.correct_range.lo().get();
         let hi = view.correct_range.hi().get();
         match self {
-            CorruptionStrategy::Silent => Outbox::silent(n, sender),
-            CorruptionStrategy::Fixed { value } => Outbox::broadcast(n, sender, *value),
+            CorruptionStrategy::Silent => out.fill_silent(),
+            CorruptionStrategy::Fixed { value } => out.fill_broadcast(*value),
             CorruptionStrategy::OutOfRange { magnitude } => {
-                Outbox::broadcast(n, sender, Value::new(hi + magnitude.max(f64::MIN_POSITIVE)))
+                out.fill_broadcast(Value::new(hi + magnitude.max(f64::MIN_POSITIVE)));
             }
             CorruptionStrategy::Split { magnitude } => {
                 let margin = magnitude.max(f64::MIN_POSITIVE);
-                let slots = (0..n)
-                    .map(|receiver| {
+                for receiver in 0..n {
+                    out.set(
+                        ProcessId::new(receiver),
                         Some(if receiver < n / 2 {
                             Value::new(lo - margin)
                         } else {
                             Value::new(hi + margin)
-                        })
-                    })
-                    .collect();
-                Outbox::per_receiver(sender, slots)
+                        }),
+                    );
+                }
             }
             CorruptionStrategy::RandomNoise { lo, hi } => {
-                let slots = (0..n)
-                    .map(|_| Some(Value::new(rng.random_range(*lo..=*hi))))
-                    .collect();
-                Outbox::per_receiver(sender, slots)
+                for receiver in 0..n {
+                    out.set(
+                        ProcessId::new(receiver),
+                        Some(Value::new(rng.random_range(*lo..=*hi))),
+                    );
+                }
             }
-            CorruptionStrategy::BoundaryDrag => Outbox::broadcast(n, sender, Value::new(lo)),
+            CorruptionStrategy::BoundaryDrag => out.fill_broadcast(Value::new(lo)),
             CorruptionStrategy::Stealth => {
-                let slots = (0..n)
-                    .map(|_| {
-                        let v = if hi > lo {
-                            rng.random_range(lo..=hi)
-                        } else {
-                            lo
-                        };
-                        Some(Value::new(v))
-                    })
-                    .collect();
-                Outbox::per_receiver(sender, slots)
+                for receiver in 0..n {
+                    let v = if hi > lo {
+                        rng.random_range(lo..=hi)
+                    } else {
+                        lo
+                    };
+                    out.set(ProcessId::new(receiver), Some(Value::new(v)));
+                }
             }
             CorruptionStrategy::MedianPull => {
-                Outbox::broadcast(n, sender, Value::new(lo + 0.25 * (hi - lo)))
+                out.fill_broadcast(Value::new(lo + 0.25 * (hi - lo)));
             }
         }
     }
@@ -198,6 +219,21 @@ impl CorruptionStrategy {
         // The queue the agent leaves behind is as malicious as its own
         // sends; reuse the faulty outbox construction.
         self.faulty_outbox(sender, view, rng)
+    }
+
+    /// In-place form of [`CorruptionStrategy::poisoned_outbox`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out`'s universe differs from the view's.
+    pub fn fill_poisoned_outbox<R: Rng + ?Sized>(
+        &self,
+        sender: ProcessId,
+        view: &AdversaryView<'_>,
+        rng: &mut R,
+        out: &mut Outbox,
+    ) {
+        self.fill_faulty_outbox(sender, view, rng, out);
     }
 }
 

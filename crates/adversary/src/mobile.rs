@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use mbaa_net::Outbox;
-use mbaa_types::{MobileModel, ProcessSet, Value};
+use mbaa_types::{MobileModel, ProcessId, ProcessSet, Value};
 
 use crate::{AdversaryView, CorruptionStrategy, MobilityStrategy};
 
@@ -21,7 +21,7 @@ use crate::{AdversaryView, CorruptionStrategy, MobilityStrategy};
 ///
 /// All vectors are indexed by process and hold `Some(_)` exactly for the
 /// processes in the corresponding set.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundFaultPlan {
     /// Processes occupied by an agent this round.
     pub faulty: ProcessSet,
@@ -36,10 +36,42 @@ pub struct RoundFaultPlan {
 }
 
 impl RoundFaultPlan {
+    /// An empty plan over `n` processes: no agent placed, nothing
+    /// corrupted. Used as the reusable scratch of
+    /// [`MobileAdversary::begin_round_into`], which overwrites it in place
+    /// every round.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        RoundFaultPlan {
+            faulty: ProcessSet::empty(n),
+            cured: ProcessSet::empty(n),
+            faulty_outboxes: vec![None; n],
+            corrupted_states: vec![None; n],
+            poisoned_outboxes: vec![None; n],
+        }
+    }
+
     /// The number of processes covered by this plan.
     #[must_use]
     pub fn universe(&self) -> usize {
         self.faulty_outboxes.len()
+    }
+
+    /// Clears the plan for reuse, recycling every outbox it holds into
+    /// `pool` instead of dropping the allocations.
+    fn recycle_into(&mut self, pool: &mut Vec<Outbox>) {
+        self.faulty.clear();
+        self.cured.clear();
+        self.corrupted_states.fill(None);
+        for slot in self
+            .faulty_outboxes
+            .iter_mut()
+            .chain(self.poisoned_outboxes.iter_mut())
+        {
+            if let Some(outbox) = slot.take() {
+                pool.push(outbox);
+            }
+        }
     }
 }
 
@@ -59,6 +91,13 @@ pub struct MobileAdversary {
     corruption: CorruptionStrategy,
     rng: StdRng,
     occupied: Option<ProcessSet>,
+    /// Sort buffer of the vote-targeting mobility strategies, reused every
+    /// round.
+    order_scratch: Vec<usize>,
+    /// Recycled outboxes: [`MobileAdversary::begin_round_into`] drains the
+    /// previous round's plan into this pool and refills new entries from
+    /// it, so the steady state never allocates an outbox.
+    outbox_pool: Vec<Outbox>,
 }
 
 impl MobileAdversary {
@@ -88,6 +127,8 @@ impl MobileAdversary {
             corruption,
             rng: StdRng::seed_from_u64(seed),
             occupied: None,
+            order_scratch: Vec::new(),
+            outbox_pool: Vec::new(),
         }
     }
 
@@ -113,6 +154,26 @@ impl MobileAdversary {
     /// Plans one round: moves the agents according to the model's movement
     /// rule and produces the complete fault plan for the round.
     pub fn begin_round(&mut self, view: &AdversaryView<'_>) -> RoundFaultPlan {
+        let mut plan = RoundFaultPlan::empty(view.universe());
+        self.begin_round_into(view, &mut plan);
+        plan
+    }
+
+    /// In-place form of [`MobileAdversary::begin_round`]: overwrites a
+    /// reused [`RoundFaultPlan`] with this round's decisions, recycling its
+    /// outbox allocations through the adversary's internal pool. The RNG
+    /// draw sequence — placement, then faulty outboxes in ascending process
+    /// order, then per cured process its corrupted state (and, under
+    /// Sasaki, its poisoned queue) — is identical to
+    /// [`begin_round`](MobileAdversary::begin_round), so the two paths plan
+    /// bit-identical rounds. Once the pool is warm (after at most one
+    /// round), planning performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's or plan's universe differs from the
+    /// adversary's.
+    pub fn begin_round_into(&mut self, view: &AdversaryView<'_>, plan: &mut RoundFaultPlan) {
         assert_eq!(
             view.universe(),
             self.n,
@@ -120,56 +181,75 @@ impl MobileAdversary {
             self.n,
             view.universe()
         );
+        assert_eq!(
+            plan.universe(),
+            self.n,
+            "plan was sized for {} processes, adversary attacks {}",
+            plan.universe(),
+            self.n
+        );
+        plan.recycle_into(&mut self.outbox_pool);
 
-        let (faulty, cured) = self.move_agents(view);
-
-        let mut plan = RoundFaultPlan {
-            faulty: faulty.clone(),
-            cured: cured.clone(),
-            faulty_outboxes: vec![None; self.n],
-            corrupted_states: vec![None; self.n],
-            poisoned_outboxes: vec![None; self.n],
-        };
-
-        for p in faulty.iter() {
-            plan.faulty_outboxes[p.index()] =
-                Some(self.corruption.faulty_outbox(p, view, &mut self.rng));
-        }
-        for p in cured.iter() {
-            plan.corrupted_states[p.index()] =
-                Some(self.corruption.corrupted_state(view, &mut self.rng));
-            if self.model == MobileModel::Sasaki {
-                plan.poisoned_outboxes[p.index()] =
-                    Some(self.corruption.poisoned_outbox(p, view, &mut self.rng));
-            }
-        }
-
-        self.occupied = Some(faulty);
-        plan
-    }
-
-    /// Applies the model's movement rule and returns `(faulty, cured)` for
-    /// the upcoming round.
-    fn move_agents(&mut self, view: &AdversaryView<'_>) -> (ProcessSet, ProcessSet) {
-        let previous = self.occupied.clone();
-        let placement = self
-            .mobility
-            .place(view, self.f, previous.as_ref(), &mut self.rng);
-
+        // Movement rule: place the agents, then derive the cured set.
+        self.mobility.place_into(
+            view,
+            self.f,
+            self.occupied.as_ref(),
+            &mut self.rng,
+            &mut plan.faulty,
+            &mut self.order_scratch,
+        );
         match self.model {
             // Agents ride the messages: by the time anyone sends, the host
             // the agent left has already recovered, so the send phase sees
             // exactly `f` faulty processes and no cured ones (Lemma 4).
-            MobileModel::Buhrman => (placement, ProcessSet::empty(self.n)),
+            MobileModel::Buhrman => {}
             // Agents move between rounds: whoever hosted an agent last round
             // and no longer does is cured this round.
             MobileModel::Garay | MobileModel::Bonnet | MobileModel::Sasaki => {
-                let cured = match previous {
-                    None => ProcessSet::empty(self.n),
-                    Some(prev) => prev.intersection(&placement.complement()),
-                };
-                (placement, cured)
+                if let Some(previous) = &self.occupied {
+                    for p in previous.iter() {
+                        if !plan.faulty.contains(p) {
+                            plan.cured.insert(p);
+                        }
+                    }
+                }
             }
+        }
+
+        for i in 0..self.n {
+            let p = ProcessId::new(i);
+            if !plan.faulty.contains(p) {
+                continue;
+            }
+            let mut outbox = self
+                .outbox_pool
+                .pop()
+                .unwrap_or_else(|| Outbox::silent(self.n, p));
+            self.corruption
+                .fill_faulty_outbox(p, view, &mut self.rng, &mut outbox);
+            plan.faulty_outboxes[i] = Some(outbox);
+        }
+        for i in 0..self.n {
+            let p = ProcessId::new(i);
+            if !plan.cured.contains(p) {
+                continue;
+            }
+            plan.corrupted_states[i] = Some(self.corruption.corrupted_state(view, &mut self.rng));
+            if self.model == MobileModel::Sasaki {
+                let mut outbox = self
+                    .outbox_pool
+                    .pop()
+                    .unwrap_or_else(|| Outbox::silent(self.n, p));
+                self.corruption
+                    .fill_poisoned_outbox(p, view, &mut self.rng, &mut outbox);
+                plan.poisoned_outboxes[i] = Some(outbox);
+            }
+        }
+
+        match &mut self.occupied {
+            Some(occupied) => occupied.copy_from(&plan.faulty),
+            None => self.occupied = Some(plan.faulty.clone()),
         }
     }
 }
@@ -338,6 +418,38 @@ mod tests {
         let votes: Vec<Value> = (0..4).map(|i| Value::new(i as f64)).collect();
         let mut adv = adversary(MobileModel::Garay, 9, 2);
         let _ = adv.begin_round(&make_view(0, &votes));
+    }
+
+    #[test]
+    fn begin_round_into_plans_identically_to_begin_round() {
+        let votes: Vec<Value> = (0..9).map(|i| Value::new(i as f64)).collect();
+        for model in MobileModel::ALL {
+            for mobility in MobilityStrategy::ALL {
+                let mut owned = MobileAdversary::new(
+                    model,
+                    9,
+                    2,
+                    mobility,
+                    CorruptionStrategy::RandomNoise { lo: -2.0, hi: 2.0 },
+                    13,
+                );
+                let mut reused = MobileAdversary::new(
+                    model,
+                    9,
+                    2,
+                    mobility,
+                    CorruptionStrategy::RandomNoise { lo: -2.0, hi: 2.0 },
+                    13,
+                );
+                let mut scratch = RoundFaultPlan::empty(9);
+                for round in 0..6 {
+                    let view = make_view(round, &votes);
+                    let plan = owned.begin_round(&view);
+                    reused.begin_round_into(&view, &mut scratch);
+                    assert_eq!(plan, scratch, "{model}/{mobility} round {round}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use rand::seq::index::sample;
+use rand::seq::index::sample_into;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -71,31 +71,71 @@ impl MobilityStrategy {
         previous: Option<&ProcessSet>,
         rng: &mut R,
     ) -> ProcessSet {
+        let mut out = ProcessSet::empty(view.universe());
+        let mut order = Vec::new();
+        self.place_into(view, f, previous, rng, &mut out, &mut order);
+        out
+    }
+
+    /// In-place form of [`MobilityStrategy::place`]: overwrites `out` with
+    /// the round's placement, reusing its allocation and the caller's
+    /// `order` scratch (the sort buffer of the vote-targeting strategies).
+    /// Draws, tie-breaking, and the resulting set are identical to
+    /// [`place`](MobilityStrategy::place) — once the buffers are warm, no
+    /// strategy allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out`'s universe differs from the view's.
+    pub fn place_into<R: Rng + ?Sized>(
+        &self,
+        view: &AdversaryView<'_>,
+        f: usize,
+        previous: Option<&ProcessSet>,
+        rng: &mut R,
+        out: &mut ProcessSet,
+        order: &mut Vec<usize>,
+    ) {
         let n = view.universe();
+        assert_eq!(out.universe(), n, "placement universe mismatch");
         let f = f.min(n);
+        out.clear();
         if f == 0 {
-            return ProcessSet::empty(n);
+            return;
         }
+        // Sorting (vote, index) pairs unstably is the same permutation the
+        // historical stable sort by vote produced over the ascending index
+        // array — ties keep index order — without the merge sort's
+        // temporary buffer.
+        let sort_by_vote = |order: &mut Vec<usize>| {
+            order.clear();
+            order.extend(0..n);
+            order.sort_unstable_by(|&a, &b| view.votes[a].cmp(&view.votes[b]).then(a.cmp(&b)));
+        };
         match self {
             MobilityStrategy::Stationary => match previous {
-                Some(prev) if prev.len() == f => prev.clone(),
-                _ => ProcessSet::from_indices(n, 0..f),
+                Some(prev) if prev.len() == f => out.copy_from(prev),
+                _ => (0..f).for_each(|i| {
+                    out.insert(ProcessId::new(i));
+                }),
             },
             MobilityStrategy::RoundRobin => {
                 let shift = (view.round.index() as usize).wrapping_mul(f) % n;
-                ProcessSet::from_indices(n, (0..f).map(|i| (shift + i) % n))
+                for i in 0..f {
+                    out.insert(ProcessId::new((shift + i) % n));
+                }
             }
             MobilityStrategy::Random => {
-                let chosen = sample(rng, n, f);
-                ProcessSet::from_indices(n, chosen.iter())
+                sample_into(rng, n, f, order);
+                for &i in order.iter() {
+                    out.insert(ProcessId::new(i));
+                }
             }
             MobilityStrategy::TargetExtremes => {
                 // Sort processes by vote and alternately pick from the two
                 // ends: the agents swallow the extreme-most *currently
                 // non-faulty* states.
-                let mut order: Vec<usize> = (0..n).collect();
-                order.sort_by(|&a, &b| view.votes[a].cmp(&view.votes[b]));
-                let mut picked = ProcessSet::empty(n);
+                sort_by_vote(order);
                 let mut lo = 0usize;
                 let mut hi = n - 1;
                 for k in 0..f {
@@ -108,38 +148,37 @@ impl MobilityStrategy {
                         lo += 1;
                         i
                     };
-                    picked.insert(ProcessId::new(idx));
+                    out.insert(ProcessId::new(idx));
                 }
-                picked
             }
             MobilityStrategy::Sweep => {
                 let shift = (view.round.index() as usize) % n;
-                ProcessSet::from_indices(n, (0..f).map(|i| (shift + i) % n))
+                for i in 0..f {
+                    out.insert(ProcessId::new((shift + i) % n));
+                }
             }
             MobilityStrategy::TargetMedian => {
                 // Sort processes by vote and occupy the ones closest to the
                 // median, working outwards.
-                let mut order: Vec<usize> = (0..n).collect();
-                order.sort_by(|&a, &b| view.votes[a].cmp(&view.votes[b]));
+                sort_by_vote(order);
                 let mid = n / 2;
-                let mut picked = ProcessSet::empty(n);
+                let mut picked = 0usize;
                 let mut offset = 0usize;
-                while picked.len() < f {
+                while picked < f {
                     let below = mid.checked_sub(offset);
                     let above = mid + offset;
                     if offset > 0 {
                         if let Some(b) = below {
-                            if picked.len() < f {
-                                picked.insert(ProcessId::new(order[b]));
+                            if picked < f && out.insert(ProcessId::new(order[b])) {
+                                picked += 1;
                             }
                         }
                     }
-                    if above < n && picked.len() < f {
-                        picked.insert(ProcessId::new(order[above]));
+                    if above < n && picked < f && out.insert(ProcessId::new(order[above])) {
+                        picked += 1;
                     }
                     offset += 1;
                 }
-                picked
             }
         }
     }

@@ -1,0 +1,77 @@
+//! Experiment **P2**: steady-state engine throughput (rounds per second)
+//! across system sizes and observability levels.
+//!
+//! This is the guard rail of the zero-allocation round-scratch engine: it
+//! drives complete seeded runs — the sweep hot path — at n ∈ {16, 64, 256}
+//! under `Observe::Summary` (the streaming/sweep execution level, no
+//! snapshots, no trace, no per-round allocation) and `Observe::Full` (every
+//! recording on), and emits machine-readable `rounds_per_sec` metric rows
+//! into `BENCH_engine_hot_path.json` via the criterion shim's
+//! `MBAA_BENCH_JSON` hook. CI's bench-diff step compares the rows across
+//! commits, so a hot-path regression (or an allocation creeping back into
+//! the round loop) shows up as a drop in rounds/sec.
+//!
+//! Run with `cargo bench -p mbaa-bench --bench engine_hot_path`. The
+//! `MBAA_BENCH_SAMPLES` environment variable overrides the per-point run
+//! count (CI smoke mode).
+
+use std::time::Instant;
+
+use criterion::{record_metric, write_json_report};
+
+use mbaa::{MobileEngine, MobileModel, Observe, ProtocolConfig, Value};
+use mbaa_bench::spread_inputs;
+
+/// Timed runs per measured point (n = 256 is ~15× costlier per round, so
+/// it gets fewer).
+fn repetitions(n: usize) -> usize {
+    let base = if n >= 256 { 20 } else { 200 };
+    std::env::var("MBAA_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(base, |samples| samples.max(1))
+}
+
+fn measure(n: usize, observe: Observe, label: &str) {
+    let inputs: Vec<Value> = spread_inputs(n);
+    let config = ProtocolConfig::builder(MobileModel::Garay, n, 2)
+        .epsilon(1e-12)
+        .max_rounds(200)
+        .seed(7)
+        .observe(observe)
+        .build()
+        .expect("config");
+    let engine = MobileEngine::new(config);
+    // Warm-up: fault the pages, fill the allocator pools.
+    let mut rounds_per_run = 0usize;
+    for _ in 0..2 {
+        rounds_per_run = engine.run(&inputs).expect("run").rounds_executed;
+    }
+
+    let reps = repetitions(n);
+    let start = Instant::now();
+    let mut total_rounds = 0usize;
+    for _ in 0..reps {
+        total_rounds += engine.run(&inputs).expect("run").rounds_executed;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let rounds_per_sec = total_rounds as f64 / elapsed;
+    println!(
+        "engine_hot_path n={n} {label}: {rounds_per_run} rounds/run, \
+         {rounds_per_sec:.0} rounds/sec ({reps} runs)"
+    );
+    record_metric(
+        "engine_hot_path",
+        &format!("rounds_per_sec/{n}/{label}"),
+        rounds_per_sec,
+        "rounds/s",
+    );
+}
+
+fn main() {
+    for &n in &[16usize, 64, 256] {
+        measure(n, Observe::Summary, "summary");
+        measure(n, Observe::Full, "full");
+    }
+    write_json_report();
+}

@@ -51,6 +51,67 @@ pub mod defaults {
     }
 }
 
+/// How much of an execution the engine records — the observability level
+/// threaded from `Scenario` through [`ProtocolConfig`] down to the network
+/// layer.
+///
+/// Recording is pure *observation*: the protocol computation is identical
+/// at every level, so the fields an outcome does record are bit-identical
+/// across levels. What changes is the per-round cost — under
+/// [`Observe::Summary`] a steady-state round performs **zero heap
+/// allocations**, which is what makes 10k-seed sweeps memory- and
+/// allocation-flat.
+///
+/// * [`Observe::Full`] — per-round [`RoundSnapshot`](crate::RoundSnapshot)s
+///   *and* the full n×n-per-round network trace (the Table 1 raw
+///   material). The default: single runs stay fully inspectable.
+/// * [`Observe::Snapshots`] — per-round snapshots, no network trace.
+/// * [`Observe::Summary`] — neither; only the convergence report, final
+///   votes/states, and network statistics survive. The summary-level
+///   batch/stream paths run at this level.
+///
+/// # Example
+///
+/// ```
+/// use mbaa_core::{MobileEngine, Observe, ProtocolConfig};
+/// use mbaa_types::{MobileModel, Value};
+///
+/// let config = ProtocolConfig::builder(MobileModel::Garay, 9, 2)
+///     .observe(Observe::Summary)
+///     .build()?;
+/// let inputs: Vec<Value> = (0..9).map(|i| Value::new(i as f64 / 9.0)).collect();
+/// let outcome = MobileEngine::new(config).run(&inputs)?;
+/// // The computation is unchanged; only the recordings are skipped.
+/// assert!(outcome.reached_agreement);
+/// assert!(outcome.configurations.is_empty() && outcome.trace.is_empty());
+/// # Ok::<(), mbaa_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Observe {
+    /// Record per-round snapshots and the full network trace.
+    #[default]
+    Full,
+    /// Record per-round snapshots only.
+    Snapshots,
+    /// Record nothing beyond the run summary's inputs.
+    Summary,
+}
+
+impl Observe {
+    /// Whether per-round [`RoundSnapshot`](crate::RoundSnapshot)s are
+    /// recorded at this level.
+    #[must_use]
+    pub fn records_snapshots(self) -> bool {
+        matches!(self, Observe::Full | Observe::Snapshots)
+    }
+
+    /// Whether the network trace is recorded at this level.
+    #[must_use]
+    pub fn records_trace(self) -> bool {
+        matches!(self, Observe::Full)
+    }
+}
+
 /// The complete, validated configuration of one protocol execution.
 ///
 /// Use [`ProtocolConfig::builder`] to assemble one; the builder checks the
@@ -107,6 +168,10 @@ pub struct ProtocolConfig {
     pub seed: u64,
     /// Whether the configuration was allowed to violate the model's bound.
     pub bound_violation_allowed: bool,
+    /// How much of the execution the engine records (snapshots / trace).
+    /// Defaults on deserialization so pre-`Observe` documents still load.
+    #[serde(default)]
+    pub observe: Observe,
 }
 
 impl ProtocolConfig {
@@ -148,6 +213,7 @@ pub struct ProtocolConfigBuilder {
     function: Option<MsrFunction>,
     seed: u64,
     allow_bound_violation: bool,
+    observe: Observe,
 }
 
 impl ProtocolConfigBuilder {
@@ -167,6 +233,7 @@ impl ProtocolConfigBuilder {
             function: None,
             seed: 0,
             allow_bound_violation: false,
+            observe: Observe::default(),
         }
     }
 
@@ -266,6 +333,16 @@ impl ProtocolConfigBuilder {
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the observability level (default [`Observe::Full`]). Purely an
+    /// observation knob: the computation — and every recorded field — is
+    /// bit-identical across levels, but [`Observe::Summary`] keeps
+    /// steady-state rounds allocation-free.
+    #[must_use]
+    pub fn observe(mut self, observe: Observe) -> Self {
+        self.observe = observe;
         self
     }
 
@@ -403,6 +480,7 @@ impl ProtocolConfigBuilder {
             function,
             seed: self.seed,
             bound_violation_allowed: self.allow_bound_violation,
+            observe: self.observe,
         })
     }
 }

@@ -5,7 +5,9 @@ use serde::{Deserialize, Serialize};
 
 use mbaa_adversary::{AdversaryView, MobileAdversary, RoundFaultPlan};
 use mbaa_msr::{ConvergenceReport, VotingFunction};
-use mbaa_net::{NetworkStats, NetworkTrace, Outbox, SyncNetwork, Topology, TopologySchedule};
+use mbaa_net::{
+    DeliveryMatrix, NetworkStats, NetworkTrace, Outbox, SyncNetwork, Topology, TopologySchedule,
+};
 use mbaa_types::{
     Epsilon, Error, FaultState, Interval, MobileModel, ProcessId, Result, Round, Value,
     ValueMultiset,
@@ -33,10 +35,14 @@ pub struct MobileRunOutcome {
     /// The agreement tolerance the run was checked against.
     pub epsilon: Epsilon,
     /// One configuration snapshot per executed round, taken at the beginning
-    /// of the round (after agent movement and state corruption).
+    /// of the round (after agent movement and state corruption). Empty when
+    /// the run's [`crate::Observe`] level is [`crate::Observe::Summary`].
     pub configurations: Vec<RoundSnapshot>,
     /// The full message trace (what every sender delivered to every
-    /// receiver, per round) — the raw material of the Table 1 mapping.
+    /// receiver, per round) — the raw material of the Table 1 mapping,
+    /// moved (never cloned) out of the network at the end of the run. Empty
+    /// unless the run's [`crate::Observe`] level is
+    /// [`crate::Observe::Full`].
     pub trace: NetworkTrace,
     /// The network's traffic accounting: deliveries, sender omissions,
     /// structural non-deliveries, and — on a link-faulted or dynamic
@@ -156,6 +162,7 @@ impl MobileEngine {
             });
         }
 
+        let observe = cfg.observe;
         let mut votes: Vec<Value> = initial_values.to_vec();
         let mut states: Vec<FaultState> = vec![FaultState::Correct; n];
         let mut adversary =
@@ -165,7 +172,9 @@ impl MobileEngine {
         // same graph the builder validated (deterministic in (n, seed));
         // `with_topology` still lowers rings that normalized to complete
         // onto the fast path, and `with_dynamics` lowers a static schedule
-        // with a clean link-fault plan onto the same static paths.
+        // with a clean link-fault plan onto the same static paths. Trace
+        // recording is purely observational, so the Observe level can turn
+        // it off without changing a single delivered slot.
         let mut network = if cfg.schedule.is_none() && cfg.link_faults.is_clean() {
             match &cfg.topology {
                 Topology::Complete => SyncNetwork::new(n),
@@ -182,8 +191,26 @@ impl MobileEngine {
                 cfg.disconnection,
                 cfg.seed,
             )?
-        };
+        }
+        .with_trace_recording(observe.records_trace());
         let mut configurations = Vec::new();
+
+        // The round scratch: every per-round buffer is allocated here, once
+        // per run, and reused in place by every round. Invariants: the
+        // buffers always cover the full universe `n`; `plan` is overwritten
+        // by `begin_round_into` (its outboxes recycle through the
+        // adversary's pool); `outboxes[i]` always carries sender `i` into
+        // the exchange; `deliveries` is fully overwritten by
+        // `exchange_into`; `received` is refilled per process. Under
+        // `Observe::Summary` on a static network, steady-state rounds
+        // therefore perform no heap allocation at all (asserted by the
+        // allocation-regression test in `tests/alloc_regression.rs`).
+        let mut plan = RoundFaultPlan::empty(n);
+        let mut outboxes: Vec<Outbox> = (0..n)
+            .map(|i| Outbox::silent(n, ProcessId::new(i)))
+            .collect();
+        let mut deliveries = DeliveryMatrix::new(n);
+        let mut received = ValueMultiset::with_capacity(n);
 
         // Until the adversary has placed its agents we do not know which
         // initial values count as non-faulty, so the validity envelope and
@@ -214,7 +241,7 @@ impl MobileEngine {
                 votes: &votes,
                 correct_range: visible_range,
             };
-            let plan = adversary.begin_round(&view);
+            adversary.begin_round_into(&view, &mut plan);
 
             // Agents that left a process corrupted the state behind them.
             for p in plan.cured.iter() {
@@ -234,42 +261,46 @@ impl MobileEngine {
                     FaultState::Correct
                 };
             }
-            configurations.push(RoundSnapshot::new(
-                states.iter().copied().zip(votes.iter().copied()).collect(),
-            ));
+            if observe.records_snapshots() {
+                configurations.push(RoundSnapshot::new(
+                    states.iter().copied().zip(votes.iter().copied()).collect(),
+                ));
+            }
 
             // First round: now that the faulty set is known, freeze the
-            // validity envelope and the initial diameter.
+            // validity envelope and the initial diameter, and size the
+            // report to the round budget so later records never reallocate.
             if validity_envelope.is_none() {
-                let non_faulty: ValueMultiset = votes
-                    .iter()
-                    .zip(&states)
-                    .filter_map(|(v, s)| s.is_non_faulty().then_some(*v))
-                    .collect();
-                let envelope = non_faulty
+                received.refill(
+                    votes
+                        .iter()
+                        .zip(&states)
+                        .filter_map(|(v, s)| s.is_non_faulty().then_some(*v)),
+                );
+                let envelope = received
                     .range()
                     .expect("at least one process is non-faulty");
                 validity_envelope = Some(envelope);
-                let initial_diameter = non_faulty.diameter();
+                let initial_diameter = received.diameter();
                 if cfg.epsilon.covers_diameter(initial_diameter) {
                     reached = true;
                 }
-                report = Some(ConvergenceReport::new(initial_diameter));
+                report = Some(ConvergenceReport::with_capacity(
+                    initial_diameter,
+                    cfg.max_rounds,
+                ));
                 if reached {
                     break;
                 }
             }
 
-            // Send phase.
-            let outboxes: Vec<Outbox> = (0..n)
-                .map(|i| {
-                    let p = ProcessId::new(i);
-                    self.outbox_for(p, &plan, &votes)
-                })
-                .collect();
+            // Send phase: rewrite the reused outboxes in place.
+            for (i, outbox) in outboxes.iter_mut().enumerate() {
+                self.fill_outbox(outbox, ProcessId::new(i), &plan, &votes);
+            }
 
-            // Receive phase.
-            let deliveries = network.exchange(round, outboxes)?;
+            // Receive phase, into the reused slot matrix.
+            network.exchange_into(round, &outboxes, &mut deliveries)?;
 
             // Compute phase: every non-faulty process applies the voting
             // function; a faulty process' state is irrelevant (the agent
@@ -281,7 +312,7 @@ impl MobileEngine {
             let compute_even_if_faulty = cfg.model.agents_move_with_messages();
             for i in 0..n {
                 if states[i].is_non_faulty() || compute_even_if_faulty {
-                    let received = deliveries[i].received_multiset();
+                    received.refill(deliveries.delivered_to(ProcessId::new(i)));
                     if let Some(next) = function.apply(&received) {
                         votes[i] = next;
                     }
@@ -289,14 +320,7 @@ impl MobileEngine {
             }
 
             rounds_executed = round_idx + 1;
-            let diameter: f64 = {
-                let non_faulty: ValueMultiset = votes
-                    .iter()
-                    .zip(&states)
-                    .filter_map(|(v, s)| s.is_non_faulty().then_some(*v))
-                    .collect();
-                non_faulty.diameter()
-            };
+            let diameter = non_faulty_diameter(&votes, &states);
             let report_ref = report.as_mut().expect("report initialised in first round");
             report_ref.record_round(diameter);
             reached = cfg.epsilon.covers_diameter(diameter);
@@ -316,6 +340,10 @@ impl MobileEngine {
             )
         });
 
+        // The trace leaves the network by move: cloning it would copy the
+        // n×n-per-round observation records the run just paid to record
+        // (and is pure waste when tracing was off).
+        let (trace, network_stats) = network.into_parts();
         Ok(MobileRunOutcome {
             reached_agreement: reached,
             rounds_executed,
@@ -325,41 +353,73 @@ impl MobileEngine {
             validity_envelope,
             epsilon: cfg.epsilon,
             configurations,
-            trace: network.trace().clone(),
-            network_stats: network.stats(),
+            trace,
+            network_stats,
         })
     }
 
-    /// Builds the outbox of one process for the send phase, honouring the
-    /// model-specific behaviour of faulty and cured processes.
-    fn outbox_for(&self, p: ProcessId, plan: &RoundFaultPlan, votes: &[Value]) -> Outbox {
-        let n = self.config.n;
+    /// Rewrites the reused outbox of one process for the send phase,
+    /// honouring the model-specific behaviour of faulty and cured
+    /// processes. In-place counterpart of the historical per-round outbox
+    /// construction: slot contents are identical, nothing is allocated.
+    fn fill_outbox(
+        &self,
+        outbox: &mut Outbox,
+        p: ProcessId,
+        plan: &RoundFaultPlan,
+        votes: &[Value],
+    ) {
         if plan.faulty.contains(p) {
-            return plan.faulty_outboxes[p.index()]
-                .clone()
-                .expect("adversary provides an outbox for every faulty process");
+            outbox.copy_from(
+                plan.faulty_outboxes[p.index()]
+                    .as_ref()
+                    .expect("adversary provides an outbox for every faulty process"),
+            );
+            return;
         }
         if plan.cured.contains(p) {
-            return match self.config.model {
+            match self.config.model {
                 // Aware of its state: stays silent for one round rather than
                 // spreading a possibly corrupted value.
-                MobileModel::Garay => Outbox::silent(n, p),
+                MobileModel::Garay => outbox.fill_silent(),
                 // Unaware: broadcasts its (possibly corrupted) state the same
                 // way to everyone — a symmetric fault.
-                MobileModel::Bonnet => Outbox::broadcast(n, p, votes[p.index()]),
+                MobileModel::Bonnet => outbox.fill_broadcast(votes[p.index()]),
                 // Unaware, and the agent prepared its outgoing queue: flushes
                 // the poisoned queue — an asymmetric fault.
-                MobileModel::Sasaki => plan.poisoned_outboxes[p.index()]
-                    .clone()
-                    .expect("Sasaki adversary provides a poisoned queue for every cured process"),
+                MobileModel::Sasaki => {
+                    outbox.copy_from(plan.poisoned_outboxes[p.index()].as_ref().expect(
+                        "Sasaki adversary provides a poisoned queue for every cured process",
+                    ))
+                }
                 // Agents move with the messages: there is never a cured
                 // process during the send phase.
                 MobileModel::Buhrman => {
                     unreachable!("Buhrman's model has no cured senders")
                 }
-            };
+            }
+            return;
         }
-        Outbox::broadcast(n, p, votes[p.index()])
+        outbox.fill_broadcast(votes[p.index()]);
+    }
+}
+
+/// The diameter of the non-faulty processes' votes, computed by a min/max
+/// fold — no multiset materialization. Numerically identical to collecting
+/// the non-faulty values and taking [`ValueMultiset::diameter`].
+fn non_faulty_diameter(votes: &[Value], states: &[FaultState]) -> f64 {
+    let mut bounds: Option<(Value, Value)> = None;
+    for (v, s) in votes.iter().zip(states) {
+        if s.is_non_faulty() {
+            bounds = Some(match bounds {
+                None => (*v, *v),
+                Some((lo, hi)) => (lo.min(*v), hi.max(*v)),
+            });
+        }
+    }
+    match bounds {
+        Some((lo, hi)) => hi.get() - lo.get(),
+        None => 0.0,
     }
 }
 
@@ -597,6 +657,73 @@ mod tests {
         let a = engine.run(&inputs(11)).unwrap();
         let b = engine.run(&inputs(11)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observe_levels_record_subsets_of_the_same_run() {
+        use crate::Observe;
+        for model in MobileModel::ALL {
+            let n = model.required_processes(2);
+            let run_at = |observe: Observe| {
+                let config = ProtocolConfig::builder(model, n, 2)
+                    .epsilon(1e-4)
+                    .max_rounds(500)
+                    .seed(11)
+                    .observe(observe)
+                    .build()
+                    .unwrap();
+                MobileEngine::new(config).run(&inputs(n)).unwrap()
+            };
+            let full = run_at(Observe::Full);
+            let snapshots = run_at(Observe::Snapshots);
+            let summary = run_at(Observe::Summary);
+
+            // The computation is identical: every recorded field agrees.
+            assert_eq!(full.configurations.len(), full.rounds_executed);
+            assert_eq!(full.trace.len(), full.rounds_executed);
+            assert_eq!(snapshots.configurations, full.configurations);
+            assert!(snapshots.trace.is_empty());
+            assert!(summary.configurations.is_empty() && summary.trace.is_empty());
+            for other in [&snapshots, &summary] {
+                assert_eq!(other.reached_agreement, full.reached_agreement, "{model}");
+                assert_eq!(other.rounds_executed, full.rounds_executed, "{model}");
+                assert_eq!(other.final_votes, full.final_votes, "{model}");
+                assert_eq!(other.final_states, full.final_states, "{model}");
+                assert_eq!(other.report, full.report, "{model}");
+                assert_eq!(other.validity_envelope, full.validity_envelope, "{model}");
+                assert_eq!(other.network_stats, full.network_stats, "{model}");
+            }
+        }
+    }
+
+    #[test]
+    fn observe_summary_is_bit_identical_on_dynamic_networks_too() {
+        use crate::Observe;
+        use mbaa_net::LinkFaultPlan;
+        let build = |observe: Observe| {
+            ProtocolConfig::builder(MobileModel::Garay, 9, 1)
+                .epsilon(1e-3)
+                .max_rounds(300)
+                .seed(7)
+                .topology_schedule(TopologySchedule::SeededChurn {
+                    base: Topology::Complete,
+                    flip_rate: 0.3,
+                })
+                .link_faults(LinkFaultPlan::new().omit_all(0.05))
+                .observe(observe)
+                .build()
+                .unwrap()
+        };
+        let full = MobileEngine::new(build(Observe::Full))
+            .run(&inputs(9))
+            .unwrap();
+        let summary = MobileEngine::new(build(Observe::Summary))
+            .run(&inputs(9))
+            .unwrap();
+        assert_eq!(summary.final_votes, full.final_votes);
+        assert_eq!(summary.report, full.report);
+        assert_eq!(summary.network_stats, full.network_stats);
+        assert!(summary.trace.is_empty() && !full.trace.is_empty());
     }
 
     #[test]

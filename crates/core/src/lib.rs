@@ -51,6 +51,6 @@ pub mod lower_bounds;
 pub mod mapping;
 mod snapshot;
 
-pub use config::{defaults, ProtocolConfig, ProtocolConfigBuilder};
+pub use config::{defaults, Observe, ProtocolConfig, ProtocolConfigBuilder};
 pub use engine::{MobileEngine, MobileRunOutcome};
 pub use snapshot::{ProcessTuple, RoundSnapshot};

@@ -141,8 +141,23 @@ impl EmpiricalMapping {
 /// every receiver is symmetric (its behaviour is perceived identically), and
 /// a sender that delivered different values (or a mix of values and
 /// omissions) is asymmetric. Correct senders are not counted.
+///
+/// # Panics
+///
+/// Panics when `outcome` executed rounds but carries no snapshots or
+/// trace — the raw material of the classification. Runs recorded at
+/// [`Observe::Snapshots`](crate::Observe::Snapshots) or
+/// [`Observe::Summary`](crate::Observe::Summary) cannot be classified;
+/// re-run at [`Observe::Full`](crate::Observe::Full) (the default).
 #[must_use]
 pub fn classify_execution(model: MobileModel, outcome: &MobileRunOutcome) -> EmpiricalMapping {
+    assert!(
+        outcome.rounds_executed == 0
+            || (!outcome.configurations.is_empty() && !outcome.trace.is_empty()),
+        "classify_execution needs the per-round snapshots and the network trace; \
+         this outcome was recorded below Observe::Full — re-run the scenario with \
+         the default observability level"
+    );
     let mut faulty = BehaviorCounts::default();
     let mut cured = BehaviorCounts::default();
 
@@ -275,6 +290,23 @@ mod tests {
 
         let sasaki = classify_execution(MobileModel::Sasaki, &run(MobileModel::Sasaki, 13, 2));
         assert_eq!(sasaki.cured.dominant(), Some(MixedFaultClass::Asymmetric));
+    }
+
+    #[test]
+    #[should_panic(expected = "Observe::Full")]
+    fn classification_rejects_trace_less_outcomes() {
+        let config = ProtocolConfig::builder(MobileModel::Garay, 9, 2)
+            .epsilon(1e-9)
+            .max_rounds(40)
+            .seed(23)
+            .observe(crate::Observe::Summary)
+            .build()
+            .unwrap();
+        let inputs: Vec<Value> = (0..9).map(|i| Value::new(i as f64)).collect();
+        let outcome = MobileEngine::new(config).run(&inputs).unwrap();
+        // Silently returning all-zero counts would let matches_theory pass
+        // vacuously for Buhrman-style expectations; fail loudly instead.
+        let _ = classify_execution(MobileModel::Garay, &outcome);
     }
 
     #[test]

@@ -125,12 +125,12 @@ pub use mbaa_sim as sim;
 
 pub use mbaa_adversary::{CorruptionStrategy, MobileAdversary, MobilityStrategy};
 pub use mbaa_core::{
-    MobileEngine, MobileRunOutcome, ProtocolConfig, ProtocolConfigBuilder, RoundSnapshot,
+    MobileEngine, MobileRunOutcome, Observe, ProtocolConfig, ProtocolConfigBuilder, RoundSnapshot,
 };
 pub use mbaa_msr::{MedianVoting, MsrFunction, Reduction, Selection, VotingFunction};
 pub use mbaa_net::{
-    Adjacency, DirectedAdjacency, DisconnectionPolicy, LinkFaultPlan, Outbox, RoundDelivery,
-    SyncNetwork, Topology, TopologySchedule,
+    Adjacency, DeliveryMatrix, DirectedAdjacency, DisconnectionPolicy, LinkFaultPlan, Outbox,
+    RoundDelivery, SyncNetwork, Topology, TopologySchedule,
 };
 pub use mbaa_sim::{
     run_experiment, run_experiment_with, ExperimentConfig, ExperimentResult, RunSummary, Workload,

@@ -517,8 +517,12 @@ impl Sweep {
             tasks
                 .into_par_iter()
                 .map(|(point, seed)| {
+                    // Streaming keeps only summaries, and summaries are
+                    // bit-identical across observability levels: run at
+                    // `Observe::Summary` so the engine's rounds stay
+                    // allocation-free and no trace is ever materialized.
                     let summary = self.points[point]
-                        .run(seed)
+                        .run_observed(seed, mbaa_core::Observe::Summary)
                         .map(|outcome| RunSummary::from_outcome(seed, &outcome))?;
                     if let (Some(on_point), Some((pending, partial))) =
                         (on_point.as_ref(), tracking.as_ref())

@@ -23,7 +23,7 @@
 use serde::{Deserialize, Serialize};
 
 use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
-use mbaa_core::{defaults, MobileEngine, MobileRunOutcome, ProtocolConfig};
+use mbaa_core::{defaults, MobileEngine, MobileRunOutcome, Observe, ProtocolConfig};
 use mbaa_msr::{MsrFunction, VotingFunction};
 use mbaa_net::{DisconnectionPolicy, LinkFaultPlan, Topology, TopologySchedule};
 use mbaa_sim::{ExperimentConfig, Workload};
@@ -84,6 +84,14 @@ pub struct Scenario {
     pub workload: Workload,
     /// Whether `n` below the model's replica bound is permitted.
     pub allow_bound_violation: bool,
+    /// How much of each run the engine records
+    /// ([`Observe::Full`] by default, so single runs stay inspectable;
+    /// summary-level batch and stream paths always execute at
+    /// [`Observe::Summary`] — the allocation-free steady state — since
+    /// summaries are bit-identical across levels). Defaults on
+    /// deserialization so pre-`Observe` documents still load.
+    #[serde(default)]
+    pub observe: Observe,
 }
 
 impl Scenario {
@@ -109,6 +117,7 @@ impl Scenario {
             function: None,
             workload: Workload::default(),
             allow_bound_violation: false,
+            observe: Observe::default(),
         }
     }
 
@@ -243,6 +252,31 @@ impl Scenario {
         self
     }
 
+    /// Sets the observability level of single runs and full-outcome batches
+    /// (default [`Observe::Full`]). Purely an observation knob: every field
+    /// an outcome does record is bit-identical across levels, but
+    /// [`Observe::Summary`] skips per-round snapshots and the network trace
+    /// entirely, keeping steady-state rounds allocation-free.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mbaa::prelude::*;
+    ///
+    /// let scenario = Scenario::at_bound(MobileModel::Buhrman, 2);
+    /// let full = scenario.clone().run(3)?;
+    /// let lean = scenario.observe(Observe::Summary).run(3)?;
+    /// assert!(lean.trace.is_empty() && lean.configurations.is_empty());
+    /// assert_eq!(lean.final_votes, full.final_votes);
+    /// assert_eq!(lean.report, full.report);
+    /// # Ok::<(), mbaa::Error>(())
+    /// ```
+    #[must_use]
+    pub fn observe(mut self, observe: Observe) -> Self {
+        self.observe = observe;
+        self
+    }
+
     /// Fixes the initial values explicitly (sugar for a
     /// [`Workload::Fixed`] workload). The vector length must equal `n` by
     /// the time the scenario runs.
@@ -286,6 +320,7 @@ impl Scenario {
             .topology(self.topology.clone())
             .link_faults(self.link_faults.clone())
             .disconnection(self.disconnection)
+            .observe(self.observe)
             .seed(seed);
         if let Some(schedule) = &self.schedule {
             builder = builder.topology_schedule(schedule.clone());
@@ -320,6 +355,7 @@ impl Scenario {
             seeds: seeds.into_iter().collect(),
             workload: self.workload.clone(),
             allow_bound_violation: self.allow_bound_violation,
+            observe: self.observe,
         }
     }
 
@@ -339,6 +375,18 @@ impl Scenario {
     /// Propagates lowering and engine errors.
     pub fn run(&self, seed: u64) -> Result<MobileRunOutcome> {
         let config = self.lower(seed)?;
+        let inputs = self.initial_values(seed);
+        MobileEngine::new(config).run(&inputs)
+    }
+
+    /// Runs this scenario once with the observability level overridden —
+    /// the streaming paths use this to execute at [`Observe::Summary`]
+    /// (allocation-free rounds) no matter what the scenario records for
+    /// single runs. Summaries derived from the outcome are bit-identical
+    /// for every level.
+    pub(crate) fn run_observed(&self, seed: u64, observe: Observe) -> Result<MobileRunOutcome> {
+        let mut config = self.lower(seed)?;
+        config.observe = observe;
         let inputs = self.initial_values(seed);
         MobileEngine::new(config).run(&inputs)
     }

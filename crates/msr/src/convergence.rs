@@ -134,6 +134,21 @@ impl ConvergenceReport {
         }
     }
 
+    /// Like [`ConvergenceReport::new`], but with room for `rounds` recorded
+    /// diameters up front. The protocol engine sizes the report to its round
+    /// budget so that steady-state [`record_round`](Self::record_round)
+    /// calls never reallocate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_diameter` is negative or not finite.
+    #[must_use]
+    pub fn with_capacity(initial_diameter: f64, rounds: usize) -> Self {
+        let mut report = Self::new(initial_diameter);
+        report.diameters.reserve(rounds);
+        report
+    }
+
     /// Records the diameter at the end of a round.
     ///
     /// # Panics

@@ -101,10 +101,48 @@ impl MsrFunction {
 }
 
 impl VotingFunction for MsrFunction {
+    /// Computes `mean(Sel(Red(N)))` directly over the sorted slice of the
+    /// received multiset — no intermediate multisets, no heap allocation.
+    /// Bit-identical to materializing [`Reduction::apply`] /
+    /// [`Selection::apply`] and taking [`ValueMultiset::mean`]: the
+    /// reduction is a sub-slice, the selection an iterator over it, and the
+    /// mean divides each term before summing exactly like the multiset
+    /// does.
     fn apply(&self, received: &ValueMultiset) -> Option<Value> {
-        let reduced = self.reduction.apply(received);
-        let selected = self.selection.apply(&reduced);
-        selected.mean()
+        let sorted = received.as_slice();
+        let tau = self.reduction.tau();
+        if sorted.len() < self.reduction.min_input_len() {
+            // The reduction would leave nothing (or the input is empty):
+            // the materialized path's mean of an empty multiset.
+            return None;
+        }
+        let reduced = &sorted[tau..sorted.len() - tau];
+        match self.selection {
+            Selection::All => mean_of_sorted(reduced.iter().copied(), reduced.len()),
+            Selection::EveryKth { k } => {
+                assert!(k >= 1, "selection step must be >= 1");
+                mean_of_sorted(
+                    reduced.iter().copied().step_by(k),
+                    reduced.len().div_ceil(k),
+                )
+            }
+            // The Fault-Tolerant Midpoint keeps {min, max} (a singleton
+            // keeps its value twice): the mean is v/2 + v/2 either way.
+            Selection::Extremes => {
+                let lo = reduced[0];
+                let hi = reduced[reduced.len() - 1];
+                mean_of_sorted([lo, hi].into_iter(), 2)
+            }
+            Selection::MedianOnly => {
+                let m = reduced.len();
+                let median = if m % 2 == 1 {
+                    reduced[m / 2]
+                } else {
+                    reduced[m / 2 - 1].midpoint(reduced[m / 2])
+                };
+                mean_of_sorted(std::iter::once(median), 1)
+            }
+        }
     }
 
     fn name(&self) -> String {
@@ -114,6 +152,18 @@ impl VotingFunction for MsrFunction {
     fn min_input_len(&self) -> usize {
         self.reduction.min_input_len()
     }
+}
+
+/// The arithmetic mean of `count` ascending values, dividing each term by
+/// the count before summing — the exact summation
+/// [`ValueMultiset::mean`] performs, so slice-based and materialized MSR
+/// evaluation agree bit for bit.
+fn mean_of_sorted<I: Iterator<Item = Value>>(values: I, count: usize) -> Option<Value> {
+    if count == 0 {
+        return None;
+    }
+    let n = count as f64;
+    Some(Value::new(values.map(|v| v.get() / n).sum::<f64>()))
 }
 
 impl Default for MsrFunction {
@@ -199,5 +249,44 @@ mod tests {
     fn trait_object_usable() {
         let f: Box<dyn VotingFunction> = Box::new(MsrFunction::dolev_mean(1));
         assert!(f.apply(&ms(&[1.0, 2.0, 3.0])).is_some());
+    }
+
+    /// The slice-based `apply` must agree bit for bit with materializing the
+    /// reduction and selection steps and taking the multiset mean — the
+    /// path it replaced.
+    #[test]
+    fn slice_apply_matches_materialized_pipeline() {
+        let selections = [
+            Selection::All,
+            Selection::EveryKth { k: 2 },
+            Selection::EveryKth { k: 3 },
+            Selection::Extremes,
+            Selection::MedianOnly,
+        ];
+        let mut state = 41_u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for case in 0..100 {
+            let len = (next() % 12) as usize;
+            let votes: ValueMultiset = (0..len)
+                .map(|_| Value::new((next() % 1000) as f64 / 10.0 - 50.0))
+                .collect();
+            for tau in 0..3 {
+                for selection in selections {
+                    let f = MsrFunction::new(Reduction::trim(tau), selection);
+                    let materialized = selection.apply(&Reduction::trim(tau).apply(&votes)).mean();
+                    assert_eq!(
+                        f.apply(&votes),
+                        materialized,
+                        "case {case}: tau={tau} {selection} over {votes}"
+                    );
+                }
+            }
+        }
     }
 }

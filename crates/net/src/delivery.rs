@@ -111,6 +111,122 @@ impl RoundDelivery {
     }
 }
 
+/// A flat, reusable `n × n` receive buffer: slot `[receiver][sender]` of a
+/// round's delivery, stored receiver-major in one contiguous allocation.
+///
+/// This is the in-place counterpart of `Vec<RoundDelivery>`, used by
+/// [`SyncNetwork::exchange_into`](crate::SyncNetwork::exchange_into): the
+/// engine allocates one matrix per run and every exchange overwrites it,
+/// so steady-state rounds perform no heap allocation at all. Row contents
+/// are bit-identical to the slots of the corresponding [`RoundDelivery`].
+///
+/// # Example
+///
+/// ```
+/// use mbaa_net::{DeliveryMatrix, Outbox, SyncNetwork};
+/// use mbaa_types::{ProcessId, Round, Value};
+///
+/// let mut net = SyncNetwork::new(2);
+/// let mut matrix = DeliveryMatrix::new(2);
+/// let outboxes = vec![
+///     Outbox::broadcast(2, ProcessId::new(0), Value::new(0.25)),
+///     Outbox::silent(2, ProcessId::new(1)),
+/// ];
+/// net.exchange_into(Round::ZERO, &outboxes, &mut matrix)?;
+/// assert_eq!(matrix.from_sender(ProcessId::new(1), ProcessId::new(0)), Some(Value::new(0.25)));
+/// assert_eq!(matrix.from_sender(ProcessId::new(0), ProcessId::new(1)), None);
+/// # Ok::<(), mbaa_types::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeliveryMatrix {
+    n: usize,
+    /// Receiver-major: the slot of sender `s` to receiver `r` is
+    /// `slots[r * n + s]`. Invariant: `slots.len() == n * n`.
+    slots: Vec<Option<Value>>,
+}
+
+impl DeliveryMatrix {
+    /// Creates a matrix for a universe of `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "delivery matrix needs at least one process");
+        DeliveryMatrix {
+            n,
+            slots: vec![None; n * n],
+        }
+    }
+
+    /// The number of processes covered.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Re-targets the matrix to a universe of `n` processes, reusing the
+    /// allocation when the size is unchanged (the steady-state case).
+    /// Slot contents are unspecified until the next exchange overwrites
+    /// them.
+    pub(crate) fn reset(&mut self, n: usize) {
+        if self.n != n {
+            self.n = n;
+            self.slots.clear();
+            self.slots.resize(n * n, None);
+        }
+    }
+
+    /// The per-sender slots of one receiver — the same slots the
+    /// corresponding [`RoundDelivery`] would hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `receiver` is outside the universe.
+    #[must_use]
+    pub fn received(&self, receiver: ProcessId) -> &[Option<Value>] {
+        let r = receiver.index();
+        &self.slots[r * self.n..(r + 1) * self.n]
+    }
+
+    /// Mutable access to one receiver's slot row.
+    pub(crate) fn row_mut(&mut self, receiver: usize) -> &mut [Option<Value>] {
+        &mut self.slots[receiver * self.n..(receiver + 1) * self.n]
+    }
+
+    /// The value `receiver` got from `sender`, or `None` for an omission or
+    /// structural non-delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either process is outside the universe.
+    #[must_use]
+    pub fn from_sender(&self, receiver: ProcessId, sender: ProcessId) -> Option<Value> {
+        self.received(receiver)[sender.index()]
+    }
+
+    /// Iterates over the values actually delivered to `receiver` in
+    /// ascending sender order — the contents of the multiset `N_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `receiver` is outside the universe.
+    pub fn delivered_to(&self, receiver: ProcessId) -> impl Iterator<Item = Value> + '_ {
+        self.received(receiver).iter().filter_map(|s| *s)
+    }
+
+    /// Materializes one receiver's row as an owned [`RoundDelivery`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `receiver` is outside the universe.
+    #[must_use]
+    pub fn to_round_delivery(&self, receiver: ProcessId) -> RoundDelivery {
+        RoundDelivery::from_slots(receiver, self.received(receiver).to_vec())
+    }
+}
+
 impl fmt::Display for RoundDelivery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} <- [", self.receiver)?;

@@ -70,7 +70,7 @@ mod stats;
 mod topology;
 mod trace;
 
-pub use delivery::RoundDelivery;
+pub use delivery::{DeliveryMatrix, RoundDelivery};
 pub use faults::{
     CompiledLinkFaults, DirectedAdjacency, DisconnectionPolicy, LinkFaultPlan, RealizedSchedule,
     TopologySchedule,

@@ -6,8 +6,8 @@ use mbaa_types::{Error, ProcessId, Result, Round, Value};
 
 use crate::faults::omission_lost;
 use crate::{
-    Adjacency, CompiledLinkFaults, DirectedAdjacency, DisconnectionPolicy, LinkFaultPlan,
-    NetworkStats, NetworkTrace, Outbox, RealizedSchedule, RoundDelivery, RoundTrace,
+    Adjacency, CompiledLinkFaults, DeliveryMatrix, DirectedAdjacency, DisconnectionPolicy,
+    LinkFaultPlan, NetworkStats, NetworkTrace, Outbox, RealizedSchedule, RoundDelivery, RoundTrace,
     SenderObservation,
 };
 
@@ -84,6 +84,13 @@ struct Dynamics {
     /// index, so the dynamic path only stays coherent when rounds arrive
     /// in order from zero — enforced, not assumed.
     next_round: u64,
+    /// Reused per-round scratch: `link_flags[s * n + r]` marks the slot of
+    /// sender `s` to receiver `r` as governed by a link fault this round,
+    /// `reach_flags` records the round's structural mask. Kept here so the
+    /// dynamic path, like the static ones, allocates nothing per round.
+    link_flags: Vec<bool>,
+    /// See [`Dynamics::link_flags`].
+    reach_flags: Vec<bool>,
 }
 
 /// What the send phase put on one directed link in one round — classified
@@ -126,9 +133,18 @@ impl SyncNetwork {
     /// long benchmark runs).
     #[must_use]
     pub fn without_trace(n: usize) -> Self {
-        let mut net = Self::new(n);
-        net.record_trace = false;
-        net
+        Self::new(n).with_trace_recording(false)
+    }
+
+    /// Enables or disables per-round trace recording on any network form —
+    /// the knob the engine's `Observe` level lowers onto. With recording
+    /// off, [`trace`](SyncNetwork::trace) stays empty and exchanges never
+    /// allocate observation records; delivery and statistics are
+    /// unaffected.
+    #[must_use]
+    pub fn with_trace_recording(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
     }
 
     /// Creates a network whose delivery is masked by the given adjacency:
@@ -207,6 +223,8 @@ impl SyncNetwork {
             seed,
             pipes: vec![VecDeque::new(); n * n],
             next_round: 0,
+            link_flags: vec![false; n * n],
+            reach_flags: vec![false; n * n],
         });
         Ok(net)
     }
@@ -250,6 +268,14 @@ impl SyncNetwork {
         &self.trace
     }
 
+    /// Consumes the network, returning the recorded trace and the final
+    /// statistics **by move**. This is how a finished run hands its trace
+    /// to the outcome without cloning the n²-per-round observation records.
+    #[must_use]
+    pub fn into_parts(self) -> (NetworkTrace, NetworkStats) {
+        (self.trace, self.stats)
+    }
+
     /// Performs the send + receive phases of `round`.
     ///
     /// `outboxes` must contain exactly one outbox per process, ordered by
@@ -266,6 +292,34 @@ impl SyncNetwork {
     /// schedule realizes a disconnected graph under the
     /// [`DisconnectionPolicy::Reject`] policy.
     pub fn exchange(&mut self, round: Round, outboxes: Vec<Outbox>) -> Result<Vec<RoundDelivery>> {
+        let mut matrix = DeliveryMatrix::new(self.n);
+        self.exchange_into(round, &outboxes, &mut matrix)?;
+        Ok((0..self.n)
+            .map(|r| matrix.to_round_delivery(ProcessId::new(r)))
+            .collect())
+    }
+
+    /// In-place form of [`SyncNetwork::exchange`]: performs the send +
+    /// receive phases of `round`, writing every `[receiver][sender]` slot
+    /// into `out` instead of materializing per-receiver [`RoundDelivery`]
+    /// vectors. On the static paths (complete, masked, or directed graph)
+    /// a steady-state exchange performs **no heap allocation**: the caller
+    /// reuses one [`DeliveryMatrix`] across rounds and trace recording, if
+    /// enabled, is the only remaining per-round allocation.
+    ///
+    /// Slot contents, statistics, and the recorded trace are bit-identical
+    /// to [`SyncNetwork::exchange`] — `exchange` is implemented on top of
+    /// this method.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`SyncNetwork::exchange`].
+    pub fn exchange_into(
+        &mut self,
+        round: Round,
+        outboxes: &[Outbox],
+        out: &mut DeliveryMatrix,
+    ) -> Result<()> {
         if outboxes.len() != self.n {
             return Err(Error::WrongInputCount {
                 provided: outboxes.len(),
@@ -288,44 +342,45 @@ impl SyncNetwork {
                 )));
             }
         }
+        out.reset(self.n);
         if self.dynamics.is_some() {
-            return self.exchange_dynamic(round, &outboxes);
+            return self.exchange_dynamic(round, outboxes, out);
         }
         if self.directed.is_some() {
-            return self.exchange_directed(round, &outboxes);
+            return self.exchange_directed(round, outboxes, out);
         }
 
         // Receive phase: transpose the outbox matrix. Slot [receiver][sender]
         // of the delivery matrix is slot [sender][receiver] of the outboxes,
         // masked to a structural None when the pair shares no link.
-        let deliveries: Vec<RoundDelivery> = (0..self.n)
-            .map(|r| {
-                let receiver = ProcessId::new(r);
-                let slots = match &self.topology {
-                    None => outboxes.iter().map(|outbox| outbox.get(receiver)).collect(),
-                    Some(adjacency) => outboxes
-                        .iter()
-                        .map(|outbox| {
-                            adjacency
-                                .connected(outbox.sender(), receiver)
-                                .then(|| outbox.get(receiver))
-                                .flatten()
-                        })
-                        .collect(),
-                };
-                RoundDelivery::from_slots(receiver, slots)
-            })
-            .collect();
-
-        // Bookkeeping. Undeliverable slots are structural, not faults: they
-        // go to `unreachable`, never to `omissions`.
+        // Bookkeeping rides along: undeliverable slots are structural, not
+        // faults — they go to `unreachable`, never to `omissions`.
         self.stats.rounds += 1;
-        for delivery in &deliveries {
-            let delivered = delivery.delivered_count() as u64;
+        for r in 0..self.n {
+            let receiver = ProcessId::new(r);
+            let row = out.row_mut(r);
+            let mut delivered = 0u64;
+            match &self.topology {
+                None => {
+                    for (slot, outbox) in row.iter_mut().zip(outboxes) {
+                        *slot = outbox.get(receiver);
+                        delivered += u64::from(slot.is_some());
+                    }
+                }
+                Some(adjacency) => {
+                    for (slot, outbox) in row.iter_mut().zip(outboxes) {
+                        *slot = adjacency
+                            .connected(outbox.sender(), receiver)
+                            .then(|| outbox.get(receiver))
+                            .flatten();
+                        delivered += u64::from(slot.is_some());
+                    }
+                }
+            }
             let reachable = match &self.topology {
                 None => self.n as u64,
                 // The closed neighbourhood: the receiver always hears itself.
-                Some(adjacency) => adjacency.degree(delivery.receiver()) as u64 + 1,
+                Some(adjacency) => adjacency.degree(receiver) as u64 + 1,
             };
             self.stats.messages_delivered += delivered;
             self.stats.omissions += reachable - delivered;
@@ -333,13 +388,13 @@ impl SyncNetwork {
         }
         if self.record_trace {
             let round_trace = match &self.topology {
-                None => RoundTrace::from_outboxes(round, &outboxes),
-                Some(adjacency) => RoundTrace::from_outboxes_masked(round, &outboxes, adjacency),
+                None => RoundTrace::from_outboxes(round, outboxes),
+                Some(adjacency) => RoundTrace::from_outboxes_masked(round, outboxes, adjacency),
             };
             self.trace.push(round_trace);
         }
 
-        Ok(deliveries)
+        Ok(())
     }
 
     /// The receive phase of a directed-topology exchange: a slot delivers
@@ -350,29 +405,23 @@ impl SyncNetwork {
         &mut self,
         round: Round,
         outboxes: &[Outbox],
-    ) -> Result<Vec<RoundDelivery>> {
+        out: &mut DeliveryMatrix,
+    ) -> Result<()> {
         let directed = self.directed.as_ref().expect("directed mask present");
-        let deliveries: Vec<RoundDelivery> = (0..self.n)
-            .map(|r| {
-                let receiver = ProcessId::new(r);
-                let slots = outboxes
-                    .iter()
-                    .map(|outbox| {
-                        directed
-                            .delivers(outbox.sender(), receiver)
-                            .then(|| outbox.get(receiver))
-                            .flatten()
-                    })
-                    .collect();
-                RoundDelivery::from_slots(receiver, slots)
-            })
-            .collect();
-
         self.stats.rounds += 1;
-        for delivery in &deliveries {
-            let delivered = delivery.delivered_count() as u64;
+        for r in 0..self.n {
+            let receiver = ProcessId::new(r);
+            let row = out.row_mut(r);
+            let mut delivered = 0u64;
+            for (slot, outbox) in row.iter_mut().zip(outboxes) {
+                *slot = directed
+                    .delivers(outbox.sender(), receiver)
+                    .then(|| outbox.get(receiver))
+                    .flatten();
+                delivered += u64::from(slot.is_some());
+            }
             // The closed in-neighbourhood: the receiver always hears itself.
-            let reachable = directed.in_degree(delivery.receiver()) as u64 + 1;
+            let reachable = directed.in_degree(receiver) as u64 + 1;
             self.stats.messages_delivered += delivered;
             self.stats.omissions += reachable - delivered;
             self.stats.unreachable += self.n as u64 - reachable;
@@ -382,7 +431,7 @@ impl SyncNetwork {
                 round, outboxes, directed,
             ));
         }
-        Ok(deliveries)
+        Ok(())
     }
 
     /// The receive phase of a dynamic, link-faulted exchange: the round's
@@ -395,7 +444,8 @@ impl SyncNetwork {
         &mut self,
         round: Round,
         outboxes: &[Outbox],
-    ) -> Result<Vec<RoundDelivery>> {
+        out: &mut DeliveryMatrix,
+    ) -> Result<()> {
         let n = self.n;
         let Dynamics {
             schedule,
@@ -404,6 +454,8 @@ impl SyncNetwork {
             seed,
             pipes,
             next_round,
+            link_flags,
+            reach_flags,
         } = self.dynamics.as_mut().expect("dynamics present");
         if round.index() != *next_round {
             return Err(Error::InvalidParameter(format!(
@@ -428,16 +480,14 @@ impl SyncNetwork {
             }
         }
 
-        // `link_flags[s * n + r]` marks the slot of sender s to receiver r
-        // as governed by a link fault this round, and `reach_flags` records
-        // the round's structural mask — both filled during the delivery
-        // loop so the trace below never re-scans the adjacency.
-        let mut link_flags = vec![false; n * n];
-        let mut reach_flags = vec![false; n * n];
-        let mut deliveries = Vec::with_capacity(n);
+        // The flag scratch is filled during the delivery loop so the trace
+        // below never re-scans the adjacency: every `reach_flags` slot is
+        // overwritten, `link_flags` only gets set on fault paths and must
+        // start clean.
+        link_flags.fill(false);
         for r in 0..n {
             let receiver = ProcessId::new(r);
-            let mut slots = Vec::with_capacity(n);
+            let row = out.row_mut(r);
             for (s, outbox) in outboxes.iter().enumerate() {
                 let sender = ProcessId::new(s);
                 let delay = faults.delay_at(s, r);
@@ -471,7 +521,7 @@ impl SyncNetwork {
                         None
                     }
                 };
-                slots.push(match arrived {
+                row[s] = match arrived {
                     Some(SendOutcome::Value(value)) => {
                         self.stats.messages_delivered += 1;
                         if delay > 0 {
@@ -495,9 +545,8 @@ impl SyncNetwork {
                         self.stats.link_pending += 1;
                         None
                     }
-                });
+                };
             }
-            deliveries.push(RoundDelivery::from_slots(receiver, slots));
         }
         self.stats.rounds += 1;
 
@@ -514,7 +563,7 @@ impl SyncNetwork {
             self.trace
                 .push(RoundTrace::from_observations(round, observations));
         }
-        Ok(deliveries)
+        Ok(())
     }
 }
 

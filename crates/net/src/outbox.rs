@@ -99,6 +99,41 @@ impl Outbox {
         self.slots[receiver.index()] = value;
     }
 
+    /// Rewrites this outbox in place into the broadcast of `value` — the
+    /// zero-allocation counterpart of [`Outbox::broadcast`] for a reused
+    /// send buffer. The universe is unchanged.
+    pub fn fill_broadcast(&mut self, value: Value) {
+        self.slots.fill(Some(value));
+    }
+
+    /// Rewrites this outbox in place into silence — the zero-allocation
+    /// counterpart of [`Outbox::silent`]. The universe is unchanged.
+    pub fn fill_silent(&mut self) {
+        self.slots.fill(None);
+    }
+
+    /// Overwrites this outbox with `other`'s sender and slots, reusing the
+    /// existing allocation — the zero-allocation counterpart of
+    /// `*self = other.clone()` for same-universe outboxes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn copy_from(&mut self, other: &Outbox) {
+        assert_eq!(
+            self.slots.len(),
+            other.slots.len(),
+            "outbox universe mismatch"
+        );
+        self.sender = other.sender;
+        self.slots.copy_from_slice(&other.slots);
+    }
+
+    /// Reassigns the sender of this (reused) outbox.
+    pub fn set_sender(&mut self, sender: ProcessId) {
+        self.sender = sender;
+    }
+
     /// Iterates over `(receiver, slot)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, Option<Value>)> + '_ {
         self.slots

@@ -10,7 +10,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
-use mbaa_core::{MobileEngine, MobileRunOutcome, ProtocolConfig};
+use mbaa_core::{MobileEngine, MobileRunOutcome, Observe, ProtocolConfig};
 use mbaa_msr::MsrFunction;
 use mbaa_net::{DisconnectionPolicy, LinkFaultPlan, Topology, TopologySchedule};
 use mbaa_types::{MobileModel, Result};
@@ -56,6 +56,13 @@ pub struct ExperimentConfig {
     pub workload: Workload,
     /// Whether to allow `n` below the model's bound (threshold sweeps).
     pub allow_bound_violation: bool,
+    /// The observability level the description was lowered from. Recorded
+    /// for self-description; the summary-level executors always run the
+    /// engine at [`Observe::Summary`], since only [`RunSummary`] fields
+    /// survive anyway and summaries are bit-identical across levels.
+    /// Defaults on deserialization so pre-`Observe` documents still load.
+    #[serde(default)]
+    pub observe: Observe,
 }
 
 impl ExperimentConfig {
@@ -74,6 +81,7 @@ impl ExperimentConfig {
             .topology(self.topology.clone())
             .link_faults(self.link_faults.clone())
             .disconnection(self.disconnection)
+            .observe(self.observe)
             .seed(seed);
         if let Some(schedule) = &self.schedule {
             builder = builder.topology_schedule(schedule.clone());
@@ -229,11 +237,19 @@ where
     F: Fn(&RunSummary) + Sync,
 {
     // Validate every lowering up front: configuration errors then surface
-    // deterministically, before any run starts.
+    // deterministically, before any run starts. Only summaries leave this
+    // function, and summaries are bit-identical across observability
+    // levels, so the engine always runs at `Observe::Summary` — the
+    // allocation-free steady state — regardless of the description's level.
     let protocols: Vec<(u64, ProtocolConfig)> = config
         .seeds
         .iter()
-        .map(|&seed| config.protocol_config(seed).map(|p| (seed, p)))
+        .map(|&seed| {
+            config.protocol_config(seed).map(|mut p| {
+                p.observe = Observe::Summary;
+                (seed, p)
+            })
+        })
         .collect::<Result<_>>()?;
     let runs: Vec<Result<RunSummary>> = protocols
         .into_par_iter()
@@ -279,6 +295,7 @@ mod tests {
             seeds: seeds.collect(),
             workload: Workload::default(),
             allow_bound_violation: false,
+            observe: Observe::default(),
         }
     }
 

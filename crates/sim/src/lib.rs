@@ -26,6 +26,7 @@
 //! ```
 //! use mbaa_sim::{run_experiment, ExperimentConfig, Workload};
 //! use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
+//! use mbaa_core::Observe;
 //! use mbaa_net::{DisconnectionPolicy, LinkFaultPlan, Topology};
 //! use mbaa_types::MobileModel;
 //!
@@ -46,6 +47,7 @@
 //!     seeds: (0..5).collect(),
 //!     workload: Workload::UniformSpread { lo: 0.0, hi: 1.0 },
 //!     allow_bound_violation: false,
+//!     observe: Observe::default(),
 //! };
 //! let result = run_experiment(&config)?;
 //! assert_eq!(result.runs.len(), 5);

@@ -58,8 +58,42 @@ impl ValueMultiset {
     /// Creates a multiset from an unsorted vector of values.
     #[must_use]
     pub fn from_values(mut values: Vec<Value>) -> Self {
-        values.sort_unstable();
+        // Values are totally ordered finite floats: an unstable comparator
+        // sort is enough (equal values are interchangeable) and never
+        // allocates, unlike the stable `sort_by` merge.
+        values.sort_unstable_by(Value::cmp);
         ValueMultiset { values }
+    }
+
+    /// Empties the multiset, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.values.clear();
+    }
+
+    /// Replaces the contents with the values of `iter`, reusing the existing
+    /// allocation: `clear` + `extend` + in-place unstable sort. This is the
+    /// zero-allocation refill path of the protocol engine's per-round
+    /// multiset scratch — once the buffer has grown to the universe size,
+    /// refilling it performs no heap allocation at all.
+    ///
+    /// The result is bit-identical to building a fresh multiset with
+    /// [`ValueMultiset::from_values`] over the same values.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mbaa_types::{Value, ValueMultiset};
+    ///
+    /// let mut scratch = ValueMultiset::with_capacity(4);
+    /// scratch.refill([3.0, 1.0, 2.0].map(Value::new));
+    /// assert_eq!(scratch.as_slice(), &[Value::new(1.0), Value::new(2.0), Value::new(3.0)]);
+    /// scratch.refill([5.0, 4.0].map(Value::new));
+    /// assert_eq!(scratch.len(), 2);
+    /// ```
+    pub fn refill<I: IntoIterator<Item = Value>>(&mut self, iter: I) {
+        self.values.clear();
+        self.values.extend(iter);
+        self.values.sort_unstable_by(Value::cmp);
     }
 
     /// Number of values (with multiplicity).
@@ -219,7 +253,7 @@ impl FromIterator<Value> for ValueMultiset {
 impl Extend<Value> for ValueMultiset {
     fn extend<T: IntoIterator<Item = Value>>(&mut self, iter: T) {
         self.values.extend(iter);
-        self.values.sort_unstable();
+        self.values.sort_unstable_by(Value::cmp);
     }
 }
 
@@ -380,5 +414,60 @@ mod tests {
     fn display_formats_as_braced_list() {
         assert_eq!(ms(&[2.0, 1.0]).to_string(), "{1, 2}");
         assert_eq!(ValueMultiset::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn refill_reuses_the_buffer_and_matches_from_values() {
+        let mut scratch = ValueMultiset::with_capacity(8);
+        scratch.refill([4.0, 2.0, 4.0].map(Value::new));
+        assert_eq!(scratch, ms(&[2.0, 4.0, 4.0]));
+        // A shorter refill fully replaces the previous contents.
+        scratch.refill([9.0].map(Value::new));
+        assert_eq!(scratch, ms(&[9.0]));
+        scratch.refill(std::iter::empty());
+        assert!(scratch.is_empty());
+        scratch.clear();
+        assert!(scratch.is_empty());
+    }
+
+    /// Property battery (seeded random cases, proptest-style): the unstable
+    /// comparator sort used by `from_values` and `refill` preserves exactly
+    /// the sorted order and per-value multiplicity a stable reference sort
+    /// produces.
+    #[test]
+    fn unstable_sort_preserves_order_and_multiplicity() {
+        // SplitMix64: deterministic case generation without a dev-dependency.
+        let mut state = 0x9E37_79B9_u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut scratch = ValueMultiset::new();
+        for case in 0..200 {
+            let len = (next() % 64) as usize;
+            // A coarse value grid on purpose: ties are the interesting case
+            // for sort stability.
+            let values: Vec<Value> = (0..len)
+                .map(|_| Value::new((next() % 16) as f64 - 8.0))
+                .collect();
+
+            let mut reference = values.clone();
+            reference.sort_by(Value::cmp); // stable reference
+
+            let built = ValueMultiset::from_values(values.clone());
+            assert_eq!(built.as_slice(), reference.as_slice(), "case {case}");
+            scratch.refill(values.iter().copied());
+            assert_eq!(scratch.as_slice(), reference.as_slice(), "case {case}");
+            for &v in &reference {
+                assert_eq!(
+                    built.count(v),
+                    reference.iter().filter(|&&r| r == v).count(),
+                    "case {case}: multiplicity of {v}"
+                );
+            }
+        }
     }
 }

@@ -162,6 +162,18 @@ impl ProcessSet {
         self.members.iter_mut().for_each(|m| *m = false);
     }
 
+    /// Overwrites this set with the membership of `other`, reusing the
+    /// existing allocation — the zero-allocation counterpart of
+    /// `*self = other.clone()` for same-universe sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn copy_from(&mut self, other: &ProcessSet) {
+        assert_eq!(self.universe(), other.universe(), "universe mismatch");
+        self.members.copy_from_slice(&other.members);
+    }
+
     /// Iterates over the members in increasing index order.
     pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
         self.members
@@ -314,5 +326,19 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.universe(), 4);
+    }
+
+    #[test]
+    fn copy_from_overwrites_in_place() {
+        let mut s = ProcessSet::from_indices(4, [0, 2]);
+        s.copy_from(&ProcessSet::from_indices(4, [3]));
+        assert_eq!(s, ProcessSet::from_indices(4, [3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn copy_from_rejects_mismatched_universe() {
+        let mut s = ProcessSet::empty(3);
+        s.copy_from(&ProcessSet::empty(4));
     }
 }

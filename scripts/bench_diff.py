@@ -10,8 +10,10 @@ and report-style metrics (rounds, thresholds, contraction factors, with
 their own units) from the table1/table2/convergence benches. *Every*
 BENCH_*.json file in the two directories is diffed; benchmarks are matched
 by (file name, group, id), mean_ns is compared, and any regression above
-the threshold (default 15%) is flagged. The "unit" field is display-only
-and optional (old baselines without it read as "ns").
+the threshold (default 15%) is flagged. The "unit" field is optional (old
+baselines without it read as "ns") and decides the regression direction:
+timings and counts regress upward, throughput units ("…/s", e.g. the
+hot-path bench's "rounds/s") regress downward.
 
 The Markdown goes to stdout (append it to $GITHUB_STEP_SUMMARY in CI). The
 exit code is always 0: CI smoke runners are noisy, so regressions are
@@ -89,11 +91,17 @@ def main() -> int:
                 rows.append((name, base_mean, cur["mean_ns"], "from 0", "⚠️ changed from 0", unit))
             continue
         change = (cur["mean_ns"] - base_mean) / base_mean * 100.0
+        # Timings and counts regress upward; throughput units (anything
+        # per second, e.g. the hot-path bench's "rounds/s") regress
+        # downward.
+        higher_is_better = unit.endswith("/s")
+        regressed = change < -args.threshold if higher_is_better else change > args.threshold
+        improved = change > args.threshold if higher_is_better else change < -args.threshold
         flag = ""
-        if change > args.threshold:
+        if regressed:
             flag = f"⚠️ regression > {args.threshold:.0f}%"
             regressions += 1
-        elif change < -args.threshold:
+        elif improved:
             flag = "✅ improvement"
         rows.append((name, base_mean, cur["mean_ns"], f"{change:+.1f}%", flag, unit))
 

@@ -1,0 +1,118 @@
+//! Allocation-regression test: steady-state engine rounds must perform
+//! **zero heap allocations** under `Observe::Summary` on the complete
+//! topology.
+//!
+//! A counting global allocator wraps the system allocator. Two runs of the
+//! same configuration differ only in their round budget (both run to the
+//! budget without converging), so the difference in allocation counts is
+//! exactly what the extra steady-state rounds allocated — which must be
+//! nothing. This pins the round-scratch design: outbox/delivery/multiset/
+//! fault-plan buffers are allocated once per run and reused in place.
+//!
+//! This is a separate integration-test binary on purpose: a global
+//! allocator is per-binary state, and the test must not race with parallel
+//! test threads (it is the only test in this file).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mbaa::{
+    CorruptionStrategy, MobileEngine, MobileModel, MobilityStrategy, Observe, ProtocolConfig, Value,
+};
+
+/// Counts every allocation (not bytes — the assertion is about *count*)
+/// made through the global allocator.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to the system allocator; the only addition is a
+// relaxed counter increment on the allocating paths.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A run that cannot converge within `rounds`: under the worst-case
+/// adversary (extreme-targeting mobility, split corruption) these models
+/// stay above ε = 1e-300 for well over the budgets used here, so every
+/// round executes and `rounds_executed == rounds`.
+fn run_counting(model: MobileModel, n: usize, rounds: usize, observe: Observe) -> (u64, usize) {
+    let inputs: Vec<Value> = (0..n)
+        .map(|i| Value::new(i as f64 / (n - 1) as f64))
+        .collect();
+    let config = ProtocolConfig::builder(model, n, 2)
+        .epsilon(1e-300)
+        .max_rounds(rounds)
+        .seed(7)
+        .mobility(MobilityStrategy::TargetExtremes)
+        .corruption(CorruptionStrategy::split_attack())
+        .observe(observe)
+        .build()
+        .expect("config");
+    let engine = MobileEngine::new(config);
+    // Warm up once: lazily initialized runtime state (thread-locals, the
+    // first pool fills) must not be charged to the measured run.
+    engine.run(&inputs).expect("warm-up run");
+    let before = allocations();
+    let outcome = engine.run(&inputs).expect("measured run");
+    (allocations() - before, outcome.rounds_executed)
+}
+
+#[test]
+fn steady_state_rounds_allocate_nothing_under_observe_summary() {
+    // The worst-case adversary on the complete topology: the sweep hot
+    // path. These three models sustain a positive diameter under the split
+    // attack for far longer than the budgets below, so neither run
+    // converges early.
+    for model in [
+        MobileModel::Bonnet,
+        MobileModel::Sasaki,
+        MobileModel::Buhrman,
+    ] {
+        let n = model.required_processes(2);
+        let (allocs_short, rounds_short) = run_counting(model, n, 6, Observe::Summary);
+        let (allocs_long, rounds_long) = run_counting(model, n, 26, Observe::Summary);
+        assert_eq!(
+            rounds_short, 6,
+            "{model}: short run must exhaust its budget"
+        );
+        assert_eq!(rounds_long, 26, "{model}: long run must exhaust its budget");
+        // Both runs share identical setup; the 20 extra steady-state rounds
+        // must not have allocated at all.
+        assert_eq!(
+            allocs_long,
+            allocs_short,
+            "{model}: {} extra allocations across 20 extra steady-state rounds",
+            allocs_long.saturating_sub(allocs_short)
+        );
+
+        // Sanity: the same comparison under Observe::Full *does* allocate
+        // (snapshots + trace), proving the counter actually measures the
+        // engine and the Summary result is not vacuous.
+        let (full_short, _) = run_counting(model, n, 6, Observe::Full);
+        let (full_long, _) = run_counting(model, n, 26, Observe::Full);
+        assert!(
+            full_long > full_short,
+            "{model}: Full-observability rounds should allocate (got {full_short} vs {full_long})"
+        );
+    }
+}

@@ -226,3 +226,117 @@ fn explicit_complete_topology_is_identical_on_every_execution_path() {
         assert_eq!(a.outcome.runs, b.outcome.runs, "sweep path diverged");
     }
 }
+
+/// Summaries must be identical at every `Observe` level, on every execution
+/// path, for every worker count — the level only decides what a run
+/// records, never what it computes.
+#[test]
+fn observe_summary_matches_full_on_every_execution_path() {
+    for model in [MobileModel::Garay, MobileModel::Buhrman] {
+        let full = scenario_for(model); // Observe::Full is the default
+        assert_eq!(full.observe, Observe::Full);
+        let lean = full.clone().observe(Observe::Summary);
+
+        // Single runs: identical computation, leaner recordings.
+        let a = full.run(5).unwrap();
+        let b = lean.run(5).unwrap();
+        assert_eq!(a.final_votes, b.final_votes, "{model}");
+        assert_eq!(a.final_states, b.final_states, "{model}");
+        assert_eq!(a.report, b.report, "{model}");
+        assert_eq!(a.network_stats, b.network_stats, "{model}");
+        assert_eq!(a.configurations.len(), a.rounds_executed);
+        assert_eq!(a.trace.len(), a.rounds_executed);
+        assert!(b.configurations.is_empty() && b.trace.is_empty());
+
+        // Snapshots sit in between: per-round states, no trace.
+        let mid = full.clone().observe(Observe::Snapshots).run(5).unwrap();
+        assert_eq!(mid.configurations, a.configurations, "{model}");
+        assert!(mid.trace.is_empty());
+
+        // Batch outcomes fold to the same summaries…
+        let full_batch = full.batch(0..5).run().unwrap();
+        let lean_batch = lean.batch(0..5).run().unwrap();
+        assert_eq!(
+            full_batch.to_experiment_result().runs,
+            lean_batch.to_experiment_result().runs,
+            "{model}: batch summaries diverged"
+        );
+
+        // …and the summary-only paths agree with summaries derived from
+        // full outcomes, for every worker count.
+        let reference = full_batch.to_experiment_result().runs;
+        for workers in [1usize, 3] {
+            assert_eq!(
+                full.batch(0..5).workers(workers).stream().unwrap().runs,
+                reference,
+                "{model}: stream diverged at {workers} workers"
+            );
+            assert_eq!(
+                lean.batch(0..5).workers(workers).stream().unwrap().runs,
+                reference,
+                "{model}: lean stream diverged at {workers} workers"
+            );
+        }
+        assert_eq!(full.batch(0..5).summarize().unwrap().runs, reference);
+        assert_eq!(lean.batch(0..5).summarize().unwrap().runs, reference);
+
+        // Sweeps: the streamed (Summary-executed) sweep equals the eager
+        // full-outcome sweep point by point.
+        let eager = full.sweep_n(1).seeds(0..3).run().unwrap();
+        let streamed = full.sweep_n(1).seeds(0..3).workers(2).stream().unwrap();
+        for (point, summary) in eager.iter().zip(&streamed) {
+            assert_eq!(
+                point.outcome.to_experiment_result().runs,
+                summary.result.runs,
+                "{model}: sweep summaries diverged"
+            );
+        }
+    }
+}
+
+/// The Observe equivalence must also hold on link-faulted / churned
+/// networks (PR 4's dynamic path), where trace recording is by far the
+/// most expensive observation.
+#[test]
+fn observe_summary_matches_full_under_churn_and_link_faults() {
+    let full = Scenario::new(MobileModel::Garay, 9, 1)
+        .epsilon(1e-3)
+        .max_rounds(300)
+        .topology_schedule(TopologySchedule::SeededChurn {
+            base: Topology::Complete,
+            flip_rate: 0.3,
+        })
+        .link_faults(LinkFaultPlan::new().omit_all(0.05));
+    let lean = full.clone().observe(Observe::Summary);
+
+    let a = full.run(7).unwrap();
+    let b = lean.run(7).unwrap();
+    assert_eq!(a.final_votes, b.final_votes);
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.network_stats, b.network_stats);
+    assert!(a.network_stats.link_omissions > 0, "plan lost nothing");
+    assert!(!a.trace.is_empty() && b.trace.is_empty());
+
+    // Summary-level paths agree with summaries of full outcomes across
+    // worker counts, churn and all.
+    let reference = full.batch(0..4).run().unwrap().to_experiment_result().runs;
+    for workers in [1usize, 3] {
+        assert_eq!(
+            full.batch(0..4).workers(workers).stream().unwrap().runs,
+            reference,
+            "churned stream diverged at {workers} workers"
+        );
+    }
+    assert_eq!(lean.batch(0..4).summarize().unwrap().runs, reference);
+
+    // The churn sweep streams at Observe::Summary internally; its points
+    // must equal eager full-outcome batches.
+    let eager = full.sweep_churn([0.0, 0.3]).seeds(0..3).run().unwrap();
+    let streamed = full.sweep_churn([0.0, 0.3]).seeds(0..3).stream().unwrap();
+    for (point, summary) in eager.iter().zip(&streamed) {
+        assert_eq!(
+            point.outcome.to_experiment_result().runs,
+            summary.result.runs
+        );
+    }
+}

@@ -164,14 +164,34 @@ pub mod seq {
         ///
         /// Panics if `amount > length`.
         pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            let mut indices = Vec::new();
+            sample_into(rng, length, amount, &mut indices);
+            IndexVec(indices)
+        }
+
+        /// In-place variant of [`sample`]: fills `out` with `amount`
+        /// distinct indices from `0..length`, reusing its allocation. The
+        /// draw sequence (and therefore the result) is identical to
+        /// [`sample`] for the same generator state — once `out` has grown
+        /// to `length`, refilling performs no heap allocation.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > length`.
+        pub fn sample_into<R: Rng + ?Sized>(
+            rng: &mut R,
+            length: usize,
+            amount: usize,
+            out: &mut Vec<usize>,
+        ) {
             assert!(amount <= length, "cannot sample {amount} of {length}");
-            let mut indices: Vec<usize> = (0..length).collect();
+            out.clear();
+            out.extend(0..length);
             for i in 0..amount {
                 let j = i + (rng.next_u64() as usize) % (length - i);
-                indices.swap(i, j);
+                out.swap(i, j);
             }
-            indices.truncate(amount);
-            IndexVec(indices)
+            out.truncate(amount);
         }
     }
 }
@@ -206,6 +226,18 @@ mod tests {
         for _ in 0..1_000 {
             let v: usize = rng.random_range(0..10usize);
             assert!(v < 10);
+        }
+    }
+
+    #[test]
+    fn sample_into_matches_sample() {
+        let mut scratch = Vec::new();
+        for seed in 0..20 {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            let owned = super::seq::index::sample(&mut a, 11, 5).into_vec();
+            super::seq::index::sample_into(&mut b, 11, 5, &mut scratch);
+            assert_eq!(owned, scratch);
         }
     }
 
