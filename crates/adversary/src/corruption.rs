@@ -122,6 +122,7 @@ impl CorruptionStrategy {
     /// # Panics
     ///
     /// Panics if `out`'s universe differs from the view's.
+    // mbaa: alloc-free
     pub fn fill_faulty_outbox<R: Rng + ?Sized>(
         &self,
         sender: ProcessId,

@@ -59,6 +59,7 @@ impl RoundFaultPlan {
 
     /// Clears the plan for reuse, recycling every outbox it holds into
     /// `pool` instead of dropping the allocations.
+    // mbaa: alloc-free
     fn recycle_into(&mut self, pool: &mut Vec<Outbox>) {
         self.faulty.clear();
         self.cured.clear();
@@ -173,6 +174,7 @@ impl MobileAdversary {
     ///
     /// Panics if the view's or plan's universe differs from the
     /// adversary's.
+    // mbaa: alloc-free
     pub fn begin_round_into(&mut self, view: &AdversaryView<'_>, plan: &mut RoundFaultPlan) {
         assert_eq!(
             view.universe(),
@@ -249,6 +251,7 @@ impl MobileAdversary {
 
         match &mut self.occupied {
             Some(occupied) => occupied.copy_from(&plan.faulty),
+            // mbaa: allow(hot-path/allocation, first round only; every later round copies in place)
             None => self.occupied = Some(plan.faulty.clone()),
         }
     }

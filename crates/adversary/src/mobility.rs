@@ -87,6 +87,7 @@ impl MobilityStrategy {
     /// # Panics
     ///
     /// Panics if `out`'s universe differs from the view's.
+    // mbaa: alloc-free
     pub fn place_into<R: Rng + ?Sized>(
         &self,
         view: &AdversaryView<'_>,

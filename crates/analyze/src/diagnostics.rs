@@ -1,0 +1,254 @@
+//! Diagnostics, suppression records, and the machine-readable report.
+//!
+//! The analyzer's own output obeys the workspace determinism creed: files
+//! are scanned in sorted order and diagnostics are emitted in token order,
+//! so two runs over the same tree produce byte-identical reports.
+
+use std::fmt;
+
+/// How severe a lint finding is.
+///
+/// Every shipped lint is [`Severity::Error`]: CI fails on any unsuppressed
+/// diagnostic. [`Severity::Warning`] exists for downstream lints that want
+/// to surface advice without gating the build (warnings never affect the
+/// process exit code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the analyzer run (non-zero exit).
+    Error,
+    /// Reported, but never fails the run.
+    Warning,
+}
+
+impl Severity {
+    /// The lowercase name used in text and JSON output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint finding at an exact source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The lint that fired (e.g. `determinism/hash-collections`).
+    pub lint: &'static str,
+    /// The lint's severity.
+    pub severity: Severity,
+    /// The file the finding is in, as a workspace-relative display path.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// Human-readable explanation, including the suggested fix.
+    pub message: String,
+}
+
+/// A finding that an inline `mbaa: allow(...)` directive waived.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppressed {
+    /// The lint that would have fired.
+    pub lint: &'static str,
+    /// The file the waived finding is in.
+    pub file: String,
+    /// 1-based line of the waived token.
+    pub line: u32,
+    /// 1-based column of the waived token.
+    pub col: u32,
+    /// The reason given in the `allow` directive.
+    pub reason: String,
+}
+
+/// The result of analyzing a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// How many files were scanned.
+    pub files_scanned: usize,
+    /// Unsuppressed findings, in (file, token) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings waived by `mbaa: allow(...)` directives, with their reasons.
+    pub suppressed: Vec<Suppressed>,
+}
+
+impl Report {
+    /// Number of error-severity diagnostics.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// `true` when no error-severity diagnostic survived suppression — the
+    /// condition under which the CLI exits 0.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Renders the human-readable report.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{}[{}]: {}\n  --> {}:{}:{}\n",
+                d.severity, d.lint, d.message, d.file, d.line, d.col
+            ));
+        }
+        out.push_str(&format!(
+            "{} file(s) scanned: {} error(s), {} warning(s), {} suppressed\n",
+            self.files_scanned,
+            self.error_count(),
+            self.warning_count(),
+            self.suppressed.len()
+        ));
+        out
+    }
+
+    /// Renders the machine-readable JSON report consumed by CI.
+    ///
+    /// The vendored serde shim is a no-op (see `vendor/README.md`), so the
+    /// JSON is written by hand; the escaping covers everything a Rust
+    /// source path or lint message can contain.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"version\": 1,\n  \"files_scanned\": {},\n",
+            self.files_scanned
+        ));
+        out.push_str(&format!(
+            "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"suppressed\": {}}},\n",
+            self.error_count(),
+            self.warning_count(),
+            self.suppressed.len()
+        ));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"lint\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+                json_string(d.lint),
+                json_string(d.severity.name()),
+                json_string(&d.file),
+                d.line,
+                d.col,
+                json_string(&d.message)
+            ));
+        }
+        out.push_str("\n  ],\n  \"suppressed\": [");
+        for (i, s) in self.suppressed.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"reason\": {}}}",
+                json_string(s.lint),
+                json_string(&s.file),
+                s.line,
+                s.col,
+                json_string(&s.reason)
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal, quotes included.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            files_scanned: 2,
+            diagnostics: vec![Diagnostic {
+                lint: "determinism/wall-clock",
+                severity: Severity::Error,
+                file: "crates/core/src/engine.rs".into(),
+                line: 3,
+                col: 9,
+                message: "message with \"quotes\" and a\nnewline".into(),
+            }],
+            suppressed: vec![Suppressed {
+                lint: "hot-path/allocation",
+                file: "crates/net/src/network.rs".into(),
+                line: 7,
+                col: 1,
+                reason: "cold error path".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn text_report_points_at_file_line_col() {
+        let text = sample().to_text();
+        assert!(text.contains("--> crates/core/src/engine.rs:3:9"));
+        assert!(text.contains("error[determinism/wall-clock]"));
+        assert!(text.contains("2 file(s) scanned: 1 error(s), 0 warning(s), 1 suppressed"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let json = sample().to_json();
+        assert!(json.contains("\\\"quotes\\\" and a\\nnewline"));
+        assert!(json.contains("\"summary\": {\"errors\": 1, \"warnings\": 0, \"suppressed\": 1}"));
+    }
+
+    #[test]
+    fn empty_report_is_clean_and_valid_json() {
+        let report = Report::default();
+        assert!(report.is_clean());
+        let json = report.to_json();
+        assert!(json.contains("\"diagnostics\": [\n  ]"));
+    }
+
+    #[test]
+    fn warnings_do_not_break_cleanliness() {
+        let mut report = sample();
+        report.diagnostics[0].severity = Severity::Warning;
+        assert!(report.is_clean());
+        assert_eq!(report.warning_count(), 1);
+    }
+
+    #[test]
+    fn control_characters_escape_as_unicode() {
+        assert_eq!(json_string("a\u{1}b"), "\"a\\u0001b\"");
+    }
+}

@@ -1,0 +1,234 @@
+//! Parsing of inline `mbaa:` directives out of comment tokens.
+//!
+//! Two directives exist:
+//!
+//! - `// mbaa: allow(lint-name, reason)` — waives findings of `lint-name`
+//!   on the directive's own line and on the line directly below it (so
+//!   both trailing and comment-above placements work). The reason is
+//!   mandatory and is carried into the JSON report's `suppressed` list.
+//! - `// mbaa: alloc-free` — opts the next brace-delimited region (a
+//!   function body, a loop, an `impl` block) into the
+//!   `hot-path/allocation` lint. Written as an inner doc comment
+//!   (`//! mbaa: alloc-free` or `/*! mbaa: alloc-free */`) it marks the
+//!   whole module/file instead.
+//!
+//! A comment that starts with `mbaa:` but parses as neither is itself a
+//! diagnostic ([`crate::lints::BAD_DIRECTIVE`]): a silently ignored typo
+//! in a suppression would un-waive real findings, and a typo in a marker
+//! would silently stop linting a hot region.
+
+use crate::lexer::{Token, TokenKind};
+use crate::lints;
+
+/// A successfully parsed directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// `mbaa: allow(lint, reason)`.
+    Allow {
+        /// The (known) lint name being waived.
+        lint: &'static str,
+        /// Why the waiver is sound.
+        reason: String,
+    },
+    /// `mbaa: alloc-free`; `module_level` when written as an inner doc
+    /// comment, in which case the whole file is the region.
+    AllocFree {
+        /// Marks the entire file instead of the next brace block.
+        module_level: bool,
+    },
+}
+
+/// A directive with the position of its comment token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedDirective {
+    /// The parsed directive.
+    pub directive: Directive,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// 1-based column of the comment.
+    pub col: u32,
+}
+
+/// Why a `mbaa:`-prefixed comment failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectiveError {
+    /// Human-readable explanation.
+    pub message: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// 1-based column of the comment.
+    pub col: u32,
+}
+
+/// Extracts the directive from a comment token, if it carries one.
+///
+/// Returns `None` for ordinary comments, `Some(Ok(..))` for well-formed
+/// directives, and `Some(Err(..))` for comments that start with `mbaa:`
+/// but are malformed.
+#[must_use]
+pub fn parse_comment(token: &Token) -> Option<Result<ParsedDirective, DirectiveError>> {
+    let (body, module_level) = strip_comment_sigils(token)?;
+    let body = body.trim();
+    let rest = body.strip_prefix("mbaa:")?.trim();
+    let err = |message: String| {
+        Some(Err(DirectiveError {
+            message,
+            line: token.line,
+            col: token.col,
+        }))
+    };
+    let ok = |directive: Directive| {
+        Some(Ok(ParsedDirective {
+            directive,
+            line: token.line,
+            col: token.col,
+        }))
+    };
+
+    if rest == "alloc-free" {
+        return ok(Directive::AllocFree { module_level });
+    }
+    if let Some(args) = rest.strip_prefix("allow") {
+        let args = args.trim();
+        let Some(inner) = args.strip_prefix('(').and_then(|a| a.strip_suffix(')')) else {
+            return err(format!(
+                "malformed allow directive `{rest}`: expected `mbaa: allow(lint-name, reason)`"
+            ));
+        };
+        let Some((lint_name, reason)) = inner.split_once(',') else {
+            return err(format!(
+                "allow directive `{rest}` is missing its reason: \
+                 expected `mbaa: allow(lint-name, reason)`"
+            ));
+        };
+        let lint_name = lint_name.trim();
+        let reason = reason.trim();
+        let Some(lint) = lints::known_lint(lint_name) else {
+            return err(format!(
+                "allow directive names unknown lint `{lint_name}`; known lints: {}",
+                lints::lint_names().join(", ")
+            ));
+        };
+        if reason.is_empty() {
+            return err(format!(
+                "allow directive for `{lint_name}` has an empty reason; \
+                 say why the waiver is sound"
+            ));
+        }
+        return ok(Directive::Allow {
+            lint,
+            reason: reason.to_string(),
+        });
+    }
+    err(format!(
+        "unknown mbaa directive `{rest}`: expected `allow(lint-name, reason)` or `alloc-free`"
+    ))
+}
+
+/// Strips `//`/`///`/`//!` or `/* … */`/`/** … */`/`/*! … */` from a
+/// comment token, returning the body and whether the comment was an inner
+/// doc comment (the module-level marker form).
+fn strip_comment_sigils(token: &Token) -> Option<(String, bool)> {
+    match token.kind {
+        TokenKind::LineComment => {
+            let rest = token.text.trim_start_matches('/');
+            let module_level = rest.starts_with('!');
+            Some((rest.trim_start_matches('!').to_string(), module_level))
+        }
+        TokenKind::BlockComment => {
+            let rest = token.text.strip_prefix("/*").unwrap_or(&token.text);
+            let rest = rest.strip_suffix("*/").unwrap_or(rest);
+            let rest = rest.trim_start_matches('*');
+            let module_level = rest.starts_with('!');
+            Some((rest.trim_start_matches('!').to_string(), module_level))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn first_comment(source: &str) -> Token {
+        tokenize(source)
+            .into_iter()
+            .find(Token::is_comment)
+            .expect("source holds a comment")
+    }
+
+    #[test]
+    fn plain_comments_are_not_directives() {
+        assert!(parse_comment(&first_comment("// the mbaa engine is fast")).is_none());
+        assert!(parse_comment(&first_comment("/* mbaa is the crate name */")).is_none());
+    }
+
+    #[test]
+    fn allow_parses_lint_and_reason() {
+        let parsed = parse_comment(&first_comment(
+            "// mbaa: allow(determinism/wall-clock, bench-only timing)",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(
+            parsed.directive,
+            Directive::Allow {
+                lint: "determinism/wall-clock",
+                reason: "bench-only timing".into()
+            }
+        );
+    }
+
+    #[test]
+    fn alloc_free_marker_parses_in_both_forms() {
+        let block = parse_comment(&first_comment("/* mbaa: alloc-free */"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            block.directive,
+            Directive::AllocFree {
+                module_level: false
+            }
+        );
+        let module = parse_comment(&first_comment("//! mbaa: alloc-free"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            module.directive,
+            Directive::AllocFree { module_level: true }
+        );
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let err = parse_comment(&first_comment("// mbaa: allow(determinism/wall-clock)"))
+            .unwrap()
+            .unwrap_err();
+        assert!(
+            err.message.contains("missing its reason"),
+            "{}",
+            err.message
+        );
+        let err = parse_comment(&first_comment("// mbaa: allow(determinism/wall-clock, )"))
+            .unwrap()
+            .unwrap_err();
+        assert!(err.message.contains("empty reason"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_lint_and_unknown_directive_are_errors() {
+        let err = parse_comment(&first_comment("// mbaa: allow(no-such-lint, reason)"))
+            .unwrap()
+            .unwrap_err();
+        assert!(err.message.contains("unknown lint"), "{}", err.message);
+        let err = parse_comment(&first_comment("// mbaa: alloc_free"))
+            .unwrap()
+            .unwrap_err();
+        assert!(
+            err.message.contains("unknown mbaa directive"),
+            "{}",
+            err.message
+        );
+    }
+}

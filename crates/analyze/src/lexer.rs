@@ -1,0 +1,487 @@
+//! A hand-rolled Rust lexer, just deep enough to lint on.
+//!
+//! The container is offline, so `syn`/`proc-macro2` are unavailable; the
+//! lints in this crate only need a faithful *token* stream, not a syntax
+//! tree. The tricky part of tokenizing Rust without a parser is making
+//! sure nothing inside a literal or a comment is ever mistaken for code:
+//!
+//! - strings, including raw strings (`r"…"`, `r#"…"#` with any number of
+//!   hashes) and byte strings (`b"…"`, `br#"…"#`), swallow everything up
+//!   to their real terminator — a `HashMap` inside `r#"…"#` is data;
+//! - block comments nest (`/* /* */ */` is one comment), and their bodies
+//!   are preserved so the directive parser can read `mbaa:` markers;
+//! - a `'` is a lifetime (`'a`, `'static`, loop labels) when followed by
+//!   an identifier that is not closed by another `'`, and a char literal
+//!   (`'a'`, `'\''`, `'0'`) otherwise.
+//!
+//! Every token carries its 1-based `line:col` position so diagnostics can
+//! point at the exact offending identifier.
+
+/// The classes of token the lints care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// A character or byte literal (`'x'`, `b'x'`).
+    CharLit,
+    /// A string literal of any flavour (plain, raw, byte, raw byte).
+    StrLit,
+    /// A numeric literal (integer or float, any base, with suffix).
+    NumLit,
+    /// A `//` comment (plain, `///` outer doc, or `//!` inner doc).
+    LineComment,
+    /// A `/* … */` comment, nesting included.
+    BlockComment,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokenKind,
+    /// The exact source text of the token (comment sigils included).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Returns `true` when this token is an identifier with exactly the
+    /// given text.
+    #[must_use]
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Returns `true` when this token is the given punctuation character.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Returns `true` for comment tokens of either flavour.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenizes `source`, never failing: unterminated literals and comments
+/// extend to end-of-file (the linter must keep working on half-edited
+/// files).
+#[must_use]
+pub fn tokenize(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Lexer {
+    src: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn new(source: &str) -> Self {
+        Lexer {
+            src: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.bump();
+                continue;
+            }
+            let (line, col) = (self.line, self.col);
+            if c == '/' && self.peek(1) == Some('/') {
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c == '\n' {
+                        break;
+                    }
+                    text.push(self.bump().expect("peeked"));
+                }
+                self.push(TokenKind::LineComment, text, line, col);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                let text = self.take_block_comment();
+                self.push(TokenKind::BlockComment, text, line, col);
+            } else if c == '"' {
+                let text = self.take_string(String::new());
+                self.push(TokenKind::StrLit, text, line, col);
+            } else if c == '\'' {
+                self.take_char_or_lifetime(line, col);
+            } else if is_ident_start(c) {
+                self.take_ident_or_prefixed_literal(line, col);
+            } else if c.is_ascii_digit() {
+                let text = self.take_number();
+                self.push(TokenKind::NumLit, text, line, col);
+            } else {
+                let c = self.bump().expect("peeked");
+                self.push(TokenKind::Punct, c.to_string(), line, col);
+            }
+        }
+        self.tokens
+    }
+
+    /// Consumes a `/* … */` comment, counting nesting depth.
+    fn take_block_comment(&mut self) -> String {
+        let mut out = String::new();
+        out.push(self.bump().expect("at '/'"));
+        out.push(self.bump().expect("at '*'"));
+        let mut depth = 1usize;
+        while depth > 0 {
+            let Some(c) = self.bump() else { break };
+            out.push(c);
+            if c == '/' && self.peek(0) == Some('*') {
+                out.push(self.bump().expect("peeked"));
+                depth += 1;
+            } else if c == '*' && self.peek(0) == Some('/') {
+                out.push(self.bump().expect("peeked"));
+                depth -= 1;
+            }
+        }
+        out
+    }
+
+    /// Consumes a plain (escaped) string literal starting at `"`. `prefix`
+    /// carries an already-consumed `b` for byte strings.
+    fn take_string(&mut self, prefix: String) -> String {
+        let mut out = prefix;
+        out.push(self.bump().expect("at '\"'"));
+        while let Some(c) = self.bump() {
+            out.push(c);
+            if c == '\\' {
+                if let Some(escaped) = self.bump() {
+                    out.push(escaped);
+                }
+            } else if c == '"' {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Consumes a raw string body `#*"…"#*` (the `r`/`br` prefix is already
+    /// in `prefix`). The body only terminates on `"` followed by the same
+    /// number of hashes that opened it.
+    fn take_raw_string(&mut self, prefix: String) -> String {
+        let mut out = prefix;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            out.push(self.bump().expect("peeked"));
+            hashes += 1;
+        }
+        if self.peek(0) == Some('"') {
+            out.push(self.bump().expect("peeked"));
+        }
+        while let Some(c) = self.bump() {
+            out.push(c);
+            if c == '"' && (0..hashes).all(|j| self.peek(j) == Some('#')) {
+                for _ in 0..hashes {
+                    out.push(self.bump().expect("peeked"));
+                }
+                break;
+            }
+        }
+        out
+    }
+
+    /// Consumes the rest of a char literal whose opening `'` (and optional
+    /// `b` prefix) is already in `out`.
+    fn finish_char_literal(&mut self, mut out: String) -> String {
+        while let Some(c) = self.bump() {
+            out.push(c);
+            if c == '\\' {
+                if let Some(escaped) = self.bump() {
+                    out.push(escaped);
+                }
+            } else if c == '\'' {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime/label) at a `'`.
+    fn take_char_or_lifetime(&mut self, line: u32, col: u32) {
+        let next = self.peek(1);
+        match next {
+            // An escape can only open a char literal: '\n', '\'', '\u{…}'.
+            Some('\\') => {
+                let mut out = String::new();
+                out.push(self.bump().expect("at '''"));
+                let text = self.finish_char_literal(out);
+                self.push(TokenKind::CharLit, text, line, col);
+            }
+            Some(c) if is_ident_start(c) => {
+                if self.peek(2) == Some('\'') {
+                    // 'x' — a one-character literal.
+                    let mut out = String::new();
+                    out.push(self.bump().expect("at '''"));
+                    out.push(self.bump().expect("peeked"));
+                    out.push(self.bump().expect("peeked"));
+                    self.push(TokenKind::CharLit, out, line, col);
+                } else {
+                    // 'ident with no closing quote — a lifetime or label.
+                    let mut out = String::new();
+                    out.push(self.bump().expect("at '''"));
+                    out.push_str(&self.take_ident());
+                    self.push(TokenKind::Lifetime, out, line, col);
+                }
+            }
+            // '0', '(', ' ', … — a non-identifier char literal.
+            _ => {
+                let mut out = String::new();
+                out.push(self.bump().expect("at '''"));
+                let text = self.finish_char_literal(out);
+                self.push(TokenKind::CharLit, text, line, col);
+            }
+        }
+    }
+
+    fn take_ident(&mut self) -> String {
+        let mut out = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            out.push(self.bump().expect("peeked"));
+        }
+        out
+    }
+
+    /// Reads an identifier, then checks whether it is really the prefix of
+    /// a string (`r"`, `b"`, `br"`, `r#"…`), a byte char (`b'x'`), or a raw
+    /// identifier (`r#type`).
+    fn take_ident_or_prefixed_literal(&mut self, line: u32, col: u32) {
+        let ident = self.take_ident();
+        match (ident.as_str(), self.peek(0)) {
+            ("r" | "b" | "br", Some('"')) => {
+                let text = if ident == "b" {
+                    self.take_string(ident)
+                } else {
+                    self.take_raw_string(ident)
+                };
+                self.push(TokenKind::StrLit, text, line, col);
+            }
+            ("r" | "br", Some('#')) => {
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    let text = self.take_raw_string(ident);
+                    self.push(TokenKind::StrLit, text, line, col);
+                } else if ident == "r" && hashes == 1 && self.peek(1).is_some_and(is_ident_start) {
+                    let mut out = ident;
+                    out.push(self.bump().expect("at '#'"));
+                    out.push_str(&self.take_ident());
+                    self.push(TokenKind::Ident, out, line, col);
+                } else {
+                    self.push(TokenKind::Ident, ident, line, col);
+                }
+            }
+            ("b", Some('\'')) => {
+                let mut out = ident;
+                out.push(self.bump().expect("at '''"));
+                let text = self.finish_char_literal(out);
+                self.push(TokenKind::CharLit, text, line, col);
+            }
+            _ => self.push(TokenKind::Ident, ident, line, col),
+        }
+    }
+
+    fn take_number(&mut self) -> String {
+        let mut out = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                out.push(self.bump().expect("peeked"));
+            } else if c == '.'
+                && !out.contains('.')
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // A decimal point, but never the start of `..` or a method
+                // call on a literal.
+                out.push(self.bump().expect("peeked"));
+            } else if (c == '+' || c == '-')
+                && (out.ends_with('e') || out.ends_with('E'))
+                && !out.starts_with("0x")
+                && !out.starts_with("0X")
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // A signed exponent: 1e-3, 2.5E+10 (hex 0xE is excluded).
+                out.push(self.bump().expect("peeked"));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        tokenize(source)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_swallow_their_body() {
+        let toks = tokenize(r####"let x = r#"inner "quote" body"# ;"####);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::StrLit)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, r###"r#"inner "quote" body"#"###);
+        assert_eq!(
+            idents(r####"let x = r#"inner "quote" body"# ;"####),
+            ["let", "x"]
+        );
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_only_close_on_matching_hashes() {
+        let src = r#####"r##"a "# b"## trailing"#####;
+        let toks = tokenize(src);
+        assert_eq!(toks[0].kind, TokenKind::StrLit);
+        assert_eq!(toks[0].text, r#####"r##"a "# b"##"#####);
+        assert!(toks[1].is_ident("trailing"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = tokenize("a /* outer /* inner */ still outer */ z");
+        assert!(toks[0].is_ident("a"));
+        assert_eq!(toks[1].kind, TokenKind::BlockComment);
+        assert!(toks[1].text.contains("inner"));
+        assert!(toks[2].is_ident("z"));
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_disambiguate() {
+        let toks = tokenize("fn f<'a>(x: &'a str, c: char) { let y = 'q'; let z = '\\''; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars, ["'q'", "'\\''"]);
+    }
+
+    #[test]
+    fn labels_lex_as_lifetimes() {
+        let toks = tokenize("'outer: loop { break 'outer; }");
+        assert_eq!(toks[0].kind, TokenKind::Lifetime);
+        assert_eq!(toks[0].text, "'outer");
+    }
+
+    #[test]
+    fn underscore_char_and_anonymous_lifetime() {
+        let toks = tokenize("let c = '_'; fn g(x: &'_ u8) {}");
+        assert_eq!(toks[3].kind, TokenKind::CharLit);
+        assert_eq!(toks[3].text, "'_'");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'_"));
+    }
+
+    #[test]
+    fn byte_literals_and_raw_identifiers() {
+        let toks = tokenize(r##"let b1 = b'x'; let s = b"bytes"; let r = br#"raw"#; r#type"##);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::CharLit && t.text == "b'x'"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::StrLit && t.text == "b\"bytes\""));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::StrLit && t.text == "br#\"raw\"#"));
+        assert!(toks.iter().any(|t| t.is_ident("r#type")));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = tokenize("for i in 0..n { let x = 1.5e-3; let y = t.0; }");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::NumLit)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, ["0", "1.5e-3", "0"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_columns() {
+        let toks = tokenize("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_literals_extend_to_eof_without_panicking() {
+        assert_eq!(tokenize("let s = \"open").len(), 4);
+        assert_eq!(tokenize("/* never closed").len(), 1);
+        assert_eq!(tokenize("r#\"still open").len(), 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! `hot-path/allocation`: allocating idioms are forbidden inside
+//! `mbaa: alloc-free` regions.
+//!
+//! PR 5 made steady-state rounds zero-allocation, and
+//! `tests/alloc_regression.rs` proves it dynamically with a counting
+//! allocator — but only for the configurations that test runs. This lint
+//! is the static complement: the engine round loop, `exchange_into`,
+//! `MsrFunction::apply`, `begin_round_into`, and the other scratch-reuse
+//! paths are annotated with `// mbaa: alloc-free`, and any allocating
+//! idiom written into them fails the analyzer before a single run
+//! executes.
+//!
+//! Flagged idioms: `Vec::new`, `vec![…]`, `.to_vec()`, `.clone()`,
+//! `.collect()`, `format!`, `Box::new`, `String::from`, `.to_owned()`,
+//! and `.to_string()`. Pre-sized setup (`with_capacity`) is deliberately
+//! *not* flagged — pre-sizing before the hot loop is exactly the
+//! sanctioned pattern.
+//!
+//! Cold paths inside a region (validation errors, first-round
+//! initialization, opt-in observability) stay allowed via
+//! `mbaa: allow(hot-path/allocation, reason)`, which keeps the waiver and
+//! its justification next to the code and in the JSON report.
+
+use super::{
+    finding, followed_by_bang, is_ident_kind, path_matches, preceded_by_dot, AllocFreeRegion,
+    FileContext, Finding, ALLOCATION,
+};
+use crate::lexer::Token;
+
+const ALLOCATING_METHODS: &[&str] = &["to_vec", "clone", "collect", "to_owned", "to_string"];
+const ALLOCATING_MACROS: &[&str] = &["vec", "format"];
+const ALLOCATING_PATHS: &[&[&str]] = &[&["Vec", "new"], &["Box", "new"], &["String", "from"]];
+
+pub(crate) fn run(
+    _ctx: &FileContext,
+    code: &[&Token],
+    regions: &[AllocFreeRegion],
+    out: &mut Vec<Finding>,
+) {
+    if regions.is_empty() {
+        return;
+    }
+    for (i, token) in code.iter().enumerate() {
+        if !is_ident_kind(token) || !regions.iter().any(|r| r.contains(i)) {
+            continue;
+        }
+        let text = token.text.as_str();
+        let idiom = if preceded_by_dot(code, i) && ALLOCATING_METHODS.contains(&text) {
+            Some(format!(".{text}()"))
+        } else if followed_by_bang(code, i) && ALLOCATING_MACROS.contains(&text) {
+            Some(format!("{text}!"))
+        } else if ALLOCATING_PATHS
+            .iter()
+            .any(|path| path[0] == text && path_matches(code, i, path))
+        {
+            Some(format!("{text}::…"))
+        } else {
+            None
+        };
+        if let Some(idiom) = idiom {
+            out.push(finding(
+                ALLOCATION,
+                token,
+                format!(
+                    "`{idiom}` allocates inside an `mbaa: alloc-free` region; reuse the \
+                     round scratch (see tests/alloc_regression.rs, the dynamic \
+                     complement of this lint) or waive a cold path with \
+                     `mbaa: allow(hot-path/allocation, reason)`"
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! `determinism/ambient-rng`: entropy-seeded randomness is forbidden
+//! everywhere.
+//!
+//! All randomness in this workspace flows from scenario seeds
+//! (`StdRng::seed_from_u64` and the SplitMix-finalized per-link draws);
+//! `thread_rng()`, `OsRng`, and `from_entropy()` pull operating-system
+//! entropy and destroy replayability. Unlike the other determinism lints
+//! this one has no exempt crate: even a bench that drew ambient random
+//! inputs would produce unreproducible throughput numbers.
+
+use super::{finding, is_ident_kind, path_matches, FileContext, Finding, AMBIENT_RNG};
+use crate::lexer::Token;
+
+const FORBIDDEN: &[&str] = &[
+    "thread_rng",
+    "ThreadRng",
+    "OsRng",
+    "from_entropy",
+    "getrandom",
+    "EntropyRng",
+];
+
+pub(crate) fn run(_ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
+    for (i, token) in code.iter().enumerate() {
+        if !is_ident_kind(token) {
+            continue;
+        }
+        let ambient = FORBIDDEN.contains(&token.text.as_str())
+            // `rand::random()` draws from the thread-local generator too;
+            // the bare ident `random` is too common to flag on its own.
+            || path_matches(code, i, &["rand", "random"]);
+        if ambient {
+            out.push(finding(
+                AMBIENT_RNG,
+                token,
+                format!(
+                    "`{}` draws operating-system entropy; all randomness must flow \
+                     from scenario seeds (StdRng::seed_from_u64)",
+                    token.text
+                ),
+            ));
+        }
+    }
+}

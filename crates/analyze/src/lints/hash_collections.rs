@@ -1,0 +1,41 @@
+//! `determinism/hash-collections`: `std::collections::{HashMap, HashSet}`
+//! are forbidden in result-affecting crates.
+//!
+//! Their iteration order depends on `RandomState`'s per-process seed, so
+//! any result derived by iterating one breaks the bit-identical-across-
+//! runs invariant (ROADMAP, "Architecture"). `BTreeMap`/`BTreeSet` or an
+//! index-keyed `Vec` are the deterministic replacements. The lint flags
+//! the *type names*, wherever they appear in code (imports included):
+//! merely importing the type invites the next call site to use it.
+
+use super::{finding, is_ident_kind, FileContext, Finding, HASH_COLLECTIONS};
+use crate::lexer::Token;
+
+const FORBIDDEN: &[(&str, &str)] = &[
+    ("HashMap", "BTreeMap or an index-keyed Vec"),
+    (
+        "HashSet",
+        "BTreeSet, a sorted Vec, or a bitset keyed by ProcessId",
+    ),
+];
+
+pub(crate) fn run(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
+    if !ctx.result_affecting {
+        return;
+    }
+    for token in code {
+        if !is_ident_kind(token) {
+            continue;
+        }
+        if let Some((name, instead)) = FORBIDDEN.iter().find(|(name, _)| token.text == *name) {
+            out.push(finding(
+                HASH_COLLECTIONS,
+                token,
+                format!(
+                    "`{name}` iterates in RandomState order, which varies per process; \
+                     results derived from it are not seed-reproducible — use {instead}"
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! `determinism/stable-sort`: stable sorts and unwrapped partial float
+//! comparisons are forbidden in result-affecting crates.
+//!
+//! PR 5 replaced every hot-path stable sort with `sort_unstable` over a
+//! total `(key, index)` comparator: the stable merge sort allocates its
+//! temporary buffer (breaking the zero-allocation steady state) and
+//! invites accidental reliance on insertion order. Likewise
+//! `partial_cmp(..).unwrap()` on floats compiles while hiding a panic on
+//! NaN and a non-total order on `-0.0`; `Ord::cmp` (for `Value`, whose
+//! finiteness is a construction invariant) or `f64::total_cmp` state the
+//! intended total order explicitly.
+
+use super::{
+    finding, followed_by_call, is_ident_kind, preceded_by_dot, skip_balanced_parens, FileContext,
+    Finding, STABLE_SORT,
+};
+use crate::lexer::Token;
+
+const STABLE_SORTS: &[(&str, &str)] = &[
+    ("sort", "sort_unstable"),
+    ("sort_by", "sort_unstable_by"),
+    ("sort_by_key", "sort_unstable_by_key"),
+];
+
+pub(crate) fn run(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
+    if !ctx.result_affecting {
+        return;
+    }
+    for (i, token) in code.iter().enumerate() {
+        if !is_ident_kind(token) {
+            continue;
+        }
+        if preceded_by_dot(code, i) && followed_by_call(code, i) {
+            if let Some((name, instead)) = STABLE_SORTS.iter().find(|(n, _)| token.text == *n) {
+                out.push(finding(
+                    STABLE_SORT,
+                    token,
+                    format!(
+                        "stable `.{name}()` allocates a merge buffer and hides \
+                         order-dependence; use `.{instead}()` with a total comparator \
+                         (PR 5 convention)"
+                    ),
+                ));
+            }
+            // `partial_cmp(…).unwrap()` / `.expect(…)`: a non-total float
+            // order pretending to be total.
+            if token.text == "partial_cmp" {
+                if let Some(after) = skip_balanced_parens(code, i + 1) {
+                    let chained_unwrap = code.get(after).is_some_and(|t| t.is_punct('.'))
+                        && code
+                            .get(after + 1)
+                            .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"));
+                    if chained_unwrap {
+                        out.push(finding(
+                            STABLE_SORT,
+                            token,
+                            "`partial_cmp(..).unwrap()` asserts a total order the type \
+                             does not promise; use `Ord::cmp` or `f64::total_cmp`"
+                                .to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! `determinism/wall-clock`: `Instant`/`SystemTime` are forbidden outside
+//! `crates/bench`.
+//!
+//! Simulated time is round-indexed and seed-keyed; reading the host clock
+//! anywhere in a result-affecting path makes runs differ between machines
+//! and executions. The single sanctioned exemption is the bench crate
+//! (`crates/bench`, its `benches/` targets included — e.g. the hot-path
+//! throughput bench's `Instant::now()` loop), which measures the engine
+//! rather than feeding it.
+
+use super::{finding, is_ident_kind, FileContext, Finding, WALL_CLOCK};
+use crate::lexer::Token;
+
+const FORBIDDEN: &[&str] = &["Instant", "SystemTime", "UNIX_EPOCH"];
+
+pub(crate) fn run(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
+    if ctx.bench {
+        return;
+    }
+    for token in code {
+        if is_ident_kind(token) && FORBIDDEN.contains(&token.text.as_str()) {
+            out.push(finding(
+                WALL_CLOCK,
+                token,
+                format!(
+                    "`{}` reads the host clock; simulated time is round-indexed and \
+                     seed-keyed — only crates/bench may time the wall clock",
+                    token.text
+                ),
+            ));
+        }
+    }
+}

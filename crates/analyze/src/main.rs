@@ -1,0 +1,87 @@
+//! The `mbaa-analyze` CLI: lint the workspace (or explicit paths) and
+//! report in text or JSON. See the crate docs of [`mbaa_analyze`] for the
+//! lint set, scoping rules, and the suppression syntax.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mbaa_analyze::{analyze_paths, find_workspace_root, lints, scan};
+
+const USAGE: &str = "usage: mbaa-analyze [--format text|json] [--list-lints] [paths…]
+
+Lints the mbaa workspace for determinism and allocation-discipline
+violations. With no paths, scans crates/, src/, examples/, and tests/
+under the enclosing workspace root (vendor/, target/, and fixtures/
+directories are skipped). Exit code: 0 clean, 1 diagnostics found,
+2 usage or I/O error.";
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let mut format = Format::Text;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!(
+                        "mbaa-analyze: --format expects `text` or `json`, got {:?}\n\n{USAGE}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-lints" => {
+                for lint in lints::LINTS {
+                    println!("{} [{}]\n    {}", lint.name, lint.severity, lint.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("mbaa-analyze: unknown flag `{flag}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(err) => {
+            eprintln!("mbaa-analyze: cannot determine working directory: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = find_workspace_root(&cwd);
+    if paths.is_empty() {
+        paths = scan::default_roots(&root);
+    }
+
+    let report = match analyze_paths(&root, &paths) {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("mbaa-analyze: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match format {
+        Format::Text => print!("{}", report.to_text()),
+        Format::Json => print!("{}", report.to_json()),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,148 @@
+//! File discovery and the whole-workspace analysis driver.
+//!
+//! The walk is deterministic (directories are read, sorted, then
+//! descended) and skips what must never be linted:
+//!
+//! - `vendor/` — offline API shims, not result-affecting code;
+//! - `target/` and hidden directories;
+//! - any directory named `fixtures` — the analyzer's own test fixtures
+//!   are *deliberate* violations and would otherwise fail CI. An
+//!   explicitly passed file path bypasses the directory filters, so
+//!   fixtures can still be analyzed on purpose.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::diagnostics::Report;
+use crate::lexer::tokenize;
+use crate::lints::{analyze_tokens, FileContext};
+
+/// Directory names the recursive walk never descends into.
+pub const SKIPPED_DIRS: &[&str] = &["target", "vendor", "fixtures"];
+
+/// Analyzes one file's source under a display path. The path decides the
+/// lint scopes (see [`FileContext::from_path`]); it does not need to
+/// exist on disk, which is how the test suite analyzes fixture sources
+/// under virtual `crates/...` paths.
+#[must_use]
+pub fn analyze_source(display_path: &str, source: &str) -> Report {
+    let ctx = FileContext::from_path(display_path);
+    let tokens = tokenize(source);
+    let (diagnostics, suppressed) = analyze_tokens(&ctx, &tokens);
+    Report {
+        files_scanned: 1,
+        diagnostics,
+        suppressed,
+    }
+}
+
+/// Locates the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`. Falls back to
+/// `start` when nothing matches (e.g. analyzing a bare directory of .rs
+/// files).
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> PathBuf {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return d.to_path_buf();
+            }
+        }
+        dir = d.parent();
+    }
+    start.to_path_buf()
+}
+
+/// The default scan roots under a workspace root: every first-party
+/// source tree, `vendor/` excluded.
+#[must_use]
+pub fn default_roots(workspace_root: &Path) -> Vec<PathBuf> {
+    ["crates", "src", "examples", "tests"]
+        .iter()
+        .map(|d| workspace_root.join(d))
+        .filter(|p| p.is_dir())
+        .collect()
+}
+
+/// Recursively collects `.rs` files under `path` in sorted order,
+/// honouring [`SKIPPED_DIRS`]. A `path` that is itself a file is taken
+/// verbatim (fixture analysis on purpose).
+pub fn collect_rs_files(path: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if path.is_file() {
+        out.push(path.to_path_buf());
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(path)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for entry in entries {
+        let name = entry
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if entry.is_dir() {
+            if SKIPPED_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&entry, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Analyzes a set of files or directories, reporting each file under its
+/// path relative to `workspace_root` (absolute paths outside the root are
+/// reported as given).
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory walks; an unreadable individual
+/// file is reported and skipped rather than aborting the run.
+pub fn analyze_paths(workspace_root: &Path, paths: &[PathBuf]) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for path in paths {
+        collect_rs_files(path, &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+
+    let mut report = Report::default();
+    for file in &files {
+        let display = file
+            .strip_prefix(workspace_root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = match fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(err) => {
+                eprintln!("mbaa-analyze: skipping unreadable {display}: {err}");
+                continue;
+            }
+        };
+        let file_report = analyze_source(&display, &source);
+        report.files_scanned += 1;
+        report.diagnostics.extend(file_report.diagnostics);
+        report.suppressed.extend(file_report.suppressed);
+    }
+    Ok(report)
+}
+
+/// Analyzes the whole workspace rooted at `workspace_root` (the default
+/// CLI invocation, and what the `static-analysis` CI job runs).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the directory walk.
+pub fn analyze_workspace(workspace_root: &Path) -> io::Result<Report> {
+    analyze_paths(workspace_root, &default_roots(workspace_root))
+}

@@ -1,0 +1,22 @@
+//! Fixture: hot-path/allocation — positives inside the marked region,
+//! one suppressed, and allocations outside the region that must NOT fire.
+
+fn setup_may_allocate(n: usize) -> Vec<u32> {
+    let mut v = Vec::new();
+    v.extend(0..n as u32);
+    v
+}
+
+// mbaa: alloc-free
+fn hot_loop(xs: &mut Vec<u32>, ys: &[u32]) -> usize {
+    let copied = ys.to_vec();
+    let doubled: Vec<u32> = ys.iter().map(|y| y * 2).collect::<Vec<u32>>();
+    // mbaa: allow(hot-path/allocation, fixture demonstrating the waiver syntax)
+    let waived = xs.clone();
+    copied.len() + doubled.len() + waived.len()
+}
+
+fn after_the_region_allocates_freely() -> String {
+    let v = vec![1, 2, 3];
+    format!("{v:?}")
+}

@@ -1,0 +1,9 @@
+//! Module-level marker fixture: the inner-doc form covers the whole file.
+//! mbaa: alloc-free
+
+fn anywhere_in_the_file(n: usize) -> Vec<u64> {
+    let boxed = Box::new(n as u64);
+    let mut out = Vec::new();
+    out.push(*boxed);
+    out
+}

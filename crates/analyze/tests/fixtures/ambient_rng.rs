@@ -1,0 +1,12 @@
+//! Fixture: determinism/ambient-rng — one positive, one suppressed.
+
+fn ambient() {
+    let mut rng = thread_rng();
+    let _ = &mut rng;
+}
+
+fn suppressed_entropy() {
+    // mbaa: allow(determinism/ambient-rng, fixture demonstrating the waiver syntax)
+    let rng = OsRng;
+    let _ = rng;
+}

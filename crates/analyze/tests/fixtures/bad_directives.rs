@@ -1,0 +1,10 @@
+//! Fixture: analyzer/bad-directive — malformed mbaa: comments are errors.
+
+// mbaa: allow(no-such-lint, a reason)
+fn unknown_lint() {}
+
+// mbaa: allow(determinism/wall-clock)
+fn missing_reason() {}
+
+// mbaa: alloc_free
+fn typoed_marker() {}

@@ -1,0 +1,9 @@
+//! Fixture: determinism/hash-collections — one positive, one suppressed.
+
+use std::collections::HashMap;
+
+fn suppressed_set() {
+    // mbaa: allow(determinism/hash-collections, fixture demonstrating the waiver syntax)
+    let s: std::collections::HashSet<u32> = Default::default();
+    let _ = s;
+}

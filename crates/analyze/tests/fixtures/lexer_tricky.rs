@@ -1,0 +1,39 @@
+//! Lexer torture fixture: every forbidden name below is inside a literal
+//! or a comment, so analyzing this file must produce ZERO findings even
+//! under a result-affecting virtual path.
+
+fn literals_swallow_needles() {
+    let raw = r#"HashMap::new() thread_rng() Instant::now() xs.sort()"#;
+    let multi_hash = r##"closing hash trick: "# SystemTime OsRng "##;
+    let plain = "HashMap inside a \"plain\" string with vec![] and format!";
+    let bytes = b"HashSet in a byte string";
+    let raw_bytes = br#"from_entropy() in a raw byte string"#;
+    /* a block comment mentioning HashMap and Instant
+       /* and a nested one mentioning thread_rng and sort_by */
+       still inside the outer comment: SystemTime, OsRng */
+    // a line comment mentioning HashSet, partial_cmp().unwrap(), vec![]
+    let _ = (raw, multi_hash, plain, bytes, raw_bytes);
+}
+
+fn lifetimes_are_not_char_literals<'a>(x: &'a str) -> &'a str {
+    let c = 'H';
+    let escaped = '\'';
+    let newline = '\n';
+    let unicode = '\u{48}';
+    let digit = '0';
+    let underscore = '_';
+    let byte = b'H';
+    'outer: for _ in 0..2 {
+        break 'outer;
+    }
+    let _ = (c, escaped, newline, unicode, digit, underscore, byte);
+    x
+}
+
+fn raw_identifiers_are_plain_idents(r#type: u32) -> u32 {
+    let exponent = 1.5e-3;
+    let hex = 0xFE - 1;
+    let tuple = (exponent, hex);
+    let _ = tuple.0;
+    r#type
+}

@@ -1,0 +1,12 @@
+//! Fixture: determinism/stable-sort — positives and one suppressed.
+
+fn stable_sorts(xs: &mut Vec<u64>, fs: &mut Vec<f64>) {
+    xs.sort();
+    fs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn fine_and_waived(xs: &mut Vec<u64>) {
+    xs.sort_unstable();
+    // mbaa: allow(determinism/stable-sort, fixture demonstrating the waiver syntax)
+    xs.sort();
+}

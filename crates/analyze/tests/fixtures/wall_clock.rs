@@ -1,0 +1,9 @@
+//! Fixture: determinism/wall-clock — one positive, one suppressed.
+
+use std::time::Instant;
+
+fn suppressed_timing() {
+    // mbaa: allow(determinism/wall-clock, fixture demonstrating the waiver syntax)
+    let t = std::time::SystemTime::now();
+    let _ = t;
+}

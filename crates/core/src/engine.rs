@@ -220,6 +220,12 @@ impl MobileEngine {
         let mut reached = false;
         let mut rounds_executed = 0;
 
+        // The steady-state round loop: `mbaa-analyze` statically rejects
+        // allocating idioms in here (the complement of the dynamic
+        // allocator-counter proof in `tests/alloc_regression.rs`); the
+        // first-round initialization and the opt-in snapshot recording are
+        // waived inline below.
+        // mbaa: alloc-free
         for round_idx in 0..cfg.max_rounds {
             if reached {
                 break;
@@ -263,6 +269,7 @@ impl MobileEngine {
             }
             if observe.records_snapshots() {
                 configurations.push(RoundSnapshot::new(
+                    // mbaa: allow(hot-path/allocation, Observe::Snapshots opts out of the zero-allocation guarantee)
                     states.iter().copied().zip(votes.iter().copied()).collect(),
                 ));
             }

@@ -984,7 +984,7 @@ mod tests {
         assert_eq!(seen.len(), summaries.len());
         // Completion order is scheduling-dependent; the content is not:
         // every reported point is bit-identical to the returned entry.
-        seen.sort_by_key(|p| p.scenario.n);
+        seen.sort_unstable_by_key(|p| p.scenario.n);
         assert_eq!(seen, summaries);
     }
 

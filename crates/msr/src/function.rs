@@ -108,6 +108,7 @@ impl VotingFunction for MsrFunction {
     /// reduction is a sub-slice, the selection an iterator over it, and the
     /// mean divides each term before summing exactly like the multiset
     /// does.
+    // mbaa: alloc-free
     fn apply(&self, received: &ValueMultiset) -> Option<Value> {
         let sorted = received.as_slice();
         let tau = self.reduction.tau();

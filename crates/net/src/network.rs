@@ -314,6 +314,7 @@ impl SyncNetwork {
     /// # Errors
     ///
     /// Exactly as [`SyncNetwork::exchange`].
+    // mbaa: alloc-free
     pub fn exchange_into(
         &mut self,
         round: Round,
@@ -328,12 +329,14 @@ impl SyncNetwork {
         }
         for (i, outbox) in outboxes.iter().enumerate() {
             if outbox.sender() != ProcessId::new(i) {
+                // mbaa: allow(hot-path/allocation, cold validation error path)
                 return Err(Error::InvalidParameter(format!(
                     "outbox at position {i} claims sender {} (authentication violation)",
                     outbox.sender()
                 )));
             }
             if outbox.universe() != self.n {
+                // mbaa: allow(hot-path/allocation, cold validation error path)
                 return Err(Error::InvalidParameter(format!(
                     "outbox of {} covers {} receivers, expected {}",
                     outbox.sender(),

@@ -408,7 +408,7 @@ mod tests {
         // The observer saw exactly the returned summaries (in completion
         // order; seed order once sorted).
         let mut seen = seen.into_inner().unwrap();
-        seen.sort_by_key(|s| s.seed);
+        seen.sort_unstable_by_key(|s| s.seed);
         assert_eq!(seen, streamed.runs);
     }
 

@@ -44,7 +44,10 @@ impl Summary {
         let variance = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
 
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+        // Finiteness is checked above, so total_cmp agrees with the
+        // numeric order; unstable sorting of equal floats cannot move the
+        // median.
+        sorted.sort_unstable_by(f64::total_cmp);
         let median = if count % 2 == 1 {
             sorted[count / 2]
         } else {

@@ -455,7 +455,8 @@ mod tests {
                 .collect();
 
             let mut reference = values.clone();
-            reference.sort_by(Value::cmp); // stable reference
+            // mbaa: allow(determinism/stable-sort, intentional stable reference the battery checks unstable refill against)
+            reference.sort_by(Value::cmp);
 
             let built = ValueMultiset::from_values(values.clone());
             assert_eq!(built.as_slice(), reference.as_slice(), "case {case}");

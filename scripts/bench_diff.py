@@ -55,15 +55,26 @@ def main() -> int:
     print("## Benchmark diff")
     print()
 
+    # Missing artifacts are expected states, not failures: the first run of
+    # a branch has no baseline, artifact retention expires old ones, and a
+    # skipped bench step leaves no current results. Each case gets its own
+    # note and a clean exit so CI summaries say *why* there is no table.
     if not args.baseline.is_dir():
         print(f"No baseline directory at `{args.baseline}` "
               "(first run, or the previous artifact expired) — nothing to compare.")
         return 0
+    if not args.current.is_dir():
+        print(f"No current-results directory at `{args.current}` "
+              "(bench step skipped or artifact path changed) — nothing to compare.")
+        return 0
 
     baseline = load_records(args.baseline)
     current = load_records(args.current)
-    if not baseline or not current:
-        print("Baseline or current run holds no BENCH_*.json records — nothing to compare.")
+    if not baseline:
+        print(f"`{args.baseline}` holds no BENCH_*.json records — nothing to compare.")
+        return 0
+    if not current:
+        print(f"`{args.current}` holds no BENCH_*.json records — nothing to compare.")
         return 0
 
     files = sorted({key[0] for key in current} | {key[0] for key in baseline})
