@@ -1,0 +1,585 @@
+//! The `mbaa` command line: executes committed `*.scenario.json` files on
+//! the work-stealing pool, shards large sweeps into resumable checkpoints,
+//! and merges checkpoint directories into reports that are byte-identical
+//! to an uninterrupted run.
+//!
+//! The subcommand surface (full reference in `docs/cli.md`):
+//!
+//! | command | what it does |
+//! |---|---|
+//! | `run` | execute a scenario file, print per-point tables, optionally write a report |
+//! | `sweep` | execute through a checkpoint directory, one chunk file at a time |
+//! | `resume` | finish an interrupted `sweep` from its checkpoint directory |
+//! | `merge` | assemble a completed checkpoint directory into one report |
+//! | `validate` | parse scenario files, reporting `line:col`-anchored errors |
+//! | `explain` | show how a file expands: bounds, points, seeds |
+//! | `gallery` | list the committed reproduction scenarios |
+//!
+//! Exit codes: `0` success, `1` execution or validation failure, `2`
+//! usage error. All output is deterministic — tables and reports depend
+//! only on the scenario file, never on thread scheduling or worker count.
+
+pub mod checkpoint;
+pub mod report;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mbaa::prelude::*;
+use mbaa_json::{topology_label, write_string, ScenarioFile};
+
+use checkpoint::{CheckpointError, SweepPlan, DEFAULT_CHUNK_SIZE};
+use report::ReportPoint;
+
+/// Process exit code for success.
+pub const EXIT_OK: i32 = 0;
+/// Process exit code for an execution or validation failure.
+pub const EXIT_FAILURE: i32 = 1;
+/// Process exit code for a usage error (bad flags, missing arguments).
+pub const EXIT_USAGE: i32 = 2;
+
+/// Seeds kept per point when `--smoke` trims a batch for CI.
+const SMOKE_SEEDS: usize = 2;
+
+const USAGE: &str = "\
+mbaa — approximate agreement under mobile Byzantine faults
+
+USAGE:
+    mbaa <command> [options]
+
+COMMANDS:
+    run <file>       Execute a scenario file and print per-point results
+                       --workers <n>   cap worker threads
+                       --out <path>    write the merged report JSON
+                       --smoke         trim each point to 2 seeds (CI mode)
+    sweep <file>     Execute through a resumable checkpoint directory
+                       --checkpoint <dir>   where chunks live (required)
+                       --chunk-size <n>     runs per chunk (default 64)
+                       --chunks <a>..<b>    only execute chunk indices [a, b)
+                       --workers <n>        cap worker threads
+    resume <dir>     Finish an interrupted sweep from its checkpoint
+                       --workers <n>        cap worker threads
+    merge <dir>      Assemble a completed checkpoint into one report
+                       --out <path>    write the report (default: stdout)
+    validate <file>...   Parse scenario files; errors carry line:col
+    explain <file>   Show how a file expands: bounds, points, seeds
+    gallery [dir]    List committed scenarios (default dir: scenarios)
+    help             Show this message
+
+EXIT CODES:
+    0  success    1  execution/validation failure    2  usage error";
+
+/// A failure on its way to becoming an exit code.
+enum CliError {
+    /// Wrong invocation: prints to stderr and exits 2.
+    Usage(String),
+    /// A real failure (unparseable file, failed run): exits 1.
+    Failure(String),
+}
+
+impl From<CheckpointError> for CliError {
+    fn from(e: CheckpointError) -> Self {
+        CliError::Failure(e.to_string())
+    }
+}
+
+/// Runs the CLI against `args` (without the program name) and returns the
+/// process exit code.
+#[must_use]
+pub fn run_cli(args: &[String]) -> i32 {
+    let outcome = match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("gallery") => cmd_gallery(&args[1..]),
+        Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    };
+    match outcome {
+        Ok(()) => EXIT_OK,
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}");
+            eprintln!("run `mbaa help` for usage");
+            EXIT_USAGE
+        }
+        Err(CliError::Failure(message)) => {
+            eprintln!("error: {message}");
+            EXIT_FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Option parsing (hand-rolled; the workspace takes no external deps).
+// ---------------------------------------------------------------------------
+
+/// Parsed flags plus positional arguments.
+struct Opts {
+    positional: Vec<String>,
+    workers: Option<usize>,
+    out: Option<PathBuf>,
+    checkpoint: Option<PathBuf>,
+    chunk_size: Option<usize>,
+    chunks: Option<(usize, usize)>,
+    smoke: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
+    let mut opts = Opts {
+        positional: Vec::new(),
+        workers: None,
+        out: None,
+        checkpoint: None,
+        chunk_size: None,
+        chunks: None,
+        smoke: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--workers" => {
+                let raw = value_of("--workers")?;
+                opts.workers = Some(parse_count("--workers", &raw)?);
+            }
+            "--out" => opts.out = Some(PathBuf::from(value_of("--out")?)),
+            "--checkpoint" => opts.checkpoint = Some(PathBuf::from(value_of("--checkpoint")?)),
+            "--chunk-size" => {
+                let raw = value_of("--chunk-size")?;
+                opts.chunk_size = Some(parse_count("--chunk-size", &raw)?);
+            }
+            "--chunks" => {
+                let raw = value_of("--chunks")?;
+                let (a, b) = raw
+                    .split_once("..")
+                    .ok_or_else(|| CliError::Usage("--chunks wants <a>..<b>".to_string()))?;
+                let a = a
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad chunk index {a:?}")))?;
+                let b = b
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad chunk index {b:?}")))?;
+                if a >= b {
+                    return Err(CliError::Usage(format!("empty chunk range {raw}")));
+                }
+                opts.chunks = Some((a, b));
+            }
+            "--smoke" => opts.smoke = true,
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown flag {flag}")));
+            }
+            _ => opts.positional.push(arg.clone()),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_count(flag: &str, raw: &str) -> Result<usize, CliError> {
+    match raw.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(CliError::Usage(format!(
+            "{flag} wants a positive integer, got {raw:?}"
+        ))),
+    }
+}
+
+fn one_positional(opts: &Opts, what: &str) -> Result<PathBuf, CliError> {
+    match opts.positional.as_slice() {
+        [one] => Ok(PathBuf::from(one)),
+        [] => Err(CliError::Usage(format!("missing {what}"))),
+        _ => Err(CliError::Usage(format!("expected exactly one {what}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+// ---------------------------------------------------------------------------
+
+fn load_doc(path: &Path) -> Result<ScenarioFile, CliError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError::Failure(format!("{}: {e}", path.display())))?;
+    ScenarioFile::parse_str(&text)
+        .map_err(|e| CliError::Failure(format!("{}: {e}", path.display())))
+}
+
+/// `--smoke`: keep the first [`SMOKE_SEEDS`] of the normalized batch so a
+/// CI pass over the whole gallery stays cheap while still executing every
+/// point of every scenario. Determinism is untouched — the trimmed batch
+/// is itself a fixed function of the file.
+fn apply_smoke(doc: &ScenarioFile) -> ScenarioFile {
+    let mut seeds = doc.seeds.seeds();
+    seeds.sort_unstable();
+    seeds.dedup();
+    seeds.truncate(SMOKE_SEEDS);
+    let mut trimmed = doc.clone();
+    trimmed.seeds = mbaa_json::SeedSpec::List(seeds);
+    trimmed
+}
+
+/// One table row per point: label, runs, success rate, mean rounds, mean
+/// contraction.
+fn print_point_table(points: &[(String, Scenario)], rows: &[ReportPoint]) {
+    let label_width = rows
+        .iter()
+        .map(|r| r.label.len())
+        .chain(["point".len()])
+        .max()
+        .unwrap_or(5);
+    println!(
+        "{:<label_width$}  {:>5}  {:>9}  {:>11}  {:>12}",
+        "point", "runs", "success", "mean rounds", "contraction"
+    );
+    for (row, (_, scenario)) in rows.iter().zip(points) {
+        let aggregate = row.aggregate(scenario);
+        let mean_rounds = aggregate
+            .mean_rounds()
+            .map_or_else(|| "-".to_string(), |r| format!("{r:.2}"));
+        let contraction = aggregate
+            .mean_contraction()
+            .map_or_else(|| "-".to_string(), |c| format!("{c:.4}"));
+        println!(
+            "{:<label_width$}  {:>5}  {:>8.1}%  {:>11}  {:>12}",
+            row.label,
+            row.runs.len(),
+            aggregate.success_rate() * 100.0,
+            mean_rounds,
+            contraction
+        );
+    }
+}
+
+fn write_report(
+    doc: &ScenarioFile,
+    points: &[(String, Scenario)],
+    rows: &[ReportPoint],
+    out: Option<&Path>,
+) -> Result<(), CliError> {
+    let text = write_string(&report::report_json(doc, points, rows));
+    match out {
+        Some(path) => {
+            checkpoint::write_atomic(path, &text)?;
+            println!("report written to {}", path.display());
+        }
+        None => println!("{text}"),
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// run
+// ---------------------------------------------------------------------------
+
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    let path = one_positional(&opts, "scenario file")?;
+    let mut doc = load_doc(&path)?;
+    if opts.smoke {
+        doc = apply_smoke(&doc);
+    }
+    // One plan with a single all-covering chunk per point keeps `run`
+    // and `sweep` on the same execution path — that shared path is what
+    // makes their reports byte-identical.
+    let plan = SweepPlan::new(&doc, doc.seeds.seeds().len().max(1));
+    let mut rows = Vec::with_capacity(plan.points.len());
+    for (index, (label, _)) in plan.points.iter().enumerate() {
+        let entries = checkpoint::execute_chunk(&plan, index, opts.workers)?;
+        rows.push(ReportPoint {
+            label: label.clone(),
+            runs: entries.into_iter().map(|e| e.summary).collect(),
+        });
+    }
+    print_point_table(&plan.points, &rows);
+    if opts.out.is_some() {
+        write_report(&doc, &plan.points, &rows, opts.out.as_deref())?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// sweep / resume
+// ---------------------------------------------------------------------------
+
+fn run_chunks(
+    dir: &Path,
+    plan: &SweepPlan,
+    only: Option<(usize, usize)>,
+    workers: Option<usize>,
+) -> Result<(), CliError> {
+    checkpoint::ensure_manifest(dir, plan)?;
+    let total = plan.chunk_count();
+    let (lo, hi) = match only {
+        Some((a, b)) => (a.min(total), b.min(total)),
+        None => (0, total),
+    };
+    let mut executed = 0usize;
+    let mut skipped = 0usize;
+    for index in lo..hi {
+        if checkpoint::read_chunk(dir, plan, index)?.is_some() {
+            skipped += 1;
+            continue;
+        }
+        let entries = checkpoint::execute_chunk(plan, index, workers)?;
+        let text = write_string(&checkpoint::chunk_json(plan, index, &entries));
+        checkpoint::write_atomic(&checkpoint::chunk_path(dir, index), &text)?;
+        executed += 1;
+        println!(
+            "chunk {index:>5}/{total}: {} runs written",
+            plan.chunk_range(index).len()
+        );
+    }
+    println!(
+        "{executed} chunk(s) executed, {skipped} already complete, \
+         {total} total ({} runs over {} points)",
+        plan.total_runs(),
+        plan.points.len()
+    );
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    let path = one_positional(&opts, "scenario file")?;
+    let dir = opts
+        .checkpoint
+        .clone()
+        .ok_or_else(|| CliError::Usage("sweep needs --checkpoint <dir>".to_string()))?;
+    let doc = load_doc(&path)?;
+    let plan = SweepPlan::new(&doc, opts.chunk_size.unwrap_or(DEFAULT_CHUNK_SIZE));
+    run_chunks(&dir, &plan, opts.chunks, opts.workers)
+}
+
+fn cmd_resume(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    let dir = one_positional(&opts, "checkpoint directory")?;
+    let doc = checkpoint::read_manifest_doc(&dir)?;
+    let chunk_size = read_manifest_chunk_size(&dir)?;
+    let plan = SweepPlan::new(&doc, chunk_size);
+    run_chunks(&dir, &plan, opts.chunks, opts.workers)
+}
+
+/// The chunk size is part of the grid geometry, so `resume` must reuse
+/// the manifest's value — a different `--chunk-size` would re-shard the
+/// grid and invalidate every completed chunk.
+fn read_manifest_chunk_size(dir: &Path) -> Result<usize, CliError> {
+    let path = dir.join("manifest.json");
+    let text = fs::read_to_string(&path)
+        .map_err(|e| CliError::Failure(format!("{}: {e}", path.display())))?;
+    let tree = mbaa_json::parse(&text)
+        .map_err(|e| CliError::Failure(format!("{}: {e}", path.display())))?;
+    let ctx = mbaa_json::Ctx::root(&tree);
+    let mut obj = ctx
+        .object()
+        .map_err(|e| CliError::Failure(format!("{}: {e}", path.display())))?;
+    obj.req("chunk_size")
+        .and_then(|c| c.ctx().usize())
+        .map_err(|e| CliError::Failure(format!("{}: {e}", path.display())))
+}
+
+// ---------------------------------------------------------------------------
+// merge
+// ---------------------------------------------------------------------------
+
+fn cmd_merge(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    let dir = one_positional(&opts, "checkpoint directory")?;
+    let doc = checkpoint::read_manifest_doc(&dir)?;
+    let plan = SweepPlan::new(&doc, read_manifest_chunk_size(&dir)?);
+    let mut missing = Vec::new();
+    let mut per_point: Vec<Vec<RunSummary>> = vec![Vec::new(); plan.points.len()];
+    for index in 0..plan.chunk_count() {
+        match checkpoint::read_chunk(&dir, &plan, index)? {
+            Some(entries) => {
+                for entry in entries {
+                    per_point[entry.point].push(entry.summary);
+                }
+            }
+            None => missing.push(index),
+        }
+    }
+    if !missing.is_empty() {
+        return Err(CliError::Failure(format!(
+            "checkpoint is incomplete: {} of {} chunks missing (first missing: {}); \
+             run `mbaa resume {}` to finish it",
+            missing.len(),
+            plan.chunk_count(),
+            checkpoint::chunk_file_name(missing[0]),
+            dir.display()
+        )));
+    }
+    let rows: Vec<ReportPoint> = plan
+        .points
+        .iter()
+        .zip(per_point)
+        .map(|((label, _), runs)| ReportPoint {
+            label: label.clone(),
+            runs,
+        })
+        .collect();
+    write_report(&doc, &plan.points, &rows, opts.out.as_deref())
+}
+
+// ---------------------------------------------------------------------------
+// validate / explain / gallery
+// ---------------------------------------------------------------------------
+
+fn cmd_validate(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    if opts.positional.is_empty() {
+        return Err(CliError::Usage(
+            "validate needs at least one scenario file".to_string(),
+        ));
+    }
+    let mut failures = 0usize;
+    for raw in &opts.positional {
+        let path = Path::new(raw);
+        match fs::read_to_string(path) {
+            Ok(text) => match ScenarioFile::parse_str(&text) {
+                Ok(doc) => {
+                    let points = doc.points();
+                    println!(
+                        "{}: ok ({}, {} point(s), {} seed(s))",
+                        path.display(),
+                        doc.name,
+                        points.len(),
+                        doc.seeds.seeds().len()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("{}: {e}", path.display());
+                    failures += 1;
+                }
+            },
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(CliError::Failure(format!(
+            "{failures} of {} file(s) failed validation",
+            opts.positional.len()
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    let path = one_positional(&opts, "scenario file")?;
+    let doc = load_doc(&path)?;
+    let scenario = &doc.scenario;
+    println!("name:        {}", doc.name);
+    if let Some(title) = &doc.title {
+        println!("title:       {title}");
+    }
+    if let Some(reproduces) = &doc.reproduces {
+        println!("reproduces:  {reproduces}");
+    }
+    let required = scenario.model.required_processes(scenario.f);
+    println!(
+        "model:       {:?} (n = {}, f = {}; bound needs n \u{2265} {}{})",
+        scenario.model,
+        scenario.n,
+        scenario.f,
+        required,
+        if scenario.n >= required {
+            ", satisfied"
+        } else if scenario.allow_bound_violation {
+            ", VIOLATED by request"
+        } else {
+            ", VIOLATED"
+        }
+    );
+    println!(
+        "protocol:    epsilon = {}, max_rounds = {}",
+        scenario.epsilon, scenario.max_rounds
+    );
+    println!("topology:    {}", topology_label(&scenario.topology));
+    println!(
+        "adversary:   {:?} / {:?}",
+        scenario.mobility, scenario.corruption
+    );
+    let seeds = doc.seeds.seeds();
+    println!("seeds:       {} ({} after normalization)", seeds.len(), {
+        let mut s = seeds.clone();
+        s.sort_unstable();
+        s.dedup();
+        s.len()
+    });
+    let points = doc.points();
+    println!("points:      {}", points.len());
+    for (label, point) in &points {
+        println!(
+            "  - {label}: n = {}, f = {}, topology = {}",
+            point.n,
+            point.f,
+            topology_label(&point.topology)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_gallery(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    let dir = match opts.positional.as_slice() {
+        [] => PathBuf::from("scenarios"),
+        [one] => PathBuf::from(one),
+        _ => {
+            return Err(CliError::Usage(
+                "expected at most one directory".to_string(),
+            ))
+        }
+    };
+    let mut paths: Vec<PathBuf> = fs::read_dir(&dir)
+        .map_err(|e| CliError::Failure(format!("{}: {e}", dir.display())))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".scenario.json"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(CliError::Failure(format!(
+            "{}: no *.scenario.json files",
+            dir.display()
+        )));
+    }
+    println!(
+        "{} committed scenario(s) in {}:",
+        paths.len(),
+        dir.display()
+    );
+    for path in &paths {
+        let doc = load_doc(path)?;
+        let points = doc.points();
+        let seeds = doc.seeds.seeds().len();
+        println!();
+        println!("  {} ({})", doc.name, path.display());
+        if let Some(title) = &doc.title {
+            println!("    {title}");
+        }
+        if let Some(reproduces) = &doc.reproduces {
+            println!("    reproduces: {reproduces}");
+        }
+        println!(
+            "    {} point(s) \u{d7} {} seed(s); run with: mbaa run {}",
+            points.len(),
+            seeds,
+            path.display()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,6 @@
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(u8::try_from(mbaa_cli::run_cli(&args)).unwrap_or(1))
+}

@@ -1,0 +1,79 @@
+//! The merged sweep report.
+//!
+//! `mbaa run --out` and `mbaa merge` both funnel through
+//! [`report_json`], so a report assembled from checkpoint chunks is
+//! byte-identical to one produced by an uninterrupted run — that equality
+//! is the resume correctness criterion, and the integration tests assert
+//! it on raw bytes.
+
+use mbaa::prelude::*;
+use mbaa_json::schema::run_summary_to_json;
+use mbaa_json::{Json, ScenarioFile};
+
+/// Format tag of a report document.
+pub const REPORT_FORMAT: &str = "mbaa-report/1";
+
+/// One evaluated sweep point: its label plus every per-seed summary row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportPoint {
+    /// The axis label (`n=9`, `flip_rate=0.25`, or the scenario name for
+    /// single-point runs).
+    pub label: String,
+    /// Per-seed rows, in ascending seed order.
+    pub runs: Vec<RunSummary>,
+}
+
+impl ReportPoint {
+    /// The aggregate view of this point (success rate, mean rounds, mean
+    /// contraction), computed through the same `ExperimentResult` methods
+    /// every other execution path uses.
+    #[must_use]
+    pub fn aggregate(&self, scenario: &Scenario) -> ExperimentResult {
+        ExperimentResult {
+            config: scenario.to_experiment(self.runs.iter().map(|r| r.seed)),
+            runs: self.runs.clone(),
+        }
+    }
+}
+
+/// Renders the canonical report document for a scenario file and its
+/// evaluated points (one [`ReportPoint`] per expanded sweep point, in
+/// axis order).
+#[must_use]
+pub fn report_json(
+    doc: &ScenarioFile,
+    points: &[(String, Scenario)],
+    rows: &[ReportPoint],
+) -> Json {
+    let point_docs = rows
+        .iter()
+        .zip(points)
+        .map(|(row, (_, scenario))| {
+            let aggregate = row.aggregate(scenario);
+            Json::object(vec![
+                ("label", Json::str(&row.label)),
+                ("success_rate", Json::f64(aggregate.success_rate())),
+                (
+                    "mean_rounds",
+                    aggregate.mean_rounds().map_or_else(Json::null, Json::f64),
+                ),
+                (
+                    "mean_contraction",
+                    aggregate
+                        .mean_contraction()
+                        .map_or_else(Json::null, Json::f64),
+                ),
+                (
+                    "runs",
+                    Json::array(row.runs.iter().map(run_summary_to_json).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("format", Json::str(REPORT_FORMAT)),
+        ("name", Json::str(&doc.name)),
+        ("doc", doc.to_json()),
+        ("points", Json::array(point_docs)),
+    ])
+}

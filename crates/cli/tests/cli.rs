@@ -1,0 +1,347 @@
+//! Black-box tests for the `mbaa` binary: exit codes, validate/explain/
+//! gallery output, and the load-bearing guarantee of the checkpoint
+//! subsystem — a killed sweep, resumed and merged, produces a report
+//! byte-identical to an uninterrupted `run --out`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const BIN: &str = env!("CARGO_BIN_EXE_mbaa");
+
+/// A fresh scratch directory per call (no tempdir crate in the
+/// workspace; cleaned up best-effort by the caller where it matters).
+fn scratch(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("mbaa-cli-test-{}-{tag}-{id}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn mbaa(args: &[&str], cwd: &Path) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("spawn mbaa")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+/// A small but non-trivial document: a 2-point `n` sweep over 6 seeds
+/// (12 runs), cheap enough to execute several times per test run.
+const SWEEP_DOC: &str = r#"{
+  "format": "mbaa-scenario/1",
+  "name": "ckpt-test",
+  "scenario": {"model": "garay", "n": 9, "f": 2, "max_rounds": 50},
+  "seeds": {"start": 0, "count": 6},
+  "sweep": {"n": {"extra": 1}}
+}"#;
+
+// ---------------------------------------------------------------------------
+// Exit codes and usage.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unknown_command_is_a_usage_error() {
+    let dir = scratch("usage");
+    let out = mbaa(&["frobnicate"], &dir);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let dir = scratch("flag");
+    let out = mbaa(&["run", "--frobnicate"], &dir);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown flag --frobnicate"));
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let dir = scratch("help");
+    for invocation in [&["help"][..], &["--help"][..]] {
+        let out = mbaa(invocation, &dir);
+        assert_eq!(out.status.code(), Some(0));
+        let text = stdout(&out);
+        for command in [
+            "run", "sweep", "resume", "merge", "validate", "explain", "gallery",
+        ] {
+            assert!(text.contains(command), "usage is missing {command:?}");
+        }
+    }
+}
+
+#[test]
+fn missing_file_is_a_failure_not_a_usage_error() {
+    let dir = scratch("missing");
+    let out = mbaa(&["run", "no-such-file.scenario.json"], &dir);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+// ---------------------------------------------------------------------------
+// validate / explain / gallery.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn validate_reports_line_col_and_counts_failures() {
+    let dir = scratch("validate");
+    let good = dir.join("good.scenario.json");
+    let bad = dir.join("bad.scenario.json");
+    fs::write(&good, SWEEP_DOC).unwrap();
+    // An unknown field, anchored at its key on line 4.
+    fs::write(
+        &bad,
+        "{\n  \"format\": \"mbaa-scenario/1\",\n  \"name\": \"bad\",\n  \"bogus\": 1,\n  \
+         \"scenario\": {\"model\": \"garay\", \"n\": 9, \"f\": 2},\n  \"seeds\": [0]\n}",
+    )
+    .unwrap();
+
+    let ok = mbaa(&["validate", good.to_str().unwrap()], &dir);
+    assert_eq!(ok.status.code(), Some(0));
+    assert!(stdout(&ok).contains("ok (ckpt-test, 2 point(s), 6 seed(s))"));
+
+    let mixed = mbaa(
+        &["validate", good.to_str().unwrap(), bad.to_str().unwrap()],
+        &dir,
+    );
+    assert_eq!(mixed.status.code(), Some(1));
+    let err = stderr(&mixed);
+    assert!(
+        err.contains("4:3: bogus: unknown field \"bogus\""),
+        "missing line:col anchor: {err}"
+    );
+    assert!(err.contains("1 of 2 file(s) failed validation"));
+}
+
+#[test]
+fn explain_shows_bound_and_points() {
+    let dir = scratch("explain");
+    let file = dir.join("sweep.scenario.json");
+    fs::write(&file, SWEEP_DOC).unwrap();
+    let out = mbaa(&["explain", file.to_str().unwrap()], &dir);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("bound needs n \u{2265} 9, satisfied"));
+    assert!(text.contains("points:      2"));
+    assert!(text.contains("- n=9:"));
+    assert!(text.contains("- n=10:"));
+}
+
+#[test]
+fn gallery_lists_committed_scenarios() {
+    let root = repo_root();
+    let out = mbaa(&["gallery", "scenarios"], &root);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    for name in ["quickstart", "table2-thresholds", "paper-report-f2"] {
+        assert!(text.contains(name), "gallery is missing {name:?}");
+    }
+    assert!(text.contains("run with: mbaa run"));
+}
+
+#[test]
+fn committed_gallery_runs_in_smoke_mode() {
+    // Every committed scenario must stay executable; the cheapest one
+    // proves the plumbing here, CI runs the full set.
+    let root = repo_root();
+    let out = mbaa(
+        &[
+            "run",
+            "scenarios/quickstart.scenario.json",
+            "--smoke",
+            "--workers",
+            "2",
+        ],
+        &root,
+    );
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("quickstart"));
+    assert!(text.contains('2'), "smoke mode should run 2 seeds");
+}
+
+// ---------------------------------------------------------------------------
+// The checkpoint guarantee: kill, resume, merge == uninterrupted run.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn killed_sweep_resumes_to_a_byte_identical_report() {
+    let dir = scratch("resume");
+    let file = dir.join("sweep.scenario.json");
+    fs::write(&file, SWEEP_DOC).unwrap();
+    let ckpt = dir.join("ckpt");
+    let direct = dir.join("direct.json");
+    let merged = dir.join("merged.json");
+
+    // The uninterrupted reference run.
+    let run = mbaa(
+        &[
+            "run",
+            file.to_str().unwrap(),
+            "--out",
+            direct.to_str().unwrap(),
+        ],
+        &dir,
+    );
+    assert_eq!(run.status.code(), Some(0), "stderr: {}", stderr(&run));
+
+    // "Kill" a sweep partway: execute only chunk 0 of 3 (12 runs at
+    // chunk size 5), single-threaded.
+    let partial = mbaa(
+        &[
+            "sweep",
+            file.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--chunk-size",
+            "5",
+            "--chunks",
+            "0..1",
+            "--workers",
+            "1",
+        ],
+        &dir,
+    );
+    assert_eq!(
+        partial.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr(&partial)
+    );
+    assert!(ckpt.join("chunk-00000.json").exists());
+    assert!(!ckpt.join("chunk-00001.json").exists());
+
+    // Merging an incomplete checkpoint must fail loudly and name the
+    // first missing chunk, never emit a partial report.
+    let premature = mbaa(&["merge", ckpt.to_str().unwrap()], &dir);
+    assert_eq!(premature.status.code(), Some(1));
+    let err = stderr(&premature);
+    assert!(
+        err.contains("chunk-00001.json"),
+        "unhelpful merge error: {err}"
+    );
+    assert!(err.contains("mbaa resume"));
+
+    // Resume from the directory alone, with a different worker count
+    // than the reference run — results must not care.
+    let resume = mbaa(&["resume", ckpt.to_str().unwrap(), "--workers", "3"], &dir);
+    assert_eq!(resume.status.code(), Some(0), "stderr: {}", stderr(&resume));
+    let text = stdout(&resume);
+    assert!(text.contains("2 chunk(s) executed, 1 already complete"));
+
+    // A second resume is a no-op.
+    let again = mbaa(&["resume", ckpt.to_str().unwrap()], &dir);
+    assert_eq!(again.status.code(), Some(0));
+    assert!(stdout(&again).contains("0 chunk(s) executed, 3 already complete"));
+
+    let merge = mbaa(
+        &[
+            "merge",
+            ckpt.to_str().unwrap(),
+            "--out",
+            merged.to_str().unwrap(),
+        ],
+        &dir,
+    );
+    assert_eq!(merge.status.code(), Some(0), "stderr: {}", stderr(&merge));
+
+    let direct_bytes = fs::read(&direct).unwrap();
+    let merged_bytes = fs::read(&merged).unwrap();
+    assert!(!direct_bytes.is_empty(), "reference report is empty");
+    assert_eq!(
+        direct_bytes, merged_bytes,
+        "merged report differs from the uninterrupted run"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tampered_chunk_is_a_hard_error() {
+    let dir = scratch("tamper");
+    let file = dir.join("sweep.scenario.json");
+    fs::write(&file, SWEEP_DOC).unwrap();
+    let ckpt = dir.join("ckpt");
+
+    let sweep = mbaa(
+        &[
+            "sweep",
+            file.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--chunk-size",
+            "5",
+        ],
+        &dir,
+    );
+    assert_eq!(sweep.status.code(), Some(0), "stderr: {}", stderr(&sweep));
+
+    // Atomic writes mean a kill cannot produce a torn chunk, so a chunk
+    // that exists but does not validate is tampering — both resume and
+    // merge must refuse rather than silently recompute.
+    let chunk = ckpt.join("chunk-00001.json");
+    let mut text = fs::read_to_string(&chunk).unwrap();
+    text.truncate(text.len() / 2);
+    fs::write(&chunk, text).unwrap();
+
+    for command in ["resume", "merge"] {
+        let out = mbaa(&[command, ckpt.to_str().unwrap()], &dir);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{command} accepted a torn chunk"
+        );
+        assert!(stderr(&out).contains("chunk-00001.json"));
+    }
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Committed scenario files mean what the examples they reproduce mean.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn quickstart_scenario_file_equals_the_example_builder() {
+    let root = repo_root();
+    let text = fs::read_to_string(root.join("scenarios/quickstart.scenario.json")).unwrap();
+    let doc = mbaa_json::ScenarioFile::parse_str(&text).unwrap();
+    let expected = mbaa::prelude::Scenario::new(mbaa::prelude::MobileModel::Garay, 9, 2)
+        .epsilon(1e-4)
+        .max_rounds(200);
+    assert_eq!(doc.scenario, expected);
+    assert_eq!(doc.seeds.seeds(), (0..16).collect::<Vec<u64>>());
+    assert!(doc.sweep.is_none());
+}
+
+#[test]
+fn table2_scenario_file_expands_like_the_example_sweep() {
+    let root = repo_root();
+    let text = fs::read_to_string(root.join("scenarios/table2-thresholds.scenario.json")).unwrap();
+    let doc = mbaa_json::ScenarioFile::parse_str(&text).unwrap();
+    let base = mbaa::prelude::Scenario::new(mbaa::prelude::MobileModel::Garay, 9, 2);
+    let direct = base.sweep_n(3);
+    let points = doc.points();
+    assert_eq!(
+        points.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>(),
+        direct.points().to_vec()
+    );
+    assert_eq!(points[0].0, "n=9");
+}

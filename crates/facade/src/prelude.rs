@@ -20,7 +20,8 @@ pub use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
 pub use mbaa_core::{MobileEngine, MobileRunOutcome, Observe, ProtocolConfig, RoundSnapshot};
 pub use mbaa_msr::{MedianVoting, MsrFunction, VotingFunction};
 pub use mbaa_net::{
-    Adjacency, DirectedAdjacency, DisconnectionPolicy, LinkFaultPlan, Topology, TopologySchedule,
+    Adjacency, DirectedAdjacency, DisconnectionPolicy, LinkFaultPlan, LinkFaultRule, Topology,
+    TopologySchedule,
 };
 pub use mbaa_sim::{
     run_experiment, run_experiment_with, ExperimentConfig, ExperimentResult, RunSummary, Workload,

@@ -1,0 +1,250 @@
+//! Typed, path-tracking accessors over a parsed [`Json`] tree.
+//!
+//! The schema layer never matches on [`Node`] directly: it walks the tree
+//! through [`Ctx`] (one value plus the dotted path that led to it) and
+//! [`ObjCtx`] (one object with required/optional field access and
+//! unknown-field rejection), so every mismatch becomes a [`SchemaError`]
+//! carrying both the field path and the `line:col` of the offending value.
+
+use crate::error::SchemaError;
+use crate::value::{Json, Key, Node};
+
+/// Joins a parent path and a field name; the document root contributes no
+/// prefix, so top-level fields read as plain `name`.
+fn join(path: &str, name: &str) -> String {
+    if path.is_empty() {
+        name.to_string()
+    } else {
+        format!("{path}.{name}")
+    }
+}
+
+/// The user-facing form of a path: the empty root reads as `<document>`.
+fn display_path(path: &str) -> &str {
+    if path.is_empty() {
+        "<document>"
+    } else {
+        path
+    }
+}
+
+/// One JSON value plus the dotted path from the document root.
+#[derive(Debug, Clone, Copy)]
+pub struct Ctx<'a> {
+    json: &'a Json,
+    path: &'a str,
+}
+
+/// An owned path segment stack is avoided by formatting lazily: children
+/// allocate their joined path only when they are actually visited.
+pub struct ChildCtx<'a> {
+    json: &'a Json,
+    path: String,
+}
+
+impl<'a> ChildCtx<'a> {
+    /// Borrows this owned child as a [`Ctx`].
+    #[must_use]
+    pub fn ctx(&self) -> Ctx<'_> {
+        Ctx {
+            json: self.json,
+            path: &self.path,
+        }
+    }
+}
+
+impl<'a> Ctx<'a> {
+    /// The root context of a parsed document.
+    #[must_use]
+    pub fn root(json: &'a Json) -> Ctx<'a> {
+        Ctx { json, path: "" }
+    }
+
+    /// The underlying value.
+    #[must_use]
+    pub fn json(&self) -> &'a Json {
+        self.json
+    }
+
+    fn display_path(&self) -> &str {
+        display_path(self.path)
+    }
+
+    /// A schema error anchored at this value.
+    #[must_use]
+    pub fn err(&self, message: impl Into<String>) -> SchemaError {
+        SchemaError {
+            path: self.display_path().to_string(),
+            pos: self.json.pos,
+            message: message.into(),
+        }
+    }
+
+    fn expected(&self, what: &str) -> SchemaError {
+        self.err(format!("expected {what}, found {}", self.json.type_name()))
+    }
+
+    /// Returns `true` when the value is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self.json.node, Node::Null)
+    }
+
+    /// Reads a boolean.
+    pub fn bool(&self) -> Result<bool, SchemaError> {
+        match self.json.node {
+            Node::Bool(b) => Ok(b),
+            _ => Err(self.expected("a boolean")),
+        }
+    }
+
+    /// Reads a finite `f64`.
+    pub fn f64(&self) -> Result<f64, SchemaError> {
+        match &self.json.node {
+            Node::Number(text) => {
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| self.err(format!("unreadable number {text:?}")))?;
+                if !value.is_finite() {
+                    return Err(self.err(format!("number {text} overflows a finite f64")));
+                }
+                Ok(value)
+            }
+            _ => Err(self.expected("a number")),
+        }
+    }
+
+    /// Reads an exact `u64`: the literal must be a plain unsigned integer
+    /// (no sign, fraction, or exponent), so 64-bit seeds never pass
+    /// through a lossy float.
+    pub fn u64(&self) -> Result<u64, SchemaError> {
+        match &self.json.node {
+            Node::Number(text) => text
+                .parse::<u64>()
+                .map_err(|_| self.err(format!("expected an unsigned integer, found {text}"))),
+            _ => Err(self.expected("an unsigned integer")),
+        }
+    }
+
+    /// Reads an exact `usize`.
+    pub fn usize(&self) -> Result<usize, SchemaError> {
+        match &self.json.node {
+            Node::Number(text) => text
+                .parse::<usize>()
+                .map_err(|_| self.err(format!("expected an unsigned integer, found {text}"))),
+            _ => Err(self.expected("an unsigned integer")),
+        }
+    }
+
+    /// Reads a string.
+    pub fn str(&self) -> Result<&'a str, SchemaError> {
+        match &self.json.node {
+            Node::String(text) => Ok(text),
+            _ => Err(self.expected("a string")),
+        }
+    }
+
+    /// Reads an array, yielding one indexed child context per element.
+    pub fn array(&self) -> Result<Vec<ChildCtx<'a>>, SchemaError> {
+        match &self.json.node {
+            Node::Array(items) => Ok(items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| ChildCtx {
+                    json: item,
+                    path: format!("{}[{i}]", self.path),
+                })
+                .collect()),
+            _ => Err(self.expected("an array")),
+        }
+    }
+
+    /// Reads an object.
+    pub fn object(&self) -> Result<ObjCtx<'a>, SchemaError> {
+        match &self.json.node {
+            Node::Object(fields) => Ok(ObjCtx {
+                fields,
+                path: self.path.to_string(),
+                origin: self.err("object"),
+                used: vec![false; fields.len()],
+            }),
+            _ => Err(self.expected("an object")),
+        }
+    }
+
+    /// Reads an enum-shaped value: either a bare string (`"complete"`,
+    /// returning the tag with no payload) or a single-key object
+    /// (`{"ring": {...}}`, returning the key and its value).
+    pub fn variant(&self) -> Result<(&'a str, Option<ChildCtx<'a>>), SchemaError> {
+        match &self.json.node {
+            Node::String(tag) => Ok((tag, None)),
+            Node::Object(fields) => {
+                if fields.len() != 1 {
+                    return Err(self.err(format!(
+                        "expected a single-variant object, found {} keys",
+                        fields.len()
+                    )));
+                }
+                let (key, value) = &fields[0];
+                Ok((
+                    &key.name,
+                    Some(ChildCtx {
+                        json: value,
+                        path: join(self.path, &key.name),
+                    }),
+                ))
+            }
+            _ => Err(self.expected("a variant (string or single-key object)")),
+        }
+    }
+}
+
+/// One object with consumed-field tracking: every read marks its field,
+/// and [`ObjCtx::finish`] rejects whatever was never consumed, so typos in
+/// committed scenario files fail loudly instead of silently falling back
+/// to a default.
+pub struct ObjCtx<'a> {
+    fields: &'a [(Key, Json)],
+    path: String,
+    origin: SchemaError,
+    used: Vec<bool>,
+}
+
+impl<'a> ObjCtx<'a> {
+    fn lookup(&mut self, name: &str) -> Option<ChildCtx<'a>> {
+        let idx = self.fields.iter().position(|(k, _)| k.name == name)?;
+        self.used[idx] = true;
+        Some(ChildCtx {
+            json: &self.fields[idx].1,
+            path: join(&self.path, name),
+        })
+    }
+
+    /// Reads a required field.
+    pub fn req(&mut self, name: &str) -> Result<ChildCtx<'a>, SchemaError> {
+        self.lookup(name).ok_or_else(|| SchemaError {
+            path: display_path(&self.path).to_string(),
+            pos: self.origin.pos,
+            message: format!("missing required field {name:?}"),
+        })
+    }
+
+    /// Reads an optional field; an explicit `null` reads as absent.
+    pub fn opt(&mut self, name: &str) -> Option<ChildCtx<'a>> {
+        self.lookup(name).filter(|c| !c.ctx().is_null())
+    }
+
+    /// Rejects any field no `req`/`opt` call consumed.
+    pub fn finish(self) -> Result<(), SchemaError> {
+        for (idx, (key, _)) in self.fields.iter().enumerate() {
+            if !self.used[idx] {
+                return Err(SchemaError {
+                    path: join(&self.path, &key.name),
+                    pos: key.pos,
+                    message: format!("unknown field {:?}", key.name),
+                });
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,150 @@
+//! Typed errors with `line:col` anchors.
+//!
+//! Two layers of failure exist, and both point at the source:
+//!
+//! * [`ParseError`] — the text is not JSON (unbalanced braces, a bad
+//!   escape, a duplicate key). Anchored at the offending character.
+//! * [`SchemaError`] — the text is JSON but not a valid scenario document
+//!   (wrong type, unknown field, out-of-range value). Anchored at the
+//!   offending *value* and carrying the field path
+//!   (`scenario.topology.k`).
+//!
+//! [`JsonError`] unifies them for callers that just want one error type.
+
+use std::fmt;
+
+use crate::value::Pos;
+
+/// What went wrong while tokenizing/parsing JSON text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// The input ended in the middle of a value.
+    UnexpectedEof,
+    /// An unexpected character; carries what the parser was expecting.
+    UnexpectedChar {
+        /// The character found.
+        found: char,
+        /// What was expected instead.
+        expected: &'static str,
+    },
+    /// A malformed number literal.
+    InvalidNumber,
+    /// A `\x` escape JSON does not define.
+    InvalidEscape(char),
+    /// A `\u` escape that is not four hex digits or encodes an unpaired
+    /// surrogate.
+    InvalidUnicodeEscape,
+    /// A string literal that never closes.
+    UnterminatedString,
+    /// A raw control character inside a string literal.
+    ControlCharacter,
+    /// The same key appears twice in one object.
+    DuplicateKey(String),
+    /// Arrays/objects nested beyond the depth limit.
+    TooDeep,
+    /// Valid JSON followed by trailing non-whitespace.
+    TrailingCharacters,
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::UnexpectedEof => f.write_str("unexpected end of input"),
+            ParseErrorKind::UnexpectedChar { found, expected } => {
+                write!(f, "expected {expected}, found {found:?}")
+            }
+            ParseErrorKind::InvalidNumber => f.write_str("malformed number literal"),
+            ParseErrorKind::InvalidEscape(c) => write!(f, "invalid escape sequence \\{c}"),
+            ParseErrorKind::InvalidUnicodeEscape => f.write_str("invalid \\u escape"),
+            ParseErrorKind::UnterminatedString => f.write_str("unterminated string literal"),
+            ParseErrorKind::ControlCharacter => {
+                f.write_str("raw control character inside a string literal")
+            }
+            ParseErrorKind::DuplicateKey(key) => write!(f, "duplicate object key {key:?}"),
+            ParseErrorKind::TooDeep => f.write_str("nesting exceeds the depth limit"),
+            ParseErrorKind::TrailingCharacters => {
+                f.write_str("trailing characters after the top-level value")
+            }
+        }
+    }
+}
+
+/// A syntax error, anchored at the offending character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending character.
+    pub line: u32,
+    /// 1-based column of the offending character.
+    pub col: u32,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.kind)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A semantic error: valid JSON that does not describe a valid document.
+/// Anchored at the offending value and carrying the field path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// Dotted field path from the document root (`scenario.topology.k`).
+    pub path: String,
+    /// Position of the offending value (`0:0` for programmatic nodes).
+    pub pos: Pos,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pos.is_synthetic() {
+            write!(f, "{}: {}", self.path, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: {}: {}",
+                self.pos.line, self.pos.col, self.path, self.message
+            )
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Any `mbaa-json` failure: a syntax error or a schema error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonError {
+    /// The text is not JSON.
+    Parse(ParseError),
+    /// The JSON does not describe a valid document.
+    Schema(SchemaError),
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Parse(e) => write!(f, "parse error at {e}"),
+            JsonError::Schema(e) => write!(f, "schema error at {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl From<ParseError> for JsonError {
+    fn from(e: ParseError) -> Self {
+        JsonError::Parse(e)
+    }
+}
+
+impl From<SchemaError> for JsonError {
+    fn from(e: SchemaError) -> Self {
+        JsonError::Schema(e)
+    }
+}

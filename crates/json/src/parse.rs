@@ -1,0 +1,482 @@
+//! A recursive-descent JSON parser producing the spanned [`Json`] tree.
+//!
+//! Strict RFC 8259 JSON — no comments, no trailing commas — plus two
+//! deliberate hardenings for committed scenario files: duplicate object
+//! keys are a typed error (silently keeping one of two conflicting knobs
+//! would change an experiment without anyone noticing), and nesting is
+//! depth-limited so a malformed file cannot overflow the stack.
+//!
+//! Every error carries the 1-based `line:col` of the offending character;
+//! every parsed node carries the position of its first character for the
+//! schema layer to anchor semantic errors.
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::value::{Json, Key, Node, Pos};
+
+/// Maximum array/object nesting the parser accepts.
+const MAX_DEPTH: usize = 128;
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] anchored at the offending character; see
+/// [`ParseErrorKind`] for the catalogue.
+///
+/// # Example
+///
+/// ```
+/// use mbaa_json::{parse, Node};
+///
+/// let doc = parse(r#"{"seeds": [1, 2, 3]}"#)?;
+/// assert!(matches!(doc.node, Node::Object(_)));
+///
+/// let err = parse("{\"a\": 1,\n \"a\": 2}").unwrap_err();
+/// assert_eq!((err.line, err.col), (2, 2));
+/// # Ok::<(), mbaa_json::ParseError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut parser = Parser::new(input);
+    parser.skip_whitespace();
+    let value = parser.parse_value(0)?;
+    parser.skip_whitespace();
+    if parser.peek().is_some() {
+        return Err(parser.error_here(ParseErrorKind::TrailingCharacters));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    chars: std::str::Chars<'a>,
+    peeked: Option<char>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            chars: input.chars(),
+            peeked: None,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// The position of the next unconsumed character.
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        if self.peeked.is_none() {
+            self.peeked = self.chars.next();
+        }
+        self.peeked
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peeked.take().or_else(|| self.chars.next());
+        match c {
+            Some('\n') => {
+                self.line += 1;
+                self.col = 1;
+            }
+            Some(_) => self.col += 1,
+            None => {}
+        }
+        c
+    }
+
+    fn error_here(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError {
+            line: self.line,
+            col: self.col,
+            kind,
+        }
+    }
+
+    fn error_at(&self, pos: Pos, kind: ParseErrorKind) -> ParseError {
+        ParseError {
+            line: pos.line,
+            col: pos.col,
+            kind,
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.next();
+        }
+    }
+
+    fn expect(&mut self, wanted: char, expected: &'static str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(c) if c == wanted => {
+                self.next();
+                Ok(())
+            }
+            Some(found) => Err(self.error_here(ParseErrorKind::UnexpectedChar { found, expected })),
+            None => Err(self.error_here(ParseErrorKind::UnexpectedEof)),
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error_here(ParseErrorKind::TooDeep));
+        }
+        let pos = self.pos();
+        let node = match self.peek() {
+            None => return Err(self.error_here(ParseErrorKind::UnexpectedEof)),
+            Some('{') => return self.parse_object(depth),
+            Some('[') => return self.parse_array(depth),
+            Some('"') => Node::String(self.parse_string()?),
+            Some('t') => {
+                self.parse_literal("true")?;
+                Node::Bool(true)
+            }
+            Some('f') => {
+                self.parse_literal("false")?;
+                Node::Bool(false)
+            }
+            Some('n') => {
+                self.parse_literal("null")?;
+                Node::Null
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => Node::Number(self.parse_number()?),
+            Some(found) => {
+                return Err(self.error_here(ParseErrorKind::UnexpectedChar {
+                    found,
+                    expected: "a JSON value",
+                }))
+            }
+        };
+        Ok(Json { pos, node })
+    }
+
+    fn parse_literal(&mut self, literal: &'static str) -> Result<(), ParseError> {
+        for wanted in literal.chars() {
+            match self.peek() {
+                Some(c) if c == wanted => {
+                    self.next();
+                }
+                Some(found) => {
+                    return Err(self.error_here(ParseErrorKind::UnexpectedChar {
+                        found,
+                        expected: "a JSON value",
+                    }))
+                }
+                None => return Err(self.error_here(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        let pos = self.pos();
+        self.expect('{', "'{'")?;
+        let mut fields: Vec<(Key, Json)> = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some('}') {
+            self.next();
+            return Ok(Json {
+                pos,
+                node: Node::Object(fields),
+            });
+        }
+        loop {
+            self.skip_whitespace();
+            let key_pos = self.pos();
+            if self.peek() != Some('"') {
+                return Err(match self.peek() {
+                    Some(found) => self.error_here(ParseErrorKind::UnexpectedChar {
+                        found,
+                        expected: "an object key string",
+                    }),
+                    None => self.error_here(ParseErrorKind::UnexpectedEof),
+                });
+            }
+            let name = self.parse_string()?;
+            if fields.iter().any(|(k, _)| k.name == name) {
+                return Err(self.error_at(key_pos, ParseErrorKind::DuplicateKey(name)));
+            }
+            self.skip_whitespace();
+            self.expect(':', "':' after the object key")?;
+            self.skip_whitespace();
+            let value = self.parse_value(depth + 1)?;
+            fields.push((Key { pos: key_pos, name }, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(',') => {
+                    self.next();
+                }
+                Some('}') => {
+                    self.next();
+                    return Ok(Json {
+                        pos,
+                        node: Node::Object(fields),
+                    });
+                }
+                Some(found) => {
+                    return Err(self.error_here(ParseErrorKind::UnexpectedChar {
+                        found,
+                        expected: "',' or '}'",
+                    }))
+                }
+                None => return Err(self.error_here(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        let pos = self.pos();
+        self.expect('[', "'['")?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(']') {
+            self.next();
+            return Ok(Json {
+                pos,
+                node: Node::Array(items),
+            });
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(',') => {
+                    self.next();
+                }
+                Some(']') => {
+                    self.next();
+                    return Ok(Json {
+                        pos,
+                        node: Node::Array(items),
+                    });
+                }
+                Some(found) => {
+                    return Err(self.error_here(ParseErrorKind::UnexpectedChar {
+                        found,
+                        expected: "',' or ']'",
+                    }))
+                }
+                None => return Err(self.error_here(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        let open = self.pos();
+        self.expect('"', "'\"'")?;
+        let mut out = String::new();
+        loop {
+            // Escape and control-character errors anchor at the character
+            // (or backslash) that starts the offending sequence.
+            let at = self.pos();
+            match self.next() {
+                None => return Err(self.error_at(open, ParseErrorKind::UnterminatedString)),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next() {
+                    None => return Err(self.error_at(open, ParseErrorKind::UnterminatedString)),
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('b') => out.push('\u{0008}'),
+                    Some('f') => out.push('\u{000C}'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => out.push(self.parse_unicode_escape(at)?),
+                    Some(c) => return Err(self.error_at(at, ParseErrorKind::InvalidEscape(c))),
+                },
+                Some(c) if (c as u32) < 0x20 => {
+                    return Err(self.error_at(at, ParseErrorKind::ControlCharacter))
+                }
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self, at: Pos) -> Result<u32, ParseError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let digit = match self.next() {
+                Some(c) => c
+                    .to_digit(16)
+                    .ok_or_else(|| self.error_at(at, ParseErrorKind::InvalidUnicodeEscape))?,
+                None => return Err(self.error_here(ParseErrorKind::UnexpectedEof)),
+            };
+            value = value * 16 + digit;
+        }
+        Ok(value)
+    }
+
+    fn parse_unicode_escape(&mut self, at: Pos) -> Result<char, ParseError> {
+        let first = self.parse_hex4(at)?;
+        if (0xD800..0xDC00).contains(&first) {
+            // High surrogate: a low surrogate escape must follow.
+            if self.next() != Some('\\') || self.next() != Some('u') {
+                return Err(self.error_at(at, ParseErrorKind::InvalidUnicodeEscape));
+            }
+            let second = self.parse_hex4(at)?;
+            if !(0xDC00..0xE000).contains(&second) {
+                return Err(self.error_at(at, ParseErrorKind::InvalidUnicodeEscape));
+            }
+            let combined = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+            char::from_u32(combined)
+                .ok_or_else(|| self.error_at(at, ParseErrorKind::InvalidUnicodeEscape))
+        } else {
+            char::from_u32(first)
+                .ok_or_else(|| self.error_at(at, ParseErrorKind::InvalidUnicodeEscape))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<String, ParseError> {
+        let start = self.pos();
+        let mut text = String::new();
+        if self.peek() == Some('-') {
+            text.push('-');
+            self.next();
+        }
+        // Integer part: 0 | [1-9][0-9]*
+        match self.peek() {
+            Some('0') => {
+                text.push('0');
+                self.next();
+                if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    return Err(self.error_at(start, ParseErrorKind::InvalidNumber));
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                while let Some(c) = self.peek() {
+                    if !c.is_ascii_digit() {
+                        break;
+                    }
+                    text.push(c);
+                    self.next();
+                }
+            }
+            _ => return Err(self.error_at(start, ParseErrorKind::InvalidNumber)),
+        }
+        // Fraction.
+        if self.peek() == Some('.') {
+            text.push('.');
+            self.next();
+            let mut digits = 0;
+            while let Some(c) = self.peek() {
+                if !c.is_ascii_digit() {
+                    break;
+                }
+                text.push(c);
+                self.next();
+                digits += 1;
+            }
+            if digits == 0 {
+                return Err(self.error_at(start, ParseErrorKind::InvalidNumber));
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(), Some('e' | 'E')) {
+            text.push('e');
+            self.next();
+            if matches!(self.peek(), Some('+' | '-')) {
+                // unwrap: the match above guarantees a character is there.
+                text.push(self.next().unwrap());
+            }
+            let mut digits = 0;
+            while let Some(c) = self.peek() {
+                if !c.is_ascii_digit() {
+                    break;
+                }
+                text.push(c);
+                self.next();
+                digits += 1;
+            }
+            if digits == 0 {
+                return Err(self.error_at(start, ParseErrorKind::InvalidNumber));
+            }
+        }
+        Ok(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kind(input: &str) -> ParseErrorKind {
+        parse(input).unwrap_err().kind
+    }
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(parse("null").unwrap().node, Node::Null);
+        assert_eq!(parse("true").unwrap().node, Node::Bool(true));
+        assert_eq!(parse("false").unwrap().node, Node::Bool(false));
+        assert_eq!(parse("42").unwrap().node, Node::Number("42".into()));
+        assert_eq!(
+            parse("-1.5e-3").unwrap().node,
+            Node::Number("-1.5e-3".into())
+        );
+        assert_eq!(parse(r#""hi""#).unwrap().node, Node::String("hi".into()));
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        assert_eq!(
+            parse(r#""a\n\t\"\\é😀""#).unwrap().node,
+            Node::String("a\n\t\"\\é😀".into())
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let doc = parse("{\n  \"a\": [1, 2]\n}").unwrap();
+        assert_eq!((doc.pos.line, doc.pos.col), (1, 1));
+        let Node::Object(fields) = doc.node else {
+            panic!()
+        };
+        let (key, value) = &fields[0];
+        assert_eq!((key.pos.line, key.pos.col), (2, 3));
+        assert_eq!((value.pos.line, value.pos.col), (2, 8));
+        let Node::Array(items) = &value.node else {
+            panic!()
+        };
+        assert_eq!((items[1].pos.line, items[1].pos.col), (2, 12));
+    }
+
+    #[test]
+    fn typed_errors_with_anchors() {
+        assert_eq!(kind(""), ParseErrorKind::UnexpectedEof);
+        assert_eq!(kind("{\"a\": 1,}"), {
+            ParseErrorKind::UnexpectedChar {
+                found: '}',
+                expected: "an object key string",
+            }
+        });
+        assert_eq!(kind("01"), ParseErrorKind::InvalidNumber);
+        assert_eq!(kind("1."), ParseErrorKind::InvalidNumber);
+        assert_eq!(kind("1e"), ParseErrorKind::InvalidNumber);
+        assert_eq!(kind(r#""\q""#), ParseErrorKind::InvalidEscape('q'));
+        assert_eq!(kind(r#""\ud800x""#), ParseErrorKind::InvalidUnicodeEscape);
+        assert_eq!(kind("\"abc"), ParseErrorKind::UnterminatedString);
+        assert_eq!(kind("\"a\u{1}b\""), ParseErrorKind::ControlCharacter);
+        assert_eq!(
+            kind(r#"{"x": 1, "x": 2}"#),
+            ParseErrorKind::DuplicateKey("x".into())
+        );
+        assert_eq!(kind("[1] [2]"), ParseErrorKind::TrailingCharacters);
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert_eq!(kind(&deep), ParseErrorKind::TooDeep);
+    }
+
+    #[test]
+    fn duplicate_key_is_anchored_at_the_second_occurrence() {
+        let err = parse("{\"a\": 1,\n \"a\": 2}").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 2));
+    }
+}

@@ -1,0 +1,189 @@
+//! The spanned JSON document tree.
+//!
+//! Every parsed node carries the [`Pos`] (1-based line and column) of its
+//! first character, so the schema layer can anchor *semantic* errors — a
+//! wrong type, an out-of-range value, an unknown field — to the exact spot
+//! in the source file, not just the syntax errors. Nodes built
+//! programmatically (for serialization) carry the synthetic position
+//! `0:0`, which the writer ignores.
+//!
+//! Numbers are kept as their raw text ([`Node::Number`]): `u64` seeds
+//! round-trip exactly even beyond 2^53 (where `f64` would silently lose
+//! precision), and `f64` fields round-trip bit for bit because Rust's
+//! shortest-representation formatting and strtod-correct parsing are
+//! inverses.
+
+use std::fmt;
+
+/// A 1-based source position (line, column). The synthetic position `0:0`
+/// marks programmatically built nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line number (0 for synthetic nodes).
+    pub line: u32,
+    /// 1-based column number, counted in characters (0 for synthetic).
+    pub col: u32,
+}
+
+impl Pos {
+    /// The position of programmatically built nodes.
+    pub const SYNTHETIC: Pos = Pos { line: 0, col: 0 };
+
+    /// Returns `true` for the synthetic `0:0` position.
+    #[must_use]
+    pub fn is_synthetic(self) -> bool {
+        self.line == 0
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_synthetic() {
+            f.write_str("builder")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+/// One JSON value together with the source position of its first
+/// character.
+///
+/// # Example
+///
+/// ```
+/// use mbaa_json::{parse, Node};
+///
+/// let doc = parse("{\n  \"n\": 9\n}")?;
+/// let Node::Object(fields) = &doc.node else { unreachable!() };
+/// assert_eq!(fields[0].0.name, "n");
+/// assert_eq!((fields[0].1.pos.line, fields[0].1.pos.col), (2, 8));
+/// # Ok::<(), mbaa_json::JsonError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Json {
+    /// Where the value starts in the source (synthetic when built).
+    pub pos: Pos,
+    /// The value itself.
+    pub node: Node,
+}
+
+/// An object key together with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Key {
+    /// Where the key string starts in the source.
+    pub pos: Pos,
+    /// The key text.
+    pub name: String,
+}
+
+/// The payload of a [`Json`] node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw source (or canonically formatted) text.
+    Number(String),
+    /// A string (unescaped).
+    String(String),
+    /// An array, in element order.
+    Array(Vec<Json>),
+    /// An object, in key order as written; duplicate keys are a parse
+    /// error, so lookups are unambiguous.
+    Object(Vec<(Key, Json)>),
+}
+
+impl Json {
+    /// A short human-readable name of the node's type, used in error
+    /// messages ("expected unsigned integer, found string").
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match &self.node {
+            Node::Null => "null",
+            Node::Bool(_) => "boolean",
+            Node::Number(_) => "number",
+            Node::String(_) => "string",
+            Node::Array(_) => "array",
+            Node::Object(_) => "object",
+        }
+    }
+
+    fn synthetic(node: Node) -> Json {
+        Json {
+            pos: Pos::SYNTHETIC,
+            node,
+        }
+    }
+
+    /// Builds a `null` node.
+    #[must_use]
+    pub fn null() -> Json {
+        Json::synthetic(Node::Null)
+    }
+
+    /// Builds a boolean node.
+    #[must_use]
+    pub fn bool(value: bool) -> Json {
+        Json::synthetic(Node::Bool(value))
+    }
+
+    /// Builds an unsigned-integer number node (exact for every `u64`).
+    #[must_use]
+    pub fn u64(value: u64) -> Json {
+        Json::synthetic(Node::Number(value.to_string()))
+    }
+
+    /// Builds an unsigned-integer number node from a `usize`.
+    #[must_use]
+    pub fn usize(value: usize) -> Json {
+        Json::synthetic(Node::Number(value.to_string()))
+    }
+
+    /// Builds a floating-point number node using Rust's
+    /// shortest-round-trip formatting, so parsing the text back yields the
+    /// bit-identical `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite values — JSON has no representation for them,
+    /// and every value the scenario schema serializes is finite by
+    /// construction.
+    #[must_use]
+    pub fn f64(value: f64) -> Json {
+        assert!(value.is_finite(), "JSON cannot represent {value}");
+        Json::synthetic(Node::Number(format!("{value}")))
+    }
+
+    /// Builds a string node.
+    #[must_use]
+    pub fn str(value: impl Into<String>) -> Json {
+        Json::synthetic(Node::String(value.into()))
+    }
+
+    /// Builds an array node.
+    #[must_use]
+    pub fn array(items: Vec<Json>) -> Json {
+        Json::synthetic(Node::Array(items))
+    }
+
+    /// Builds an object node from `(key, value)` pairs, in the given order.
+    #[must_use]
+    pub fn object(fields: Vec<(&str, Json)>) -> Json {
+        Json::synthetic(Node::Object(
+            fields
+                .into_iter()
+                .map(|(name, value)| {
+                    (
+                        Key {
+                            pos: Pos::SYNTHETIC,
+                            name: name.to_string(),
+                        },
+                        value,
+                    )
+                })
+                .collect(),
+        ))
+    }
+}

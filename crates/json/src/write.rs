@@ -1,0 +1,169 @@
+//! The canonical JSON writer.
+//!
+//! One JSON tree has exactly one rendering: objects are written one field
+//! per line with two-space indentation, arrays of scalars stay on one line
+//! (seed lists, edge pairs), nested arrays/objects get a line per element,
+//! and strings escape only what must be escaped. Checkpoint and report
+//! files lean on this — *byte*-equality of outputs is how the sweep
+//! runner's resume invariant is asserted, so the writer must never have
+//! two moods.
+
+use crate::value::{Json, Node};
+
+/// Renders a JSON tree in the canonical format (no trailing newline).
+///
+/// # Example
+///
+/// ```
+/// use mbaa_json::{parse, write_string, Json};
+///
+/// let doc = Json::object(vec![
+///     ("name", Json::str("demo")),
+///     ("seeds", Json::array(vec![Json::u64(1), Json::u64(2)])),
+/// ]);
+/// let text = write_string(&doc);
+/// assert_eq!(text, "{\n  \"name\": \"demo\",\n  \"seeds\": [1, 2]\n}");
+/// // Canonical means stable under a parse → write round trip.
+/// assert_eq!(write_string(&parse(&text)?), text);
+/// # Ok::<(), mbaa_json::JsonError>(())
+/// ```
+#[must_use]
+pub fn write_string(json: &Json) -> String {
+    let mut out = String::new();
+    write_value(json, 0, &mut out);
+    out
+}
+
+fn write_value(json: &Json, indent: usize, out: &mut String) {
+    match &json.node {
+        Node::Null => out.push_str("null"),
+        Node::Bool(true) => out.push_str("true"),
+        Node::Bool(false) => out.push_str("false"),
+        Node::Number(text) => out.push_str(text),
+        Node::String(text) => write_escaped(text, out),
+        Node::Array(items) => write_array(items, indent, out),
+        Node::Object(fields) => write_object(fields, indent, out),
+    }
+}
+
+fn is_scalar(json: &Json) -> bool {
+    !matches!(json.node, Node::Array(_) | Node::Object(_))
+}
+
+fn write_array(items: &[Json], indent: usize, out: &mut String) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    if items.iter().all(is_scalar) {
+        // Scalar lists (seeds, flip rates) stay on one line.
+        out.push('[');
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_value(item, indent, out);
+        }
+        out.push(']');
+        return;
+    }
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        push_indent(indent + 1, out);
+        write_value(item, indent + 1, out);
+    }
+    out.push('\n');
+    push_indent(indent, out);
+    out.push(']');
+}
+
+fn write_object(fields: &[(crate::value::Key, Json)], indent: usize, out: &mut String) {
+    if fields.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push('{');
+    for (i, (key, value)) in fields.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        push_indent(indent + 1, out);
+        write_escaped(&key.name, out);
+        out.push_str(": ");
+        write_value(value, indent + 1, out);
+    }
+    out.push('\n');
+    push_indent(indent, out);
+    out.push('}');
+}
+
+fn push_indent(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(text: &str, out: &mut String) {
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use crate::value::Json;
+
+    #[test]
+    fn canonical_rendering_is_parse_stable() {
+        let doc = Json::object(vec![
+            ("null", Json::null()),
+            ("flag", Json::bool(true)),
+            ("big", Json::u64(u64::MAX)),
+            ("eps", Json::f64(1e-4)),
+            ("text", Json::str("a\n\"b\"\\c\u{1}")),
+            ("empty_arr", Json::array(vec![])),
+            ("empty_obj", Json::object(vec![])),
+            (
+                "nested",
+                Json::array(vec![Json::object(vec![("k", Json::usize(3))])]),
+            ),
+        ]);
+        let text = write_string(&doc);
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(write_string(&reparsed), text);
+    }
+
+    #[test]
+    fn scalar_arrays_stay_inline() {
+        let doc = Json::array(vec![Json::u64(1), Json::u64(2), Json::u64(3)]);
+        assert_eq!(write_string(&doc), "[1, 2, 3]");
+    }
+
+    #[test]
+    fn u64_and_f64_round_trip_exactly() {
+        for v in [0u64, 1, u64::MAX, (1 << 53) + 1] {
+            let text = write_string(&Json::u64(v));
+            assert_eq!(text.parse::<u64>().unwrap(), v);
+        }
+        for v in [0.0f64, -0.0, 1e-3, 0.1 + 0.2, f64::MIN_POSITIVE, 1e300] {
+            let text = write_string(&Json::f64(v));
+            let back: f64 = text.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+}

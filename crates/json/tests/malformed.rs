@@ -1,0 +1,129 @@
+//! Malformed-input battery: every rejection carries a typed kind, a
+//! field path where one exists, and a 1-based `line:col` anchor pointing
+//! at the offending character or value.
+
+use mbaa_json::{parse, JsonError, ParseErrorKind, ScenarioFile};
+
+/// Asserts a parse-level rejection with the expected anchor.
+fn assert_parse_err(text: &str, line: u32, col: u32, want: &ParseErrorKind) {
+    let err = parse(text).unwrap_err();
+    assert_eq!(
+        (err.line, err.col),
+        (line, col),
+        "wrong anchor for {text:?}: got {err}"
+    );
+    assert_eq!(&err.kind, want, "wrong kind for {text:?}");
+}
+
+#[test]
+fn syntax_errors_are_anchored() {
+    assert_parse_err("", 1, 1, &ParseErrorKind::UnexpectedEof);
+    assert_parse_err(
+        "{\"a\": }",
+        1,
+        7,
+        &ParseErrorKind::UnexpectedChar {
+            found: '}',
+            expected: "a JSON value",
+        },
+    );
+    assert_parse_err(
+        "[1, 2,]",
+        1,
+        7,
+        &ParseErrorKind::UnexpectedChar {
+            found: ']',
+            expected: "a JSON value",
+        },
+    );
+    assert_parse_err("{\n  \"a\": 01\n}", 2, 8, &ParseErrorKind::InvalidNumber);
+    // Escape errors anchor at the backslash that starts the sequence;
+    // unterminated strings anchor at their opening quote.
+    assert_parse_err("\"ab\\qcd\"", 1, 4, &ParseErrorKind::InvalidEscape('q'));
+    assert_parse_err("\"\\ud800\"", 1, 2, &ParseErrorKind::InvalidUnicodeEscape);
+    assert_parse_err("\"never closed", 1, 1, &ParseErrorKind::UnterminatedString);
+    assert_parse_err("[1] [2]", 1, 5, &ParseErrorKind::TrailingCharacters);
+    assert_parse_err(
+        "{\"k\": 1,\n \"k\": 2}",
+        2,
+        2,
+        &ParseErrorKind::DuplicateKey("k".to_string()),
+    );
+}
+
+/// Unwraps the schema-error arm.
+fn schema_err(text: &str) -> mbaa_json::SchemaError {
+    match ScenarioFile::parse_str(text).unwrap_err() {
+        JsonError::Schema(e) => e,
+        JsonError::Parse(e) => panic!("expected schema error for {text:?}, got parse error {e}"),
+    }
+}
+
+fn wrap(scenario_body: &str) -> String {
+    format!(
+        "{{\n  \"format\": \"mbaa-scenario/1\",\n  \"name\": \"t\",\n  \"scenario\": {{\n    \
+         \"model\": \"garay\",\n    \"n\": 9,\n    \"f\": 2{scenario_body}\n  }},\n  \
+         \"seeds\": [1]\n}}"
+    )
+}
+
+#[test]
+fn unknown_field_is_anchored_at_its_key() {
+    let err = schema_err(&wrap(",\n    \"epsilonn\": 0.1"));
+    assert_eq!(err.path, "scenario.epsilonn");
+    assert_eq!((err.pos.line, err.pos.col), (8, 5));
+}
+
+#[test]
+fn wrong_type_is_anchored_at_the_value() {
+    let err = schema_err(&wrap(",\n    \"max_rounds\": \"many\""));
+    assert_eq!(err.path, "scenario.max_rounds");
+    assert_eq!((err.pos.line, err.pos.col), (8, 19));
+    assert!(err.message.contains("expected an unsigned integer"));
+}
+
+#[test]
+fn unknown_variant_is_anchored() {
+    let err = schema_err(&wrap(",\n    \"mobility\": \"teleport\""));
+    assert_eq!(err.path, "scenario.mobility");
+    assert!(err.message.contains("teleport"));
+}
+
+#[test]
+fn nested_variant_payload_paths_are_dotted() {
+    let err = schema_err(&wrap(
+        ",\n    \"topology\": {\"ring\": {\"k\": 2, \"width\": 3}}",
+    ));
+    assert_eq!(err.path, "scenario.topology.ring.width");
+    assert!(err.message.contains("unknown field"));
+}
+
+#[test]
+fn seed_must_be_a_plain_integer() {
+    let err = schema_err(
+        "{\"format\": \"mbaa-scenario/1\", \"name\": \"t\",\n \"scenario\": \
+         {\"model\": \"garay\", \"n\": 9, \"f\": 2},\n \"seeds\": [1.5]}",
+    );
+    assert_eq!(err.path, "seeds[0]");
+    assert_eq!((err.pos.line, err.pos.col), (3, 12));
+}
+
+#[test]
+fn missing_required_field_names_the_object() {
+    let err = schema_err(
+        "{\"format\": \"mbaa-scenario/1\", \"name\": \"t\",\n \"scenario\": \
+         {\"model\": \"garay\", \"n\": 9},\n \"seeds\": [1]}",
+    );
+    assert_eq!(err.path, "scenario");
+    assert!(err.message.contains("missing required field \"f\""));
+}
+
+#[test]
+fn top_level_unknown_field_has_no_root_prefix() {
+    let err = schema_err(
+        "{\"format\": \"mbaa-scenario/1\", \"name\": \"t\",\n \"scenario\": \
+         {\"model\": \"garay\", \"n\": 9, \"f\": 2},\n \"seeds\": [1],\n \"extra\": true}",
+    );
+    assert_eq!(err.path, "extra");
+    assert_eq!((err.pos.line, err.pos.col), (4, 2));
+}

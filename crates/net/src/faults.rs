@@ -548,6 +548,44 @@ impl LinkRule {
     }
 }
 
+/// The public inspection form of one [`LinkFaultPlan`] rule: a (possibly
+/// wildcarded) directed-link selector together with the omission
+/// probability and/or delay it sets.
+///
+/// Rules are ordered: later rules override the fields they set on the
+/// links they match. [`LinkFaultPlan::rules`] walks a plan's rules in
+/// application order and [`LinkFaultPlan::with_rule`] appends one, so a
+/// plan round-trips losslessly through this form — the scenario-file
+/// (de)serializer in `mbaa-json` is built on exactly that pair.
+///
+/// # Example
+///
+/// ```
+/// use mbaa_net::{LinkFaultPlan, LinkFaultRule};
+///
+/// let plan = LinkFaultPlan::new().omit_all(0.05).delay(1, 2, 3);
+/// let rules: Vec<LinkFaultRule> = plan.rules().collect();
+/// assert_eq!(rules.len(), 2);
+/// assert_eq!(rules[0].omit, Some(0.05));
+/// assert_eq!((rules[1].from, rules[1].delay), (Some(1), Some(3)));
+///
+/// let rebuilt = rules
+///     .into_iter()
+///     .fold(LinkFaultPlan::new(), LinkFaultPlan::with_rule);
+/// assert_eq!(rebuilt, plan);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinkFaultRule {
+    /// Sending endpoint, or `None` for every sender.
+    pub from: Option<usize>,
+    /// Receiving endpoint, or `None` for every receiver.
+    pub to: Option<usize>,
+    /// Omission probability to set, if any.
+    pub omit: Option<f64>,
+    /// Delivery delay (in rounds) to set, if any.
+    pub delay: Option<usize>,
+}
+
 /// Per-link fault behaviours layered on the structural topology mask:
 /// seeded-random (or, at probability 1, deterministic) message omission and
 /// fixed delivery delays with in-order buffering.
@@ -664,6 +702,37 @@ impl LinkFaultPlan {
     #[must_use]
     pub fn is_clean(&self) -> bool {
         self.rules.is_empty()
+    }
+
+    /// Walks the plan's rules in application order, in the public
+    /// [`LinkFaultRule`] form. Together with
+    /// [`with_rule`](LinkFaultPlan::with_rule) this makes a plan
+    /// losslessly inspectable and reconstructible — the scenario-file
+    /// serializer relies on it.
+    pub fn rules(&self) -> impl Iterator<Item = LinkFaultRule> + '_ {
+        self.rules.iter().map(|r| LinkFaultRule {
+            from: r.from,
+            to: r.to,
+            omit: r.omit,
+            delay: r.delay,
+        })
+    }
+
+    /// Appends one rule in the public [`LinkFaultRule`] form — the general
+    /// constructor behind [`omit`](LinkFaultPlan::omit) /
+    /// [`omit_all`](LinkFaultPlan::omit_all) /
+    /// [`delay`](LinkFaultPlan::delay) /
+    /// [`delay_all`](LinkFaultPlan::delay_all), used to rebuild a plan
+    /// from its serialized rules.
+    #[must_use]
+    pub fn with_rule(mut self, rule: LinkFaultRule) -> Self {
+        self.rules.push(LinkRule {
+            from: rule.from,
+            to: rule.to,
+            omit: rule.omit,
+            delay: rule.delay,
+        });
+        self
     }
 
     /// The largest delay any rule sets (0 for a clean plan).

@@ -72,8 +72,8 @@ mod trace;
 
 pub use delivery::{DeliveryMatrix, RoundDelivery};
 pub use faults::{
-    CompiledLinkFaults, DirectedAdjacency, DisconnectionPolicy, LinkFaultPlan, RealizedSchedule,
-    TopologySchedule,
+    CompiledLinkFaults, DirectedAdjacency, DisconnectionPolicy, LinkFaultPlan, LinkFaultRule,
+    RealizedSchedule, TopologySchedule,
 };
 pub use network::SyncNetwork;
 pub use outbox::Outbox;

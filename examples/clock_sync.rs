@@ -11,6 +11,9 @@
 //! The example compares the default MSR instance with the non-MSR median
 //! baseline under identical adversaries (Buhrman's model, n > 3f).
 //!
+//! A committed scenario file reproduces the headline run of this example:
+//! `mbaa run scenarios/clock-sync.scenario.json` (see `docs/gallery.md`).
+//!
 //! Run with:
 //!
 //! ```text

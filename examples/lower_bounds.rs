@@ -2,6 +2,9 @@
 //! processes, the three executions E1/E2/E3 make every deterministic voting
 //! rule violate Simple Approximate Agreement.
 //!
+//! A committed scenario file reproduces the headline run of this example:
+//! `mbaa run scenarios/lower-bounds.scenario.json` (see `docs/gallery.md`).
+//!
 //! Run with:
 //!
 //! ```text

@@ -19,6 +19,9 @@
 //! sits in between. A lossy-fabric row (per-link omission faults on every
 //! link) shows the link-fault axis composing with the same machinery.
 //!
+//! A committed scenario file reproduces the headline run of this example:
+//! `mbaa run scenarios/mobile-network.scenario.json` (see `docs/gallery.md`).
+//!
 //! Run with:
 //!
 //! ```text

@@ -3,6 +3,9 @@
 //! DESIGN.md), in one run — every section driven through the [`Scenario`]
 //! API. The output is the source of EXPERIMENTS.md.
 //!
+//! A committed scenario file reproduces the headline run of this example:
+//! `mbaa run scenarios/paper-report-f2.scenario.json` (see `docs/gallery.md`).
+//!
 //! Run with:
 //!
 //! ```text

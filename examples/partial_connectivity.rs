@@ -12,6 +12,9 @@
 //! All `(topology, seed)` pairs run on one shared work-stealing pool
 //! ([`Sweep::stream_with`]), with a progress line per completed point.
 //!
+//! A committed scenario file reproduces the headline run of this example:
+//! `mbaa run scenarios/partial-connectivity.scenario.json` (see `docs/gallery.md`).
+//!
 //! Run with:
 //!
 //! ```text

@@ -2,6 +2,9 @@
 //! Byzantine agents hop between them — described as one [`Scenario`],
 //! executed once with a single seed, then over a parallel seed batch.
 //!
+//! A committed scenario file reproduces the headline run of this example:
+//! `mbaa run scenarios/quickstart.scenario.json` (see `docs/gallery.md`).
+//!
 //! Run with:
 //!
 //! ```text

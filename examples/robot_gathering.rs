@@ -7,6 +7,9 @@
 //! position difference (the robots have a physical size), which is exactly
 //! ε-agreement, and that faults are naturally mobile.
 //!
+//! A committed scenario file reproduces the headline run of this example:
+//! `mbaa run scenarios/robot-gathering.scenario.json` (see `docs/gallery.md`).
+//!
 //! Run with:
 //!
 //! ```text

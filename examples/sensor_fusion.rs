@@ -6,6 +6,9 @@
 //! gathering environmental data does not require perfect agreement, but the
 //! perturbed sensors may report arbitrary values and the perturbation moves.
 //!
+//! A committed scenario file reproduces the headline run of this example:
+//! `mbaa run scenarios/sensor-fusion.scenario.json` (see `docs/gallery.md`).
+//!
 //! Run with:
 //!
 //! ```text

@@ -7,6 +7,9 @@
 //! worst-case adversary and classifying what each faulty / cured sender
 //! actually delivered to each receiver.
 //!
+//! A committed scenario file reproduces the headline run of this example:
+//! `mbaa run scenarios/table1-mapping.scenario.json` (see `docs/gallery.md`).
+//!
 //! Run with:
 //!
 //! ```text

@@ -2,6 +2,9 @@
 //! Byzantine model requires, and locates the empirical success threshold by
 //! sweeping `n` under a worst-case adversary.
 //!
+//! A committed scenario file reproduces the headline run of this example:
+//! `mbaa run scenarios/table2-thresholds.scenario.json` (see `docs/gallery.md`).
+//!
 //! Run with:
 //!
 //! ```text

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Check that relative Markdown links in the repository's docs resolve.
+
+Usage: check_links.py [FILE_OR_DIR ...]   (default: docs/ plus the
+top-level README.md, ROADMAP.md, CHANGES.md if present)
+
+Every inline link or image `[text](target)` whose target is not an
+absolute URL (`http://`, `https://`, `mailto:`) is resolved relative to
+the file containing it; a target that does not exist on disk is an
+error. Pure-fragment links (`#section`) are accepted without checking
+the heading, and a `path#fragment` target is checked for the path part
+only. Angle-bracketed autolinks and code spans are ignored.
+
+Exit code: 0 when every link resolves, 1 otherwise (one line per broken
+link, `file:line: target`).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images. Deliberately simple: no nesting, no titles —
+# matching the style the docs actually use.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN = re.compile(r"`[^`]*`")
+FENCE = re.compile(r"^(```|~~~)")
+
+
+def iter_markdown(paths):
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        elif path.suffix == ".md" and path.exists():
+            yield path
+
+
+def check_file(path: Path) -> list:
+    broken = []
+    in_fence = False
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(CODE_SPAN.sub("``", line)):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not (path.parent / file_part).exists():
+                broken.append(f"{path}:{number}: {target}")
+    return broken
+
+
+def main(argv) -> int:
+    roots = argv or [
+        p for p in ("docs", "README.md", "ROADMAP.md", "CHANGES.md") if Path(p).exists()
+    ]
+    broken = []
+    checked = 0
+    for path in iter_markdown(roots):
+        checked += 1
+        broken.extend(check_file(path))
+    for line in broken:
+        print(line)
+    print(f"{checked} file(s) checked, {len(broken)} broken link(s)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
