@@ -70,6 +70,7 @@ impl RoundFaultPlan {
             .chain(self.poisoned_outboxes.iter_mut())
         {
             if let Some(outbox) = slot.take() {
+                // mbaa: allow(hot-path/vec-growth, the pool is drained and refilled with the same <= 2f outboxes each round)
                 pool.push(outbox);
             }
         }

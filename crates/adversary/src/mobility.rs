@@ -110,6 +110,7 @@ impl MobilityStrategy {
         // temporary buffer.
         let sort_by_vote = |order: &mut Vec<usize>| {
             order.clear();
+            // mbaa: allow(hot-path/vec-growth, refills the cleared sort scratch to the fixed universe size n)
             order.extend(0..n);
             order.sort_unstable_by(|&a, &b| view.votes[a].cmp(&view.votes[b]).then(a.cmp(&b)));
         };

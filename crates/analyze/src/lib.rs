@@ -8,7 +8,7 @@
 //! `tests/scenario_api.rs` and `tests/alloc_regression.rs`; this crate
 //! enforces them *statically*, at the source level, before a single run
 //! executes. It is a hand-rolled lexer (the container is offline, so no
-//! `syn`) feeding five token-level lints:
+//! `syn`) feeding six token-level lints:
 //!
 //! | lint | scope | forbids |
 //! |------|-------|---------|
@@ -16,6 +16,7 @@
 //! | `determinism/wall-clock` | everywhere but `crates/bench` | `Instant`/`SystemTime` |
 //! | `determinism/ambient-rng` | everywhere | `thread_rng`/`OsRng`/`from_entropy` |
 //! | `hot-path/allocation` | `mbaa: alloc-free` regions | `Vec::new`, `vec![]`, `.to_vec()`, `.clone()`, `.collect()`, `format!`, `Box::new`, `String::from`, … |
+//! | `hot-path/vec-growth` | `mbaa: alloc-free` regions | `.push()`, `.extend()`, `.resize()`, … — growth that reallocates once the capacity bound breaks |
 //! | `determinism/stable-sort` | result-affecting crates | `.sort()`/`.sort_by()` and `partial_cmp(..).unwrap()` |
 //!
 //! The *result-affecting crates* are `types`, `msr`, `net`, `adversary`,

@@ -10,6 +10,7 @@ mod allocation;
 mod ambient_rng;
 mod hash_collections;
 mod stable_sort;
+mod vec_growth;
 mod wall_clock;
 
 use crate::diagnostics::{Diagnostic, Severity, Suppressed};
@@ -60,6 +61,15 @@ pub const ALLOCATION: LintSpec = LintSpec {
               zero-allocation steady state",
 };
 
+/// `hot-path/vec-growth` — unsized container growth inside `mbaa: alloc-free` regions.
+pub const VEC_GROWTH: LintSpec = LintSpec {
+    name: "hot-path/vec-growth",
+    severity: Severity::Error,
+    summary: "push/extend growth inside `mbaa: alloc-free` regions can \
+              reallocate when the capacity bound breaks; write into \
+              pre-sized buffers by index",
+};
+
 /// `determinism/stable-sort` — stable sorts and non-total float comparators.
 pub const STABLE_SORT: LintSpec = LintSpec {
     name: "determinism/stable-sort",
@@ -84,6 +94,7 @@ pub const LINTS: &[LintSpec] = &[
     WALL_CLOCK,
     AMBIENT_RNG,
     ALLOCATION,
+    VEC_GROWTH,
     STABLE_SORT,
     BAD_DIRECTIVE,
 ];
@@ -211,6 +222,7 @@ pub fn analyze_tokens(ctx: &FileContext, tokens: &[Token]) -> (Vec<Diagnostic>, 
     wall_clock::run(ctx, &code, &mut findings);
     ambient_rng::run(ctx, &code, &mut findings);
     allocation::run(ctx, &code, &regions, &mut findings);
+    vec_growth::run(ctx, &code, &regions, &mut findings);
     stable_sort::run(ctx, &code, &mut findings);
 
     // Report in source order regardless of which lint found what.

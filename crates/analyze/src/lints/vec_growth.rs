@@ -1,0 +1,67 @@
+//! `hot-path/vec-growth`: unsized container growth is forbidden inside
+//! `mbaa: alloc-free` regions.
+//!
+//! `hot-path/allocation` catches idioms that *always* allocate
+//! (`Vec::new`, `.to_vec()`, `format!`, …). Growth methods are sneakier:
+//! `.push()` or `.extend()` on a warm, pre-sized buffer is free *almost*
+//! every call — until the one call that outgrows the capacity and
+//! reallocates mid-round. The counting allocator in
+//! `tests/alloc_regression.rs` only notices if the doubling happens under
+//! its measured window, so a buffer sized for the tested `n` can hide a
+//! latent reallocation at a larger one. This lint flags the growth call
+//! itself: inside an `mbaa: alloc-free` region, every `.push()` /
+//! `.extend()` / `.resize()` must either be replaced by indexed writes
+//! into a pre-sized buffer or carry an explicit
+//! `mbaa: allow(hot-path/vec-growth, reason)` stating why the capacity
+//! bound holds.
+//!
+//! Flagged methods: `.push()`, `.extend()`, `.extend_from_slice()`,
+//! `.append()`, `.resize()`, `.push_back()`, and `.push_front()`.
+//! `.insert()` is deliberately *not* flagged — in this workspace it is
+//! overwhelmingly `ProcessSet` (a fixed-width bitset) and map inserts,
+//! which do not grow a Vec; the allocating cases are already covered by
+//! `hot-path/allocation` when they materialize new storage.
+
+use super::{
+    finding, is_ident_kind, preceded_by_dot, AllocFreeRegion, FileContext, Finding, VEC_GROWTH,
+};
+use crate::lexer::Token;
+
+const GROWTH_METHODS: &[&str] = &[
+    "push",
+    "extend",
+    "extend_from_slice",
+    "append",
+    "resize",
+    "push_back",
+    "push_front",
+];
+
+pub(crate) fn run(
+    _ctx: &FileContext,
+    code: &[&Token],
+    regions: &[AllocFreeRegion],
+    out: &mut Vec<Finding>,
+) {
+    if regions.is_empty() {
+        return;
+    }
+    for (i, token) in code.iter().enumerate() {
+        if !is_ident_kind(token) || !regions.iter().any(|r| r.contains(i)) {
+            continue;
+        }
+        let text = token.text.as_str();
+        if preceded_by_dot(code, i) && GROWTH_METHODS.contains(&text) {
+            out.push(finding(
+                VEC_GROWTH,
+                token,
+                format!(
+                    "`.{text}()` grows a buffer inside an `mbaa: alloc-free` region and can \
+                     reallocate when the capacity bound breaks at a larger n; write into a \
+                     pre-sized buffer by index, or waive a provably bounded site with \
+                     `mbaa: allow(hot-path/vec-growth, reason)`"
+                ),
+            ));
+        }
+    }
+}

@@ -16,6 +16,7 @@ const WALL_CLOCK: &str = include_str!("fixtures/wall_clock.rs");
 const AMBIENT_RNG: &str = include_str!("fixtures/ambient_rng.rs");
 const ALLOC_FREE: &str = include_str!("fixtures/alloc_free.rs");
 const ALLOC_FREE_MODULE: &str = include_str!("fixtures/alloc_free_module.rs");
+const VEC_GROWTH: &str = include_str!("fixtures/vec_growth.rs");
 const STABLE_SORT: &str = include_str!("fixtures/stable_sort.rs");
 const BAD_DIRECTIVES: &str = include_str!("fixtures/bad_directives.rs");
 
@@ -134,11 +135,60 @@ fn alloc_free_region_scopes_the_allocation_lint() {
 }
 
 #[test]
+fn vec_growth_fires_only_inside_alloc_free_regions() {
+    let report = analyze_at("crates/core/src/fixture.rs", VEC_GROWTH);
+    // Only the two growth calls inside the marked region fire; the
+    // pre-region setup and post-region fn grow freely, and the BTreeSet
+    // insert inside the region is not Vec growth.
+    assert_eq!(
+        lints_and_lines(&report),
+        vec![("hot-path/vec-growth", 13), ("hot-path/vec-growth", 14)],
+        "{}",
+        report.to_text()
+    );
+    // `    xs.push(7);` — the method name starts at col 8.
+    assert_eq!(
+        (report.diagnostics[0].line, report.diagnostics[0].col),
+        (13, 8)
+    );
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].lint, "hot-path/vec-growth");
+    assert_eq!(report.suppressed[0].line, 16);
+    assert!(report.suppressed[0].reason.contains("waiver syntax"));
+}
+
+#[test]
+fn vec_growth_waivers_do_not_leak_across_lints() {
+    // An allocation waiver on the line above must not suppress a
+    // vec-growth finding on the same call, and vice versa — waivers are
+    // matched per lint name.
+    let source = concat!(
+        "// mbaa: alloc-free\n",
+        "fn hot(xs: &mut Vec<u64>, ys: &[u64]) {\n",
+        "    // mbaa: allow(hot-path/allocation, wrong lint on purpose)\n",
+        "    xs.extend(ys.iter().copied());\n",
+        "}\n",
+    );
+    let report = analyze_at("crates/core/src/fixture.rs", source);
+    assert_eq!(
+        lints_and_lines(&report),
+        vec![("hot-path/vec-growth", 4)],
+        "{}",
+        report.to_text()
+    );
+    assert!(report.suppressed.is_empty());
+}
+
+#[test]
 fn module_level_alloc_free_marker_covers_the_whole_file() {
     let report = analyze_at("crates/analyze/src/fixture.rs", ALLOC_FREE_MODULE);
     assert_eq!(
         lints_and_lines(&report),
-        vec![("hot-path/allocation", 5), ("hot-path/allocation", 6)],
+        vec![
+            ("hot-path/allocation", 5),
+            ("hot-path/allocation", 6),
+            ("hot-path/vec-growth", 7),
+        ],
         "{}",
         report.to_text()
     );
@@ -215,7 +265,7 @@ fn shipped_tree_is_lint_clean() {
 
 /// Seeds one deliberate violation of each lint into a throwaway tree laid
 /// out like a result-affecting crate, then checks the binary exits non-zero
-/// with `file:line:col` diagnostics for all five.
+/// with `file:line:col` diagnostics for all of them.
 #[test]
 fn binary_fails_on_seeded_violations_of_every_lint() {
     let dir = temp_tree("seeded");
@@ -228,6 +278,8 @@ fn binary_fails_on_seeded_violations_of_every_lint() {
         "fn s(xs: &mut Vec<u64>) { xs.sort(); }\n",
         "// mbaa: alloc-free\n",
         "fn hot(xs: &[u64]) -> Vec<u64> { xs.to_vec() }\n",
+        "// mbaa: alloc-free\n",
+        "fn grow(xs: &mut Vec<u64>) { xs.push(1); }\n",
     );
     std::fs::write(bad.join("bad.rs"), source).expect("write fixture");
 
@@ -240,6 +292,7 @@ fn binary_fails_on_seeded_violations_of_every_lint() {
         "determinism/ambient-rng",
         "determinism/stable-sort",
         "hot-path/allocation",
+        "hot-path/vec-growth",
     ] {
         assert!(stdout.contains(lint), "missing {lint} in:\n{stdout}");
     }

@@ -1,0 +1,25 @@
+//! Fixture: hot-path/vec-growth — growth calls inside the marked region,
+//! one suppressed, plus growth outside the region and non-growth inserts
+//! inside it that must NOT fire.
+
+fn setup_may_grow(n: usize) -> Vec<u32> {
+    let mut v = Vec::with_capacity(n);
+    v.extend(0..n as u32);
+    v
+}
+
+// mbaa: alloc-free
+fn hot_loop(xs: &mut Vec<u32>, scratch: &mut Vec<u32>, ys: &[u32]) {
+    xs.push(7);
+    scratch.extend_from_slice(ys);
+    // mbaa: allow(hot-path/vec-growth, fixture demonstrating the waiver syntax)
+    scratch.push(9);
+    // A bitset/map insert is not Vec growth and stays unflagged.
+    let mut seen = std::collections::BTreeSet::new();
+    seen.insert(3u32);
+}
+
+fn after_the_region_grows_freely(out: &mut Vec<u32>) {
+    out.push(1);
+    out.extend([2, 3]);
+}

@@ -1,0 +1,99 @@
+//! Experiment **P3**: seed-batched engine throughput — aggregate rounds
+//! per second when k seeds of one scenario point advance in lockstep
+//! through the structure-of-arrays `BatchEngine`.
+//!
+//! The grid is n ∈ {16, 64, 256} × k ∈ {1, 8, 32}. The k = 1 column is the
+//! baseline: a single-lane batch degenerates to the scalar engine inside
+//! `BatchEngine::run`, so the k = 8 / k = 32 rows measure exactly what the
+//! SoA round loop buys (shared classification, one sort scratch, the
+//! k-wide MSR fold) over running the same seeds one engine at a time.
+//! Throughput is *aggregate*: total rounds summed over all lanes divided
+//! by wall time, so perfect lane-sharing shows up as a multiple of the
+//! k = 1 row rather than parity with it.
+//!
+//! Emits machine-readable `batch_rounds_per_sec/{n}/{k}` metric rows (unit
+//! `rounds/s`) into `BENCH_engine_batch.json` via the criterion shim's
+//! `MBAA_BENCH_JSON` hook; CI's bench-diff step compares the rows across
+//! commits, so a batching regression shows up as a drop in rounds/sec.
+//!
+//! Run with `cargo bench -p mbaa-bench --bench engine_batch`. The
+//! `MBAA_BENCH_SAMPLES` environment variable overrides the per-point run
+//! count (CI smoke mode).
+
+use std::time::Instant;
+
+use criterion::{record_metric, write_json_report};
+
+use mbaa::{BatchEngine, BatchLane, MobileModel, Observe, ProtocolConfig};
+use mbaa_bench::spread_inputs;
+
+/// Timed batch executions per measured point (n = 256 is ~15× costlier
+/// per round, so it gets fewer).
+fn repetitions(n: usize) -> usize {
+    let base = if n >= 256 { 20 } else { 200 };
+    std::env::var("MBAA_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(base, |samples| samples.max(1))
+}
+
+fn measure(n: usize, k: usize) {
+    let config = ProtocolConfig::builder(MobileModel::Garay, n, 2)
+        .epsilon(1e-12)
+        .max_rounds(200)
+        .seed(7)
+        .observe(Observe::Summary)
+        .build()
+        .expect("config");
+    let engine = BatchEngine::new(config);
+    // Distinct seeds per lane, shared inputs: the adversary streams
+    // diverge, the workload does not — the sweep-chunk shape.
+    let lanes: Vec<BatchLane> = (0..k as u64)
+        .map(|seed| BatchLane {
+            seed: seed + 1,
+            inputs: spread_inputs(n),
+        })
+        .collect();
+
+    // Warm-up: fault the pages, fill the allocator pools.
+    let mut rounds_per_batch = 0usize;
+    for _ in 0..2 {
+        rounds_per_batch = engine
+            .run(&lanes)
+            .into_iter()
+            .map(|outcome| outcome.expect("run").rounds_executed)
+            .sum();
+    }
+
+    let reps = repetitions(n);
+    let start = Instant::now();
+    let mut total_rounds = 0usize;
+    for _ in 0..reps {
+        total_rounds += engine
+            .run(&lanes)
+            .into_iter()
+            .map(|outcome| outcome.expect("run").rounds_executed)
+            .sum::<usize>();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let rounds_per_sec = total_rounds as f64 / elapsed;
+    println!(
+        "engine_batch n={n} k={k}: {rounds_per_batch} rounds/batch, \
+         {rounds_per_sec:.0} aggregate rounds/sec ({reps} batches)"
+    );
+    record_metric(
+        "engine_batch",
+        &format!("batch_rounds_per_sec/{n}/{k}"),
+        rounds_per_sec,
+        "rounds/s",
+    );
+}
+
+fn main() {
+    for &n in &[16usize, 64, 256] {
+        for &k in &[1usize, 8, 32] {
+            measure(n, k);
+        }
+    }
+    write_json_report();
+}

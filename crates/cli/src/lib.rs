@@ -13,7 +13,7 @@
 //! | `merge` | assemble a completed checkpoint directory into one report |
 //! | `validate` | parse scenario files, reporting `line:col`-anchored errors |
 //! | `explain` | show how a file expands: bounds, points, seeds |
-//! | `gallery` | list the committed reproduction scenarios |
+//! | `gallery` | list the committed reproduction scenarios; `--run` re-executes each one |
 //!
 //! Exit codes: `0` success, `1` execution or validation failure, `2`
 //! usage error. All output is deterministic — tables and reports depend
@@ -64,6 +64,10 @@ COMMANDS:
     validate <file>...   Parse scenario files; errors carry line:col
     explain <file>   Show how a file expands: bounds, points, seeds
     gallery [dir]    List committed scenarios (default dir: scenarios)
+                       --run           execute each scenario after listing it
+                       --smoke         with --run: trim each point to 2 seeds
+                       --workers <n>   with --run: cap worker threads
+                       --out <dir>     with --run: write <dir>/<name>.report.json per scenario
     help             Show this message
 
 EXIT CODES:
@@ -128,6 +132,7 @@ struct Opts {
     chunk_size: Option<usize>,
     chunks: Option<(usize, usize)>,
     smoke: bool,
+    run: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
@@ -139,6 +144,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
         chunk_size: None,
         chunks: None,
         smoke: false,
+        run: false,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -175,6 +181,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                 opts.chunks = Some((a, b));
             }
             "--smoke" => opts.smoke = true,
+            "--run" => opts.run = true,
             flag if flag.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag {flag}")));
             }
@@ -279,6 +286,30 @@ fn write_report(
 // run
 // ---------------------------------------------------------------------------
 
+/// The labelled scenario points of a plan, as `print_point_table` and
+/// `write_report` consume them.
+type LabelledPoints = Vec<(String, Scenario)>;
+
+/// Executes every point of `doc` and returns the labelled points with one
+/// report row each. One plan with a single all-covering chunk per point
+/// keeps `run`, `gallery --run`, and `sweep` on the same execution path —
+/// that shared path is what makes their reports byte-identical.
+fn execute_doc(
+    doc: &ScenarioFile,
+    workers: Option<usize>,
+) -> Result<(LabelledPoints, Vec<ReportPoint>), CliError> {
+    let plan = SweepPlan::new(doc, doc.seeds.seeds().len().max(1));
+    let mut rows = Vec::with_capacity(plan.points.len());
+    for (index, (label, _)) in plan.points.iter().enumerate() {
+        let entries = checkpoint::execute_chunk(&plan, index, workers)?;
+        rows.push(ReportPoint {
+            label: label.clone(),
+            runs: entries.into_iter().map(|e| e.summary).collect(),
+        });
+    }
+    Ok((plan.points, rows))
+}
+
 fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let opts = parse_opts(args)?;
     let path = one_positional(&opts, "scenario file")?;
@@ -286,21 +317,10 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     if opts.smoke {
         doc = apply_smoke(&doc);
     }
-    // One plan with a single all-covering chunk per point keeps `run`
-    // and `sweep` on the same execution path — that shared path is what
-    // makes their reports byte-identical.
-    let plan = SweepPlan::new(&doc, doc.seeds.seeds().len().max(1));
-    let mut rows = Vec::with_capacity(plan.points.len());
-    for (index, (label, _)) in plan.points.iter().enumerate() {
-        let entries = checkpoint::execute_chunk(&plan, index, opts.workers)?;
-        rows.push(ReportPoint {
-            label: label.clone(),
-            runs: entries.into_iter().map(|e| e.summary).collect(),
-        });
-    }
-    print_point_table(&plan.points, &rows);
+    let (points, rows) = execute_doc(&doc, opts.workers)?;
+    print_point_table(&points, &rows);
     if opts.out.is_some() {
-        write_report(&doc, &plan.points, &rows, opts.out.as_deref())?;
+        write_report(&doc, &points, &rows, opts.out.as_deref())?;
     }
     Ok(())
 }
@@ -532,6 +552,11 @@ fn cmd_explain(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_gallery(args: &[String]) -> Result<(), CliError> {
     let opts = parse_opts(args)?;
+    if !opts.run && (opts.smoke || opts.workers.is_some() || opts.out.is_some()) {
+        return Err(CliError::Usage(
+            "--smoke/--workers/--out only make sense with gallery --run".to_string(),
+        ));
+    }
     let dir = match opts.positional.as_slice() {
         [] => PathBuf::from("scenarios"),
         [one] => PathBuf::from(one),
@@ -562,8 +587,12 @@ fn cmd_gallery(args: &[String]) -> Result<(), CliError> {
         paths.len(),
         dir.display()
     );
+    if let Some(out_dir) = opts.out.as_deref() {
+        fs::create_dir_all(out_dir)
+            .map_err(|e| CliError::Failure(format!("{}: {e}", out_dir.display())))?;
+    }
     for path in &paths {
-        let doc = load_doc(path)?;
+        let mut doc = load_doc(path)?;
         let points = doc.points();
         let seeds = doc.seeds.seeds().len();
         println!();
@@ -580,6 +609,22 @@ fn cmd_gallery(args: &[String]) -> Result<(), CliError> {
             seeds,
             path.display()
         );
+        if opts.run {
+            // `gallery --run` regenerates every committed scenario's
+            // results through the exact per-file execution path of
+            // `mbaa run`, so a CI pass is one invocation instead of a
+            // shell loop and the reports stay byte-identical to it.
+            if opts.smoke {
+                doc = apply_smoke(&doc);
+            }
+            let (run_points, rows) = execute_doc(&doc, opts.workers)?;
+            println!();
+            print_point_table(&run_points, &rows);
+            if let Some(out_dir) = opts.out.as_deref() {
+                let report_path = out_dir.join(format!("{}.report.json", doc.name));
+                write_report(&doc, &run_points, &rows, Some(&report_path))?;
+            }
+        }
     }
     Ok(())
 }

@@ -157,6 +157,64 @@ fn gallery_lists_committed_scenarios() {
 }
 
 #[test]
+fn gallery_run_executes_and_writes_reports_identical_to_run() {
+    // `gallery --run` must share `run`'s execution path exactly: the
+    // report it writes for a scenario is byte-identical to `mbaa run
+    // --out` over the same (smoke-trimmed) file.
+    let dir = scratch("gallery_run");
+    let file = dir.join("sweep.scenario.json");
+    fs::write(&file, SWEEP_DOC).unwrap();
+    let reports = dir.join("reports");
+    let out = mbaa(
+        &[
+            "gallery",
+            dir.to_str().unwrap(),
+            "--run",
+            "--smoke",
+            "--workers",
+            "2",
+            "--out",
+            reports.to_str().unwrap(),
+        ],
+        &dir,
+    );
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("mean rounds"), "point table missing:\n{text}");
+
+    let direct = dir.join("direct.json");
+    let run = mbaa(
+        &[
+            "run",
+            file.to_str().unwrap(),
+            "--smoke",
+            "--out",
+            direct.to_str().unwrap(),
+        ],
+        &dir,
+    );
+    assert_eq!(run.status.code(), Some(0), "stderr: {}", stderr(&run));
+    let written: Vec<_> = fs::read_dir(&reports)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(written.len(), 1, "one report per scenario: {written:?}");
+    assert_eq!(
+        fs::read_to_string(&written[0]).unwrap(),
+        fs::read_to_string(&direct).unwrap(),
+        "gallery --run report must be byte-identical to mbaa run --out"
+    );
+}
+
+#[test]
+fn gallery_rejects_run_flags_without_run() {
+    let root = repo_root();
+    let out = mbaa(&["gallery", "scenarios", "--smoke"], &root);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--run"));
+}
+
+#[test]
 fn committed_gallery_runs_in_smoke_mode() {
     // Every committed scenario must stay executable; the cheapest one
     // proves the plumbing here, CI runs the full set.

@@ -1,0 +1,773 @@
+//! The seed-batched engine: k seeds of one scenario point advanced in
+//! lockstep through a single round loop.
+//!
+//! A sweep evaluates the *same* [`ProtocolConfig`] under many seeds, and
+//! the scalar [`MobileEngine`] pays the full per-round machinery — fault
+//! planning, outbox construction, an `n × n` exchange, and `n` sorts — once
+//! per seed per round. [`BatchEngine`] amortizes that work across a batch
+//! of seeds ("lanes") by advancing every lane through round `r` before any
+//! lane sees round `r + 1`.
+//!
+//! # Structure-of-arrays layout
+//!
+//! Per-process state is stored **lane-major** in flat arrays: lane `l`'s
+//! votes occupy `votes[l * n .. (l + 1) * n]`, and likewise for the fault
+//! states. Per-lane control state (the adversary with its RNG stream, the
+//! convergence report, the traffic statistics) lives in one flat `Vec` of
+//! lane records. All lanes share a single round scratch — one
+//! [`RoundFaultPlan`], one outbox array, one delivery matrix, one sort
+//! buffer — because the scratch is fully overwritten per lane per round;
+//! only the RNG streams and the accumulated per-lane results differ.
+//!
+//! On the **complete-topology fast path** (no schedule, clean link-fault
+//! plan — the configuration every paper table sweeps) the engine never
+//! materializes outboxes or delivery rows for well-behaved senders at all:
+//! each round classifies senders into *broadcasters* (one shared, sorted
+//! value buffer per lane-round), *silent* processes, and at most `2f`
+//! *special* senders with genuinely per-receiver outboxes. Each receiver's
+//! multiset is then the sorted common buffer merged with its few special
+//! slots, and the k-wide [`mbaa_msr::MsrFunction::apply_sorted_lanes`] folds
+//! `mean(Sel(Red(N)))` over all receivers of a lane in one pass. This
+//! replaces `n` sorts and `2 n²` slot writes per lane-round with one sort
+//! and `n` linear merges.
+//!
+//! # Batch vs. scalar selection
+//!
+//! The batch path is a pure execution strategy: per-seed outcomes are
+//! **bit-identical** to running [`MobileEngine`] once per seed, for every
+//! model, adversary, topology, schedule, and link-fault plan (enforced by
+//! the `batch_engine` equivalence battery). The simulation layer
+//! (`mbaa_sim::run_experiment`) routes a point through [`BatchEngine`]
+//! whenever it has ≥ 2 seeds at [`Observe::Summary`](crate::Observe); runs
+//! that record snapshots or traces (`Observe::Snapshots` / `Full`) and
+//! single-seed batches delegate to the scalar engine lane by lane, so
+//! observability is never silently degraded. [`BatchEngine::run`] applies
+//! the same rule internally, which makes it total: any configuration can
+//! be handed to it.
+
+use mbaa_adversary::{AdversaryView, MobileAdversary, RoundFaultPlan};
+use mbaa_msr::ConvergenceReport;
+use mbaa_net::{NetworkStats, NetworkTrace, Outbox, SyncNetwork, Topology, TopologySchedule};
+use mbaa_types::{
+    Error, FaultState, Interval, MobileModel, ProcessId, Result, Round, Value, ValueMultiset,
+};
+
+use crate::engine::{fill_outbox, non_faulty_diameter, RoundScratch};
+use crate::{MobileEngine, MobileRunOutcome, Observe, ProtocolConfig};
+
+/// One lane of a batch: a seed and the initial values it starts from.
+///
+/// The seed replaces [`ProtocolConfig::seed`] for this lane — it drives the
+/// lane's adversary stream and, where the topology or schedule is
+/// randomized, the lane's graph realization, exactly as it would in a
+/// scalar run of the re-seeded configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchLane {
+    /// The lane's seed.
+    pub seed: u64,
+    /// The lane's initial values (one per process).
+    pub inputs: Vec<Value>,
+}
+
+/// Per-lane control state: everything that is *not* shared across lanes.
+struct LaneState {
+    adversary: MobileAdversary,
+    /// The lane's network on the general path; `None` on the fast path,
+    /// where no exchange machinery exists and `stats` is accounted
+    /// directly.
+    network: Option<SyncNetwork>,
+    stats: NetworkStats,
+    validity_envelope: Option<Interval>,
+    report: Option<ConvergenceReport>,
+    reached: bool,
+    rounds_executed: usize,
+    error: Option<Error>,
+    done: bool,
+}
+
+/// Advances k seeds of one scenario point in lockstep. See the
+/// [module documentation](crate::batch) for the layout and the selection
+/// rule; per-seed results are bit-identical to the scalar
+/// [`MobileEngine`].
+#[derive(Debug)]
+pub struct BatchEngine {
+    config: ProtocolConfig,
+}
+
+impl BatchEngine {
+    /// Creates a batch engine for a validated configuration. The
+    /// configuration's own `seed` is ignored — each [`BatchLane`] carries
+    /// its own.
+    #[must_use]
+    pub fn new(config: ProtocolConfig) -> Self {
+        BatchEngine { config }
+    }
+
+    /// The configuration this engine runs (its `seed` field is unused).
+    #[must_use]
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    /// Runs every lane to completion, returning one result per lane in
+    /// lane order. Each lane's result — outcome or error — is exactly what
+    /// a scalar [`MobileEngine`] run of the lane-seeded configuration
+    /// would produce.
+    ///
+    /// Batches below two lanes and configurations observing more than
+    /// [`Observe::Summary`] delegate to the scalar engine lane by lane
+    /// (recording per-round snapshots or traces per lane in a batched
+    /// loop would forfeit the shared scratch with no throughput win).
+    #[must_use]
+    pub fn run(&self, lanes: &[BatchLane]) -> Vec<Result<MobileRunOutcome>> {
+        if self.config.observe != Observe::Summary || lanes.len() < 2 {
+            return lanes
+                .iter()
+                .map(|lane| MobileEngine::new(self.lane_config(lane.seed)).run(&lane.inputs))
+                .collect();
+        }
+        let fast = self.config.schedule.is_none()
+            && self.config.link_faults.is_clean()
+            && matches!(self.config.topology, Topology::Complete);
+        if fast {
+            self.run_fast(lanes)
+        } else {
+            self.run_general(lanes)
+        }
+    }
+
+    /// The lane-seeded scalar configuration: what the batch run must be
+    /// bit-identical to.
+    fn lane_config(&self, seed: u64) -> ProtocolConfig {
+        let mut config = self.config.clone();
+        config.seed = seed;
+        config
+    }
+
+    /// Initializes the SoA state shared by both batch paths: lane-major
+    /// flat `votes` / `states` arrays and one control record per lane.
+    /// Lanes with the wrong input count are born `done` with their scalar
+    /// error; their state slices stay untouched placeholders.
+    fn init_lanes(
+        &self,
+        lanes: &[BatchLane],
+        build_network: bool,
+    ) -> (Vec<Value>, Vec<FaultState>, Vec<LaneState>) {
+        let cfg = &self.config;
+        let n = cfg.n;
+        let mut votes = vec![Value::new(0.0); lanes.len() * n];
+        let states = vec![FaultState::Correct; lanes.len() * n];
+        let mut lane_states = Vec::with_capacity(lanes.len());
+        for (l, lane) in lanes.iter().enumerate() {
+            let mut ls = LaneState {
+                adversary: MobileAdversary::new(
+                    cfg.model,
+                    n,
+                    cfg.f,
+                    cfg.mobility,
+                    cfg.corruption,
+                    lane.seed,
+                ),
+                network: None,
+                stats: NetworkStats::new(),
+                validity_envelope: None,
+                report: None,
+                reached: false,
+                rounds_executed: 0,
+                error: None,
+                done: false,
+            };
+            if lane.inputs.len() != n {
+                ls.error = Some(Error::WrongInputCount {
+                    provided: lane.inputs.len(),
+                    expected: n,
+                });
+                ls.done = true;
+            } else {
+                votes[l * n..(l + 1) * n].copy_from_slice(&lane.inputs);
+                if build_network {
+                    match self.lane_network(lane.seed) {
+                        Ok(network) => ls.network = Some(network),
+                        Err(e) => {
+                            ls.error = Some(e);
+                            ls.done = true;
+                        }
+                    }
+                }
+            }
+            lane_states.push(ls);
+        }
+        (votes, states, lane_states)
+    }
+
+    /// Builds one lane's network exactly as the scalar engine would for
+    /// the lane-seeded configuration. Graph realization is deterministic
+    /// in `(n, seed)`, so seed-randomized topologies (and every schedule)
+    /// must realize *per lane*, not once per point — only the implicit
+    /// complete graph of the fast path is genuinely seed-free and shared.
+    fn lane_network(&self, seed: u64) -> Result<SyncNetwork> {
+        let cfg = &self.config;
+        let n = cfg.n;
+        let network = if cfg.schedule.is_none() && cfg.link_faults.is_clean() {
+            match &cfg.topology {
+                Topology::Complete => SyncNetwork::new(n),
+                partial => SyncNetwork::with_topology(partial.realize(n, seed)?),
+            }
+        } else {
+            let schedule = cfg
+                .schedule
+                .clone()
+                .unwrap_or_else(|| TopologySchedule::Static(cfg.topology.clone()));
+            SyncNetwork::with_dynamics(
+                schedule.realize(n, seed)?,
+                &cfg.link_faults,
+                cfg.disconnection,
+                seed,
+            )?
+        };
+        // The batch paths only run at Observe::Summary.
+        Ok(network.with_trace_recording(false))
+    }
+
+    /// The adversary phase of one lane's round, shared by both paths:
+    /// places the agents into the shared plan, applies the corruption left
+    /// on cured processes, tracks fault states, and performs the
+    /// first-round initialization (validity envelope, initial diameter,
+    /// pre-sized report, trivial-agreement early exit). Returns `false`
+    /// when the lane terminated before its send phase.
+    #[allow(clippy::too_many_arguments)]
+    fn begin_lane_round(
+        &self,
+        ls: &mut LaneState,
+        round: Round,
+        votes: &mut [Value],
+        states: &mut [FaultState],
+        plan: &mut RoundFaultPlan,
+        received: &mut ValueMultiset,
+    ) -> bool {
+        let cfg = &self.config;
+        // The adversary sees everything; the "correct range" it reasons
+        // about is the range of the currently non-faulty processes' values
+        // (all values before the first placement).
+        let visible_range = Interval::hull(
+            votes
+                .iter()
+                .zip(&*states)
+                .filter_map(|(v, s)| s.is_non_faulty().then_some(*v)),
+        )
+        .unwrap_or_else(|| Interval::point(votes[0]));
+        let view = AdversaryView {
+            round,
+            votes,
+            correct_range: visible_range,
+        };
+        ls.adversary.begin_round_into(&view, plan);
+
+        // Agents that left a process corrupted the state behind them.
+        for p in plan.cured.iter() {
+            if let Some(corrupted) = plan.corrupted_states[p.index()] {
+                votes[p.index()] = corrupted;
+            }
+        }
+        for (i, state) in states.iter_mut().enumerate() {
+            let p = ProcessId::new(i);
+            *state = if plan.faulty.contains(p) {
+                FaultState::Faulty
+            } else if plan.cured.contains(p) {
+                FaultState::Cured
+            } else {
+                FaultState::Correct
+            };
+        }
+
+        // First round: now that the faulty set is known, freeze the
+        // validity envelope and the initial diameter, and size the report
+        // to the round budget so later records never reallocate.
+        if ls.validity_envelope.is_none() {
+            received.refill(
+                votes
+                    .iter()
+                    .zip(&*states)
+                    .filter_map(|(v, s)| s.is_non_faulty().then_some(*v)),
+            );
+            let envelope = received
+                .range()
+                .expect("at least one process is non-faulty");
+            ls.validity_envelope = Some(envelope);
+            let initial_diameter = received.diameter();
+            if cfg.epsilon.covers_diameter(initial_diameter) {
+                ls.reached = true;
+            }
+            ls.report = Some(ConvergenceReport::with_capacity(
+                initial_diameter,
+                cfg.max_rounds,
+            ));
+            if ls.reached {
+                ls.done = true;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The diameter bookkeeping closing one lane's round, shared by both
+    /// paths.
+    fn finish_lane_round(
+        &self,
+        ls: &mut LaneState,
+        round_idx: usize,
+        votes: &[Value],
+        states: &[FaultState],
+    ) {
+        ls.rounds_executed = round_idx + 1;
+        let diameter = non_faulty_diameter(votes, states);
+        let report = ls
+            .report
+            .as_mut()
+            .expect("report initialised in first round");
+        report.record_round(diameter);
+        ls.reached = self.config.epsilon.covers_diameter(diameter);
+        if ls.reached {
+            ls.done = true;
+        }
+    }
+
+    /// Assembles each lane's outcome exactly as the scalar engine does.
+    fn collect(
+        &self,
+        votes: &[Value],
+        states: &[FaultState],
+        lane_states: Vec<LaneState>,
+    ) -> Vec<Result<MobileRunOutcome>> {
+        let cfg = &self.config;
+        let n = cfg.n;
+        lane_states
+            .into_iter()
+            .enumerate()
+            .map(|(l, mut ls)| {
+                if let Some(error) = ls.error.take() {
+                    return Err(error);
+                }
+                let votes = &votes[l * n..(l + 1) * n];
+                let states = &states[l * n..(l + 1) * n];
+                let validity_envelope = ls.validity_envelope.unwrap_or_else(|| {
+                    Interval::hull(votes.iter().copied()).expect("at least one process")
+                });
+                let report = ls.report.unwrap_or_else(|| {
+                    ConvergenceReport::new(
+                        Interval::hull(votes.iter().copied())
+                            .map(|i| i.diameter())
+                            .unwrap_or(0.0),
+                    )
+                });
+                let (trace, network_stats) = match ls.network {
+                    Some(network) => network.into_parts(),
+                    None => (NetworkTrace::new(), ls.stats),
+                };
+                Ok(MobileRunOutcome {
+                    reached_agreement: ls.reached,
+                    rounds_executed: ls.rounds_executed,
+                    final_votes: votes.to_vec(),
+                    final_states: states.to_vec(),
+                    report,
+                    validity_envelope,
+                    epsilon: cfg.epsilon,
+                    configurations: Vec::new(),
+                    trace,
+                    network_stats,
+                })
+            })
+            .collect()
+    }
+
+    /// The general batch path: every topology, schedule, and link-fault
+    /// plan. Lanes share the round scratch (plan, outboxes, delivery
+    /// matrix, sort buffer) but run the exact statement sequence of the
+    /// scalar loop against their own network and adversary, so per-lane
+    /// results are bit-identical by construction.
+    fn run_general(&self, lanes: &[BatchLane]) -> Vec<Result<MobileRunOutcome>> {
+        let cfg = &self.config;
+        let n = cfg.n;
+        let k = lanes.len();
+        let (mut votes, mut states, mut lane_states) = self.init_lanes(lanes, true);
+        let RoundScratch {
+            mut plan,
+            mut outboxes,
+            mut deliveries,
+            mut received,
+        } = RoundScratch::new(n);
+        let compute_even_if_faulty = cfg.model.agents_move_with_messages();
+
+        // The lockstep round loop: round r of every live lane runs before
+        // round r + 1 of any. Statically allocation-free like the scalar
+        // loop; the first-round initialization inside `begin_lane_round`
+        // carries the same waivers.
+        // mbaa: alloc-free
+        for round_idx in 0..cfg.max_rounds {
+            let mut all_done = true;
+            for l in 0..k {
+                let ls = &mut lane_states[l];
+                if ls.done {
+                    continue;
+                }
+                all_done = false;
+                let round = Round::new(round_idx as u64);
+                let votes_l = &mut votes[l * n..(l + 1) * n];
+                let states_l = &mut states[l * n..(l + 1) * n];
+                if !self.begin_lane_round(ls, round, votes_l, states_l, &mut plan, &mut received) {
+                    continue;
+                }
+
+                // Send phase: rewrite the shared outboxes in place.
+                for (i, outbox) in outboxes.iter_mut().enumerate() {
+                    fill_outbox(cfg.model, outbox, ProcessId::new(i), &plan, votes_l);
+                }
+
+                // Receive phase, into the shared slot matrix. A network
+                // error (e.g. a rejected disconnected round) fails this
+                // lane exactly as it fails a scalar run — other lanes are
+                // unaffected.
+                let network = ls.network.as_mut().expect("general lanes carry a network");
+                if let Err(e) = network.exchange_into(round, &outboxes, &mut deliveries) {
+                    ls.error = Some(e);
+                    ls.done = true;
+                    continue;
+                }
+
+                // Compute phase, identical to the scalar engine.
+                for i in 0..n {
+                    if states_l[i].is_non_faulty() || compute_even_if_faulty {
+                        received.refill(deliveries.delivered_to(ProcessId::new(i)));
+                        if let Some(next) = cfg.function.apply_sorted(received.as_slice()) {
+                            votes_l[i] = next;
+                        }
+                    }
+                }
+
+                self.finish_lane_round(ls, round_idx, votes_l, states_l);
+            }
+            if all_done {
+                break;
+            }
+        }
+
+        self.collect(&votes, &states, lane_states)
+    }
+
+    /// The complete-topology fast path: no schedule, clean links. Senders
+    /// classify into broadcasters (one shared sorted buffer), silent
+    /// processes, and ≤ 2f "special" senders with per-receiver outboxes;
+    /// each receiver's multiset is the common buffer merged with its
+    /// special slots, folded by the k-wide MSR apply. No outboxes are
+    /// filled and no delivery matrix exists — traffic statistics are
+    /// accounted in closed form, matching the scalar network's counters
+    /// exactly.
+    fn run_fast(&self, lanes: &[BatchLane]) -> Vec<Result<MobileRunOutcome>> {
+        let cfg = &self.config;
+        let n = cfg.n;
+        let k = lanes.len();
+        let (mut votes, mut states, mut lane_states) = self.init_lanes(lanes, false);
+        let mut plan = RoundFaultPlan::empty(n);
+        let mut received = ValueMultiset::with_capacity(n);
+        let compute_even_if_faulty = cfg.model.agents_move_with_messages();
+
+        // Fast-path scratch, shared across lanes and rounds. `merged` is
+        // written with index arithmetic into pre-sized rows (never grown),
+        // so the whole loop below stays free of allocating idioms.
+        let mut common: Vec<Value> = vec![Value::new(0.0); n];
+        let mut extra: Vec<Value> = vec![Value::new(0.0); n];
+        let mut specials: Vec<usize> = vec![0; n];
+        let mut merged: Vec<Value> = vec![Value::new(0.0); n * n];
+        let mut active: Vec<usize> = vec![0; n];
+        let mut row_offsets: Vec<usize> = vec![0; n];
+        let mut row_lens: Vec<usize> = vec![0; n];
+        let mut lane_votes: Vec<Option<Value>> = vec![None; n];
+
+        // The lockstep round loop (see `run_general` for the schedule);
+        // statically allocation-free, enforced by `mbaa-analyze`.
+        // mbaa: alloc-free
+        for round_idx in 0..cfg.max_rounds {
+            let mut all_done = true;
+            for l in 0..k {
+                let ls = &mut lane_states[l];
+                if ls.done {
+                    continue;
+                }
+                all_done = false;
+                let round = Round::new(round_idx as u64);
+                let votes_l = &mut votes[l * n..(l + 1) * n];
+                let states_l = &mut states[l * n..(l + 1) * n];
+                if !self.begin_lane_round(ls, round, votes_l, states_l, &mut plan, &mut received) {
+                    continue;
+                }
+
+                // Send-phase classification. A non-faulty, non-cured
+                // process broadcasts its vote; cured behaviour is the
+                // model's (Garay silent, Bonnet broadcast, Sasaki poisoned
+                // queue); faulty senders use the adversary's outbox.
+                let mut common_len = 0;
+                let mut specials_len = 0;
+                for (i, &vote) in votes_l.iter().enumerate() {
+                    let p = ProcessId::new(i);
+                    if plan.faulty.contains(p) {
+                        specials[specials_len] = i;
+                        specials_len += 1;
+                    } else if plan.cured.contains(p) {
+                        match cfg.model {
+                            MobileModel::Garay => {}
+                            MobileModel::Bonnet => {
+                                common[common_len] = vote;
+                                common_len += 1;
+                            }
+                            MobileModel::Sasaki => {
+                                specials[specials_len] = i;
+                                specials_len += 1;
+                            }
+                            MobileModel::Buhrman => {
+                                unreachable!("Buhrman's model has no cured senders")
+                            }
+                        }
+                    } else {
+                        common[common_len] = vote;
+                        common_len += 1;
+                    }
+                }
+                common[..common_len].sort_unstable();
+
+                // Closed-form traffic accounting: a broadcast delivers to
+                // all n receivers, a special outbox to its Some slots, and
+                // every other reachable slot is a sender omission — the
+                // unmasked complete graph has no structural drops.
+                let mut delivered = (common_len * n) as u64;
+                for &s in &specials[..specials_len] {
+                    delivered += special_outbox(&plan, s)
+                        .iter()
+                        .filter(|(_, slot)| slot.is_some())
+                        .count() as u64;
+                }
+                ls.stats.rounds += 1;
+                ls.stats.messages_delivered += delivered;
+                ls.stats.omissions += (n * n) as u64 - delivered;
+
+                // Compute phase: each active receiver's multiset is the
+                // common buffer merged with its special slots, ascending —
+                // the same sorted array the scalar multiset refill
+                // produces. Rows are packed back to back in `merged`; when
+                // every row has the same width the k-wide MSR fold handles
+                // the whole lane in one call.
+                let mut rows = 0;
+                let mut total = 0;
+                let mut uniform = true;
+                for (r, state) in states_l.iter().enumerate() {
+                    if !(state.is_non_faulty() || compute_even_if_faulty) {
+                        continue;
+                    }
+                    let receiver = ProcessId::new(r);
+                    let mut extra_len = 0;
+                    for &s in &specials[..specials_len] {
+                        if let Some(v) = special_outbox(&plan, s).get(receiver) {
+                            extra[extra_len] = v;
+                            extra_len += 1;
+                        }
+                    }
+                    extra[..extra_len].sort_unstable();
+                    merge_sorted(
+                        &common[..common_len],
+                        &extra[..extra_len],
+                        &mut merged[total..total + common_len + extra_len],
+                    );
+                    let row_len = common_len + extra_len;
+                    if rows > 0 && row_len != row_lens[0] {
+                        uniform = false;
+                    }
+                    active[rows] = r;
+                    row_offsets[rows] = total;
+                    row_lens[rows] = row_len;
+                    rows += 1;
+                    total += row_len;
+                }
+                if uniform && rows > 0 {
+                    cfg.function.apply_sorted_lanes(
+                        &merged[..total],
+                        row_lens[0],
+                        &mut lane_votes[..rows],
+                    );
+                } else {
+                    for row in 0..rows {
+                        lane_votes[row] = cfg.function.apply_sorted(
+                            &merged[row_offsets[row]..row_offsets[row] + row_lens[row]],
+                        );
+                    }
+                }
+                for row in 0..rows {
+                    if let Some(next) = lane_votes[row] {
+                        votes_l[active[row]] = next;
+                    }
+                }
+
+                self.finish_lane_round(ls, round_idx, votes_l, states_l);
+            }
+            if all_done {
+                break;
+            }
+        }
+
+        self.collect(&votes, &states, lane_states)
+    }
+}
+
+/// The per-receiver outbox of a "special" sender on the fast path: the
+/// adversary's outbox for a faulty process, the poisoned queue for a
+/// Sasaki-cured one.
+fn special_outbox(plan: &RoundFaultPlan, i: usize) -> &Outbox {
+    if plan.faulty.contains(ProcessId::new(i)) {
+        plan.faulty_outboxes[i]
+            .as_ref()
+            .expect("adversary provides an outbox for every faulty process")
+    } else {
+        plan.poisoned_outboxes[i]
+            .as_ref()
+            .expect("Sasaki adversary provides a poisoned queue for every cured process")
+    }
+}
+
+/// Merges two ascending slices into `out` (exactly `a.len() + b.len()`
+/// long), preserving order — the classic two-pointer merge, allocation
+/// free.
+// mbaa: alloc-free
+fn merge_sorted(a: &[Value], b: &[Value], out: &mut [Value]) {
+    debug_assert_eq!(out.len(), a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_a = j >= b.len() || (i < a.len() && a[i] <= b[j]);
+        if take_a {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(n: usize, salt: u64) -> Vec<Value> {
+        (0..n)
+            .map(|i| Value::new(((i as u64 * 31 + salt * 17) % 101) as f64 / 101.0))
+            .collect()
+    }
+
+    fn lanes(n: usize, seeds: &[u64]) -> Vec<BatchLane> {
+        seeds
+            .iter()
+            .map(|&seed| BatchLane {
+                seed,
+                inputs: inputs(n, seed),
+            })
+            .collect()
+    }
+
+    fn base_config(model: MobileModel, n: usize, f: usize) -> ProtocolConfig {
+        ProtocolConfig::builder(model, n, f)
+            .epsilon(1e-4)
+            .max_rounds(400)
+            .seed(999) // must be ignored: every lane carries its own seed
+            .build()
+            .unwrap()
+    }
+
+    fn assert_matches_scalar(config: &ProtocolConfig, batch_lanes: &[BatchLane]) {
+        let engine = BatchEngine::new(config.clone());
+        let results = engine.run(batch_lanes);
+        assert_eq!(results.len(), batch_lanes.len());
+        for (lane, result) in batch_lanes.iter().zip(results) {
+            let scalar = MobileEngine::new(engine.lane_config(lane.seed)).run(&lane.inputs);
+            match (result, scalar) {
+                (Ok(batch), Ok(scalar)) => assert_eq!(batch, scalar, "seed {}", lane.seed),
+                (Err(b), Err(s)) => assert_eq!(b.to_string(), s.to_string(), "seed {}", lane.seed),
+                (b, s) => panic!("seed {}: batch {b:?} vs scalar {s:?}", lane.seed),
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_scalar_for_all_models() {
+        for model in MobileModel::ALL {
+            let f = 2;
+            let n = model.required_processes(f);
+            let config = base_config(model, n, f);
+            assert_matches_scalar(&config, &lanes(n, &[1, 2, 3, 4, 5]));
+        }
+    }
+
+    #[test]
+    fn partial_topology_batches_match_scalar() {
+        let config = ProtocolConfig::builder(MobileModel::Garay, 9, 1)
+            .epsilon(1e-3)
+            .max_rounds(300)
+            .topology(Topology::Ring { k: 2 })
+            .build()
+            .unwrap();
+        assert_matches_scalar(&config, &lanes(9, &[7, 8, 9]));
+    }
+
+    #[test]
+    fn wrong_input_count_fails_only_that_lane() {
+        let n = 9;
+        let config = base_config(MobileModel::Garay, n, 2);
+        let mut batch_lanes = lanes(n, &[1, 2, 3]);
+        batch_lanes[1].inputs.truncate(4);
+        let results = BatchEngine::new(config).run(&batch_lanes);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(Error::WrongInputCount {
+                provided: 4,
+                expected: 9
+            })
+        ));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn single_lane_degenerates_to_scalar() {
+        let n = 9;
+        let config = base_config(MobileModel::Garay, n, 2);
+        assert_matches_scalar(&config, &lanes(n, &[42]));
+    }
+
+    #[test]
+    fn trivially_agreeing_lanes_terminate_without_rounds() {
+        let n = 9;
+        let config = base_config(MobileModel::Garay, n, 2);
+        let batch_lanes: Vec<BatchLane> = [1u64, 2]
+            .iter()
+            .map(|&seed| BatchLane {
+                seed,
+                inputs: vec![Value::new(0.5); n],
+            })
+            .collect();
+        let results = BatchEngine::new(config.clone()).run(&batch_lanes);
+        for result in &results {
+            let outcome = result.as_ref().unwrap();
+            assert!(outcome.reached_agreement);
+            assert_eq!(outcome.rounds_executed, 0);
+            assert_eq!(outcome.network_stats.rounds, 0);
+        }
+        assert_matches_scalar(&config, &batch_lanes);
+    }
+
+    #[test]
+    fn tight_epsilon_exhausts_the_budget_identically() {
+        let n = 9;
+        let config = ProtocolConfig::builder(MobileModel::Garay, n, 2)
+            .epsilon(1e-300)
+            .max_rounds(20)
+            .build()
+            .unwrap();
+        assert_matches_scalar(&config, &lanes(n, &[1, 2]));
+    }
+}

@@ -196,21 +196,17 @@ impl MobileEngine {
         let mut configurations = Vec::new();
 
         // The round scratch: every per-round buffer is allocated here, once
-        // per run, and reused in place by every round. Invariants: the
-        // buffers always cover the full universe `n`; `plan` is overwritten
-        // by `begin_round_into` (its outboxes recycle through the
-        // adversary's pool); `outboxes[i]` always carries sender `i` into
-        // the exchange; `deliveries` is fully overwritten by
-        // `exchange_into`; `received` is refilled per process. Under
-        // `Observe::Summary` on a static network, steady-state rounds
-        // therefore perform no heap allocation at all (asserted by the
-        // allocation-regression test in `tests/alloc_regression.rs`).
-        let mut plan = RoundFaultPlan::empty(n);
-        let mut outboxes: Vec<Outbox> = (0..n)
-            .map(|i| Outbox::silent(n, ProcessId::new(i)))
-            .collect();
-        let mut deliveries = DeliveryMatrix::new(n);
-        let mut received = ValueMultiset::with_capacity(n);
+        // per run, and reused in place by every round (see [`RoundScratch`]
+        // for the invariants). Under `Observe::Summary` on a static
+        // network, steady-state rounds therefore perform no heap allocation
+        // at all (asserted by the allocation-regression test in
+        // `tests/alloc_regression.rs`).
+        let RoundScratch {
+            mut plan,
+            mut outboxes,
+            mut deliveries,
+            mut received,
+        } = RoundScratch::new(n);
 
         // Until the adversary has placed its agents we do not know which
         // initial values count as non-faulty, so the validity envelope and
@@ -268,6 +264,7 @@ impl MobileEngine {
                 };
             }
             if observe.records_snapshots() {
+                // mbaa: allow(hot-path/vec-growth, pre-sized to the round budget at first-round setup below)
                 configurations.push(RoundSnapshot::new(
                     // mbaa: allow(hot-path/allocation, Observe::Snapshots opts out of the zero-allocation guarantee)
                     states.iter().copied().zip(votes.iter().copied()).collect(),
@@ -303,7 +300,7 @@ impl MobileEngine {
 
             // Send phase: rewrite the reused outboxes in place.
             for (i, outbox) in outboxes.iter_mut().enumerate() {
-                self.fill_outbox(outbox, ProcessId::new(i), &plan, &votes);
+                fill_outbox(cfg.model, outbox, ProcessId::new(i), &plan, &votes);
             }
 
             // Receive phase, into the reused slot matrix.
@@ -364,57 +361,87 @@ impl MobileEngine {
             network_stats,
         })
     }
+}
 
-    /// Rewrites the reused outbox of one process for the send phase,
-    /// honouring the model-specific behaviour of faulty and cured
-    /// processes. In-place counterpart of the historical per-round outbox
-    /// construction: slot contents are identical, nothing is allocated.
-    fn fill_outbox(
-        &self,
-        outbox: &mut Outbox,
-        p: ProcessId,
-        plan: &RoundFaultPlan,
-        votes: &[Value],
-    ) {
-        if plan.faulty.contains(p) {
-            outbox.copy_from(
-                plan.faulty_outboxes[p.index()]
-                    .as_ref()
-                    .expect("adversary provides an outbox for every faulty process"),
-            );
-            return;
+/// The per-round scratch buffers of one run: allocated once, reused in
+/// place by every round. Invariants: the buffers always cover the full
+/// universe `n`; `plan` is overwritten by
+/// [`MobileAdversary::begin_round_into`] (its outboxes recycle through the
+/// adversary's pool); `outboxes[i]` always carries sender `i` into the
+/// exchange; `deliveries` is fully overwritten by
+/// [`SyncNetwork::exchange_into`]; `received` is refilled per process.
+/// Shared between the scalar engine and the seed-batched engine in
+/// [`crate::batch`] so both loops allocate identically.
+pub(crate) struct RoundScratch {
+    pub(crate) plan: RoundFaultPlan,
+    pub(crate) outboxes: Vec<Outbox>,
+    pub(crate) deliveries: DeliveryMatrix,
+    pub(crate) received: ValueMultiset,
+}
+
+impl RoundScratch {
+    pub(crate) fn new(n: usize) -> Self {
+        RoundScratch {
+            plan: RoundFaultPlan::empty(n),
+            outboxes: (0..n)
+                .map(|i| Outbox::silent(n, ProcessId::new(i)))
+                .collect(),
+            deliveries: DeliveryMatrix::new(n),
+            received: ValueMultiset::with_capacity(n),
         }
-        if plan.cured.contains(p) {
-            match self.config.model {
-                // Aware of its state: stays silent for one round rather than
-                // spreading a possibly corrupted value.
-                MobileModel::Garay => outbox.fill_silent(),
-                // Unaware: broadcasts its (possibly corrupted) state the same
-                // way to everyone — a symmetric fault.
-                MobileModel::Bonnet => outbox.fill_broadcast(votes[p.index()]),
-                // Unaware, and the agent prepared its outgoing queue: flushes
-                // the poisoned queue — an asymmetric fault.
-                MobileModel::Sasaki => {
-                    outbox.copy_from(plan.poisoned_outboxes[p.index()].as_ref().expect(
-                        "Sasaki adversary provides a poisoned queue for every cured process",
-                    ))
-                }
-                // Agents move with the messages: there is never a cured
-                // process during the send phase.
-                MobileModel::Buhrman => {
-                    unreachable!("Buhrman's model has no cured senders")
-                }
-            }
-            return;
-        }
-        outbox.fill_broadcast(votes[p.index()]);
     }
+}
+
+/// Rewrites the reused outbox of one process for the send phase, honouring
+/// the model-specific behaviour of faulty and cured processes. In-place
+/// counterpart of the historical per-round outbox construction: slot
+/// contents are identical, nothing is allocated. Shared by the scalar and
+/// the seed-batched round loops.
+pub(crate) fn fill_outbox(
+    model: MobileModel,
+    outbox: &mut Outbox,
+    p: ProcessId,
+    plan: &RoundFaultPlan,
+    votes: &[Value],
+) {
+    if plan.faulty.contains(p) {
+        outbox.copy_from(
+            plan.faulty_outboxes[p.index()]
+                .as_ref()
+                .expect("adversary provides an outbox for every faulty process"),
+        );
+        return;
+    }
+    if plan.cured.contains(p) {
+        match model {
+            // Aware of its state: stays silent for one round rather than
+            // spreading a possibly corrupted value.
+            MobileModel::Garay => outbox.fill_silent(),
+            // Unaware: broadcasts its (possibly corrupted) state the same
+            // way to everyone — a symmetric fault.
+            MobileModel::Bonnet => outbox.fill_broadcast(votes[p.index()]),
+            // Unaware, and the agent prepared its outgoing queue: flushes
+            // the poisoned queue — an asymmetric fault.
+            MobileModel::Sasaki => outbox.copy_from(
+                plan.poisoned_outboxes[p.index()]
+                    .as_ref()
+                    .expect("Sasaki adversary provides a poisoned queue for every cured process"),
+            ),
+            // Agents move with the messages: there is never a cured
+            // process during the send phase.
+            MobileModel::Buhrman => {
+                unreachable!("Buhrman's model has no cured senders")
+            }
+        }
+        return;
+    }
+    outbox.fill_broadcast(votes[p.index()]);
 }
 
 /// The diameter of the non-faulty processes' votes, computed by a min/max
 /// fold — no multiset materialization. Numerically identical to collecting
 /// the non-faulty values and taking [`ValueMultiset::diameter`].
-fn non_faulty_diameter(votes: &[Value], states: &[FaultState]) -> f64 {
+pub(crate) fn non_faulty_diameter(votes: &[Value], states: &[FaultState]) -> f64 {
     let mut bounds: Option<(Value, Value)> = None;
     for (v, s) in votes.iter().zip(states) {
         if s.is_non_faulty() {

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod bounds;
 mod config;
 mod engine;
@@ -51,6 +52,7 @@ pub mod lower_bounds;
 pub mod mapping;
 mod snapshot;
 
+pub use batch::{BatchEngine, BatchLane};
 pub use config::{defaults, Observe, ProtocolConfig, ProtocolConfigBuilder};
 pub use engine::{MobileEngine, MobileRunOutcome};
 pub use snapshot::{ProcessTuple, RoundSnapshot};

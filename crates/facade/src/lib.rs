@@ -125,7 +125,8 @@ pub use mbaa_sim as sim;
 
 pub use mbaa_adversary::{CorruptionStrategy, MobileAdversary, MobilityStrategy};
 pub use mbaa_core::{
-    MobileEngine, MobileRunOutcome, Observe, ProtocolConfig, ProtocolConfigBuilder, RoundSnapshot,
+    BatchEngine, BatchLane, MobileEngine, MobileRunOutcome, Observe, ProtocolConfig,
+    ProtocolConfigBuilder, RoundSnapshot,
 };
 pub use mbaa_msr::{MedianVoting, MsrFunction, Reduction, Selection, VotingFunction};
 pub use mbaa_net::{

@@ -436,10 +436,11 @@ impl Sweep {
     }
 
     /// Streaming variant of [`Sweep::run`]: the same flattened global pool,
-    /// but each completed run is folded into its [`RunSummary`] on the
-    /// worker and the trajectory is dropped immediately, so even a sweep of
-    /// many large seed batches keeps memory flat. Each point's
-    /// [`ExperimentResult`] equals
+    /// but the work units are seed-batch *chunks* that advance in lockstep
+    /// on the seed-batched engine, and each completed run is folded into
+    /// its [`RunSummary`] on the worker with the trajectory dropped
+    /// immediately — so even a sweep of many large seed batches keeps
+    /// memory flat. Each point's [`ExperimentResult`] equals
     /// `point.batch(seeds).run()?.to_experiment_result()` bit for bit.
     ///
     /// # Errors
@@ -490,12 +491,19 @@ impl Sweep {
 
     /// Shared implementation of [`Sweep::stream`] / [`Sweep::stream_with`]:
     /// the per-point completion tracking only exists when a callback does.
+    ///
+    /// Work units are `(point, seed-chunk)` pairs of up to
+    /// [`mbaa_sim::BATCH_WIDTH`] consecutive seeds: each chunk runs through
+    /// `mbaa_sim::run_experiment_with`, which advances the whole chunk in
+    /// lockstep on the seed-batched engine. A chunk task's *inner* rayon
+    /// fan-out is a single sub-task wide, so it executes inline on the
+    /// worker that stole the chunk — the sweep still schedules on one flat
+    /// global pool.
     fn stream_impl<F: Fn(&SweepSummary) + Sync>(
         &self,
         on_point: Option<F>,
     ) -> Result<Vec<SweepSummary>> {
         let seeds = self.normalized_seeds();
-        let tasks = self.flattened_tasks(&seeds);
         // Per-point completion tracking: every finished seed stashes its
         // summary in the point's slot vector and decrements the pending
         // counter; whoever drops it to zero owns the completion and reports
@@ -513,54 +521,73 @@ impl Sweep {
                 .collect();
             (pending, partial)
         });
-        let results: Vec<Result<RunSummary>> = with_pool(self.workers, || {
+        let tasks: Vec<(usize, &[u64])> = (0..self.points.len())
+            .flat_map(|point| {
+                seeds
+                    .chunks(mbaa_sim::BATCH_WIDTH)
+                    .map(move |chunk| (point, chunk))
+            })
+            .collect();
+        let results: Vec<Result<Vec<RunSummary>>> = with_pool(self.workers, || {
             tasks
                 .into_par_iter()
-                .map(|(point, seed)| {
+                .map(|(point, chunk)| {
                     // Streaming keeps only summaries, and summaries are
-                    // bit-identical across observability levels: run at
-                    // `Observe::Summary` so the engine's rounds stay
-                    // allocation-free and no trace is ever materialized.
-                    let summary = self.points[point]
-                        .run_observed(seed, mbaa_core::Observe::Summary)
-                        .map(|outcome| RunSummary::from_outcome(seed, &outcome))?;
-                    if let (Some(on_point), Some((pending, partial))) =
-                        (on_point.as_ref(), tracking.as_ref())
-                    {
-                        let slot = seeds
-                            .binary_search(&seed)
-                            .expect("seed comes from the normalized batch");
-                        partial[point].lock().expect("no panics hold the lock")[slot] =
-                            Some(summary);
-                        if pending[point].fetch_sub(1, Ordering::AcqRel) == 1 {
-                            let runs: Vec<RunSummary> = partial[point]
-                                .lock()
-                                .expect("no panics hold the lock")
-                                .iter()
-                                .map(|s| s.expect("every seed of a completed point is stashed"))
-                                .collect();
-                            on_point(&SweepSummary {
-                                scenario: self.points[point].clone(),
-                                result: ExperimentResult {
-                                    config: self.points[point].to_experiment(seeds.iter().copied()),
-                                    runs,
-                                },
-                            });
-                        }
-                    }
-                    Ok(summary)
+                    // bit-identical across observability levels: the sim
+                    // executor runs the chunk at `Observe::Summary`, where
+                    // the batched engine's rounds stay allocation-free and
+                    // no trace is ever materialized.
+                    let result = mbaa_sim::run_experiment_with(
+                        &self.points[point].to_experiment(chunk.iter().copied()),
+                        |summary| {
+                            if let (Some(on_point), Some((pending, partial))) =
+                                (on_point.as_ref(), tracking.as_ref())
+                            {
+                                let slot = seeds
+                                    .binary_search(&summary.seed)
+                                    .expect("seed comes from the normalized batch");
+                                partial[point].lock().expect("no panics hold the lock")[slot] =
+                                    Some(*summary);
+                                if pending[point].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                    let runs: Vec<RunSummary> = partial[point]
+                                        .lock()
+                                        .expect("no panics hold the lock")
+                                        .iter()
+                                        .map(|s| {
+                                            s.expect("every seed of a completed point is stashed")
+                                        })
+                                        .collect();
+                                    on_point(&SweepSummary {
+                                        scenario: self.points[point].clone(),
+                                        result: ExperimentResult {
+                                            config: self.points[point]
+                                                .to_experiment(seeds.iter().copied()),
+                                            runs,
+                                        },
+                                    });
+                                }
+                            }
+                        },
+                    )?;
+                    Ok(result.runs)
                 })
                 .collect()
         });
+        // Reassembly: every point contributed the same number of chunk
+        // tasks, in seed order, so consuming that many results per point
+        // regroups the pool. A failing chunk surfaces its first failing
+        // seed's error, and chunks are consumed point-major / seed-minor —
+        // the same deterministic error the per-seed pool produced.
+        let chunks_per_point = seeds.len().div_ceil(mbaa_sim::BATCH_WIDTH);
         let mut results = results.into_iter();
         let summaries: Result<Vec<SweepSummary>> = self
             .points
             .iter()
             .map(|scenario| {
-                let runs = seeds
-                    .iter()
-                    .map(|_| results.next().expect("one result per task"))
-                    .collect::<Result<Vec<_>>>()?;
+                let mut runs = Vec::with_capacity(seeds.len());
+                for _ in 0..chunks_per_point {
+                    runs.extend(results.next().expect("one result per chunk task")?);
+                }
                 Ok(SweepSummary {
                     scenario: scenario.clone(),
                     result: ExperimentResult {

@@ -379,18 +379,6 @@ impl Scenario {
         MobileEngine::new(config).run(&inputs)
     }
 
-    /// Runs this scenario once with the observability level overridden —
-    /// the streaming paths use this to execute at [`Observe::Summary`]
-    /// (allocation-free rounds) no matter what the scenario records for
-    /// single runs. Summaries derived from the outcome are bit-identical
-    /// for every level.
-    pub(crate) fn run_observed(&self, seed: u64, observe: Observe) -> Result<MobileRunOutcome> {
-        let mut config = self.lower(seed)?;
-        config.observe = observe;
-        let inputs = self.initial_values(seed);
-        MobileEngine::new(config).run(&inputs)
-    }
-
     /// Runs this scenario once with an explicit voting function, overriding
     /// the configured MSR instance — used to compare MSR instances with
     /// non-MSR baselines under identical adversaries.

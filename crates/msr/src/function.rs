@@ -98,19 +98,21 @@ impl MsrFunction {
     pub fn selection(&self) -> Selection {
         self.selection
     }
-}
 
-impl VotingFunction for MsrFunction {
-    /// Computes `mean(Sel(Red(N)))` directly over the sorted slice of the
-    /// received multiset — no intermediate multisets, no heap allocation.
-    /// Bit-identical to materializing [`Reduction::apply`] /
-    /// [`Selection::apply`] and taking [`ValueMultiset::mean`]: the
-    /// reduction is a sub-slice, the selection an iterator over it, and the
-    /// mean divides each term before summing exactly like the multiset
-    /// does.
+    /// Computes `mean(Sel(Red(N)))` directly over an **ascending** slice of
+    /// values — no intermediate multisets, no heap allocation. This is the
+    /// whole evaluation of [`VotingFunction::apply`], factored out so the
+    /// batch engine can feed it lanes of a flat sorted buffer without
+    /// materializing a [`ValueMultiset`] per lane; the two entry points are
+    /// bit-identical by construction (`apply` delegates here).
+    ///
+    /// The caller must pass values in ascending order — a
+    /// [`ValueMultiset`]'s slice qualifies, as does any `sort_unstable`d
+    /// buffer of the same multiset (equal values are interchangeable in
+    /// every selection).
     // mbaa: alloc-free
-    fn apply(&self, received: &ValueMultiset) -> Option<Value> {
-        let sorted = received.as_slice();
+    #[must_use]
+    pub fn apply_sorted(&self, sorted: &[Value]) -> Option<Value> {
         let tau = self.reduction.tau();
         if sorted.len() < self.reduction.min_input_len() {
             // The reduction would leave nothing (or the input is empty):
@@ -144,6 +146,56 @@ impl VotingFunction for MsrFunction {
                 mean_of_sorted(std::iter::once(median), 1)
             }
         }
+    }
+
+    /// The k-wide form of [`MsrFunction::apply_sorted`]: folds
+    /// `mean(Sel(Red(N)))` over `k = lanes.len() / lane_len` sorted lanes of
+    /// one flat buffer in a single pass, writing lane `i`'s vote into
+    /// `out[i]`. Lanes are stored **lane-major**: lane `i` occupies
+    /// `lanes[i * lane_len .. (i + 1) * lane_len]` and must be ascending,
+    /// exactly as `apply_sorted` requires. A lane too small for the
+    /// reduction writes `None`, matching the scalar path.
+    ///
+    /// The inner mean folds are plain slice iterations with no
+    /// cross-iteration dependencies, so the compiler can vectorize them;
+    /// the method itself never allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane_len` does not evenly tile `lanes` into exactly
+    /// `out.len()` lanes (ragged input would silently misattribute votes).
+    // mbaa: alloc-free
+    pub fn apply_sorted_lanes(&self, lanes: &[Value], lane_len: usize, out: &mut [Option<Value>]) {
+        if lane_len == 0 {
+            assert!(
+                lanes.is_empty(),
+                "lane_len = 0 cannot tile a non-empty buffer"
+            );
+            out.fill(None);
+            return;
+        }
+        assert_eq!(
+            lanes.len(),
+            lane_len * out.len(),
+            "flat buffer must hold exactly out.len() lanes of lane_len values"
+        );
+        for (slot, lane) in out.iter_mut().zip(lanes.chunks_exact(lane_len)) {
+            *slot = self.apply_sorted(lane);
+        }
+    }
+}
+
+impl VotingFunction for MsrFunction {
+    /// Computes `mean(Sel(Red(N)))` directly over the sorted slice of the
+    /// received multiset — no intermediate multisets, no heap allocation.
+    /// Bit-identical to materializing [`Reduction::apply`] /
+    /// [`Selection::apply`] and taking [`ValueMultiset::mean`]: the
+    /// reduction is a sub-slice, the selection an iterator over it, and the
+    /// mean divides each term before summing exactly like the multiset
+    /// does. Delegates to [`MsrFunction::apply_sorted`].
+    // mbaa: alloc-free
+    fn apply(&self, received: &ValueMultiset) -> Option<Value> {
+        self.apply_sorted(received.as_slice())
     }
 
     fn name(&self) -> String {
@@ -250,6 +302,57 @@ mod tests {
     fn trait_object_usable() {
         let f: Box<dyn VotingFunction> = Box::new(MsrFunction::dolev_mean(1));
         assert!(f.apply(&ms(&[1.0, 2.0, 3.0])).is_some());
+    }
+
+    /// The k-wide lane fold must agree bit for bit with applying the scalar
+    /// path to each lane individually, for every selection.
+    #[test]
+    fn lane_apply_matches_scalar_per_lane() {
+        let selections = [
+            Selection::All,
+            Selection::EveryKth { k: 2 },
+            Selection::Extremes,
+            Selection::MedianOnly,
+        ];
+        for tau in 0..3 {
+            for selection in selections {
+                let f = MsrFunction::new(Reduction::trim(tau), selection);
+                for lane_len in 1..8 {
+                    let k = 5;
+                    let mut flat = Vec::new();
+                    for lane in 0..k {
+                        let mut values: Vec<Value> = (0..lane_len)
+                            .map(|i| Value::new(((lane * 7 + i * 3) % 11) as f64 - 5.0))
+                            .collect();
+                        values.sort_unstable();
+                        flat.extend(values);
+                    }
+                    let mut out = vec![None; k];
+                    f.apply_sorted_lanes(&flat, lane_len, &mut out);
+                    for (lane, got) in out.iter().enumerate() {
+                        let expected =
+                            f.apply_sorted(&flat[lane * lane_len..(lane + 1) * lane_len]);
+                        assert_eq!(*got, expected, "tau={tau} {selection} lane {lane}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_apply_handles_empty_lanes() {
+        let f = MsrFunction::dolev_mean(0);
+        let mut out = vec![Some(Value::new(1.0)); 3];
+        f.apply_sorted_lanes(&[], 0, &mut out);
+        assert_eq!(out, vec![None; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly out.len() lanes")]
+    fn lane_apply_rejects_ragged_buffers() {
+        let f = MsrFunction::dolev_mean(0);
+        let mut out = vec![None; 2];
+        f.apply_sorted_lanes(&[Value::new(1.0); 5], 2, &mut out);
     }
 
     /// The slice-based `apply` must agree bit for bit with materializing the

@@ -8,7 +8,6 @@ use crate::faults::omission_lost;
 use crate::{
     Adjacency, CompiledLinkFaults, DeliveryMatrix, DirectedAdjacency, DisconnectionPolicy,
     LinkFaultPlan, NetworkStats, NetworkTrace, Outbox, RealizedSchedule, RoundDelivery, RoundTrace,
-    SenderObservation,
 };
 
 /// An authenticated, reliable synchronous network of `n` processes — fully
@@ -394,6 +393,7 @@ impl SyncNetwork {
                 None => RoundTrace::from_outboxes(round, outboxes),
                 Some(adjacency) => RoundTrace::from_outboxes_masked(round, outboxes, adjacency),
             };
+            // mbaa: allow(hot-path/vec-growth, trace recording is opt-in observability off the Summary hot path)
             self.trace.push(round_trace);
         }
 
@@ -554,17 +554,15 @@ impl SyncNetwork {
         self.stats.rounds += 1;
 
         if self.record_trace {
-            let observations = outboxes
-                .iter()
-                .enumerate()
-                .map(|(s, outbox)| {
-                    let reachable = reach_flags[s * n..(s + 1) * n].to_vec();
-                    let faulted = link_flags[s * n..(s + 1) * n].to_vec();
-                    SenderObservation::from_outbox_with_faults(outbox, reachable, faulted)
-                })
-                .collect();
-            self.trace
-                .push(RoundTrace::from_observations(round, observations));
+            // The flag scratch is handed to the trace wholesale: the round
+            // record copies the flat n × n grids directly, so recording
+            // performs a fixed number of allocations regardless of n.
+            self.trace.push(RoundTrace::from_outboxes_with_flags(
+                round,
+                outboxes,
+                reach_flags,
+                link_flags,
+            ));
         }
         Ok(())
     }

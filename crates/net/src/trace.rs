@@ -264,64 +264,166 @@ impl SenderObservation {
 }
 
 /// All sender observations of a single round.
+///
+/// Internally the round is four flat, sender-major slot arrays (`senders`,
+/// plus `n × n` `delivered` / `reachable` / `link_faulted` grids) rather
+/// than one heap object per sender: recording a round costs a **fixed
+/// number** of buffer allocations no matter how large the universe is,
+/// which keeps `Observe::Full` runs allocation-flat. The per-sender
+/// [`SenderObservation`] view is assembled on demand by
+/// [`observation`](RoundTrace::observation).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundTrace {
     round: Round,
-    observations: Vec<SenderObservation>,
+    universe: usize,
+    senders: Vec<ProcessId>,
+    /// `delivered[s * n + r]` is what receiver `r` got from sender `s`.
+    delivered: Vec<Option<Value>>,
+    /// `reachable[s * n + r]` is `false` when `s` shares no link with `r`.
+    reachable: Vec<bool>,
+    /// `link_faulted[s * n + r]` flags slots governed by a per-link fault.
+    link_faulted: Vec<bool>,
 }
 
 impl RoundTrace {
-    /// Builds the round trace from every outbox handed to the network.
-    #[must_use]
-    pub fn from_outboxes(round: Round, outboxes: &[Outbox]) -> Self {
+    /// Allocates the flat slot arrays for `outboxes.len()` senders — the
+    /// only allocations a recorded round performs, regardless of `n` —
+    /// initialized to the fully connected, fault-free defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an outbox does not cover the sender universe.
+    fn with_dimensions(round: Round, outboxes: &[Outbox]) -> Self {
+        let n = outboxes.len();
+        assert!(
+            outboxes.iter().all(|o| o.universe() == n),
+            "every outbox must cover the sender universe"
+        );
         RoundTrace {
             round,
-            observations: outboxes
-                .iter()
-                .map(SenderObservation::from_outbox)
-                .collect(),
+            universe: n,
+            senders: outboxes.iter().map(Outbox::sender).collect(),
+            delivered: vec![None; n * n],
+            reachable: vec![true; n * n],
+            link_faulted: vec![false; n * n],
         }
+    }
+
+    /// Builds the round trace from every outbox handed to the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an outbox does not cover the sender universe.
+    #[must_use]
+    pub fn from_outboxes(round: Round, outboxes: &[Outbox]) -> Self {
+        let mut trace = Self::with_dimensions(round, outboxes);
+        let n = trace.universe;
+        // mbaa: alloc-free
+        {
+            for (s, outbox) in outboxes.iter().enumerate() {
+                let row = &mut trace.delivered[s * n..(s + 1) * n];
+                for (r, slot) in row.iter_mut().enumerate() {
+                    *slot = outbox.get(ProcessId::new(r));
+                }
+            }
+        }
+        trace
     }
 
     /// Builds the round trace of a topology-mediated exchange: every
     /// observation is masked by the adjacency and flags its unreachable
     /// receivers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an outbox does not cover the sender universe.
     #[must_use]
     pub fn from_outboxes_masked(round: Round, outboxes: &[Outbox], adjacency: &Adjacency) -> Self {
-        RoundTrace {
-            round,
-            observations: outboxes
-                .iter()
-                .map(|outbox| SenderObservation::from_outbox_masked(outbox, adjacency))
-                .collect(),
+        let mut trace = Self::with_dimensions(round, outboxes);
+        let n = trace.universe;
+        // mbaa: alloc-free
+        {
+            for (s, outbox) in outboxes.iter().enumerate() {
+                let sender = outbox.sender();
+                for r in 0..n {
+                    let receiver = ProcessId::new(r);
+                    let linked = adjacency.connected(sender, receiver);
+                    trace.reachable[s * n + r] = linked;
+                    trace.delivered[s * n + r] = if linked { outbox.get(receiver) } else { None };
+                }
+            }
         }
+        trace
     }
 
     /// Builds the round trace of a **directed**-topology exchange.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an outbox does not cover the sender universe.
     #[must_use]
     pub fn from_outboxes_directed(
         round: Round,
         outboxes: &[Outbox],
         directed: &DirectedAdjacency,
     ) -> Self {
-        RoundTrace {
-            round,
-            observations: outboxes
-                .iter()
-                .map(|outbox| SenderObservation::from_outbox_directed(outbox, directed))
-                .collect(),
+        let mut trace = Self::with_dimensions(round, outboxes);
+        let n = trace.universe;
+        // mbaa: alloc-free
+        {
+            for (s, outbox) in outboxes.iter().enumerate() {
+                let sender = outbox.sender();
+                for r in 0..n {
+                    let receiver = ProcessId::new(r);
+                    let delivers = directed.delivers(sender, receiver);
+                    trace.reachable[s * n + r] = delivers;
+                    trace.delivered[s * n + r] = if delivers { outbox.get(receiver) } else { None };
+                }
+            }
         }
+        trace
     }
 
-    /// Builds a round trace from explicitly assembled observations — used
-    /// by the dynamic, link-faulted exchange, which computes reachability
-    /// and fault flags per slot.
+    /// Builds the round trace of a dynamic, link-faulted exchange from the
+    /// network's flat per-round flag scratch: `reach_flags[s * n + r]` is
+    /// the round's realized adjacency and `link_flags[s * n + r]` marks
+    /// slots governed by a per-link fault (omission draw or delay buffer).
+    /// The flags are copied wholesale into the trace's slot grids — no
+    /// per-sender buffers are ever materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an outbox does not cover the sender universe, or if a flag
+    /// slice does not cover the `n × n` slot grid.
     #[must_use]
-    pub fn from_observations(round: Round, observations: Vec<SenderObservation>) -> Self {
-        RoundTrace {
-            round,
-            observations,
+    pub fn from_outboxes_with_flags(
+        round: Round,
+        outboxes: &[Outbox],
+        reach_flags: &[bool],
+        link_flags: &[bool],
+    ) -> Self {
+        let mut trace = Self::with_dimensions(round, outboxes);
+        let n = trace.universe;
+        assert!(
+            reach_flags.len() == n * n && link_flags.len() == n * n,
+            "flag slices must cover the n × n slot grid"
+        );
+        // mbaa: alloc-free
+        {
+            trace.reachable.copy_from_slice(reach_flags);
+            trace.link_faulted.copy_from_slice(link_flags);
+            for (s, outbox) in outboxes.iter().enumerate() {
+                for r in 0..n {
+                    let slot = s * n + r;
+                    trace.delivered[slot] = if reach_flags[slot] && !link_flags[slot] {
+                        outbox.get(ProcessId::new(r))
+                    } else {
+                        None
+                    };
+                }
+            }
         }
+        trace
     }
 
     /// The round this trace describes.
@@ -330,25 +432,36 @@ impl RoundTrace {
         self.round
     }
 
-    /// The observation of the given sender.
+    /// The observation of the given sender, assembled from the flat slot
+    /// grids. This is the inspection API — it allocates the per-sender
+    /// view, so classification loops should hoist it out of per-receiver
+    /// code; the recording side never builds these.
     ///
     /// # Panics
     ///
     /// Panics if `sender` is outside the universe.
     #[must_use]
-    pub fn observation(&self, sender: ProcessId) -> &SenderObservation {
-        &self.observations[sender.index()]
+    pub fn observation(&self, sender: ProcessId) -> SenderObservation {
+        let n = self.universe;
+        let s = sender.index();
+        SenderObservation {
+            sender: self.senders[s],
+            delivered: self.delivered[s * n..(s + 1) * n].to_vec(),
+            reachable: self.reachable[s * n..(s + 1) * n].to_vec(),
+            link_faulted: self.link_faulted[s * n..(s + 1) * n].to_vec(),
+        }
     }
 
-    /// Iterates over all sender observations.
-    pub fn iter(&self) -> impl Iterator<Item = &SenderObservation> {
-        self.observations.iter()
+    /// Iterates over all sender observations (assembled per sender, see
+    /// [`observation`](RoundTrace::observation)).
+    pub fn iter(&self) -> impl Iterator<Item = SenderObservation> + '_ {
+        (0..self.universe).map(|s| self.observation(ProcessId::new(s)))
     }
 
     /// Number of senders covered.
     #[must_use]
     pub fn universe(&self) -> usize {
-        self.observations.len()
+        self.universe
     }
 }
 

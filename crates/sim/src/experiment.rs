@@ -10,7 +10,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
-use mbaa_core::{MobileEngine, MobileRunOutcome, Observe, ProtocolConfig};
+use mbaa_core::{BatchEngine, BatchLane, MobileRunOutcome, Observe, ProtocolConfig};
 use mbaa_msr::MsrFunction;
 use mbaa_net::{DisconnectionPolicy, LinkFaultPlan, Topology, TopologySchedule};
 use mbaa_types::{MobileModel, Result};
@@ -215,9 +215,29 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult> {
     run_experiment_with(config, |_| {})
 }
 
-/// Streaming variant of [`run_experiment`]: runs every seed in parallel and
-/// invokes `on_run` with each completed [`RunSummary`] *as it finishes*, in
-/// completion order, on the worker that produced it. The full
+/// How many seeds one [`BatchEngine`] advances in lockstep. Chunking keeps
+/// the flat state arrays cache-resident (32 lanes × n values) and leaves
+/// enough independent chunks for the rayon pool to spread across workers.
+/// Public so the facade's sweep executor can chunk its `(point, seeds)`
+/// work pool on the same boundary and stay bit-identical to this path.
+pub const BATCH_WIDTH: usize = 32;
+
+/// Explicitly batched form of [`run_experiment`]. Since the summary-level
+/// executors route every multi-seed point through the seed-batched
+/// [`BatchEngine`] anyway, this is the same computation under a name that
+/// documents the intent; it exists so callers can state "batch this point"
+/// without depending on the routing rule.
+///
+/// # Errors
+///
+/// Exactly as [`run_experiment`].
+pub fn run_batch_experiment(config: &ExperimentConfig) -> Result<ExperimentResult> {
+    run_experiment(config)
+}
+
+/// Streaming variant of [`run_experiment`]: runs every seed-batch chunk in
+/// parallel and invokes `on_run` with each completed [`RunSummary`] *as it
+/// finishes*, in completion order, on the worker that produced it. The full
 /// [`MobileRunOutcome`] (trace + per-round snapshots) is dropped inside the
 /// worker as soon as the summary is folded out of it, so memory stays flat
 /// no matter how many seeds the batch holds.
@@ -251,20 +271,51 @@ where
             })
         })
         .collect::<Result<_>>()?;
-    let runs: Vec<Result<RunSummary>> = protocols
+    // Execution strategy: consecutive seeds are grouped into chunks of up
+    // to `BATCH_WIDTH` lanes, and each chunk advances through one
+    // seed-batched engine (`mbaa_core::BatchEngine`) — per-seed results
+    // are bit-identical to scalar runs, so the chunking is invisible in
+    // the output. Chunks still spread across the rayon pool; a chunk of
+    // one (and any future non-Summary executor) degenerates to the scalar
+    // engine inside `BatchEngine::run`.
+    let mut chunks: Vec<Vec<(u64, ProtocolConfig)>> = Vec::new();
+    let mut remaining = protocols.into_iter();
+    loop {
+        let chunk: Vec<(u64, ProtocolConfig)> = remaining.by_ref().take(BATCH_WIDTH).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let runs: Vec<Vec<Result<RunSummary>>> = chunks
         .into_par_iter()
-        .map(|(seed, protocol)| {
-            let engine = MobileEngine::new(protocol);
-            let inputs = config.workload.generate(config.n, seed);
-            let outcome = engine.run(&inputs)?;
-            let summary = RunSummary::from_outcome(seed, &outcome);
-            on_run(&summary);
-            Ok(summary)
+        .map(|chunk| {
+            let engine = BatchEngine::new(chunk[0].1.clone());
+            let lanes: Vec<BatchLane> = chunk
+                .iter()
+                .map(|(seed, _)| BatchLane {
+                    seed: *seed,
+                    inputs: config.workload.generate(config.n, *seed),
+                })
+                .collect();
+            engine
+                .run(&lanes)
+                .into_iter()
+                .zip(&chunk)
+                .map(|(outcome, (seed, _))| {
+                    let summary = RunSummary::from_outcome(*seed, &outcome?);
+                    on_run(&summary);
+                    Ok(summary)
+                })
+                .collect()
         })
         .collect();
     Ok(ExperimentResult {
         config: config.clone(),
-        runs: runs.into_iter().collect::<Result<_>>()?,
+        runs: runs
+            .into_iter()
+            .flatten()
+            .collect::<Result<Vec<RunSummary>>>()?,
     })
 }
 

@@ -65,6 +65,7 @@ pub mod stats;
 mod workload;
 
 pub use experiment::{
-    run_experiment, run_experiment_with, ExperimentConfig, ExperimentResult, RunSummary,
+    run_batch_experiment, run_experiment, run_experiment_with, ExperimentConfig, ExperimentResult,
+    RunSummary, BATCH_WIDTH,
 };
 pub use workload::Workload;

@@ -114,5 +114,30 @@ fn steady_state_rounds_allocate_nothing_under_observe_summary() {
             full_long > full_short,
             "{model}: Full-observability rounds should allocate (got {full_short} vs {full_long})"
         );
+
+        // Pooled Full recording: a recorded round is four flat slot
+        // arrays, not one heap object per sender, so the per-round
+        // allocation *count* is independent of the system size — buffer
+        // sizes scale with n, allocation counts do not. The per-round
+        // delta of a larger universe must match exactly. (n + 3 is the
+        // largest margin where all three models still exhaust the budget
+        // under this adversary; with more slack the diameter collapses to
+        // exactly zero before round 26.)
+        let (big_short, big_rounds_short) = run_counting(model, n + 3, 6, Observe::Full);
+        let (big_long, big_rounds_long) = run_counting(model, n + 3, 26, Observe::Full);
+        assert_eq!(
+            (big_rounds_short, big_rounds_long),
+            (6, 26),
+            "{model}: the larger universe must exhaust both budgets"
+        );
+        assert_eq!(
+            full_long - full_short,
+            big_long - big_short,
+            "{model}: Full-observability per-round allocation count grew with n \
+             ({} at n = {n} vs {} at n = {})",
+            (full_long - full_short) / 20,
+            (big_long - big_short) / 20,
+            n + 3
+        );
     }
 }
