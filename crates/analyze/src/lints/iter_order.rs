@@ -1,0 +1,81 @@
+//! `determinism/iter-order`: `retain`/`dedup` over data not provably
+//! sorted are forbidden in result-affecting crates.
+//!
+//! Both families are order-sensitive: `dedup` only collapses *adjacent*
+//! duplicates, and the surviving element set of `retain` is stable but the
+//! meaning of "what survives in what order" inherits whatever order the
+//! receiver happened to hold. On data that arrived in collection order
+//! (directory walks, map drains, network arrival) that order is an
+//! accident, and a result-affecting crate folding it into seed-keyed
+//! output silently breaks the bit-identity invariant.
+//!
+//! The lint accepts a call when the receiver is a plain identifier that
+//! was visibly sorted earlier — an `ident.sort*(…)` call on the same
+//! identifier within the preceding [`SORT_WINDOW`] code tokens (the
+//! canonical `v.sort_unstable(); v.dedup();` idiom). Anything else —
+//! chained receivers (`f().dedup()`), field receivers, or no sort in
+//! sight — is flagged and must either sort first or carry an
+//! `mbaa: allow(determinism/iter-order, reason)` waiver explaining why
+//! the order is deterministic anyway.
+
+use super::{
+    finding, followed_by_call, is_ident_kind, preceded_by_dot, FileContext, Finding, ITER_ORDER,
+};
+use crate::lexer::Token;
+
+/// Order-sensitive methods the lint tracks.
+const ORDER_SENSITIVE: &[&str] = &["retain", "dedup", "dedup_by", "dedup_by_key"];
+
+/// How far back (in code tokens) a sort of the receiver counts as proof.
+/// Generous enough to span a screenful of set-up code, small enough that a
+/// sort in one function cannot vouch for a dedup in the next.
+const SORT_WINDOW: usize = 300;
+
+pub(crate) fn run(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
+    if !ctx.result_affecting {
+        return;
+    }
+    for (i, token) in code.iter().enumerate() {
+        if !is_ident_kind(token)
+            || !preceded_by_dot(code, i)
+            || !followed_by_call(code, i)
+            || !ORDER_SENSITIVE.contains(&token.text.as_str())
+        {
+            continue;
+        }
+        // The receiver: the identifier just before the dot. A chained or
+        // field receiver is never provably sorted here.
+        let receiver = (i >= 2)
+            .then(|| code[i - 2])
+            .filter(|t| is_ident_kind(t))
+            .map(|t| t.text.as_str());
+        let sorted = receiver.is_some_and(|recv| {
+            let from = i.saturating_sub(SORT_WINDOW);
+            (from..i.saturating_sub(2)).any(|j| {
+                code[j].is_ident(recv)
+                    && code.get(j + 1).is_some_and(|t| t.is_punct('.'))
+                    && code
+                        .get(j + 2)
+                        .is_some_and(|t| is_ident_kind(t) && t.text.starts_with("sort"))
+            })
+        });
+        if !sorted {
+            let what = match receiver {
+                Some(recv) => format!("`{recv}` is not visibly sorted before this call"),
+                None => "the receiver is not a plain identifier, so its order \
+                         cannot be verified"
+                    .to_string(),
+            };
+            out.push(finding(
+                ITER_ORDER,
+                token,
+                format!(
+                    "`.{}()` depends on the receiver's element order and {what}; \
+                     sort the receiver first (`sort_unstable`) or waive with a \
+                     reason the order is deterministic",
+                    token.text
+                ),
+            ));
+        }
+    }
+}

@@ -9,6 +9,7 @@
 mod allocation;
 mod ambient_rng;
 mod hash_collections;
+mod iter_order;
 mod stable_sort;
 mod vec_growth;
 mod wall_clock;
@@ -37,12 +38,13 @@ pub const HASH_COLLECTIONS: LintSpec = LintSpec {
               forbidden in result-affecting crates",
 };
 
-/// `determinism/wall-clock` — wall-clock reads outside `crates/bench`.
+/// `determinism/wall-clock` — wall-clock reads outside the two sanctioned
+/// homes: `crates/bench` and the `obs::timing` module.
 pub const WALL_CLOCK: LintSpec = LintSpec {
     name: "determinism/wall-clock",
     severity: Severity::Error,
     summary: "Instant/SystemTime leak wall-clock state into results; \
-              only crates/bench may time things",
+              only crates/bench and obs::timing may time things",
 };
 
 /// `determinism/ambient-rng` — ambient randomness anywhere in the tree.
@@ -68,6 +70,17 @@ pub const VEC_GROWTH: LintSpec = LintSpec {
     summary: "push/extend growth inside `mbaa: alloc-free` regions can \
               reallocate when the capacity bound breaks; write into \
               pre-sized buffers by index",
+};
+
+/// `determinism/iter-order` — `retain`/`dedup` over data not provably
+/// sorted in result-affecting crates.
+pub const ITER_ORDER: LintSpec = LintSpec {
+    name: "determinism/iter-order",
+    severity: Severity::Error,
+    summary: "retain/dedup depend on the receiver's element order; in \
+              result-affecting crates the receiver must be sorted \
+              (`recv.sort*()` earlier in the function) or the call waived \
+              with a reason",
 };
 
 /// `determinism/stable-sort` — stable sorts and non-total float comparators.
@@ -96,6 +109,7 @@ pub const LINTS: &[LintSpec] = &[
     ALLOCATION,
     VEC_GROWTH,
     STABLE_SORT,
+    ITER_ORDER,
     BAD_DIRECTIVE,
 ];
 
@@ -121,6 +135,7 @@ pub const RESULT_AFFECTING_CRATES: &[&str] = &[
     "adversary",
     "mixed",
     "core",
+    "obs",
     "sim",
     "facade",
 ];
@@ -132,8 +147,12 @@ pub struct FileContext {
     pub path: String,
     /// `true` under one of [`RESULT_AFFECTING_CRATES`].
     pub result_affecting: bool,
-    /// `true` under `crates/bench` — the sole wall-clock exemption.
+    /// `true` under `crates/bench` — one of the two wall-clock exemptions.
     pub bench: bool,
+    /// `true` for `crates/obs/src/timing.rs` — the *only* result-affecting
+    /// module sanctioned to read the wall clock (the observability fence;
+    /// see `docs/observability.md`).
+    pub obs_timing: bool,
 }
 
 impl FileContext {
@@ -147,6 +166,7 @@ impl FileContext {
         FileContext {
             result_affecting: RESULT_AFFECTING_CRATES.iter().any(|c| in_crate(c)),
             bench: in_crate("bench"),
+            obs_timing: in_crate("obs") && normalized.ends_with("src/timing.rs"),
             path: path.to_string(),
         }
     }
@@ -224,6 +244,7 @@ pub fn analyze_tokens(ctx: &FileContext, tokens: &[Token]) -> (Vec<Diagnostic>, 
     allocation::run(ctx, &code, &regions, &mut findings);
     vec_growth::run(ctx, &code, &regions, &mut findings);
     stable_sort::run(ctx, &code, &mut findings);
+    iter_order::run(ctx, &code, &mut findings);
 
     // Report in source order regardless of which lint found what.
     findings.sort_by_key(|f| (f.line, f.col));

@@ -1,12 +1,18 @@
 //! `determinism/wall-clock`: `Instant`/`SystemTime` are forbidden outside
-//! `crates/bench`.
+//! the two sanctioned homes.
 //!
 //! Simulated time is round-indexed and seed-keyed; reading the host clock
 //! anywhere in a result-affecting path makes runs differ between machines
-//! and executions. The single sanctioned exemption is the bench crate
-//! (`crates/bench`, its `benches/` targets included — e.g. the hot-path
-//! throughput bench's `Instant::now()` loop), which measures the engine
-//! rather than feeding it.
+//! and executions. Exactly two exemptions exist, and CI asserts the fence
+//! stays that narrow:
+//!
+//! 1. the bench crate (`crates/bench`, its `benches/` targets included —
+//!    e.g. the hot-path throughput bench's `Instant::now()` loop), which
+//!    measures the engine rather than feeding it, and
+//! 2. `crates/obs/src/timing.rs` (`mbaa_obs::timing`), where phase
+//!    profiling and the CLI's progress stopwatch live. Timing there only
+//!    *listens* to the engines' phase hooks — it never feeds protocol
+//!    state (see `docs/observability.md`).
 
 use super::{finding, is_ident_kind, FileContext, Finding, WALL_CLOCK};
 use crate::lexer::Token;
@@ -14,7 +20,7 @@ use crate::lexer::Token;
 const FORBIDDEN: &[&str] = &["Instant", "SystemTime", "UNIX_EPOCH"];
 
 pub(crate) fn run(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
-    if ctx.bench {
+    if ctx.bench || ctx.obs_timing {
         return;
     }
     for token in code {
@@ -24,7 +30,8 @@ pub(crate) fn run(ctx: &FileContext, code: &[&Token], out: &mut Vec<Finding>) {
                 token,
                 format!(
                     "`{}` reads the host clock; simulated time is round-indexed and \
-                     seed-keyed — only crates/bench may time the wall clock",
+                     seed-keyed — only crates/bench and obs::timing may time the \
+                     wall clock",
                     token.text
                 ),
             ));

@@ -18,6 +18,7 @@ const ALLOC_FREE: &str = include_str!("fixtures/alloc_free.rs");
 const ALLOC_FREE_MODULE: &str = include_str!("fixtures/alloc_free_module.rs");
 const VEC_GROWTH: &str = include_str!("fixtures/vec_growth.rs");
 const STABLE_SORT: &str = include_str!("fixtures/stable_sort.rs");
+const ITER_ORDER: &str = include_str!("fixtures/iter_order.rs");
 const BAD_DIRECTIVES: &str = include_str!("fixtures/bad_directives.rs");
 
 /// Analyzes fixture source as if it lived at `virtual_path`.
@@ -92,6 +93,63 @@ fn wall_clock_positive_suppressed_and_bench_exempt() {
     // The bench crate (including its benches/ targets) is exempt.
     let bench = analyze_at("crates/bench/benches/fixture.rs", WALL_CLOCK);
     assert!(bench.diagnostics.is_empty(), "{}", bench.to_text());
+}
+
+#[test]
+fn wall_clock_exempts_obs_timing_but_not_the_rest_of_obs() {
+    // The observability fence: `crates/obs/src/timing.rs` is the single
+    // result-affecting module sanctioned to read the wall clock.
+    let timing = analyze_at("crates/obs/src/timing.rs", WALL_CLOCK);
+    assert!(timing.diagnostics.is_empty(), "{}", timing.to_text());
+
+    // Everywhere else in crates/obs the lint fires as usual.
+    let lib = analyze_at("crates/obs/src/lib.rs", WALL_CLOCK);
+    assert_eq!(lints_and_lines(&lib), vec![("determinism/wall-clock", 3)]);
+    // And a `timing.rs` outside crates/obs is not exempt.
+    let elsewhere = analyze_at("crates/core/src/timing.rs", WALL_CLOCK);
+    assert_eq!(
+        lints_and_lines(&elsewhere),
+        vec![("determinism/wall-clock", 3)]
+    );
+}
+
+#[test]
+fn iter_order_flags_unsorted_retain_and_dedup() {
+    let report = analyze_at("crates/msr/src/fixture.rs", ITER_ORDER);
+    assert_eq!(
+        lints_and_lines(&report),
+        vec![
+            ("determinism/iter-order", 4),
+            ("determinism/iter-order", 8),
+            ("determinism/iter-order", 12),
+        ],
+        "{}",
+        report.to_text()
+    );
+    // The chained-receiver positive explains why it cannot be verified.
+    assert!(report.diagnostics[2].message.contains("plain identifier"));
+    // `xs.sort_unstable(); xs.dedup();` passes; the waived retain is
+    // recorded as suppressed.
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].lint, "determinism/iter-order");
+    assert_eq!(report.suppressed[0].line, 23);
+}
+
+#[test]
+fn iter_order_only_fires_in_result_affecting_crates() {
+    for path in [
+        "crates/bench/src/fixture.rs",
+        "crates/cli/src/fixture.rs",
+        "crates/analyze/src/fixture.rs",
+        "tests/fixture.rs",
+    ] {
+        let report = analyze_at(path, ITER_ORDER);
+        assert!(
+            report.diagnostics.is_empty(),
+            "{path} should be out of scope:\n{}",
+            report.to_text()
+        );
+    }
 }
 
 #[test]

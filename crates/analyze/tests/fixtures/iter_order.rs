@@ -1,0 +1,24 @@
+//! Fixture: determinism/iter-order — positives, a sorted pass, a waiver.
+
+fn unsorted_dedup(xs: &mut Vec<u64>) {
+    xs.dedup();
+}
+
+fn unsorted_retain(xs: &mut Vec<u64>) {
+    xs.retain(|x| *x > 0);
+}
+
+fn chained_receiver(xs: &[u64]) -> Vec<u64> {
+    xs.to_vec().dedup_by(|a, b| a == b);
+    xs.to_vec()
+}
+
+fn sorted_then_deduped(xs: &mut Vec<u64>) {
+    xs.sort_unstable();
+    xs.dedup();
+}
+
+fn waived(ys: &mut Vec<u64>) {
+    // mbaa: allow(determinism/iter-order, fixture demonstrating the waiver syntax)
+    ys.retain(|y| *y % 2 == 0);
+}

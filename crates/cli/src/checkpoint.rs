@@ -330,6 +330,20 @@ pub fn execute_chunk(
     index: usize,
     workers: Option<usize>,
 ) -> Result<Vec<ChunkEntry>, CheckpointError> {
+    execute_chunk_metrics(plan, index, workers, None)
+}
+
+/// [`execute_chunk`] with an optional metrics sink: when present, every
+/// run's telemetry is folded into it through the registry-merging
+/// streaming path. The summaries are bit-identical either way, and the
+/// merged registry is bit-identical for every worker count — counter
+/// addition commutes, so completion order cannot show through.
+pub fn execute_chunk_metrics(
+    plan: &SweepPlan,
+    index: usize,
+    workers: Option<usize>,
+    mut metrics: Option<&mut MetricsRegistry>,
+) -> Result<Vec<ChunkEntry>, CheckpointError> {
     let range = plan.chunk_range(index);
     let mut entries = Vec::with_capacity(range.len());
     let mut cursor = range.start;
@@ -345,9 +359,18 @@ pub fn execute_chunk(
         if let Some(width) = workers {
             runner = runner.workers(width);
         }
-        let result = runner
-            .stream()
-            .map_err(|e| fail(format!("point {point} failed: {e}")))?;
+        let result = match metrics.as_deref_mut() {
+            Some(sink) => {
+                let (result, local) = runner
+                    .stream_metrics()
+                    .map_err(|e| fail(format!("point {point} failed: {e}")))?;
+                sink.merge(&local);
+                result
+            }
+            None => runner
+                .stream()
+                .map_err(|e| fail(format!("point {point} failed: {e}")))?,
+        };
         for summary in result.runs {
             entries.push(ChunkEntry {
                 point,

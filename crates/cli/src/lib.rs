@@ -11,13 +11,24 @@
 //! | `sweep` | execute through a checkpoint directory, one chunk file at a time |
 //! | `resume` | finish an interrupted `sweep` from its checkpoint directory |
 //! | `merge` | assemble a completed checkpoint directory into one report |
+//! | `report` | render an `mbaa-metrics/1` document (or fold an events JSONL stream) as a table |
 //! | `validate` | parse scenario files, reporting `line:col`-anchored errors |
 //! | `explain` | show how a file expands: bounds, points, seeds |
 //! | `gallery` | list the committed reproduction scenarios; `--run` re-executes each one |
 //!
+//! Telemetry rides along without disturbing any of it: `--metrics-out`
+//! (on `run`, `sweep`, `resume`, and `gallery --run`) aggregates every
+//! executed run into a canonical `mbaa-metrics/1` document, `run
+//! --events-out` writes the per-round event stream as JSONL, `run
+//! --profile` prints the sanctioned wall-clock phase breakdown to stderr,
+//! and `--progress` keeps a live stderr line with throughput and ETA.
+//! See `docs/observability.md`.
+//!
 //! Exit codes: `0` success, `1` execution or validation failure, `2`
-//! usage error. All output is deterministic — tables and reports depend
-//! only on the scenario file, never on thread scheduling or worker count.
+//! usage error. All stdout output is deterministic — tables and reports
+//! depend only on the scenario file, never on thread scheduling or worker
+//! count; wall-clock readings (`--progress`, `--profile`) go to stderr
+//! only.
 
 pub mod checkpoint;
 pub mod report;
@@ -49,18 +60,29 @@ USAGE:
 
 COMMANDS:
     run <file>       Execute a scenario file and print per-point results
-                       --workers <n>   cap worker threads
-                       --out <path>    write the merged report JSON
-                       --smoke         trim each point to 2 seeds (CI mode)
+                       --workers <n>        cap worker threads
+                       --out <path>         write the merged report JSON
+                       --smoke              trim each point to 2 seeds (CI mode)
+                       --metrics-out <path> write the aggregated mbaa-metrics/1 document
+                       --events-out <path>  write the per-round telemetry stream as JSONL
+                       --profile            print the wall-clock phase breakdown (stderr)
+                       --progress           live stderr progress line (points/s, ETA)
     sweep <file>     Execute through a resumable checkpoint directory
                        --checkpoint <dir>   where chunks live (required)
                        --chunk-size <n>     runs per chunk (default 64)
                        --chunks <a>..<b>    only execute chunk indices [a, b)
                        --workers <n>        cap worker threads
+                       --metrics-out <path> metrics of the chunks executed THIS invocation
+                       --progress           live stderr progress line (chunks/s, ETA)
     resume <dir>     Finish an interrupted sweep from its checkpoint
                        --workers <n>        cap worker threads
+                       --metrics-out <path> metrics of the chunks executed THIS invocation
+                       --progress           live stderr progress line (chunks/s, ETA)
     merge <dir>      Assemble a completed checkpoint into one report
                        --out <path>    write the report (default: stdout)
+    report <file>    Render an mbaa-metrics/1 document — or fold an
+                     events JSONL stream into one — as a table
+                       --out <path>    also write the canonical metrics document
     validate <file>...   Parse scenario files; errors carry line:col
     explain <file>   Show how a file expands: bounds, points, seeds
     gallery [dir]    List committed scenarios (default dir: scenarios)
@@ -68,6 +90,8 @@ COMMANDS:
                        --smoke         with --run: trim each point to 2 seeds
                        --workers <n>   with --run: cap worker threads
                        --out <dir>     with --run: write <dir>/<name>.report.json per scenario
+                       --metrics-out <path>  with --run: one merged metrics document
+                       --progress      with --run: live stderr progress line
     help             Show this message
 
 EXIT CODES:
@@ -100,6 +124,7 @@ pub fn run_cli(args: &[String]) -> i32 {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("gallery") => cmd_gallery(&args[1..]),
@@ -133,6 +158,10 @@ struct Opts {
     chunks: Option<(usize, usize)>,
     smoke: bool,
     run: bool,
+    metrics_out: Option<PathBuf>,
+    events_out: Option<PathBuf>,
+    profile: bool,
+    progress: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
@@ -145,6 +174,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
         chunks: None,
         smoke: false,
         run: false,
+        metrics_out: None,
+        events_out: None,
+        profile: false,
+        progress: false,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -180,8 +213,16 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                 }
                 opts.chunks = Some((a, b));
             }
+            "--metrics-out" => {
+                opts.metrics_out = Some(PathBuf::from(value_of("--metrics-out")?));
+            }
+            "--events-out" => {
+                opts.events_out = Some(PathBuf::from(value_of("--events-out")?));
+            }
             "--smoke" => opts.smoke = true,
             "--run" => opts.run = true,
+            "--profile" => opts.profile = true,
+            "--progress" => opts.progress = true,
             flag if flag.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag {flag}")));
             }
@@ -282,6 +323,40 @@ fn write_report(
     Ok(())
 }
 
+/// Writes an aggregated registry as a canonical `mbaa-metrics/1` document.
+fn write_metrics(path: &Path, metrics: &MetricsRegistry) -> Result<(), CliError> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(parent)
+            .map_err(|e| CliError::Failure(format!("{}: {e}", parent.display())))?;
+    }
+    let text = write_string(&mbaa_json::metrics_to_json(metrics));
+    checkpoint::write_atomic(path, &text)?;
+    println!("metrics written to {}", path.display());
+    Ok(())
+}
+
+/// `--progress`: one carriage-return-rewritten stderr line with
+/// throughput and ETA. Never touches stdout, so tables and reports stay
+/// byte-identical with or without it; the wall clock it reads is the
+/// sanctioned [`Stopwatch`](mbaa::obs::timing::Stopwatch).
+fn progress_line(unit: &str, done: usize, total: usize, watch: &mbaa::obs::timing::Stopwatch) {
+    let elapsed = watch.elapsed_secs();
+    let rate = if elapsed > 0.0 {
+        done as f64 / elapsed
+    } else {
+        0.0
+    };
+    let eta = if rate > 0.0 {
+        (total.saturating_sub(done)) as f64 / rate
+    } else {
+        0.0
+    };
+    eprint!("\r{done}/{total} {unit}(s) \u{b7} {rate:.1} {unit}s/s \u{b7} ETA {eta:.0}s    ");
+    if done == total {
+        eprintln!();
+    }
+}
+
 // ---------------------------------------------------------------------------
 // run
 // ---------------------------------------------------------------------------
@@ -293,21 +368,90 @@ type LabelledPoints = Vec<(String, Scenario)>;
 /// Executes every point of `doc` and returns the labelled points with one
 /// report row each. One plan with a single all-covering chunk per point
 /// keeps `run`, `gallery --run`, and `sweep` on the same execution path —
-/// that shared path is what makes their reports byte-identical.
+/// that shared path is what makes their reports byte-identical. When a
+/// metrics sink is supplied, every run's telemetry is folded into it;
+/// `progress` keeps a live stderr line (stdout is untouched by both).
 fn execute_doc(
     doc: &ScenarioFile,
     workers: Option<usize>,
+    mut metrics: Option<&mut MetricsRegistry>,
+    progress: bool,
 ) -> Result<(LabelledPoints, Vec<ReportPoint>), CliError> {
     let plan = SweepPlan::new(doc, doc.seeds.seeds().len().max(1));
+    let total = plan.points.len();
+    let watch = mbaa::obs::timing::Stopwatch::start();
     let mut rows = Vec::with_capacity(plan.points.len());
     for (index, (label, _)) in plan.points.iter().enumerate() {
-        let entries = checkpoint::execute_chunk(&plan, index, workers)?;
+        let entries =
+            checkpoint::execute_chunk_metrics(&plan, index, workers, metrics.as_deref_mut())?;
         rows.push(ReportPoint {
             label: label.clone(),
             runs: entries.into_iter().map(|e| e.summary).collect(),
         });
+        if progress {
+            progress_line("point", index + 1, total, &watch);
+        }
     }
     Ok((plan.points, rows))
+}
+
+/// `--events-out`: replays every `(point, seed)` run on the scalar engine
+/// with an [`EventLog`] attached and writes one kind-tagged JSON line per
+/// event, point-major / seed-minor. The replay is sound because results —
+/// and therefore event streams — are bit-identical with any observer
+/// attached; the tables already printed came from the very same runs.
+fn write_events(
+    doc: &ScenarioFile,
+    points: &[(String, Scenario)],
+    path: &Path,
+) -> Result<(), CliError> {
+    let mut seeds = doc.seeds.seeds();
+    seeds.sort_unstable();
+    seeds.dedup();
+    let mut lines = String::new();
+    for (label, scenario) in points {
+        for &seed in &seeds {
+            let mut log = EventLog::new();
+            scenario
+                .run_observed(seed, &mut log)
+                .map_err(|e| CliError::Failure(format!("{label}, seed {seed}: {e}")))?;
+            for event in log.events() {
+                lines.push_str(&mbaa_json::write_line(&mbaa_json::event_to_json(event)));
+                lines.push('\n');
+            }
+        }
+    }
+    // `write_atomic` supplies the trailing newline.
+    lines.pop();
+    checkpoint::write_atomic(path, &lines)?;
+    println!("events written to {}", path.display());
+    Ok(())
+}
+
+/// `--profile`: replays every `(point, seed)` run sequentially with the
+/// sanctioned [`PhaseProfiler`](mbaa::obs::timing::PhaseProfiler) attached
+/// and prints the wall-clock phase breakdown to stderr — stdout stays
+/// byte-identical to an unprofiled invocation. The profiler reports
+/// `enabled() == false`, so the engine skips telemetry assembly and the
+/// timings measure the protocol, not the observability layer.
+fn profile_doc(doc: &ScenarioFile, points: &[(String, Scenario)]) -> Result<(), CliError> {
+    let mut seeds = doc.seeds.seeds();
+    seeds.sort_unstable();
+    seeds.dedup();
+    let mut profiler = mbaa::obs::timing::PhaseProfiler::new();
+    for (label, scenario) in points {
+        for &seed in &seeds {
+            scenario
+                .run_observed(seed, &mut profiler)
+                .map_err(|e| CliError::Failure(format!("{label}, seed {seed}: {e}")))?;
+        }
+    }
+    eprintln!(
+        "wall-clock phase breakdown over {} run(s) (scalar engine):",
+        points.len() * seeds.len()
+    );
+    eprint!("{}", profiler.breakdown().render());
+    Ok(())
 }
 
 fn cmd_run(args: &[String]) -> Result<(), CliError> {
@@ -317,10 +461,23 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     if opts.smoke {
         doc = apply_smoke(&doc);
     }
-    let (points, rows) = execute_doc(&doc, opts.workers)?;
+    let mut metrics = opts.metrics_out.as_ref().map(|_| MetricsRegistry::new());
+    let (points, rows) = execute_doc(&doc, opts.workers, metrics.as_mut(), opts.progress)?;
     print_point_table(&points, &rows);
     if opts.out.is_some() {
         write_report(&doc, &points, &rows, opts.out.as_deref())?;
+    }
+    if let Some(out) = opts.metrics_out.as_deref() {
+        write_metrics(
+            out,
+            &metrics.expect("registry exists whenever --metrics-out does"),
+        )?;
+    }
+    if let Some(out) = opts.events_out.as_deref() {
+        write_events(&doc, &points, out)?;
+    }
+    if opts.profile {
+        profile_doc(&doc, &points)?;
     }
     Ok(())
 }
@@ -334,6 +491,8 @@ fn run_chunks(
     plan: &SweepPlan,
     only: Option<(usize, usize)>,
     workers: Option<usize>,
+    mut metrics: Option<&mut MetricsRegistry>,
+    progress: bool,
 ) -> Result<(), CliError> {
     checkpoint::ensure_manifest(dir, plan)?;
     let total = plan.chunk_count();
@@ -341,21 +500,26 @@ fn run_chunks(
         Some((a, b)) => (a.min(total), b.min(total)),
         None => (0, total),
     };
+    let watch = mbaa::obs::timing::Stopwatch::start();
     let mut executed = 0usize;
     let mut skipped = 0usize;
     for index in lo..hi {
         if checkpoint::read_chunk(dir, plan, index)?.is_some() {
             skipped += 1;
-            continue;
+        } else {
+            let entries =
+                checkpoint::execute_chunk_metrics(plan, index, workers, metrics.as_deref_mut())?;
+            let text = write_string(&checkpoint::chunk_json(plan, index, &entries));
+            checkpoint::write_atomic(&checkpoint::chunk_path(dir, index), &text)?;
+            executed += 1;
+            println!(
+                "chunk {index:>5}/{total}: {} runs written",
+                plan.chunk_range(index).len()
+            );
         }
-        let entries = checkpoint::execute_chunk(plan, index, workers)?;
-        let text = write_string(&checkpoint::chunk_json(plan, index, &entries));
-        checkpoint::write_atomic(&checkpoint::chunk_path(dir, index), &text)?;
-        executed += 1;
-        println!(
-            "chunk {index:>5}/{total}: {} runs written",
-            plan.chunk_range(index).len()
-        );
+        if progress {
+            progress_line("chunk", index + 1 - lo, hi - lo, &watch);
+        }
     }
     println!(
         "{executed} chunk(s) executed, {skipped} already complete, \
@@ -363,6 +527,20 @@ fn run_chunks(
         plan.total_runs(),
         plan.points.len()
     );
+    Ok(())
+}
+
+/// The metrics surface of `sweep`/`resume`: `--metrics-out` aggregates the
+/// chunks executed by *this* invocation (already-complete chunks are not
+/// re-run, so their runs are absent — the full-sweep document comes from
+/// `mbaa run --metrics-out` or a single uninterrupted sweep).
+fn finish_chunked(opts: &Opts, metrics: Option<MetricsRegistry>) -> Result<(), CliError> {
+    if let Some(out) = opts.metrics_out.as_deref() {
+        write_metrics(
+            out,
+            &metrics.expect("registry exists whenever --metrics-out does"),
+        )?;
+    }
     Ok(())
 }
 
@@ -375,7 +553,16 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
         .ok_or_else(|| CliError::Usage("sweep needs --checkpoint <dir>".to_string()))?;
     let doc = load_doc(&path)?;
     let plan = SweepPlan::new(&doc, opts.chunk_size.unwrap_or(DEFAULT_CHUNK_SIZE));
-    run_chunks(&dir, &plan, opts.chunks, opts.workers)
+    let mut metrics = opts.metrics_out.as_ref().map(|_| MetricsRegistry::new());
+    run_chunks(
+        &dir,
+        &plan,
+        opts.chunks,
+        opts.workers,
+        metrics.as_mut(),
+        opts.progress,
+    )?;
+    finish_chunked(&opts, metrics)
 }
 
 fn cmd_resume(args: &[String]) -> Result<(), CliError> {
@@ -384,7 +571,16 @@ fn cmd_resume(args: &[String]) -> Result<(), CliError> {
     let doc = checkpoint::read_manifest_doc(&dir)?;
     let chunk_size = read_manifest_chunk_size(&dir)?;
     let plan = SweepPlan::new(&doc, chunk_size);
-    run_chunks(&dir, &plan, opts.chunks, opts.workers)
+    let mut metrics = opts.metrics_out.as_ref().map(|_| MetricsRegistry::new());
+    run_chunks(
+        &dir,
+        &plan,
+        opts.chunks,
+        opts.workers,
+        metrics.as_mut(),
+        opts.progress,
+    )?;
+    finish_chunked(&opts, metrics)
 }
 
 /// The chunk size is part of the grid geometry, so `resume` must reuse
@@ -446,6 +642,114 @@ fn cmd_merge(args: &[String]) -> Result<(), CliError> {
         })
         .collect();
     write_report(&doc, &plan.points, &rows, opts.out.as_deref())
+}
+
+// ---------------------------------------------------------------------------
+// report
+// ---------------------------------------------------------------------------
+
+/// Folds an events JSONL stream (one kind-tagged event per line, as
+/// written by `mbaa run --events-out`) into a fresh registry.
+fn fold_events(path: &Path, text: &str) -> Result<MetricsRegistry, CliError> {
+    let mut metrics = MetricsRegistry::new();
+    let mut folded = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let at = |e: &dyn std::fmt::Display| {
+            CliError::Failure(format!("{}:{}: {e}", path.display(), lineno + 1))
+        };
+        let tree = mbaa_json::parse(line).map_err(|e| at(&e))?;
+        let event = mbaa_json::event_from(mbaa_json::Ctx::root(&tree)).map_err(|e| at(&e))?;
+        metrics.record_event(&event);
+        folded += 1;
+    }
+    if folded == 0 {
+        return Err(CliError::Failure(format!(
+            "{}: neither an mbaa-metrics/1 document nor a non-empty events JSONL stream",
+            path.display()
+        )));
+    }
+    Ok(metrics)
+}
+
+fn histogram_rows(histogram: &mbaa::Histogram) -> Vec<(String, u64)> {
+    let bounds = histogram.bounds();
+    histogram
+        .counts()
+        .iter()
+        .enumerate()
+        .map(|(i, &count)| {
+            let label = match bounds.get(i + 1) {
+                Some(hi) => format!("[{}, {})", bounds[i], hi),
+                None => format!("[{}, \u{221e})", bounds[i]),
+            };
+            (label, count)
+        })
+        .collect()
+}
+
+fn print_histogram(title: &str, histogram: &mbaa::Histogram) {
+    println!();
+    println!("{title} ({} sample(s)):", histogram.total());
+    let rows = histogram_rows(histogram);
+    let label_width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, count) in rows {
+        println!("  {label:<label_width$}  {count:>8}");
+    }
+}
+
+/// Renders an aggregated registry as the `mbaa report` table.
+fn print_metrics_report(metrics: &MetricsRegistry) {
+    println!("{:<20}  {:>12}", "counter", "value");
+    for (name, value) in [
+        ("runs", metrics.runs),
+        ("converged", metrics.converged),
+        ("validity_failures", metrics.validity_failures),
+        ("rounds_total", metrics.rounds_total),
+        ("messages_delivered", metrics.messages_delivered),
+        ("omissions", metrics.omissions),
+        ("link_omissions", metrics.link_omissions),
+        ("corruptions", metrics.corruptions),
+    ] {
+        println!("{name:<20}  {value:>12}");
+    }
+    println!();
+    let rate = metrics
+        .convergence_rate()
+        .map_or_else(|| "-".to_string(), |r| format!("{:.1}%", r * 100.0));
+    let mean = metrics
+        .mean_rounds()
+        .map_or_else(|| "-".to_string(), |m| format!("{m:.2}"));
+    println!("convergence rate: {rate}   mean rounds per run: {mean}");
+    print_histogram("rounds to converge", &metrics.rounds_to_converge);
+    print_histogram("per-round contraction ratio", &metrics.contraction_ratio);
+}
+
+fn cmd_report(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    let path = one_positional(&opts, "metrics document or events JSONL file")?;
+    let text = fs::read_to_string(&path)
+        .map_err(|e| CliError::Failure(format!("{}: {e}", path.display())))?;
+    // Dispatch on shape: a whole-file JSON object carrying a `format` field
+    // is the aggregated document; anything else is treated as JSONL.
+    let metrics = match mbaa_json::parse(&text) {
+        Ok(tree)
+            if mbaa_json::Ctx::root(&tree)
+                .object()
+                .is_ok_and(|mut obj| obj.opt("format").is_some()) =>
+        {
+            mbaa_json::metrics_from(mbaa_json::Ctx::root(&tree))
+                .map_err(|e| CliError::Failure(format!("{}: {e}", path.display())))?
+        }
+        _ => fold_events(&path, &text)?,
+    };
+    print_metrics_report(&metrics);
+    if let Some(out) = opts.out.as_deref() {
+        write_metrics(out, &metrics)?;
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -552,11 +856,19 @@ fn cmd_explain(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_gallery(args: &[String]) -> Result<(), CliError> {
     let opts = parse_opts(args)?;
-    if !opts.run && (opts.smoke || opts.workers.is_some() || opts.out.is_some()) {
+    if !opts.run
+        && (opts.smoke
+            || opts.workers.is_some()
+            || opts.out.is_some()
+            || opts.metrics_out.is_some())
+    {
         return Err(CliError::Usage(
-            "--smoke/--workers/--out only make sense with gallery --run".to_string(),
+            "--smoke/--workers/--out/--metrics-out only make sense with gallery --run".to_string(),
         ));
     }
+    // One registry across every scenario file: `--metrics-out` on the
+    // gallery is the whole-corpus aggregate, not one document per file.
+    let mut metrics = opts.metrics_out.as_ref().map(|_| MetricsRegistry::new());
     let dir = match opts.positional.as_slice() {
         [] => PathBuf::from("scenarios"),
         [one] => PathBuf::from(one),
@@ -617,7 +929,8 @@ fn cmd_gallery(args: &[String]) -> Result<(), CliError> {
             if opts.smoke {
                 doc = apply_smoke(&doc);
             }
-            let (run_points, rows) = execute_doc(&doc, opts.workers)?;
+            let (run_points, rows) =
+                execute_doc(&doc, opts.workers, metrics.as_mut(), opts.progress)?;
             println!();
             print_point_table(&run_points, &rows);
             if let Some(out_dir) = opts.out.as_deref() {
@@ -625,6 +938,12 @@ fn cmd_gallery(args: &[String]) -> Result<(), CliError> {
                 write_report(&doc, &run_points, &rows, Some(&report_path))?;
             }
         }
+    }
+    if let Some(out) = opts.metrics_out.as_deref() {
+        write_metrics(
+            out,
+            &metrics.expect("registry exists whenever --metrics-out does"),
+        )?;
     }
     Ok(())
 }

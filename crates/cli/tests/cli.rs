@@ -373,6 +373,264 @@ fn tampered_chunk_is_a_hard_error() {
 }
 
 // ---------------------------------------------------------------------------
+// Telemetry: --metrics-out / --events-out / report.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn metrics_out_leaves_stdout_and_report_byte_identical() {
+    // Attaching telemetry must not perturb the deterministic outputs:
+    // stdout and the --out report stay byte-identical with and without
+    // --metrics-out.
+    let dir = scratch("metrics_inert");
+    let file = dir.join("sweep.scenario.json");
+    fs::write(&file, SWEEP_DOC).unwrap();
+    let plain_report = dir.join("plain.json");
+    let metered_report = dir.join("metered.json");
+    let metrics = dir.join("metrics.json");
+
+    let plain = mbaa(
+        &[
+            "run",
+            file.to_str().unwrap(),
+            "--out",
+            plain_report.to_str().unwrap(),
+        ],
+        &dir,
+    );
+    assert_eq!(plain.status.code(), Some(0), "stderr: {}", stderr(&plain));
+    let metered = mbaa(
+        &[
+            "run",
+            file.to_str().unwrap(),
+            "--out",
+            metered_report.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ],
+        &dir,
+    );
+    assert_eq!(
+        metered.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr(&metered)
+    );
+    // stdout differs only by the "written to" trailers (different paths
+    // and the extra metrics line) — the result table itself is identical.
+    let strip = |out: &Output| -> String {
+        stdout(out)
+            .lines()
+            .filter(|l| !l.contains("written to"))
+            .map(|l| format!("{l}\n"))
+            .collect()
+    };
+    assert_eq!(strip(&plain), strip(&metered));
+    assert_eq!(
+        fs::read(&plain_report).unwrap(),
+        fs::read(&metered_report).unwrap(),
+        "--metrics-out must not change the report"
+    );
+
+    let text = fs::read_to_string(&metrics).unwrap();
+    assert!(text.contains("\"format\": \"mbaa-metrics/1\""));
+    assert!(text.contains("\"runs\": 12"), "2 points x 6 seeds: {text}");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_renders_doc_and_events_identically_and_round_trips() {
+    // The same run, exported two ways — aggregated document and raw
+    // event stream — must fold to the same table, and `report --out`
+    // must re-emit the canonical document byte-identically.
+    let dir = scratch("report");
+    let file = dir.join("sweep.scenario.json");
+    fs::write(&file, SWEEP_DOC).unwrap();
+    let metrics = dir.join("metrics.json");
+    let events = dir.join("events.jsonl");
+
+    let run = mbaa(
+        &[
+            "run",
+            file.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--events-out",
+            events.to_str().unwrap(),
+        ],
+        &dir,
+    );
+    assert_eq!(run.status.code(), Some(0), "stderr: {}", stderr(&run));
+    let events_text = fs::read_to_string(&events).unwrap();
+    assert!(
+        events_text.lines().all(|l| l.starts_with('{')),
+        "events must be one JSON object per line"
+    );
+    assert!(events_text.contains("\"kind\": \"round\""));
+    assert!(events_text.contains("\"kind\": \"run_end\""));
+
+    let from_doc = mbaa(&["report", metrics.to_str().unwrap()], &dir);
+    assert_eq!(
+        from_doc.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr(&from_doc)
+    );
+    let table = stdout(&from_doc);
+    assert!(table.contains("runs"), "missing counter rows:\n{table}");
+    assert!(table.contains("convergence rate"));
+    assert!(table.contains("rounds to converge"));
+
+    let from_events = mbaa(&["report", events.to_str().unwrap()], &dir);
+    assert_eq!(
+        from_events.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr(&from_events)
+    );
+    assert_eq!(
+        table,
+        stdout(&from_events),
+        "event stream and aggregated document disagree"
+    );
+
+    let rewritten = dir.join("rewritten.json");
+    let round_trip = mbaa(
+        &[
+            "report",
+            events.to_str().unwrap(),
+            "--out",
+            rewritten.to_str().unwrap(),
+        ],
+        &dir,
+    );
+    assert_eq!(round_trip.status.code(), Some(0));
+    assert_eq!(
+        fs::read(&metrics).unwrap(),
+        fs::read(&rewritten).unwrap(),
+        "report --out must reproduce the canonical document"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_rejects_garbage_with_a_location() {
+    let dir = scratch("report_bad");
+    let bad = dir.join("bad.jsonl");
+    fs::write(&bad, "{\"kind\": \"round\"}\n").unwrap();
+    let out = mbaa(&["report", bad.to_str().unwrap()], &dir);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("bad.jsonl:1:"),
+        "error must name file and line: {}",
+        stderr(&out)
+    );
+
+    let empty = dir.join("empty.jsonl");
+    fs::write(&empty, "\n").unwrap();
+    let out = mbaa(&["report", empty.to_str().unwrap()], &dir);
+    assert_eq!(out.status.code(), Some(1));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_metrics_out_counts_only_this_invocation() {
+    // Chunked sweeps aggregate only what they execute: a partial sweep's
+    // registry covers its chunks, the resume's registry covers the rest,
+    // and a no-op resume reports zero runs.
+    let dir = scratch("sweep_metrics");
+    let file = dir.join("sweep.scenario.json");
+    fs::write(&file, SWEEP_DOC).unwrap();
+    let ckpt = dir.join("ckpt");
+    let first = dir.join("first.json");
+    let rest = dir.join("rest.json");
+    let noop = dir.join("noop.json");
+
+    let partial = mbaa(
+        &[
+            "sweep",
+            file.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--chunk-size",
+            "5",
+            "--chunks",
+            "0..1",
+            "--metrics-out",
+            first.to_str().unwrap(),
+        ],
+        &dir,
+    );
+    assert_eq!(
+        partial.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr(&partial)
+    );
+    assert!(fs::read_to_string(&first).unwrap().contains("\"runs\": 5"));
+
+    let resume = mbaa(
+        &[
+            "resume",
+            ckpt.to_str().unwrap(),
+            "--metrics-out",
+            rest.to_str().unwrap(),
+        ],
+        &dir,
+    );
+    assert_eq!(resume.status.code(), Some(0), "stderr: {}", stderr(&resume));
+    assert!(fs::read_to_string(&rest).unwrap().contains("\"runs\": 7"));
+
+    let again = mbaa(
+        &[
+            "resume",
+            ckpt.to_str().unwrap(),
+            "--metrics-out",
+            noop.to_str().unwrap(),
+        ],
+        &dir,
+    );
+    assert_eq!(again.status.code(), Some(0));
+    assert!(fs::read_to_string(&noop).unwrap().contains("\"runs\": 0"));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profile_and_progress_write_to_stderr_only() {
+    let dir = scratch("profile");
+    let file = dir.join("sweep.scenario.json");
+    fs::write(&file, SWEEP_DOC).unwrap();
+
+    let plain = mbaa(&["run", file.to_str().unwrap()], &dir);
+    let profiled = mbaa(
+        &["run", file.to_str().unwrap(), "--profile", "--progress"],
+        &dir,
+    );
+    assert_eq!(
+        profiled.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr(&profiled)
+    );
+    assert_eq!(
+        stdout(&plain),
+        stdout(&profiled),
+        "--profile/--progress must never touch stdout"
+    );
+    let err = stderr(&profiled);
+    assert!(err.contains("phase breakdown"), "missing breakdown: {err}");
+    for phase in ["adversary_plan", "exchange", "msr_apply", "record"] {
+        assert!(err.contains(phase), "breakdown is missing {phase:?}: {err}");
+    }
+    assert!(err.contains("ETA"), "missing progress line: {err}");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
 // Committed scenario files mean what the examples they reproduce mean.
 // ---------------------------------------------------------------------------
 

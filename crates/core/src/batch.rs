@@ -46,13 +46,14 @@
 //! be handed to it.
 
 use mbaa_adversary::{AdversaryView, MobileAdversary, RoundFaultPlan};
-use mbaa_msr::ConvergenceReport;
+use mbaa_msr::{ConvergenceReport, VotingFunction};
 use mbaa_net::{NetworkStats, NetworkTrace, Outbox, SyncNetwork, Topology, TopologySchedule};
+use mbaa_obs::{NoopObserver, Observer, RoundEvent};
 use mbaa_types::{
     Error, FaultState, Interval, MobileModel, ProcessId, Result, Round, Value, ValueMultiset,
 };
 
-use crate::engine::{fill_outbox, non_faulty_diameter, RoundScratch};
+use crate::engine::{emit_run_events, fill_outbox, non_faulty_diameter, RoundScratch};
 use crate::{MobileEngine, MobileRunOutcome, Observe, ProtocolConfig};
 
 /// One lane of a batch: a seed and the initial values it starts from.
@@ -83,6 +84,15 @@ struct LaneState {
     rounds_executed: usize,
     error: Option<Error>,
     done: bool,
+    /// Telemetry bookkeeping (only read when an enabled observer is
+    /// attached): the previous round's diameter (contraction ratios), the
+    /// previous stats snapshot (per-round traffic deltas on the general
+    /// path), the cured-corruption count of the current round, and the
+    /// run total of corruptions.
+    prev_diameter: f64,
+    prev_stats: NetworkStats,
+    corrupted_last: u32,
+    corruptions: u64,
 }
 
 /// Advances k seeds of one scenario point in lockstep. See the
@@ -120,19 +130,37 @@ impl BatchEngine {
     /// loop would forfeit the shared scratch with no throughput win).
     #[must_use]
     pub fn run(&self, lanes: &[BatchLane]) -> Vec<Result<MobileRunOutcome>> {
+        self.run_observed(lanes, &mut NoopObserver)
+    }
+
+    /// [`BatchEngine::run`] with an [`Observer`] attached. Round events
+    /// from different lanes interleave round-major (the lockstep
+    /// schedule), but each seed's event subsequence is bit-identical to
+    /// the scalar engine's stream for that seed, and run-level events are
+    /// emitted in lane order at collection. The observer never influences
+    /// protocol state; outcomes are bit-identical to [`BatchEngine::run`].
+    #[must_use]
+    pub fn run_observed<O: Observer>(
+        &self,
+        lanes: &[BatchLane],
+        observer: &mut O,
+    ) -> Vec<Result<MobileRunOutcome>> {
         if self.config.observe != Observe::Summary || lanes.len() < 2 {
             return lanes
                 .iter()
-                .map(|lane| MobileEngine::new(self.lane_config(lane.seed)).run(&lane.inputs))
+                .map(|lane| {
+                    MobileEngine::new(self.lane_config(lane.seed))
+                        .run_observed(&lane.inputs, observer)
+                })
                 .collect();
         }
         let fast = self.config.schedule.is_none()
             && self.config.link_faults.is_clean()
             && matches!(self.config.topology, Topology::Complete);
         if fast {
-            self.run_fast(lanes)
+            self.run_fast(lanes, observer)
         } else {
-            self.run_general(lanes)
+            self.run_general(lanes, observer)
         }
     }
 
@@ -176,6 +204,10 @@ impl BatchEngine {
                 rounds_executed: 0,
                 error: None,
                 done: false,
+                prev_diameter: 0.0,
+                prev_stats: NetworkStats::new(),
+                corrupted_last: 0,
+                corruptions: 0,
             };
             if lane.inputs.len() != n {
                 ls.error = Some(Error::WrongInputCount {
@@ -264,9 +296,11 @@ impl BatchEngine {
         ls.adversary.begin_round_into(&view, plan);
 
         // Agents that left a process corrupted the state behind them.
+        ls.corrupted_last = 0;
         for p in plan.cured.iter() {
             if let Some(corrupted) = plan.corrupted_states[p.index()] {
                 votes[p.index()] = corrupted;
+                ls.corrupted_last += 1;
             }
         }
         for (i, state) in states.iter_mut().enumerate() {
@@ -295,6 +329,7 @@ impl BatchEngine {
                 .expect("at least one process is non-faulty");
             ls.validity_envelope = Some(envelope);
             let initial_diameter = received.diameter();
+            ls.prev_diameter = initial_diameter;
             if cfg.epsilon.covers_diameter(initial_diameter) {
                 ls.reached = true;
             }
@@ -311,14 +346,15 @@ impl BatchEngine {
     }
 
     /// The diameter bookkeeping closing one lane's round, shared by both
-    /// paths.
+    /// paths. Returns the round's diameter so the caller can emit the
+    /// lane's telemetry event without recomputing it.
     fn finish_lane_round(
         &self,
         ls: &mut LaneState,
         round_idx: usize,
         votes: &[Value],
         states: &[FaultState],
-    ) {
+    ) -> f64 {
         ls.rounds_executed = round_idx + 1;
         let diameter = non_faulty_diameter(votes, states);
         let report = ls
@@ -330,17 +366,22 @@ impl BatchEngine {
         if ls.reached {
             ls.done = true;
         }
+        diameter
     }
 
-    /// Assembles each lane's outcome exactly as the scalar engine does.
-    fn collect(
+    /// Assembles each lane's outcome exactly as the scalar engine does,
+    /// emitting each lane's run-level telemetry in lane order.
+    fn collect<O: Observer>(
         &self,
+        lanes: &[BatchLane],
         votes: &[Value],
         states: &[FaultState],
         lane_states: Vec<LaneState>,
+        observer: &mut O,
     ) -> Vec<Result<MobileRunOutcome>> {
         let cfg = &self.config;
         let n = cfg.n;
+        let telemetry = observer.enabled();
         lane_states
             .into_iter()
             .enumerate()
@@ -364,7 +405,7 @@ impl BatchEngine {
                     Some(network) => network.into_parts(),
                     None => (NetworkTrace::new(), ls.stats),
                 };
-                Ok(MobileRunOutcome {
+                let outcome = MobileRunOutcome {
                     reached_agreement: ls.reached,
                     rounds_executed: ls.rounds_executed,
                     final_votes: votes.to_vec(),
@@ -375,7 +416,11 @@ impl BatchEngine {
                     configurations: Vec::new(),
                     trace,
                     network_stats,
-                })
+                };
+                if telemetry {
+                    emit_run_events(observer, lanes[l].seed, &outcome, ls.corruptions);
+                }
+                Ok(outcome)
             })
             .collect()
     }
@@ -385,10 +430,15 @@ impl BatchEngine {
     /// matrix, sort buffer) but run the exact statement sequence of the
     /// scalar loop against their own network and adversary, so per-lane
     /// results are bit-identical by construction.
-    fn run_general(&self, lanes: &[BatchLane]) -> Vec<Result<MobileRunOutcome>> {
+    fn run_general<O: Observer>(
+        &self,
+        lanes: &[BatchLane],
+        observer: &mut O,
+    ) -> Vec<Result<MobileRunOutcome>> {
         let cfg = &self.config;
         let n = cfg.n;
         let k = lanes.len();
+        let telemetry = observer.enabled();
         let (mut votes, mut states, mut lane_states) = self.init_lanes(lanes, true);
         let RoundScratch {
             mut plan,
@@ -435,23 +485,59 @@ impl BatchEngine {
                 }
 
                 // Compute phase, identical to the scalar engine.
+                let mut min_multiset = usize::MAX;
                 for i in 0..n {
                     if states_l[i].is_non_faulty() || compute_even_if_faulty {
                         received.refill(deliveries.delivered_to(ProcessId::new(i)));
+                        if telemetry {
+                            min_multiset = min_multiset.min(received.len());
+                        }
                         if let Some(next) = cfg.function.apply_sorted(received.as_slice()) {
                             votes_l[i] = next;
                         }
                     }
                 }
 
-                self.finish_lane_round(ls, round_idx, votes_l, states_l);
+                let diameter = self.finish_lane_round(ls, round_idx, votes_l, states_l);
+                if telemetry {
+                    let stats = ls
+                        .network
+                        .as_ref()
+                        .expect("general lanes carry a network")
+                        .stats();
+                    let width = if min_multiset == usize::MAX {
+                        0
+                    } else {
+                        cfg.function.reduced_width(min_multiset)
+                    };
+                    observer.on_round(&RoundEvent {
+                        seed: lanes[l].seed,
+                        round: round_idx as u64,
+                        diameter,
+                        contraction: if ls.prev_diameter > 0.0 {
+                            diameter / ls.prev_diameter
+                        } else {
+                            1.0
+                        },
+                        faulty: plan.faulty.len() as u32,
+                        cured: plan.cured.len() as u32,
+                        corrupted: ls.corrupted_last,
+                        delivered: stats.messages_delivered - ls.prev_stats.messages_delivered,
+                        omissions: stats.omissions - ls.prev_stats.omissions,
+                        link_omissions: stats.link_omissions - ls.prev_stats.link_omissions,
+                        msr_width: width as u32,
+                    });
+                    ls.prev_stats = stats;
+                    ls.prev_diameter = diameter;
+                    ls.corruptions += u64::from(ls.corrupted_last);
+                }
             }
             if all_done {
                 break;
             }
         }
 
-        self.collect(&votes, &states, lane_states)
+        self.collect(lanes, &votes, &states, lane_states, observer)
     }
 
     /// The complete-topology fast path: no schedule, clean links. Senders
@@ -462,10 +548,15 @@ impl BatchEngine {
     /// filled and no delivery matrix exists — traffic statistics are
     /// accounted in closed form, matching the scalar network's counters
     /// exactly.
-    fn run_fast(&self, lanes: &[BatchLane]) -> Vec<Result<MobileRunOutcome>> {
+    fn run_fast<O: Observer>(
+        &self,
+        lanes: &[BatchLane],
+        observer: &mut O,
+    ) -> Vec<Result<MobileRunOutcome>> {
         let cfg = &self.config;
         let n = cfg.n;
         let k = lanes.len();
+        let telemetry = observer.enabled();
         let (mut votes, mut states, mut lane_states) = self.init_lanes(lanes, false);
         let mut plan = RoundFaultPlan::empty(n);
         let mut received = ValueMultiset::with_capacity(n);
@@ -605,14 +696,44 @@ impl BatchEngine {
                     }
                 }
 
-                self.finish_lane_round(ls, round_idx, votes_l, states_l);
+                let diameter = self.finish_lane_round(ls, round_idx, votes_l, states_l);
+                if telemetry {
+                    // The closed-form accounting above already yields the
+                    // per-round traffic: the unmasked complete graph has no
+                    // link faults, so every non-delivered slot is a sender
+                    // omission.
+                    let min_row = row_lens[..rows].iter().copied().min();
+                    let width = match min_row {
+                        Some(len) => cfg.function.reduced_width(len),
+                        None => 0,
+                    };
+                    observer.on_round(&RoundEvent {
+                        seed: lanes[l].seed,
+                        round: round_idx as u64,
+                        diameter,
+                        contraction: if ls.prev_diameter > 0.0 {
+                            diameter / ls.prev_diameter
+                        } else {
+                            1.0
+                        },
+                        faulty: plan.faulty.len() as u32,
+                        cured: plan.cured.len() as u32,
+                        corrupted: ls.corrupted_last,
+                        delivered,
+                        omissions: (n * n) as u64 - delivered,
+                        link_omissions: 0,
+                        msr_width: width as u32,
+                    });
+                    ls.prev_diameter = diameter;
+                    ls.corruptions += u64::from(ls.corrupted_last);
+                }
             }
             if all_done {
                 break;
             }
         }
 
-        self.collect(&votes, &states, lane_states)
+        self.collect(lanes, &votes, &states, lane_states, observer)
     }
 }
 

@@ -8,6 +8,7 @@ use mbaa_msr::{ConvergenceReport, VotingFunction};
 use mbaa_net::{
     DeliveryMatrix, NetworkStats, NetworkTrace, Outbox, SyncNetwork, Topology, TopologySchedule,
 };
+use mbaa_obs::{ConvergenceEvent, NoopObserver, Observer, Phase, RoundEvent, RunEndEvent};
 use mbaa_types::{
     Epsilon, Error, FaultState, Interval, MobileModel, ProcessId, Result, Round, Value,
     ValueMultiset,
@@ -141,6 +142,27 @@ impl MobileEngine {
         self.run_with_function(&self.config.function, initial_values)
     }
 
+    /// Runs the protocol with an [`Observer`] attached: the engine emits a
+    /// seed-keyed [`RoundEvent`] per round plus run-level
+    /// [`ConvergenceEvent`]/[`RunEndEvent`]s, and delimits the four round
+    /// phases via the `phase_start`/`phase_end` hooks. The observer never
+    /// influences protocol state — the outcome is bit-identical to
+    /// [`MobileEngine::run`], and with a [`NoopObserver`] the telemetry
+    /// path monomorphizes away entirely (steady-state rounds stay
+    /// allocation-free).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WrongInputCount`] when `initial_values` does not
+    /// hold exactly `n` values.
+    pub fn run_observed<O: Observer>(
+        &self,
+        initial_values: &[Value],
+        observer: &mut O,
+    ) -> Result<MobileRunOutcome> {
+        self.run_with_function_observed(&self.config.function, initial_values, observer)
+    }
+
     /// Runs the protocol with an explicit voting function (used to compare
     /// MSR instances and non-MSR baselines under identical adversaries).
     ///
@@ -152,6 +174,22 @@ impl MobileEngine {
         &self,
         function: &dyn VotingFunction,
         initial_values: &[Value],
+    ) -> Result<MobileRunOutcome> {
+        self.run_with_function_observed(function, initial_values, &mut NoopObserver)
+    }
+
+    /// [`MobileEngine::run_with_function`] with an [`Observer`] attached —
+    /// the single implementation every other `run*` entry point lowers to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WrongInputCount`] when `initial_values` does not
+    /// hold exactly `n` values.
+    pub fn run_with_function_observed<O: Observer>(
+        &self,
+        function: &dyn VotingFunction,
+        initial_values: &[Value],
+        observer: &mut O,
     ) -> Result<MobileRunOutcome> {
         let cfg = &self.config;
         let n = cfg.n;
@@ -195,6 +233,15 @@ impl MobileEngine {
         .with_trace_recording(observe.records_trace());
         let mut configurations = Vec::new();
 
+        // Telemetry state. `telemetry` is a monomorphization constant:
+        // with a `NoopObserver` every `if telemetry` block below is dead
+        // code and the round loop compiles exactly as it did without an
+        // observer parameter.
+        let telemetry = observer.enabled();
+        let mut prev_stats = network.stats();
+        let mut prev_diameter = 0.0_f64;
+        let mut corruptions_total: u64 = 0;
+
         // The round scratch: every per-round buffer is allocated here, once
         // per run, and reused in place by every round (see [`RoundScratch`]
         // for the invariants). Under `Observe::Summary` on a static
@@ -227,6 +274,7 @@ impl MobileEngine {
                 break;
             }
             let round = Round::new(round_idx as u64);
+            observer.phase_start(Phase::AdversaryPlan);
 
             // The adversary sees everything; the "correct range" it reasons
             // about is the range of the currently non-faulty processes'
@@ -246,9 +294,11 @@ impl MobileEngine {
             adversary.begin_round_into(&view, &mut plan);
 
             // Agents that left a process corrupted the state behind them.
+            let mut corrupted_this_round: u32 = 0;
             for p in plan.cured.iter() {
                 if let Some(corrupted) = plan.corrupted_states[p.index()] {
                     votes[p.index()] = corrupted;
+                    corrupted_this_round += 1;
                 }
             }
 
@@ -263,6 +313,7 @@ impl MobileEngine {
                     FaultState::Correct
                 };
             }
+            observer.phase_end(Phase::AdversaryPlan);
             if observe.records_snapshots() {
                 // mbaa: allow(hot-path/vec-growth, pre-sized to the round budget at first-round setup below)
                 configurations.push(RoundSnapshot::new(
@@ -286,6 +337,7 @@ impl MobileEngine {
                     .expect("at least one process is non-faulty");
                 validity_envelope = Some(envelope);
                 let initial_diameter = received.diameter();
+                prev_diameter = initial_diameter;
                 if cfg.epsilon.covers_diameter(initial_diameter) {
                     reached = true;
                 }
@@ -299,12 +351,14 @@ impl MobileEngine {
             }
 
             // Send phase: rewrite the reused outboxes in place.
+            observer.phase_start(Phase::Exchange);
             for (i, outbox) in outboxes.iter_mut().enumerate() {
                 fill_outbox(cfg.model, outbox, ProcessId::new(i), &plan, &votes);
             }
 
             // Receive phase, into the reused slot matrix.
             network.exchange_into(round, &outboxes, &mut deliveries)?;
+            observer.phase_end(Phase::Exchange);
 
             // Compute phase: every non-faulty process applies the voting
             // function; a faulty process' state is irrelevant (the agent
@@ -314,20 +368,56 @@ impl MobileEngine {
             // the receive and compute phases correctly and ends the round
             // with a freshly computed value.
             let compute_even_if_faulty = cfg.model.agents_move_with_messages();
+            observer.phase_start(Phase::MsrApply);
+            let mut min_multiset = usize::MAX;
             for i in 0..n {
                 if states[i].is_non_faulty() || compute_even_if_faulty {
                     received.refill(deliveries.delivered_to(ProcessId::new(i)));
+                    if telemetry {
+                        min_multiset = min_multiset.min(received.len());
+                    }
                     if let Some(next) = function.apply(&received) {
                         votes[i] = next;
                     }
                 }
             }
+            observer.phase_end(Phase::MsrApply);
 
+            observer.phase_start(Phase::Record);
             rounds_executed = round_idx + 1;
             let diameter = non_faulty_diameter(&votes, &states);
             let report_ref = report.as_mut().expect("report initialised in first round");
             report_ref.record_round(diameter);
             reached = cfg.epsilon.covers_diameter(diameter);
+            if telemetry {
+                let stats = network.stats();
+                let width = if min_multiset == usize::MAX {
+                    0
+                } else {
+                    function.reduced_width(min_multiset)
+                };
+                observer.on_round(&RoundEvent {
+                    seed: cfg.seed,
+                    round: round_idx as u64,
+                    diameter,
+                    contraction: if prev_diameter > 0.0 {
+                        diameter / prev_diameter
+                    } else {
+                        1.0
+                    },
+                    faulty: plan.faulty.len() as u32,
+                    cured: plan.cured.len() as u32,
+                    corrupted: corrupted_this_round,
+                    delivered: stats.messages_delivered - prev_stats.messages_delivered,
+                    omissions: stats.omissions - prev_stats.omissions,
+                    link_omissions: stats.link_omissions - prev_stats.link_omissions,
+                    msr_width: width as u32,
+                });
+                prev_stats = stats;
+                prev_diameter = diameter;
+                corruptions_total += u64::from(corrupted_this_round);
+            }
+            observer.phase_end(Phase::Record);
         }
 
         // A configuration with zero rounds (max_rounds reached without any
@@ -348,7 +438,7 @@ impl MobileEngine {
         // n×n-per-round observation records the run just paid to record
         // (and is pure waste when tracing was off).
         let (trace, network_stats) = network.into_parts();
-        Ok(MobileRunOutcome {
+        let outcome = MobileRunOutcome {
             reached_agreement: reached,
             rounds_executed,
             final_votes: votes,
@@ -359,8 +449,46 @@ impl MobileEngine {
             configurations,
             trace,
             network_stats,
-        })
+        };
+        if telemetry {
+            emit_run_events(observer, cfg.seed, &outcome, corruptions_total);
+        }
+        Ok(outcome)
     }
+}
+
+/// Emits the run-level telemetry for a finished run: a
+/// [`ConvergenceEvent`] when ε-agreement was reached, then the
+/// unconditional [`RunEndEvent`]. Shared by the scalar engine and the
+/// per-lane collection of the seed-batched engine so both paths produce
+/// bit-identical per-seed event streams.
+pub(crate) fn emit_run_events<O: Observer>(
+    observer: &mut O,
+    seed: u64,
+    outcome: &MobileRunOutcome,
+    corruptions: u64,
+) {
+    if outcome.reached_agreement {
+        observer.on_convergence(&ConvergenceEvent {
+            seed,
+            rounds: outcome.rounds_executed as u64,
+            initial_diameter: outcome.report.initial_diameter(),
+            final_diameter: outcome.report.final_diameter(),
+        });
+    }
+    observer.on_run_end(&RunEndEvent {
+        seed,
+        reached_agreement: outcome.reached_agreement,
+        validity: outcome.validity_holds(),
+        rounds: outcome.rounds_executed as u64,
+        initial_diameter: outcome.report.initial_diameter(),
+        final_diameter: outcome.report.final_diameter(),
+        mean_contraction: outcome.report.mean_contraction_factor(),
+        messages_delivered: outcome.network_stats.messages_delivered,
+        omissions: outcome.network_stats.omissions,
+        link_omissions: outcome.network_stats.link_omissions,
+        corruptions,
+    });
 }
 
 /// The per-round scratch buffers of one run: allocated once, reused in

@@ -86,6 +86,8 @@
 //! * [`adversary`] — mobile agents: mobility and corruption strategies.
 //! * [`core`] — the protocol engine, Table 1 mapping, Table 2 bounds, and
 //!   Theorems 3–6 lower-bound scenarios.
+//! * [`obs`] — deterministic run telemetry (the [`Observer`] sink, the
+//!   metrics registry) and the sanctioned wall-clock phase profiler.
 //! * [`sim`] — the lowered experiment forms, statistics, and report tables.
 
 #![forbid(unsafe_code)]
@@ -120,6 +122,10 @@ pub use mbaa_adversary as adversary;
 /// [`mbaa_core`]).
 pub use mbaa_core as core;
 
+/// Deterministic run telemetry and sanctioned phase profiling (re-export
+/// of [`mbaa_obs`]).
+pub use mbaa_obs as obs;
+
 /// Experiment harness (re-export of [`mbaa_sim`]).
 pub use mbaa_sim as sim;
 
@@ -133,8 +139,13 @@ pub use mbaa_net::{
     Adjacency, DeliveryMatrix, DirectedAdjacency, DisconnectionPolicy, LinkFaultPlan, Outbox,
     RoundDelivery, SyncNetwork, Topology, TopologySchedule,
 };
+pub use mbaa_obs::{
+    ConvergenceEvent, Event, EventLog, Histogram, MetricsRegistry, NoopObserver, Observer, Phase,
+    RoundEvent, RunEndEvent, Tee,
+};
 pub use mbaa_sim::{
-    run_experiment, run_experiment_with, ExperimentConfig, ExperimentResult, RunSummary, Workload,
+    run_experiment, run_experiment_metrics, run_experiment_with, ExperimentConfig,
+    ExperimentResult, RunSummary, Workload,
 };
 pub use mbaa_types::{
     Epsilon, Error, FaultCounts, FaultState, Interval, MixedFaultClass, MobileModel, ProcessId,

@@ -23,6 +23,7 @@ pub use mbaa_net::{
     Adjacency, DirectedAdjacency, DisconnectionPolicy, LinkFaultPlan, LinkFaultRule, Topology,
     TopologySchedule,
 };
+pub use mbaa_obs::{EventLog, MetricsRegistry, NoopObserver, Observer};
 pub use mbaa_sim::{
     run_experiment, run_experiment_with, ExperimentConfig, ExperimentResult, RunSummary, Workload,
 };

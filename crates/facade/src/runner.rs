@@ -23,6 +23,7 @@ use rayon::prelude::*;
 use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
 use mbaa_core::{defaults, MobileRunOutcome};
 use mbaa_mixed::{FaultAssignment, StaticBehavior, StaticSimulator};
+use mbaa_obs::MetricsRegistry;
 use mbaa_sim::{ExperimentResult, RunSummary};
 use mbaa_types::{Epsilon, Error, MobileModel, Result};
 
@@ -180,6 +181,24 @@ impl Runner {
     pub fn stream_with<F: Fn(&RunSummary) + Sync>(&self, on_run: F) -> Result<ExperimentResult> {
         with_pool(self.workers, || {
             mbaa_sim::run_experiment_with(&self.scenario.to_experiment(self.sorted_seeds()), on_run)
+        })
+    }
+
+    /// Like [`Runner::stream`], but also folds every run's telemetry into a
+    /// [`MetricsRegistry`] merged across the workers. Because the merge is
+    /// elementwise counter addition — commutative and associative — the
+    /// registry is bit-identical for every worker count and completion
+    /// order, and the summaries equal [`Runner::stream`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and engine errors, deterministically.
+    pub fn stream_metrics(&self) -> Result<(ExperimentResult, MetricsRegistry)> {
+        with_pool(self.workers, || {
+            mbaa_sim::run_experiment_metrics(
+                &self.scenario.to_experiment(self.sorted_seeds()),
+                |_| {},
+            )
         })
     }
 
@@ -450,7 +469,7 @@ impl Sweep {
     pub fn stream(&self) -> Result<Vec<SweepSummary>> {
         // No callback, no completion tracking: the plain streaming path
         // pays nothing for the progress machinery.
-        self.stream_impl(None::<fn(&SweepSummary)>)
+        self.stream_impl(None::<fn(&SweepSummary)>, None)
     }
 
     /// Like [`Sweep::stream`], but also hands every *completed point* to
@@ -486,7 +505,25 @@ impl Sweep {
         &self,
         on_point: F,
     ) -> Result<Vec<SweepSummary>> {
-        self.stream_impl(Some(on_point))
+        self.stream_impl(Some(on_point), None)
+    }
+
+    /// Like [`Sweep::stream`], but also folds the telemetry of every
+    /// `(point, seed)` run into **one** [`MetricsRegistry`] merged across
+    /// the whole sweep. The merge is elementwise counter addition —
+    /// commutative and associative — so the registry is bit-identical for
+    /// every worker count, steal order, and chunk completion order, and the
+    /// summaries equal [`Sweep::stream`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing `(point, seed)` pair's error in
+    /// point-major, seed-minor order.
+    pub fn stream_metrics(&self) -> Result<(Vec<SweepSummary>, MetricsRegistry)> {
+        let merged = Mutex::new(MetricsRegistry::new());
+        let summaries = self.stream_impl(None::<fn(&SweepSummary)>, Some(&merged))?;
+        let metrics = merged.into_inner().expect("no panics hold the lock");
+        Ok((summaries, metrics))
     }
 
     /// Shared implementation of [`Sweep::stream`] / [`Sweep::stream_with`]:
@@ -502,6 +539,7 @@ impl Sweep {
     fn stream_impl<F: Fn(&SweepSummary) + Sync>(
         &self,
         on_point: Option<F>,
+        metrics: Option<&Mutex<MetricsRegistry>>,
     ) -> Result<Vec<SweepSummary>> {
         let seeds = self.normalized_seeds();
         // Per-point completion tracking: every finished seed stashes its
@@ -537,38 +575,46 @@ impl Sweep {
                     // executor runs the chunk at `Observe::Summary`, where
                     // the batched engine's rounds stay allocation-free and
                     // no trace is ever materialized.
-                    let result = mbaa_sim::run_experiment_with(
-                        &self.points[point].to_experiment(chunk.iter().copied()),
-                        |summary| {
-                            if let (Some(on_point), Some((pending, partial))) =
-                                (on_point.as_ref(), tracking.as_ref())
-                            {
-                                let slot = seeds
-                                    .binary_search(&summary.seed)
-                                    .expect("seed comes from the normalized batch");
-                                partial[point].lock().expect("no panics hold the lock")[slot] =
-                                    Some(*summary);
-                                if pending[point].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                    let runs: Vec<RunSummary> = partial[point]
-                                        .lock()
-                                        .expect("no panics hold the lock")
-                                        .iter()
-                                        .map(|s| {
-                                            s.expect("every seed of a completed point is stashed")
-                                        })
-                                        .collect();
-                                    on_point(&SweepSummary {
-                                        scenario: self.points[point].clone(),
-                                        result: ExperimentResult {
-                                            config: self.points[point]
-                                                .to_experiment(seeds.iter().copied()),
-                                            runs,
-                                        },
-                                    });
-                                }
+                    let config = self.points[point].to_experiment(chunk.iter().copied());
+                    let on_run = |summary: &RunSummary| {
+                        if let (Some(on_point), Some((pending, partial))) =
+                            (on_point.as_ref(), tracking.as_ref())
+                        {
+                            let slot = seeds
+                                .binary_search(&summary.seed)
+                                .expect("seed comes from the normalized batch");
+                            partial[point].lock().expect("no panics hold the lock")[slot] =
+                                Some(*summary);
+                            if pending[point].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                let runs: Vec<RunSummary> = partial[point]
+                                    .lock()
+                                    .expect("no panics hold the lock")
+                                    .iter()
+                                    .map(|s| s.expect("every seed of a completed point is stashed"))
+                                    .collect();
+                                on_point(&SweepSummary {
+                                    scenario: self.points[point].clone(),
+                                    result: ExperimentResult {
+                                        config: self.points[point]
+                                            .to_experiment(seeds.iter().copied()),
+                                        runs,
+                                    },
+                                });
                             }
-                        },
-                    )?;
+                        }
+                    };
+                    // The metrics sink merges the chunk's local registry as
+                    // the chunk finishes; counter addition commutes, so the
+                    // merged registry is independent of completion order.
+                    let result = match metrics {
+                        Some(sink) => {
+                            let (result, local) =
+                                mbaa_sim::run_experiment_metrics(&config, on_run)?;
+                            sink.lock().expect("no panics hold the lock").merge(&local);
+                            result
+                        }
+                        None => mbaa_sim::run_experiment_with(&config, on_run)?,
+                    };
                     Ok(result.runs)
                 })
                 .collect()
@@ -1034,6 +1080,52 @@ mod tests {
         });
         assert!(err.is_err());
         assert_eq!(calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn runner_stream_metrics_matches_stream_for_every_worker_budget() {
+        let runner = small().batch(0..5);
+        let (result, metrics) = runner.stream_metrics().unwrap();
+        assert_eq!(result, runner.stream().unwrap());
+        assert_eq!(metrics.runs, 5);
+        assert_eq!(metrics.converged, 5);
+        assert_eq!(metrics.rounds_to_converge.total(), 5);
+        let (reference, ref_metrics) = small().batch(0..5).workers(1).stream_metrics().unwrap();
+        assert_eq!(reference, result);
+        assert_eq!(ref_metrics, metrics);
+        for width in [2usize, 8] {
+            let (r, m) = small().batch(0..5).workers(width).stream_metrics().unwrap();
+            assert_eq!(r, reference, "{width} workers diverged");
+            assert_eq!(m, ref_metrics, "{width} workers: registry diverged");
+        }
+    }
+
+    #[test]
+    fn sweep_stream_metrics_matches_stream_and_sums_the_points() {
+        let sweep = small().sweep_n(1).seeds(0..3);
+        let (summaries, metrics) = sweep.stream_metrics().unwrap();
+        assert_eq!(summaries, sweep.stream().unwrap());
+        // The sweep registry is the merge of each point's own registry.
+        let mut expected = MetricsRegistry::new();
+        for point in sweep.points() {
+            let (_, point_metrics) = point.batch(0..3).stream_metrics().unwrap();
+            expected.merge(&point_metrics);
+        }
+        assert_eq!(metrics, expected);
+        for width in [1usize, 2, 8] {
+            let (s, m) = sweep.clone().workers(width).stream_metrics().unwrap();
+            assert_eq!(s, summaries, "{width} workers diverged");
+            assert_eq!(m, metrics, "{width} workers: registry diverged");
+        }
+    }
+
+    #[test]
+    fn observe_metrics_equals_plain_run() {
+        let scenario = small();
+        let (outcome, metrics) = scenario.observe_metrics(7).unwrap();
+        assert_eq!(outcome, scenario.run(7).unwrap());
+        assert_eq!(metrics.runs, 1);
+        assert_eq!(metrics.rounds_total, outcome.rounds_executed as u64);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
 use mbaa_core::{defaults, MobileEngine, MobileRunOutcome, Observe, ProtocolConfig};
 use mbaa_msr::{MsrFunction, VotingFunction};
 use mbaa_net::{DisconnectionPolicy, LinkFaultPlan, Topology, TopologySchedule};
+use mbaa_obs::{MetricsRegistry, Observer};
 use mbaa_sim::{ExperimentConfig, Workload};
 use mbaa_types::{MobileModel, Result, Value};
 
@@ -377,6 +378,39 @@ impl Scenario {
         let config = self.lower(seed)?;
         let inputs = self.initial_values(seed);
         MobileEngine::new(config).run(&inputs)
+    }
+
+    /// Runs this scenario once with `seed` while feeding every telemetry
+    /// event — per-round diameters, contraction, fault and delivery counts,
+    /// convergence, and the run-end record — to `observer`. The outcome is
+    /// bit-identical to [`Scenario::run`] with any observer attached,
+    /// including the no-op one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering and engine errors.
+    pub fn run_observed<O: Observer>(
+        &self,
+        seed: u64,
+        observer: &mut O,
+    ) -> Result<MobileRunOutcome> {
+        let config = self.lower(seed)?;
+        let inputs = self.initial_values(seed);
+        MobileEngine::new(config).run_observed(&inputs, observer)
+    }
+
+    /// Runs this scenario once with `seed` and folds the telemetry stream
+    /// into a fresh [`MetricsRegistry`] — the single-run form of
+    /// [`Runner::stream_metrics`](crate::Runner::stream_metrics). The
+    /// outcome is bit-identical to [`Scenario::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering and engine errors.
+    pub fn observe_metrics(&self, seed: u64) -> Result<(MobileRunOutcome, MetricsRegistry)> {
+        let mut metrics = MetricsRegistry::new();
+        let outcome = self.run_observed(seed, &mut metrics)?;
+        Ok((outcome, metrics))
     }
 
     /// Runs this scenario once with an explicit voting function, overriding

@@ -17,6 +17,8 @@
 //!   losslessly: `u64` seeds must be plain integer literals (never routed
 //!   through a lossy `f64`) and `f64`s are written in Rust's shortest
 //!   round-trip form.
+//! * [`metrics`] — the `mbaa-metrics/1` aggregated-telemetry document and
+//!   the kind-tagged event lines of `--events-out` JSONL streams.
 //! * [`ScenarioFile`] — the committed `*.scenario.json` document: one
 //!   scenario plus seeds, gallery metadata, and at most one sweep axis.
 //!
@@ -55,6 +57,7 @@
 pub mod ctx;
 pub mod doc;
 pub mod error;
+pub mod metrics;
 pub mod parse;
 pub mod schema;
 pub mod value;
@@ -63,6 +66,7 @@ pub mod write;
 pub use ctx::{ChildCtx, Ctx, ObjCtx};
 pub use doc::{topology_label, ScenarioFile, SeedSpec, SweepSpec, FORMAT};
 pub use error::{JsonError, ParseError, ParseErrorKind, SchemaError};
+pub use metrics::{event_from, event_to_json, metrics_from, metrics_to_json, METRICS_FORMAT};
 pub use parse::parse;
 pub use value::{Json, Key, Node, Pos};
-pub use write::write_string;
+pub use write::{write_line, write_string};

@@ -1,0 +1,437 @@
+//! The `mbaa-metrics/1` document and the telemetry-event JSONL lines.
+//!
+//! Two wire forms for the `mbaa-obs` vocabulary:
+//!
+//! * [`metrics_to_json`] / [`metrics_from`] — one aggregated
+//!   [`MetricsRegistry`] as a canonical [`METRICS_FORMAT`] document
+//!   (`mbaa sweep --metrics-out`, `mbaa report`).
+//! * [`event_to_json`] / [`event_from`] — one telemetry [`Event`] as a
+//!   kind-tagged object, written one-per-line by `mbaa run --events-out`
+//!   and foldable back into a registry via
+//!   [`MetricsRegistry::record_event`].
+//!
+//! Both round-trip losslessly through the canonical writer: counters are
+//! exact `u64` literals and the floating-point fields are written in
+//! Rust's shortest round-trip form.
+
+use mbaa_obs::{ConvergenceEvent, Event, Histogram, MetricsRegistry, RoundEvent, RunEndEvent};
+
+use crate::ctx::Ctx;
+use crate::error::SchemaError;
+use crate::value::Json;
+
+/// Format tag of the aggregated metrics document.
+pub const METRICS_FORMAT: &str = "mbaa-metrics/1";
+
+// ---------------------------------------------------------------------------
+// The metrics document.
+// ---------------------------------------------------------------------------
+
+fn histogram_to_json(histogram: &Histogram) -> Json {
+    Json::object(vec![
+        (
+            "bounds",
+            Json::array(histogram.bounds().iter().map(|&b| Json::f64(b)).collect()),
+        ),
+        (
+            "counts",
+            Json::array(histogram.counts().iter().map(|&c| Json::u64(c)).collect()),
+        ),
+    ])
+}
+
+fn histogram_from(ctx: Ctx) -> Result<Histogram, SchemaError> {
+    let mut obj = ctx.object()?;
+    let bounds_ctx = obj.req("bounds")?;
+    let bounds = bounds_ctx
+        .ctx()
+        .array()?
+        .iter()
+        .map(|item| item.ctx().f64())
+        .collect::<Result<Vec<f64>, _>>()?;
+    let counts_ctx = obj.req("counts")?;
+    let counts = counts_ctx
+        .ctx()
+        .array()?
+        .iter()
+        .map(|item| item.ctx().u64())
+        .collect::<Result<Vec<u64>, _>>()?;
+    obj.finish()?;
+    // `Histogram::from_parts` panics on malformed input; a committed file
+    // must fail with a position instead.
+    if bounds.is_empty() {
+        return Err(ctx.err("histogram needs at least one bound"));
+    }
+    if !bounds.windows(2).all(|w| w[0] < w[1]) {
+        return Err(ctx.err("histogram bounds must be strictly ascending"));
+    }
+    if bounds.len() != counts.len() {
+        return Err(ctx.err(format!(
+            "histogram has {} bounds but {} counts",
+            bounds.len(),
+            counts.len()
+        )));
+    }
+    Ok(Histogram::from_parts(bounds, counts))
+}
+
+/// Serializes an aggregated registry as a canonical [`METRICS_FORMAT`]
+/// document.
+#[must_use]
+pub fn metrics_to_json(metrics: &MetricsRegistry) -> Json {
+    Json::object(vec![
+        ("format", Json::str(METRICS_FORMAT)),
+        (
+            "counters",
+            Json::object(vec![
+                ("runs", Json::u64(metrics.runs)),
+                ("converged", Json::u64(metrics.converged)),
+                ("validity_failures", Json::u64(metrics.validity_failures)),
+                ("rounds_total", Json::u64(metrics.rounds_total)),
+                ("messages_delivered", Json::u64(metrics.messages_delivered)),
+                ("omissions", Json::u64(metrics.omissions)),
+                ("link_omissions", Json::u64(metrics.link_omissions)),
+                ("corruptions", Json::u64(metrics.corruptions)),
+            ]),
+        ),
+        (
+            "histograms",
+            Json::object(vec![
+                (
+                    "rounds_to_converge",
+                    histogram_to_json(&metrics.rounds_to_converge),
+                ),
+                (
+                    "contraction_ratio",
+                    histogram_to_json(&metrics.contraction_ratio),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Deserializes a [`METRICS_FORMAT`] document.
+///
+/// # Errors
+///
+/// Rejects unknown formats, unknown fields, and malformed histograms, with
+/// the field path and position of the offending value.
+pub fn metrics_from(ctx: Ctx) -> Result<MetricsRegistry, SchemaError> {
+    let mut obj = ctx.object()?;
+    let format_ctx = obj.req("format")?;
+    let format = format_ctx.ctx().str()?;
+    if format != METRICS_FORMAT {
+        return Err(format_ctx.ctx().err(format!(
+            "unsupported format {format:?} (this build reads {METRICS_FORMAT:?})"
+        )));
+    }
+
+    let counters_ctx = obj.req("counters")?;
+    let mut counters = counters_ctx.ctx().object()?;
+    let mut metrics = MetricsRegistry::new();
+    metrics.runs = counters.req("runs")?.ctx().u64()?;
+    metrics.converged = counters.req("converged")?.ctx().u64()?;
+    metrics.validity_failures = counters.req("validity_failures")?.ctx().u64()?;
+    metrics.rounds_total = counters.req("rounds_total")?.ctx().u64()?;
+    metrics.messages_delivered = counters.req("messages_delivered")?.ctx().u64()?;
+    metrics.omissions = counters.req("omissions")?.ctx().u64()?;
+    metrics.link_omissions = counters.req("link_omissions")?.ctx().u64()?;
+    metrics.corruptions = counters.req("corruptions")?.ctx().u64()?;
+    counters.finish()?;
+
+    let histograms_ctx = obj.req("histograms")?;
+    let mut histograms = histograms_ctx.ctx().object()?;
+    metrics.rounds_to_converge = histogram_from(histograms.req("rounds_to_converge")?.ctx())?;
+    metrics.contraction_ratio = histogram_from(histograms.req("contraction_ratio")?.ctx())?;
+    histograms.finish()?;
+
+    obj.finish()?;
+    Ok(metrics)
+}
+
+// ---------------------------------------------------------------------------
+// Event lines.
+// ---------------------------------------------------------------------------
+
+fn opt_f64(value: Option<f64>) -> Json {
+    value.map_or_else(Json::null, Json::f64)
+}
+
+/// Serializes one telemetry event as a kind-tagged object — rendered via
+/// [`crate::write_line`], one line of an `--events-out` JSONL stream.
+#[must_use]
+pub fn event_to_json(event: &Event) -> Json {
+    match event {
+        Event::Round(e) => Json::object(vec![
+            ("kind", Json::str("round")),
+            ("seed", Json::u64(e.seed)),
+            ("round", Json::u64(e.round)),
+            ("diameter", Json::f64(e.diameter)),
+            ("contraction", Json::f64(e.contraction)),
+            ("faulty", Json::u64(u64::from(e.faulty))),
+            ("cured", Json::u64(u64::from(e.cured))),
+            ("corrupted", Json::u64(u64::from(e.corrupted))),
+            ("delivered", Json::u64(e.delivered)),
+            ("omissions", Json::u64(e.omissions)),
+            ("link_omissions", Json::u64(e.link_omissions)),
+            ("msr_width", Json::u64(u64::from(e.msr_width))),
+        ]),
+        Event::Convergence(e) => Json::object(vec![
+            ("kind", Json::str("convergence")),
+            ("seed", Json::u64(e.seed)),
+            ("rounds", Json::u64(e.rounds)),
+            ("initial_diameter", Json::f64(e.initial_diameter)),
+            ("final_diameter", Json::f64(e.final_diameter)),
+        ]),
+        Event::RunEnd(e) => Json::object(vec![
+            ("kind", Json::str("run_end")),
+            ("seed", Json::u64(e.seed)),
+            ("reached_agreement", Json::bool(e.reached_agreement)),
+            ("validity", Json::bool(e.validity)),
+            ("rounds", Json::u64(e.rounds)),
+            ("initial_diameter", Json::f64(e.initial_diameter)),
+            ("final_diameter", Json::f64(e.final_diameter)),
+            ("mean_contraction", opt_f64(e.mean_contraction)),
+            ("messages_delivered", Json::u64(e.messages_delivered)),
+            ("omissions", Json::u64(e.omissions)),
+            ("link_omissions", Json::u64(e.link_omissions)),
+            ("corruptions", Json::u64(e.corruptions)),
+        ]),
+    }
+}
+
+fn u32_field(obj: &mut crate::ctx::ObjCtx, name: &str) -> Result<u32, SchemaError> {
+    let child = obj.req(name)?;
+    let value = child.ctx().u64()?;
+    u32::try_from(value).map_err(|_| child.ctx().err(format!("{name} {value} overflows a u32")))
+}
+
+/// Deserializes one kind-tagged event line.
+///
+/// # Errors
+///
+/// Rejects unknown kinds and unknown fields, with the field path and
+/// position of the offending value.
+pub fn event_from(ctx: Ctx) -> Result<Event, SchemaError> {
+    let mut obj = ctx.object()?;
+    let kind_ctx = obj.req("kind")?;
+    let kind = kind_ctx.ctx().str()?;
+    let event = match kind {
+        "round" => Event::Round(RoundEvent {
+            seed: obj.req("seed")?.ctx().u64()?,
+            round: obj.req("round")?.ctx().u64()?,
+            diameter: obj.req("diameter")?.ctx().f64()?,
+            contraction: obj.req("contraction")?.ctx().f64()?,
+            faulty: u32_field(&mut obj, "faulty")?,
+            cured: u32_field(&mut obj, "cured")?,
+            corrupted: u32_field(&mut obj, "corrupted")?,
+            delivered: obj.req("delivered")?.ctx().u64()?,
+            omissions: obj.req("omissions")?.ctx().u64()?,
+            link_omissions: obj.req("link_omissions")?.ctx().u64()?,
+            msr_width: u32_field(&mut obj, "msr_width")?,
+        }),
+        "convergence" => Event::Convergence(ConvergenceEvent {
+            seed: obj.req("seed")?.ctx().u64()?,
+            rounds: obj.req("rounds")?.ctx().u64()?,
+            initial_diameter: obj.req("initial_diameter")?.ctx().f64()?,
+            final_diameter: obj.req("final_diameter")?.ctx().f64()?,
+        }),
+        "run_end" => Event::RunEnd(RunEndEvent {
+            seed: obj.req("seed")?.ctx().u64()?,
+            reached_agreement: obj.req("reached_agreement")?.ctx().bool()?,
+            validity: obj.req("validity")?.ctx().bool()?,
+            rounds: obj.req("rounds")?.ctx().u64()?,
+            initial_diameter: obj.req("initial_diameter")?.ctx().f64()?,
+            final_diameter: obj.req("final_diameter")?.ctx().f64()?,
+            mean_contraction: match obj.opt("mean_contraction") {
+                Some(child) => Some(child.ctx().f64()?),
+                None => None,
+            },
+            messages_delivered: obj.req("messages_delivered")?.ctx().u64()?,
+            omissions: obj.req("omissions")?.ctx().u64()?,
+            link_omissions: obj.req("link_omissions")?.ctx().u64()?,
+            corruptions: obj.req("corruptions")?.ctx().u64()?,
+        }),
+        other => {
+            return Err(kind_ctx.ctx().err(format!(
+                "unknown event kind {other:?} (expected round, convergence, or run_end)"
+            )))
+        }
+    };
+    obj.finish()?;
+    Ok(event)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use crate::write::{write_line, write_string};
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut metrics = MetricsRegistry::new();
+        metrics.runs = 5;
+        metrics.converged = 4;
+        metrics.validity_failures = 1;
+        metrics.rounds_total = 37;
+        metrics.messages_delivered = 1234;
+        metrics.omissions = 56;
+        metrics.link_omissions = 7;
+        metrics.corruptions = 3;
+        metrics.rounds_to_converge.record(6.0);
+        metrics.rounds_to_converge.record(9.0);
+        metrics.contraction_ratio.record(0.45);
+        metrics.contraction_ratio.record(1.2);
+        metrics
+    }
+
+    #[test]
+    fn metrics_document_round_trips_canonically() {
+        let metrics = sample_registry();
+        let text = write_string(&metrics_to_json(&metrics));
+        let parsed = parse(&text).unwrap();
+        let back = metrics_from(Ctx::root(&parsed)).unwrap();
+        assert_eq!(back, metrics);
+        // Canonical writer: one registry, one rendering.
+        assert_eq!(write_string(&metrics_to_json(&back)), text);
+    }
+
+    #[test]
+    fn metrics_document_rejects_unknown_format_and_fields() {
+        let mut json = metrics_to_json(&sample_registry());
+        let text = write_string(&json).replace("mbaa-metrics/1", "mbaa-metrics/9");
+        let parsed = parse(&text).unwrap();
+        let err = metrics_from(Ctx::root(&parsed)).unwrap_err();
+        assert!(err.message.contains("unsupported format"));
+
+        json = metrics_to_json(&sample_registry());
+        let text = write_string(&json).replacen("\"runs\"", "\"rnus\"", 1);
+        let parsed = parse(&text).unwrap();
+        let err = metrics_from(Ctx::root(&parsed)).unwrap_err();
+        assert!(err.message.contains("missing required field"));
+    }
+
+    #[test]
+    fn metrics_document_rejects_malformed_histograms() {
+        let metrics = sample_registry();
+        let text = write_string(&metrics_to_json(&metrics));
+        // Drop one count so bounds/counts disagree.
+        let mangled = text.replacen("\"counts\": [", "\"counts\": [99, ", 1);
+        let parsed = parse(&mangled).unwrap();
+        let err = metrics_from(Ctx::root(&parsed)).unwrap_err();
+        assert!(err.message.contains("bounds"), "{}", err.message);
+    }
+
+    #[test]
+    fn event_lines_round_trip() {
+        let events = [
+            Event::Round(RoundEvent {
+                seed: 9,
+                round: 3,
+                diameter: 0.5,
+                contraction: 0.25,
+                faulty: 2,
+                cured: 2,
+                corrupted: 1,
+                delivered: 81,
+                omissions: 18,
+                link_omissions: 2,
+                msr_width: 5,
+            }),
+            Event::Convergence(ConvergenceEvent {
+                seed: 9,
+                rounds: 12,
+                initial_diameter: 1.0,
+                final_diameter: 0.0009,
+            }),
+            Event::RunEnd(RunEndEvent {
+                seed: 9,
+                reached_agreement: true,
+                validity: true,
+                rounds: 12,
+                initial_diameter: 1.0,
+                final_diameter: 0.0009,
+                mean_contraction: Some(0.55),
+                messages_delivered: 972,
+                omissions: 216,
+                link_omissions: 24,
+                corruptions: 4,
+            }),
+            Event::RunEnd(RunEndEvent {
+                seed: 10,
+                reached_agreement: false,
+                validity: false,
+                rounds: 300,
+                initial_diameter: 1.0,
+                final_diameter: 0.7,
+                mean_contraction: None,
+                messages_delivered: 1,
+                omissions: 0,
+                link_omissions: 0,
+                corruptions: 0,
+            }),
+        ];
+        for event in &events {
+            let line = write_line(&event_to_json(event));
+            assert!(!line.contains('\n'), "JSONL lines must be single-line");
+            let parsed = parse(&line).unwrap();
+            assert_eq!(event_from(Ctx::root(&parsed)).unwrap(), *event);
+        }
+    }
+
+    #[test]
+    fn event_lines_reject_unknown_kinds() {
+        let parsed = parse(r#"{"kind": "rounds", "seed": 1}"#).unwrap();
+        let err = event_from(Ctx::root(&parsed)).unwrap_err();
+        assert!(err.message.contains("unknown event kind"));
+    }
+
+    #[test]
+    fn folded_event_stream_equals_the_recorded_registry() {
+        // Writing events out and folding the parsed lines back must give
+        // the same registry the run recorded directly.
+        let events = [
+            Event::Round(RoundEvent {
+                seed: 1,
+                round: 0,
+                diameter: 0.5,
+                contraction: 0.5,
+                faulty: 1,
+                cured: 0,
+                corrupted: 0,
+                delivered: 49,
+                omissions: 0,
+                link_omissions: 0,
+                msr_width: 3,
+            }),
+            Event::Convergence(ConvergenceEvent {
+                seed: 1,
+                rounds: 1,
+                initial_diameter: 1.0,
+                final_diameter: 0.5,
+            }),
+            Event::RunEnd(RunEndEvent {
+                seed: 1,
+                reached_agreement: true,
+                validity: true,
+                rounds: 1,
+                initial_diameter: 1.0,
+                final_diameter: 0.5,
+                mean_contraction: Some(0.5),
+                messages_delivered: 49,
+                omissions: 0,
+                link_omissions: 0,
+                corruptions: 0,
+            }),
+        ];
+        let mut direct = MetricsRegistry::new();
+        let mut folded = MetricsRegistry::new();
+        for event in &events {
+            direct.record_event(event);
+            let line = write_line(&event_to_json(event));
+            let parsed = parse(&line).unwrap();
+            folded.record_event(&event_from(Ctx::root(&parsed)).unwrap());
+        }
+        assert_eq!(direct, folded);
+    }
+}

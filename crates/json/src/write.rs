@@ -34,6 +34,48 @@ pub fn write_string(json: &Json) -> String {
     out
 }
 
+/// Renders a JSON tree on one line (no trailing newline) — the JSONL form
+/// used for telemetry event streams. As canonical as [`write_string`]: one
+/// tree, one rendering, just without the indentation.
+#[must_use]
+pub fn write_line(json: &Json) -> String {
+    let mut out = String::new();
+    write_compact(json, &mut out);
+    out
+}
+
+fn write_compact(json: &Json, out: &mut String) {
+    match &json.node {
+        Node::Null => out.push_str("null"),
+        Node::Bool(true) => out.push_str("true"),
+        Node::Bool(false) => out.push_str("false"),
+        Node::Number(text) => out.push_str(text),
+        Node::String(text) => write_escaped(text, out),
+        Node::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Node::Object(fields) => {
+            out.push('{');
+            for (i, (key, value)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_escaped(&key.name, out);
+                out.push_str(": ");
+                write_compact(value, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
 fn write_value(json: &Json, indent: usize, out: &mut String) {
     match &json.node {
         Node::Null => out.push_str("null"),

@@ -26,6 +26,14 @@ pub trait VotingFunction: fmt::Debug + Send + Sync {
     fn min_input_len(&self) -> usize {
         1
     }
+
+    /// How many values survive the reduction step for a multiset of
+    /// `input_len` received values (before any selection). Functions with
+    /// no reduction step keep every value. Observability reports use this
+    /// as the per-round MSR reduction width.
+    fn reduced_width(&self, input_len: usize) -> usize {
+        input_len
+    }
 }
 
 /// A concrete member of the MSR family: a [`Reduction`] followed by a
@@ -204,6 +212,11 @@ impl VotingFunction for MsrFunction {
 
     fn min_input_len(&self) -> usize {
         self.reduction.min_input_len()
+    }
+
+    /// The reduction discards the `tau` lowest and `tau` highest values.
+    fn reduced_width(&self, input_len: usize) -> usize {
+        input_len.saturating_sub(2 * self.reduction.tau())
     }
 }
 

@@ -6,6 +6,8 @@
 //! `Scenario::batch(..).summarize()`), which is where every default is
 //! decided.
 
+use std::sync::Mutex;
+
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -13,6 +15,7 @@ use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
 use mbaa_core::{BatchEngine, BatchLane, MobileRunOutcome, Observe, ProtocolConfig};
 use mbaa_msr::MsrFunction;
 use mbaa_net::{DisconnectionPolicy, LinkFaultPlan, Topology, TopologySchedule};
+use mbaa_obs::MetricsRegistry;
 use mbaa_types::{MobileModel, Result};
 
 use crate::Workload;
@@ -256,6 +259,46 @@ pub fn run_experiment_with<F>(config: &ExperimentConfig, on_run: F) -> Result<Ex
 where
     F: Fn(&RunSummary) + Sync,
 {
+    run_experiment_impl(config, &on_run, None)
+}
+
+/// [`run_experiment_with`] with cross-seed metric aggregation: every chunk
+/// runs with a chunk-local [`MetricsRegistry`] attached to the seed-batched
+/// engine, and the chunk registries are merged into one as workers finish.
+/// Because a registry merge is commutative and associative (elementwise
+/// `u64` addition), the merged registry is bit-identical regardless of
+/// worker count or completion order — the same invariant the summaries
+/// already enjoy. Summaries and the returned [`ExperimentResult`] are
+/// bit-identical to [`run_experiment_with`]'s.
+///
+/// # Errors
+///
+/// Exactly as [`run_experiment_with`].
+pub fn run_experiment_metrics<F>(
+    config: &ExperimentConfig,
+    on_run: F,
+) -> Result<(ExperimentResult, MetricsRegistry)>
+where
+    F: Fn(&RunSummary) + Sync,
+{
+    let merged = Mutex::new(MetricsRegistry::new());
+    let result = run_experiment_impl(config, &on_run, Some(&merged))?;
+    let metrics = merged.into_inner().expect("metrics mutex poisoned");
+    Ok((result, metrics))
+}
+
+/// The shared executor behind [`run_experiment_with`] and
+/// [`run_experiment_metrics`]; `metrics` selects whether chunks run
+/// observed (with per-chunk registries merged into the shared sink) or on
+/// the unobserved zero-overhead path.
+fn run_experiment_impl<F>(
+    config: &ExperimentConfig,
+    on_run: &F,
+    metrics: Option<&Mutex<MetricsRegistry>>,
+) -> Result<ExperimentResult>
+where
+    F: Fn(&RunSummary) + Sync,
+{
     // Validate every lowering up front: configuration errors then surface
     // deterministically, before any run starts. Only summaries leave this
     // function, and summaries are bit-identical across observability
@@ -298,8 +341,19 @@ where
                     inputs: config.workload.generate(config.n, *seed),
                 })
                 .collect();
-            engine
-                .run(&lanes)
+            let outcomes = match metrics {
+                Some(sink) => {
+                    let mut local = MetricsRegistry::new();
+                    let outcomes = engine.run_observed(&lanes, &mut local);
+                    // Merge order across chunks is completion order, which
+                    // rayon does not fix — safe because the merge is
+                    // order-independent (see `MetricsRegistry::merge`).
+                    sink.lock().expect("metrics mutex poisoned").merge(&local);
+                    outcomes
+                }
+                None => engine.run(&lanes),
+            };
+            outcomes
                 .into_iter()
                 .zip(&chunk)
                 .map(|(outcome, (seed, _))| {

@@ -65,7 +65,7 @@ pub mod stats;
 mod workload;
 
 pub use experiment::{
-    run_batch_experiment, run_experiment, run_experiment_with, ExperimentConfig, ExperimentResult,
-    RunSummary, BATCH_WIDTH,
+    run_batch_experiment, run_experiment, run_experiment_metrics, run_experiment_with,
+    ExperimentConfig, ExperimentResult, RunSummary, BATCH_WIDTH,
 };
 pub use workload::Workload;

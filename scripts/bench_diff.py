@@ -83,12 +83,17 @@ def main() -> int:
 
     rows = []
     regressions = 0
+    added = 0
     for key, cur in sorted(current.items()):
         base = baseline.get(key)
         name = f"{key[1]}/{key[2]}"
         unit = cur.get("unit", "ns")
         base_mean = base.get("mean_ns") if base is not None else None
+        # A row present only in the current run (a freshly added bench,
+        # e.g. a new phase-breakdown metric) has nothing to diff against:
+        # it must be reported as "new", never flagged as a regression.
         if not isinstance(base_mean, (int, float)):
+            added += 1
             rows.append((name, "-", cur["mean_ns"], "new", "", unit))
             continue
         # Report-style metric rows (counts, thresholds) may legitimately be
@@ -129,14 +134,25 @@ def main() -> int:
     print("|---|---|---|---|---|")
     for name, base_ns, cur_ns, change, flag, unit in rows:
         print(f"| {name} | {fmt(base_ns, unit)} | {fmt(cur_ns, unit)} | {change} | {flag} |")
+    # Rows present only in the baseline (a deleted or renamed bench) keep
+    # their last known value in the table so the summary records what
+    # disappeared, not just that something did.
     for key in removed:
-        print(f"| {key[1]}/{key[2]} | - | - | removed | |")
+        base = baseline[key]
+        unit = base.get("unit", "ns")
+        print(f"| {key[1]}/{key[2]} | {fmt(base['mean_ns'], unit)} | - | removed | |")
     print()
+    notes = []
+    if added:
+        notes.append(f"{added} new row(s)")
+    if removed:
+        notes.append(f"{len(removed)} removed row(s)")
+    churn = f" ({', '.join(notes)})" if notes else ""
     if regressions:
         print(f"**{regressions} benchmark(s) regressed by more than "
-              f"{args.threshold:.0f}% — worth a look before merging.**")
+              f"{args.threshold:.0f}% — worth a look before merging.**{churn}")
     else:
-        print(f"No regression above {args.threshold:.0f}%.")
+        print(f"No regression above {args.threshold:.0f}%.{churn}")
     return 0
 
 

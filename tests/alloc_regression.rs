@@ -17,7 +17,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use mbaa::{
-    CorruptionStrategy, MobileEngine, MobileModel, MobilityStrategy, Observe, ProtocolConfig, Value,
+    CorruptionStrategy, MetricsRegistry, MobileEngine, MobileModel, MobilityStrategy, Observe,
+    Observer, ProtocolConfig, Value,
 };
 
 /// Counts every allocation (not bytes — the assertion is about *count*)
@@ -56,6 +57,20 @@ fn allocations() -> u64 {
 /// stay above ε = 1e-300 for well over the budgets used here, so every
 /// round executes and `rounds_executed == rounds`.
 fn run_counting(model: MobileModel, n: usize, rounds: usize, observe: Observe) -> (u64, usize) {
+    run_counting_observed(model, n, rounds, observe, &mut mbaa::NoopObserver)
+}
+
+/// [`run_counting`] with an observer attached to the measured run (the
+/// warm-up run stays unobserved — the observer's own lazily-grown state,
+/// e.g. a registry's first histogram fills, is charged to the measurement,
+/// which is exactly what the steady-state comparison needs).
+fn run_counting_observed<O: Observer>(
+    model: MobileModel,
+    n: usize,
+    rounds: usize,
+    observe: Observe,
+    observer: &mut O,
+) -> (u64, usize) {
     let inputs: Vec<Value> = (0..n)
         .map(|i| Value::new(i as f64 / (n - 1) as f64))
         .collect();
@@ -73,7 +88,9 @@ fn run_counting(model: MobileModel, n: usize, rounds: usize, observe: Observe) -
     // first pool fills) must not be charged to the measured run.
     engine.run(&inputs).expect("warm-up run");
     let before = allocations();
-    let outcome = engine.run(&inputs).expect("measured run");
+    let outcome = engine
+        .run_observed(&inputs, observer)
+        .expect("measured run");
     (allocations() - before, outcome.rounds_executed)
 }
 
@@ -139,5 +156,41 @@ fn steady_state_rounds_allocate_nothing_under_observe_summary() {
             (big_long - big_short) / 20,
             n + 3
         );
+    }
+}
+
+#[test]
+fn metrics_registry_rounds_allocate_nothing_under_observe_summary() {
+    // The telemetry sink of the sweep hot path: a `MetricsRegistry`
+    // observes every round (counters + fixed-bucket histograms, all
+    // preallocated at construction), so attaching one must not reintroduce
+    // per-round allocation. Same differential design as above: the 20
+    // extra steady-state rounds of the long run must allocate nothing.
+    for model in [
+        MobileModel::Bonnet,
+        MobileModel::Sasaki,
+        MobileModel::Buhrman,
+    ] {
+        let n = model.required_processes(2);
+        let mut short_registry = MetricsRegistry::new();
+        let (allocs_short, rounds_short) =
+            run_counting_observed(model, n, 6, Observe::Summary, &mut short_registry);
+        let mut long_registry = MetricsRegistry::new();
+        let (allocs_long, rounds_long) =
+            run_counting_observed(model, n, 26, Observe::Summary, &mut long_registry);
+        assert_eq!(
+            (rounds_short, rounds_long),
+            (6, 26),
+            "{model}: both observed runs must exhaust their budgets"
+        );
+        assert_eq!(
+            allocs_long,
+            allocs_short,
+            "{model}: {} extra allocations across 20 extra observed rounds",
+            allocs_long.saturating_sub(allocs_short)
+        );
+        // The registry really did watch the runs.
+        assert_eq!(short_registry.rounds_total, 6);
+        assert_eq!(long_registry.rounds_total, 26);
     }
 }

@@ -1,0 +1,214 @@
+//! The observability invariant, end to end: attaching any observer to any
+//! execution path changes **nothing** about the results, and the telemetry
+//! it yields is itself deterministic.
+//!
+//! Three families of guarantees, all through the public `mbaa` facade:
+//!
+//! * **Inertness** — outcomes with an observer attached are bit-identical
+//!   to detached runs: scalar engine, `BatchEngine` (including a ragged
+//!   33-seed batch that spills one lane past the 32-lane chunk width), all
+//!   `Observe` levels, and `Runner`/`Sweep` streaming at worker counts
+//!   1/2/8.
+//! * **Per-seed determinism** — the event subsequence a seed produces on
+//!   the batched engine equals the scalar engine's stream for that seed,
+//!   event for event.
+//! * **Order-independent aggregation** — folding per-seed registries in
+//!   any order (and across any worker split) merges to the same registry,
+//!   bit for bit.
+
+use mbaa::prelude::*;
+use mbaa::{BatchEngine, BatchLane, Event, MobileEngine, Observe};
+
+fn scenario() -> Scenario {
+    Scenario::at_bound(MobileModel::Garay, 2)
+        .epsilon(1e-6)
+        .max_rounds(300)
+}
+
+fn lanes(scenario: &Scenario, seeds: &[u64]) -> Vec<BatchLane> {
+    seeds
+        .iter()
+        .map(|&seed| BatchLane {
+            seed,
+            inputs: scenario.initial_values(seed),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Inertness: attached == detached, everywhere.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scalar_outcomes_are_identical_with_any_observer_at_every_level() {
+    for observe in [Observe::Full, Observe::Snapshots, Observe::Summary] {
+        let scenario = scenario().observe(observe);
+        for seed in 0..6u64 {
+            let detached = scenario.run(seed).unwrap();
+            let mut log = EventLog::new();
+            let logged = scenario.run_observed(seed, &mut log).unwrap();
+            let (metered, metrics) = scenario.observe_metrics(seed).unwrap();
+            assert_eq!(detached, logged, "EventLog perturbed {observe:?}/{seed}");
+            assert_eq!(
+                detached, metered,
+                "MetricsRegistry perturbed {observe:?}/{seed}"
+            );
+            assert!(!log.is_empty());
+            assert_eq!(metrics.runs, 1);
+            assert_eq!(metrics.rounds_total, detached.rounds_executed as u64);
+        }
+    }
+}
+
+#[test]
+fn batch_outcomes_are_identical_with_any_observer_at_every_level() {
+    // 33 seeds: one more than the executor's 32-lane chunk width, so the
+    // facade path below also exercises a ragged tail chunk.
+    let seeds: Vec<u64> = (0..33).collect();
+    for observe in [Observe::Full, Observe::Snapshots, Observe::Summary] {
+        let scenario = scenario().observe(observe);
+        let engine = BatchEngine::new(scenario.lower(0).unwrap());
+        let lanes = lanes(&scenario, &seeds);
+        let detached: Vec<_> = engine.run(&lanes).into_iter().map(|r| r.unwrap()).collect();
+        let mut log = EventLog::new();
+        let attached: Vec<_> = engine
+            .run_observed(&lanes, &mut log)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(detached, attached, "observer perturbed batch {observe:?}");
+        assert_eq!(
+            log.events()
+                .iter()
+                .filter(|e| matches!(e, Event::RunEnd(_)))
+                .count(),
+            seeds.len(),
+            "one run_end per lane"
+        );
+    }
+}
+
+#[test]
+fn streaming_summaries_and_metrics_agree_across_worker_counts() {
+    let scenario = scenario();
+    let seeds: Vec<u64> = (0..33).collect();
+    let reference = scenario.batch(seeds.iter().copied()).stream().unwrap();
+    let mut registries = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let runner = scenario.batch(seeds.iter().copied()).workers(workers);
+        let plain = runner.stream().unwrap();
+        let (metered, metrics) = runner.stream_metrics().unwrap();
+        assert_eq!(reference, plain, "worker count changed results");
+        assert_eq!(reference, metered, "metrics sink changed results");
+        registries.push(metrics);
+    }
+    assert_eq!(registries[0], registries[1], "registry depends on workers");
+    assert_eq!(registries[0], registries[2], "registry depends on workers");
+    assert_eq!(registries[0].runs, seeds.len() as u64);
+}
+
+#[test]
+fn sweep_metrics_agree_across_worker_counts() {
+    let sweep = scenario().max_rounds(120).sweep_n(2).seeds(0..9);
+    let reference = sweep.stream().unwrap();
+    let mut registries = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let sweep = scenario()
+            .max_rounds(120)
+            .sweep_n(2)
+            .seeds(0..9)
+            .workers(workers);
+        let (summaries, metrics) = sweep.stream_metrics().unwrap();
+        assert_eq!(reference, summaries, "metrics sink changed sweep results");
+        registries.push(metrics);
+    }
+    assert_eq!(registries[0], registries[1]);
+    assert_eq!(registries[0], registries[2]);
+    // `sweep_n(2)` is the base point plus two increments: 3 points.
+    assert_eq!(registries[0].runs, 3 * 9);
+}
+
+// ---------------------------------------------------------------------------
+// Per-seed determinism: batch event streams equal scalar event streams.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn per_seed_batch_event_streams_equal_scalar_streams() {
+    let scenario = scenario().observe(Observe::Summary);
+    let seeds: Vec<u64> = (0..33).collect();
+    let engine = BatchEngine::new(scenario.lower(0).unwrap());
+    let mut batch_log = EventLog::new();
+    let results = engine.run_observed(&lanes(&scenario, &seeds), &mut batch_log);
+    assert!(results.iter().all(Result::is_ok));
+    for &seed in &seeds {
+        let mut scalar_log = EventLog::new();
+        scenario.run_observed(seed, &mut scalar_log).unwrap();
+        assert_eq!(
+            batch_log.for_seed(seed),
+            scalar_log.events(),
+            "seed {seed}: batched event stream diverged from scalar"
+        );
+    }
+}
+
+#[test]
+fn scalar_engine_event_stream_is_level_independent() {
+    // Telemetry events describe the protocol, not the recording level:
+    // the stream must not change when snapshots/tracing are turned on.
+    let mut reference: Option<Vec<Event>> = None;
+    for observe in [Observe::Full, Observe::Snapshots, Observe::Summary] {
+        let scenario = scenario().observe(observe);
+        let mut log = EventLog::new();
+        MobileEngine::new(scenario.lower(3).unwrap())
+            .run_observed(&scenario.initial_values(3), &mut log)
+            .unwrap();
+        let events = log.events().to_vec();
+        match &reference {
+            None => reference = Some(events),
+            Some(expected) => {
+                assert_eq!(expected, &events, "{observe:?} changed the event stream");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Order-independent aggregation.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn registry_merge_is_order_independent() {
+    let scenario = scenario();
+    let per_seed: Vec<MetricsRegistry> = (0..12u64)
+        .map(|seed| scenario.observe_metrics(seed).unwrap().1)
+        .collect();
+
+    let mut forward = MetricsRegistry::new();
+    for registry in &per_seed {
+        forward.merge(registry);
+    }
+    let mut backward = MetricsRegistry::new();
+    for registry in per_seed.iter().rev() {
+        backward.merge(registry);
+    }
+    // A lopsided split merged pairwise, like uneven workers would.
+    let mut left = MetricsRegistry::new();
+    let mut right = MetricsRegistry::new();
+    for (i, registry) in per_seed.iter().enumerate() {
+        if i % 3 == 0 {
+            left.merge(registry);
+        } else {
+            right.merge(registry);
+        }
+    }
+    left.merge(&right);
+
+    assert_eq!(forward, backward, "merge is order-dependent");
+    assert_eq!(forward, left, "merge is split-dependent");
+    assert_eq!(forward.runs, 12);
+
+    // And the parallel streaming path folds to the same registry as the
+    // sequential per-seed path.
+    let (_, streamed) = scenario.batch(0..12).workers(4).stream_metrics().unwrap();
+    assert_eq!(forward, streamed, "streamed registry diverged");
+}
