@@ -11,6 +11,19 @@
 //! by wall time, so perfect lane-sharing shows up as a multiple of the
 //! k = 1 row rather than parity with it.
 //!
+//! The **general path** — partial topologies and dynamic/lossy fabrics,
+//! which cannot use the complete-graph classification trick — gets its own
+//! rows on a reduced n ∈ {64, 256} × k ∈ {1, 32} grid: `…/ring` runs a
+//! `Ring {{ k: 2 }}` mask and `…/churn` a seeded-churn schedule over the
+//! complete base. These guard the shared-realization batch delivery (one
+//! adjacency + one compiled fault plan per batch instead of one
+//! `SyncNetwork` per lane).
+//!
+//! A `packed_lane_occupancy` row reports the mean lane occupancy of the
+//! cross-point packing scheduler over a shape-homogeneous multi-point
+//! sweep (unit `occ%`, higher is better — `scripts/bench_diff.py` knows
+//! the direction).
+//!
 //! Emits machine-readable `batch_rounds_per_sec/{n}/{k}` metric rows (unit
 //! `rounds/s`) into `BENCH_engine_batch.json` via the criterion shim's
 //! `MBAA_BENCH_JSON` hook; CI's bench-diff step compares the rows across
@@ -24,7 +37,8 @@ use std::time::Instant;
 
 use criterion::{record_metric, write_json_report};
 
-use mbaa::{BatchEngine, BatchLane, MobileModel, Observe, ProtocolConfig};
+use mbaa::prelude::*;
+use mbaa::{BatchEngine, BatchLane, ProtocolConfig};
 use mbaa_bench::spread_inputs;
 
 /// Timed batch executions per measured point (n = 256 is ~15× costlier
@@ -37,14 +51,45 @@ fn repetitions(n: usize) -> usize {
         .map_or(base, |samples| samples.max(1))
 }
 
-fn measure(n: usize, k: usize) {
-    let config = ProtocolConfig::builder(MobileModel::Garay, n, 2)
+/// Network variant of a measured point: the complete fast path, a static
+/// partial mask (ring), or a dynamic churned fabric. Ring and churn both
+/// exercise the general (masked-delivery) batch path.
+#[derive(Clone, Copy)]
+enum Variant {
+    Complete,
+    Ring,
+    Churn,
+}
+
+impl Variant {
+    fn suffix(self) -> &'static str {
+        match self {
+            Variant::Complete => "",
+            Variant::Ring => "/ring",
+            Variant::Churn => "/churn",
+        }
+    }
+}
+
+fn measure(n: usize, k: usize, variant: Variant) {
+    let mut builder = ProtocolConfig::builder(MobileModel::Garay, n, 2)
         .epsilon(1e-12)
         .max_rounds(200)
         .seed(7)
-        .observe(Observe::Summary)
-        .build()
-        .expect("config");
+        .observe(Observe::Summary);
+    builder = match variant {
+        Variant::Complete => builder,
+        // k = 4 ring: 8 neighbors + self, the smallest ring neighborhood
+        // that satisfies the Garay connectivity bound at f = 2.
+        Variant::Ring => builder.topology(Topology::Ring { k: 4 }),
+        // Mild churn over the complete base: every link flips out with
+        // probability 0.15 per round, redrawn per (seed, round, link).
+        Variant::Churn => builder.topology_schedule(TopologySchedule::SeededChurn {
+            base: Topology::Complete,
+            flip_rate: 0.15,
+        }),
+    };
+    let config = builder.build().expect("config");
     let engine = BatchEngine::new(config);
     // Distinct seeds per lane, shared inputs: the adversary streams
     // diverge, the workload does not — the sweep-chunk shape.
@@ -77,23 +122,62 @@ fn measure(n: usize, k: usize) {
     }
     let elapsed = start.elapsed().as_secs_f64();
     let rounds_per_sec = total_rounds as f64 / elapsed;
+    let suffix = variant.suffix();
     println!(
-        "engine_batch n={n} k={k}: {rounds_per_batch} rounds/batch, \
+        "engine_batch n={n} k={k}{suffix}: {rounds_per_batch} rounds/batch, \
          {rounds_per_sec:.0} aggregate rounds/sec ({reps} batches)"
     );
     record_metric(
         "engine_batch",
-        &format!("batch_rounds_per_sec/{n}/{k}"),
+        &format!("batch_rounds_per_sec/{n}/{k}{suffix}"),
         rounds_per_sec,
         "rounds/s",
+    );
+}
+
+/// Mean lane occupancy of the cross-point packing scheduler over a
+/// shape-homogeneous sweep: 21 points × 7 seeds. Per-point chunking would
+/// launch 21 batches at 7/32 occupancy (21.9%); the packing planner merges
+/// consecutive shape-compatible points into ⌈147/32⌉ = 5 packs (91.9%).
+/// The plan is deterministic, so the row measures the scheduler, not the
+/// machine.
+fn measure_occupancy() {
+    let seeds: Vec<u64> = (0..7).collect();
+    let configs: Vec<ExperimentConfig> = (0..21)
+        .map(|i| {
+            // Distinct points (an ε axis), one batch shape (n, f, model).
+            Scenario::new(MobileModel::Garay, 16, 2)
+                .epsilon(1e-6 * (i + 1) as f64)
+                .to_experiment(seeds.iter().copied())
+        })
+        .collect();
+    let occupancy = mbaa::sim::mean_pack_occupancy(&configs).expect("pack plan");
+    println!(
+        "engine_batch packed sweep (21 points x 7 seeds): {:.1}% mean lane occupancy",
+        occupancy * 100.0
+    );
+    record_metric(
+        "engine_batch",
+        "packed_lane_occupancy",
+        occupancy * 100.0,
+        "occ%",
     );
 }
 
 fn main() {
     for &n in &[16usize, 64, 256] {
         for &k in &[1usize, 8, 32] {
-            measure(n, k);
+            measure(n, k, Variant::Complete);
         }
     }
+    // General path: reduced grid, both a static partial mask and a
+    // dynamic churned fabric.
+    for &n in &[64usize, 256] {
+        for &k in &[1usize, 32] {
+            measure(n, k, Variant::Ring);
+            measure(n, k, Variant::Churn);
+        }
+    }
+    measure_occupancy();
     write_json_report();
 }

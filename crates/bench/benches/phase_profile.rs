@@ -8,7 +8,9 @@
 //! `BENCH_phase_profile.json` via the criterion shim's `MBAA_BENCH_JSON`
 //! hook, so CI's bench-diff step can flag a phase whose share drifts — an
 //! MSR-apply regression shows up here before it shows up as a raw
-//! rounds/sec drop.
+//! rounds/sec drop. A second family of rows
+//! (`phase_share/batch_ring/{n}/{phase}`) profiles the seed-batched
+//! engine's general path over a shared ring realization.
 //!
 //! Because a profiler reports `enabled() == false`, the engine skips all
 //! telemetry-event assembly while it is attached: the spans measure the
@@ -21,7 +23,9 @@
 use criterion::{record_metric, write_json_report};
 
 use mbaa::obs::timing::PhaseProfiler;
-use mbaa::{MobileEngine, MobileModel, Observe, ProtocolConfig, Value};
+use mbaa::{
+    BatchEngine, BatchLane, MobileEngine, MobileModel, Observe, ProtocolConfig, Topology, Value,
+};
 use mbaa_bench::spread_inputs;
 
 /// Profiled runs per system size (n = 256 is ~15× costlier per round).
@@ -70,9 +74,68 @@ fn profile(n: usize) {
     }
 }
 
+/// The seed-batched engine's **general path** under the profiler: 8 lanes
+/// advancing in lockstep over a ring mask shared across the batch. The
+/// batch engine emits the same four phase hooks as the scalar loop
+/// (adversary planning, the masked exchange against the shared
+/// realization, the lane-major MSR fold, and per-lane recording), so the
+/// `phase_share/batch_ring/{n}/{phase}` rows show where the batched
+/// round's time goes — the evidence behind the vectorized-fold work.
+fn profile_batch(n: usize) {
+    const K: usize = 8;
+    let config = ProtocolConfig::builder(MobileModel::Garay, n, 2)
+        .epsilon(1e-12)
+        .max_rounds(200)
+        .seed(7)
+        .observe(Observe::Summary)
+        .topology(Topology::Ring { k: 4 })
+        .build()
+        .expect("config");
+    let engine = BatchEngine::new(config);
+    let lanes: Vec<BatchLane> = (1..=K as u64)
+        .map(|seed| BatchLane {
+            seed,
+            inputs: spread_inputs(n),
+        })
+        .collect();
+    // Warm-up: fault the pages, fill the allocator pools.
+    for _ in 0..2 {
+        for outcome in engine.run(&lanes) {
+            outcome.expect("run");
+        }
+    }
+
+    // One batch advances K lanes, so divide the scalar repetition budget.
+    let reps = repetitions(n).div_ceil(K);
+    let mut profiler = PhaseProfiler::new();
+    for _ in 0..reps {
+        for outcome in engine.run_observed(&lanes, &mut profiler) {
+            outcome.expect("profiled run");
+        }
+    }
+    let breakdown = profiler.breakdown();
+    println!("phase_profile batch_ring n={n} k={K} ({reps} batch(es)):");
+    print!("{}", breakdown.render());
+    let total = breakdown.total_nanos().max(1);
+    for row in &breakdown.rows {
+        let share = 100.0 * row.total_nanos as f64 / total as f64;
+        record_metric(
+            "phase_profile",
+            &format!("phase_share/batch_ring/{n}/{}", row.phase.name()),
+            share,
+            "%",
+        );
+    }
+}
+
 fn main() {
     for &n in &[16usize, 64, 256] {
         profile(n);
+    }
+    // The batched general path on the reduced grid the engine_batch bench
+    // uses for its ring/churn rows.
+    for &n in &[64usize, 256] {
+        profile_batch(n);
     }
     write_json_report();
 }

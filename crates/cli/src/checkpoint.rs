@@ -322,9 +322,14 @@ pub fn chunk_path(dir: &Path, index: usize) -> PathBuf {
 }
 
 /// Executes the runs of one chunk on the work-stealing pool and returns
-/// the entries in grid order. Consecutive runs of the same point execute
-/// as one streamed batch, so a chunk spanning a point boundary costs two
-/// batch launches, not `chunk_size` single runs.
+/// the entries in grid order. Consecutive runs of the same point form one
+/// seed segment, and all of a chunk's segments execute as **one**
+/// cross-point packed pool (`mbaa::stream_segments`): shape-compatible
+/// neighbouring points share seed-batched engine launches, so a chunk
+/// spanning a point boundary no longer pays one under-full launch per
+/// point. Chunk bytes depend only on the summaries, which are
+/// bit-identical to the per-point path, so resumable checkpoints stay
+/// byte-identical.
 pub fn execute_chunk(
     plan: &SweepPlan,
     index: usize,
@@ -342,10 +347,12 @@ pub fn execute_chunk_metrics(
     plan: &SweepPlan,
     index: usize,
     workers: Option<usize>,
-    mut metrics: Option<&mut MetricsRegistry>,
+    metrics: Option<&mut MetricsRegistry>,
 ) -> Result<Vec<ChunkEntry>, CheckpointError> {
     let range = plan.chunk_range(index);
-    let mut entries = Vec::with_capacity(range.len());
+    // Gather the chunk's per-point seed segments in grid order.
+    let mut segments: Vec<(Scenario, Vec<u64>)> = Vec::new();
+    let mut segment_points: Vec<usize> = Vec::new();
     let mut cursor = range.start;
     while cursor < range.end {
         let (point, _) = plan.pair(cursor);
@@ -355,22 +362,21 @@ pub fn execute_chunk_metrics(
             stop += 1;
         }
         let seeds: Vec<u64> = (cursor..stop).map(|run| plan.pair(run).1).collect();
-        let mut runner = plan.points[point].1.batch(seeds);
-        if let Some(width) = workers {
-            runner = runner.workers(width);
+        segments.push((plan.points[point].1.clone(), seeds));
+        segment_points.push(point);
+        cursor = stop;
+    }
+    let results = match metrics {
+        Some(sink) => {
+            let (results, local) = mbaa::stream_segments_metrics(&segments, workers);
+            sink.merge(&local);
+            results
         }
-        let result = match metrics.as_deref_mut() {
-            Some(sink) => {
-                let (result, local) = runner
-                    .stream_metrics()
-                    .map_err(|e| fail(format!("point {point} failed: {e}")))?;
-                sink.merge(&local);
-                result
-            }
-            None => runner
-                .stream()
-                .map_err(|e| fail(format!("point {point} failed: {e}")))?,
-        };
+        None => mbaa::stream_segments(&segments, workers),
+    };
+    let mut entries = Vec::with_capacity(range.len());
+    for (&point, result) in segment_points.iter().zip(results) {
+        let result = result.map_err(|e| fail(format!("point {point} failed: {e}")))?;
         for summary in result.runs {
             entries.push(ChunkEntry {
                 point,
@@ -378,7 +384,6 @@ pub fn execute_chunk_metrics(
                 summary,
             });
         }
-        cursor = stop;
     }
     Ok(entries)
 }

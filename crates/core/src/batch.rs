@@ -1,5 +1,5 @@
-//! The seed-batched engine: k seeds of one scenario point advanced in
-//! lockstep through a single round loop.
+//! The seed-batched engine: k seeds advanced in lockstep through a single
+//! round loop.
 //!
 //! A sweep evaluates the *same* [`ProtocolConfig`] under many seeds, and
 //! the scalar [`MobileEngine`] pays the full per-round machinery — fault
@@ -15,9 +15,9 @@
 //! states. Per-lane control state (the adversary with its RNG stream, the
 //! convergence report, the traffic statistics) lives in one flat `Vec` of
 //! lane records. All lanes share a single round scratch — one
-//! [`RoundFaultPlan`], one outbox array, one delivery matrix, one sort
-//! buffer — because the scratch is fully overwritten per lane per round;
-//! only the RNG streams and the accumulated per-lane results differ.
+//! [`RoundFaultPlan`], one outbox array, one packed delivery-row arena, one
+//! sort buffer — because the scratch is fully overwritten per lane per
+//! round; only the RNG streams and the accumulated per-lane results differ.
 //!
 //! On the **complete-topology fast path** (no schedule, clean link-fault
 //! plan — the configuration every paper table sweeps) the engine never
@@ -30,6 +30,20 @@
 //! `mean(Sel(Red(N)))` over all receivers of a lane in one pass. This
 //! replaces `n` sorts and `2 n²` slot writes per lane-round with one sort
 //! and `n` linear merges.
+//!
+//! On the **general path** (partial topologies, schedules, link faults) the
+//! lanes of each distinct network *description* share one
+//! [`SharedRealization`]: the realized graphs, closed-neighbourhood lists,
+//! compiled fault matrices, and per-phase connectivity are built once per
+//! batch instead of once per lane, and each lane keeps only a tiny
+//! [`mbaa_net::LaneDelivery`] (its seed-keyed churn/omission draw streams
+//! and delay pipes). Each lane round classifies senders into
+//! [`LaneSend`]s — broadcasters never materialize an outbox — and the
+//! exchange collects each active receiver's values directly into packed
+//! [`DeliveryRows`], which feed the same k-wide MSR fold as the fast path.
+//! Descriptions that realize per seed ([`Topology::RandomRegular`]
+//! anywhere) fall back to one scalar network per lane inside the same
+//! lockstep loop.
 //!
 //! # Batch vs. scalar selection
 //!
@@ -44,11 +58,27 @@
 //! observability is never silently degraded. [`BatchEngine::run`] applies
 //! the same rule internally, which makes it total: any configuration can
 //! be handed to it.
+//!
+//! # Cross-point packing
+//!
+//! Lanes need not come from one configuration: [`PackedLane`] pairs each
+//! lane with its *own* full `ProtocolConfig` (whose `seed` field is the
+//! lane seed), and [`BatchEngine::run_packed`] advances a mixed pack in one
+//! lockstep loop as long as every lane shares the batch **shape** — same
+//! `n`, `f`, model, and observe level (checked by [`shape_compatible`]).
+//! Everything else — ε, round budget, voting function, mobility,
+//! corruption, topology, schedule, link faults — may differ per lane: the
+//! loop runs to the largest round budget and each lane consults its own
+//! configuration, so a sweep can top up a draining point's tail chunk with
+//! seeds from the next compatible point instead of running it under-full.
 
 use mbaa_adversary::{AdversaryView, MobileAdversary, RoundFaultPlan};
 use mbaa_msr::{ConvergenceReport, VotingFunction};
-use mbaa_net::{NetworkStats, NetworkTrace, Outbox, SyncNetwork, Topology, TopologySchedule};
-use mbaa_obs::{NoopObserver, Observer, RoundEvent};
+use mbaa_net::{
+    DeliveryRows, LaneDelivery, LaneSend, NetworkStats, NetworkTrace, Outbox, SharedRealization,
+    SyncNetwork, Topology, TopologySchedule,
+};
+use mbaa_obs::{NoopObserver, Observer, Phase, RoundEvent};
 use mbaa_types::{
     Error, FaultState, Interval, MobileModel, ProcessId, Result, Round, Value, ValueMultiset,
 };
@@ -70,13 +100,47 @@ pub struct BatchLane {
     pub inputs: Vec<Value>,
 }
 
+/// One lane of a cross-point pack: a full configuration (whose `seed`
+/// field is the lane seed) and the initial values it starts from. See
+/// [`BatchEngine::run_packed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedLane {
+    /// The lane's configuration; its `seed` is honoured as the lane seed.
+    pub config: ProtocolConfig,
+    /// The lane's initial values (one per process).
+    pub inputs: Vec<Value>,
+}
+
+/// Whether two configurations share a batch **shape** and may therefore
+/// ride in one [`BatchEngine::run_packed`] pack: same universe size, fault
+/// bound, mobile model, and observe level. All other knobs are per-lane.
+#[must_use]
+pub fn shape_compatible(a: &ProtocolConfig, b: &ProtocolConfig) -> bool {
+    a.n == b.n && a.f == b.f && a.model == b.model && a.observe == b.observe
+}
+
+/// One lane's identity inside a batch run: its configuration, its seed,
+/// and its inputs. [`BatchEngine::run`] derives `k` specs from one shared
+/// configuration; [`BatchEngine::run_packed`] derives them from `k`
+/// configurations of equal shape.
+struct LaneSpec<'a> {
+    cfg: &'a ProtocolConfig,
+    seed: u64,
+    inputs: &'a [Value],
+}
+
 /// Per-lane control state: everything that is *not* shared across lanes.
 struct LaneState {
     adversary: MobileAdversary,
-    /// The lane's network on the general path; `None` on the fast path,
-    /// where no exchange machinery exists and `stats` is accounted
-    /// directly.
+    /// The lane's own scalar network — only on the general path's per-lane
+    /// fallback (seed-dependent realizations). `None` on the fast path and
+    /// on the shared-realization path, where `stats` is accounted directly.
     network: Option<SyncNetwork>,
+    /// The lane's slice of a [`SharedRealization`]: seed-keyed draw
+    /// streams and delay pipes. `Some` exactly on the shared path.
+    delivery: Option<LaneDelivery>,
+    /// Index of the lane's network-description group on the general path.
+    group: usize,
     stats: NetworkStats,
     validity_envelope: Option<Interval>,
     report: Option<ConvergenceReport>,
@@ -95,10 +159,26 @@ struct LaneState {
     corruptions: u64,
 }
 
-/// Advances k seeds of one scenario point in lockstep. See the
-/// [module documentation](crate::batch) for the layout and the selection
-/// rule; per-seed results are bit-identical to the scalar
-/// [`MobileEngine`].
+/// One distinct network description inside a pack: the exemplar
+/// configuration that introduced it and, when the description is
+/// seed-invariant, the realization every lane of the group shares.
+struct NetGroup<'a> {
+    cfg: &'a ProtocolConfig,
+    realization: Option<SharedRealization>,
+}
+
+/// Whether two configurations describe the same network and can share one
+/// realization group on the general path.
+fn same_network_description(a: &ProtocolConfig, b: &ProtocolConfig) -> bool {
+    a.topology == b.topology
+        && a.schedule == b.schedule
+        && a.link_faults == b.link_faults
+        && a.disconnection == b.disconnection
+}
+
+/// Advances k seeds in lockstep. See the [module
+/// documentation](crate::batch) for the layout and the selection rule;
+/// per-seed results are bit-identical to the scalar [`MobileEngine`].
 #[derive(Debug)]
 pub struct BatchEngine {
     config: ProtocolConfig,
@@ -154,14 +234,63 @@ impl BatchEngine {
                 })
                 .collect();
         }
-        let fast = self.config.schedule.is_none()
-            && self.config.link_faults.is_clean()
-            && matches!(self.config.topology, Topology::Complete);
-        if fast {
-            self.run_fast(lanes, observer)
-        } else {
-            self.run_general(lanes, observer)
+        let specs: Vec<LaneSpec<'_>> = lanes
+            .iter()
+            .map(|lane| LaneSpec {
+                cfg: &self.config,
+                seed: lane.seed,
+                inputs: &lane.inputs,
+            })
+            .collect();
+        run_specs(&specs, observer)
+    }
+
+    /// Runs a **cross-point pack**: every lane carries its own
+    /// configuration (its `seed` field is the lane seed), and all lanes
+    /// advance in one lockstep loop as long as the pack shares a batch
+    /// shape (see [`shape_compatible`]). Results are returned in lane
+    /// order; each lane's result is exactly what a scalar
+    /// [`MobileEngine`] run of its configuration would produce.
+    ///
+    /// Packs below two lanes, packs observing more than
+    /// [`Observe::Summary`], and shape-incompatible packs delegate to the
+    /// scalar engine lane by lane, so the call is total.
+    #[must_use]
+    pub fn run_packed(lanes: &[PackedLane]) -> Vec<Result<MobileRunOutcome>> {
+        Self::run_packed_observed(lanes, &mut NoopObserver)
+    }
+
+    /// [`BatchEngine::run_packed`] with an [`Observer`] attached; the
+    /// event-stream guarantees of [`BatchEngine::run_observed`] apply.
+    #[must_use]
+    pub fn run_packed_observed<O: Observer>(
+        lanes: &[PackedLane],
+        observer: &mut O,
+    ) -> Vec<Result<MobileRunOutcome>> {
+        let packable = lanes.len() >= 2
+            && lanes
+                .iter()
+                .all(|lane| lane.config.observe == Observe::Summary)
+            && lanes
+                .windows(2)
+                .all(|pair| shape_compatible(&pair[0].config, &pair[1].config));
+        if !packable {
+            return lanes
+                .iter()
+                .map(|lane| {
+                    MobileEngine::new(lane.config.clone()).run_observed(&lane.inputs, observer)
+                })
+                .collect();
         }
+        let specs: Vec<LaneSpec<'_>> = lanes
+            .iter()
+            .map(|lane| LaneSpec {
+                cfg: &lane.config,
+                seed: lane.config.seed,
+                inputs: &lane.inputs,
+            })
+            .collect();
+        run_specs(&specs, observer)
     }
 
     /// The lane-seeded scalar configuration: what the batch run must be
@@ -171,347 +300,474 @@ impl BatchEngine {
         config.seed = seed;
         config
     }
+}
 
-    /// Initializes the SoA state shared by both batch paths: lane-major
-    /// flat `votes` / `states` arrays and one control record per lane.
-    /// Lanes with the wrong input count are born `done` with their scalar
-    /// error; their state slices stay untouched placeholders.
-    fn init_lanes(
-        &self,
-        lanes: &[BatchLane],
-        build_network: bool,
-    ) -> (Vec<Value>, Vec<FaultState>, Vec<LaneState>) {
-        let cfg = &self.config;
-        let n = cfg.n;
-        let mut votes = vec![Value::new(0.0); lanes.len() * n];
-        let states = vec![FaultState::Correct; lanes.len() * n];
-        let mut lane_states = Vec::with_capacity(lanes.len());
-        for (l, lane) in lanes.iter().enumerate() {
-            let mut ls = LaneState {
-                adversary: MobileAdversary::new(
-                    cfg.model,
-                    n,
-                    cfg.f,
-                    cfg.mobility,
-                    cfg.corruption,
-                    lane.seed,
-                ),
-                network: None,
-                stats: NetworkStats::new(),
-                validity_envelope: None,
-                report: None,
-                reached: false,
-                rounds_executed: 0,
-                error: None,
-                done: false,
-                prev_diameter: 0.0,
-                prev_stats: NetworkStats::new(),
-                corrupted_last: 0,
-                corruptions: 0,
-            };
-            if lane.inputs.len() != n {
-                ls.error = Some(Error::WrongInputCount {
-                    provided: lane.inputs.len(),
-                    expected: n,
-                });
-                ls.done = true;
-            } else {
-                votes[l * n..(l + 1) * n].copy_from_slice(&lane.inputs);
-                if build_network {
-                    match self.lane_network(lane.seed) {
+/// Routes a shape-homogeneous batch to the fast or the general lockstep
+/// loop: the fast path requires *every* lane to be an unmasked complete
+/// graph under a clean plan; one partial or dynamic lane sends the whole
+/// pack down the general path (which handles complete lanes identically).
+fn run_specs<O: Observer>(
+    specs: &[LaneSpec<'_>],
+    observer: &mut O,
+) -> Vec<Result<MobileRunOutcome>> {
+    let fast = specs.iter().all(|spec| {
+        spec.cfg.schedule.is_none()
+            && spec.cfg.link_faults.is_clean()
+            && matches!(spec.cfg.topology, Topology::Complete)
+    });
+    if fast {
+        run_fast(specs, observer)
+    } else {
+        run_general(specs, observer)
+    }
+}
+
+/// Builds one lane's network exactly as the scalar engine would for the
+/// lane-seeded configuration. Graph realization is deterministic in
+/// `(n, seed)`, so seed-randomized topologies must realize *per lane*,
+/// not once per group — this is the general path's fallback when
+/// [`SharedRealization::try_build`] refuses a description.
+fn lane_network(cfg: &ProtocolConfig, seed: u64) -> Result<SyncNetwork> {
+    let n = cfg.n;
+    let network = if cfg.schedule.is_none() && cfg.link_faults.is_clean() {
+        match &cfg.topology {
+            Topology::Complete => SyncNetwork::new(n),
+            partial => SyncNetwork::with_topology(partial.realize(n, seed)?),
+        }
+    } else {
+        let schedule = cfg
+            .schedule
+            .clone()
+            .unwrap_or_else(|| TopologySchedule::Static(cfg.topology.clone()));
+        SyncNetwork::with_dynamics(
+            schedule.realize(n, seed)?,
+            &cfg.link_faults,
+            cfg.disconnection,
+            seed,
+        )?
+    };
+    // The batch paths only run at Observe::Summary.
+    Ok(network.with_trace_recording(false))
+}
+
+/// Initializes the SoA state shared by both batch paths: lane-major flat
+/// `votes` / `states` arrays and one control record per lane. Lanes with
+/// the wrong input count are born `done` with their scalar error; their
+/// state slices stay untouched placeholders. On the general path
+/// (`groups` is `Some`) each lane receives either a [`LaneDelivery`] on
+/// its group's shared realization or its own fallback network.
+fn init_lanes(
+    specs: &[LaneSpec<'_>],
+    groups: Option<(&[NetGroup<'_>], &[usize])>,
+) -> (Vec<Value>, Vec<FaultState>, Vec<LaneState>) {
+    let n = specs[0].cfg.n;
+    let mut votes = vec![Value::new(0.0); specs.len() * n];
+    let states = vec![FaultState::Correct; specs.len() * n];
+    let mut lane_states = Vec::with_capacity(specs.len());
+    for (l, spec) in specs.iter().enumerate() {
+        let cfg = spec.cfg;
+        let mut ls = LaneState {
+            adversary: MobileAdversary::new(
+                cfg.model,
+                n,
+                cfg.f,
+                cfg.mobility,
+                cfg.corruption,
+                spec.seed,
+            ),
+            network: None,
+            delivery: None,
+            group: 0,
+            stats: NetworkStats::new(),
+            validity_envelope: None,
+            report: None,
+            reached: false,
+            rounds_executed: 0,
+            error: None,
+            done: false,
+            prev_diameter: 0.0,
+            prev_stats: NetworkStats::new(),
+            corrupted_last: 0,
+            corruptions: 0,
+        };
+        if spec.inputs.len() != n {
+            ls.error = Some(Error::WrongInputCount {
+                provided: spec.inputs.len(),
+                expected: n,
+            });
+            ls.done = true;
+        } else {
+            votes[l * n..(l + 1) * n].copy_from_slice(spec.inputs);
+            if let Some((groups, lane_group)) = groups {
+                let g = lane_group[l];
+                match &groups[g].realization {
+                    Some(shared) => {
+                        ls.delivery = Some(shared.lane(spec.seed));
+                        ls.group = g;
+                    }
+                    None => match lane_network(cfg, spec.seed) {
                         Ok(network) => ls.network = Some(network),
                         Err(e) => {
                             ls.error = Some(e);
                             ls.done = true;
                         }
-                    }
+                    },
                 }
             }
-            lane_states.push(ls);
         }
-        (votes, states, lane_states)
+        lane_states.push(ls);
     }
+    (votes, states, lane_states)
+}
 
-    /// Builds one lane's network exactly as the scalar engine would for
-    /// the lane-seeded configuration. Graph realization is deterministic
-    /// in `(n, seed)`, so seed-randomized topologies (and every schedule)
-    /// must realize *per lane*, not once per point — only the implicit
-    /// complete graph of the fast path is genuinely seed-free and shared.
-    fn lane_network(&self, seed: u64) -> Result<SyncNetwork> {
-        let cfg = &self.config;
-        let n = cfg.n;
-        let network = if cfg.schedule.is_none() && cfg.link_faults.is_clean() {
-            match &cfg.topology {
-                Topology::Complete => SyncNetwork::new(n),
-                partial => SyncNetwork::with_topology(partial.realize(n, seed)?),
-            }
+/// The adversary phase of one lane's round, shared by both paths: places
+/// the agents into the shared plan, applies the corruption left on cured
+/// processes, tracks fault states, and performs the first-round
+/// initialization (validity envelope, initial diameter, pre-sized report,
+/// trivial-agreement early exit). Returns `false` when the lane
+/// terminated before its send phase.
+#[allow(clippy::too_many_arguments)]
+fn begin_lane_round<O: Observer>(
+    cfg: &ProtocolConfig,
+    ls: &mut LaneState,
+    round: Round,
+    votes: &mut [Value],
+    states: &mut [FaultState],
+    plan: &mut RoundFaultPlan,
+    received: &mut ValueMultiset,
+    observer: &mut O,
+) -> bool {
+    observer.phase_start(Phase::AdversaryPlan);
+    // The adversary sees everything; the "correct range" it reasons
+    // about is the range of the currently non-faulty processes' values
+    // (all values before the first placement).
+    let visible_range = Interval::hull(
+        votes
+            .iter()
+            .zip(&*states)
+            .filter_map(|(v, s)| s.is_non_faulty().then_some(*v)),
+    )
+    .unwrap_or_else(|| Interval::point(votes[0]));
+    let view = AdversaryView {
+        round,
+        votes,
+        correct_range: visible_range,
+    };
+    ls.adversary.begin_round_into(&view, plan);
+
+    // Agents that left a process corrupted the state behind them.
+    ls.corrupted_last = 0;
+    for p in plan.cured.iter() {
+        if let Some(corrupted) = plan.corrupted_states[p.index()] {
+            votes[p.index()] = corrupted;
+            ls.corrupted_last += 1;
+        }
+    }
+    for (i, state) in states.iter_mut().enumerate() {
+        let p = ProcessId::new(i);
+        *state = if plan.faulty.contains(p) {
+            FaultState::Faulty
+        } else if plan.cured.contains(p) {
+            FaultState::Cured
         } else {
-            let schedule = cfg
-                .schedule
-                .clone()
-                .unwrap_or_else(|| TopologySchedule::Static(cfg.topology.clone()));
-            SyncNetwork::with_dynamics(
-                schedule.realize(n, seed)?,
-                &cfg.link_faults,
-                cfg.disconnection,
-                seed,
-            )?
+            FaultState::Correct
         };
-        // The batch paths only run at Observe::Summary.
-        Ok(network.with_trace_recording(false))
     }
+    observer.phase_end(Phase::AdversaryPlan);
 
-    /// The adversary phase of one lane's round, shared by both paths:
-    /// places the agents into the shared plan, applies the corruption left
-    /// on cured processes, tracks fault states, and performs the
-    /// first-round initialization (validity envelope, initial diameter,
-    /// pre-sized report, trivial-agreement early exit). Returns `false`
-    /// when the lane terminated before its send phase.
-    #[allow(clippy::too_many_arguments)]
-    fn begin_lane_round(
-        &self,
-        ls: &mut LaneState,
-        round: Round,
-        votes: &mut [Value],
-        states: &mut [FaultState],
-        plan: &mut RoundFaultPlan,
-        received: &mut ValueMultiset,
-    ) -> bool {
-        let cfg = &self.config;
-        // The adversary sees everything; the "correct range" it reasons
-        // about is the range of the currently non-faulty processes' values
-        // (all values before the first placement).
-        let visible_range = Interval::hull(
+    // First round: now that the faulty set is known, freeze the
+    // validity envelope and the initial diameter, and size the report
+    // to the round budget so later records never reallocate.
+    if ls.validity_envelope.is_none() {
+        received.refill(
             votes
                 .iter()
                 .zip(&*states)
                 .filter_map(|(v, s)| s.is_non_faulty().then_some(*v)),
-        )
-        .unwrap_or_else(|| Interval::point(votes[0]));
-        let view = AdversaryView {
-            round,
-            votes,
-            correct_range: visible_range,
-        };
-        ls.adversary.begin_round_into(&view, plan);
-
-        // Agents that left a process corrupted the state behind them.
-        ls.corrupted_last = 0;
-        for p in plan.cured.iter() {
-            if let Some(corrupted) = plan.corrupted_states[p.index()] {
-                votes[p.index()] = corrupted;
-                ls.corrupted_last += 1;
-            }
+        );
+        let envelope = received
+            .range()
+            .expect("at least one process is non-faulty");
+        ls.validity_envelope = Some(envelope);
+        let initial_diameter = received.diameter();
+        ls.prev_diameter = initial_diameter;
+        if cfg.epsilon.covers_diameter(initial_diameter) {
+            ls.reached = true;
         }
-        for (i, state) in states.iter_mut().enumerate() {
-            let p = ProcessId::new(i);
-            *state = if plan.faulty.contains(p) {
-                FaultState::Faulty
-            } else if plan.cured.contains(p) {
-                FaultState::Cured
-            } else {
-                FaultState::Correct
-            };
-        }
-
-        // First round: now that the faulty set is known, freeze the
-        // validity envelope and the initial diameter, and size the report
-        // to the round budget so later records never reallocate.
-        if ls.validity_envelope.is_none() {
-            received.refill(
-                votes
-                    .iter()
-                    .zip(&*states)
-                    .filter_map(|(v, s)| s.is_non_faulty().then_some(*v)),
-            );
-            let envelope = received
-                .range()
-                .expect("at least one process is non-faulty");
-            ls.validity_envelope = Some(envelope);
-            let initial_diameter = received.diameter();
-            ls.prev_diameter = initial_diameter;
-            if cfg.epsilon.covers_diameter(initial_diameter) {
-                ls.reached = true;
-            }
-            ls.report = Some(ConvergenceReport::with_capacity(
-                initial_diameter,
-                cfg.max_rounds,
-            ));
-            if ls.reached {
-                ls.done = true;
-                return false;
-            }
-        }
-        true
-    }
-
-    /// The diameter bookkeeping closing one lane's round, shared by both
-    /// paths. Returns the round's diameter so the caller can emit the
-    /// lane's telemetry event without recomputing it.
-    fn finish_lane_round(
-        &self,
-        ls: &mut LaneState,
-        round_idx: usize,
-        votes: &[Value],
-        states: &[FaultState],
-    ) -> f64 {
-        ls.rounds_executed = round_idx + 1;
-        let diameter = non_faulty_diameter(votes, states);
-        let report = ls
-            .report
-            .as_mut()
-            .expect("report initialised in first round");
-        report.record_round(diameter);
-        ls.reached = self.config.epsilon.covers_diameter(diameter);
+        ls.report = Some(ConvergenceReport::with_capacity(
+            initial_diameter,
+            cfg.max_rounds,
+        ));
         if ls.reached {
             ls.done = true;
+            return false;
         }
-        diameter
+    }
+    true
+}
+
+/// The diameter bookkeeping closing one lane's round, shared by both
+/// paths. Returns the round's diameter so the caller can emit the lane's
+/// telemetry event without recomputing it.
+fn finish_lane_round(
+    cfg: &ProtocolConfig,
+    ls: &mut LaneState,
+    round_idx: usize,
+    votes: &[Value],
+    states: &[FaultState],
+) -> f64 {
+    ls.rounds_executed = round_idx + 1;
+    let diameter = non_faulty_diameter(votes, states);
+    let report = ls
+        .report
+        .as_mut()
+        .expect("report initialised in first round");
+    report.record_round(diameter);
+    ls.reached = cfg.epsilon.covers_diameter(diameter);
+    if ls.reached {
+        ls.done = true;
+    }
+    diameter
+}
+
+/// Assembles each lane's outcome exactly as the scalar engine does,
+/// emitting each lane's run-level telemetry in lane order.
+fn collect<O: Observer>(
+    specs: &[LaneSpec<'_>],
+    votes: &[Value],
+    states: &[FaultState],
+    lane_states: Vec<LaneState>,
+    observer: &mut O,
+) -> Vec<Result<MobileRunOutcome>> {
+    let n = specs[0].cfg.n;
+    let telemetry = observer.enabled();
+    lane_states
+        .into_iter()
+        .enumerate()
+        .map(|(l, mut ls)| {
+            if let Some(error) = ls.error.take() {
+                return Err(error);
+            }
+            let votes = &votes[l * n..(l + 1) * n];
+            let states = &states[l * n..(l + 1) * n];
+            let validity_envelope = ls.validity_envelope.unwrap_or_else(|| {
+                Interval::hull(votes.iter().copied()).expect("at least one process")
+            });
+            let report = ls.report.unwrap_or_else(|| {
+                ConvergenceReport::new(
+                    Interval::hull(votes.iter().copied())
+                        .map(|i| i.diameter())
+                        .unwrap_or(0.0),
+                )
+            });
+            let (trace, network_stats) = match ls.network {
+                Some(network) => network.into_parts(),
+                None => (NetworkTrace::new(), ls.stats),
+            };
+            let outcome = MobileRunOutcome {
+                reached_agreement: ls.reached,
+                rounds_executed: ls.rounds_executed,
+                final_votes: votes.to_vec(),
+                final_states: states.to_vec(),
+                report,
+                validity_envelope,
+                epsilon: specs[l].cfg.epsilon,
+                configurations: Vec::new(),
+                trace,
+                network_stats,
+            };
+            if telemetry {
+                emit_run_events(observer, specs[l].seed, &outcome, ls.corruptions);
+            }
+            Ok(outcome)
+        })
+        .collect()
+}
+
+/// The general batch path: every topology, schedule, and link-fault plan.
+///
+/// Lanes are grouped by network description; each group's seed-invariant
+/// structure is realized **once** into a [`SharedRealization`] and every
+/// lane of the group exchanges against it, carrying only its own draw
+/// streams and delay pipes. Broadcasting senders are classified into
+/// [`LaneSend`]s instead of materializing `n`-slot outboxes, and delivered
+/// values land directly in packed [`DeliveryRows`] feeding the k-wide MSR
+/// fold. Descriptions that realize per seed fall back to one scalar
+/// network per lane inside the same lockstep loop. Either way, per-lane
+/// results are bit-identical to the scalar engine by construction.
+fn run_general<O: Observer>(
+    specs: &[LaneSpec<'_>],
+    observer: &mut O,
+) -> Vec<Result<MobileRunOutcome>> {
+    let n = specs[0].cfg.n;
+    let k = specs.len();
+    let telemetry = observer.enabled();
+
+    // Group the pack by network description and realize each group's
+    // shared structure once. A linear scan is fine: packs are ≤ the sweep
+    // chunk width and most packs hold one or two descriptions.
+    let mut groups: Vec<NetGroup<'_>> = Vec::new();
+    let mut lane_group = vec![0usize; k];
+    for (l, spec) in specs.iter().enumerate() {
+        let g = groups
+            .iter()
+            .position(|group| same_network_description(group.cfg, spec.cfg));
+        let g = match g {
+            Some(g) => g,
+            None => {
+                groups.push(NetGroup {
+                    cfg: spec.cfg,
+                    realization: SharedRealization::try_build(
+                        n,
+                        &spec.cfg.topology,
+                        spec.cfg.schedule.as_ref(),
+                        &spec.cfg.link_faults,
+                        spec.cfg.disconnection,
+                    ),
+                });
+                groups.len() - 1
+            }
+        };
+        lane_group[l] = g;
     }
 
-    /// Assembles each lane's outcome exactly as the scalar engine does,
-    /// emitting each lane's run-level telemetry in lane order.
-    fn collect<O: Observer>(
-        &self,
-        lanes: &[BatchLane],
-        votes: &[Value],
-        states: &[FaultState],
-        lane_states: Vec<LaneState>,
-        observer: &mut O,
-    ) -> Vec<Result<MobileRunOutcome>> {
-        let cfg = &self.config;
-        let n = cfg.n;
-        let telemetry = observer.enabled();
-        lane_states
-            .into_iter()
-            .enumerate()
-            .map(|(l, mut ls)| {
-                if let Some(error) = ls.error.take() {
-                    return Err(error);
-                }
-                let votes = &votes[l * n..(l + 1) * n];
-                let states = &states[l * n..(l + 1) * n];
-                let validity_envelope = ls.validity_envelope.unwrap_or_else(|| {
-                    Interval::hull(votes.iter().copied()).expect("at least one process")
-                });
-                let report = ls.report.unwrap_or_else(|| {
-                    ConvergenceReport::new(
-                        Interval::hull(votes.iter().copied())
-                            .map(|i| i.diameter())
-                            .unwrap_or(0.0),
-                    )
-                });
-                let (trace, network_stats) = match ls.network {
-                    Some(network) => network.into_parts(),
-                    None => (NetworkTrace::new(), ls.stats),
-                };
-                let outcome = MobileRunOutcome {
-                    reached_agreement: ls.reached,
-                    rounds_executed: ls.rounds_executed,
-                    final_votes: votes.to_vec(),
-                    final_states: states.to_vec(),
-                    report,
-                    validity_envelope,
-                    epsilon: cfg.epsilon,
-                    configurations: Vec::new(),
-                    trace,
-                    network_stats,
-                };
-                if telemetry {
-                    emit_run_events(observer, lanes[l].seed, &outcome, ls.corruptions);
-                }
-                Ok(outcome)
-            })
-            .collect()
-    }
+    let (mut votes, mut states, mut lane_states) = init_lanes(specs, Some((&groups, &lane_group)));
+    let RoundScratch {
+        mut plan,
+        mut outboxes,
+        mut deliveries,
+        mut received,
+    } = RoundScratch::new(n);
+    let mut sends: Vec<LaneSend> = vec![LaneSend::Silent; n];
+    let mut active: Vec<bool> = vec![false; n];
+    let mut rows = DeliveryRows::new(n);
+    let mut lane_votes: Vec<Option<Value>> = vec![None; n];
+    let max_rounds = specs.iter().map(|s| s.cfg.max_rounds).max().unwrap_or(0);
 
-    /// The general batch path: every topology, schedule, and link-fault
-    /// plan. Lanes share the round scratch (plan, outboxes, delivery
-    /// matrix, sort buffer) but run the exact statement sequence of the
-    /// scalar loop against their own network and adversary, so per-lane
-    /// results are bit-identical by construction.
-    fn run_general<O: Observer>(
-        &self,
-        lanes: &[BatchLane],
-        observer: &mut O,
-    ) -> Vec<Result<MobileRunOutcome>> {
-        let cfg = &self.config;
-        let n = cfg.n;
-        let k = lanes.len();
-        let telemetry = observer.enabled();
-        let (mut votes, mut states, mut lane_states) = self.init_lanes(lanes, true);
-        let RoundScratch {
-            mut plan,
-            mut outboxes,
-            mut deliveries,
-            mut received,
-        } = RoundScratch::new(n);
-        let compute_even_if_faulty = cfg.model.agents_move_with_messages();
+    // The lockstep round loop: round r of every live lane runs before
+    // round r + 1 of any. Statically allocation-free like the scalar
+    // loop; the first-round initialization inside `begin_lane_round`
+    // carries the same waivers.
+    // mbaa: alloc-free
+    for round_idx in 0..max_rounds {
+        let mut all_done = true;
+        for l in 0..k {
+            let spec = &specs[l];
+            let cfg = spec.cfg;
+            let ls = &mut lane_states[l];
+            if ls.done || round_idx >= cfg.max_rounds {
+                continue;
+            }
+            all_done = false;
+            let round = Round::new(round_idx as u64);
+            let votes_l = &mut votes[l * n..(l + 1) * n];
+            let states_l = &mut states[l * n..(l + 1) * n];
+            if !begin_lane_round(
+                cfg,
+                ls,
+                round,
+                votes_l,
+                states_l,
+                &mut plan,
+                &mut received,
+                observer,
+            ) {
+                continue;
+            }
+            let compute_even_if_faulty = cfg.model.agents_move_with_messages();
 
-        // The lockstep round loop: round r of every live lane runs before
-        // round r + 1 of any. Statically allocation-free like the scalar
-        // loop; the first-round initialization inside `begin_lane_round`
-        // carries the same waivers.
-        // mbaa: alloc-free
-        for round_idx in 0..cfg.max_rounds {
-            let mut all_done = true;
-            for l in 0..k {
-                let ls = &mut lane_states[l];
-                if ls.done {
-                    continue;
+            if ls.delivery.is_some() {
+                // Shared-realization path. Send phase: classify senders —
+                // a broadcaster contributes one value, not n slots; only
+                // the ≤ 2f genuinely per-receiver senders (adversary
+                // outboxes, poisoned queues) fill their scratch outbox.
+                observer.phase_start(Phase::Exchange);
+                for (i, &vote) in votes_l.iter().enumerate() {
+                    let p = ProcessId::new(i);
+                    sends[i] = if plan.faulty.contains(p) {
+                        fill_outbox(cfg.model, &mut outboxes[i], p, &plan, votes_l);
+                        LaneSend::PerReceiver(i)
+                    } else if plan.cured.contains(p) {
+                        match cfg.model {
+                            MobileModel::Garay => LaneSend::Silent,
+                            MobileModel::Bonnet => LaneSend::Broadcast(vote),
+                            MobileModel::Sasaki => {
+                                fill_outbox(cfg.model, &mut outboxes[i], p, &plan, votes_l);
+                                LaneSend::PerReceiver(i)
+                            }
+                            MobileModel::Buhrman => {
+                                unreachable!("Buhrman's model has no cured senders")
+                            }
+                        }
+                    } else {
+                        LaneSend::Broadcast(vote)
+                    };
                 }
-                all_done = false;
-                let round = Round::new(round_idx as u64);
-                let votes_l = &mut votes[l * n..(l + 1) * n];
-                let states_l = &mut states[l * n..(l + 1) * n];
-                if !self.begin_lane_round(ls, round, votes_l, states_l, &mut plan, &mut received) {
-                    continue;
+                for (i, state) in states_l.iter().enumerate() {
+                    active[i] = state.is_non_faulty() || compute_even_if_faulty;
                 }
 
-                // Send phase: rewrite the shared outboxes in place.
-                for (i, outbox) in outboxes.iter_mut().enumerate() {
-                    fill_outbox(cfg.model, outbox, ProcessId::new(i), &plan, votes_l);
-                }
-
-                // Receive phase, into the shared slot matrix. A network
-                // error (e.g. a rejected disconnected round) fails this
-                // lane exactly as it fails a scalar run — other lanes are
-                // unaffected.
-                let network = ls.network.as_mut().expect("general lanes carry a network");
-                if let Err(e) = network.exchange_into(round, &outboxes, &mut deliveries) {
+                // Receive phase, straight into the packed row arena. A
+                // network error (e.g. a rejected disconnected round) fails
+                // this lane exactly as it fails a scalar run — other lanes
+                // (and the shared structure) are unaffected.
+                let shared = groups[ls.group]
+                    .realization
+                    .as_mut()
+                    .expect("shared lanes belong to a realized group");
+                let delivery = ls.delivery.as_mut().expect("shared lanes carry a delivery");
+                if let Err(e) = shared.exchange_rows(
+                    delivery,
+                    round,
+                    &sends,
+                    &outboxes,
+                    &active,
+                    &mut rows,
+                    &mut ls.stats,
+                ) {
+                    observer.phase_end(Phase::Exchange);
                     ls.error = Some(e);
                     ls.done = true;
                     continue;
                 }
+                observer.phase_end(Phase::Exchange);
 
-                // Compute phase, identical to the scalar engine.
-                let mut min_multiset = usize::MAX;
-                for i in 0..n {
-                    if states_l[i].is_non_faulty() || compute_even_if_faulty {
-                        received.refill(deliveries.delivered_to(ProcessId::new(i)));
-                        if telemetry {
-                            min_multiset = min_multiset.min(received.len());
-                        }
-                        if let Some(next) = cfg.function.apply_sorted(received.as_slice()) {
-                            votes_l[i] = next;
-                        }
+                // Compute phase: sort each receiver's row in place (the
+                // same unstable sort the scalar multiset refill performs)
+                // and fold — one k-wide MSR call when every row has the
+                // same width, per-row applies otherwise.
+                observer.phase_start(Phase::MsrApply);
+                for row in 0..rows.rows() {
+                    rows.row_mut(row).sort_unstable();
+                }
+                if let Some(lane_len) = rows.uniform_len() {
+                    cfg.function.apply_sorted_lanes(
+                        rows.flat(),
+                        lane_len,
+                        &mut lane_votes[..rows.rows()],
+                    );
+                } else {
+                    for (row, vote) in lane_votes[..rows.rows()].iter_mut().enumerate() {
+                        *vote = cfg.function.apply_sorted(rows.row(row));
                     }
                 }
+                for row in 0..rows.rows() {
+                    if let Some(next) = lane_votes[row] {
+                        votes_l[rows.receiver(row)] = next;
+                    }
+                }
+                observer.phase_end(Phase::MsrApply);
 
-                let diameter = self.finish_lane_round(ls, round_idx, votes_l, states_l);
+                observer.phase_start(Phase::Record);
+                let diameter = finish_lane_round(cfg, ls, round_idx, votes_l, states_l);
                 if telemetry {
-                    let stats = ls
-                        .network
-                        .as_ref()
-                        .expect("general lanes carry a network")
-                        .stats();
-                    let width = if min_multiset == usize::MAX {
-                        0
-                    } else {
-                        cfg.function.reduced_width(min_multiset)
+                    let stats = ls.stats;
+                    let width = match rows.min_len() {
+                        Some(len) => cfg.function.reduced_width(len),
+                        None => 0,
                     };
                     observer.on_round(&RoundEvent {
-                        seed: lanes[l].seed,
+                        seed: spec.seed,
                         round: round_idx as u64,
                         diameter,
                         contraction: if ls.prev_diameter > 0.0 {
@@ -531,184 +787,53 @@ impl BatchEngine {
                     ls.prev_diameter = diameter;
                     ls.corruptions += u64::from(ls.corrupted_last);
                 }
-            }
-            if all_done {
-                break;
-            }
-        }
-
-        self.collect(lanes, &votes, &states, lane_states, observer)
-    }
-
-    /// The complete-topology fast path: no schedule, clean links. Senders
-    /// classify into broadcasters (one shared sorted buffer), silent
-    /// processes, and ≤ 2f "special" senders with per-receiver outboxes;
-    /// each receiver's multiset is the common buffer merged with its
-    /// special slots, folded by the k-wide MSR apply. No outboxes are
-    /// filled and no delivery matrix exists — traffic statistics are
-    /// accounted in closed form, matching the scalar network's counters
-    /// exactly.
-    fn run_fast<O: Observer>(
-        &self,
-        lanes: &[BatchLane],
-        observer: &mut O,
-    ) -> Vec<Result<MobileRunOutcome>> {
-        let cfg = &self.config;
-        let n = cfg.n;
-        let k = lanes.len();
-        let telemetry = observer.enabled();
-        let (mut votes, mut states, mut lane_states) = self.init_lanes(lanes, false);
-        let mut plan = RoundFaultPlan::empty(n);
-        let mut received = ValueMultiset::with_capacity(n);
-        let compute_even_if_faulty = cfg.model.agents_move_with_messages();
-
-        // Fast-path scratch, shared across lanes and rounds. `merged` is
-        // written with index arithmetic into pre-sized rows (never grown),
-        // so the whole loop below stays free of allocating idioms.
-        let mut common: Vec<Value> = vec![Value::new(0.0); n];
-        let mut extra: Vec<Value> = vec![Value::new(0.0); n];
-        let mut specials: Vec<usize> = vec![0; n];
-        let mut merged: Vec<Value> = vec![Value::new(0.0); n * n];
-        let mut active: Vec<usize> = vec![0; n];
-        let mut row_offsets: Vec<usize> = vec![0; n];
-        let mut row_lens: Vec<usize> = vec![0; n];
-        let mut lane_votes: Vec<Option<Value>> = vec![None; n];
-
-        // The lockstep round loop (see `run_general` for the schedule);
-        // statically allocation-free, enforced by `mbaa-analyze`.
-        // mbaa: alloc-free
-        for round_idx in 0..cfg.max_rounds {
-            let mut all_done = true;
-            for l in 0..k {
-                let ls = &mut lane_states[l];
-                if ls.done {
+                observer.phase_end(Phase::Record);
+            } else {
+                // Per-lane fallback: the lane owns a scalar network and
+                // runs the exact statement sequence of the scalar loop.
+                observer.phase_start(Phase::Exchange);
+                for (i, outbox) in outboxes.iter_mut().enumerate() {
+                    fill_outbox(cfg.model, outbox, ProcessId::new(i), &plan, votes_l);
+                }
+                let network = ls.network.as_mut().expect("fallback lanes carry a network");
+                if let Err(e) = network.exchange_into(round, &outboxes, &mut deliveries) {
+                    observer.phase_end(Phase::Exchange);
+                    ls.error = Some(e);
+                    ls.done = true;
                     continue;
                 }
-                all_done = false;
-                let round = Round::new(round_idx as u64);
-                let votes_l = &mut votes[l * n..(l + 1) * n];
-                let states_l = &mut states[l * n..(l + 1) * n];
-                if !self.begin_lane_round(ls, round, votes_l, states_l, &mut plan, &mut received) {
-                    continue;
-                }
+                observer.phase_end(Phase::Exchange);
 
-                // Send-phase classification. A non-faulty, non-cured
-                // process broadcasts its vote; cured behaviour is the
-                // model's (Garay silent, Bonnet broadcast, Sasaki poisoned
-                // queue); faulty senders use the adversary's outbox.
-                let mut common_len = 0;
-                let mut specials_len = 0;
-                for (i, &vote) in votes_l.iter().enumerate() {
-                    let p = ProcessId::new(i);
-                    if plan.faulty.contains(p) {
-                        specials[specials_len] = i;
-                        specials_len += 1;
-                    } else if plan.cured.contains(p) {
-                        match cfg.model {
-                            MobileModel::Garay => {}
-                            MobileModel::Bonnet => {
-                                common[common_len] = vote;
-                                common_len += 1;
-                            }
-                            MobileModel::Sasaki => {
-                                specials[specials_len] = i;
-                                specials_len += 1;
-                            }
-                            MobileModel::Buhrman => {
-                                unreachable!("Buhrman's model has no cured senders")
-                            }
+                observer.phase_start(Phase::MsrApply);
+                let mut min_multiset = usize::MAX;
+                for i in 0..n {
+                    if states_l[i].is_non_faulty() || compute_even_if_faulty {
+                        received.refill(deliveries.delivered_to(ProcessId::new(i)));
+                        if telemetry {
+                            min_multiset = min_multiset.min(received.len());
                         }
-                    } else {
-                        common[common_len] = vote;
-                        common_len += 1;
-                    }
-                }
-                common[..common_len].sort_unstable();
-
-                // Closed-form traffic accounting: a broadcast delivers to
-                // all n receivers, a special outbox to its Some slots, and
-                // every other reachable slot is a sender omission — the
-                // unmasked complete graph has no structural drops.
-                let mut delivered = (common_len * n) as u64;
-                for &s in &specials[..specials_len] {
-                    delivered += special_outbox(&plan, s)
-                        .iter()
-                        .filter(|(_, slot)| slot.is_some())
-                        .count() as u64;
-                }
-                ls.stats.rounds += 1;
-                ls.stats.messages_delivered += delivered;
-                ls.stats.omissions += (n * n) as u64 - delivered;
-
-                // Compute phase: each active receiver's multiset is the
-                // common buffer merged with its special slots, ascending —
-                // the same sorted array the scalar multiset refill
-                // produces. Rows are packed back to back in `merged`; when
-                // every row has the same width the k-wide MSR fold handles
-                // the whole lane in one call.
-                let mut rows = 0;
-                let mut total = 0;
-                let mut uniform = true;
-                for (r, state) in states_l.iter().enumerate() {
-                    if !(state.is_non_faulty() || compute_even_if_faulty) {
-                        continue;
-                    }
-                    let receiver = ProcessId::new(r);
-                    let mut extra_len = 0;
-                    for &s in &specials[..specials_len] {
-                        if let Some(v) = special_outbox(&plan, s).get(receiver) {
-                            extra[extra_len] = v;
-                            extra_len += 1;
+                        if let Some(next) = cfg.function.apply_sorted(received.as_slice()) {
+                            votes_l[i] = next;
                         }
                     }
-                    extra[..extra_len].sort_unstable();
-                    merge_sorted(
-                        &common[..common_len],
-                        &extra[..extra_len],
-                        &mut merged[total..total + common_len + extra_len],
-                    );
-                    let row_len = common_len + extra_len;
-                    if rows > 0 && row_len != row_lens[0] {
-                        uniform = false;
-                    }
-                    active[rows] = r;
-                    row_offsets[rows] = total;
-                    row_lens[rows] = row_len;
-                    rows += 1;
-                    total += row_len;
                 }
-                if uniform && rows > 0 {
-                    cfg.function.apply_sorted_lanes(
-                        &merged[..total],
-                        row_lens[0],
-                        &mut lane_votes[..rows],
-                    );
-                } else {
-                    for row in 0..rows {
-                        lane_votes[row] = cfg.function.apply_sorted(
-                            &merged[row_offsets[row]..row_offsets[row] + row_lens[row]],
-                        );
-                    }
-                }
-                for row in 0..rows {
-                    if let Some(next) = lane_votes[row] {
-                        votes_l[active[row]] = next;
-                    }
-                }
+                observer.phase_end(Phase::MsrApply);
 
-                let diameter = self.finish_lane_round(ls, round_idx, votes_l, states_l);
+                observer.phase_start(Phase::Record);
+                let diameter = finish_lane_round(cfg, ls, round_idx, votes_l, states_l);
                 if telemetry {
-                    // The closed-form accounting above already yields the
-                    // per-round traffic: the unmasked complete graph has no
-                    // link faults, so every non-delivered slot is a sender
-                    // omission.
-                    let min_row = row_lens[..rows].iter().copied().min();
-                    let width = match min_row {
-                        Some(len) => cfg.function.reduced_width(len),
-                        None => 0,
+                    let stats = ls
+                        .network
+                        .as_ref()
+                        .expect("fallback lanes carry a network")
+                        .stats();
+                    let width = if min_multiset == usize::MAX {
+                        0
+                    } else {
+                        cfg.function.reduced_width(min_multiset)
                     };
                     observer.on_round(&RoundEvent {
-                        seed: lanes[l].seed,
+                        seed: spec.seed,
                         round: round_idx as u64,
                         diameter,
                         contraction: if ls.prev_diameter > 0.0 {
@@ -719,22 +844,236 @@ impl BatchEngine {
                         faulty: plan.faulty.len() as u32,
                         cured: plan.cured.len() as u32,
                         corrupted: ls.corrupted_last,
-                        delivered,
-                        omissions: (n * n) as u64 - delivered,
-                        link_omissions: 0,
+                        delivered: stats.messages_delivered - ls.prev_stats.messages_delivered,
+                        omissions: stats.omissions - ls.prev_stats.omissions,
+                        link_omissions: stats.link_omissions - ls.prev_stats.link_omissions,
                         msr_width: width as u32,
                     });
+                    ls.prev_stats = stats;
                     ls.prev_diameter = diameter;
                     ls.corruptions += u64::from(ls.corrupted_last);
                 }
-            }
-            if all_done {
-                break;
+                observer.phase_end(Phase::Record);
             }
         }
-
-        self.collect(lanes, &votes, &states, lane_states, observer)
+        if all_done {
+            break;
+        }
     }
+
+    collect(specs, &votes, &states, lane_states, observer)
+}
+
+/// The complete-topology fast path: no schedule, clean links. Senders
+/// classify into broadcasters (one shared sorted buffer), silent
+/// processes, and ≤ 2f "special" senders with per-receiver outboxes;
+/// each receiver's multiset is the common buffer merged with its
+/// special slots, folded by the k-wide MSR apply. No outboxes are
+/// filled and no delivery matrix exists — traffic statistics are
+/// accounted in closed form, matching the scalar network's counters
+/// exactly.
+fn run_fast<O: Observer>(
+    specs: &[LaneSpec<'_>],
+    observer: &mut O,
+) -> Vec<Result<MobileRunOutcome>> {
+    let n = specs[0].cfg.n;
+    let k = specs.len();
+    let telemetry = observer.enabled();
+    let (mut votes, mut states, mut lane_states) = init_lanes(specs, None);
+    let mut plan = RoundFaultPlan::empty(n);
+    let mut received = ValueMultiset::with_capacity(n);
+
+    // Fast-path scratch, shared across lanes and rounds. `merged` is
+    // written with index arithmetic into pre-sized rows (never grown),
+    // so the whole loop below stays free of allocating idioms.
+    let mut common: Vec<Value> = vec![Value::new(0.0); n];
+    let mut extra: Vec<Value> = vec![Value::new(0.0); n];
+    let mut specials: Vec<usize> = vec![0; n];
+    let mut merged: Vec<Value> = vec![Value::new(0.0); n * n];
+    let mut active: Vec<usize> = vec![0; n];
+    let mut row_offsets: Vec<usize> = vec![0; n];
+    let mut row_lens: Vec<usize> = vec![0; n];
+    let mut lane_votes: Vec<Option<Value>> = vec![None; n];
+    let max_rounds = specs.iter().map(|s| s.cfg.max_rounds).max().unwrap_or(0);
+
+    // The lockstep round loop (see `run_general` for the schedule);
+    // statically allocation-free, enforced by `mbaa-analyze`.
+    // mbaa: alloc-free
+    for round_idx in 0..max_rounds {
+        let mut all_done = true;
+        for l in 0..k {
+            let spec = &specs[l];
+            let cfg = spec.cfg;
+            let ls = &mut lane_states[l];
+            if ls.done || round_idx >= cfg.max_rounds {
+                continue;
+            }
+            all_done = false;
+            let round = Round::new(round_idx as u64);
+            let votes_l = &mut votes[l * n..(l + 1) * n];
+            let states_l = &mut states[l * n..(l + 1) * n];
+            if !begin_lane_round(
+                cfg,
+                ls,
+                round,
+                votes_l,
+                states_l,
+                &mut plan,
+                &mut received,
+                observer,
+            ) {
+                continue;
+            }
+            let compute_even_if_faulty = cfg.model.agents_move_with_messages();
+
+            // Send-phase classification. A non-faulty, non-cured
+            // process broadcasts its vote; cured behaviour is the
+            // model's (Garay silent, Bonnet broadcast, Sasaki poisoned
+            // queue); faulty senders use the adversary's outbox.
+            observer.phase_start(Phase::Exchange);
+            let mut common_len = 0;
+            let mut specials_len = 0;
+            for (i, &vote) in votes_l.iter().enumerate() {
+                let p = ProcessId::new(i);
+                if plan.faulty.contains(p) {
+                    specials[specials_len] = i;
+                    specials_len += 1;
+                } else if plan.cured.contains(p) {
+                    match cfg.model {
+                        MobileModel::Garay => {}
+                        MobileModel::Bonnet => {
+                            common[common_len] = vote;
+                            common_len += 1;
+                        }
+                        MobileModel::Sasaki => {
+                            specials[specials_len] = i;
+                            specials_len += 1;
+                        }
+                        MobileModel::Buhrman => {
+                            unreachable!("Buhrman's model has no cured senders")
+                        }
+                    }
+                } else {
+                    common[common_len] = vote;
+                    common_len += 1;
+                }
+            }
+            common[..common_len].sort_unstable();
+
+            // Closed-form traffic accounting: a broadcast delivers to
+            // all n receivers, a special outbox to its Some slots, and
+            // every other reachable slot is a sender omission — the
+            // unmasked complete graph has no structural drops.
+            let mut delivered = (common_len * n) as u64;
+            for &s in &specials[..specials_len] {
+                delivered += special_outbox(&plan, s)
+                    .iter()
+                    .filter(|(_, slot)| slot.is_some())
+                    .count() as u64;
+            }
+            ls.stats.rounds += 1;
+            ls.stats.messages_delivered += delivered;
+            ls.stats.omissions += (n * n) as u64 - delivered;
+            observer.phase_end(Phase::Exchange);
+
+            // Compute phase: each active receiver's multiset is the
+            // common buffer merged with its special slots, ascending —
+            // the same sorted array the scalar multiset refill
+            // produces. Rows are packed back to back in `merged`; when
+            // every row has the same width the k-wide MSR fold handles
+            // the whole lane in one call.
+            observer.phase_start(Phase::MsrApply);
+            let mut rows = 0;
+            let mut total = 0;
+            let mut uniform = true;
+            for (r, state) in states_l.iter().enumerate() {
+                if !(state.is_non_faulty() || compute_even_if_faulty) {
+                    continue;
+                }
+                let receiver = ProcessId::new(r);
+                let mut extra_len = 0;
+                for &s in &specials[..specials_len] {
+                    if let Some(v) = special_outbox(&plan, s).get(receiver) {
+                        extra[extra_len] = v;
+                        extra_len += 1;
+                    }
+                }
+                extra[..extra_len].sort_unstable();
+                merge_sorted(
+                    &common[..common_len],
+                    &extra[..extra_len],
+                    &mut merged[total..total + common_len + extra_len],
+                );
+                let row_len = common_len + extra_len;
+                if rows > 0 && row_len != row_lens[0] {
+                    uniform = false;
+                }
+                active[rows] = r;
+                row_offsets[rows] = total;
+                row_lens[rows] = row_len;
+                rows += 1;
+                total += row_len;
+            }
+            if uniform && rows > 0 {
+                cfg.function.apply_sorted_lanes(
+                    &merged[..total],
+                    row_lens[0],
+                    &mut lane_votes[..rows],
+                );
+            } else {
+                for row in 0..rows {
+                    lane_votes[row] = cfg
+                        .function
+                        .apply_sorted(&merged[row_offsets[row]..row_offsets[row] + row_lens[row]]);
+                }
+            }
+            for row in 0..rows {
+                if let Some(next) = lane_votes[row] {
+                    votes_l[active[row]] = next;
+                }
+            }
+            observer.phase_end(Phase::MsrApply);
+
+            observer.phase_start(Phase::Record);
+            let diameter = finish_lane_round(cfg, ls, round_idx, votes_l, states_l);
+            if telemetry {
+                // The closed-form accounting above already yields the
+                // per-round traffic: the unmasked complete graph has no
+                // link faults, so every non-delivered slot is a sender
+                // omission.
+                let min_row = row_lens[..rows].iter().copied().min();
+                let width = match min_row {
+                    Some(len) => cfg.function.reduced_width(len),
+                    None => 0,
+                };
+                observer.on_round(&RoundEvent {
+                    seed: spec.seed,
+                    round: round_idx as u64,
+                    diameter,
+                    contraction: if ls.prev_diameter > 0.0 {
+                        diameter / ls.prev_diameter
+                    } else {
+                        1.0
+                    },
+                    faulty: plan.faulty.len() as u32,
+                    cured: plan.cured.len() as u32,
+                    corrupted: ls.corrupted_last,
+                    delivered,
+                    omissions: (n * n) as u64 - delivered,
+                    link_omissions: 0,
+                    msr_width: width as u32,
+                });
+                ls.prev_diameter = diameter;
+                ls.corruptions += u64::from(ls.corrupted_last);
+            }
+            observer.phase_end(Phase::Record);
+        }
+        if all_done {
+            break;
+        }
+    }
+
+    collect(specs, &votes, &states, lane_states, observer)
 }
 
 /// The per-receiver outbox of a "special" sender on the fast path: the
@@ -890,5 +1229,75 @@ mod tests {
             .build()
             .unwrap();
         assert_matches_scalar(&config, &lanes(n, &[1, 2]));
+    }
+
+    #[test]
+    fn packed_cross_point_lanes_match_their_own_scalar_runs() {
+        // Three shape-compatible points with different ε, budgets, and
+        // networks — one pack, per-lane outcomes bit-identical to scalar.
+        let n = 9;
+        let ring = ProtocolConfig::builder(MobileModel::Garay, n, 1)
+            .epsilon(1e-3)
+            .max_rounds(120)
+            .topology(Topology::Ring { k: 2 })
+            .build()
+            .unwrap();
+        let complete = ProtocolConfig::builder(MobileModel::Garay, n, 1)
+            .epsilon(1e-5)
+            .max_rounds(300)
+            .build()
+            .unwrap();
+        let churn = ProtocolConfig::builder(MobileModel::Garay, n, 1)
+            .epsilon(1e-4)
+            .max_rounds(250)
+            .topology_schedule(TopologySchedule::SeededChurn {
+                base: Topology::Complete,
+                flip_rate: 0.1,
+            })
+            .build()
+            .unwrap();
+        let mut pack = Vec::new();
+        for (point, cfg) in [ring, complete, churn].iter().enumerate() {
+            for seed in 1..=3u64 {
+                let mut config = cfg.clone();
+                config.seed = seed + 10 * point as u64;
+                pack.push(PackedLane {
+                    inputs: inputs(n, config.seed),
+                    config,
+                });
+            }
+        }
+        let results = BatchEngine::run_packed(&pack);
+        assert_eq!(results.len(), pack.len());
+        for (lane, result) in pack.iter().zip(results) {
+            let scalar = MobileEngine::new(lane.config.clone())
+                .run(&lane.inputs)
+                .unwrap();
+            assert_eq!(result.unwrap(), scalar, "seed {}", lane.config.seed);
+        }
+    }
+
+    #[test]
+    fn shape_incompatible_packs_fall_back_to_scalar() {
+        let a = base_config(MobileModel::Garay, 9, 1);
+        let b = base_config(MobileModel::Garay, 13, 2);
+        let pack = vec![
+            PackedLane {
+                config: a.clone(),
+                inputs: inputs(9, 1),
+            },
+            PackedLane {
+                config: b.clone(),
+                inputs: inputs(13, 2),
+            },
+        ];
+        assert!(!shape_compatible(&a, &b));
+        let results = BatchEngine::run_packed(&pack);
+        for (lane, result) in pack.iter().zip(results) {
+            let scalar = MobileEngine::new(lane.config.clone())
+                .run(&lane.inputs)
+                .unwrap();
+            assert_eq!(result.unwrap(), scalar);
+        }
     }
 }

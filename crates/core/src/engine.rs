@@ -569,20 +569,34 @@ pub(crate) fn fill_outbox(
 /// The diameter of the non-faulty processes' votes, computed by a min/max
 /// fold — no multiset materialization. Numerically identical to collecting
 /// the non-faulty values and taking [`ValueMultiset::diameter`].
+///
+/// The fold runs eight independent accumulator pairs abreast (seeded with
+/// the first non-faulty value, which is idempotent under min/max), so the
+/// per-round reduction is not serialized on one compare chain. `Value`'s
+/// min/max are total-order based, hence associative and commutative — the
+/// chunked reduction picks exactly the values the sequential fold picks.
 pub(crate) fn non_faulty_diameter(votes: &[Value], states: &[FaultState]) -> f64 {
-    let mut bounds: Option<(Value, Value)> = None;
-    for (v, s) in votes.iter().zip(states) {
-        if s.is_non_faulty() {
-            bounds = Some(match bounds {
-                None => (*v, *v),
-                Some((lo, hi)) => (lo.min(*v), hi.max(*v)),
-            });
+    const LANES: usize = 8;
+    let Some(seed) = votes
+        .iter()
+        .zip(states)
+        .find_map(|(v, s)| s.is_non_faulty().then_some(*v))
+    else {
+        return 0.0;
+    };
+    let mut lo = [seed; LANES];
+    let mut hi = [seed; LANES];
+    for (chunk_v, chunk_s) in votes.chunks(LANES).zip(states.chunks(LANES)) {
+        for (j, (v, s)) in chunk_v.iter().zip(chunk_s).enumerate() {
+            if s.is_non_faulty() {
+                lo[j] = lo[j].min(*v);
+                hi[j] = hi[j].max(*v);
+            }
         }
     }
-    match bounds {
-        Some((lo, hi)) => hi.get() - lo.get(),
-        None => 0.0,
-    }
+    let lo = lo.into_iter().min().expect("LANES > 0");
+    let hi = hi.into_iter().max().expect("LANES > 0");
+    hi.get() - lo.get()
 }
 
 #[cfg(test)]

@@ -98,8 +98,8 @@ mod runner;
 mod scenario;
 
 pub use runner::{
-    adversary_ablation, mobile_vs_static, AblationPoint, BatchOutcome, EquivalencePoint, Runner,
-    SeededRun, Sweep, SweepPoint, SweepSummary,
+    adversary_ablation, mobile_vs_static, stream_segments, stream_segments_metrics, AblationPoint,
+    BatchOutcome, EquivalencePoint, Runner, SeededRun, Sweep, SweepPoint, SweepSummary,
 };
 pub use scenario::Scenario;
 

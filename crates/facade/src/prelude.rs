@@ -11,8 +11,8 @@
 //! ```
 
 pub use crate::runner::{
-    adversary_ablation, mobile_vs_static, AblationPoint, BatchOutcome, EquivalencePoint, Runner,
-    SeededRun, Sweep, SweepPoint, SweepSummary,
+    adversary_ablation, mobile_vs_static, stream_segments, stream_segments_metrics, AblationPoint,
+    BatchOutcome, EquivalencePoint, Runner, SeededRun, Sweep, SweepPoint, SweepSummary,
 };
 pub use crate::scenario::Scenario;
 

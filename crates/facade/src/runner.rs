@@ -529,13 +529,16 @@ impl Sweep {
     /// Shared implementation of [`Sweep::stream`] / [`Sweep::stream_with`]:
     /// the per-point completion tracking only exists when a callback does.
     ///
-    /// Work units are `(point, seed-chunk)` pairs of up to
-    /// [`mbaa_sim::BATCH_WIDTH`] consecutive seeds: each chunk runs through
-    /// `mbaa_sim::run_experiment_with`, which advances the whole chunk in
-    /// lockstep on the seed-batched engine. A chunk task's *inner* rayon
-    /// fan-out is a single sub-task wide, so it executes inline on the
-    /// worker that stole the chunk — the sweep still schedules on one flat
-    /// global pool.
+    /// Every `(point, seed)` pair of the sweep lowers into one flat
+    /// point-major lane list handed to
+    /// `mbaa_sim::run_packed_experiments`, which packs consecutive
+    /// shape-compatible lanes — **across point boundaries** — into
+    /// seed-batched engine launches of up to [`mbaa_sim::BATCH_WIDTH`]
+    /// lanes. A sweep of many small points therefore no longer pays one
+    /// under-full batch per point: lanes from the next compatible point
+    /// top up the previous point's tail. Per-seed summaries are
+    /// bit-identical to the per-point path for every worker count and
+    /// pack boundary.
     fn stream_impl<F: Fn(&SweepSummary) + Sync>(
         &self,
         on_point: Option<F>,
@@ -559,87 +562,66 @@ impl Sweep {
                 .collect();
             (pending, partial)
         });
-        let tasks: Vec<(usize, &[u64])> = (0..self.points.len())
-            .flat_map(|point| {
-                seeds
-                    .chunks(mbaa_sim::BATCH_WIDTH)
-                    .map(move |chunk| (point, chunk))
-            })
+        // Streaming keeps only summaries, and summaries are bit-identical
+        // across observability levels: the sim executor runs every lane at
+        // `Observe::Summary`, where the batched engine's rounds stay
+        // allocation-free and no trace is ever materialized.
+        let configs: Vec<mbaa_sim::ExperimentConfig> = self
+            .points
+            .iter()
+            .map(|scenario| scenario.to_experiment(seeds.iter().copied()))
             .collect();
-        let results: Vec<Result<Vec<RunSummary>>> = with_pool(self.workers, || {
-            tasks
-                .into_par_iter()
-                .map(|(point, chunk)| {
-                    // Streaming keeps only summaries, and summaries are
-                    // bit-identical across observability levels: the sim
-                    // executor runs the chunk at `Observe::Summary`, where
-                    // the batched engine's rounds stay allocation-free and
-                    // no trace is ever materialized.
-                    let config = self.points[point].to_experiment(chunk.iter().copied());
-                    let on_run = |summary: &RunSummary| {
-                        if let (Some(on_point), Some((pending, partial))) =
-                            (on_point.as_ref(), tracking.as_ref())
-                        {
-                            let slot = seeds
-                                .binary_search(&summary.seed)
-                                .expect("seed comes from the normalized batch");
-                            partial[point].lock().expect("no panics hold the lock")[slot] =
-                                Some(*summary);
-                            if pending[point].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                let runs: Vec<RunSummary> = partial[point]
-                                    .lock()
-                                    .expect("no panics hold the lock")
-                                    .iter()
-                                    .map(|s| s.expect("every seed of a completed point is stashed"))
-                                    .collect();
-                                on_point(&SweepSummary {
-                                    scenario: self.points[point].clone(),
-                                    result: ExperimentResult {
-                                        config: self.points[point]
-                                            .to_experiment(seeds.iter().copied()),
-                                        runs,
-                                    },
-                                });
-                            }
-                        }
-                    };
-                    // The metrics sink merges the chunk's local registry as
-                    // the chunk finishes; counter addition commutes, so the
-                    // merged registry is independent of completion order.
-                    let result = match metrics {
-                        Some(sink) => {
-                            let (result, local) =
-                                mbaa_sim::run_experiment_metrics(&config, on_run)?;
-                            sink.lock().expect("no panics hold the lock").merge(&local);
-                            result
-                        }
-                        None => mbaa_sim::run_experiment_with(&config, on_run)?,
-                    };
-                    Ok(result.runs)
-                })
-                .collect()
+        let on_run = |point: usize, summary: &RunSummary| {
+            if let (Some(on_point), Some((pending, partial))) =
+                (on_point.as_ref(), tracking.as_ref())
+            {
+                let slot = seeds
+                    .binary_search(&summary.seed)
+                    .expect("seed comes from the normalized batch");
+                partial[point].lock().expect("no panics hold the lock")[slot] = Some(*summary);
+                if pending[point].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let runs: Vec<RunSummary> = partial[point]
+                        .lock()
+                        .expect("no panics hold the lock")
+                        .iter()
+                        .map(|s| s.expect("every seed of a completed point is stashed"))
+                        .collect();
+                    on_point(&SweepSummary {
+                        scenario: self.points[point].clone(),
+                        result: ExperimentResult {
+                            config: self.points[point].to_experiment(seeds.iter().copied()),
+                            runs,
+                        },
+                    });
+                }
+            }
+        };
+        let results: Vec<Result<ExperimentResult>> = with_pool(self.workers, || {
+            // The metrics sink merges the pool's registry as it completes;
+            // counter addition commutes, so the merged registry is
+            // independent of completion order.
+            match metrics {
+                Some(sink) => {
+                    let (results, local) =
+                        mbaa_sim::run_packed_experiments_metrics(&configs, on_run);
+                    sink.lock().expect("no panics hold the lock").merge(&local);
+                    results
+                }
+                None => mbaa_sim::run_packed_experiments(&configs, on_run),
+            }
         });
-        // Reassembly: every point contributed the same number of chunk
-        // tasks, in seed order, so consuming that many results per point
-        // regroups the pool. A failing chunk surfaces its first failing
-        // seed's error, and chunks are consumed point-major / seed-minor —
-        // the same deterministic error the per-seed pool produced.
-        let chunks_per_point = seeds.len().div_ceil(mbaa_sim::BATCH_WIDTH);
-        let mut results = results.into_iter();
+        // Each point's result carries its first failing seed's error (in
+        // seed order), and results are consumed point-major — the same
+        // deterministic point-major / seed-minor error the per-seed pool
+        // produced.
         let summaries: Result<Vec<SweepSummary>> = self
             .points
             .iter()
-            .map(|scenario| {
-                let mut runs = Vec::with_capacity(seeds.len());
-                for _ in 0..chunks_per_point {
-                    runs.extend(results.next().expect("one result per chunk task")?);
-                }
+            .zip(results)
+            .map(|(scenario, result)| {
                 Ok(SweepSummary {
                     scenario: scenario.clone(),
-                    result: ExperimentResult {
-                        config: scenario.to_experiment(seeds.iter().copied()),
-                        runs,
-                    },
+                    result: result?,
                 })
             })
             .collect();
@@ -656,6 +638,62 @@ impl Sweep {
         }
         Ok(summaries)
     }
+}
+
+/// Runs several scenario seed-segments as **one** cross-point packed pool
+/// and returns one summary-level [`ExperimentResult`] per segment, aligned
+/// with the input. Segments whose lowered configurations share a batch
+/// shape (same `n`, `f`, model) ride in shared seed-batched engine
+/// launches, so a segment too small to fill a batch is topped up by its
+/// neighbour instead of paying an under-full launch — the execution path
+/// of the CLI's resumable checkpoint chunks, which slice a sweep grid into
+/// runs of consecutive `(point, seed)` pairs.
+///
+/// Seeds are normalized (sorted, deduplicated) per segment exactly as
+/// [`Runner::run`] normalizes, and each segment's result is bit-identical
+/// to `scenario.batch(seeds).stream()` on its own, for every worker count.
+/// A failing segment carries its first failing seed's error (in seed
+/// order) without disturbing its neighbours.
+pub fn stream_segments(
+    segments: &[(Scenario, Vec<u64>)],
+    workers: Option<usize>,
+) -> Vec<Result<ExperimentResult>> {
+    stream_segments_impl(segments, workers, None)
+}
+
+/// [`stream_segments`] with every run's telemetry folded into one
+/// [`MetricsRegistry`] — merged by elementwise counter addition, so the
+/// registry is bit-identical for every worker count and completion order.
+pub fn stream_segments_metrics(
+    segments: &[(Scenario, Vec<u64>)],
+    workers: Option<usize>,
+) -> (Vec<Result<ExperimentResult>>, MetricsRegistry) {
+    let mut metrics = MetricsRegistry::new();
+    let results = stream_segments_impl(segments, workers, Some(&mut metrics));
+    (results, metrics)
+}
+
+/// Shared implementation of [`stream_segments`] /
+/// [`stream_segments_metrics`]: lower every segment, hand the whole list
+/// to the sim layer's cross-point packed executor under the requested
+/// worker budget.
+fn stream_segments_impl(
+    segments: &[(Scenario, Vec<u64>)],
+    workers: Option<usize>,
+    metrics: Option<&mut MetricsRegistry>,
+) -> Vec<Result<ExperimentResult>> {
+    let configs: Vec<mbaa_sim::ExperimentConfig> = segments
+        .iter()
+        .map(|(scenario, seeds)| scenario.to_experiment(normalize_seeds(seeds.clone())))
+        .collect();
+    with_pool(workers, || match metrics {
+        Some(sink) => {
+            let (results, local) = mbaa_sim::run_packed_experiments_metrics(&configs, |_, _| {});
+            sink.merge(&local);
+            results
+        }
+        None => mbaa_sim::run_packed_experiments(&configs, |_, _| {}),
+    })
 }
 
 /// One evaluated point of a [`Sweep`].

@@ -164,9 +164,15 @@ impl MsrFunction {
     /// exactly as `apply_sorted` requires. A lane too small for the
     /// reduction writes `None`, matching the scalar path.
     ///
-    /// The inner mean folds are plain slice iterations with no
-    /// cross-iteration dependencies, so the compiler can vectorize them;
-    /// the method itself never allocates.
+    /// Because every lane shares one `lane_len`, the selection decomposes
+    /// into one *shape* (which reduced indices are selected, what divisor
+    /// the mean carries) applied to every lane: the fold runs
+    /// `FOLD_LANES` (8) lanes abreast on independent accumulators, breaking
+    /// the per-lane add-chain dependency the one-lane-at-a-time delegation
+    /// serialized on. Each accumulator still adds its lane's terms in the
+    /// exact order (and from the same `0.0` start) the scalar
+    /// [`MsrFunction::apply_sorted`] mean uses, so the two entry points
+    /// stay bit-identical; the method never allocates.
     ///
     /// # Panics
     ///
@@ -187,9 +193,117 @@ impl MsrFunction {
             lane_len * out.len(),
             "flat buffer must hold exactly out.len() lanes of lane_len values"
         );
-        for (slot, lane) in out.iter_mut().zip(lanes.chunks_exact(lane_len)) {
-            *slot = self.apply_sorted(lane);
+        if lane_len < self.reduction.min_input_len() {
+            // Every lane is too small for the reduction — the scalar
+            // path's `None`, uniformly.
+            out.fill(None);
+            return;
         }
+        let tau = self.reduction.tau();
+        let reduced_len = lane_len - 2 * tau;
+        match self.selection {
+            Selection::All => {
+                fold_stepped(lanes, lane_len, tau, reduced_len, 1, reduced_len, out);
+            }
+            Selection::EveryKth { k } => {
+                assert!(k >= 1, "selection step must be >= 1");
+                fold_stepped(
+                    lanes,
+                    lane_len,
+                    tau,
+                    reduced_len,
+                    k,
+                    reduced_len.div_ceil(k),
+                    out,
+                );
+            }
+            Selection::Extremes => {
+                // mean({lo, hi}) summed exactly as the scalar fold:
+                // 0.0 + lo/2 + hi/2, in that order.
+                for (i, slot) in out.iter_mut().enumerate() {
+                    let base = i * lane_len + tau;
+                    let mut acc = 0.0f64;
+                    acc += lanes[base].get() / 2.0;
+                    acc += lanes[base + reduced_len - 1].get() / 2.0;
+                    *slot = Some(Value::new(acc));
+                }
+            }
+            Selection::MedianOnly => {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    let base = i * lane_len + tau;
+                    let median = if reduced_len % 2 == 1 {
+                        lanes[base + reduced_len / 2]
+                    } else {
+                        lanes[base + reduced_len / 2 - 1].midpoint(lanes[base + reduced_len / 2])
+                    };
+                    // The scalar path's mean of a 1-element selection:
+                    // 0.0 + median/1.
+                    *slot = Some(Value::new(0.0 + median.get() / 1.0));
+                }
+            }
+        }
+    }
+}
+
+/// How many lanes the vectorized MSR fold advances abreast: enough
+/// independent accumulators to hide the floating-point add latency, small
+/// enough that they stay in registers.
+const FOLD_LANES: usize = 8;
+
+/// The shortest reduced lane worth blocking: below this, the blocked
+/// loop's strided loads cost more than the add-chain it hides, so the
+/// fold stays on the sequential per-lane loop.
+const FOLD_BLOCK_MIN_LEN: usize = 24;
+
+/// The vectorized stepped-mean fold behind
+/// [`MsrFunction::apply_sorted_lanes`]: for each lane, averages the
+/// reduced values at indices `tau, tau + step, …` (strictly below
+/// `tau + reduced_len`) over divisor `count`, running [`FOLD_LANES`] lanes
+/// on independent accumulators. Per lane, terms are divided before summing
+/// and added in ascending-index order from `0.0` — the exact
+/// [`ValueMultiset::mean`] summation — so the result is bit-identical to
+/// the scalar delegation it replaces.
+// mbaa: alloc-free
+#[allow(clippy::too_many_arguments)]
+fn fold_stepped(
+    lanes: &[Value],
+    lane_len: usize,
+    tau: usize,
+    reduced_len: usize,
+    step: usize,
+    count: usize,
+    out: &mut [Option<Value>],
+) {
+    let divisor = count as f64;
+    let k = out.len();
+    let mut base = 0;
+    // Blocking pays for its strided access only once each lane folds
+    // enough terms to hide the add latency; short lanes (small universes)
+    // go straight to the sequential remainder loop below. Both layouts
+    // add each lane's terms in the same order, so the choice is invisible
+    // in the output.
+    while reduced_len >= FOLD_BLOCK_MIN_LEN && base + FOLD_LANES <= k {
+        let mut acc = [0.0f64; FOLD_LANES];
+        let mut idx = 0;
+        while idx < reduced_len {
+            for (j, slot) in acc.iter_mut().enumerate() {
+                *slot += lanes[(base + j) * lane_len + tau + idx].get() / divisor;
+            }
+            idx += step;
+        }
+        for (j, &sum) in acc.iter().enumerate() {
+            out[base + j] = Some(Value::new(sum));
+        }
+        base += FOLD_LANES;
+    }
+    for (i, slot) in out.iter_mut().enumerate().skip(base) {
+        let mut acc = 0.0f64;
+        let mut idx = 0;
+        while idx < reduced_len {
+            acc += lanes[i * lane_len + tau + idx].get() / divisor;
+            idx += step;
+        }
+        *slot = Some(Value::new(acc));
     }
 }
 

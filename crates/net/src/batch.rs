@@ -1,0 +1,1001 @@
+//! Shared-realization batch delivery: one structural network realization
+//! serving many lanes (seeds) of the same configuration shape.
+//!
+//! The scalar [`SyncNetwork`](crate::SyncNetwork) bundles three things per
+//! run: the *structure* (realized graphs, compiled link-fault matrices,
+//! connectivity precomputation), the *per-seed draw streams* (churn and
+//! omission draws keyed on the run seed), and the *per-run delivery state*
+//! (delay pipes, round cursor, statistics). Only the first is shared across
+//! the lanes of a batch — and it is by far the most expensive to build and
+//! the only part that costs per-round allocations on the churn path.
+//!
+//! [`SharedRealization`] splits the bundle: it holds the seed-independent
+//! structure once per batch (adjacency, closed-neighbourhood lists, compiled
+//! fault matrices, per-phase connectivity) plus reusable round scratch,
+//! while each lane carries only a tiny [`LaneDelivery`] (seed, round
+//! cursor, delay pipes when the plan needs them). A lane round is served by
+//! [`SharedRealization::exchange_rows`], which classifies and accounts
+//! every slot exactly as the scalar exchange would — same statistics
+//! counters, same omission/churn draw streams, same delay buffering — but
+//! collects each active receiver's delivered values directly into packed
+//! [`DeliveryRows`] instead of an `n × n` slot matrix, skipping the
+//! quadratic outbox materialization for broadcasting senders via
+//! [`LaneSend`] classification.
+//!
+//! Only *seed-invariant* descriptions are shareable: a
+//! [`Topology::RandomRegular`] realizes differently per lane seed, so
+//! [`SharedRealization::try_build`] refuses it (anywhere — as the static
+//! graph, a periodic phase, or a churn base) and the engine falls back to
+//! one scalar network per lane. Seeded churn *is* shareable: the base graph
+//! is realized once and the per-`(seed, round, link)` down-draws are
+//! replayed per lane against the crate-internal draw primitive, so the
+//! realized per-round graphs match the scalar path bit for bit.
+
+use std::collections::VecDeque;
+
+use mbaa_types::{Error, ProcessId, Result, Round, Value};
+
+use crate::faults::{churn_link_down, omission_lost, RealizedKind};
+use crate::network::SendOutcome;
+use crate::{
+    Adjacency, CompiledLinkFaults, DisconnectionPolicy, LinkFaultPlan, NetworkStats, Outbox,
+    Topology, TopologySchedule,
+};
+
+/// What one sender hands to a batched exchange — the send phase in
+/// classified form, so broadcasting senders never materialize `n` outbox
+/// slots.
+///
+/// The classification must match what
+/// [`Outbox`]es the scalar engine would build: `Broadcast(v)` stands for a
+/// `fill_broadcast(v)` outbox (every slot `Some(v)`, self included),
+/// `Silent` for a `fill_silent` one, and `PerReceiver(i)` defers to
+/// `outboxes[i]` for the few genuinely per-receiver senders (adversary
+/// outboxes, poisoned queues).
+#[derive(Debug, Clone, Copy)]
+pub enum LaneSend {
+    /// The sender broadcasts one value to every receiver (itself included).
+    Broadcast(Value),
+    /// The sender omits to every receiver.
+    Silent,
+    /// The sender's slots come from the outbox at this index of the
+    /// `outboxes` slice passed to [`SharedRealization::exchange_rows`].
+    PerReceiver(usize),
+}
+
+impl LaneSend {
+    /// The value this sender puts on its link to `receiver`.
+    #[inline]
+    fn slot(self, outboxes: &[Outbox], receiver: ProcessId) -> Option<Value> {
+        match self {
+            LaneSend::Broadcast(value) => Some(value),
+            LaneSend::Silent => None,
+            LaneSend::PerReceiver(i) => outboxes[i].get(receiver),
+        }
+    }
+}
+
+/// Packed per-receiver delivery rows of one lane round: row `i` holds the
+/// values delivered to the `i`-th *active* receiver, back to back in one
+/// flat buffer sized once at `n²`.
+///
+/// Rows are collected in receiver order, each in ascending-sender order;
+/// the engine sorts each row in place and, when every row has the same
+/// width, feeds the whole flat buffer to the k-wide MSR fold in one call.
+#[derive(Debug)]
+pub struct DeliveryRows {
+    merged: Vec<Value>,
+    receivers: Vec<usize>,
+    offsets: Vec<usize>,
+    lens: Vec<usize>,
+    rows: usize,
+    total: usize,
+    uniform: bool,
+}
+
+impl DeliveryRows {
+    /// Pre-sizes the row arena for a universe of `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        DeliveryRows {
+            merged: vec![Value::new(0.0); n * n],
+            receivers: vec![0; n],
+            offsets: vec![0; n],
+            lens: vec![0; n],
+            rows: 0,
+            total: 0,
+            uniform: true,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.rows = 0;
+        self.total = 0;
+        self.uniform = true;
+    }
+
+    fn push_row(&mut self, receiver: usize, start: usize, len: usize) {
+        if self.rows > 0 && len != self.lens[0] {
+            self.uniform = false;
+        }
+        self.receivers[self.rows] = receiver;
+        self.offsets[self.rows] = start;
+        self.lens[self.rows] = len;
+        self.rows += 1;
+        self.total = start + len;
+    }
+
+    /// The number of active receivers collected this round.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The process index of the `row`-th active receiver.
+    #[must_use]
+    pub fn receiver(&self, row: usize) -> usize {
+        self.receivers[row]
+    }
+
+    /// The values delivered to the `row`-th active receiver.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[Value] {
+        &self.merged[self.offsets[row]..self.offsets[row] + self.lens[row]]
+    }
+
+    /// Mutable form of [`DeliveryRows::row`] — the engine sorts each row in
+    /// place before applying the voting function.
+    pub fn row_mut(&mut self, row: usize) -> &mut [Value] {
+        &mut self.merged[self.offsets[row]..self.offsets[row] + self.lens[row]]
+    }
+
+    /// `Some(len)` when at least one row was collected and every row has
+    /// the same width — the precondition of the k-wide MSR fold over
+    /// [`DeliveryRows::flat`].
+    #[must_use]
+    pub fn uniform_len(&self) -> Option<usize> {
+        (self.uniform && self.rows > 0).then(|| self.lens[0])
+    }
+
+    /// The packed flat buffer holding every collected row back to back.
+    #[must_use]
+    pub fn flat(&self) -> &[Value] {
+        &self.merged[..self.total]
+    }
+
+    /// The width of the smallest collected row (the round's minimum
+    /// multiset size), or `None` when no receiver was active.
+    #[must_use]
+    pub fn min_len(&self) -> Option<usize> {
+        self.lens[..self.rows].iter().copied().min()
+    }
+}
+
+/// The per-lane slice of a dynamic exchange: everything keyed on the lane
+/// seed or advancing per lane round. Created by
+/// [`SharedRealization::lane`]; static realizations carry no state at all
+/// beyond the seed.
+#[derive(Debug, Clone)]
+pub struct LaneDelivery {
+    seed: u64,
+    /// The round the next exchange must carry (dynamic realizations only —
+    /// the delay pipes and draw streams advance once per round).
+    next_round: u64,
+    /// In-order delay buffers, indexed `from * n + to`; allocated only when
+    /// the compiled plan has a positive maximum delay.
+    pipes: Vec<VecDeque<SendOutcome>>,
+}
+
+impl LaneDelivery {
+    /// The lane seed driving this lane's churn and omission draws.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// One static graph with its precomputed closed in-neighbourhood lists:
+/// `neighbors[offsets[r]..offsets[r + 1]]` are the senders receiver `r`
+/// hears (itself included), ascending.
+#[derive(Debug)]
+struct StaticGraph {
+    neighbors: Vec<u32>,
+    offsets: Vec<u32>,
+}
+
+impl StaticGraph {
+    fn new(adjacency: &Adjacency) -> Self {
+        let n = adjacency.n();
+        let mut neighbors = Vec::new();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        for r in 0..n {
+            for (s, &linked) in adjacency.row(ProcessId::new(r)).iter().enumerate() {
+                if linked {
+                    neighbors.push(s as u32);
+                }
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        StaticGraph { neighbors, offsets }
+    }
+
+    fn closed_neighborhood(&self, r: usize) -> &[u32] {
+        &self.neighbors[self.offsets[r] as usize..self.offsets[r + 1] as usize]
+    }
+}
+
+/// One phase of a dynamic schedule, with its connectivity precomputed once
+/// per batch instead of once per lane round.
+#[derive(Debug)]
+struct PhaseGraph {
+    adjacency: Adjacency,
+    graph: StaticGraph,
+    connected: bool,
+    components: usize,
+}
+
+impl PhaseGraph {
+    fn new(adjacency: Adjacency) -> Self {
+        let graph = StaticGraph::new(&adjacency);
+        let connected = adjacency.is_connected();
+        let components = adjacency.component_count();
+        PhaseGraph {
+            adjacency,
+            graph,
+            connected,
+            components,
+        }
+    }
+}
+
+/// The per-round graph rule of a shared dynamic realization.
+#[derive(Debug)]
+enum DynGraphs {
+    /// Round `r` uses `phases[r % phases.len()]` — static graphs are the
+    /// single-phase case.
+    Phases(Vec<PhaseGraph>),
+    /// Round-indexed churn over a shared base; the per-`(seed, round,
+    /// link)` down-draws are replayed per lane.
+    Churn { base: Adjacency, flip_rate: f64 },
+}
+
+/// Reusable per-round scratch of the dynamic path (only the churn rule
+/// uses it): the round's realized link mask and the BFS state of its
+/// connectivity check. Shared across lanes — each lane round overwrites it
+/// completely.
+#[derive(Debug)]
+struct DynScratch {
+    /// `mask[a * n + b]`: the churned round graph, diagonal always set.
+    mask: Vec<bool>,
+    visited: Vec<bool>,
+    stack: Vec<u32>,
+}
+
+#[derive(Debug)]
+enum SharedKind {
+    /// A static graph under a clean fault plan: the closed-form static
+    /// exchange, one accounting line per receiver.
+    Static(StaticGraph),
+    /// The dynamic path: per-round graphs and/or per-link faults.
+    Dynamic {
+        graphs: DynGraphs,
+        faults: CompiledLinkFaults,
+        policy: DisconnectionPolicy,
+        /// The largest compiled delay; 0 skips the pipe machinery entirely.
+        max_delay: usize,
+        scratch: DynScratch,
+    },
+}
+
+/// The seed-independent structure of one network description, realized once
+/// per batch and shared by every lane. The module documentation above
+/// spells out what is shared and what stays lane-local.
+#[derive(Debug)]
+pub struct SharedRealization {
+    n: usize,
+    kind: SharedKind,
+}
+
+/// Seed-invariance of a topology description: everything but
+/// [`Topology::RandomRegular`] realizes to the same graph under every seed.
+fn topology_seed_invariant(topology: &Topology) -> bool {
+    !matches!(topology, Topology::RandomRegular { .. })
+}
+
+fn schedule_seed_invariant(schedule: &TopologySchedule) -> bool {
+    match schedule {
+        TopologySchedule::Static(topology) => topology_seed_invariant(topology),
+        TopologySchedule::Periodic { phases } => phases.iter().all(topology_seed_invariant),
+        TopologySchedule::SeededChurn { base, .. } => topology_seed_invariant(base),
+    }
+}
+
+/// Counts the connected components of a flat link mask (diagonal set), the
+/// allocation-free equivalent of [`Adjacency::component_count`] on the
+/// churned round graph.
+fn mask_components(mask: &[bool], n: usize, visited: &mut [bool], stack: &mut Vec<u32>) -> usize {
+    visited.fill(false);
+    let mut components = 0;
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        components += 1;
+        visited[start] = true;
+        stack.push(start as u32);
+        while let Some(node) = stack.pop() {
+            let row = &mask[node as usize * n..(node as usize + 1) * n];
+            for (next, &linked) in row.iter().enumerate() {
+                if linked && !visited[next] {
+                    visited[next] = true;
+                    stack.push(next as u32);
+                }
+            }
+        }
+    }
+    components
+}
+
+impl SharedRealization {
+    /// Builds the shared structure for one network description, mirroring
+    /// the lowering decisions of the scalar engine exactly: no schedule and
+    /// a clean plan realize a static graph; a schedule whose per-round
+    /// graphs cannot differ under a clean compiled plan lowers onto the
+    /// static form; everything else takes the dynamic form.
+    ///
+    /// Returns `None` when the description is not shareable — a
+    /// seed-dependent topology anywhere in it, or a description that fails
+    /// to realize or compile (the caller's per-lane fallback reproduces the
+    /// identical error per lane).
+    #[must_use]
+    pub fn try_build(
+        n: usize,
+        topology: &Topology,
+        schedule: Option<&TopologySchedule>,
+        link_faults: &LinkFaultPlan,
+        policy: DisconnectionPolicy,
+    ) -> Option<SharedRealization> {
+        if schedule.is_none() && link_faults.is_clean() {
+            if !topology_seed_invariant(topology) {
+                return None;
+            }
+            let adjacency = topology.realize(n, 0).ok()?;
+            return Some(SharedRealization {
+                n,
+                kind: SharedKind::Static(StaticGraph::new(&adjacency)),
+            });
+        }
+        let implied;
+        let schedule = match schedule {
+            Some(schedule) => schedule,
+            None => {
+                implied = TopologySchedule::Static(topology.clone());
+                &implied
+            }
+        };
+        if !schedule_seed_invariant(schedule) {
+            return None;
+        }
+        // Seed 0 stands in for every lane seed: the invariance check above
+        // guarantees realization ignores it, and churn draws key on the
+        // lane seed at exchange time, not here.
+        let realized = schedule.realize(n, 0).ok()?;
+        let faults = link_faults.compile(n).ok()?;
+        if faults.is_clean() && !realized.is_dynamic() {
+            let adjacency = realized.adjacency_at(Round::ZERO).into_owned();
+            return Some(SharedRealization {
+                n,
+                kind: SharedKind::Static(StaticGraph::new(&adjacency)),
+            });
+        }
+        let max_delay = faults.compiled_max_delay();
+        let (graphs, churns) = match realized.kind() {
+            RealizedKind::Static(adjacency) => (
+                DynGraphs::Phases(vec![PhaseGraph::new(adjacency.clone())]),
+                false,
+            ),
+            RealizedKind::Periodic(phases) => (
+                DynGraphs::Phases(phases.iter().cloned().map(PhaseGraph::new).collect()),
+                false,
+            ),
+            RealizedKind::Churn { base, flip_rate } => {
+                if *flip_rate == 0.0 {
+                    // Frozen churn realizes the base every round.
+                    (
+                        DynGraphs::Phases(vec![PhaseGraph::new(base.clone())]),
+                        false,
+                    )
+                } else {
+                    (
+                        DynGraphs::Churn {
+                            base: base.clone(),
+                            flip_rate: *flip_rate,
+                        },
+                        true,
+                    )
+                }
+            }
+        };
+        let scratch = DynScratch {
+            mask: if churns {
+                vec![false; n * n]
+            } else {
+                Vec::new()
+            },
+            visited: if churns { vec![false; n] } else { Vec::new() },
+            stack: if churns {
+                Vec::with_capacity(n)
+            } else {
+                Vec::new()
+            },
+        };
+        Some(SharedRealization {
+            n,
+            kind: SharedKind::Dynamic {
+                graphs,
+                faults,
+                policy,
+                max_delay,
+                scratch,
+            },
+        })
+    }
+
+    /// The number of processes every lane of this realization covers.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Creates the per-lane delivery state for one lane seed.
+    #[must_use]
+    pub fn lane(&self, seed: u64) -> LaneDelivery {
+        let pipes = match &self.kind {
+            SharedKind::Dynamic { max_delay, .. } if *max_delay > 0 => {
+                vec![VecDeque::new(); self.n * self.n]
+            }
+            _ => Vec::new(),
+        };
+        LaneDelivery {
+            seed,
+            next_round: 0,
+            pipes,
+        }
+    }
+
+    /// Performs the send + receive phases of one lane's round, collecting
+    /// the values delivered to every receiver whose `active` flag is set
+    /// into `rows` (ascending-sender order per row) and accounting **all**
+    /// `n²` slots into `stats` — delivered values, sender omissions,
+    /// structural non-deliveries, link omissions/delays — with the exact
+    /// counter semantics of the scalar [`SyncNetwork`](crate::SyncNetwork)
+    /// exchange for the same lane-seeded configuration.
+    ///
+    /// `sends` classifies every sender; `outboxes` backs its
+    /// [`LaneSend::PerReceiver`] entries (only those indices are read).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as the scalar dynamic exchange: out-of-order rounds are
+    /// rejected ([`Error::InvalidParameter`]) and a disconnected round
+    /// under [`DisconnectionPolicy::Reject`] fails with
+    /// [`Error::DisconnectedRound`]. Static realizations never fail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sends` or `active` do not cover the universe.
+    // The loops below walk receiver/sender indices into several parallel
+    // flat n²-strided arrays at once; iterator zips would obscure the
+    // statement-for-statement mirror of the scalar exchange.
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+    // mbaa: alloc-free
+    pub fn exchange_rows(
+        &mut self,
+        lane: &mut LaneDelivery,
+        round: Round,
+        sends: &[LaneSend],
+        outboxes: &[Outbox],
+        active: &[bool],
+        rows: &mut DeliveryRows,
+        stats: &mut NetworkStats,
+    ) -> Result<()> {
+        let n = self.n;
+        assert_eq!(sends.len(), n, "one send classification per process");
+        assert_eq!(active.len(), n, "one active flag per process");
+        rows.reset();
+        match &mut self.kind {
+            SharedKind::Static(graph) => {
+                stats.rounds += 1;
+                for r in 0..n {
+                    let receiver = ProcessId::new(r);
+                    let hood = graph.closed_neighborhood(r);
+                    let reachable = hood.len() as u64;
+                    let mut delivered = 0u64;
+                    if active[r] {
+                        let start = rows.total;
+                        let mut len = 0usize;
+                        for &s in hood {
+                            if let Some(value) = sends[s as usize].slot(outboxes, receiver) {
+                                rows.merged[start + len] = value;
+                                len += 1;
+                            }
+                        }
+                        delivered = len as u64;
+                        rows.push_row(r, start, len);
+                    } else {
+                        for &s in hood {
+                            delivered +=
+                                u64::from(sends[s as usize].slot(outboxes, receiver).is_some());
+                        }
+                    }
+                    stats.messages_delivered += delivered;
+                    stats.omissions += reachable - delivered;
+                    stats.unreachable += n as u64 - reachable;
+                }
+                Ok(())
+            }
+            SharedKind::Dynamic {
+                graphs,
+                faults,
+                policy,
+                max_delay,
+                scratch,
+            } => {
+                if round.index() != lane.next_round {
+                    // mbaa: allow(hot-path/allocation, cold misuse error path)
+                    return Err(Error::InvalidParameter(format!(
+                        "a dynamic network exchanges rounds in order: expected r{}, got {round} \
+                         (delay buffers advance once per round)",
+                        lane.next_round
+                    )));
+                }
+                lane.next_round += 1;
+                let seed = lane.seed;
+
+                // Resolve the round's graph and its connectivity. Phases
+                // were precomputed at build; churn redraws its mask from
+                // the lane seed, exactly the scalar draw stream.
+                let phase: Option<&PhaseGraph> = match graphs {
+                    DynGraphs::Phases(phases) => {
+                        Some(&phases[(round.index() % phases.len() as u64) as usize])
+                    }
+                    DynGraphs::Churn { base, flip_rate } => {
+                        let mask = &mut scratch.mask;
+                        mask.fill(false);
+                        for a in 0..n {
+                            mask[a * n + a] = true;
+                            for b in a + 1..n {
+                                if base.connected(ProcessId::new(a), ProcessId::new(b))
+                                    && !churn_link_down(seed, round.index(), a, b, *flip_rate)
+                                {
+                                    mask[a * n + b] = true;
+                                    mask[b * n + a] = true;
+                                }
+                            }
+                        }
+                        None
+                    }
+                };
+                let (connected, components) = match phase {
+                    Some(phase) => (phase.connected, phase.components),
+                    None => {
+                        let components = mask_components(
+                            &scratch.mask,
+                            n,
+                            &mut scratch.visited,
+                            &mut scratch.stack,
+                        );
+                        (components == 1, components)
+                    }
+                };
+                if !connected {
+                    match policy {
+                        DisconnectionPolicy::Reject => {
+                            return Err(Error::DisconnectedRound { round, components });
+                        }
+                        DisconnectionPolicy::Record => stats.disconnected_rounds += 1,
+                    }
+                }
+
+                if *max_delay == 0 {
+                    // No link ever buffers: classify and account each slot
+                    // immediately, walking only the reachable senders.
+                    for r in 0..n {
+                        let receiver = ProcessId::new(r);
+                        let row_active = active[r];
+                        let start = rows.total;
+                        let mut len = 0usize;
+                        let mut deliver =
+                            |s: usize, rows: &mut DeliveryRows, stats: &mut NetworkStats| {
+                                match sends[s].slot(outboxes, receiver) {
+                                    None => stats.omissions += 1,
+                                    Some(value) => {
+                                        if omission_lost(
+                                            seed,
+                                            round.index(),
+                                            s,
+                                            r,
+                                            faults.omit_at(s, r),
+                                        ) {
+                                            stats.link_omissions += 1;
+                                        } else {
+                                            stats.messages_delivered += 1;
+                                            if row_active {
+                                                rows.merged[start + len] = value;
+                                                len += 1;
+                                            }
+                                        }
+                                    }
+                                }
+                            };
+                        match phase {
+                            Some(phase) => {
+                                let hood = phase.graph.closed_neighborhood(r);
+                                stats.unreachable += (n - hood.len()) as u64;
+                                for &s in hood {
+                                    deliver(s as usize, rows, stats);
+                                }
+                            }
+                            None => {
+                                let mask_row = &scratch.mask[r * n..(r + 1) * n];
+                                for (s, &reachable) in mask_row.iter().enumerate() {
+                                    if reachable {
+                                        deliver(s, rows, stats);
+                                    } else {
+                                        stats.unreachable += 1;
+                                    }
+                                }
+                            }
+                        }
+                        if row_active {
+                            rows.push_row(r, start, len);
+                        }
+                    }
+                } else {
+                    // Delayed links buffer every outcome — even structural
+                    // ones — so all n² slots must be visited, mirroring the
+                    // scalar dynamic loop statement for statement.
+                    for r in 0..n {
+                        let receiver = ProcessId::new(r);
+                        let row_active = active[r];
+                        let start = rows.total;
+                        let mut len = 0usize;
+                        for s in 0..n {
+                            let delay = faults.delay_at(s, r);
+                            let reachable = match phase {
+                                Some(phase) => {
+                                    phase.adjacency.connected(ProcessId::new(s), receiver)
+                                }
+                                None => scratch.mask[s * n + r],
+                            };
+                            let sent = if !reachable {
+                                SendOutcome::Unreachable
+                            } else {
+                                match sends[s].slot(outboxes, receiver) {
+                                    None => SendOutcome::SenderOmitted,
+                                    Some(value) => {
+                                        if omission_lost(
+                                            seed,
+                                            round.index(),
+                                            s,
+                                            r,
+                                            faults.omit_at(s, r),
+                                        ) {
+                                            SendOutcome::LinkOmitted
+                                        } else {
+                                            SendOutcome::Value(value)
+                                        }
+                                    }
+                                }
+                            };
+                            let arrived = if delay == 0 {
+                                Some(sent)
+                            } else {
+                                let pipe = &mut lane.pipes[s * n + r];
+                                // mbaa: allow(hot-path/vec-growth, the pipe is popped whenever len > delay, so it holds at most delay + 1 entries after the first delay rounds)
+                                pipe.push_back(sent);
+                                if pipe.len() > delay {
+                                    Some(pipe.pop_front().expect("pipe holds > delay entries"))
+                                } else {
+                                    None
+                                }
+                            };
+                            match arrived {
+                                Some(SendOutcome::Value(value)) => {
+                                    stats.messages_delivered += 1;
+                                    if delay > 0 {
+                                        stats.link_delayed += 1;
+                                    }
+                                    if row_active {
+                                        rows.merged[start + len] = value;
+                                        len += 1;
+                                    }
+                                }
+                                Some(SendOutcome::SenderOmitted) => stats.omissions += 1,
+                                Some(SendOutcome::Unreachable) => stats.unreachable += 1,
+                                Some(SendOutcome::LinkOmitted) => stats.link_omissions += 1,
+                                None => stats.link_pending += 1,
+                            }
+                        }
+                        if row_active {
+                            rows.push_row(r, start, len);
+                        }
+                    }
+                }
+                stats.rounds += 1;
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyncNetwork;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn broadcast_sends(n: usize) -> Vec<LaneSend> {
+        (0..n)
+            .map(|i| LaneSend::Broadcast(Value::new(i as f64)))
+            .collect()
+    }
+
+    fn broadcast_outboxes(n: usize) -> Vec<Outbox> {
+        (0..n)
+            .map(|i| Outbox::broadcast(n, pid(i), Value::new(i as f64)))
+            .collect()
+    }
+
+    /// Runs `rounds` rounds through both the scalar network and the shared
+    /// realization and asserts identical per-receiver multisets and stats.
+    fn assert_matches_scalar(
+        topology: &Topology,
+        schedule: Option<&TopologySchedule>,
+        plan: &LinkFaultPlan,
+        policy: DisconnectionPolicy,
+        n: usize,
+        seed: u64,
+        rounds: u64,
+    ) {
+        let mut scalar = if schedule.is_none() && plan.is_clean() {
+            SyncNetwork::with_topology(topology.realize(n, seed).unwrap())
+        } else {
+            let desc = schedule
+                .cloned()
+                .unwrap_or_else(|| TopologySchedule::Static(topology.clone()));
+            SyncNetwork::with_dynamics(desc.realize(n, seed).unwrap(), plan, policy, seed).unwrap()
+        }
+        .with_trace_recording(false);
+        let mut shared = SharedRealization::try_build(n, topology, schedule, plan, policy)
+            .expect("description is shareable");
+        let mut lane = shared.lane(seed);
+        let mut rows = DeliveryRows::new(n);
+        let mut stats = NetworkStats::new();
+        let sends = broadcast_sends(n);
+        let outboxes = broadcast_outboxes(n);
+        let active = vec![true; n];
+        for round in 0..rounds {
+            let round = Round::new(round);
+            let deliveries = scalar.exchange(round, outboxes.clone()).unwrap();
+            shared
+                .exchange_rows(
+                    &mut lane, round, &sends, &outboxes, &active, &mut rows, &mut stats,
+                )
+                .unwrap();
+            assert_eq!(rows.rows(), n);
+            for row in 0..rows.rows() {
+                let r = rows.receiver(row);
+                let scalar_row: Vec<Value> = deliveries[r].iter().filter_map(|(_, v)| v).collect();
+                assert_eq!(rows.row(row), &scalar_row[..], "round {round} receiver {r}");
+            }
+        }
+        assert_eq!(stats, scalar.stats());
+    }
+
+    #[test]
+    fn static_masked_delivery_matches_scalar() {
+        assert_matches_scalar(
+            &Topology::Ring { k: 2 },
+            None,
+            &LinkFaultPlan::new(),
+            DisconnectionPolicy::Record,
+            9,
+            3,
+            5,
+        );
+    }
+
+    #[test]
+    fn complete_delivery_matches_scalar() {
+        assert_matches_scalar(
+            &Topology::Complete,
+            None,
+            &LinkFaultPlan::new(),
+            DisconnectionPolicy::Record,
+            7,
+            1,
+            4,
+        );
+    }
+
+    #[test]
+    fn churned_delivery_replays_the_lane_draw_stream() {
+        let schedule = TopologySchedule::SeededChurn {
+            base: Topology::Complete,
+            flip_rate: 0.4,
+        };
+        for seed in [2, 9, 40] {
+            assert_matches_scalar(
+                &Topology::Complete,
+                Some(&schedule),
+                &LinkFaultPlan::new(),
+                DisconnectionPolicy::Record,
+                8,
+                seed,
+                12,
+            );
+        }
+    }
+
+    #[test]
+    fn periodic_phases_match_scalar() {
+        let schedule = TopologySchedule::Periodic {
+            phases: vec![Topology::Ring { k: 2 }, Topology::Complete],
+        };
+        assert_matches_scalar(
+            &Topology::Complete,
+            Some(&schedule),
+            &LinkFaultPlan::new(),
+            DisconnectionPolicy::Record,
+            9,
+            5,
+            6,
+        );
+    }
+
+    #[test]
+    fn lossy_and_delayed_links_match_scalar() {
+        let plan = LinkFaultPlan::new().omit_all(0.3).delay(0, 1, 2);
+        for seed in [7, 11] {
+            assert_matches_scalar(
+                &Topology::Complete,
+                None,
+                &plan,
+                DisconnectionPolicy::Record,
+                6,
+                seed,
+                10,
+            );
+        }
+    }
+
+    #[test]
+    fn random_regular_is_not_shareable() {
+        assert!(SharedRealization::try_build(
+            10,
+            &Topology::RandomRegular { degree: 4 },
+            None,
+            &LinkFaultPlan::new(),
+            DisconnectionPolicy::Record,
+        )
+        .is_none());
+        let churned = TopologySchedule::SeededChurn {
+            base: Topology::RandomRegular { degree: 4 },
+            flip_rate: 0.2,
+        };
+        assert!(SharedRealization::try_build(
+            10,
+            &Topology::Complete,
+            Some(&churned),
+            &LinkFaultPlan::new(),
+            DisconnectionPolicy::Record,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn rejecting_policy_fails_disconnected_rounds_like_scalar() {
+        let schedule = TopologySchedule::SeededChurn {
+            base: Topology::Complete,
+            flip_rate: 1.0,
+        };
+        let mut shared = SharedRealization::try_build(
+            3,
+            &Topology::Complete,
+            Some(&schedule),
+            &LinkFaultPlan::new(),
+            DisconnectionPolicy::Reject,
+        )
+        .unwrap();
+        let mut lane = shared.lane(0);
+        let mut rows = DeliveryRows::new(3);
+        let mut stats = NetworkStats::new();
+        let err = shared
+            .exchange_rows(
+                &mut lane,
+                Round::ZERO,
+                &broadcast_sends(3),
+                &broadcast_outboxes(3),
+                &[true; 3],
+                &mut rows,
+                &mut stats,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::DisconnectedRound { components: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn dynamic_rounds_must_arrive_in_order() {
+        let plan = LinkFaultPlan::new().delay(0, 1, 1);
+        let mut shared = SharedRealization::try_build(
+            3,
+            &Topology::Complete,
+            None,
+            &plan,
+            DisconnectionPolicy::Record,
+        )
+        .unwrap();
+        let mut lane = shared.lane(0);
+        let mut rows = DeliveryRows::new(3);
+        let mut stats = NetworkStats::new();
+        let err = shared
+            .exchange_rows(
+                &mut lane,
+                Round::new(2),
+                &broadcast_sends(3),
+                &broadcast_outboxes(3),
+                &[true; 3],
+                &mut rows,
+                &mut stats,
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn inactive_receivers_are_accounted_but_not_collected() {
+        let mut shared = SharedRealization::try_build(
+            4,
+            &Topology::Complete,
+            None,
+            &LinkFaultPlan::new(),
+            DisconnectionPolicy::Record,
+        )
+        .unwrap();
+        let mut lane = shared.lane(0);
+        let mut rows = DeliveryRows::new(4);
+        let mut stats = NetworkStats::new();
+        let mut active = vec![true; 4];
+        active[1] = false;
+        shared
+            .exchange_rows(
+                &mut lane,
+                Round::ZERO,
+                &broadcast_sends(4),
+                &broadcast_outboxes(4),
+                &active,
+                &mut rows,
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(rows.rows(), 3);
+        assert_eq!(
+            (0..rows.rows())
+                .map(|i| rows.receiver(i))
+                .collect::<Vec<_>>(),
+            vec![0, 2, 3]
+        );
+        // All 16 slots are accounted regardless of who computes.
+        assert_eq!(stats.messages_delivered, 16);
+        assert_eq!(rows.uniform_len(), Some(4));
+        assert_eq!(rows.min_len(), Some(4));
+    }
+}

@@ -94,8 +94,10 @@ fn unit(bits: u64) -> f64 {
 }
 
 /// The deterministic churn draw: returns `true` when the base link
-/// `a — b` is *down* in `round` under `flip_rate`.
-fn churn_link_down(seed: u64, round: u64, a: usize, b: usize, flip_rate: f64) -> bool {
+/// `a — b` is *down* in `round` under `flip_rate`. Shared with the
+/// batch-delivery path, which replays the exact per-lane draw stream
+/// without materializing per-round adjacencies.
+pub(crate) fn churn_link_down(seed: u64, round: u64, a: usize, b: usize, flip_rate: f64) -> bool {
     let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
     let h = mix(mix(mix(seed ^ CHURN_STREAM, round), lo), hi);
     unit(h) < flip_rate
@@ -881,6 +883,12 @@ impl CompiledLinkFaults {
     pub(crate) fn delay_at(&self, from: usize, to: usize) -> usize {
         self.delay[from * self.n + to]
     }
+
+    /// The largest delay any compiled link carries — 0 means no exchange
+    /// ever buffers, so the delay pipes can be skipped wholesale.
+    pub(crate) fn compiled_max_delay(&self) -> usize {
+        self.delay.iter().copied().max().unwrap_or(0)
+    }
 }
 
 /// A description of how the communication graph evolves over rounds.
@@ -1020,9 +1028,11 @@ impl TopologySchedule {
     }
 }
 
-/// The realized forms behind a [`RealizedSchedule`].
+/// The realized forms behind a [`RealizedSchedule`]. Crate-visible so the
+/// shared batch realization can mirror the per-round graph rule without
+/// re-deriving it from the description.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum RealizedKind {
+pub(crate) enum RealizedKind {
     Static(Adjacency),
     Periodic(Vec<Adjacency>),
     Churn { base: Adjacency, flip_rate: f64 },
@@ -1093,6 +1103,11 @@ impl RealizedSchedule {
             RealizedKind::Periodic(phases) => phases,
             RealizedKind::Churn { base, .. } => std::slice::from_ref(base),
         }
+    }
+
+    /// The realized kind, for the shared batch realization.
+    pub(crate) fn kind(&self) -> &RealizedKind {
+        &self.kind
     }
 
     /// Returns `true` when per-round graphs can differ from one another

@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 mod delivery;
 pub mod faults;
 mod network;
@@ -70,6 +71,7 @@ mod stats;
 mod topology;
 mod trace;
 
+pub use batch::{DeliveryRows, LaneDelivery, LaneSend, SharedRealization};
 pub use delivery::{DeliveryMatrix, RoundDelivery};
 pub use faults::{
     CompiledLinkFaults, DirectedAdjacency, DisconnectionPolicy, LinkFaultPlan, LinkFaultRule,

@@ -93,9 +93,10 @@ struct Dynamics {
 }
 
 /// What the send phase put on one directed link in one round — classified
-/// at send time, accounted at delivery time.
+/// at send time, accounted at delivery time. Crate-visible so the shared
+/// batch realization's delay pipes buffer the identical classification.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum SendOutcome {
+pub(crate) enum SendOutcome {
     /// A value was sent and survived the link.
     Value(Value),
     /// The sender omitted (an adversary/benign fault, attributable to the

@@ -12,7 +12,9 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use mbaa_adversary::{CorruptionStrategy, MobilityStrategy};
-use mbaa_core::{BatchEngine, BatchLane, MobileRunOutcome, Observe, ProtocolConfig};
+use mbaa_core::{
+    shape_compatible, BatchEngine, MobileRunOutcome, Observe, PackedLane, ProtocolConfig,
+};
 use mbaa_msr::MsrFunction;
 use mbaa_net::{DisconnectionPolicy, LinkFaultPlan, Topology, TopologySchedule};
 use mbaa_obs::MetricsRegistry;
@@ -288,9 +290,11 @@ where
 }
 
 /// The shared executor behind [`run_experiment_with`] and
-/// [`run_experiment_metrics`]; `metrics` selects whether chunks run
-/// observed (with per-chunk registries merged into the shared sink) or on
-/// the unobserved zero-overhead path.
+/// [`run_experiment_metrics`]: the single-point special case of the
+/// cross-point packed executor. A single point's seeds are trivially
+/// shape-compatible, so the pack plan degenerates to the historical
+/// "chunks of up to [`BATCH_WIDTH`] consecutive seeds" schedule and the
+/// results stay bit-identical to every earlier release.
 fn run_experiment_impl<F>(
     config: &ExperimentConfig,
     on_run: &F,
@@ -299,78 +303,227 @@ fn run_experiment_impl<F>(
 where
     F: Fn(&RunSummary) + Sync,
 {
-    // Validate every lowering up front: configuration errors then surface
-    // deterministically, before any run starts. Only summaries leave this
-    // function, and summaries are bit-identical across observability
-    // levels, so the engine always runs at `Observe::Summary` — the
-    // allocation-free steady state — regardless of the description's level.
-    let protocols: Vec<(u64, ProtocolConfig)> = config
-        .seeds
-        .iter()
-        .map(|&seed| {
-            config.protocol_config(seed).map(|mut p| {
-                p.observe = Observe::Summary;
-                (seed, p)
-            })
-        })
-        .collect::<Result<_>>()?;
-    // Execution strategy: consecutive seeds are grouped into chunks of up
-    // to `BATCH_WIDTH` lanes, and each chunk advances through one
-    // seed-batched engine (`mbaa_core::BatchEngine`) — per-seed results
-    // are bit-identical to scalar runs, so the chunking is invisible in
-    // the output. Chunks still spread across the rayon pool; a chunk of
-    // one (and any future non-Summary executor) degenerates to the scalar
-    // engine inside `BatchEngine::run`.
-    let mut chunks: Vec<Vec<(u64, ProtocolConfig)>> = Vec::new();
-    let mut remaining = protocols.into_iter();
-    loop {
-        let chunk: Vec<(u64, ProtocolConfig)> = remaining.by_ref().take(BATCH_WIDTH).collect();
-        if chunk.is_empty() {
-            break;
+    run_packed_impl(
+        std::slice::from_ref(config),
+        &|_point, summary: &RunSummary| on_run(summary),
+        metrics,
+    )
+    .pop()
+    .expect("one result per experiment point")
+}
+
+/// Runs several experiment points as **one** cross-point packed pool:
+/// every `(point, seed)` pair is lowered up front (point-major,
+/// seed-minor), and consecutive lanes whose lowered configurations are
+/// [`shape_compatible`] — same `n`, `f`, model, and observe level — are
+/// packed into shared [`BatchEngine`] batches of up to [`BATCH_WIDTH`]
+/// lanes. A point whose seed batch does not fill its last batch is topped
+/// up with the next compatible point's first seeds, so sweeping many
+/// small points no longer pays one under-full batch per point (the
+/// "occupancy cliff"): mean lane occupancy is governed by the *total*
+/// lane count, not the per-point seed count.
+///
+/// Per-seed summaries are bit-identical to [`run_experiment`] on each
+/// point alone, for every worker count and pack boundary — the packed
+/// engine proves per-lane equivalence with the scalar engine. Results
+/// come back **per point**, aligned with `configs`; a point whose
+/// lowering or runs fail carries its first failing seed's error (in
+/// seed-batch order) without disturbing its neighbours, so callers keep
+/// point-level error attribution.
+///
+/// `on_run` receives `(point index, summary)` for every completed run,
+/// in completion order, on the worker that produced it.
+pub fn run_packed_experiments<F>(
+    configs: &[ExperimentConfig],
+    on_run: F,
+) -> Vec<Result<ExperimentResult>>
+where
+    F: Fn(usize, &RunSummary) + Sync,
+{
+    run_packed_impl(configs, &on_run, None)
+}
+
+/// [`run_packed_experiments`] with cross-run metric aggregation into one
+/// [`MetricsRegistry`], merged exactly as [`run_experiment_metrics`]
+/// merges — elementwise counter addition, so the registry is
+/// bit-identical for every worker count and completion order.
+pub fn run_packed_experiments_metrics<F>(
+    configs: &[ExperimentConfig],
+    on_run: F,
+) -> (Vec<Result<ExperimentResult>>, MetricsRegistry)
+where
+    F: Fn(usize, &RunSummary) + Sync,
+{
+    let merged = Mutex::new(MetricsRegistry::new());
+    let results = run_packed_impl(configs, &on_run, Some(&merged));
+    let metrics = merged.into_inner().expect("metrics mutex poisoned");
+    (results, metrics)
+}
+
+/// Mean lane occupancy of the pack plan [`run_packed_experiments`] would
+/// execute for `configs`: total lanes over `packs × BATCH_WIDTH` slots.
+/// `1.0` means every batch launch runs completely full; the experiment
+/// itself is not run. An empty plan (no seeds anywhere) is vacuously
+/// full.
+///
+/// # Errors
+///
+/// Propagates the first lowering error in point-major, seed-minor order.
+pub fn mean_pack_occupancy(configs: &[ExperimentConfig]) -> Result<f64> {
+    let mut lanes = 0usize;
+    let mut packs = 0usize;
+    // Walk the point-major lane list exactly as the planner does, but keep
+    // only the running shape of the open pack.
+    let mut open: Option<(ProtocolConfig, usize)> = None;
+    for config in configs {
+        for &seed in &config.seeds {
+            let mut p = config.protocol_config(seed)?;
+            p.observe = Observe::Summary;
+            lanes += 1;
+            open = Some(match open.take() {
+                Some((shape, width)) if width < BATCH_WIDTH && shape_compatible(&shape, &p) => {
+                    (shape, width + 1)
+                }
+                Some(_) => {
+                    packs += 1;
+                    (p, 1)
+                }
+                None => (p, 1),
+            });
         }
-        chunks.push(chunk);
     }
-    let runs: Vec<Vec<Result<RunSummary>>> = chunks
-        .into_par_iter()
-        .map(|chunk| {
-            let engine = BatchEngine::new(chunk[0].1.clone());
-            let lanes: Vec<BatchLane> = chunk
-                .iter()
-                .map(|(seed, _)| BatchLane {
-                    seed: *seed,
-                    inputs: config.workload.generate(config.n, *seed),
+    if open.is_some() {
+        packs += 1;
+    }
+    if lanes == 0 {
+        return Ok(1.0);
+    }
+    Ok(lanes as f64 / (packs * BATCH_WIDTH) as f64)
+}
+
+/// Splits the point-major lane list into contiguous packs of up to
+/// [`BATCH_WIDTH`] shape-compatible lanes. Compatibility is an
+/// equivalence (field equality), so comparing against the pack's first
+/// lane suffices.
+fn plan_packs(lanes: &[PackedLane]) -> Vec<std::ops::Range<usize>> {
+    let mut packs = Vec::new();
+    let mut start = 0;
+    for i in 0..lanes.len() {
+        if i - start == BATCH_WIDTH
+            || (i > start && !shape_compatible(&lanes[start].config, &lanes[i].config))
+        {
+            packs.push(start..i);
+            start = i;
+        }
+    }
+    if start < lanes.len() {
+        packs.push(start..lanes.len());
+    }
+    packs
+}
+
+/// The shared executor behind every summary-level entry point.
+///
+/// Lowering is validated up front, per point: a point whose lowering
+/// fails is born-failed (its `on_run` never fires) and contributes no
+/// lanes, while its neighbours still execute. The surviving lanes run
+/// through [`plan_packs`] batches spread across the rayon pool; pack
+/// results flatten back in point-major, seed-minor order because packs
+/// are contiguous ranges of that list.
+fn run_packed_impl<F>(
+    configs: &[ExperimentConfig],
+    on_run: &F,
+    metrics: Option<&Mutex<MetricsRegistry>>,
+) -> Vec<Result<ExperimentResult>>
+where
+    F: Fn(usize, &RunSummary) + Sync,
+{
+    // Only summaries leave this function, and summaries are bit-identical
+    // across observability levels, so the engine always runs at
+    // `Observe::Summary` — the allocation-free steady state — regardless
+    // of each description's level.
+    let mut lowered: Vec<Option<mbaa_types::Error>> = Vec::with_capacity(configs.len());
+    let mut lanes: Vec<PackedLane> = Vec::new();
+    // `points[i]` is the point index of `lanes[i]` — kept as a parallel
+    // vector so pack ranges can borrow `lanes` as a contiguous slice.
+    let mut points: Vec<usize> = Vec::new();
+    for (point, config) in configs.iter().enumerate() {
+        let lowering: Result<Vec<PackedLane>> = config
+            .seeds
+            .iter()
+            .map(|&seed| {
+                config.protocol_config(seed).map(|mut p| {
+                    p.observe = Observe::Summary;
+                    PackedLane {
+                        config: p,
+                        inputs: config.workload.generate(config.n, seed),
+                    }
                 })
-                .collect();
+            })
+            .collect();
+        match lowering {
+            Ok(point_lanes) => {
+                lowered.push(None);
+                points.extend(std::iter::repeat_n(point, point_lanes.len()));
+                lanes.extend(point_lanes);
+            }
+            Err(e) => lowered.push(Some(e)),
+        }
+    }
+    let packs = plan_packs(&lanes);
+    let pack_runs: Vec<Vec<Result<RunSummary>>> = packs
+        .into_par_iter()
+        .map(|range| {
             let outcomes = match metrics {
                 Some(sink) => {
                     let mut local = MetricsRegistry::new();
-                    let outcomes = engine.run_observed(&lanes, &mut local);
-                    // Merge order across chunks is completion order, which
+                    let outcomes =
+                        BatchEngine::run_packed_observed(&lanes[range.clone()], &mut local);
+                    // Merge order across packs is completion order, which
                     // rayon does not fix — safe because the merge is
                     // order-independent (see `MetricsRegistry::merge`).
                     sink.lock().expect("metrics mutex poisoned").merge(&local);
                     outcomes
                 }
-                None => engine.run(&lanes),
+                None => BatchEngine::run_packed(&lanes[range.clone()]),
             };
             outcomes
                 .into_iter()
-                .zip(&chunk)
-                .map(|(outcome, (seed, _))| {
-                    let summary = RunSummary::from_outcome(*seed, &outcome?);
-                    on_run(&summary);
+                .zip(range)
+                .map(|(outcome, index)| {
+                    let summary = RunSummary::from_outcome(lanes[index].config.seed, &outcome?);
+                    on_run(points[index], &summary);
                     Ok(summary)
                 })
                 .collect()
         })
         .collect();
-    Ok(ExperimentResult {
-        config: config.clone(),
-        runs: runs
-            .into_iter()
-            .flatten()
-            .collect::<Result<Vec<RunSummary>>>()?,
-    })
+    // Scatter the point-major flat stream back into per-point results; the
+    // first failing seed of a point (in seed-batch order) wins its slot.
+    let mut per_point: Vec<Result<Vec<RunSummary>>> =
+        configs.iter().map(|_| Ok(Vec::new())).collect();
+    let mut flat = pack_runs.into_iter().flatten();
+    for &point in &points {
+        let run = flat.next().expect("one summary per planned lane");
+        if let Ok(runs) = per_point[point].as_mut() {
+            match run {
+                Ok(summary) => runs.push(summary),
+                Err(e) => per_point[point] = Err(e),
+            }
+        }
+    }
+    configs
+        .iter()
+        .zip(lowered)
+        .zip(per_point)
+        .map(|((config, lowering_error), runs)| match lowering_error {
+            Some(e) => Err(e),
+            None => Ok(ExperimentResult {
+                config: config.clone(),
+                runs: runs?,
+            }),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -526,6 +679,77 @@ mod tests {
         });
         assert!(err.is_err());
         assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn packed_cross_point_results_match_per_point_runs() {
+        // Three shape-compatible points (same n/f/model) whose other knobs
+        // all differ — ε, topology, round budget, seed batches.
+        let configs = [
+            point(MobileModel::Garay, 9, 1, 0..12),
+            ExperimentConfig {
+                epsilon: 1e-4,
+                topology: Topology::Ring { k: 2 },
+                ..point(MobileModel::Garay, 9, 1, 5..17)
+            },
+            ExperimentConfig {
+                max_rounds: 200,
+                ..point(MobileModel::Garay, 9, 1, 100..112)
+            },
+        ];
+        let seen = std::sync::Mutex::new(Vec::new());
+        let packed = run_packed_experiments(&configs, |point, summary| {
+            seen.lock().unwrap().push((point, summary.seed));
+        });
+        // Every point's result is bit-identical to running it alone, even
+        // though its lanes shared packs with its neighbours.
+        for (config, result) in configs.iter().zip(packed) {
+            assert_eq!(result.unwrap(), run_experiment(config).unwrap());
+        }
+        // The streaming callback attributed every run to its point.
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        let expected: Vec<(usize, u64)> = configs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, c)| c.seeds.iter().map(move |&s| (i, s)))
+            .collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn pack_plan_tops_up_tail_chunks_across_compatible_points() {
+        // 3 points × 12 seeds = 36 lanes. Packed across points that is two
+        // batch launches (32 + 4) — occupancy 36/64 — instead of the three
+        // under-full per-point chunks (36/96) the old schedule paid.
+        let compatible: Vec<ExperimentConfig> = (0..3)
+            .map(|i| point(MobileModel::Garay, 9, 1, (i * 12)..(i * 12 + 12)))
+            .collect();
+        assert_eq!(mean_pack_occupancy(&compatible).unwrap(), 36.0 / 64.0);
+        // Shape-incompatible neighbours still break packs at the boundary.
+        let mixed = [
+            point(MobileModel::Garay, 9, 1, 0..12),
+            point(MobileModel::Garay, 13, 1, 0..12),
+            point(MobileModel::Garay, 9, 1, 0..12),
+        ];
+        assert_eq!(mean_pack_occupancy(&mixed).unwrap(), 36.0 / 96.0);
+        // No seeds anywhere: vacuously full.
+        assert_eq!(
+            mean_pack_occupancy(&[point(MobileModel::Garay, 9, 1, 0..0)]).unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn failing_point_does_not_disturb_its_neighbours() {
+        let good = point(MobileModel::Garay, 9, 2, 0..3);
+        // Below the bound without the explicit opt-in: lowering fails.
+        let bad = point(MobileModel::Garay, 8, 2, 0..3);
+        let results = run_packed_experiments(&[good.clone(), bad, good.clone()], |_, _| {});
+        assert!(results[1].is_err());
+        let alone = run_experiment(&good).unwrap();
+        assert_eq!(results[0].as_ref().unwrap(), &alone);
+        assert_eq!(results[2].as_ref().unwrap(), &alone);
     }
 
     #[test]

@@ -17,8 +17,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use mbaa::{
-    CorruptionStrategy, MetricsRegistry, MobileEngine, MobileModel, MobilityStrategy, Observe,
-    Observer, ProtocolConfig, Value,
+    BatchEngine, BatchLane, CorruptionStrategy, MetricsRegistry, MobileEngine, MobileModel,
+    MobilityStrategy, Observe, Observer, ProtocolConfig, Topology, TopologySchedule, Value,
 };
 
 /// Counts every allocation (not bytes — the assertion is about *count*)
@@ -155,6 +155,89 @@ fn steady_state_rounds_allocate_nothing_under_observe_summary() {
             (full_long - full_short) / 20,
             (big_long - big_short) / 20,
             n + 3
+        );
+    }
+}
+
+/// The general-path analogue of [`run_counting`], on the seed-batched
+/// engine: four lanes advance in lockstep over a partial or dynamic
+/// network realization shared across the batch. Returns the allocation
+/// delta of the measured run and every lane's executed round count.
+fn run_batch_counting(
+    topology: Topology,
+    schedule: Option<TopologySchedule>,
+    rounds: usize,
+) -> (u64, Vec<usize>) {
+    let n = 16;
+    let mut builder = ProtocolConfig::builder(MobileModel::Garay, n, 2)
+        .epsilon(1e-300)
+        .max_rounds(rounds)
+        .seed(7)
+        .mobility(MobilityStrategy::TargetExtremes)
+        .corruption(CorruptionStrategy::split_attack())
+        .observe(Observe::Summary)
+        .topology(topology);
+    if let Some(schedule) = schedule {
+        builder = builder.topology_schedule(schedule);
+    }
+    let config = builder.build().expect("config");
+    let engine = BatchEngine::new(config);
+    let lanes: Vec<BatchLane> = (1..=4)
+        .map(|seed| BatchLane {
+            seed,
+            inputs: (0..n)
+                .map(|i| Value::new(i as f64 / (n - 1) as f64))
+                .collect(),
+        })
+        .collect();
+    // Warm up once, exactly as the scalar harness does.
+    for outcome in engine.run(&lanes) {
+        outcome.expect("warm-up run");
+    }
+    let before = allocations();
+    let executed: Vec<usize> = engine
+        .run(&lanes)
+        .into_iter()
+        .map(|outcome| outcome.expect("measured run").rounds_executed)
+        .collect();
+    (allocations() - before, executed)
+}
+
+#[test]
+fn general_path_batch_rounds_allocate_nothing_under_observe_summary() {
+    // The batch engine's *general* path — masked static exchange over a
+    // ring, and a churned dynamic realization rebuilt every round — with
+    // four lanes in lockstep against one shared network realization. Same
+    // differential design as the scalar test: both runs share identical
+    // setup, so the 20 extra steady-state rounds of the long run must not
+    // have allocated at all.
+    for (label, topology, schedule) in [
+        ("ring", Topology::Ring { k: 4 }, None),
+        (
+            "churn",
+            Topology::Complete,
+            Some(TopologySchedule::SeededChurn {
+                base: Topology::Complete,
+                flip_rate: 0.15,
+            }),
+        ),
+    ] {
+        let (allocs_short, rounds_short) =
+            run_batch_counting(topology.clone(), schedule.clone(), 6);
+        let (allocs_long, rounds_long) = run_batch_counting(topology, schedule, 26);
+        assert!(
+            rounds_short.iter().all(|&r| r == 6),
+            "{label}: every short lane must exhaust its budget, got {rounds_short:?}"
+        );
+        assert!(
+            rounds_long.iter().all(|&r| r == 26),
+            "{label}: every long lane must exhaust its budget, got {rounds_long:?}"
+        );
+        assert_eq!(
+            allocs_long,
+            allocs_short,
+            "{label}: {} extra allocations across 20 extra general-path batch rounds",
+            allocs_long.saturating_sub(allocs_short)
         );
     }
 }

@@ -170,3 +170,85 @@ fn a_single_seed_batch_degenerates_to_the_scalar_engine() {
         scalar_summaries(&scenario, &seeds),
     );
 }
+
+/// The general-path point variants packed sweeps mix: a partial static
+/// graph, seeded churn, and probabilistic link faults with a delayed link,
+/// all sharing one batch shape (n = 9, f = 1, Garay).
+fn general_path_points() -> Vec<Scenario> {
+    let base = Scenario::new(MobileModel::Garay, 9, 1)
+        .epsilon(1e-6)
+        .max_rounds(300);
+    vec![
+        base.clone().topology(Topology::Ring { k: 2 }),
+        base.clone()
+            .topology_schedule(TopologySchedule::SeededChurn {
+                base: Topology::Complete,
+                flip_rate: 0.2,
+            }),
+        base.link_faults(LinkFaultPlan::new().omit_all(0.05).cut(0, 1).delay(2, 3, 2)),
+    ]
+}
+
+#[test]
+fn packed_cross_point_sweeps_match_scalar_bit_for_bit() {
+    // Three shape-compatible general-path points × four seeds: the sweep
+    // packs lanes of *different* points (different topology, schedule, and
+    // link-fault plans) into shared engine launches, and every point must
+    // still reproduce its own scalar runs exactly.
+    let seeds: Vec<u64> = (0..4).collect();
+    let points = general_path_points();
+    let streamed = Sweep::over(points.clone())
+        .seeds(seeds.iter().copied())
+        .stream()
+        .unwrap();
+    for (scenario, summary) in points.iter().zip(&streamed) {
+        assert_eq!(
+            summary.result.runs,
+            scalar_summaries(scenario, &seeds),
+            "packed sweep diverged from scalar at point {scenario:?}",
+        );
+    }
+}
+
+#[test]
+fn ragged_cross_point_packs_match_scalar_per_segment() {
+    // Segments of uneven length (1, 7, and 3 seeds) force ragged pack
+    // boundaries: the first pack mixes all three points and no segment
+    // alone fills a batch. Each segment still equals its scalar runs.
+    let points = general_path_points();
+    let segments: Vec<(Scenario, Vec<u64>)> = vec![
+        (points[0].clone(), vec![11]),
+        (points[1].clone(), (0..7).collect()),
+        (points[2].clone(), vec![2, 5, 9]),
+    ];
+    let results = stream_segments(&segments, None);
+    for ((scenario, seeds), result) in segments.iter().zip(results) {
+        assert_eq!(
+            result.unwrap().runs,
+            scalar_summaries(scenario, seeds),
+            "ragged packed segment diverged from scalar at {scenario:?}",
+        );
+    }
+}
+
+#[test]
+fn worker_counts_leave_packed_sweeps_bit_identical() {
+    let seeds: Vec<u64> = (0..4).collect();
+    let points = general_path_points();
+    let reference: Vec<Vec<RunSummary>> = points
+        .iter()
+        .map(|scenario| scalar_summaries(scenario, &seeds))
+        .collect();
+    for workers in [1usize, 2, 3, 8] {
+        let streamed = Sweep::over(points.clone())
+            .seeds(seeds.iter().copied())
+            .workers(workers)
+            .stream()
+            .unwrap();
+        let runs: Vec<Vec<RunSummary>> = streamed.into_iter().map(|s| s.result.runs).collect();
+        assert_eq!(
+            runs, reference,
+            "{workers} workers diverged from the scalar reference on a packed sweep",
+        );
+    }
+}
